@@ -1,0 +1,120 @@
+//! Shared helpers for the OptImatch benchmark harness: workload
+//! construction and the measurement loops each figure re-uses.
+
+use std::time::{Duration, Instant};
+
+use optimatch_core::{KnowledgeBase, Matcher, TransformedQep};
+use optimatch_workload::{
+    generate_workload, GeneratorConfig, InjectionConfig, Workload, WorkloadConfig,
+};
+
+/// Deterministic seed shared by every experiment (reported in
+/// EXPERIMENTS.md so runs are reproducible).
+pub const EXPERIMENT_SEED: u64 = 0x0D_B2;
+
+/// Build the paper-shaped workload: `n` QEPs, 60–180 operators each,
+/// paper injection rates.
+pub fn paper_workload(n: usize) -> Workload {
+    generate_workload(&WorkloadConfig {
+        seed: EXPERIMENT_SEED,
+        num_qeps: n,
+        generator: GeneratorConfig::default(),
+        injection: InjectionConfig::paper_rates(),
+    })
+}
+
+/// Transform a workload into matcher-ready form, returning the transform
+/// time as well (Algorithm 1's share of the pipeline).
+pub fn transform_all(w: &Workload) -> (Vec<TransformedQep>, Duration) {
+    let start = Instant::now();
+    let ts = w.qeps.iter().cloned().map(TransformedQep::new).collect();
+    (ts, start.elapsed())
+}
+
+/// Time a full pattern search over a transformed workload.
+pub fn time_search(matcher: &Matcher, workload: &[TransformedQep]) -> (usize, Duration) {
+    let start = Instant::now();
+    let ids = matcher
+        .matching_qep_ids(workload)
+        .expect("benchmark patterns are valid");
+    (ids.len(), start.elapsed())
+}
+
+/// Time a knowledge-base scan over a transformed workload.
+pub fn time_kb_scan(kb: &KnowledgeBase, workload: &[TransformedQep]) -> Duration {
+    let start = Instant::now();
+    let reports = kb.scan_workload(workload).expect("KB scans are valid");
+    assert_eq!(reports.len(), workload.len());
+    start.elapsed()
+}
+
+/// Least-squares linear fit returning (slope, intercept, r²) — used to
+/// verify the paper's linear-scaling claims.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    (slope, intercept, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let (slope, intercept, r2) = linear_fit(&xs, &ys);
+        assert!((slope - 2.0).abs() < 1e-12);
+        assert!((intercept - 1.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_constant_series() {
+        let (slope, intercept, r2) = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(slope, 0.0);
+        assert_eq!(intercept, 5.0);
+        assert_eq!(r2, 1.0);
+    }
+
+    #[test]
+    fn paper_workload_is_deterministic_and_sized() {
+        let a = paper_workload(10);
+        let b = paper_workload(10);
+        assert_eq!(a.qeps, b.qeps);
+        assert_eq!(a.qeps.len(), 10);
+    }
+
+    #[test]
+    fn time_helpers_produce_counts() {
+        let w = paper_workload(10);
+        let (ts, transform_time) = transform_all(&w);
+        assert_eq!(ts.len(), 10);
+        assert!(transform_time.as_nanos() > 0);
+        let matcher =
+            optimatch_core::Matcher::compile(&optimatch_core::builtin::pattern_a().pattern)
+                .expect("compiles");
+        let (hits, search_time) = time_search(&matcher, &ts);
+        assert!(hits <= 10);
+        assert!(search_time.as_nanos() > 0);
+        let kb = optimatch_core::builtin::paper_kb();
+        assert!(time_kb_scan(&kb, &ts).as_nanos() > 0);
+    }
+}

@@ -1,0 +1,614 @@
+//! Command implementations for the `optimatch` CLI.
+//!
+//! Each command is a plain function from parsed arguments to a rendered
+//! `String`, so the whole surface is unit-testable without spawning
+//! processes; `main.rs` only parses `argv` and prints.
+//!
+//! ```text
+//! optimatch gen    --out DIR [--n N] [--seed S] [--study]
+//! optimatch stats  DIR
+//! optimatch tree   FILE.qep
+//! optimatch rdf    FILE.qep [--format turtle|ntriples]
+//! optimatch search DIR (--builtin NAME | --pattern FILE.json)
+//! optimatch scan   DIR [--kb FILE.json] [--threads N]
+//! optimatch sparql FILE.qep QUERY.rq
+//! optimatch kb-init FILE.json
+//! ```
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use optimatch_core::{builtin, KnowledgeBase, OptImatch, Pattern};
+use optimatch_qep::{parse_qep, render_tree, workload_stats};
+use optimatch_rdf::turtle::{to_turtle, PrefixMap};
+use optimatch_workload::{
+    generate_workload, study_workload, write_workload, GeneratorConfig, InjectionConfig,
+    WorkloadConfig,
+};
+
+/// A CLI failure: message for the user, non-zero exit.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> CliError {
+        CliError(s)
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Minimal flag parser: positional arguments plus `--key value` /
+/// `--flag` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--key value` options and bare `--flag`s (value empty).
+    pub options: Vec<(String, String)>,
+}
+
+/// Options that never take a value.
+const BOOL_FLAGS: &[&str] = &["study"];
+
+impl Args {
+    /// Parse raw arguments (without the program and subcommand names).
+    pub fn parse(raw: &[String]) -> Args {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(key) = raw[i].strip_prefix("--") {
+                let value = if BOOL_FLAGS.contains(&key) {
+                    String::new()
+                } else {
+                    raw.get(i + 1)
+                        .filter(|v| !v.starts_with("--"))
+                        .cloned()
+                        .unwrap_or_default()
+                };
+                let consumed = if value.is_empty() { 1 } else { 2 };
+                args.options.push((key.to_string(), value));
+                i += consumed;
+            } else {
+                args.positional.push(raw[i].clone());
+                i += 1;
+            }
+        }
+        args
+    }
+
+    /// The value of `--key`, if given.
+    pub fn option(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when `--key` appeared (with or without a value).
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.iter().any(|(k, _)| k == key)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.option(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("--{key}: bad value {v:?}"))),
+        }
+    }
+}
+
+/// Top-level dispatch; returns the text to print.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some(command) = argv.first() else {
+        return Ok(usage());
+    };
+    let args = Args::parse(&argv[1..]);
+    match command.as_str() {
+        "gen" => cmd_gen(&args),
+        "stats" => cmd_stats(&args),
+        "tree" => cmd_tree(&args),
+        "rdf" => cmd_rdf(&args),
+        "search" => cmd_search(&args),
+        "scan" => cmd_scan(&args),
+        "cluster" => cmd_cluster(&args),
+        "diff" => cmd_diff(&args),
+        "sparql" => cmd_sparql(&args),
+        "kb-init" => cmd_kb_init(&args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "optimatch — query performance problem determination (OptImatch, EDBT 2016)\n\
+     \n\
+     USAGE:\n\
+     \x20 optimatch gen    --out DIR [--n N] [--seed S] [--study]   generate a workload\n\
+     \x20 optimatch stats  DIR                                      workload statistics\n\
+     \x20 optimatch tree   FILE.qep                                 render the plan tree\n\
+     \x20 optimatch rdf    FILE.qep [--format turtle|ntriples]      dump the RDF transform\n\
+     \x20 optimatch search DIR (--builtin NAME | --pattern F.json)  find a problem pattern\n\
+     \x20 optimatch scan   DIR [--kb F.json] [--threads N] [--format json]  knowledge-base scan\n\
+     \x20 optimatch cluster DIR [--k N]                             cost clusters x patterns\n\
+     \x20 optimatch diff   BEFORE.qep AFTER.qep                     plan regression report\n\
+     \x20 optimatch sparql FILE.qep QUERY.rq                        ad-hoc SPARQL over a plan\n\
+     \x20 optimatch kb-init FILE.json                               write the built-in KB\n\
+     \n\
+     Built-in pattern names: pattern-a-nljoin-tbscan, pattern-b-loj-join-order,\n\
+     pattern-c-cardinality-collapse, pattern-d-sort-spill\n"
+        .to_string()
+}
+
+fn cmd_gen(args: &Args) -> Result<String, CliError> {
+    let out = args
+        .option("out")
+        .map(PathBuf::from)
+        .ok_or_else(|| CliError("gen: --out DIR is required".into()))?;
+    let seed: u64 = args.parse_num("seed", 0x0DB2)?;
+    let workload = if args.flag("study") {
+        study_workload(seed)
+    } else {
+        let n: usize = args.parse_num("n", 100)?;
+        generate_workload(&WorkloadConfig {
+            seed,
+            num_qeps: n,
+            generator: GeneratorConfig::default(),
+            injection: InjectionConfig::paper_rates(),
+        })
+    };
+    write_workload(&workload, &out).map_err(|e| CliError(e.to_string()))?;
+    Ok(format!(
+        "wrote {} QEPs (+ MANIFEST.tsv) to {}",
+        workload.qeps.len(),
+        out.display()
+    ))
+}
+
+fn load_plans(args: &Args) -> Result<Vec<optimatch_qep::Qep>, CliError> {
+    let path = args
+        .positional
+        .first()
+        .map(PathBuf::from)
+        .ok_or_else(|| CliError("expected a plan file or directory".into()))?;
+    load_plans_from(&path)
+}
+
+fn load_plans_from(path: &Path) -> Result<Vec<optimatch_qep::Qep>, CliError> {
+    if path.is_dir() {
+        let w = optimatch_workload::load_workload(path).map_err(|e| CliError(e.to_string()))?;
+        Ok(w.qeps)
+    } else {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+        let qep = parse_qep(&text).map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+        Ok(vec![qep])
+    }
+}
+
+fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    let plans = load_plans(args)?;
+    Ok(format!("{}\n", workload_stats(plans.iter())))
+}
+
+fn cmd_tree(args: &Args) -> Result<String, CliError> {
+    let plans = load_plans(args)?;
+    let mut out = String::new();
+    for qep in &plans {
+        let _ = writeln!(out, "=== {} ===", qep.id);
+        out.push_str(&render_tree(qep));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn cmd_rdf(args: &Args) -> Result<String, CliError> {
+    let plans = load_plans(args)?;
+    let format = args.option("format").unwrap_or("turtle");
+    let mut out = String::new();
+    for qep in &plans {
+        let graph = optimatch_core::transform_qep(qep);
+        match format {
+            "turtle" => {
+                let mut pm = PrefixMap::new();
+                pm.add("popURI", optimatch_core::vocab::POP_NS);
+                pm.add("predURI", optimatch_core::vocab::PRED_NS);
+                out.push_str(&to_turtle(&graph, &pm));
+            }
+            "ntriples" => out.push_str(&optimatch_rdf::ntriples::to_ntriples(&graph)),
+            other => return err(format!("rdf: unknown --format {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn resolve_pattern(args: &Args) -> Result<Pattern, CliError> {
+    if let Some(name) = args.option("builtin") {
+        return builtin::paper_entries()
+            .into_iter()
+            .find(|e| e.name == name)
+            .map(|e| e.pattern)
+            .ok_or_else(|| CliError(format!("unknown built-in pattern {name:?}")));
+    }
+    if let Some(file) = args.option("pattern") {
+        let json = std::fs::read_to_string(file).map_err(|e| CliError(format!("{file}: {e}")))?;
+        return Pattern::from_json(&json).map_err(|e| CliError(format!("{file}: {e}")));
+    }
+    err("search: give --builtin NAME or --pattern FILE.json")
+}
+
+fn cmd_search(args: &Args) -> Result<String, CliError> {
+    let plans = load_plans(args)?;
+    let pattern = resolve_pattern(args)?;
+    let mut session = OptImatch::from_qeps(plans);
+    let matches = session
+        .search(&pattern)
+        .map_err(|e| CliError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "pattern {:?}: {} occurrence(s) in {} QEP(s)  [{:?}]",
+        pattern.name,
+        matches.len(),
+        matches
+            .iter()
+            .map(|m| m.qep_id.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len(),
+        session.timings().matching,
+    );
+    for m in &matches {
+        let _ = write!(out, "  {}:", m.qep_id);
+        for b in &m.bindings {
+            let _ = write!(out, " ?{}={}", b.name, b.target.display());
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn cmd_scan(args: &Args) -> Result<String, CliError> {
+    let plans = load_plans(args)?;
+    let kb = match args.option("kb") {
+        Some(file) => {
+            KnowledgeBase::load(Path::new(file)).map_err(|e| CliError(format!("{file}: {e}")))?
+        }
+        None => builtin::paper_kb(),
+    };
+    let threads: usize = args.parse_num("threads", 1)?;
+    let mut session = OptImatch::from_qeps(plans);
+    let reports = if threads > 1 {
+        session.scan_parallel(&kb, threads)
+    } else {
+        session.scan(&kb)
+    }
+    .map_err(|e| CliError(e.to_string()))?;
+
+    if args.option("format") == Some("json") {
+        return serde_json::to_string_pretty(&reports)
+            .map(|mut s| {
+                s.push('\n');
+                s
+            })
+            .map_err(|e| CliError(e.to_string()));
+    }
+
+    let mut out = String::new();
+    let flagged = reports
+        .iter()
+        .filter(|r| !r.recommendations.is_empty())
+        .count();
+    let _ = writeln!(
+        out,
+        "scanned {} QEP(s) against {} KB entr(ies): {} flagged  [{:?}]",
+        reports.len(),
+        kb.len(),
+        flagged,
+        session.timings().matching,
+    );
+    for report in &reports {
+        if report.recommendations.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "--- {} ---", report.qep_id);
+        let _ = writeln!(out, "{}", report.message());
+    }
+    Ok(out)
+}
+
+fn cmd_cluster(args: &Args) -> Result<String, CliError> {
+    use optimatch_core::cluster::{cluster_workload, correlate_patterns};
+    use optimatch_core::transform::TransformedQep;
+    let plans = load_plans(args)?;
+    let k: usize = args.parse_num("k", 4)?;
+    let kb = match args.option("kb") {
+        Some(file) => {
+            KnowledgeBase::load(Path::new(file)).map_err(|e| CliError(format!("{file}: {e}")))?
+        }
+        None => builtin::paper_kb(),
+    };
+    let workload: Vec<TransformedQep> = plans.into_iter().map(TransformedQep::new).collect();
+    let clustering = cluster_workload(&workload, k);
+    let stats =
+        correlate_patterns(&clustering, &kb, &workload).map_err(|e| CliError(e.to_string()))?;
+
+    let mut out = String::new();
+    for c in &clustering.clusters {
+        let _ = writeln!(
+            out,
+            "cluster {}: {} plans, mean cost {:.1}, mean ops {:.0}",
+            c.id,
+            c.qep_ids.len(),
+            c.mean_cost,
+            c.mean_ops
+        );
+        for s in stats.iter().filter(|s| s.cluster == c.id && s.hits > 0) {
+            let _ = writeln!(
+                out,
+                "    {}: {}/{} ({:.0}%, lift {:.2})",
+                s.entry,
+                s.hits,
+                s.size,
+                s.rate * 100.0,
+                s.lift
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_diff(args: &Args) -> Result<String, CliError> {
+    let [before_path, after_path] = args.positional.as_slice() else {
+        return err("diff: expected BEFORE.qep AFTER.qep");
+    };
+    let before = load_plans_from(Path::new(before_path))?;
+    let after = load_plans_from(Path::new(after_path))?;
+    let (Some(before), Some(after)) = (before.first(), after.first()) else {
+        return err("diff: both arguments must be single plan files");
+    };
+    let d = optimatch_qep::diff_qeps(before, after);
+    if !d.is_changed() {
+        return Ok("plans are identical\n".to_string());
+    }
+    Ok(d.to_string())
+}
+
+fn cmd_sparql(args: &Args) -> Result<String, CliError> {
+    let [plan_path, query_path] = args.positional.as_slice() else {
+        return err("sparql: expected FILE.qep QUERY.rq");
+    };
+    let plans = load_plans_from(Path::new(plan_path))?;
+    let query =
+        std::fs::read_to_string(query_path).map_err(|e| CliError(format!("{query_path}: {e}")))?;
+    let mut out = String::new();
+    for qep in &plans {
+        let graph = optimatch_core::transform_qep(qep);
+        let table =
+            optimatch_sparql::execute(&graph, &query).map_err(|e| CliError(e.to_string()))?;
+        let _ = writeln!(out, "=== {} ({} row(s)) ===", qep.id, table.len());
+        out.push_str(&table.to_string());
+    }
+    Ok(out)
+}
+
+fn cmd_kb_init(args: &Args) -> Result<String, CliError> {
+    let file = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError("kb-init: expected an output FILE.json".into()))?;
+    let kb = builtin::paper_kb();
+    kb.save(Path::new(file))
+        .map_err(|e| CliError(e.to_string()))?;
+    Ok(format!("wrote {} entries to {file}", kb.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(argv: &[&str]) -> String {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        run(&argv).expect("command succeeds")
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("optimatch-cli-{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn arg_parser_splits_flags_and_positionals() {
+        let a = Args::parse(&[
+            "dir".into(),
+            "--n".into(),
+            "5".into(),
+            "--study".into(),
+            "more".into(),
+        ]);
+        assert_eq!(a.positional, vec!["dir", "more"]);
+        assert_eq!(a.option("n"), Some("5"));
+        assert!(a.flag("study"));
+        assert!(!a.flag("missing"));
+    }
+
+    #[test]
+    fn gen_stats_tree_search_scan_pipeline() {
+        let dir = temp_dir("pipeline");
+        let out_dir = dir.join("wl");
+        let msg = run_ok(&[
+            "gen",
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--n",
+            "8",
+            "--seed",
+            "3",
+        ]);
+        assert!(msg.contains("wrote 8 QEPs"));
+
+        let stats = run_ok(&["stats", out_dir.to_str().unwrap()]);
+        assert!(stats.contains("8 QEPs"));
+
+        let search = run_ok(&[
+            "search",
+            out_dir.to_str().unwrap(),
+            "--builtin",
+            "pattern-a-nljoin-tbscan",
+        ]);
+        assert!(search.contains("pattern \"pattern-a-nljoin-tbscan\""));
+
+        let scan = run_ok(&["scan", out_dir.to_str().unwrap(), "--threads", "2"]);
+        assert!(scan.contains("scanned 8 QEP(s) against 4 KB entr(ies)"));
+
+        // tree over a single file.
+        let a_file = std::fs::read_dir(&out_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().and_then(|e| e.to_str()) == Some("qep"))
+            .expect("plan file exists");
+        let tree = run_ok(&["tree", a_file.to_str().unwrap()]);
+        assert!(tree.contains("RETURN"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rdf_and_sparql_commands() {
+        let dir = temp_dir("rdf");
+        let file = dir.join("fig1.qep");
+        std::fs::write(
+            &file,
+            optimatch_qep::format_qep(&optimatch_qep::fixtures::fig1()),
+        )
+        .expect("writes");
+
+        let ttl = run_ok(&["rdf", file.to_str().unwrap()]);
+        assert!(ttl.contains("predURI:hasPopType"));
+        let nt = run_ok(&["rdf", file.to_str().unwrap(), "--format", "ntriples"]);
+        assert!(nt.contains("<http://optimatch/pred#hasPopType>"));
+
+        let query = dir.join("q.rq");
+        std::fs::write(
+            &query,
+            "PREFIX p: <http://optimatch/pred#>\nSELECT ?t WHERE { ?x p:hasPopType ?t . } ORDER BY ?t",
+        )
+        .expect("writes");
+        let rows = run_ok(&["sparql", file.to_str().unwrap(), query.to_str().unwrap()]);
+        assert!(rows.contains("NLJOIN"));
+        assert!(rows.contains("5 row(s)"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_and_diff_commands() {
+        let dir = temp_dir("clusterdiff");
+        let out_dir = dir.join("wl");
+        run_ok(&[
+            "gen",
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--n",
+            "12",
+            "--seed",
+            "9",
+        ]);
+        let report = run_ok(&["cluster", out_dir.to_str().unwrap(), "--k", "3"]);
+        assert!(report.contains("cluster 0:"), "{report}");
+        assert!(report.contains("mean cost"), "{report}");
+
+        // diff: perturb one plan and compare.
+        let a = dir.join("a.qep");
+        let b = dir.join("b.qep");
+        let mut q = optimatch_qep::fixtures::fig1();
+        std::fs::write(&a, optimatch_qep::format_qep(&q)).expect("writes");
+        q.ops.get_mut(&1).unwrap().total_cost *= 2.0;
+        q.ops.get_mut(&2).unwrap().op_type = optimatch_qep::OpType::HsJoin;
+        std::fs::write(&b, optimatch_qep::format_qep(&q)).expect("writes");
+        let d = run_ok(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+        assert!(d.contains("total cost:"), "{d}");
+        assert!(d.contains("NLJOIN -> HSJOIN"), "{d}");
+        // Identical plans.
+        let same = run_ok(&["diff", a.to_str().unwrap(), a.to_str().unwrap()]);
+        assert!(same.contains("identical"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_json_output_is_parseable() {
+        let dir = temp_dir("scanjson");
+        let out_dir = dir.join("wl");
+        run_ok(&[
+            "gen",
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--n",
+            "6",
+            "--seed",
+            "2",
+        ]);
+        let json = run_ok(&["scan", out_dir.to_str().unwrap(), "--format", "json"]);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let reports = parsed.as_array().expect("array of reports");
+        assert_eq!(reports.len(), 6);
+        assert!(reports[0].get("qep_id").is_some());
+        assert!(reports[0].get("recommendations").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kb_init_writes_loadable_kb() {
+        let dir = temp_dir("kbinit");
+        let file = dir.join("kb.json");
+        let msg = run_ok(&["kb-init", file.to_str().unwrap()]);
+        assert!(msg.contains("wrote 4 entries"));
+        let kb = KnowledgeBase::load(&file).expect("loads");
+        assert_eq!(kb.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_are_user_facing() {
+        let run_err = |argv: &[&str]| {
+            let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+            run(&argv).expect_err("command fails")
+        };
+        assert!(run_err(&["frobnicate"]).0.contains("unknown command"));
+        assert!(run_err(&["gen"]).0.contains("--out"));
+        assert!(run_err(&["search", "/nonexistent-dir-xyz"])
+            .0
+            .contains("nonexistent"));
+        assert!(run_err(&["tree"]).0.contains("expected a plan"));
+        assert!(run_err(&["search", ".", "--builtin", "nope"])
+            .0
+            .contains("unknown built-in"));
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let help = run_ok(&["help"]);
+        for cmd in [
+            "gen", "stats", "tree", "rdf", "search", "scan", "sparql", "kb-init",
+        ] {
+            assert!(help.contains(cmd), "missing {cmd}");
+        }
+        // No command at all also prints usage.
+        assert_eq!(run(&[]).unwrap(), usage());
+    }
+}

@@ -1,0 +1,12 @@
+//! `optimatch` binary: thin wrapper over [`optimatch_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match optimatch_cli::run(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("optimatch: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Algorithm 2: compiling a problem pattern into an executable SPARQL
+//! query, layer by layer (one pop at a time), through handlers.
+//!
+//! The output follows the paper's Figure 6: a `SELECT` of the aliased
+//! result handlers, triple patterns routed through blank-node handlers for
+//! immediate relationships, property paths for descendant relationships,
+//! internal handlers + `FILTER` for property conditions, and a final
+//! `ORDER BY` on the anchor pop.
+
+use std::fmt::Write as _;
+
+use crate::handlers::HandlerGen;
+use crate::pattern::{Pattern, PatternError, Relationship, Sign};
+use crate::vocab::{self, names};
+
+/// Compilation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The pattern is structurally invalid.
+    Invalid(PatternError),
+    /// An operator type class is not recognized.
+    UnknownType(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Invalid(e) => write!(f, "invalid pattern: {e}"),
+            CompileError::UnknownType(t) => write!(f, "unknown operator type {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The known operator-type classes offered by the pattern builder.
+const JOIN_TYPES: [&str; 4] = ["NLJOIN", "HSJOIN", "MSJOIN", "ZZJOIN"];
+const SCAN_TYPES: [&str; 2] = ["TBSCAN", "IXSCAN"];
+const EXACT_TYPES: [&str; 18] = [
+    "RETURN", "NLJOIN", "HSJOIN", "MSJOIN", "ZZJOIN", "TBSCAN", "IXSCAN", "FETCH", "SORT", "GRPBY",
+    "TEMP", "FILTER", "UNION", "UNIQUE", "TQ", "RIDSCN", "IXAND", "SHIP",
+];
+
+/// The alternation of all three stream predicates (one logical hop is two
+/// path steps because edges route through blank nodes).
+fn any_stream_alt() -> String {
+    let parts: Vec<String> = vocab::STREAM_PREDICATES
+        .iter()
+        .map(|p| format!("predURI:{p}"))
+        .collect();
+    format!("({})", parts.join("|"))
+}
+
+/// Compile a pattern to SPARQL text.
+pub fn compile_pattern(pattern: &Pattern) -> Result<String, CompileError> {
+    pattern.validate().map_err(CompileError::Invalid)?;
+    let mut handlers = HandlerGen::new();
+    let mut where_clause = String::new();
+    let w = &mut where_clause;
+
+    for pop in &pattern.pops {
+        let var = handlers.result(pop.id);
+
+        // Type constraint.
+        match pop.op_type.as_str() {
+            "ANY" => {
+                // Bind through hasPopType so the handler ranges over
+                // operators (not blank nodes or base objects).
+                let ih = handlers.internal();
+                let _ = writeln!(w, "    ?{var} predURI:{} ?{ih} .", names::HAS_POP_TYPE);
+            }
+            "JOIN" => {
+                let ih = handlers.internal();
+                let _ = writeln!(w, "    ?{var} predURI:{} ?{ih} .", names::HAS_POP_TYPE);
+                let alts: Vec<String> = JOIN_TYPES
+                    .iter()
+                    .map(|t| format!("?{ih} = \"{t}\""))
+                    .collect();
+                let _ = writeln!(w, "    FILTER ({}) .", alts.join(" || "));
+            }
+            "SCAN" => {
+                let ih = handlers.internal();
+                let _ = writeln!(w, "    ?{var} predURI:{} ?{ih} .", names::HAS_POP_TYPE);
+                let alts: Vec<String> = SCAN_TYPES
+                    .iter()
+                    .map(|t| format!("?{ih} = \"{t}\""))
+                    .collect();
+                let _ = writeln!(w, "    FILTER ({}) .", alts.join(" || "));
+            }
+            "BASE OB" => {
+                let ih = handlers.internal();
+                let _ = writeln!(w, "    ?{var} predURI:{} ?{ih} .", names::IS_A_BASE_OBJ);
+            }
+            exact if EXACT_TYPES.contains(&exact) => {
+                let _ = writeln!(
+                    w,
+                    "    ?{var} predURI:{} \"{exact}\" .",
+                    names::HAS_POP_TYPE
+                );
+            }
+            other => return Err(CompileError::UnknownType(other.to_string())),
+        }
+
+        // Property conditions.
+        for cond in &pop.properties {
+            let is_numeric = optimatch_rdf::numeric::parse_numeric(&cond.value).is_some();
+            if cond.sign == Sign::Eq && !is_numeric {
+                // Exact string equality matches the stored literal directly.
+                let _ = writeln!(
+                    w,
+                    "    ?{var} predURI:{} \"{}\" .",
+                    cond.property,
+                    escape(&cond.value)
+                );
+            } else {
+                let ih = handlers.internal();
+                let _ = writeln!(w, "    ?{var} predURI:{} ?{ih} .", cond.property);
+                if is_numeric {
+                    let _ = writeln!(
+                        w,
+                        "    FILTER (?{ih} {} {}) .",
+                        cond.sign.sparql(),
+                        cond.value
+                    );
+                } else {
+                    let _ = writeln!(
+                        w,
+                        "    FILTER (?{ih} {} \"{}\") .",
+                        cond.sign.sparql(),
+                        escape(&cond.value)
+                    );
+                }
+            }
+        }
+
+        // Optional reported properties: OPTIONAL blocks binding the alias.
+        for opt in &pop.optional_properties {
+            let _ = writeln!(
+                w,
+                "    OPTIONAL {{ ?{var} predURI:{} ?{} . }} .",
+                opt.property, opt.alias
+            );
+        }
+
+        // Absence conditions compile to NOT EXISTS subpatterns.
+        for prop in &pop.absent_properties {
+            let ih = handlers.internal();
+            let _ = writeln!(
+                w,
+                "    FILTER NOT EXISTS {{ ?{var} predURI:{prop} ?{ih} . }} ."
+            );
+        }
+
+        // Cross-operator comparisons: bind both sides through internal
+        // handlers and FILTER on the pair. Comparisons are numeric-coerced
+        // by the engine, matching how costs are stored.
+        for cross in &pop.cross_conditions {
+            let left = handlers.internal();
+            let right = handlers.internal();
+            let other_var = handlers.result(cross.other);
+            let _ = writeln!(w, "    ?{var} predURI:{} ?{left} .", cross.property);
+            let _ = writeln!(
+                w,
+                "    ?{other_var} predURI:{} ?{right} .",
+                cross.other_property
+            );
+            let _ = writeln!(w, "    FILTER (?{left} {} ?{right}) .", cross.sign.sparql());
+        }
+
+        // Stream relationships.
+        for stream in &pop.streams {
+            let child_var = handlers.result(stream.target);
+            match stream.relationship {
+                Relationship::Immediate => match stream.kind.predicate() {
+                    Some(p) => {
+                        // Figure-6 style: explicit blank-node handler with
+                        // hasOutputStream back edges.
+                        let b = handlers.bnode(stream.target, pop.id);
+                        let _ = writeln!(w, "    ?{var} predURI:{p} ?{b} .");
+                        let _ = writeln!(w, "    ?{b} predURI:{p} ?{child_var} .");
+                        let _ = writeln!(
+                            w,
+                            "    ?{child_var} predURI:{} ?{b} .",
+                            names::HAS_OUTPUT_STREAM
+                        );
+                        let _ =
+                            writeln!(w, "    ?{b} predURI:{} ?{var} .", names::HAS_OUTPUT_STREAM);
+                    }
+                    None => {
+                        // Any-kind immediate hop: one alternation path of
+                        // exactly two steps through the blank node.
+                        let alt = any_stream_alt();
+                        let b = handlers.bnode(stream.target, pop.id);
+                        let _ = writeln!(w, "    ?{var} {alt} ?{b} .");
+                        let _ = writeln!(w, "    ?{b} {alt} ?{child_var} .");
+                        let _ =
+                            writeln!(w, "    ?{b} predURI:{} ?{var} .", names::HAS_OUTPUT_STREAM);
+                    }
+                },
+                Relationship::Descendant => {
+                    // Recursive property path; the first hop can be
+                    // kind-specific, the rest are any-stream pairs.
+                    let alt = any_stream_alt();
+                    let pair = format!("({alt}/{alt})");
+                    match stream.kind.predicate() {
+                        Some(p) => {
+                            let _ = writeln!(
+                                w,
+                                "    ?{var} predURI:{p}/predURI:{p}/{pair}* ?{child_var} ."
+                            );
+                        }
+                        None => {
+                            let _ = writeln!(w, "    ?{var} {pair}+ ?{child_var} .");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Projection: aliased pops when any alias exists (the paper's way to
+    // limit returned result handlers), every pop otherwise.
+    let any_alias = pattern.pops.iter().any(|p| p.alias.is_some());
+    let mut select_items = Vec::new();
+    for pop in &pattern.pops {
+        let var = format!("pop{}", pop.id);
+        match (&pop.alias, any_alias) {
+            (Some(alias), _) => select_items.push(format!("?{var} AS ?{alias}")),
+            (None, false) => select_items.push(format!("?{var}")),
+            (None, true) => {}
+        }
+        for opt in &pop.optional_properties {
+            select_items.push(format!("?{}", opt.alias));
+        }
+    }
+
+    let anchor = pattern.pops.first().expect("validated non-empty").id;
+    let mut out = vocab::sparql_prologue();
+    let _ = writeln!(out, "SELECT {}", select_items.join(" "));
+    let _ = writeln!(out, "WHERE {{");
+    out.push_str(&where_clause);
+    let _ = writeln!(out, "}}");
+    let _ = writeln!(out, "ORDER BY ?pop{anchor}");
+    Ok(out)
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternPop;
+    use crate::vocab::names;
+
+    fn pattern_a() -> Pattern {
+        crate::builtin::pattern_a().pattern
+    }
+
+    #[test]
+    fn compiles_pattern_a_to_figure6_shape() {
+        let sparql = compile_pattern(&pattern_a()).unwrap();
+        // Prologue and projection with aliases.
+        assert!(sparql.contains("PREFIX predURI:"));
+        assert!(sparql.contains("?pop1 AS ?TOP"));
+        // Type triples.
+        assert!(sparql.contains("?pop1 predURI:hasPopType \"NLJOIN\""));
+        assert!(sparql.contains("?pop3 predURI:hasPopType \"TBSCAN\""));
+        // Blank-node handlers with back edges.
+        assert!(sparql.contains("predURI:hasOuterInputStream ?bnodeOfPop2_to_pop1"));
+        assert!(sparql.contains("predURI:hasOutputStream"));
+        // Internal handler + FILTER for the cardinality condition.
+        assert!(sparql.contains("predURI:hasEstimateCardinality ?internalHandler"));
+        assert!(sparql.contains("> 100"));
+        // Base object check.
+        assert!(sparql.contains("predURI:isABaseObj"));
+        assert!(sparql.trim_end().ends_with("ORDER BY ?pop1"));
+    }
+
+    #[test]
+    fn generated_sparql_parses() {
+        for entry in crate::builtin::paper_entries() {
+            let sparql = compile_pattern(&entry.pattern).unwrap();
+            optimatch_sparql::parse_query(&sparql)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{sparql}", entry.name));
+        }
+    }
+
+    #[test]
+    fn descendant_relationships_become_property_paths() {
+        let sparql = compile_pattern(&crate::builtin::pattern_b().pattern).unwrap();
+        assert!(
+            sparql.contains("predURI:hasOuterInputStream/predURI:hasOuterInputStream/"),
+            "{sparql}"
+        );
+        assert!(sparql.contains(")*"), "{sparql}");
+        let q = optimatch_sparql::parse_query(&sparql).unwrap();
+        // At least one triple pattern carries a recursive path.
+        fn has_recursive(g: &optimatch_sparql::ast::GroupGraphPattern) -> bool {
+            g.elements.iter().any(|e| match e {
+                optimatch_sparql::ast::PatternElement::Triple(t) => t.path.is_recursive(),
+                _ => false,
+            })
+        }
+        assert!(has_recursive(&q.where_clause));
+    }
+
+    #[test]
+    fn join_class_compiles_to_type_alternation_filter() {
+        let p = Pattern::new("j", "").with_pop(PatternPop::new(1, "JOIN"));
+        let sparql = compile_pattern(&p).unwrap();
+        assert!(sparql.contains("= \"NLJOIN\""));
+        assert!(sparql.contains("|| ?internalHandler1 = \"ZZJOIN\""));
+        optimatch_sparql::parse_query(&sparql).unwrap();
+    }
+
+    #[test]
+    fn string_equality_matches_literal_directly() {
+        let p = Pattern::new("s", "").with_pop(PatternPop::new(1, "ANY").prop(
+            names::HAS_JOIN_TYPE,
+            Sign::Eq,
+            "LEFT OUTER",
+        ));
+        let sparql = compile_pattern(&p).unwrap();
+        assert!(sparql.contains("predURI:hasJoinType \"LEFT OUTER\""));
+        assert!(!sparql.contains("FILTER (?internalHandler2"));
+    }
+
+    #[test]
+    fn numeric_equality_goes_through_filter() {
+        // "= 100" must compare numerically ("100.0" in storage), not
+        // lexically.
+        let p = Pattern::new("n", "").with_pop(PatternPop::new(1, "ANY").prop(
+            names::HAS_ESTIMATE_CARDINALITY,
+            Sign::Eq,
+            "100",
+        ));
+        let sparql = compile_pattern(&p).unwrap();
+        assert!(sparql.contains("FILTER (?internalHandler2 = 100)"));
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let p = Pattern::new("u", "").with_pop(PatternPop::new(1, "WHATEVER"));
+        assert!(matches!(
+            compile_pattern(&p),
+            Err(CompileError::UnknownType(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_pattern_is_rejected() {
+        let p = Pattern::new("e", "");
+        assert!(matches!(compile_pattern(&p), Err(CompileError::Invalid(_))));
+    }
+
+    #[test]
+    fn cross_conditions_compile_to_pairwise_filters() {
+        let sparql = compile_pattern(&crate::builtin::pattern_d().pattern).unwrap();
+        // Both sides bound through internal handlers, compared in FILTER.
+        assert!(
+            sparql.contains("?pop1 predURI:hasIOCost ?internalHandler"),
+            "{sparql}"
+        );
+        assert!(
+            sparql.contains("?pop2 predURI:hasIOCost ?internalHandler"),
+            "{sparql}"
+        );
+        let filter_line = sparql
+            .lines()
+            .find(|l| l.contains("FILTER") && l.contains(" > ?internalHandler"))
+            .unwrap_or_else(|| panic!("no pairwise filter in {sparql}"));
+        assert!(filter_line.contains("?internalHandler"));
+        optimatch_sparql::parse_query(&sparql).unwrap();
+    }
+
+    #[test]
+    fn cross_condition_against_unknown_pop_is_rejected() {
+        let p = Pattern::new("x", "").with_pop(PatternPop::new(1, "SORT").cross(
+            names::HAS_IO_COST,
+            Sign::Gt,
+            9,
+            names::HAS_IO_COST,
+        ));
+        assert!(matches!(compile_pattern(&p), Err(CompileError::Invalid(_))));
+    }
+
+    #[test]
+    fn no_alias_projects_all_pops() {
+        let p = Pattern::new("p", "")
+            .with_pop(PatternPop::new(1, "SORT"))
+            .with_pop(PatternPop::new(2, "ANY"));
+        let sparql = compile_pattern(&p).unwrap();
+        assert!(sparql.contains("SELECT ?pop1 ?pop2"));
+    }
+}

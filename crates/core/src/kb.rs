@@ -1,0 +1,416 @@
+//! The knowledge base (Algorithms 4 and 5).
+//!
+//! Experts store problem patterns together with recommendation templates;
+//! users run their whole workload against every stored entry and receive
+//! context-adapted, confidence-ranked recommendations. Entries persist as
+//! JSON (pattern + template + prototype statistics), and each entry also
+//! stores its compiled SPARQL — the paper keeps both the executable query
+//! and the RDF/JSON description of the pattern.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matcher::{MatchError, Matcher, PatternMatch};
+use crate::pattern::Pattern;
+use crate::rank::{self, Prototype};
+use crate::tagging::{Template, TemplateError};
+use crate::transform::TransformedQep;
+
+/// One expert-provided entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnowledgeBaseEntry {
+    /// Stable entry name.
+    pub name: String,
+    /// What the problem is.
+    pub description: String,
+    /// The problem pattern (static semantics: *what is wrong*).
+    pub pattern: Pattern,
+    /// The recommendation template in the tagging language (dynamic
+    /// semantics: *how to report and fix it*).
+    pub recommendation: String,
+    /// Feature profile for confidence scoring.
+    #[serde(default)]
+    pub prototype: Prototype,
+}
+
+/// A rendered, scored recommendation for one QEP.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Recommendation {
+    /// The KB entry that fired.
+    pub entry: String,
+    /// The rendered recommendation text (context adapted).
+    pub text: String,
+    /// Confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Number of occurrences matched in the QEP.
+    pub occurrences: usize,
+}
+
+/// Everything the scan produced for one QEP.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QepReport {
+    /// The QEP id.
+    pub qep_id: String,
+    /// Ranked recommendations (highest confidence first); empty when
+    /// "There is currently no recommendation in knowledge base"
+    /// (Algorithm 5's else branch).
+    pub recommendations: Vec<Recommendation>,
+}
+
+impl QepReport {
+    /// Algorithm 5's user-facing message for empty reports.
+    pub fn message(&self) -> String {
+        if self.recommendations.is_empty() {
+            "There is currently no recommendation in knowledge base".to_string()
+        } else {
+            self.recommendations
+                .iter()
+                .map(|r| format!("[{:.2}] {}: {}", r.confidence, r.entry, r.text))
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+    }
+}
+
+/// Errors adding entries to the KB.
+#[derive(Debug)]
+pub enum KbError {
+    /// The entry's pattern does not compile.
+    Pattern(MatchError),
+    /// The entry's recommendation template does not parse.
+    Template(TemplateError),
+    /// An entry with this name already exists.
+    Duplicate(String),
+    /// Persistence failed.
+    Io(std::io::Error),
+    /// JSON (de)serialization failed.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for KbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KbError::Pattern(e) => write!(f, "pattern error: {e}"),
+            KbError::Template(e) => write!(f, "template error: {e}"),
+            KbError::Duplicate(n) => write!(f, "duplicate entry name {n:?}"),
+            KbError::Io(e) => write!(f, "I/O error: {e}"),
+            KbError::Json(e) => write!(f, "JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KbError {}
+
+/// A compiled entry: pattern matcher + parsed template.
+struct CompiledEntry {
+    matcher: Matcher,
+    template: Template,
+}
+
+/// The knowledge base: entries plus their compiled forms.
+#[derive(Default)]
+pub struct KnowledgeBase {
+    entries: Vec<KnowledgeBaseEntry>,
+    compiled: Vec<CompiledEntry>,
+}
+
+impl std::fmt::Debug for KnowledgeBase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KnowledgeBase")
+            .field("entries", &self.entries.len())
+            .finish()
+    }
+}
+
+impl KnowledgeBase {
+    /// An empty knowledge base.
+    pub fn new() -> KnowledgeBase {
+        KnowledgeBase::default()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored entries.
+    pub fn entries(&self) -> &[KnowledgeBaseEntry] {
+        &self.entries
+    }
+
+    /// Algorithm 4: store an entry. The pattern is compiled to SPARQL and
+    /// the recommendation template parsed immediately, so a KB never holds
+    /// an entry it cannot execute.
+    pub fn add(&mut self, entry: KnowledgeBaseEntry) -> Result<(), KbError> {
+        if self.entries.iter().any(|e| e.name == entry.name) {
+            return Err(KbError::Duplicate(entry.name));
+        }
+        let matcher = Matcher::compile(&entry.pattern).map_err(KbError::Pattern)?;
+        let template = Template::parse(&entry.recommendation).map_err(KbError::Template)?;
+        self.entries.push(entry);
+        self.compiled.push(CompiledEntry { matcher, template });
+        Ok(())
+    }
+
+    /// The compiled SPARQL of an entry, by name.
+    pub fn sparql_of(&self, name: &str) -> Option<&str> {
+        let idx = self.entries.iter().position(|e| e.name == name)?;
+        Some(self.compiled[idx].matcher.sparql())
+    }
+
+    /// Algorithm 5: scan one QEP against every entry, returning ranked,
+    /// context-adapted recommendations.
+    pub fn scan_qep(&self, t: &TransformedQep) -> Result<QepReport, MatchError> {
+        let mut recommendations = Vec::new();
+        for (entry, compiled) in self.entries.iter().zip(&self.compiled) {
+            let matches: Vec<PatternMatch> = compiled.matcher.find(t)?;
+            if matches.is_empty() {
+                continue;
+            }
+            let text = compiled.template.render(&matches, &t.qep);
+            let confidence = best_confidence(entry, &matches, t);
+            recommendations.push(Recommendation {
+                entry: entry.name.clone(),
+                text,
+                confidence,
+                occurrences: matches.len(),
+            });
+        }
+        recommendations.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Ok(QepReport {
+            qep_id: t.qep.id.clone(),
+            recommendations,
+        })
+    }
+
+    /// Scan a whole workload (the loop of Algorithm 5). Per-entry
+    /// confidences are additionally weighted by their workload-level
+    /// correlation with cost impact (§2.3's statistical correlation
+    /// analysis), then re-ranked within each report.
+    pub fn scan_workload(&self, workload: &[TransformedQep]) -> Result<Vec<QepReport>, MatchError> {
+        let mut reports = Vec::with_capacity(workload.len());
+        for t in workload {
+            reports.push(self.scan_qep(t)?);
+        }
+        self.apply_workload_weighting(&mut reports, workload);
+        Ok(reports)
+    }
+
+    /// The workload-level statistical weighting step of Algorithm 5,
+    /// factored out so parallel scans (per-QEP fan-out) can apply it once
+    /// over the combined result and agree exactly with the sequential
+    /// path. `reports` must align 1:1 with `workload`.
+    pub fn apply_workload_weighting(&self, reports: &mut [QepReport], workload: &[TransformedQep]) {
+        for entry in &self.entries {
+            let mut confidences = Vec::new();
+            let mut impacts = Vec::new();
+            for (report, t) in reports.iter().zip(workload) {
+                if let Some(r) = report
+                    .recommendations
+                    .iter()
+                    .find(|r| r.entry == entry.name)
+                {
+                    confidences.push(r.confidence);
+                    impacts.push(t.qep.total_cost().log10().max(0.0));
+                }
+            }
+            let weight = rank::correlation_weight(&confidences, &impacts);
+            if (weight - 1.0).abs() > f64::EPSILON {
+                for report in reports.iter_mut() {
+                    for r in &mut report.recommendations {
+                        if r.entry == entry.name {
+                            r.confidence = (r.confidence * weight).clamp(0.0, 1.0);
+                        }
+                    }
+                }
+            }
+        }
+        for report in reports.iter_mut() {
+            report.recommendations.sort_by(|a, b| {
+                b.confidence
+                    .partial_cmp(&a.confidence)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+    }
+
+    /// Serialize all entries to JSON.
+    pub fn to_json(&self) -> Result<String, KbError> {
+        serde_json::to_string_pretty(&self.entries).map_err(KbError::Json)
+    }
+
+    /// Rebuild a KB from JSON, recompiling every entry.
+    pub fn from_json(json: &str) -> Result<KnowledgeBase, KbError> {
+        let entries: Vec<KnowledgeBaseEntry> = serde_json::from_str(json).map_err(KbError::Json)?;
+        let mut kb = KnowledgeBase::new();
+        for entry in entries {
+            kb.add(entry)?;
+        }
+        Ok(kb)
+    }
+
+    /// Persist to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), KbError> {
+        std::fs::write(path, self.to_json()?).map_err(KbError::Io)
+    }
+
+    /// Load from a file.
+    pub fn load(path: &std::path::Path) -> Result<KnowledgeBase, KbError> {
+        let json = std::fs::read_to_string(path).map_err(KbError::Io)?;
+        KnowledgeBase::from_json(&json)
+    }
+}
+
+/// The confidence of the best occurrence in this QEP.
+fn best_confidence(
+    entry: &KnowledgeBaseEntry,
+    matches: &[PatternMatch],
+    t: &TransformedQep,
+) -> f64 {
+    matches
+        .iter()
+        .filter_map(|m| m.anchor_pop())
+        .filter_map(|id| rank::features_for(&t.qep, id))
+        .map(|f| rank::confidence(entry.prototype, f))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+    use optimatch_qep::fixtures;
+
+    fn workload() -> Vec<TransformedQep> {
+        [fixtures::fig1(), fixtures::fig7(), fixtures::fig8()]
+            .into_iter()
+            .map(TransformedQep::new)
+            .collect()
+    }
+
+    #[test]
+    fn add_compiles_eagerly_and_rejects_bad_entries() {
+        let mut kb = KnowledgeBase::new();
+        kb.add(builtin::pattern_a()).unwrap();
+        assert_eq!(kb.len(), 1);
+        assert!(kb
+            .sparql_of(&builtin::pattern_a().name)
+            .unwrap()
+            .contains("SELECT"));
+
+        // Duplicate name.
+        assert!(matches!(
+            kb.add(builtin::pattern_a()),
+            Err(KbError::Duplicate(_))
+        ));
+
+        // Bad template.
+        let mut bad = builtin::pattern_b();
+        bad.recommendation = "@[unclosed".into();
+        assert!(matches!(kb.add(bad), Err(KbError::Template(_))));
+
+        // Bad pattern.
+        let mut bad = builtin::pattern_c();
+        bad.name = "other".into();
+        bad.pattern.pops.clear();
+        assert!(matches!(kb.add(bad), Err(KbError::Pattern(_))));
+    }
+
+    #[test]
+    fn scan_returns_context_adapted_recommendations() {
+        let kb = builtin::paper_kb();
+        let w = workload();
+        let report = kb.scan_qep(&w[0]).unwrap();
+        assert_eq!(report.qep_id, "fig1");
+        assert_eq!(report.recommendations.len(), 1);
+        let rec = &report.recommendations[0];
+        assert_eq!(rec.entry, builtin::pattern_a().name);
+        // The stored template knew nothing about CUST_DIM; the context did.
+        assert!(rec.text.contains("BIGD.CUST_DIM"), "{}", rec.text);
+        assert!(rec.confidence > 0.0 && rec.confidence <= 1.0);
+    }
+
+    #[test]
+    fn empty_report_message_matches_algorithm5() {
+        let kb = builtin::paper_kb();
+        // A plan matching nothing: a single RETURN over a SORT.
+        use optimatch_qep::{InputSource, InputStream, OpType, PlanOp, Qep, StreamKind};
+        let mut q = Qep::new("empty");
+        let mut ret = PlanOp::new(1, OpType::Return);
+        ret.inputs.push(InputStream {
+            kind: StreamKind::Generic,
+            source: InputSource::Op(2),
+            estimated_rows: 1.0,
+        });
+        q.insert_op(ret);
+        q.insert_op(PlanOp::new(2, OpType::Sort));
+        let report = kb.scan_qep(&TransformedQep::new(q)).unwrap();
+        assert_eq!(
+            report.message(),
+            "There is currently no recommendation in knowledge base"
+        );
+    }
+
+    #[test]
+    fn reports_rank_by_confidence() {
+        let kb = builtin::paper_kb();
+        let w = workload();
+        for report in kb.scan_workload(&w).unwrap() {
+            for pair in report.recommendations.windows(2) {
+                assert!(pair[0].confidence >= pair[1].confidence);
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_gets_rewrite_and_statistics_recommendations() {
+        let kb = builtin::paper_kb();
+        let w = workload();
+        let report = kb.scan_qep(&w[1]).unwrap();
+        let names: Vec<&str> = report
+            .recommendations
+            .iter()
+            .map(|r| r.entry.as_str())
+            .collect();
+        assert!(
+            names.contains(&builtin::pattern_b().name.as_str()),
+            "{names:?}"
+        );
+        assert!(
+            names.contains(&builtin::pattern_c().name.as_str()),
+            "{names:?}"
+        );
+    }
+
+    #[test]
+    fn json_round_trip_preserves_behaviour() {
+        let kb = builtin::paper_kb();
+        let json = kb.to_json().unwrap();
+        let back = KnowledgeBase::from_json(&json).unwrap();
+        assert_eq!(back.len(), kb.len());
+        let w = workload();
+        let a = kb.scan_qep(&w[0]).unwrap();
+        let b = back.scan_qep(&w[0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn file_persistence() {
+        let kb = builtin::paper_kb();
+        let dir = std::env::temp_dir().join("optimatch-kb-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kb.json");
+        kb.save(&path).unwrap();
+        let back = KnowledgeBase::load(&path).unwrap();
+        assert_eq!(back.len(), kb.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

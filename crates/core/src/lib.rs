@@ -1,0 +1,52 @@
+//! # optimatch-core
+//!
+//! The OptImatch system (EDBT 2016): query-performance problem
+//! determination over query execution plans via RDF and SPARQL, with an
+//! expert knowledge base of patterns and recommendations.
+//!
+//! The pipeline mirrors the paper's architecture (its Figure 4):
+//!
+//! 1. [`transform`] — **Algorithm 1**: each QEP becomes an RDF graph.
+//!    Operators are resources, properties are predicates, input/output
+//!    streams run through *blank nodes* so shared subtrees stay
+//!    unambiguous; derived properties like `hasTotalCostIncrease` are
+//!    computed during transformation.
+//! 2. [`pattern`] — the pattern-builder model: what the paper's web GUI
+//!    produces, serialized as JSON (its Figure 5).
+//! 3. [`compile`] — **Algorithm 2**: patterns compile to SPARQL through
+//!    four kinds of [`handlers`]: result handlers (`?pop1`), internal
+//!    handlers (`?internalHandler1` for FILTERs), relationship handlers,
+//!    and blank-node handlers (`?bnodeOfPop2_to_pop1`). Descendant
+//!    relationships become SPARQL property paths (recursion).
+//! 4. [`matcher`] — **Algorithm 3**: the SPARQL query runs against each
+//!    QEP's RDF graph and matched portions are *de-transformed* back into
+//!    plan context (operator numbers, base objects).
+//! 5. [`kb`] + [`tagging`] + [`rank`] — **Algorithms 4–5**: the knowledge
+//!    base stores patterns with recommendation templates written in the
+//!    tagging language (`@alias`, `@[a,b]`, `@limit(n)`, helper functions
+//!    over predicates and columns); matches are ranked by statistical
+//!    correlation analysis with a confidence score.
+//! 6. [`builtin`] — the paper's Patterns A–D with their recommendations.
+//! 7. [`cluster`] — cost-based workload clustering with per-cluster
+//!    pattern correlation (the fourth §1.1 use case).
+//! 8. [`session`] — the `OptImatch` facade tying it all together for
+//!    workload-scale analysis.
+
+pub mod builtin;
+pub mod cluster;
+pub mod compile;
+pub mod handlers;
+pub mod kb;
+pub mod matcher;
+pub mod pattern;
+pub mod rank;
+pub mod session;
+pub mod tagging;
+pub mod transform;
+pub mod vocab;
+
+pub use kb::{KnowledgeBase, KnowledgeBaseEntry, Recommendation};
+pub use matcher::{MatchBinding, Matcher, PatternMatch};
+pub use pattern::{Pattern, PatternPop, PropertyCondition, Relationship, Sign, StreamSpec};
+pub use session::OptImatch;
+pub use transform::{transform_qep, TransformedQep};

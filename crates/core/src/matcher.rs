@@ -1,0 +1,327 @@
+//! Algorithm 3: finding matches.
+//!
+//! A [`Matcher`] holds a pattern compiled to SPARQL (parsed once — the
+//! workload loop re-executes it against every QEP's graph). Matched
+//! solutions are **de-transformed**: RDF resources are mapped back to plan
+//! context — operator numbers with their types, and base objects by name —
+//! which is what the paper's step "relates any matched portions of RDF
+//! structure back to corresponding query plan" produces.
+
+use optimatch_rdf::Term;
+use optimatch_sparql::{ast, execute_parsed, parse_query, SparqlError};
+
+use crate::compile::{compile_pattern, CompileError};
+use crate::pattern::Pattern;
+use crate::transform::TransformedQep;
+use crate::vocab;
+
+/// Errors surfaced by matching.
+#[derive(Debug)]
+pub enum MatchError {
+    /// The pattern failed to compile.
+    Compile(CompileError),
+    /// The generated SPARQL failed to parse or evaluate (a bug if it ever
+    /// happens — generated queries are tested to parse).
+    Sparql(SparqlError),
+}
+
+impl std::fmt::Display for MatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchError::Compile(e) => write!(f, "{e}"),
+            MatchError::Sparql(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MatchError {}
+
+impl From<CompileError> for MatchError {
+    fn from(e: CompileError) -> MatchError {
+        MatchError::Compile(e)
+    }
+}
+
+impl From<SparqlError> for MatchError {
+    fn from(e: SparqlError) -> MatchError {
+        MatchError::Sparql(e)
+    }
+}
+
+/// What a result handler bound to, in plan terms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchTarget {
+    /// A plan operator.
+    Pop {
+        /// Operator number.
+        id: u32,
+        /// Operator mnemonic (with modifier prefix, e.g. `>HSJOIN`).
+        display: String,
+    },
+    /// A base object by qualified name.
+    Object(String),
+    /// A plain value (rare: patterns projecting literals).
+    Value(String),
+}
+
+impl MatchTarget {
+    /// Short human-readable form used in reports and tagging.
+    pub fn display(&self) -> String {
+        match self {
+            MatchTarget::Pop { id, display } => format!("{display} (#{id})"),
+            MatchTarget::Object(name) => name.clone(),
+            MatchTarget::Value(v) => v.clone(),
+        }
+    }
+
+    /// The operator number, when the target is an operator.
+    pub fn pop_id(&self) -> Option<u32> {
+        match self {
+            MatchTarget::Pop { id, .. } => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// One projected column of one match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchBinding {
+    /// The projection name (the alias, or `popN`).
+    pub name: String,
+    /// The de-transformed target.
+    pub target: MatchTarget,
+}
+
+/// One occurrence of a pattern in one QEP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternMatch {
+    /// The QEP's id.
+    pub qep_id: String,
+    /// Bindings in projection order.
+    pub bindings: Vec<MatchBinding>,
+}
+
+impl PatternMatch {
+    /// Look up a binding by name (alias).
+    pub fn binding(&self, name: &str) -> Option<&MatchTarget> {
+        self.bindings
+            .iter()
+            .find(|b| b.name == name)
+            .map(|b| &b.target)
+    }
+
+    /// The first operator binding (the pattern's anchor) — used for
+    /// ranking features.
+    pub fn anchor_pop(&self) -> Option<u32> {
+        self.bindings.iter().find_map(|b| b.target.pop_id())
+    }
+}
+
+/// A pattern compiled and parsed, ready to run across a workload.
+#[derive(Debug, Clone)]
+pub struct Matcher {
+    pattern: Pattern,
+    sparql: String,
+    query: ast::Query,
+}
+
+impl Matcher {
+    /// Compile a pattern (Algorithm 2) and parse the generated SPARQL.
+    pub fn compile(pattern: &Pattern) -> Result<Matcher, MatchError> {
+        let sparql = compile_pattern(pattern)?;
+        let query = parse_query(&sparql)?;
+        Ok(Matcher {
+            pattern: pattern.clone(),
+            sparql,
+            query,
+        })
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The generated SPARQL text (the paper's Figure 6 equivalent).
+    pub fn sparql(&self) -> &str {
+        &self.sparql
+    }
+
+    /// Match against one transformed QEP, de-transforming solutions.
+    pub fn find(&self, t: &TransformedQep) -> Result<Vec<PatternMatch>, MatchError> {
+        let table = execute_parsed(&t.graph, &self.query)?;
+        let mut out = Vec::with_capacity(table.len());
+        for row in 0..table.len() {
+            let mut bindings = Vec::with_capacity(table.vars().len());
+            for var in table.vars() {
+                let Some(term) = table.get(row, var) else {
+                    continue;
+                };
+                bindings.push(MatchBinding {
+                    name: var.clone(),
+                    target: detransform(term, t),
+                });
+            }
+            out.push(PatternMatch {
+                qep_id: t.qep.id.clone(),
+                bindings,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Match across a workload, concatenating per-QEP matches
+    /// (the loop of Algorithm 3).
+    pub fn find_in_workload(
+        &self,
+        workload: &[TransformedQep],
+    ) -> Result<Vec<PatternMatch>, MatchError> {
+        let mut out = Vec::new();
+        for t in workload {
+            out.extend(self.find(t)?);
+        }
+        Ok(out)
+    }
+
+    /// The QEP ids with at least one match — the granularity of the
+    /// paper's workload experiments ("N QEP files match the pattern").
+    pub fn matching_qep_ids(&self, workload: &[TransformedQep]) -> Result<Vec<String>, MatchError> {
+        let mut ids = Vec::new();
+        for t in workload {
+            if !self.find(t)?.is_empty() {
+                ids.push(t.qep.id.clone());
+            }
+        }
+        Ok(ids)
+    }
+}
+
+/// Map an RDF term back into plan context.
+fn detransform(term: &Term, t: &TransformedQep) -> MatchTarget {
+    match term {
+        Term::Iri(iri) => {
+            if let Some(id) = vocab::iri_to_pop_id(iri) {
+                let display = t
+                    .qep
+                    .op(id)
+                    .map(|op| op.display_name())
+                    .unwrap_or_else(|| "?".to_string());
+                return MatchTarget::Pop { id, display };
+            }
+            if vocab::is_object_iri(iri) {
+                // Recover the qualified name by matching known objects.
+                for name in t.qep.base_objects.keys() {
+                    if vocab::object_iri(name) == *iri {
+                        return MatchTarget::Object(name.clone());
+                    }
+                }
+            }
+            MatchTarget::Value(iri.clone())
+        }
+        other => MatchTarget::Value(other.display_text().into_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+    use optimatch_qep::fixtures;
+
+    fn workload() -> Vec<TransformedQep> {
+        [fixtures::fig1(), fixtures::fig7(), fixtures::fig8()]
+            .into_iter()
+            .map(TransformedQep::new)
+            .collect()
+    }
+
+    #[test]
+    fn pattern_a_matches_figure1_only() {
+        let m = Matcher::compile(&builtin::pattern_a().pattern).unwrap();
+        let w = workload();
+        let ids = m.matching_qep_ids(&w).unwrap();
+        assert_eq!(ids, vec!["fig1"]);
+
+        let matches = m.find(&w[0]).unwrap();
+        assert_eq!(matches.len(), 1);
+        let top = matches[0].binding("TOP").unwrap();
+        assert_eq!(top.pop_id(), Some(2));
+        let base = matches[0].binding("BASE4").unwrap();
+        assert_eq!(base, &MatchTarget::Object("BIGD.CUST_DIM".into()));
+    }
+
+    #[test]
+    fn pattern_b_matches_figure7_through_temp_chain() {
+        let m = Matcher::compile(&builtin::pattern_b().pattern).unwrap();
+        let w = workload();
+        let ids = m.matching_qep_ids(&w).unwrap();
+        assert_eq!(ids, vec!["fig7"]);
+        // The match anchors at the top NLJOIN(5); the inner-side LOJ is
+        // three levels down — only reachable recursively.
+        let matches = m.find(&w[1]).unwrap();
+        assert!(matches
+            .iter()
+            .any(|mm| mm.binding("TOP").and_then(|t| t.pop_id()) == Some(5)));
+    }
+
+    #[test]
+    fn pattern_c_matches_figures7_and_8() {
+        // Both contain an IXSCAN with collapsed cardinality over a huge
+        // object (fig7 reuses the fig8 scan as its LOJ inner).
+        let m = Matcher::compile(&builtin::pattern_c().pattern).unwrap();
+        let ids = m.matching_qep_ids(&workload()).unwrap();
+        assert!(ids.contains(&"fig8".to_string()));
+    }
+
+    #[test]
+    fn pattern_d_matches_nothing_in_fixtures() {
+        let m = Matcher::compile(&builtin::pattern_d().pattern).unwrap();
+        assert!(m.matching_qep_ids(&workload()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn detransform_names_operators_with_modifiers() {
+        let m = Matcher::compile(&builtin::pattern_b().pattern).unwrap();
+        let w = workload();
+        let matches = m.find(&w[1]).unwrap();
+        let any_loj = matches.iter().any(|mm| {
+            mm.bindings
+                .iter()
+                .any(|b| b.target.display().starts_with('>'))
+        });
+        assert!(any_loj, "expected a >JOIN binding in {matches:?}");
+    }
+
+    #[test]
+    fn optional_properties_report_when_present() {
+        use crate::pattern::{Pattern, PatternPop};
+        // Report the MAXPAGES argument of TBSCANs when present.
+        let p = Pattern::new("opt", "").with_pop(
+            PatternPop::new(1, "TBSCAN")
+                .alias("SCAN")
+                .optional_prop("hasArgMAXPAGES", "MAXPAGES"),
+        );
+        let m = Matcher::compile(&p).unwrap();
+        let w = workload();
+        // fig1's TBSCAN(5) carries MAXPAGES=ALL.
+        let hits = m.find(&w[0]).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(
+            hits[0].binding("MAXPAGES"),
+            Some(&MatchTarget::Value("ALL".into()))
+        );
+        // fig7's TBSCANs have no arguments: still matched, alias unbound.
+        let hits = m.find(&w[1]).unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.binding("MAXPAGES").is_none()));
+    }
+
+    #[test]
+    fn find_in_workload_concatenates() {
+        let m = Matcher::compile(&builtin::pattern_c().pattern).unwrap();
+        let w = workload();
+        let all = m.find_in_workload(&w).unwrap();
+        let per_qep: usize = w.iter().map(|t| m.find(t).unwrap().len()).sum();
+        assert_eq!(all.len(), per_qep);
+    }
+}

@@ -1,0 +1,500 @@
+//! The problem-pattern model — what the paper's web-based pattern builder
+//! (its Figure 3) produces and serializes as JSON (its Figure 5).
+//!
+//! A pattern is a set of operator descriptions (`pops`) with property
+//! conditions and typed stream relationships between them. Operator types
+//! may be exact mnemonics (`"NLJOIN"`), the wildcard `"ANY"`, the classes
+//! `"JOIN"` / `"SCAN"`, or `"BASE OB"` for base objects — the same
+//! choices the paper's GUI offers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vocab::names;
+
+/// A complete problem pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pattern {
+    /// Stable identifier (used as the KB key).
+    pub name: String,
+    /// Human-readable description of the problem.
+    #[serde(default)]
+    pub description: String,
+    /// Operator descriptions, in builder order. The first pop is the
+    /// pattern's anchor (used for ORDER BY and ranking features).
+    pub pops: Vec<PatternPop>,
+}
+
+/// One operator description in a pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternPop {
+    /// Identifier within the pattern (the `ID` of the paper's Figure 5).
+    pub id: u32,
+    /// `"NLJOIN"`, `"ANY"`, `"JOIN"`, `"SCAN"`, `"BASE OB"`, ….
+    #[serde(rename = "type")]
+    pub op_type: String,
+    /// Optional result-handler alias (`"TOP"`, `"BASE4"`), used for
+    /// projection and by the recommendation tagging language.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub alias: Option<String>,
+    /// Property conditions on this operator.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub properties: Vec<PropertyCondition>,
+    /// Stream relationships to other pops.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub streams: Vec<StreamSpec>,
+    /// Cross-operator property comparisons against other pops.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub cross_conditions: Vec<CrossCondition>,
+    /// Properties that must be **absent** from this operator (compiled to
+    /// `FILTER NOT EXISTS`) — e.g. a join with *no* join predicate is a
+    /// cartesian product in disguise.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub absent_properties: Vec<String>,
+    /// Properties to *report* when present without requiring them: each
+    /// compiles to `OPTIONAL {{ ?pop pred ?alias }}` and the alias appears
+    /// in the projection (usable from recommendation templates).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub optional_properties: Vec<OptionalProperty>,
+}
+
+/// An optionally-reported property: `alias` is projected when bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptionalProperty {
+    /// Predicate local name.
+    pub property: String,
+    /// Projection alias for the value.
+    pub alias: String,
+}
+
+/// A condition `property sign value`, e.g.
+/// `hasEstimateCardinality > 100`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropertyCondition {
+    /// Predicate local name (see [`crate::vocab::names`]).
+    #[serde(rename = "id")]
+    pub property: String,
+    /// Comparison operator.
+    pub sign: Sign,
+    /// The comparison value (lexical; numeric when it parses as one).
+    pub value: String,
+}
+
+/// Comparison operators offered by the pattern builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sign {
+    /// `=`
+    #[serde(rename = "=")]
+    Eq,
+    /// `!=`
+    #[serde(rename = "!=")]
+    Ne,
+    /// `>`
+    #[serde(rename = ">")]
+    Gt,
+    /// `>=`
+    #[serde(rename = ">=")]
+    Ge,
+    /// `<`
+    #[serde(rename = "<")]
+    Lt,
+    /// `<=`
+    #[serde(rename = "<=")]
+    Le,
+}
+
+impl Sign {
+    /// The SPARQL operator text.
+    pub fn sparql(self) -> &'static str {
+        match self {
+            Sign::Eq => "=",
+            Sign::Ne => "!=",
+            Sign::Gt => ">",
+            Sign::Ge => ">=",
+            Sign::Lt => "<",
+            Sign::Le => "<=",
+        }
+    }
+}
+
+/// Which stream connects two pops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamKindSpec {
+    /// `hasOuterInputStream`
+    Outer,
+    /// `hasInnerInputStream`
+    Inner,
+    /// `hasInputStream`
+    Generic,
+    /// Any of the three.
+    Any,
+}
+
+impl StreamKindSpec {
+    /// The concrete predicate local name, when specific.
+    pub fn predicate(self) -> Option<&'static str> {
+        match self {
+            StreamKindSpec::Outer => Some(names::HAS_OUTER_INPUT_STREAM),
+            StreamKindSpec::Inner => Some(names::HAS_INNER_INPUT_STREAM),
+            StreamKindSpec::Generic => Some(names::HAS_INPUT_STREAM),
+            StreamKindSpec::Any => None,
+        }
+    }
+}
+
+/// Immediate vs. descendant relationship (paper §2.2): descendants are
+/// "successors but not necessarily immediately below", and compile to
+/// recursive property paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relationship {
+    /// Direct child, through one blank-node edge.
+    #[serde(rename = "Immediate Child")]
+    Immediate,
+    /// Any number of levels below.
+    #[serde(rename = "Descendant Child")]
+    Descendant,
+}
+
+/// A stream relationship: `target` is the child pop fed into this pop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// Stream kind.
+    pub kind: StreamKindSpec,
+    /// The child pop's id within the pattern.
+    pub target: u32,
+    /// Immediate or descendant.
+    pub relationship: Relationship,
+}
+
+/// A **cross-operator** condition: compare a property of this pop against
+/// a property of another pop in the same pattern. This is how the paper's
+/// Pattern D is actually stated — "a SORT with an input stream immediately
+/// below whose I/O cost is less than the I/O cost of the SORT" (§2.3) —
+/// a comparison between two operators, not a per-operator threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossCondition {
+    /// Property of this pop (left-hand side).
+    pub property: String,
+    /// Comparison operator.
+    pub sign: Sign,
+    /// The other pop's id within the pattern.
+    pub other: u32,
+    /// Property of the other pop (right-hand side).
+    pub other_property: String,
+}
+
+/// Pattern validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// Two pops share an id.
+    DuplicatePopId(u32),
+    /// A stream references a pop id that does not exist.
+    UnknownStreamTarget { from: u32, to: u32 },
+    /// A stream connects a pop to itself.
+    SelfReference(u32),
+    /// The pattern has no pops at all.
+    Empty,
+    /// An alias is used by two pops.
+    DuplicateAlias(String),
+}
+
+impl std::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternError::DuplicatePopId(id) => write!(f, "duplicate pop id {id}"),
+            PatternError::UnknownStreamTarget { from, to } => {
+                write!(f, "pop {from} references unknown pop {to}")
+            }
+            PatternError::SelfReference(id) => write!(f, "pop {id} references itself"),
+            PatternError::Empty => write!(f, "pattern has no pops"),
+            PatternError::DuplicateAlias(a) => write!(f, "alias {a:?} used twice"),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+impl Pattern {
+    /// Create an empty pattern with a name.
+    pub fn new(name: impl Into<String>, description: impl Into<String>) -> Pattern {
+        Pattern {
+            name: name.into(),
+            description: description.into(),
+            pops: Vec::new(),
+        }
+    }
+
+    /// Add a pop (builder style).
+    pub fn with_pop(mut self, pop: PatternPop) -> Pattern {
+        self.pops.push(pop);
+        self
+    }
+
+    /// Look up a pop by id.
+    pub fn pop(&self, id: u32) -> Option<&PatternPop> {
+        self.pops.iter().find(|p| p.id == id)
+    }
+
+    /// Check structural sanity.
+    pub fn validate(&self) -> Result<(), PatternError> {
+        if self.pops.is_empty() {
+            return Err(PatternError::Empty);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        let mut aliases = std::collections::BTreeSet::new();
+        for pop in &self.pops {
+            if !seen.insert(pop.id) {
+                return Err(PatternError::DuplicatePopId(pop.id));
+            }
+            if let Some(alias) = &pop.alias {
+                if !aliases.insert(alias.clone()) {
+                    return Err(PatternError::DuplicateAlias(alias.clone()));
+                }
+            }
+            for opt in &pop.optional_properties {
+                if !aliases.insert(opt.alias.clone()) {
+                    return Err(PatternError::DuplicateAlias(opt.alias.clone()));
+                }
+            }
+        }
+        for pop in &self.pops {
+            for s in &pop.streams {
+                if s.target == pop.id {
+                    return Err(PatternError::SelfReference(pop.id));
+                }
+                if !seen.contains(&s.target) {
+                    return Err(PatternError::UnknownStreamTarget {
+                        from: pop.id,
+                        to: s.target,
+                    });
+                }
+            }
+            for c in &pop.cross_conditions {
+                if !seen.contains(&c.other) {
+                    return Err(PatternError::UnknownStreamTarget {
+                        from: pop.id,
+                        to: c.other,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when any relationship is a descendant — such patterns compile
+    /// to recursive property paths (and cost ~2× to evaluate per the
+    /// paper's Figure 9 discussion of Pattern #2).
+    pub fn is_recursive(&self) -> bool {
+        self.pops.iter().any(|p| {
+            p.streams
+                .iter()
+                .any(|s| s.relationship == Relationship::Descendant)
+        })
+    }
+
+    /// Serialize to the pattern-builder JSON form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("pattern serializes")
+    }
+
+    /// Parse a pattern from JSON.
+    pub fn from_json(json: &str) -> Result<Pattern, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl PatternPop {
+    /// Create a pop description.
+    pub fn new(id: u32, op_type: impl Into<String>) -> PatternPop {
+        PatternPop {
+            id,
+            op_type: op_type.into(),
+            alias: None,
+            properties: Vec::new(),
+            streams: Vec::new(),
+            cross_conditions: Vec::new(),
+            absent_properties: Vec::new(),
+            optional_properties: Vec::new(),
+        }
+    }
+
+    /// Set the result-handler alias.
+    pub fn alias(mut self, alias: impl Into<String>) -> PatternPop {
+        self.alias = Some(alias.into());
+        self
+    }
+
+    /// Add a property condition.
+    pub fn prop(mut self, property: &str, sign: Sign, value: impl Into<String>) -> PatternPop {
+        self.properties.push(PropertyCondition {
+            property: property.to_string(),
+            sign,
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Report a property's value under `alias` when present, without
+    /// requiring it.
+    pub fn optional_prop(mut self, property: &str, alias: &str) -> PatternPop {
+        self.optional_properties.push(OptionalProperty {
+            property: property.to_string(),
+            alias: alias.to_string(),
+        });
+        self
+    }
+
+    /// Require a property to be absent from this operator.
+    pub fn absent(mut self, property: &str) -> PatternPop {
+        self.absent_properties.push(property.to_string());
+        self
+    }
+
+    /// Add a cross-operator comparison against another pop's property.
+    pub fn cross(
+        mut self,
+        property: &str,
+        sign: Sign,
+        other: u32,
+        other_property: &str,
+    ) -> PatternPop {
+        self.cross_conditions.push(CrossCondition {
+            property: property.to_string(),
+            sign,
+            other,
+            other_property: other_property.to_string(),
+        });
+        self
+    }
+
+    /// Add a stream relationship to `target`.
+    pub fn stream(
+        mut self,
+        kind: StreamKindSpec,
+        target: u32,
+        relationship: Relationship,
+    ) -> PatternPop {
+        self.streams.push(StreamSpec {
+            kind,
+            target,
+            relationship,
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern_a_like() -> Pattern {
+        Pattern::new("a", "NLJOIN over TBSCAN")
+            .with_pop(
+                PatternPop::new(1, "NLJOIN")
+                    .alias("TOP")
+                    .stream(StreamKindSpec::Outer, 2, Relationship::Immediate)
+                    .stream(StreamKindSpec::Inner, 3, Relationship::Immediate),
+            )
+            .with_pop(PatternPop::new(2, "ANY").alias("ANY2").prop(
+                names::HAS_ESTIMATE_CARDINALITY,
+                Sign::Gt,
+                "1",
+            ))
+            .with_pop(
+                PatternPop::new(3, "TBSCAN")
+                    .prop(names::HAS_ESTIMATE_CARDINALITY, Sign::Gt, "100")
+                    .stream(StreamKindSpec::Generic, 4, Relationship::Immediate),
+            )
+            .with_pop(PatternPop::new(4, "BASE OB").alias("BASE4"))
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let p = pattern_a_like();
+        assert_eq!(p.pops.len(), 4);
+        assert_eq!(p.pop(3).unwrap().op_type, "TBSCAN");
+        assert!(p.validate().is_ok());
+        assert!(!p.is_recursive());
+    }
+
+    #[test]
+    fn json_round_trip_matches_figure5_shape() {
+        let p = pattern_a_like();
+        let json = p.to_json();
+        // Figure 5 field names: "type", property "id", "sign", "value".
+        assert!(json.contains("\"type\": \"NLJOIN\""));
+        assert!(json.contains("\"id\": \"hasEstimateCardinality\""));
+        assert!(json.contains("\"sign\": \">\""));
+        assert!(json.contains("\"Immediate Child\""));
+        let back = Pattern::from_json(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn validation_rejects_structural_errors() {
+        let dup = Pattern::new("d", "")
+            .with_pop(PatternPop::new(1, "ANY"))
+            .with_pop(PatternPop::new(1, "ANY"));
+        assert_eq!(dup.validate(), Err(PatternError::DuplicatePopId(1)));
+
+        let dangling = Pattern::new("d", "").with_pop(PatternPop::new(1, "ANY").stream(
+            StreamKindSpec::Any,
+            9,
+            Relationship::Immediate,
+        ));
+        assert!(matches!(
+            dangling.validate(),
+            Err(PatternError::UnknownStreamTarget { to: 9, .. })
+        ));
+
+        let selfref = Pattern::new("s", "").with_pop(PatternPop::new(1, "ANY").stream(
+            StreamKindSpec::Any,
+            1,
+            Relationship::Immediate,
+        ));
+        assert_eq!(selfref.validate(), Err(PatternError::SelfReference(1)));
+
+        assert_eq!(Pattern::new("e", "").validate(), Err(PatternError::Empty));
+
+        let dup_alias = Pattern::new("a", "")
+            .with_pop(PatternPop::new(1, "ANY").alias("X"))
+            .with_pop(PatternPop::new(2, "ANY").alias("X"));
+        assert!(matches!(
+            dup_alias.validate(),
+            Err(PatternError::DuplicateAlias(_))
+        ));
+    }
+
+    #[test]
+    fn recursive_detection() {
+        let p = Pattern::new("r", "").with_pop(PatternPop::new(1, "JOIN").stream(
+            StreamKindSpec::Outer,
+            2,
+            Relationship::Descendant,
+        ));
+        // Target missing ⇒ invalid, but recursion flag still readable.
+        assert!(p.is_recursive());
+    }
+
+    #[test]
+    fn figure5_json_parses() {
+        // A hand-written JSON document in the paper's Figure 5 shape.
+        let json = r#"{
+            "name": "fig5",
+            "pops": [
+                {"id": 1, "type": "NLJOIN",
+                 "streams": [
+                    {"kind": "Outer", "target": 2, "relationship": "Immediate Child"},
+                    {"kind": "Inner", "target": 3, "relationship": "Immediate Child"}]},
+                {"id": 2, "type": "ANY"},
+                {"id": 3, "type": "TBSCAN",
+                 "properties": [{"id": "hasEstimateCardinality", "sign": ">", "value": "100"}],
+                 "streams": [{"kind": "Generic", "target": 4, "relationship": "Immediate Child"}]},
+                {"id": 4, "type": "BASE OB"}
+            ]
+        }"#;
+        let p = Pattern::from_json(json).unwrap();
+        assert_eq!(p.pops.len(), 4);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.pop(3).unwrap().properties[0].sign, Sign::Gt);
+    }
+}

@@ -1,0 +1,288 @@
+//! The `OptImatch` facade: load a workload, search ad-hoc patterns, scan
+//! the knowledge base — the end-to-end flows of the paper's Figure 4.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use optimatch_qep::{parse_qep, Qep};
+
+use crate::kb::{KnowledgeBase, QepReport};
+use crate::matcher::{MatchError, Matcher, PatternMatch};
+use crate::pattern::Pattern;
+use crate::transform::TransformedQep;
+
+/// Errors loading workloads.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A file failed to parse as a QEP.
+    Parse {
+        /// The offending file.
+        file: String,
+        /// The parse error.
+        error: optimatch_qep::QepParseError,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "I/O error: {e}"),
+            LoadError::Parse { file, error } => write!(f, "{file}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Timing of the last operation, for the performance experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    /// Time spent transforming QEPs to RDF (Algorithm 1).
+    pub transform: Duration,
+    /// Time spent matching (Algorithms 2–3 or 5).
+    pub matching: Duration,
+}
+
+/// An analysis session over a workload of QEPs.
+///
+/// ```
+/// use optimatch_core::{builtin, OptImatch};
+/// use optimatch_qep::fixtures;
+///
+/// let mut session = OptImatch::from_qeps([fixtures::fig1(), fixtures::fig8()]);
+///
+/// // Ad-hoc pattern search (paper Algorithms 2–3):
+/// let ids = session.matching_ids(&builtin::pattern_a().pattern)?;
+/// assert_eq!(ids, vec!["fig1"]);
+///
+/// // Knowledge-base scan (Algorithm 5):
+/// let reports = session.scan(&builtin::paper_kb())?;
+/// assert!(reports[0].recommendations[0].text.contains("CUST_DIM"));
+/// # Ok::<(), optimatch_core::matcher::MatchError>(())
+/// ```
+#[derive(Debug)]
+pub struct OptImatch {
+    workload: Vec<TransformedQep>,
+    timings: Timings,
+}
+
+impl OptImatch {
+    /// Build a session from in-memory plans (transforms eagerly; the
+    /// transformation time is recorded in [`OptImatch::timings`]).
+    pub fn from_qeps(qeps: impl IntoIterator<Item = Qep>) -> OptImatch {
+        let start = Instant::now();
+        let workload: Vec<TransformedQep> = qeps.into_iter().map(TransformedQep::new).collect();
+        OptImatch {
+            workload,
+            timings: Timings {
+                transform: start.elapsed(),
+                matching: Duration::ZERO,
+            },
+        }
+    }
+
+    /// Load every `*.qep` / `*.exp` / `*.txt` file in a directory.
+    pub fn from_dir(dir: &Path) -> Result<OptImatch, LoadError> {
+        let mut qeps = Vec::new();
+        let mut paths: Vec<_> = std::fs::read_dir(dir)
+            .map_err(LoadError::Io)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                matches!(
+                    p.extension().and_then(|e| e.to_str()),
+                    Some("qep") | Some("exp") | Some("txt")
+                )
+            })
+            .collect();
+        paths.sort();
+        for path in paths {
+            let text = std::fs::read_to_string(&path).map_err(LoadError::Io)?;
+            let qep = parse_qep(&text).map_err(|error| LoadError::Parse {
+                file: path.display().to_string(),
+                error,
+            })?;
+            qeps.push(qep);
+        }
+        Ok(OptImatch::from_qeps(qeps))
+    }
+
+    /// Number of QEPs loaded.
+    pub fn len(&self) -> usize {
+        self.workload.len()
+    }
+
+    /// True when no QEPs are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.workload.is_empty()
+    }
+
+    /// The transformed workload.
+    pub fn workload(&self) -> &[TransformedQep] {
+        &self.workload
+    }
+
+    /// Timing of the most recent operations.
+    pub fn timings(&self) -> Timings {
+        self.timings
+    }
+
+    /// Total LOLEPOPs across the workload.
+    pub fn total_ops(&self) -> usize {
+        self.workload.iter().map(|t| t.qep.op_count()).sum()
+    }
+
+    /// Ad-hoc pattern search (compile + match across the workload).
+    pub fn search(&mut self, pattern: &Pattern) -> Result<Vec<PatternMatch>, MatchError> {
+        let matcher = Matcher::compile(pattern)?;
+        self.search_compiled(&matcher)
+    }
+
+    /// Search with an already-compiled matcher (the hot path of the
+    /// scalability experiments).
+    pub fn search_compiled(&mut self, matcher: &Matcher) -> Result<Vec<PatternMatch>, MatchError> {
+        let start = Instant::now();
+        let result = matcher.find_in_workload(&self.workload);
+        self.timings.matching = start.elapsed();
+        result
+    }
+
+    /// QEP ids matching a pattern.
+    pub fn matching_ids(&mut self, pattern: &Pattern) -> Result<Vec<String>, MatchError> {
+        let matcher = Matcher::compile(pattern)?;
+        let start = Instant::now();
+        let ids = matcher.matching_qep_ids(&self.workload);
+        self.timings.matching = start.elapsed();
+        ids
+    }
+
+    /// Scan the whole workload against a knowledge base (Algorithm 5),
+    /// producing one ranked report per QEP.
+    pub fn scan(&mut self, kb: &KnowledgeBase) -> Result<Vec<QepReport>, MatchError> {
+        let start = Instant::now();
+        let reports = kb.scan_workload(&self.workload);
+        self.timings.matching = start.elapsed();
+        reports
+    }
+
+    /// Parallel variant of [`OptImatch::scan`]: the per-QEP scans fan out
+    /// over `threads` OS threads, then the workload-level statistical
+    /// weighting runs once over the combined result — so the output is
+    /// identical to the sequential scan.
+    pub fn scan_parallel(
+        &mut self,
+        kb: &KnowledgeBase,
+        threads: usize,
+    ) -> Result<Vec<QepReport>, MatchError> {
+        let threads = threads.max(1).min(self.workload.len().max(1));
+        let start = Instant::now();
+        let chunk_size = self.workload.len().div_ceil(threads);
+        let chunks: Vec<&[TransformedQep]> = self.workload.chunks(chunk_size.max(1)).collect();
+
+        let mut partials: Vec<Result<Vec<QepReport>, MatchError>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|t| kb.scan_qep(t))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                partials.push(handle.join().expect("scan threads do not panic"));
+            }
+        });
+
+        let mut reports = Vec::with_capacity(self.workload.len());
+        for partial in partials {
+            reports.extend(partial?);
+        }
+        kb.apply_workload_weighting(&mut reports, &self.workload);
+        self.timings.matching = start.elapsed();
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+    use optimatch_qep::{fixtures, format_qep};
+
+    #[test]
+    fn session_over_fixtures() {
+        let mut s = OptImatch::from_qeps([fixtures::fig1(), fixtures::fig7(), fixtures::fig8()]);
+        assert_eq!(s.len(), 3);
+        assert!(s.total_ops() >= 19);
+        let ids = s.matching_ids(&builtin::pattern_a().pattern).unwrap();
+        assert_eq!(ids, vec!["fig1"]);
+        assert!(s.timings().matching > Duration::ZERO);
+    }
+
+    #[test]
+    fn loads_from_directory() {
+        let dir = std::env::temp_dir().join("optimatch-session-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for q in [fixtures::fig1(), fixtures::fig8()] {
+            std::fs::write(dir.join(format!("{}.qep", q.id)), format_qep(&q)).unwrap();
+        }
+        // A non-plan file that must be ignored.
+        std::fs::write(dir.join("README.md"), "not a plan").unwrap();
+        let s = OptImatch::from_dir(&dir).unwrap();
+        assert_eq!(s.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_reports_bad_files() {
+        let dir = std::env::temp_dir().join("optimatch-session-badfile");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("broken.qep"), "Plan Details:\n  1) NOPE: (x)\n").unwrap();
+        let err = OptImatch::from_dir(&dir).unwrap_err();
+        assert!(matches!(err, LoadError::Parse { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_scan_equals_sequential() {
+        use optimatch_qep::{InputSource, InputStream, OpType, PlanOp, Qep, StreamKind};
+        // Build a small mixed workload: fixtures plus filler plans.
+        let mut qeps = vec![fixtures::fig1(), fixtures::fig7(), fixtures::fig8()];
+        for i in 0..9 {
+            let mut q = Qep::new(format!("filler{i}"));
+            let mut ret = PlanOp::new(1, OpType::Return);
+            ret.inputs.push(InputStream {
+                kind: StreamKind::Generic,
+                source: InputSource::Op(2),
+                estimated_rows: 1.0,
+            });
+            q.insert_op(ret);
+            let mut sort = PlanOp::new(2, OpType::Sort);
+            sort.total_cost = 100.0 + f64::from(i);
+            q.insert_op(sort);
+            qeps.push(q);
+        }
+        let kb = builtin::paper_kb();
+        let mut a = OptImatch::from_qeps(qeps.iter().cloned());
+        let mut b = OptImatch::from_qeps(qeps.iter().cloned());
+        let sequential = a.scan(&kb).unwrap();
+        for threads in [1, 2, 4, 32] {
+            let parallel = b.scan_parallel(&kb, threads).unwrap();
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scan_produces_one_report_per_qep() {
+        let mut s = OptImatch::from_qeps([fixtures::fig1(), fixtures::fig7()]);
+        let reports = s.scan(&builtin::paper_kb()).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].qep_id, "fig1");
+        assert!(!reports[0].recommendations.is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! The RDF vocabulary OptImatch uses for transformed QEPs.
+//!
+//! Mirrors the paper's Figure 2: resources live under `popURI:`
+//! (`http://optimatch/qep#`), predicates under `predURI:`
+//! (`http://optimatch/pred#`). Predicates common to all operators
+//! (cardinality, costs) coexist with operator-specific ones (per-argument
+//! predicates like `hasArgMAXPAGES`) — RDF's schema freedom is exactly why
+//! the paper picked it (§2.1).
+
+use optimatch_rdf::Term;
+
+/// Namespace for plan resources (operators, base objects).
+pub const POP_NS: &str = "http://optimatch/qep#";
+/// Namespace for predicates.
+pub const PRED_NS: &str = "http://optimatch/pred#";
+
+/// Build a full predicate IRI from its local name (`hasPopType` →
+/// `http://optimatch/pred#hasPopType`).
+pub fn pred_iri(local: &str) -> String {
+    format!("{PRED_NS}{local}")
+}
+
+/// Predicate term from a local name.
+pub fn pred(local: &str) -> Term {
+    Term::iri(pred_iri(local))
+}
+
+/// The resource IRI for operator number `id`.
+pub fn pop_iri(id: u32) -> String {
+    format!("{POP_NS}pop{id}")
+}
+
+/// The resource term for operator number `id`.
+pub fn pop(id: u32) -> Term {
+    Term::iri(pop_iri(id))
+}
+
+/// The resource IRI for a base object by qualified name.
+pub fn object_iri(qualified: &str) -> String {
+    format!("{POP_NS}obj_{}", qualified.replace('.', "_"))
+}
+
+/// The resource term for a base object.
+pub fn object(qualified: &str) -> Term {
+    Term::iri(object_iri(qualified))
+}
+
+/// Parse an operator number back out of a `popN` resource IRI — the
+/// de-transformation direction (Algorithm 3 step 6).
+pub fn iri_to_pop_id(iri: &str) -> Option<u32> {
+    iri.strip_prefix(POP_NS)?.strip_prefix("pop")?.parse().ok()
+}
+
+/// True when the IRI names a base-object resource.
+pub fn is_object_iri(iri: &str) -> bool {
+    iri.strip_prefix(POP_NS)
+        .is_some_and(|local| local.starts_with("obj_"))
+}
+
+/// Local predicate names (the paper's Figure 2 vocabulary plus the
+/// derived and object-description predicates described in §2.1).
+pub mod names {
+    /// Operator mnemonic, e.g. `"NLJOIN"` (modifier-free).
+    pub const HAS_POP_TYPE: &str = "hasPopType";
+    /// Join semantics: `"INNER"`, `"LEFT OUTER"`, `"ANTI"`, `"FULL OUTER"`.
+    pub const HAS_JOIN_TYPE: &str = "hasJoinType";
+    /// Operator number within the plan.
+    pub const HAS_OPERATOR_NUMBER: &str = "hasOperatorNumber";
+    /// Estimated output cardinality.
+    pub const HAS_ESTIMATE_CARDINALITY: &str = "hasEstimateCardinality";
+    /// Cumulative total cost.
+    pub const HAS_TOTAL_COST: &str = "hasTotalCost";
+    /// Cumulative I/O cost.
+    pub const HAS_IO_COST: &str = "hasIOCost";
+    /// Cumulative CPU cost.
+    pub const HAS_CPU_COST: &str = "hasCpuCost";
+    /// Cumulative first-row cost.
+    pub const HAS_FIRST_ROW_COST: &str = "hasFirstRowCost";
+    /// Estimated bufferpool buffers.
+    pub const HAS_BUFFERS: &str = "hasBufferpoolBuffers";
+    /// Derived: this operator's cost minus its operator inputs' costs
+    /// (the paper's `hasTotalCostIncrease` example).
+    pub const HAS_TOTAL_COST_INCREASE: &str = "hasTotalCostIncrease";
+    /// Outer input stream (through a blank node).
+    pub const HAS_OUTER_INPUT_STREAM: &str = "hasOuterInputStream";
+    /// Inner input stream (through a blank node).
+    pub const HAS_INNER_INPUT_STREAM: &str = "hasInnerInputStream";
+    /// Generic input stream (through a blank node).
+    pub const HAS_INPUT_STREAM: &str = "hasInputStream";
+    /// Back edge child → blank node → parent.
+    pub const HAS_OUTPUT_STREAM: &str = "hasOutputStream";
+    /// Estimated rows on a stream (asserted on the blank node).
+    pub const HAS_STREAM_CARDINALITY: &str = "hasStreamCardinality";
+    /// Marks base objects; the value is the qualified object name.
+    pub const IS_A_BASE_OBJ: &str = "isABaseObj";
+    /// Base object kind: `"TABLE"` / `"INDEX"`.
+    pub const HAS_OBJECT_TYPE: &str = "hasObjectType";
+    /// Base object schema name.
+    pub const HAS_SCHEMA_NAME: &str = "hasSchemaName";
+    /// Base object bare name.
+    pub const HAS_TABLE_NAME: &str = "hasTableName";
+    /// A column of a base object (multi-valued).
+    pub const HAS_COLUMN: &str = "hasColumn";
+    /// Any applied predicate's text (multi-valued).
+    pub const HAS_PREDICATE: &str = "hasPredicate";
+    /// Join-predicate text.
+    pub const HAS_JOIN_PREDICATE: &str = "hasJoinPredicate";
+    /// Sargable (local) predicate text.
+    pub const HAS_SARGABLE_PREDICATE: &str = "hasSargablePredicate";
+    /// Residual predicate text.
+    pub const HAS_RESIDUAL_PREDICATE: &str = "hasResidualPredicate";
+    /// Start-key predicate text.
+    pub const HAS_START_KEY_PREDICATE: &str = "hasStartKeyPredicate";
+    /// Stop-key predicate text.
+    pub const HAS_STOP_KEY_PREDICATE: &str = "hasStopKeyPredicate";
+    /// Prefix for per-argument predicates: `hasArgMAXPAGES`, …
+    pub const ARG_PREFIX: &str = "hasArg";
+}
+
+/// The three stream predicates, used to build descendant property paths.
+pub const STREAM_PREDICATES: [&str; 3] = [
+    names::HAS_INPUT_STREAM,
+    names::HAS_OUTER_INPUT_STREAM,
+    names::HAS_INNER_INPUT_STREAM,
+];
+
+/// The standard prefix declarations emitted at the top of generated
+/// SPARQL queries (paper Figure 6 uses the same two prefixes).
+pub fn sparql_prologue() -> String {
+    format!("PREFIX popURI: <{POP_NS}>\nPREFIX predURI: <{PRED_NS}>\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_iri_round_trips() {
+        for id in [1, 2, 38, 550] {
+            assert_eq!(iri_to_pop_id(&pop_iri(id)), Some(id));
+        }
+        assert_eq!(iri_to_pop_id("http://other/pop5"), None);
+        assert_eq!(iri_to_pop_id(&object_iri("BIGD.CUST_DIM")), None);
+    }
+
+    #[test]
+    fn object_iris_are_recognizable() {
+        let iri = object_iri("BIGD.CUST_DIM");
+        assert!(is_object_iri(&iri));
+        assert!(!is_object_iri(&pop_iri(3)));
+        assert_eq!(iri, "http://optimatch/qep#obj_BIGD_CUST_DIM");
+    }
+
+    #[test]
+    fn predicates_live_in_pred_namespace() {
+        assert_eq!(
+            pred_iri(names::HAS_POP_TYPE),
+            "http://optimatch/pred#hasPopType"
+        );
+        assert!(pred(names::HAS_TOTAL_COST).is_iri());
+    }
+
+    #[test]
+    fn prologue_declares_both_prefixes() {
+        let p = sparql_prologue();
+        assert!(p.contains("PREFIX popURI:"));
+        assert!(p.contains("PREFIX predURI:"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for optimatch-core: the tagging renderer never panics
+//! and always produces text for valid templates; compiled SPARQL for
+//! arbitrary valid builder patterns always parses; KB persistence is
+//! lossless for arbitrary entries.
+
+use proptest::prelude::*;
+
+use optimatch_core::matcher::{MatchBinding, MatchTarget, PatternMatch};
+use optimatch_core::pattern::{Pattern, PatternPop, Relationship, Sign, StreamKindSpec};
+use optimatch_core::rank::Prototype;
+use optimatch_core::tagging::Template;
+use optimatch_core::{KnowledgeBase, KnowledgeBaseEntry, Matcher};
+use optimatch_qep::fixtures;
+
+/// Template text built from safe fragments plus tagging constructs.
+fn arb_template() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("Create index on ".to_string()),
+        Just("@TOP".to_string()),
+        Just("@BASE".to_string()),
+        Just("@MISSING".to_string()),
+        Just("@table(BASE)".to_string()),
+        Just("@columns(BASE)".to_string()),
+        Just("@columns(TOP, PREDICATE)".to_string()),
+        Just("@predicates(TOP)".to_string()),
+        Just("@[TOP,BASE]".to_string()),
+        Just("@limit(2)".to_string()),
+        Just("plain text. ".to_string()),
+        Just("admin@@db ".to_string()),
+    ];
+    proptest::collection::vec(fragment, 0..8).prop_map(|v| v.join(" "))
+}
+
+fn sample_matches() -> (Vec<PatternMatch>, optimatch_qep::Qep) {
+    let qep = fixtures::fig1();
+    let matches = vec![PatternMatch {
+        qep_id: "fig1".into(),
+        bindings: vec![
+            MatchBinding {
+                name: "TOP".into(),
+                target: MatchTarget::Pop {
+                    id: 2,
+                    display: "NLJOIN".into(),
+                },
+            },
+            MatchBinding {
+                name: "BASE".into(),
+                target: MatchTarget::Object("BIGD.CUST_DIM".into()),
+            },
+        ],
+    }];
+    (matches, qep)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any template assembled from valid constructs parses and renders
+    /// without panicking, and unknown aliases degrade to placeholders.
+    #[test]
+    fn tagging_renderer_is_total(template in arb_template()) {
+        let parsed = Template::parse(&template).expect("valid constructs parse");
+        let (matches, qep) = sample_matches();
+        let out = parsed.render(&matches, &qep);
+        // Raw tagging syntax never leaks through (except the escape).
+        prop_assert!(!out.contains("@TOP"), "{out}");
+        prop_assert!(!out.contains("@table("), "{out}");
+        if template.contains("@MISSING") {
+            prop_assert!(out.contains("<unbound:MISSING>"));
+        }
+    }
+
+    /// Arbitrary chains of typed pops with mixed relationships compile to
+    /// SPARQL that the engine parses, and matching any fixture terminates
+    /// without error.
+    #[test]
+    fn arbitrary_chain_patterns_compile_and_run(
+        types in proptest::collection::vec(0usize..7, 1..5),
+        descendant in proptest::collection::vec(prop::bool::ANY, 4),
+        kinds in proptest::collection::vec(0usize..4, 4),
+    ) {
+        const TYPES: [&str; 7] = ["ANY", "JOIN", "SCAN", "NLJOIN", "SORT", "FETCH", "TEMP"];
+        const KINDS: [StreamKindSpec; 4] = [
+            StreamKindSpec::Outer,
+            StreamKindSpec::Inner,
+            StreamKindSpec::Generic,
+            StreamKindSpec::Any,
+        ];
+        let mut pattern = Pattern::new("chain", "generated chain");
+        for (i, &t) in types.iter().enumerate() {
+            let mut pop = PatternPop::new(i as u32 + 1, TYPES[t]);
+            if i + 1 < types.len() {
+                let rel = if descendant[i % 4] {
+                    Relationship::Descendant
+                } else {
+                    Relationship::Immediate
+                };
+                pop = pop.stream(KINDS[kinds[i % 4]], i as u32 + 2, rel);
+            }
+            if i == 0 {
+                pop = pop.alias("TOP").prop(
+                    "hasEstimateCardinality",
+                    Sign::Ge,
+                    "0",
+                );
+            }
+            pattern = pattern.with_pop(pop);
+        }
+        let matcher = Matcher::compile(&pattern).expect("chain compiles");
+        for qep in [fixtures::fig1(), fixtures::fig7(), fixtures::fig8()] {
+            let t = optimatch_core::transform::TransformedQep::new(qep);
+            let _ = matcher.find(&t).expect("matching terminates");
+        }
+    }
+
+    /// KB JSON persistence round-trips arbitrary recommendation text and
+    /// prototypes exactly.
+    #[test]
+    fn kb_round_trips_arbitrary_entries(
+        template in arb_template(),
+        cost_share in 0.0f64..1.0,
+        log_card in 0.0f64..9.0,
+    ) {
+        let mut kb = KnowledgeBase::new();
+        kb.add(KnowledgeBaseEntry {
+            name: "generated".into(),
+            description: "prop entry".into(),
+            pattern: optimatch_core::builtin::pattern_a().pattern,
+            recommendation: template,
+            prototype: Prototype {
+                cost_share,
+                log_cardinality: log_card,
+            },
+        })
+        .expect("entry is valid");
+        let json = kb.to_json().expect("serializes");
+        let back = KnowledgeBase::from_json(&json).expect("parses");
+        prop_assert_eq!(back.entries(), kb.entries());
+    }
+}

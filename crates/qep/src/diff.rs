@@ -1,0 +1,302 @@
+//! Plan regression comparison.
+//!
+//! The paper observes that "plan changes are difficult to spot manually as
+//! they tend to spawn thousands of lines of informative details" (§2.1).
+//! This module compares two plans of the same query — before/after a
+//! statistics refresh, an upgrade, a configuration change — and summarizes
+//! what moved: total cost, operator mix, per-operator cost shifts, and
+//! base-object access changes.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::model::{OpType, Qep};
+
+/// How one operator number changed between the two plans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpChange {
+    /// Operator number (shared between the plans).
+    pub id: u32,
+    /// Type before → after (equal when only costs moved).
+    pub op_type: (OpType, OpType),
+    /// Total cost before → after.
+    pub total_cost: (f64, f64),
+    /// Estimated cardinality before → after.
+    pub cardinality: (f64, f64),
+}
+
+impl OpChange {
+    /// Relative cost change (`+0.25` = 25% more expensive).
+    pub fn cost_change(&self) -> f64 {
+        let (before, after) = self.total_cost;
+        if before == 0.0 {
+            if after == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (after - before) / before
+        }
+    }
+}
+
+/// The summary of differences between two plans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanDiff {
+    /// Total cost before → after.
+    pub total_cost: (f64, f64),
+    /// Operator numbers present only in the first plan.
+    pub removed_ops: Vec<(u32, OpType)>,
+    /// Operator numbers present only in the second plan.
+    pub added_ops: Vec<(u32, OpType)>,
+    /// Shared operator numbers whose type, cost, or cardinality changed
+    /// beyond rounding (relative cost change over 0.1%).
+    pub changed_ops: Vec<OpChange>,
+    /// Operator-type histogram deltas (`after − before`), non-zero only.
+    pub histogram_delta: BTreeMap<OpType, i64>,
+    /// Base objects accessed only in the first plan.
+    pub dropped_objects: Vec<String>,
+    /// Base objects accessed only in the second plan.
+    pub new_objects: Vec<String>,
+}
+
+impl PlanDiff {
+    /// Relative total cost change (`+0.25` = 25% costlier after).
+    pub fn cost_change(&self) -> f64 {
+        let (before, after) = self.total_cost;
+        if before == 0.0 {
+            if after == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (after - before) / before
+        }
+    }
+
+    /// True when the second plan regressed by more than `threshold`
+    /// (e.g. `0.2` = 20% costlier).
+    pub fn is_regression(&self, threshold: f64) -> bool {
+        self.cost_change() > threshold
+    }
+
+    /// True when the plans differ at all (structure or cost).
+    pub fn is_changed(&self) -> bool {
+        !self.removed_ops.is_empty()
+            || !self.added_ops.is_empty()
+            || !self.changed_ops.is_empty()
+            || !self.dropped_objects.is_empty()
+            || !self.new_objects.is_empty()
+            || self.total_cost.0 != self.total_cost.1
+    }
+}
+
+/// Compare two plans (conventionally: `before` and `after`).
+pub fn diff_qeps(before: &Qep, after: &Qep) -> PlanDiff {
+    let before_ids: BTreeSet<u32> = before.ops.keys().copied().collect();
+    let after_ids: BTreeSet<u32> = after.ops.keys().copied().collect();
+
+    let removed_ops: Vec<(u32, OpType)> = before_ids
+        .difference(&after_ids)
+        .map(|&id| (id, before.op(id).expect("in before").op_type))
+        .collect();
+    let added_ops: Vec<(u32, OpType)> = after_ids
+        .difference(&before_ids)
+        .map(|&id| (id, after.op(id).expect("in after").op_type))
+        .collect();
+
+    let mut changed_ops = Vec::new();
+    for &id in before_ids.intersection(&after_ids) {
+        let b = before.op(id).expect("in before");
+        let a = after.op(id).expect("in after");
+        let type_changed = b.op_type != a.op_type;
+        let cost_moved = if b.total_cost == 0.0 {
+            a.total_cost != 0.0
+        } else {
+            ((a.total_cost - b.total_cost) / b.total_cost).abs() > 1e-3
+        };
+        let card_moved = if b.cardinality == 0.0 {
+            a.cardinality != 0.0
+        } else {
+            ((a.cardinality - b.cardinality) / b.cardinality).abs() > 1e-3
+        };
+        if type_changed || cost_moved || card_moved {
+            changed_ops.push(OpChange {
+                id,
+                op_type: (b.op_type, a.op_type),
+                total_cost: (b.total_cost, a.total_cost),
+                cardinality: (b.cardinality, a.cardinality),
+            });
+        }
+    }
+
+    let mut histogram_delta: BTreeMap<OpType, i64> = BTreeMap::new();
+    for op in before.ops.values() {
+        *histogram_delta.entry(op.op_type).or_default() -= 1;
+    }
+    for op in after.ops.values() {
+        *histogram_delta.entry(op.op_type).or_default() += 1;
+    }
+    histogram_delta.retain(|_, d| *d != 0);
+
+    let before_objects: BTreeSet<&String> = before.base_objects.keys().collect();
+    let after_objects: BTreeSet<&String> = after.base_objects.keys().collect();
+    // Only objects actually referenced by streams count as "accessed".
+    let accessed = |q: &Qep| -> BTreeSet<String> {
+        q.ops
+            .values()
+            .flat_map(|op| op.inputs.iter())
+            .filter_map(|s| match &s.source {
+                crate::model::InputSource::Object(name) => Some(name.clone()),
+                _ => None,
+            })
+            .collect()
+    };
+    let _ = (before_objects, after_objects);
+    let before_accessed = accessed(before);
+    let after_accessed = accessed(after);
+    let dropped_objects = before_accessed
+        .difference(&after_accessed)
+        .cloned()
+        .collect();
+    let new_objects = after_accessed
+        .difference(&before_accessed)
+        .cloned()
+        .collect();
+
+    PlanDiff {
+        total_cost: (before.total_cost(), after.total_cost()),
+        removed_ops,
+        added_ops,
+        changed_ops,
+        histogram_delta,
+        dropped_objects,
+        new_objects,
+    }
+}
+
+impl fmt::Display for PlanDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "total cost: {:.1} -> {:.1} ({:+.1}%)",
+            self.total_cost.0,
+            self.total_cost.1,
+            self.cost_change() * 100.0
+        )?;
+        if !self.histogram_delta.is_empty() {
+            write!(f, "operator mix:")?;
+            for (op, d) in &self.histogram_delta {
+                write!(f, " {op}{d:+}")?;
+            }
+            writeln!(f)?;
+        }
+        for (id, t) in &self.removed_ops {
+            writeln!(f, "  - removed #{id} {t}")?;
+        }
+        for (id, t) in &self.added_ops {
+            writeln!(f, "  + added   #{id} {t}")?;
+        }
+        for c in &self.changed_ops {
+            if c.op_type.0 != c.op_type.1 {
+                writeln!(
+                    f,
+                    "  ~ #{}: {} -> {} (cost {:.1} -> {:.1})",
+                    c.id, c.op_type.0, c.op_type.1, c.total_cost.0, c.total_cost.1
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "  ~ #{} {}: cost {:.1} -> {:.1} ({:+.1}%)",
+                    c.id,
+                    c.op_type.0,
+                    c.total_cost.0,
+                    c.total_cost.1,
+                    c.cost_change() * 100.0
+                )?;
+            }
+        }
+        for o in &self.dropped_objects {
+            writeln!(f, "  - no longer accesses {o}")?;
+        }
+        for o in &self.new_objects {
+            writeln!(f, "  + now accesses {o}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::model::{InputSource, InputStream, PlanOp, StreamKind};
+
+    #[test]
+    fn identical_plans_show_no_change() {
+        let q = fixtures::fig1();
+        let d = diff_qeps(&q, &q);
+        assert!(!d.is_changed());
+        assert_eq!(d.cost_change(), 0.0);
+        assert!(d.histogram_delta.is_empty());
+    }
+
+    #[test]
+    fn cost_regression_is_detected() {
+        let before = fixtures::fig1();
+        let mut after = before.clone();
+        // The optimizer flipped the inner scan into something pricier.
+        after.ops.get_mut(&5).unwrap().total_cost *= 3.0;
+        after.ops.get_mut(&2).unwrap().total_cost *= 2.5;
+        after.ops.get_mut(&1).unwrap().total_cost *= 2.5;
+        let d = diff_qeps(&before, &after);
+        assert!(d.is_changed());
+        assert!(d.is_regression(0.2));
+        assert!(!d.is_regression(3.0));
+        assert_eq!(d.changed_ops.len(), 3);
+        let c5 = d.changed_ops.iter().find(|c| c.id == 5).unwrap();
+        assert!((c5.cost_change() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn structural_changes_are_reported() {
+        let before = fixtures::fig1();
+        let mut after = before.clone();
+        // NLJOIN became a HSJOIN, the IXSCAN disappeared, a SORT appeared.
+        after.ops.get_mut(&2).unwrap().op_type = OpType::HsJoin;
+        after.ops.remove(&4);
+        // Reroute FETCH to the new SORT to keep the plan valid.
+        let mut sort = PlanOp::new(9, OpType::Sort);
+        sort.inputs.push(InputStream {
+            kind: StreamKind::Generic,
+            source: InputSource::Object("BIGD.SALES_FACT".into()),
+            estimated_rows: 100.0,
+        });
+        after.insert_op(sort);
+        after.ops.get_mut(&3).unwrap().inputs[0].source = InputSource::Op(9);
+
+        let d = diff_qeps(&before, &after);
+        assert_eq!(d.removed_ops, vec![(4, OpType::IxScan)]);
+        assert_eq!(d.added_ops, vec![(9, OpType::Sort)]);
+        assert!(d
+            .changed_ops
+            .iter()
+            .any(|c| c.id == 2 && c.op_type == (OpType::NlJoin, OpType::HsJoin)));
+        assert_eq!(d.histogram_delta[&OpType::IxScan], -1);
+        assert_eq!(d.histogram_delta[&OpType::Sort], 1);
+        // IDX1 is no longer read (its reader vanished).
+        assert!(d.dropped_objects.contains(&"BIGD.IDX1".to_string()));
+    }
+
+    #[test]
+    fn display_renders_a_readable_report() {
+        let before = fixtures::fig1();
+        let mut after = before.clone();
+        after.ops.get_mut(&1).unwrap().total_cost *= 1.5;
+        let text = diff_qeps(&before, &after).to_string();
+        assert!(text.contains("total cost:"));
+        assert!(text.contains("+50.0%") || text.contains("+49.9%"), "{text}");
+    }
+}

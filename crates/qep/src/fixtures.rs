@@ -1,0 +1,428 @@
+//! Reconstructions of the plans shown in the paper's figures, used across
+//! the workspace as known-good test inputs.
+
+use crate::model::*;
+
+fn stream(kind: StreamKind, source: InputSource, rows: f64) -> InputStream {
+    InputStream {
+        kind,
+        source,
+        estimated_rows: rows,
+    }
+}
+
+fn op_stream(kind: StreamKind, id: u32, rows: f64) -> InputStream {
+    stream(kind, InputSource::Op(id), rows)
+}
+
+fn obj_stream(kind: StreamKind, name: &str, rows: f64) -> InputStream {
+    stream(kind, InputSource::Object(name.to_string()), rows)
+}
+
+/// The paper's Figure 1: an `NLJOIN` whose outer side fetches
+/// `SALES_FACT` rows through an index and whose inner side table-scans
+/// `CUST_DIM` — the motivating Pattern A instance (§1.1, §2.2).
+pub fn fig1() -> Qep {
+    let mut q = Qep::new("fig1");
+    q.statement = Some(
+        "SELECT C.CUST_NAME, S.AMOUNT FROM SALES_FACT S, CUST_DIM C \
+         WHERE S.CUST_ID = C.CUST_ID AND C.REGION = 'EAST'"
+            .to_string(),
+    );
+
+    let mut ret = PlanOp::new(1, OpType::Return);
+    ret.cardinality = 1251.0;
+    ret.total_cost = 16801.2;
+    ret.io_cost = 1890.0;
+    ret.cpu_cost = 9.2e6;
+    ret.first_row_cost = 24.1;
+    ret.buffers = 690.0;
+    ret.inputs.push(op_stream(StreamKind::Generic, 2, 1251.0));
+    q.insert_op(ret);
+
+    let mut nljoin = PlanOp::new(2, OpType::NlJoin);
+    nljoin.cardinality = 1251.0;
+    nljoin.total_cost = 16800.0;
+    nljoin.io_cost = 1887.0;
+    nljoin.cpu_cost = 8.1e6;
+    nljoin.first_row_cost = 24.04;
+    nljoin.buffers = 687.0;
+    nljoin.predicates.push(Predicate {
+        kind: PredicateKind::Join,
+        text: "(Q2.CUST_ID = Q1.CUST_ID)".into(),
+    });
+    nljoin.inputs.push(op_stream(StreamKind::Outer, 3, 1251.0));
+    nljoin.inputs.push(op_stream(StreamKind::Inner, 5, 4043.0));
+    q.insert_op(nljoin);
+
+    let mut fetch = PlanOp::new(3, OpType::Fetch);
+    fetch.cardinality = 1251.0;
+    fetch.total_cost = 987.65;
+    fetch.io_cost = 120.5;
+    fetch.cpu_cost = 2.4e6;
+    fetch.first_row_cost = 12.1;
+    fetch.buffers = 118.0;
+    fetch.inputs.push(op_stream(StreamKind::Outer, 4, 1251.0));
+    fetch.inputs.push(obj_stream(
+        StreamKind::Generic,
+        "BIGD.SALES_FACT",
+        1.93187e6,
+    ));
+    q.insert_op(fetch);
+
+    let mut ixscan = PlanOp::new(4, OpType::IxScan);
+    ixscan.cardinality = 1251.0;
+    ixscan.total_cost = 19.12;
+    ixscan.io_cost = 3.0;
+    ixscan.cpu_cost = 3.9e5;
+    ixscan.first_row_cost = 6.4;
+    ixscan.buffers = 3.0;
+    ixscan.predicates.push(Predicate {
+        kind: PredicateKind::StartKey,
+        text: "(Q1.CUST_ID <= Q2.CUST_ID)".into(),
+    });
+    ixscan.predicates.push(Predicate {
+        kind: PredicateKind::StopKey,
+        text: "(Q1.CUST_ID >= Q2.CUST_ID)".into(),
+    });
+    ixscan
+        .inputs
+        .push(obj_stream(StreamKind::Generic, "BIGD.IDX1", 1.93187e6));
+    q.insert_op(ixscan);
+
+    let mut tbscan = PlanOp::new(5, OpType::TbScan);
+    tbscan.cardinality = 4043.0;
+    tbscan.total_cost = 15771.0;
+    tbscan.io_cost = 1755.0;
+    tbscan.cpu_cost = 5.1e6;
+    tbscan.first_row_cost = 9.9;
+    tbscan.buffers = 560.0;
+    tbscan.arguments.insert("MAXPAGES".into(), "ALL".into());
+    tbscan
+        .arguments
+        .insert("PREFETCH".into(), "SEQUENTIAL".into());
+    tbscan.predicates.push(Predicate {
+        kind: PredicateKind::Sargable,
+        text: "(Q1.REGION = 'EAST')".into(),
+    });
+    tbscan
+        .inputs
+        .push(obj_stream(StreamKind::Generic, "BIGD.CUST_DIM", 4043.0));
+    q.insert_op(tbscan);
+
+    q.insert_object(BaseObject {
+        schema: "BIGD".into(),
+        name: "SALES_FACT".into(),
+        kind: BaseObjectKind::Table,
+        cardinality: 1.93187e6,
+        columns: vec!["CUST_ID".into(), "AMOUNT".into(), "SALE_DATE".into()],
+    });
+    q.insert_object(BaseObject {
+        schema: "BIGD".into(),
+        name: "IDX1".into(),
+        kind: BaseObjectKind::Index,
+        cardinality: 1.93187e6,
+        columns: vec!["CUST_ID".into()],
+    });
+    q.insert_object(BaseObject {
+        schema: "BIGD".into(),
+        name: "CUST_DIM".into(),
+        kind: BaseObjectKind::Table,
+        cardinality: 4043.0,
+        columns: vec!["CUST_ID".into(), "CUST_NAME".into(), "REGION".into()],
+    });
+    q
+}
+
+/// The paper's Figure 7: a join with left-outer joins below both its outer
+/// and inner input streams — the poor-join-order Pattern B instance
+/// (`(T1 LOJ T2) JOIN (T3 LOJ T4)`, §2.3). The inner-side LOJ sits under a
+/// TEMP, so only a *descendant* (recursive) pattern finds it.
+pub fn fig7() -> Qep {
+    let mut q = Qep::new("fig7");
+    q.statement = Some(
+        "SELECT ... FROM (CUSTOMER LEFT JOIN ACCOUNT ...) JOIN \
+         (TRAN_DIM LEFT JOIN TRAN_BASE ...) ..."
+            .to_string(),
+    );
+
+    let mut ret = PlanOp::new(1, OpType::Return);
+    ret.cardinality = 78417.0;
+    ret.total_cost = 98211.4;
+    ret.io_cost = 10011.0;
+    ret.inputs.push(op_stream(StreamKind::Generic, 5, 78417.0));
+    q.insert_op(ret);
+
+    let mut top = PlanOp::new(5, OpType::NlJoin);
+    top.cardinality = 78417.0;
+    top.total_cost = 98210.0;
+    top.io_cost = 10010.0;
+    top.predicates.push(Predicate {
+        kind: PredicateKind::Join,
+        text: "(Q3.CUST_ID = Q4.CUST_ID)".into(),
+    });
+    top.inputs.push(op_stream(StreamKind::Outer, 6, 78417.0));
+    top.inputs.push(op_stream(StreamKind::Inner, 13, 1.9e-5));
+    q.insert_op(top);
+
+    let mut loj_outer = PlanOp::new(6, OpType::HsJoin);
+    loj_outer.modifier = JoinModifier::LeftOuter;
+    loj_outer.cardinality = 78417.0;
+    loj_outer.total_cost = 61220.0;
+    loj_outer.io_cost = 7050.0;
+    loj_outer.predicates.push(Predicate {
+        kind: PredicateKind::Join,
+        text: "(Q1.ACCT_ID = Q2.ACCT_ID)".into(),
+    });
+    loj_outer
+        .inputs
+        .push(op_stream(StreamKind::Outer, 7, 78417.0));
+    loj_outer
+        .inputs
+        .push(op_stream(StreamKind::Inner, 12, 2.1e6));
+    q.insert_op(loj_outer);
+
+    let mut anti = PlanOp::new(7, OpType::HsJoin);
+    anti.modifier = JoinModifier::Anti;
+    anti.cardinality = 78417.0;
+    anti.total_cost = 30110.0;
+    anti.io_cost = 3410.0;
+    anti.predicates.push(Predicate {
+        kind: PredicateKind::Join,
+        text: "(Q1.CUST_ID = Q5.CUST_ID)".into(),
+    });
+    anti.inputs.push(op_stream(StreamKind::Outer, 8, 81020.0));
+    anti.inputs.push(op_stream(StreamKind::Inner, 9, 2603.0));
+    q.insert_op(anti);
+
+    let mut scan_cust = PlanOp::new(8, OpType::TbScan);
+    scan_cust.cardinality = 81020.0;
+    scan_cust.total_cost = 15100.0;
+    scan_cust.io_cost = 1700.0;
+    scan_cust
+        .inputs
+        .push(obj_stream(StreamKind::Generic, "BIGD.CUSTOMER", 81020.0));
+    q.insert_op(scan_cust);
+
+    let mut scan_blk = PlanOp::new(9, OpType::TbScan);
+    scan_blk.cardinality = 2603.0;
+    scan_blk.total_cost = 14100.0;
+    scan_blk.io_cost = 1600.0;
+    scan_blk
+        .inputs
+        .push(obj_stream(StreamKind::Generic, "BIGD.BLOCKED_CUST", 2603.0));
+    q.insert_op(scan_blk);
+
+    let mut scan_tel = PlanOp::new(12, OpType::TbScan);
+    scan_tel.cardinality = 2.1e6;
+    scan_tel.total_cost = 15900.0;
+    scan_tel.io_cost = 1850.0;
+    scan_tel.inputs.push(obj_stream(
+        StreamKind::Generic,
+        "BIGD.TELEPHONE_DETAIL",
+        2.1e6,
+    ));
+    q.insert_op(scan_tel);
+
+    let mut scan_temp = PlanOp::new(13, OpType::TbScan);
+    scan_temp.cardinality = 1.9e-5;
+    scan_temp.total_cost = 36980.0;
+    scan_temp.io_cost = 2960.0;
+    scan_temp
+        .inputs
+        .push(op_stream(StreamKind::Generic, 14, 1.9e-5));
+    q.insert_op(scan_temp);
+
+    let mut temp = PlanOp::new(14, OpType::Temp);
+    temp.cardinality = 1.9e-5;
+    temp.total_cost = 36970.0;
+    temp.io_cost = 2955.0;
+    temp.inputs.push(op_stream(StreamKind::Generic, 15, 1.9e-5));
+    q.insert_op(temp);
+
+    let mut loj_inner = PlanOp::new(15, OpType::NlJoin);
+    loj_inner.modifier = JoinModifier::LeftOuter;
+    loj_inner.cardinality = 1.9e-5;
+    loj_inner.total_cost = 36960.0;
+    loj_inner.io_cost = 2950.0;
+    loj_inner.predicates.push(Predicate {
+        kind: PredicateKind::Join,
+        text: "(Q4.TRAN_ID = Q6.TRAN_ID)".into(),
+    });
+    loj_inner
+        .inputs
+        .push(op_stream(StreamKind::Outer, 16, 912.0));
+    loj_inner
+        .inputs
+        .push(op_stream(StreamKind::Inner, 38, 1.311e-8));
+    q.insert_op(loj_inner);
+
+    let mut scan_dim = PlanOp::new(16, OpType::TbScan);
+    scan_dim.cardinality = 912.0;
+    scan_dim.total_cost = 4100.0;
+    scan_dim.io_cost = 410.0;
+    scan_dim
+        .inputs
+        .push(obj_stream(StreamKind::Generic, "BIGD.TRAN_DIM", 912.0));
+    q.insert_op(scan_dim);
+
+    let mut ixscan = PlanOp::new(38, OpType::IxScan);
+    ixscan.cardinality = 1.311e-8;
+    ixscan.total_cost = 1630.0;
+    ixscan.io_cost = 163.0;
+    ixscan.predicates.push(Predicate {
+        kind: PredicateKind::StartKey,
+        text: "(Q6.TRAN_ID <= Q4.TRAN_ID)".into(),
+    });
+    ixscan
+        .inputs
+        .push(obj_stream(StreamKind::Generic, "BIGD.IDX9", 2.87997e8));
+    q.insert_op(ixscan);
+
+    for (schema, name, kind, card, columns) in [
+        (
+            "BIGD",
+            "CUSTOMER",
+            BaseObjectKind::Table,
+            81020.0,
+            vec!["CUST_ID", "NAME"],
+        ),
+        (
+            "BIGD",
+            "BLOCKED_CUST",
+            BaseObjectKind::Table,
+            2603.0,
+            vec!["CUST_ID"],
+        ),
+        (
+            "BIGD",
+            "TELEPHONE_DETAIL",
+            BaseObjectKind::Table,
+            2.1e6,
+            vec!["ACCT_ID", "PHONE"],
+        ),
+        (
+            "BIGD",
+            "TRAN_DIM",
+            BaseObjectKind::Table,
+            912.0,
+            vec!["TRAN_ID", "KIND"],
+        ),
+        (
+            "BIGD",
+            "IDX9",
+            BaseObjectKind::Index,
+            2.87997e8,
+            vec!["TRAN_ID"],
+        ),
+    ] {
+        q.insert_object(BaseObject {
+            schema: schema.into(),
+            name: name.into(),
+            kind,
+            cardinality: card,
+            columns: columns.into_iter().map(String::from).collect(),
+        });
+    }
+    q
+}
+
+/// The paper's Figure 8: an `IXSCAN` whose estimated cardinality collapses
+/// to `1.311e-08` over a base object with 2.88e+08 rows — the
+/// cardinality-misestimation Pattern C instance whose fix is column-group
+/// statistics (§2.3).
+pub fn fig8() -> Qep {
+    let mut q = Qep::new("fig8");
+    q.statement =
+        Some("SELECT ... FROM TRAN_BASE WHERE TRAN_TYPE = ? AND TRAN_CODE = ?".to_string());
+
+    let mut ret = PlanOp::new(1, OpType::Return);
+    ret.cardinality = 1.311e-8;
+    ret.total_cost = 1651.2;
+    ret.io_cost = 165.4;
+    ret.inputs.push(op_stream(StreamKind::Generic, 2, 1.311e-8));
+    q.insert_op(ret);
+
+    let mut fetch = PlanOp::new(2, OpType::Fetch);
+    fetch.cardinality = 1.311e-8;
+    fetch.total_cost = 1650.0;
+    fetch.io_cost = 165.0;
+    fetch
+        .inputs
+        .push(op_stream(StreamKind::Outer, 38, 1.311e-8));
+    fetch
+        .inputs
+        .push(obj_stream(StreamKind::Generic, "BIGD.TRAN_BASE", 2.87997e8));
+    q.insert_op(fetch);
+
+    let mut ixscan = PlanOp::new(38, OpType::IxScan);
+    ixscan.cardinality = 1.311e-8;
+    ixscan.total_cost = 1630.0;
+    ixscan.io_cost = 163.0;
+    ixscan.predicates.push(Predicate {
+        kind: PredicateKind::StartKey,
+        text: "(Q1.TRAN_TYPE = ?)".into(),
+    });
+    ixscan.predicates.push(Predicate {
+        kind: PredicateKind::Sargable,
+        text: "(Q1.TRAN_CODE = ?)".into(),
+    });
+    ixscan
+        .inputs
+        .push(obj_stream(StreamKind::Generic, "BIGD.IDX9", 2.87997e8));
+    q.insert_op(ixscan);
+
+    q.insert_object(BaseObject {
+        schema: "BIGD".into(),
+        name: "TRAN_BASE".into(),
+        kind: BaseObjectKind::Table,
+        cardinality: 2.87997e8,
+        columns: vec!["TRAN_ID".into(), "TRAN_TYPE".into(), "TRAN_CODE".into()],
+    });
+    q.insert_object(BaseObject {
+        schema: "BIGD".into(),
+        name: "IDX9".into(),
+        kind: BaseObjectKind::Index,
+        cardinality: 2.87997e8,
+        columns: vec!["TRAN_TYPE".into()],
+    });
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fixtures_validate() {
+        for (name, q) in [("fig1", fig1()), ("fig7", fig7()), ("fig8", fig8())] {
+            q.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn fig7_has_loj_on_both_sides_of_top_join() {
+        let q = fig7();
+        let top = q.op(5).unwrap();
+        assert!(top.op_type.is_join());
+        // Outer descendant LOJ is immediate (#6); inner LOJ (#15) is three
+        // levels down — only reachable as a *descendant*.
+        assert_eq!(q.op(6).unwrap().modifier, JoinModifier::LeftOuter);
+        assert_eq!(q.op(15).unwrap().modifier, JoinModifier::LeftOuter);
+        let inner_child = match &top.input(StreamKind::Inner).unwrap().source {
+            InputSource::Op(id) => *id,
+            _ => panic!(),
+        };
+        assert_eq!(inner_child, 13);
+        assert_ne!(inner_child, 15);
+    }
+
+    #[test]
+    fn fig8_matches_pattern_c_thresholds() {
+        let q = fig8();
+        let scan = q.op(38).unwrap();
+        assert!(scan.cardinality < 0.001);
+        let obj = &q.base_objects["BIGD.IDX9"];
+        assert!(obj.cardinality > 1e6);
+    }
+}

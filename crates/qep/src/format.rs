@@ -1,0 +1,380 @@
+//! Plan text formatting: the Figure-1-style ASCII tree plus the
+//! `db2exfmt`-style detail blocks the parser reads back.
+//!
+//! The tree is display-only (the parser skips it); the detail blocks are
+//! the machine-readable source of truth, so round-tripping
+//! `parse(format(qep)) == qep` holds for every valid plan.
+
+use std::fmt::Write as _;
+
+use optimatch_rdf::numeric::format_double;
+
+use crate::model::*;
+
+/// A renderable block of centered lines.
+struct Block {
+    lines: Vec<String>,
+    width: usize,
+    center: usize,
+}
+
+impl Block {
+    fn leaf(lines: Vec<String>) -> Block {
+        let width = lines.iter().map(|l| l.chars().count()).max().unwrap_or(1);
+        let lines = lines.into_iter().map(|l| center_pad(&l, width)).collect();
+        Block {
+            lines,
+            width,
+            center: width / 2,
+        }
+    }
+}
+
+fn center_pad(s: &str, width: usize) -> String {
+    let len = s.chars().count();
+    if len >= width {
+        return s.to_string();
+    }
+    let left = (width - len) / 2;
+    format!(
+        "{}{}{}",
+        " ".repeat(left),
+        s,
+        " ".repeat(width - len - left)
+    )
+}
+
+/// Render the plan as Figure-1-style ASCII art. Shared subtrees (a TEMP
+/// with several consumers) are rendered once per consumer, as db2exfmt does.
+pub fn render_tree(qep: &Qep) -> String {
+    let Some(root) = qep.root() else {
+        return String::new();
+    };
+    // Guard against malformed (cyclic) plans: cap depth.
+    let block = render_op(qep, root, 0);
+    let mut out = String::new();
+    for line in block.lines {
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+const GAP: usize = 3;
+const MAX_DEPTH: usize = 200;
+
+fn render_op(qep: &Qep, op: &PlanOp, depth: usize) -> Block {
+    let own = Block::leaf(vec![
+        format_double(op.cardinality),
+        op.display_name(),
+        format!("( {})", op.id),
+        format_double(op.total_cost),
+        format_double(op.io_cost),
+    ]);
+    if op.inputs.is_empty() || depth >= MAX_DEPTH {
+        return own;
+    }
+    let children: Vec<Block> = op
+        .inputs
+        .iter()
+        .map(|s| match &s.source {
+            InputSource::Op(id) => match qep.op(*id) {
+                Some(child) => render_op(qep, child, depth + 1),
+                None => Block::leaf(vec![format!("#{id}?")]),
+            },
+            InputSource::Object(name) => {
+                let card = qep
+                    .base_objects
+                    .get(name)
+                    .map(|o| o.cardinality)
+                    .unwrap_or(s.estimated_rows);
+                let short = name.split('.').next_back().unwrap_or(name);
+                Block::leaf(vec![format_double(card), short.to_string()])
+            }
+        })
+        .collect();
+    stack(own, children)
+}
+
+/// Stack a parent block over its child blocks with connector lines.
+fn stack(parent: Block, children: Vec<Block>) -> Block {
+    // Lay children side by side.
+    let mut child_centers = Vec::with_capacity(children.len());
+    let mut offset = 0usize;
+    let total_height = children.iter().map(|c| c.lines.len()).max().unwrap_or(0);
+    let mut child_rows: Vec<String> = vec![String::new(); total_height];
+    for (i, child) in children.iter().enumerate() {
+        if i > 0 {
+            offset += GAP;
+            for row in child_rows.iter_mut() {
+                while row.chars().count() < offset {
+                    row.push(' ');
+                }
+            }
+        }
+        child_centers.push(offset + child.center);
+        for (r, row) in child_rows.iter_mut().enumerate() {
+            while row.chars().count() < offset {
+                row.push(' ');
+            }
+            match child.lines.get(r) {
+                Some(line) => row.push_str(line),
+                None => row.push_str(&" ".repeat(child.width)),
+            }
+        }
+        offset += child.width;
+    }
+    let children_width = offset;
+
+    // Parent sits centered over the span of child centers.
+    let anchor = if child_centers.len() == 1 {
+        child_centers[0]
+    } else {
+        (child_centers[0] + child_centers[child_centers.len() - 1]) / 2
+    };
+
+    let parent_left = anchor.saturating_sub(parent.center);
+    let width = children_width
+        .max(parent_left + parent.width)
+        .max(anchor + 1);
+
+    let mut lines = Vec::new();
+    for line in &parent.lines {
+        let mut row = " ".repeat(parent_left);
+        row.push_str(line);
+        lines.push(pad_to(row, width));
+    }
+
+    // Connector row.
+    let mut connector: Vec<char> = vec![' '; width];
+    if child_centers.len() == 1 {
+        connector[child_centers[0]] = '|';
+    } else {
+        let first = child_centers[0];
+        let last = child_centers[child_centers.len() - 1];
+        for c in connector.iter_mut().take(last).skip(first + 1) {
+            *c = '-';
+        }
+        connector[first] = '/';
+        connector[last] = '\\';
+        for &c in &child_centers[1..child_centers.len() - 1] {
+            connector[c] = '+';
+        }
+        // Keep the visual anchor visible on wide spreads.
+        if last - first > 2 && connector[anchor] == '-' {
+            connector[anchor] = '+';
+        }
+    }
+    lines.push(pad_to(connector.into_iter().collect(), width));
+
+    for row in child_rows {
+        lines.push(pad_to(row, width));
+    }
+
+    Block {
+        lines,
+        width,
+        center: anchor,
+    }
+}
+
+fn pad_to(mut s: String, width: usize) -> String {
+    while s.chars().count() < width {
+        s.push(' ');
+    }
+    s
+}
+
+/// Serialize a plan to the full text format (header, access-plan summary,
+/// tree art, plan details, base objects).
+pub fn format_qep(qep: &Qep) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "DB2-STYLE EXPLAIN OUTPUT (optimatch-qep format v1)");
+    let _ = writeln!(w);
+    let _ = writeln!(w, "QEP-ID: {}", qep.id);
+    if let Some(stmt) = &qep.statement {
+        let _ = writeln!(w, "STATEMENT: {}", stmt.replace('\n', " "));
+    }
+    let _ = writeln!(w);
+    let _ = writeln!(w, "Access Plan:");
+    let _ = writeln!(w, "-----------");
+    let _ = writeln!(
+        w,
+        "        Total Cost:             {}",
+        format_double(qep.total_cost())
+    );
+    let _ = writeln!(w, "        Query Degree:           1");
+    let _ = writeln!(w);
+    let _ = write!(w, "{}", render_tree(qep));
+    let _ = writeln!(w);
+    let _ = writeln!(w, "Plan Details:");
+    let _ = writeln!(w, "-------------");
+    let _ = writeln!(w);
+
+    for op in qep.ops.values() {
+        let _ = writeln!(
+            w,
+            "  {}) {}: ({})",
+            op.id,
+            op.display_name(),
+            op.op_type.long_name()
+        );
+        let kv = |w: &mut String, key: &str, value: String| {
+            let _ = writeln!(w, "        {key:<32}{value}");
+        };
+        kv(w, "Cumulative Total Cost:", format_double(op.total_cost));
+        kv(w, "Cumulative I/O Cost:", format_double(op.io_cost));
+        kv(w, "Cumulative CPU Cost:", format_double(op.cpu_cost));
+        kv(
+            w,
+            "Cumulative First Row Cost:",
+            format_double(op.first_row_cost),
+        );
+        kv(w, "Estimated Cardinality:", format_double(op.cardinality));
+        kv(
+            w,
+            "Estimated Bufferpool Buffers:",
+            format_double(op.buffers),
+        );
+        if let Some(label) = op.modifier.label() {
+            kv(w, "Join Type:", label.to_string());
+        }
+        if !op.arguments.is_empty() {
+            let _ = writeln!(w, "        Arguments:");
+            let _ = writeln!(w, "        ---------");
+            for (k, v) in &op.arguments {
+                let _ = writeln!(w, "                {k}: {v}");
+            }
+        }
+        if !op.predicates.is_empty() {
+            let _ = writeln!(w, "        Predicates:");
+            let _ = writeln!(w, "        ----------");
+            for (i, p) in op.predicates.iter().enumerate() {
+                let _ = writeln!(w, "          {}) {},", i + 1, p.kind.label());
+                let _ = writeln!(w, "                Predicate Text: {}", p.text);
+            }
+        }
+        if !op.inputs.is_empty() {
+            let _ = writeln!(w, "        Input Streams:");
+            let _ = writeln!(w, "        -------------");
+            for (i, s) in op.inputs.iter().enumerate() {
+                match &s.source {
+                    InputSource::Op(id) => {
+                        let _ = writeln!(
+                            w,
+                            "                {}) From Operator #{} ({})",
+                            i + 1,
+                            id,
+                            s.kind.label()
+                        );
+                    }
+                    InputSource::Object(name) => {
+                        let _ = writeln!(
+                            w,
+                            "                {}) From Object {} ({})",
+                            i + 1,
+                            name,
+                            s.kind.label()
+                        );
+                    }
+                }
+                let _ = writeln!(
+                    w,
+                    "                        Estimated number of rows:       {}",
+                    format_double(s.estimated_rows)
+                );
+            }
+        }
+        let _ = writeln!(w);
+    }
+
+    if !qep.base_objects.is_empty() {
+        let _ = writeln!(w, "Base Objects:");
+        let _ = writeln!(w, "------------");
+        for obj in qep.base_objects.values() {
+            let _ = writeln!(w, "  {}: {}", obj.qualified_name(), obj.kind.label());
+            let _ = writeln!(
+                w,
+                "        Cardinality:    {}",
+                format_double(obj.cardinality)
+            );
+            let _ = writeln!(w, "        Columns: {}", obj.columns.join(", "));
+        }
+        let _ = writeln!(w);
+    }
+    let _ = writeln!(w, "End of Explain.");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn tree_renders_figure1_shape() {
+        let art = render_tree(&fixtures::fig1());
+        // Every operator mnemonic with id shows up.
+        for needle in ["RETURN", "NLJOIN", "FETCH", "IXSCAN", "TBSCAN"] {
+            assert!(art.contains(needle), "missing {needle} in:\n{art}");
+        }
+        // Leaf base objects appear by short name with their cardinality.
+        assert!(art.contains("CUST_DIM"));
+        assert!(art.contains("SALES_FACT"));
+        assert!(art.contains("1.93187e+06"));
+        // Branching connectors exist.
+        assert!(art.contains('/') && art.contains('\\'));
+    }
+
+    #[test]
+    fn tree_shows_join_modifier_prefixes() {
+        let art = render_tree(&fixtures::fig7());
+        assert!(art.contains(">HSJOIN"), "{art}");
+        assert!(art.contains("^HSJOIN"), "{art}");
+        assert!(art.contains(">NLJOIN"), "{art}");
+    }
+
+    #[test]
+    fn tree_lines_do_not_collide() {
+        // No line may contain two operator names mashed together without
+        // the separating gap.
+        let art = render_tree(&fixtures::fig7());
+        for line in art.lines() {
+            assert!(!line.contains("SCAN TBSCANible"), "{line}");
+            // Columns should be separated by at least one space.
+            assert!(!line.contains(")("), "{line}");
+        }
+    }
+
+    #[test]
+    fn format_contains_detail_blocks() {
+        let text = format_qep(&fixtures::fig1());
+        assert!(text.contains("QEP-ID: fig1"));
+        assert!(text.contains("  2) NLJOIN: (Nested Loop Join)"));
+        assert!(text.contains("Cumulative Total Cost:          16800.0"));
+        assert!(text.contains("From Operator #5 (Inner)"));
+        assert!(text.contains("From Object BIGD.CUST_DIM (Generic)"));
+        assert!(text.contains("BIGD.CUST_DIM: TABLE"));
+        assert!(text.contains("Predicate Text: (Q2.CUST_ID = Q1.CUST_ID)"));
+        assert!(text.ends_with("End of Explain.\n"));
+    }
+
+    #[test]
+    fn format_emits_join_type_line_only_for_modified_joins() {
+        let fig1 = format_qep(&fixtures::fig1());
+        assert!(!fig1.contains("Join Type:"));
+        let fig7 = format_qep(&fixtures::fig7());
+        assert!(fig7.contains("Join Type:                      LEFT OUTER"));
+        assert!(fig7.contains("Join Type:                      ANTI"));
+    }
+
+    #[test]
+    fn single_op_plan_renders() {
+        let mut q = Qep::new("tiny");
+        q.insert_op(PlanOp::new(1, OpType::Return));
+        let art = render_tree(&q);
+        assert!(art.contains("RETURN"));
+        let text = format_qep(&q);
+        assert!(text.contains("  1) RETURN:"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # optimatch-qep
+//!
+//! A DB2-style query-execution-plan substrate: the data model, a text
+//! format modeled on `db2exfmt` output, a parser for that format, and a
+//! Figure-1-style ASCII tree renderer.
+//!
+//! The OptImatch paper consumes QEP files produced by IBM DB2's explain
+//! facility. DB2 is proprietary, so this crate defines an equivalent
+//! artifact (same information content, deliberately similar layout):
+//!
+//! * operators ("LOLEPOPs") numbered as in the plan, each carrying
+//!   estimated cardinality, cumulative total / I/O / CPU / first-row cost,
+//!   bufferpool buffers, op-specific arguments and applied predicates;
+//! * three input-stream kinds — **outer**, **inner**, **generic** — exactly
+//!   the relationship taxonomy of the paper's §2.1;
+//! * join modifiers rendered as the paper shows them: `>HSJOIN` for a left
+//!   outer join, `^NLJOIN` for an anti join (see its Figure 7);
+//! * base objects (tables and indexes) as leaf inputs;
+//! * numeric values printed in the same mixed decimal / exponent style
+//!   (`4043.0` next to `1.93187e+06`) that the paper's user study blames
+//!   for manual `grep` errors.
+//!
+//! The text format keeps the human-facing ASCII plan tree (display only)
+//! and machine-parses the *Plan Details* blocks, so parsing is robust to
+//! tree-drawing geometry.
+
+pub mod diff;
+pub mod fixtures;
+pub mod format;
+pub mod model;
+pub mod parse;
+pub mod stats;
+
+pub use diff::{diff_qeps, PlanDiff};
+pub use format::{format_qep, render_tree};
+pub use model::{
+    BaseObject, BaseObjectKind, InputSource, InputStream, JoinModifier, OpType, PlanOp, Predicate,
+    PredicateKind, Qep, StreamKind,
+};
+pub use parse::{parse_qep, QepParseError};
+pub use stats::{workload_stats, WorkloadStats};

@@ -1,0 +1,427 @@
+//! Parser for the plan text format written by [`crate::format::format_qep`].
+//!
+//! The parser is a line-oriented state machine over the *Plan Details* and
+//! *Base Objects* sections; the ASCII plan tree is display-only and is
+//! skipped entirely, so tree-drawing geometry can never corrupt parsing —
+//! the structural weakness of `grep`-based plan reading that the paper's
+//! user study quantifies does not apply here.
+
+use std::fmt;
+use std::str::FromStr;
+
+use optimatch_rdf::numeric::parse_numeric;
+
+use crate::model::*;
+
+/// A parse failure with its line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QepParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for QepParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QEP parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for QepParseError {}
+
+/// Parse a plan text document.
+pub fn parse_qep(text: &str) -> Result<Qep, QepParseError> {
+    let mut qep = Qep::new("");
+    let mut current_op: Option<PlanOp> = None;
+    let mut current_obj: Option<BaseObject> = None;
+    let mut section = Section::Preamble;
+    let mut op_sub = OpSub::Costs;
+    let mut pending_pred: Option<PredicateKind> = None;
+
+    let err = |line: usize, msg: &str| QepParseError {
+        line: line + 1,
+        message: msg.to_string(),
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        // Global markers switch sections regardless of state.
+        match line {
+            "Plan Details:" => {
+                section = Section::Details;
+                continue;
+            }
+            "Base Objects:" => {
+                if let Some(op) = current_op.take() {
+                    qep.insert_op(op);
+                }
+                section = Section::Objects;
+                continue;
+            }
+            "End of Explain." => {
+                if let Some(op) = current_op.take() {
+                    qep.insert_op(op);
+                }
+                if let Some(obj) = current_obj.take() {
+                    qep.insert_object(obj);
+                }
+                section = Section::Done;
+                continue;
+            }
+            _ => {}
+        }
+
+        match section {
+            Section::Preamble => {
+                if let Some(id) = line.strip_prefix("QEP-ID:") {
+                    qep.id = id.trim().to_string();
+                } else if let Some(stmt) = line.strip_prefix("STATEMENT:") {
+                    qep.statement = Some(stmt.trim().to_string());
+                }
+                // Everything else in the preamble (tree art, access-plan
+                // summary) is display-only.
+            }
+            Section::Details => {
+                // New operator header: `N) [>^+]TYPE: (Long Name)`.
+                if let Some((id, op_type, modifier)) = parse_op_header(line) {
+                    if let Some(op) = current_op.take() {
+                        qep.insert_op(op);
+                    }
+                    let mut op = PlanOp::new(id, op_type);
+                    op.modifier = modifier;
+                    current_op = Some(op);
+                    op_sub = OpSub::Costs;
+                    pending_pred = None;
+                    continue;
+                }
+                let Some(op) = current_op.as_mut() else {
+                    // A line shaped like an operator header but with an
+                    // unknown type is an error, not ignorable noise.
+                    if strip_enumerator(line).is_some_and(|r| r.contains(':')) {
+                        return Err(err(lineno, "unrecognized operator header"));
+                    }
+                    // Other stray content before the first header is
+                    // tolerated (section banners, dashes).
+                    continue;
+                };
+                match line {
+                    "Arguments:" => {
+                        op_sub = OpSub::Arguments;
+                        continue;
+                    }
+                    "Predicates:" => {
+                        op_sub = OpSub::Predicates;
+                        continue;
+                    }
+                    "Input Streams:" => {
+                        op_sub = OpSub::Streams;
+                        continue;
+                    }
+                    _ if line.chars().all(|c| c == '-') => continue,
+                    _ => {}
+                }
+                match op_sub {
+                    OpSub::Costs => {
+                        if !parse_cost_line(op, line) {
+                            return Err(err(lineno, "unrecognized operator detail line"));
+                        }
+                    }
+                    OpSub::Arguments => {
+                        let Some((k, v)) = line.split_once(':') else {
+                            return Err(err(lineno, "malformed argument line"));
+                        };
+                        op.arguments
+                            .insert(k.trim().to_string(), v.trim().to_string());
+                    }
+                    OpSub::Predicates => {
+                        if let Some(rest) = strip_enumerator(line) {
+                            let label = rest.trim_end_matches(',');
+                            let Some(kind) = PredicateKind::from_label(label) else {
+                                return Err(err(lineno, "unknown predicate kind"));
+                            };
+                            pending_pred = Some(kind);
+                        } else if let Some(text) = line.strip_prefix("Predicate Text:") {
+                            let Some(kind) = pending_pred.take() else {
+                                return Err(err(lineno, "predicate text without a kind"));
+                            };
+                            op.predicates.push(Predicate {
+                                kind,
+                                text: text.trim().to_string(),
+                            });
+                        } else {
+                            return Err(err(lineno, "malformed predicate line"));
+                        }
+                    }
+                    OpSub::Streams => {
+                        if let Some(rest) = strip_enumerator(line) {
+                            let stream = parse_stream_header(rest)
+                                .ok_or_else(|| err(lineno, "malformed input stream header"))?;
+                            op.inputs.push(stream);
+                        } else if let Some(v) = line.strip_prefix("Estimated number of rows:") {
+                            let rows = parse_numeric(v)
+                                .ok_or_else(|| err(lineno, "bad stream row estimate"))?;
+                            match op.inputs.last_mut() {
+                                Some(s) => s.estimated_rows = rows,
+                                None => return Err(err(lineno, "row estimate before stream")),
+                            }
+                        } else {
+                            return Err(err(lineno, "malformed input stream line"));
+                        }
+                    }
+                }
+            }
+            Section::Objects => {
+                // Header: `SCHEMA.NAME: KIND`.
+                if let Some((name, kind)) = parse_object_header(line) {
+                    if let Some(obj) = current_obj.take() {
+                        qep.insert_object(obj);
+                    }
+                    let (schema, bare) = match name.split_once('.') {
+                        Some((s, n)) => (s.to_string(), n.to_string()),
+                        None => (String::new(), name),
+                    };
+                    current_obj = Some(BaseObject {
+                        schema,
+                        name: bare,
+                        kind,
+                        cardinality: 0.0,
+                        columns: Vec::new(),
+                    });
+                    continue;
+                }
+                let Some(obj) = current_obj.as_mut() else {
+                    continue;
+                };
+                if let Some(v) = line.strip_prefix("Cardinality:") {
+                    obj.cardinality =
+                        parse_numeric(v).ok_or_else(|| err(lineno, "bad object cardinality"))?;
+                } else if let Some(v) = line.strip_prefix("Columns:") {
+                    obj.columns = v
+                        .split(',')
+                        .map(|c| c.trim().to_string())
+                        .filter(|c| !c.is_empty())
+                        .collect();
+                } else {
+                    return Err(err(lineno, "unrecognized base object line"));
+                }
+            }
+            Section::Done => {
+                return Err(err(lineno, "content after End of Explain."));
+            }
+        }
+    }
+
+    if let Some(op) = current_op.take() {
+        qep.insert_op(op);
+    }
+    if let Some(obj) = current_obj.take() {
+        qep.insert_object(obj);
+    }
+    Ok(qep)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Section {
+    Preamble,
+    Details,
+    Objects,
+    Done,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum OpSub {
+    Costs,
+    Arguments,
+    Predicates,
+    Streams,
+}
+
+/// `N) ` prefix; returns the remainder.
+fn strip_enumerator(line: &str) -> Option<&str> {
+    let (num, rest) = line.split_once(')')?;
+    if num.is_empty() || !num.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Some(rest.trim_start())
+}
+
+/// Parse `N) [>^+]TYPE: (Long Name)` returning id, type, modifier.
+fn parse_op_header(line: &str) -> Option<(u32, OpType, JoinModifier)> {
+    let (num, rest) = line.split_once(')')?;
+    let id: u32 = num.trim().parse().ok()?;
+    let rest = rest.trim_start();
+    let (name_part, tail) = rest.split_once(':')?;
+    if !tail.trim_start().starts_with('(') {
+        return None;
+    }
+    let (modifier, mnemonic) = match name_part.chars().next()? {
+        '>' => (JoinModifier::LeftOuter, &name_part[1..]),
+        '^' => (JoinModifier::Anti, &name_part[1..]),
+        '+' => (JoinModifier::FullOuter, &name_part[1..]),
+        _ => (JoinModifier::None, name_part),
+    };
+    let op_type = OpType::from_str(mnemonic).ok()?;
+    Some((id, op_type, modifier))
+}
+
+/// Parse a cost / cardinality key-value line into the operator. Returns
+/// false for unknown keys.
+fn parse_cost_line(op: &mut PlanOp, line: &str) -> bool {
+    let Some((key, value)) = line.split_once(':') else {
+        return false;
+    };
+    let key = key.trim();
+    let value = value.trim();
+    if key == "Join Type" {
+        match JoinModifier::from_label(value) {
+            Some(m) => {
+                op.modifier = m;
+                return true;
+            }
+            None => return false,
+        }
+    }
+    let Some(num) = parse_numeric(value) else {
+        return false;
+    };
+    match key {
+        "Cumulative Total Cost" => op.total_cost = num,
+        "Cumulative I/O Cost" => op.io_cost = num,
+        "Cumulative CPU Cost" => op.cpu_cost = num,
+        "Cumulative First Row Cost" => op.first_row_cost = num,
+        "Estimated Cardinality" => op.cardinality = num,
+        "Estimated Bufferpool Buffers" => op.buffers = num,
+        _ => return false,
+    }
+    true
+}
+
+/// Parse `From Operator #N (Kind)` / `From Object NAME (Kind)`.
+fn parse_stream_header(rest: &str) -> Option<InputStream> {
+    let (body, kind_part) = rest.rsplit_once('(')?;
+    let kind = StreamKind::from_label(kind_part.trim_end_matches(')').trim())?;
+    let body = body.trim();
+    let source = if let Some(op_ref) = body.strip_prefix("From Operator #") {
+        InputSource::Op(op_ref.trim().parse().ok()?)
+    } else if let Some(obj) = body.strip_prefix("From Object") {
+        InputSource::Object(obj.trim().to_string())
+    } else {
+        return None;
+    };
+    Some(InputStream {
+        kind,
+        source,
+        estimated_rows: 0.0,
+    })
+}
+
+/// Parse `SCHEMA.NAME: KIND`.
+fn parse_object_header(line: &str) -> Option<(String, BaseObjectKind)> {
+    let (name, kind) = line.rsplit_once(':')?;
+    let kind = BaseObjectKind::from_label(kind.trim())?;
+    Some((name.trim().to_string(), kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::format::format_qep;
+
+    #[test]
+    fn round_trips_all_fixtures() {
+        for q in [fixtures::fig1(), fixtures::fig7(), fixtures::fig8()] {
+            let text = format_qep(&q);
+            let back = parse_qep(&text).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+            assert_eq!(back, q, "round trip failed for {}", q.id);
+        }
+    }
+
+    #[test]
+    fn parses_header_variants() {
+        assert_eq!(
+            parse_op_header("2) NLJOIN: (Nested Loop Join)"),
+            Some((2, OpType::NlJoin, JoinModifier::None))
+        );
+        assert_eq!(
+            parse_op_header("6) >HSJOIN: (Hash Join)"),
+            Some((6, OpType::HsJoin, JoinModifier::LeftOuter))
+        );
+        assert_eq!(
+            parse_op_header("7) ^HSJOIN: (Hash Join)"),
+            Some((7, OpType::HsJoin, JoinModifier::Anti))
+        );
+        assert_eq!(parse_op_header("not a header"), None);
+        assert_eq!(parse_op_header("2) NOSUCH: (X)"), None);
+    }
+
+    #[test]
+    fn parses_stream_headers() {
+        let s = parse_stream_header("From Operator #5 (Inner)").unwrap();
+        assert_eq!(s.kind, StreamKind::Inner);
+        assert_eq!(s.source, InputSource::Op(5));
+        let s = parse_stream_header("From Object BIGD.CUST_DIM (Generic)").unwrap();
+        assert_eq!(s.source, InputSource::Object("BIGD.CUST_DIM".into()));
+        assert!(parse_stream_header("From Nowhere (Inner)").is_none());
+        assert!(parse_stream_header("From Operator #5 (Sideways)").is_none());
+    }
+
+    #[test]
+    fn tolerates_tree_art_in_preamble() {
+        // The parser must ignore plan art entirely — including lines that
+        // look numeric or contain operator names.
+        let q = fixtures::fig1();
+        let text = format_qep(&q);
+        assert!(text.contains("NLJOIN\n") || text.contains("NLJOIN "));
+        let back = parse_qep(&text).unwrap();
+        assert_eq!(back.op_count(), 5);
+    }
+
+    #[test]
+    fn exponent_cardinalities_parse() {
+        let q = fixtures::fig8();
+        let text = format_qep(&q);
+        assert!(text.contains("1.311e-08"));
+        let back = parse_qep(&text).unwrap();
+        assert_eq!(back.op(38).unwrap().cardinality, 1.311e-8);
+        assert_eq!(back.base_objects["BIGD.TRAN_BASE"].cardinality, 2.87997e8);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        let good = format_qep(&fixtures::fig1());
+        // Corrupt a cost value.
+        let bad = good.replace(
+            "Cumulative Total Cost:          16800.0",
+            "Cumulative Total Cost:          lots",
+        );
+        assert!(parse_qep(&bad).is_err());
+        // Content after the end marker.
+        let bad = format!("{good}\nrogue line\n");
+        assert!(parse_qep(&bad).is_err());
+        // Unknown predicate kind.
+        let bad = good.replace("1) Join Predicate,", "1) Vibes Predicate,");
+        assert!(parse_qep(&bad).is_err());
+    }
+
+    #[test]
+    fn preserves_statement_and_id() {
+        let q = fixtures::fig1();
+        let back = parse_qep(&format_qep(&q)).unwrap();
+        assert_eq!(back.id, "fig1");
+        assert_eq!(back.statement, q.statement);
+    }
+
+    #[test]
+    fn parsed_plans_validate() {
+        for q in [fixtures::fig1(), fixtures::fig7(), fixtures::fig8()] {
+            let back = parse_qep(&format_qep(&q)).unwrap();
+            back.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! The in-memory triple store.
+//!
+//! A [`Graph`] keeps every triple in three B-tree indexes — SPO, POS, and
+//! OSP — so that any triple pattern with at least one bound position resolves
+//! to a contiguous range scan. This is the same indexing discipline RDF
+//! stores like Jena TDB use, scaled down to the per-QEP graphs OptImatch
+//! works with (hundreds to a few thousand triples each).
+
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+use crate::pool::{TermId, TermPool};
+use crate::term::Term;
+
+/// A triple of interned term ids `[subject, predicate, object]`.
+pub type IdTriple = [TermId; 3];
+
+/// A resolved triple of owned terms.
+pub type Triple = (Term, Term, Term);
+
+/// Which index a pattern scan will use; exposed so the SPARQL layer's
+/// selectivity heuristics (and the ablation benches) can reason about it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexChoice {
+    /// Subject-Predicate-Object index.
+    Spo,
+    /// Predicate-Object-Subject index.
+    Pos,
+    /// Object-Subject-Predicate index.
+    Osp,
+}
+
+/// An in-memory RDF graph with SPO/POS/OSP indexes.
+#[derive(Debug, Default, Clone)]
+pub struct Graph {
+    pool: TermPool,
+    spo: BTreeSet<[TermId; 3]>,
+    pos: BTreeSet<[TermId; 3]>,
+    osp: BTreeSet<[TermId; 3]>,
+    next_bnode: u64,
+}
+
+impl Graph {
+    /// Create an empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// The graph's term pool (for resolving [`TermId`]s).
+    pub fn pool(&self) -> &TermPool {
+        &self.pool
+    }
+
+    /// Number of triples stored.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True when the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Intern a term in this graph's pool without asserting any triple.
+    pub fn intern(&mut self, term: Term) -> TermId {
+        self.pool.intern(term)
+    }
+
+    /// Look up a term's id without interning.
+    pub fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.pool.get(term)
+    }
+
+    /// Resolve an id back to its term.
+    pub fn term(&self, id: TermId) -> &Term {
+        self.pool.resolve(id)
+    }
+
+    /// Mint a fresh blank node unique within this graph.
+    pub fn fresh_bnode(&mut self, hint: &str) -> Term {
+        let n = self.next_bnode;
+        self.next_bnode += 1;
+        Term::bnode(format!("{hint}{n}"))
+    }
+
+    /// Insert a triple of terms. Returns `true` if the triple was new.
+    pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
+        let s = self.pool.intern(s);
+        let p = self.pool.intern(p);
+        let o = self.pool.intern(o);
+        self.insert_ids([s, p, o])
+    }
+
+    /// Insert a triple of already-interned ids. Returns `true` if new.
+    pub fn insert_ids(&mut self, [s, p, o]: IdTriple) -> bool {
+        let added = self.spo.insert([s, p, o]);
+        if added {
+            self.pos.insert([p, o, s]);
+            self.osp.insert([o, s, p]);
+        }
+        added
+    }
+
+    /// True when the graph contains the exact triple.
+    pub fn contains(&self, s: &Term, p: &Term, o: &Term) -> bool {
+        match (self.pool.get(s), self.pool.get(p), self.pool.get(o)) {
+            (Some(s), Some(p), Some(o)) => self.spo.contains(&[s, p, o]),
+            _ => false,
+        }
+    }
+
+    /// True when the graph contains the triple of interned ids.
+    pub fn contains_ids(&self, t: IdTriple) -> bool {
+        self.spo.contains(&t)
+    }
+
+    /// Iterate over every triple as ids, in SPO order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = IdTriple> + '_ {
+        self.spo.iter().copied()
+    }
+
+    /// Iterate over every triple as resolved terms, in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(move |&[s, p, o]| {
+            (
+                self.pool.resolve(s).clone(),
+                self.pool.resolve(p).clone(),
+                self.pool.resolve(o).clone(),
+            )
+        })
+    }
+
+    /// Which index [`Graph::matching_ids`] will scan for a given binding
+    /// shape (`true` = position bound).
+    pub fn index_for(s: bool, p: bool, o: bool) -> IndexChoice {
+        match (s, p, o) {
+            (true, true, true) => IndexChoice::Spo,
+            (true, _, false) => IndexChoice::Spo,
+            (true, false, true) => IndexChoice::Osp,
+            (false, true, _) => IndexChoice::Pos,
+            (false, false, true) => IndexChoice::Osp,
+            (false, false, false) => IndexChoice::Spo,
+        }
+    }
+
+    /// Scan all triples matching the pattern, where `None` is a wildcard.
+    /// Ids must come from this graph's pool.
+    pub fn matching_ids(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Box<dyn Iterator<Item = IdTriple> + '_> {
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                let hit = self.spo.contains(&[s, p, o]);
+                Box::new(hit.then_some([s, p, o]).into_iter())
+            }
+            (Some(s), Some(p), None) => Box::new(
+                range2(&self.spo, s, p).copied(), // already SPO order
+            ),
+            (Some(s), None, None) => Box::new(range1(&self.spo, s).copied()),
+            (Some(s), None, Some(o)) => {
+                Box::new(range2(&self.osp, o, s).map(|&[o, s, p]| [s, p, o]))
+            }
+            (None, Some(p), Some(o)) => {
+                Box::new(range2(&self.pos, p, o).map(|&[p, o, s]| [s, p, o]))
+            }
+            (None, Some(p), None) => Box::new(range1(&self.pos, p).map(|&[p, o, s]| [s, p, o])),
+            (None, None, Some(o)) => Box::new(range1(&self.osp, o).map(|&[o, s, p]| [s, p, o])),
+            (None, None, None) => Box::new(self.spo.iter().copied()),
+        }
+    }
+
+    /// Scan matching triples by term, resolving results to owned terms.
+    /// A pattern term that is not even interned matches nothing.
+    pub fn triples_matching<'g>(
+        &'g self,
+        s: Option<&Term>,
+        p: Option<&Term>,
+        o: Option<&Term>,
+    ) -> Box<dyn Iterator<Item = Triple> + 'g> {
+        // Translate terms to ids; an unknown term ⇒ empty result.
+        let mut ids = [None, None, None];
+        for (slot, term) in ids.iter_mut().zip([s, p, o]) {
+            match term {
+                None => {}
+                Some(t) => match self.pool.get(t) {
+                    Some(id) => *slot = Some(id),
+                    None => return Box::new(std::iter::empty()),
+                },
+            }
+        }
+        Box::new(
+            self.matching_ids(ids[0], ids[1], ids[2])
+                .map(move |[s, p, o]| {
+                    (
+                        self.pool.resolve(s).clone(),
+                        self.pool.resolve(p).clone(),
+                        self.pool.resolve(o).clone(),
+                    )
+                }),
+        )
+    }
+
+    /// Number of triples with the given predicate — the selectivity signal
+    /// the SPARQL planner uses to order triple patterns.
+    pub fn predicate_cardinality(&self, p: TermId) -> usize {
+        range1(&self.pos, p).count()
+    }
+
+    /// The single object of `(s, p, ?)` if exactly one exists.
+    pub fn object_of(&self, s: &Term, p: &Term) -> Option<Term> {
+        let mut it = self.triples_matching(Some(s), Some(p), None);
+        let first = it.next()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some(first.2)
+    }
+
+    /// All objects of `(s, p, ?)`.
+    pub fn objects_of(&self, s: &Term, p: &Term) -> Vec<Term> {
+        self.triples_matching(Some(s), Some(p), None)
+            .map(|t| t.2)
+            .collect()
+    }
+
+    /// All subjects of `(?, p, o)`.
+    pub fn subjects_of(&self, p: &Term, o: &Term) -> Vec<Term> {
+        self.triples_matching(None, Some(p), Some(o))
+            .map(|t| t.0)
+            .collect()
+    }
+}
+
+/// Range over a B-tree index where the first component is fixed.
+fn range1(idx: &BTreeSet<[TermId; 3]>, a: TermId) -> impl Iterator<Item = &[TermId; 3]> {
+    idx.range((
+        Bound::Included([a, TermId::MIN, TermId::MIN]),
+        Bound::Included([a, TermId::MAX, TermId::MAX]),
+    ))
+}
+
+/// Range over a B-tree index where the first two components are fixed.
+fn range2(idx: &BTreeSet<[TermId; 3]>, a: TermId, b: TermId) -> impl Iterator<Item = &[TermId; 3]> {
+    idx.range((
+        Bound::Included([a, b, TermId::MIN]),
+        Bound::Included([a, b, TermId::MAX]),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let p_type = Term::iri("p:hasPopType");
+        let p_card = Term::iri("p:hasEstimateCardinality");
+        let p_in = Term::iri("p:hasInputStream");
+        g.insert(Term::iri("q:pop2"), p_type.clone(), Term::lit_str("NLJOIN"));
+        g.insert(Term::iri("q:pop3"), p_type.clone(), Term::lit_str("FETCH"));
+        g.insert(Term::iri("q:pop5"), p_type.clone(), Term::lit_str("TBSCAN"));
+        g.insert(Term::iri("q:pop5"), p_card.clone(), Term::lit_str("4043.0"));
+        g.insert(Term::iri("q:pop2"), p_in.clone(), Term::iri("q:pop3"));
+        g.insert(Term::iri("q:pop2"), p_in.clone(), Term::iri("q:pop5"));
+        g
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut g = Graph::new();
+        assert!(g.insert(Term::iri("a"), Term::iri("b"), Term::iri("c")));
+        assert!(!g.insert(Term::iri("a"), Term::iri("b"), Term::iri("c")));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn all_binding_shapes_agree() {
+        let g = sample();
+        let all: Vec<Triple> = g.iter().collect();
+        assert_eq!(all.len(), 6);
+        // For every stored triple, every partially-bound pattern must find it.
+        for (s, p, o) in &all {
+            for (bs, bp, bo) in [
+                (true, true, true),
+                (true, true, false),
+                (true, false, true),
+                (false, true, true),
+                (true, false, false),
+                (false, true, false),
+                (false, false, true),
+                (false, false, false),
+            ] {
+                let found: Vec<Triple> = g
+                    .triples_matching(bs.then_some(s), bp.then_some(p), bo.then_some(o))
+                    .collect();
+                assert!(
+                    found.contains(&(s.clone(), p.clone(), o.clone())),
+                    "pattern ({bs},{bp},{bo}) missed {s} {p} {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scans_are_exact_not_superset() {
+        let g = sample();
+        let pops: Vec<Triple> = g
+            .triples_matching(None, Some(&Term::iri("p:hasPopType")), None)
+            .collect();
+        assert_eq!(pops.len(), 3);
+        let tbscans: Vec<Triple> = g
+            .triples_matching(
+                None,
+                Some(&Term::iri("p:hasPopType")),
+                Some(&Term::lit_str("TBSCAN")),
+            )
+            .collect();
+        assert_eq!(tbscans.len(), 1);
+        assert_eq!(tbscans[0].0, Term::iri("q:pop5"));
+    }
+
+    #[test]
+    fn unknown_terms_match_nothing() {
+        let g = sample();
+        assert_eq!(
+            g.triples_matching(Some(&Term::iri("q:nope")), None, None)
+                .count(),
+            0
+        );
+        assert!(!g.contains(
+            &Term::iri("q:pop2"),
+            &Term::iri("p:hasPopType"),
+            &Term::lit_str("HSJOIN")
+        ));
+    }
+
+    #[test]
+    fn object_and_subject_helpers() {
+        let g = sample();
+        assert_eq!(
+            g.object_of(&Term::iri("q:pop5"), &Term::iri("p:hasPopType")),
+            Some(Term::lit_str("TBSCAN"))
+        );
+        // Two input streams ⇒ object_of refuses to pick one.
+        assert_eq!(
+            g.object_of(&Term::iri("q:pop2"), &Term::iri("p:hasInputStream")),
+            None
+        );
+        assert_eq!(
+            g.objects_of(&Term::iri("q:pop2"), &Term::iri("p:hasInputStream"))
+                .len(),
+            2
+        );
+        assert_eq!(
+            g.subjects_of(&Term::iri("p:hasPopType"), &Term::lit_str("FETCH")),
+            vec![Term::iri("q:pop3")]
+        );
+    }
+
+    #[test]
+    fn fresh_bnodes_are_unique() {
+        let mut g = Graph::new();
+        let a = g.fresh_bnode("b");
+        let b = g.fresh_bnode("b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn predicate_cardinality_counts() {
+        let g = sample();
+        let p = g.term_id(&Term::iri("p:hasPopType")).unwrap();
+        assert_eq!(g.predicate_cardinality(p), 3);
+    }
+}

@@ -1,0 +1,50 @@
+//! # optimatch-rdf
+//!
+//! A from-scratch RDF substrate built for the OptImatch reproduction.
+//!
+//! The OptImatch paper (EDBT 2016) transforms DB2 query execution plans into
+//! RDF graphs (its §2.1, Algorithm 1) and then matches SPARQL queries against
+//! them. The original system used Apache Jena; the Rust RDF ecosystem is thin
+//! enough that we implement the substrate ourselves:
+//!
+//! * [`term`] — RDF terms: IRIs, blank nodes, and literals (plain and typed).
+//! * [`pool`] — per-graph term interning to dense [`TermId`]s so triples are
+//!   three machine words and index scans never touch strings.
+//! * [`graph`] — an in-memory triple store with three B-tree indexes
+//!   (SPO / POS / OSP) and range-scan pattern matching.
+//! * [`ntriples`] — N-Triples writer and parser (round-trip tested).
+//! * [`turtle`] — a prefix-aware Turtle writer for human-readable dumps like
+//!   the paper's Figure 2.
+//! * [`numeric`] — lexical-to-value mapping for numeric literals, including
+//!   the exponent forms (`1.93187e+06`) that DB2 plans mix freely with plain
+//!   decimals — the exact formatting trap the paper's user study (§3.3)
+//!   blames for manual-search errors.
+//!
+//! ## Example
+//!
+//! ```
+//! use optimatch_rdf::{Graph, Term};
+//!
+//! let mut g = Graph::new();
+//! let pop5 = Term::iri("http://optimatch/qep#pop5");
+//! g.insert(pop5.clone(), Term::iri("http://optimatch/pred#hasPopType"),
+//!          Term::lit_str("TBSCAN"));
+//! g.insert(pop5.clone(), Term::iri("http://optimatch/pred#hasEstimateCardinality"),
+//!          Term::lit_double(4043.0));
+//! assert_eq!(g.len(), 2);
+//!
+//! // Pattern scan: everything said about pop5.
+//! let about: Vec<_> = g.triples_matching(Some(&pop5), None, None).collect();
+//! assert_eq!(about.len(), 2);
+//! ```
+
+pub mod graph;
+pub mod ntriples;
+pub mod numeric;
+pub mod pool;
+pub mod term;
+pub mod turtle;
+
+pub use graph::{Graph, IdTriple, Triple};
+pub use pool::{TermId, TermPool};
+pub use term::{Literal, Term};

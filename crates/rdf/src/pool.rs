@@ -1,0 +1,141 @@
+//! Term interning.
+//!
+//! Each [`crate::Graph`] owns a [`TermPool`] that maps [`Term`]s to dense
+//! [`TermId`]s. Triples and index entries are then three `u32`s, so pattern
+//! scans compare integers instead of strings and the per-QEP graphs (a few
+//! thousand triples each, a thousand graphs per workload) stay compact.
+
+use std::collections::HashMap;
+
+use crate::term::Term;
+
+/// A dense identifier for an interned term, valid only within the pool that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The smallest possible id; useful for forming index range bounds.
+    pub const MIN: TermId = TermId(0);
+    /// The largest possible id; useful for forming index range bounds.
+    pub const MAX: TermId = TermId(u32::MAX);
+}
+
+/// An append-only intern table for RDF terms.
+#[derive(Debug, Default, Clone)]
+pub struct TermPool {
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId>,
+}
+
+impl TermPool {
+    /// Create an empty pool.
+    pub fn new() -> TermPool {
+        TermPool::default()
+    }
+
+    /// Intern a term, returning its id (allocating one if new).
+    pub fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.ids.get(&term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("term pool overflow"));
+        self.terms.push(term.clone());
+        self.ids.insert(term, id);
+        id
+    }
+
+    /// Look up the id of a term without interning it.
+    pub fn get(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Resolve an id back to its term.
+    ///
+    /// # Panics
+    /// Panics if the id did not come from this pool.
+    pub fn resolve(&self, id: TermId) -> &Term {
+        &self.terms[id.0 as usize]
+    }
+
+    /// Number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate over `(id, term)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut p = TermPool::new();
+        let a1 = p.intern(Term::iri("http://x/a"));
+        let b = p.intern(Term::lit_str("TBSCAN"));
+        let a2 = p.intern(Term::iri("http://x/a"));
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut p = TermPool::new();
+        let terms = [
+            Term::iri("http://x/a"),
+            Term::bnode("n0"),
+            Term::lit_double(19.12),
+        ];
+        let ids: Vec<_> = terms.iter().cloned().map(|t| p.intern(t)).collect();
+        for (t, id) in terms.iter().zip(ids) {
+            assert_eq!(p.resolve(id), t);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut p = TermPool::new();
+        assert_eq!(p.get(&Term::iri("http://x/a")), None);
+        assert!(p.is_empty());
+        let id = p.intern(Term::iri("http://x/a"));
+        assert_eq!(p.get(&Term::iri("http://x/a")), Some(id));
+    }
+
+    #[test]
+    fn iter_yields_in_interning_order() {
+        let mut p = TermPool::new();
+        p.intern(Term::lit_str("b"));
+        p.intern(Term::lit_str("a"));
+        let got: Vec<String> = p
+            .iter()
+            .map(|(_, t)| t.display_text().into_owned())
+            .collect();
+        assert_eq!(got, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn distinct_term_kinds_do_not_collide() {
+        let mut p = TermPool::new();
+        // Same string content, three different term kinds.
+        let i = p.intern(Term::iri("x"));
+        let b = p.intern(Term::bnode("x"));
+        let l = p.intern(Term::lit_str("x"));
+        assert_ne!(i, b);
+        assert_ne!(b, l);
+        assert_ne!(i, l);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the RDF substrate: N-Triples round-trips,
+//! index consistency across all binding shapes, and numeric lexical laws.
+
+use proptest::prelude::*;
+
+use optimatch_rdf::ntriples::{from_ntriples, to_ntriples};
+use optimatch_rdf::numeric::{format_double, parse_numeric};
+use optimatch_rdf::{Graph, Term};
+
+/// Strategy for IRI-safe strings (no `>` or control chars).
+fn iri_string() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_/#:.-]{0,24}"
+}
+
+/// Strategy for arbitrary literal content, including characters that must be
+/// escaped on serialization.
+fn literal_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~\n\r\tàé]{0,24}").unwrap()
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        iri_string().prop_map(Term::iri),
+        "[a-zA-Z][a-zA-Z0-9_-]{0,10}".prop_map(Term::bnode),
+        literal_string().prop_map(Term::lit_str),
+        any::<i64>().prop_map(Term::lit_integer),
+        (-1e12..1e12f64).prop_map(Term::lit_double),
+    ]
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec(
+        (arb_term(), iri_string().prop_map(Term::iri), arb_term()),
+        0..40,
+    )
+    .prop_map(|triples| {
+        let mut g = Graph::new();
+        for (s, p, o) in triples {
+            g.insert(s, p, o);
+        }
+        g
+    })
+}
+
+proptest! {
+    /// Serialize → parse reproduces exactly the same triple set.
+    #[test]
+    fn ntriples_round_trip(g in arb_graph()) {
+        let text = to_ntriples(&g);
+        let g2 = from_ntriples(&text).unwrap();
+        prop_assert_eq!(g.len(), g2.len());
+        for (s, p, o) in g.iter() {
+            prop_assert!(g2.contains(&s, &p, &o));
+        }
+    }
+
+    /// Every triple a full scan sees is also found by each partially-bound
+    /// pattern scan, and pattern scans never invent triples.
+    #[test]
+    fn index_scans_consistent(g in arb_graph()) {
+        let all: Vec<_> = g.iter().collect();
+        for (s, p, o) in &all {
+            for mask in 0u8..8 {
+                let qs = (mask & 1 != 0).then_some(s);
+                let qp = (mask & 2 != 0).then_some(p);
+                let qo = (mask & 4 != 0).then_some(o);
+                let hits: Vec<_> = g.triples_matching(qs, qp, qo).collect();
+                prop_assert!(hits.contains(&(s.clone(), p.clone(), o.clone())));
+                for (hs, hp, ho) in &hits {
+                    prop_assert!(g.contains(hs, hp, ho));
+                    if let Some(qs) = qs { prop_assert_eq!(hs, qs); }
+                    if let Some(qp) = qp { prop_assert_eq!(hp, qp); }
+                    if let Some(qo) = qo { prop_assert_eq!(ho, qo); }
+                }
+            }
+        }
+    }
+
+    /// Inserting the same triples in any order yields the same graph.
+    #[test]
+    fn insertion_order_irrelevant(
+        triples in proptest::collection::vec(
+            (arb_term(), iri_string().prop_map(Term::iri), arb_term()), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let mut g1 = Graph::new();
+        for (s, p, o) in &triples {
+            g1.insert(s.clone(), p.clone(), o.clone());
+        }
+        let mut shuffled = triples.clone();
+        // Cheap deterministic shuffle.
+        let n = shuffled.len();
+        for i in 0..n {
+            let j = ((seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)) % n as u64) as usize;
+            shuffled.swap(i, j);
+        }
+        let mut g2 = Graph::new();
+        for (s, p, o) in shuffled {
+            g2.insert(s, p, o);
+        }
+        prop_assert_eq!(g1.len(), g2.len());
+        for (s, p, o) in g1.iter() {
+            prop_assert!(g2.contains(&s, &p, &o));
+        }
+    }
+
+    /// Formatting a double and parsing it back is value-preserving to within
+    /// formatting precision (six significant digits).
+    #[test]
+    fn numeric_format_parse_inverse(v in prop_oneof![
+        (-1e15..1e15f64),
+        (-1.0..1.0f64),
+        Just(0.0),
+    ]) {
+        let s = format_double(v);
+        let back = parse_numeric(&s).expect("formatted doubles must parse");
+        let tol = if v == 0.0 { 1e-12 } else { v.abs() * 1e-4 };
+        prop_assert!((back - v).abs() <= tol, "{} -> {} -> {}", v, s, back);
+    }
+
+    /// parse_numeric agrees with Rust's float parser on everything it accepts.
+    #[test]
+    fn parse_agrees_with_std(s in "[+-]?[0-9]{1,10}(\\.[0-9]{0,8})?([eE][+-]?[0-9]{1,3})?") {
+        if let Some(v) = parse_numeric(&s) {
+            let std_v: f64 = s.trim().parse().unwrap();
+            prop_assert_eq!(v, std_v);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type shared by the lexer, parser, and evaluator.
+
+use std::fmt;
+
+/// Any failure while lexing, parsing, translating, or evaluating a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlError {
+    /// A lexical error: unexpected character, unterminated string, …
+    Lex {
+        /// Byte offset in the query text.
+        position: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A syntax error: unexpected token, missing clause, …
+    Parse {
+        /// Byte offset of the offending token.
+        position: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A translation-time error, e.g. an undefined prefix.
+    Translate(String),
+    /// An evaluation-time error that cannot be expressed as SPARQL's
+    /// row-local "error value" semantics (those simply drop rows).
+    Eval(String),
+}
+
+impl SparqlError {
+    pub(crate) fn lex(position: usize, message: impl Into<String>) -> SparqlError {
+        SparqlError::Lex {
+            position,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn parse(position: usize, message: impl Into<String>) -> SparqlError {
+        SparqlError::Parse {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Lex { position, message } => {
+                write!(f, "lexical error at byte {position}: {message}")
+            }
+            SparqlError::Parse { position, message } => {
+                write!(f, "syntax error at byte {position}: {message}")
+            }
+            SparqlError::Translate(m) => write!(f, "translation error: {m}"),
+            SparqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}

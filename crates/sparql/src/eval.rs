@@ -1,0 +1,1116 @@
+//! Plan evaluation against a graph.
+//!
+//! Rows are flat `Vec<Option<TermId>>`s. Query constants that do not occur
+//! in the graph are interned into an *overlay pool* (ids past the graph
+//! pool's length), so expression evaluation can still resolve them while
+//! BGP matching knows they can never match a stored triple.
+//!
+//! BGP triple patterns are reordered greedily by estimated selectivity
+//! before matching — bound subjects/objects first, predicate-only scans by
+//! predicate cardinality, recursive paths last. The `ablations` bench
+//! measures what this buys on workload-scale matching.
+
+use std::collections::HashMap;
+
+use optimatch_rdf::{Graph, Term, TermId};
+
+use crate::algebra::{
+    collect_exists_refs, CExpr, Node, Plan, PlanNodePattern, ProjExpr, TriplePlan,
+};
+use crate::ast::Path;
+use crate::error::SparqlError;
+use crate::expr::{eval_expr, order_values, Value};
+use crate::path::{compile_path, eval_path};
+use crate::results::ResultTable;
+
+/// A solution row: one optional binding per variable slot.
+pub type Row = Vec<Option<TermId>>;
+
+/// Evaluation context: the graph plus the overlay pool for query constants.
+struct Ctx<'g> {
+    graph: &'g Graph,
+    graph_terms: usize,
+    extra: Vec<Term>,
+    extra_ids: HashMap<Term, TermId>,
+    /// When false, BGP patterns are matched in source order (ablation hook).
+    reorder: bool,
+}
+
+impl<'g> Ctx<'g> {
+    fn new(graph: &'g Graph, reorder: bool) -> Ctx<'g> {
+        Ctx {
+            graph,
+            graph_terms: graph.pool().len(),
+            extra: Vec::new(),
+            extra_ids: HashMap::new(),
+            reorder,
+        }
+    }
+
+    /// Intern a term: graph id when present, overlay id otherwise.
+    fn intern(&mut self, term: &Term) -> TermId {
+        if let Some(id) = self.graph.term_id(term) {
+            return id;
+        }
+        if let Some(&id) = self.extra_ids.get(term) {
+            return id;
+        }
+        let id = TermId((self.graph_terms + self.extra.len()) as u32);
+        self.extra.push(term.clone());
+        self.extra_ids.insert(term.clone(), id);
+        id
+    }
+
+    /// Resolve any id (graph or overlay) to its term.
+    fn resolve(&self, id: TermId) -> &Term {
+        let i = id.0 as usize;
+        if i < self.graph_terms {
+            self.graph.term(id)
+        } else {
+            &self.extra[i - self.graph_terms]
+        }
+    }
+
+    /// True when the id refers to a term stored in the graph.
+    fn in_graph(&self, id: TermId) -> bool {
+        (id.0 as usize) < self.graph_terms
+    }
+}
+
+/// Evaluate a compiled plan against a graph.
+pub fn evaluate(graph: &Graph, plan: &Plan) -> Result<ResultTable, SparqlError> {
+    evaluate_with_options(graph, plan, true)
+}
+
+/// Evaluate with BGP reordering switchable — the ablation benches use this
+/// to quantify the planner heuristic; everything else wants `reorder=true`.
+pub fn evaluate_with_options(
+    graph: &Graph,
+    plan: &Plan,
+    reorder: bool,
+) -> Result<ResultTable, SparqlError> {
+    let mut ctx = Ctx::new(graph, reorder);
+    let width = plan.vars.len();
+    let unit_seed: Row = vec![None; width];
+    let rows = eval_node(&mut ctx, &plan.root, plan, &unit_seed)?;
+
+    // Aggregation path: group rows, compute aggregates per group.
+    let has_aggregate = plan
+        .projection
+        .iter()
+        .any(|(p, _)| matches!(p, ProjExpr::Aggregate(_, _)));
+    if has_aggregate || !plan.group_by.is_empty() {
+        return materialize_grouped(&mut ctx, plan, rows);
+    }
+
+    // Compute (projected row, order keys) per solution.
+    let mut materialized: Vec<(Vec<Option<Term>>, Vec<OrderKey>)> = Vec::with_capacity(rows.len());
+    // Exists indices referenced by projections / order keys (usually none).
+    let mut out_refs = Vec::new();
+    for (proj, _) in &plan.projection {
+        if let ProjExpr::Expr(e) = proj {
+            collect_exists_refs(e, &mut out_refs);
+        }
+    }
+    for (e, _) in &plan.order_by {
+        collect_exists_refs(e, &mut out_refs);
+    }
+    for row in &rows {
+        // Pre-evaluated per row: the lookup closure below borrows the
+        // context, so EXISTS cannot re-enter the evaluator lazily.
+        let exists_results = eval_exists_refs(&mut ctx, plan, &out_refs, row);
+        let lookup = |slot: usize| row.get(slot).copied().flatten().map(|id| ctx.resolve(id));
+        let exists = |idx: usize| exists_results.get(idx).copied().flatten();
+        let mut out = Vec::with_capacity(plan.projection.len());
+        for (proj, _) in &plan.projection {
+            match proj {
+                ProjExpr::Slot(s) => out.push(
+                    row.get(*s)
+                        .copied()
+                        .flatten()
+                        .map(|id| ctx.resolve(id).clone()),
+                ),
+                ProjExpr::Expr(e) => {
+                    out.push(eval_expr(e, &lookup, &exists).map(|v| value_to_term(&v)));
+                }
+                // Aggregates divert to the grouped path above.
+                ProjExpr::Aggregate(_, _) => unreachable!("handled by materialize_grouped"),
+            }
+        }
+        let mut keys = Vec::with_capacity(plan.order_by.len());
+        for (expr, asc) in &plan.order_by {
+            let v = eval_expr(expr, &lookup, &exists);
+            keys.push(OrderKey {
+                value: v.map(|v| owned_order_value(&v)),
+                ascending: *asc,
+            });
+        }
+        materialized.push((out, keys));
+    }
+
+    finish_table(plan, materialized)
+}
+
+/// Owned order-by key, computed once per row before sorting.
+struct OrderKey {
+    value: Option<OwnedValue>,
+    ascending: bool,
+}
+
+/// Owned snapshot of a [`Value`] for sorting.
+enum OwnedValue {
+    Number(f64),
+    Text(String),
+}
+
+fn owned_order_value(v: &Value<'_>) -> OwnedValue {
+    match v.as_number() {
+        Some(n) => OwnedValue::Number(n),
+        None => OwnedValue::Text(v.as_str().map(|s| s.into_owned()).unwrap_or_default()),
+    }
+}
+
+fn owned_to_value(v: &OwnedValue) -> Value<'_> {
+    match v {
+        OwnedValue::Number(n) => Value::Number(*n),
+        OwnedValue::Text(t) => Value::Str(std::borrow::Cow::Borrowed(t)),
+    }
+}
+
+/// Group the solution rows by the `GROUP BY` slots and materialize one
+/// output row per group, computing aggregates. With no `GROUP BY` the
+/// whole solution set is a single group (even when empty, per SPARQL:
+/// `COUNT(*)` over no rows is 0).
+fn materialize_grouped(
+    ctx: &mut Ctx<'_>,
+    plan: &Plan,
+    rows: Vec<Row>,
+) -> Result<ResultTable, SparqlError> {
+    use std::collections::HashMap;
+    let mut order: Vec<Vec<Option<TermId>>> = Vec::new();
+    let mut groups: HashMap<Vec<Option<TermId>>, Vec<Row>> = HashMap::new();
+    if plan.group_by.is_empty() {
+        order.push(Vec::new());
+        groups.insert(Vec::new(), rows);
+    } else {
+        for row in rows {
+            let key: Vec<Option<TermId>> = plan
+                .group_by
+                .iter()
+                .map(|&s| row.get(s).copied().flatten())
+                .collect();
+            let bucket = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                Vec::new()
+            });
+            bucket.push(row);
+        }
+    }
+
+    let mut out_rows: Vec<(Vec<Option<Term>>, Vec<OrderKey>)> = Vec::with_capacity(order.len());
+    for key in &order {
+        let group = &groups[key];
+
+        // HAVING: evaluate the constraint with aggregate values substituted
+        // in, against a synthetic row carrying the group key.
+        if let Some(having) = &plan.having {
+            let agg_values: Vec<Option<Term>> = plan
+                .having_aggregates
+                .iter()
+                .map(|(func, arg)| eval_aggregate(ctx, *func, arg.as_ref(), group))
+                .collect();
+            let substituted = substitute_aggregates(having, &agg_values);
+            let mut synthetic: Row = vec![None; plan.vars.len()];
+            for (slot, value) in plan.group_by.iter().zip(key) {
+                synthetic[*slot] = *value;
+            }
+            let keep = {
+                let lookup = |slot: usize| {
+                    synthetic
+                        .get(slot)
+                        .copied()
+                        .flatten()
+                        .map(|id| ctx.resolve(id))
+                };
+                eval_expr(&substituted, &lookup, &|_: usize| None)
+                    .and_then(|v| v.effective_boolean())
+                    .unwrap_or(false)
+            };
+            if !keep {
+                continue;
+            }
+        }
+        // Synthetic row carrying only the group key (for ORDER BY).
+        let mut synthetic: Row = vec![None; plan.vars.len()];
+        for (slot, value) in plan.group_by.iter().zip(key) {
+            synthetic[*slot] = *value;
+        }
+
+        let mut out = Vec::with_capacity(plan.projection.len());
+        for (proj, _) in &plan.projection {
+            match proj {
+                ProjExpr::Slot(s) => out.push(
+                    synthetic
+                        .get(*s)
+                        .copied()
+                        .flatten()
+                        .map(|id| ctx.resolve(id).clone()),
+                ),
+                ProjExpr::Expr(e) => {
+                    // Validated unreachable under grouping, but evaluate
+                    // against the synthetic row for robustness.
+                    let lookup = |slot: usize| {
+                        synthetic
+                            .get(slot)
+                            .copied()
+                            .flatten()
+                            .map(|id| ctx.resolve(id))
+                    };
+                    out.push(eval_expr(e, &lookup, &|_: usize| None).map(|v| value_to_term(&v)));
+                }
+                ProjExpr::Aggregate(func, arg) => {
+                    out.push(eval_aggregate(ctx, *func, arg.as_ref(), group));
+                }
+            }
+        }
+        let mut keys = Vec::with_capacity(plan.order_by.len());
+        for (expr, asc) in &plan.order_by {
+            let lookup = |slot: usize| {
+                synthetic
+                    .get(slot)
+                    .copied()
+                    .flatten()
+                    .map(|id| ctx.resolve(id))
+            };
+            let v = eval_expr(expr, &lookup, &|_: usize| None);
+            keys.push(OrderKey {
+                value: v.map(|v| owned_order_value(&v)),
+                ascending: *asc,
+            });
+        }
+        out_rows.push((out, keys));
+    }
+
+    finish_table(plan, out_rows)
+}
+
+/// Replace [`CExpr::AggregateRef`] leaves with the group's computed
+/// aggregate terms (an unbound aggregate becomes an always-erroring slot
+/// reference far past any real slot, dropping the group).
+fn substitute_aggregates(expr: &CExpr, values: &[Option<Term>]) -> CExpr {
+    match expr {
+        CExpr::AggregateRef(idx) => match values.get(*idx).cloned().flatten() {
+            Some(term) => CExpr::Constant(term),
+            None => CExpr::Slot(usize::MAX),
+        },
+        CExpr::Slot(_) | CExpr::Constant(_) | CExpr::Exists(_, _) => expr.clone(),
+        CExpr::Or(a, b) => CExpr::Or(
+            Box::new(substitute_aggregates(a, values)),
+            Box::new(substitute_aggregates(b, values)),
+        ),
+        CExpr::And(a, b) => CExpr::And(
+            Box::new(substitute_aggregates(a, values)),
+            Box::new(substitute_aggregates(b, values)),
+        ),
+        CExpr::Not(a) => CExpr::Not(Box::new(substitute_aggregates(a, values))),
+        CExpr::Compare(op, a, b) => CExpr::Compare(
+            *op,
+            Box::new(substitute_aggregates(a, values)),
+            Box::new(substitute_aggregates(b, values)),
+        ),
+        CExpr::Arith(op, a, b) => CExpr::Arith(
+            *op,
+            Box::new(substitute_aggregates(a, values)),
+            Box::new(substitute_aggregates(b, values)),
+        ),
+        CExpr::Neg(a) => CExpr::Neg(Box::new(substitute_aggregates(a, values))),
+        CExpr::Call(f, args) => CExpr::Call(
+            *f,
+            args.iter()
+                .map(|a| substitute_aggregates(a, values))
+                .collect(),
+        ),
+    }
+}
+
+/// Compute one aggregate over a group's rows.
+fn eval_aggregate(
+    ctx: &mut Ctx<'_>,
+    func: crate::ast::AggFunc,
+    arg: Option<&CExpr>,
+    group: &[Row],
+) -> Option<Term> {
+    use crate::ast::AggFunc;
+    // Evaluate the argument per row (None argument = the row itself).
+    let values: Vec<Value<'_>> = match arg {
+        None => return Some(Term::lit_integer(group.len() as i64)),
+        Some(expr) => {
+            let mut vs = Vec::with_capacity(group.len());
+            for row in group {
+                let lookup =
+                    |slot: usize| row.get(slot).copied().flatten().map(|id| ctx.resolve(id));
+                if let Some(v) = eval_expr(expr, &lookup, &|_: usize| None) {
+                    vs.push(v);
+                }
+            }
+            vs
+        }
+    };
+    match func {
+        AggFunc::Count => Some(Term::lit_integer(values.len() as i64)),
+        AggFunc::Sum | AggFunc::Avg => {
+            let nums: Vec<f64> = values.iter().filter_map(Value::as_number).collect();
+            if nums.is_empty() {
+                return match func {
+                    AggFunc::Sum => Some(Term::lit_integer(0)),
+                    _ => None,
+                };
+            }
+            let sum: f64 = nums.iter().sum();
+            let result = if func == AggFunc::Sum {
+                sum
+            } else {
+                sum / nums.len() as f64
+            };
+            Some(Term::lit_double(result))
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<&Value<'_>> = None;
+            for v in &values {
+                best = match best {
+                    None => Some(v),
+                    Some(b) => {
+                        let ord = order_values(Some(v), Some(b));
+                        let take = if func == AggFunc::Min {
+                            ord == std::cmp::Ordering::Less
+                        } else {
+                            ord == std::cmp::Ordering::Greater
+                        };
+                        Some(if take { v } else { b })
+                    }
+                };
+            }
+            best.map(|v| value_to_term(v))
+        }
+    }
+}
+
+/// Shared tail of materialization: sort, distinct, slice, build the table.
+fn finish_table(
+    plan: &Plan,
+    mut materialized: Vec<(Vec<Option<Term>>, Vec<OrderKey>)>,
+) -> Result<ResultTable, SparqlError> {
+    if !plan.order_by.is_empty() {
+        materialized.sort_by(|(_, ka), (_, kb)| {
+            for (a, b) in ka.iter().zip(kb) {
+                let ord = order_values(
+                    a.value.as_ref().map(owned_to_value).as_ref(),
+                    b.value.as_ref().map(owned_to_value).as_ref(),
+                );
+                let ord = if a.ascending { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    let mut out_rows: Vec<Vec<Option<Term>>> = materialized.into_iter().map(|(r, _)| r).collect();
+    if plan.distinct {
+        let mut seen = std::collections::HashSet::new();
+        out_rows.retain(|r| seen.insert(r.clone()));
+    }
+    if let Some(offset) = plan.offset {
+        out_rows.drain(..offset.min(out_rows.len()));
+    }
+    if let Some(limit) = plan.limit {
+        out_rows.truncate(limit);
+    }
+    let vars = plan.projection.iter().map(|(_, n)| n.clone()).collect();
+    Ok(ResultTable::new(vars, out_rows))
+}
+
+/// Evaluate only the `EXISTS` subpatterns `refs` names, seeded with `row`;
+/// non-referenced indices stay `None`.
+fn eval_exists_refs(
+    ctx: &mut Ctx<'_>,
+    plan: &Plan,
+    refs: &[usize],
+    row: &Row,
+) -> Vec<Option<bool>> {
+    let mut results = vec![None; plan.exists_nodes.len()];
+    for &idx in refs {
+        if let Some(node) = plan.exists_nodes.get(idx) {
+            results[idx] = eval_node(ctx, node, plan, row)
+                .map(|rs| !rs.is_empty())
+                .ok();
+        }
+    }
+    results
+}
+
+/// The exists indices referenced by an expression (cached per filter).
+fn exists_refs(expr: &CExpr) -> Vec<usize> {
+    let mut refs = Vec::new();
+    collect_exists_refs(expr, &mut refs);
+    refs
+}
+
+/// Convert a computed expression value into a term for projection / BIND.
+fn value_to_term(v: &Value<'_>) -> Term {
+    match v {
+        Value::Term(t) => t.as_ref().clone(),
+        Value::Number(n) => Term::lit_double(*n),
+        Value::Boolean(b) => Term::lit_bool(*b),
+        Value::Str(s) => Term::lit_str(s.as_ref()),
+    }
+}
+
+/// Evaluate a pattern node. `seed` supplies pre-bound slots: the all-None
+/// row at the top level, the enclosing row for `EXISTS` subpatterns.
+fn eval_node(
+    ctx: &mut Ctx<'_>,
+    node: &Node,
+    plan: &Plan,
+    seed: &Row,
+) -> Result<Vec<Row>, SparqlError> {
+    match node {
+        Node::Unit => Ok(vec![seed.clone()]),
+        Node::Bgp(patterns) => eval_bgp(ctx, patterns, seed),
+        Node::Join(a, b) => {
+            let left = eval_node(ctx, a, plan, seed)?;
+            if left.is_empty() {
+                return Ok(left);
+            }
+            let right = eval_node(ctx, b, plan, seed)?;
+            Ok(join_rows(&left, &right))
+        }
+        Node::LeftJoin(a, b) => {
+            let left = eval_node(ctx, a, plan, seed)?;
+            if left.is_empty() {
+                return Ok(left);
+            }
+            let right = eval_node(ctx, b, plan, seed)?;
+            let mut out = Vec::new();
+            for l in &left {
+                let mut matched = false;
+                for r in &right {
+                    if let Some(merged) = merge_rows(l, r) {
+                        out.push(merged);
+                        matched = true;
+                    }
+                }
+                if !matched {
+                    out.push(l.clone());
+                }
+            }
+            Ok(out)
+        }
+        Node::Union(a, b) => {
+            let mut left = eval_node(ctx, a, plan, seed)?;
+            let right = eval_node(ctx, b, plan, seed)?;
+            left.extend(right);
+            Ok(left)
+        }
+        Node::Filter(expr, inner) => {
+            let rows = eval_node(ctx, inner, plan, seed)?;
+            let refs = exists_refs(expr);
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let keep = {
+                    // Referenced EXISTS subpatterns re-enter the evaluator
+                    // seeded with this row, before the lookup closure
+                    // borrows the context.
+                    let exists_results = eval_exists_refs(ctx, plan, &refs, &row);
+                    let lookup =
+                        |slot: usize| row.get(slot).copied().flatten().map(|id| ctx.resolve(id));
+                    let exists = |idx: usize| exists_results.get(idx).copied().flatten();
+                    eval_expr(expr, &lookup, &exists)
+                        .and_then(|v| v.effective_boolean())
+                        .unwrap_or(false)
+                };
+                if keep {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        Node::Extend(inner, slot, expr) => {
+            let rows = eval_node(ctx, inner, plan, seed)?;
+            let refs = exists_refs(expr);
+            let mut out = Vec::with_capacity(rows.len());
+            for mut row in rows {
+                let computed = {
+                    let exists_results = eval_exists_refs(ctx, plan, &refs, &row);
+                    let lookup = |s: usize| row.get(s).copied().flatten().map(|id| ctx.resolve(id));
+                    let exists = |idx: usize| exists_results.get(idx).copied().flatten();
+                    eval_expr(expr, &lookup, &exists).map(|v| value_to_term(&v))
+                };
+                // BIND on error leaves the variable unbound (per spec).
+                if let Some(term) = computed {
+                    let id = ctx.intern(&term);
+                    row[*slot] = Some(id);
+                }
+                out.push(row);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Merge two rows if compatible (no conflicting bindings).
+fn merge_rows(a: &Row, b: &Row) -> Option<Row> {
+    let mut out = a.clone();
+    for (slot, rb) in b.iter().enumerate() {
+        match (out[slot], rb) {
+            (Some(x), Some(y)) if x != *y => return None,
+            (None, Some(y)) => out[slot] = Some(*y),
+            _ => {}
+        }
+    }
+    Some(out)
+}
+
+fn join_rows(left: &[Row], right: &[Row]) -> Vec<Row> {
+    let mut out = Vec::new();
+    for l in left {
+        for r in right {
+            if let Some(m) = merge_rows(l, r) {
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+/// Estimated cost of matching a triple pattern given currently-bound slots.
+fn pattern_cost(ctx: &Ctx<'_>, tp: &TriplePlan, bound: &[bool]) -> f64 {
+    let s_bound = match &tp.subject {
+        PlanNodePattern::Term(_) => true,
+        PlanNodePattern::Var(v) => bound[*v],
+    };
+    let o_bound = match &tp.object {
+        PlanNodePattern::Term(_) => true,
+        PlanNodePattern::Var(v) => bound[*v],
+    };
+    let base = match (s_bound, o_bound) {
+        (true, true) => 1.0,
+        (true, false) => 4.0,
+        (false, true) => 6.0,
+        (false, false) => match &tp.path {
+            Path::Iri(iri) => {
+                // Predicate cardinality as the scan estimate.
+                match ctx.graph.term_id(&Term::iri(iri.clone())) {
+                    Some(p) => 10.0 + ctx.graph.predicate_cardinality(p) as f64,
+                    None => 0.0, // absent predicate: cheapest, matches nothing
+                }
+            }
+            _ => 10.0 + 2.0 * ctx.graph.len() as f64,
+        },
+    };
+    if tp.path.is_recursive() {
+        base * 8.0
+    } else {
+        base
+    }
+}
+
+fn eval_bgp(
+    ctx: &mut Ctx<'_>,
+    patterns: &[TriplePlan],
+    seed: &Row,
+) -> Result<Vec<Row>, SparqlError> {
+    let mut remaining: Vec<&TriplePlan> = patterns.iter().collect();
+    let mut rows: Vec<Row> = vec![seed.clone()];
+    let mut bound: Vec<bool> = seed.iter().map(|b| b.is_some()).collect();
+
+    while !remaining.is_empty() {
+        let idx = if ctx.reorder {
+            remaining
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    pattern_cost(ctx, a, &bound)
+                        .partial_cmp(&pattern_cost(ctx, b, &bound))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        let tp = remaining.remove(idx);
+        rows = match_pattern(ctx, tp, rows)?;
+        if let PlanNodePattern::Var(v) = &tp.subject {
+            bound[*v] = true;
+        }
+        if let PlanNodePattern::Var(v) = &tp.object {
+            bound[*v] = true;
+        }
+        if rows.is_empty() {
+            return Ok(rows);
+        }
+    }
+    Ok(rows)
+}
+
+fn match_pattern(
+    ctx: &mut Ctx<'_>,
+    tp: &TriplePlan,
+    rows: Vec<Row>,
+) -> Result<Vec<Row>, SparqlError> {
+    // Variable predicates (`?s ?p ?o`) scan with the predicate position
+    // open and bind it per match.
+    if let Some(pv) = tp.path_var {
+        let mut out = Vec::new();
+        let const_s = match &tp.subject {
+            PlanNodePattern::Term(t) => Some(ctx.intern(t)),
+            PlanNodePattern::Var(_) => None,
+        };
+        let const_o = match &tp.object {
+            PlanNodePattern::Term(t) => Some(ctx.intern(t)),
+            PlanNodePattern::Var(_) => None,
+        };
+        for row in rows {
+            let s = const_s.or_else(|| match &tp.subject {
+                PlanNodePattern::Var(v) => row[*v],
+                PlanNodePattern::Term(_) => None,
+            });
+            let o = const_o.or_else(|| match &tp.object {
+                PlanNodePattern::Var(v) => row[*v],
+                PlanNodePattern::Term(_) => None,
+            });
+            let p = row[pv];
+            if s.is_some_and(|id| !ctx.in_graph(id))
+                || o.is_some_and(|id| !ctx.in_graph(id))
+                || p.is_some_and(|id| !ctx.in_graph(id))
+            {
+                continue;
+            }
+            for [ms, mp, mo] in ctx.graph.matching_ids(s, p, o) {
+                let before = out.len();
+                extend_row(&row, tp, ms, mo, &mut out);
+                // Bind the predicate on rows just added.
+                for new_row in &mut out[before..] {
+                    new_row[pv] = Some(mp);
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    // Resolve constant endpoints once.
+    let const_s = match &tp.subject {
+        PlanNodePattern::Term(t) => Some(ctx.intern(t)),
+        PlanNodePattern::Var(_) => None,
+    };
+    let const_o = match &tp.object {
+        PlanNodePattern::Term(t) => Some(ctx.intern(t)),
+        PlanNodePattern::Var(_) => None,
+    };
+    let plain_pred = match &tp.path {
+        Path::Iri(iri) => Some(ctx.graph.term_id(&Term::iri(iri.clone()))),
+        _ => None,
+    };
+    let compiled_path = if plain_pred.is_none() {
+        Some(compile_path(ctx.graph, &tp.path))
+    } else {
+        None
+    };
+
+    let mut out = Vec::new();
+    for row in rows {
+        let s = const_s.or_else(|| match &tp.subject {
+            PlanNodePattern::Var(v) => row[*v],
+            PlanNodePattern::Term(_) => unreachable!(),
+        });
+        let o = const_o.or_else(|| match &tp.object {
+            PlanNodePattern::Var(v) => row[*v],
+            PlanNodePattern::Term(_) => unreachable!(),
+        });
+
+        // Endpoints outside the graph can only satisfy zero-length paths;
+        // the path evaluator handles that case itself. For plain predicates
+        // they can never match.
+        match (&plain_pred, &compiled_path) {
+            (Some(pred), _) => {
+                let Some(pred) = pred else {
+                    // Predicate not in graph: no matches at all.
+                    return Ok(Vec::new());
+                };
+                if s.is_some_and(|id| !ctx.in_graph(id)) || o.is_some_and(|id| !ctx.in_graph(id)) {
+                    continue;
+                }
+                for [ms, _, mo] in ctx.graph.matching_ids(s, Some(*pred), o) {
+                    extend_row(&row, tp, ms, mo, &mut out);
+                }
+            }
+            (None, Some(cpath)) => {
+                for (ms, mo) in eval_path(ctx.graph, cpath, s, o) {
+                    extend_row(&row, tp, ms, mo, &mut out);
+                }
+            }
+            (None, None) => unreachable!("one of pred/path is set"),
+        }
+    }
+    Ok(out)
+}
+
+/// Extend `row` with the matched endpoints, respecting repeated variables
+/// (e.g. `?x <p> ?x` only matches when both ends are equal).
+fn extend_row(row: &Row, tp: &TriplePlan, ms: TermId, mo: TermId, out: &mut Vec<Row>) {
+    let mut new_row = row.clone();
+    if let PlanNodePattern::Var(v) = &tp.subject {
+        match new_row[*v] {
+            Some(existing) if existing != ms => return,
+            _ => new_row[*v] = Some(ms),
+        }
+    }
+    if let PlanNodePattern::Var(v) = &tp.object {
+        match new_row[*v] {
+            Some(existing) if existing != mo => return,
+            _ => new_row[*v] = Some(mo),
+        }
+    }
+    out.push(new_row);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{execute, parse_query};
+
+    /// The Figure-1 plan as a graph: NLJOIN(2) with FETCH(3) outer (over
+    /// IXSCAN(4) over SALES_FACT) and TBSCAN(5) inner over CUST_DIM.
+    fn fig1_graph() -> Graph {
+        let mut g = Graph::new();
+        let pred = |n: &str| Term::iri(format!("http://optimatch/pred#{n}"));
+        let pop = |n: u32| Term::iri(format!("http://optimatch/qep#pop{n}"));
+        let t = |s: &str| Term::lit_str(s);
+
+        g.insert(pop(2), pred("hasPopType"), t("NLJOIN"));
+        g.insert(pop(2), pred("hasEstimateCardinality"), t("1251.0"));
+        g.insert(pop(3), pred("hasPopType"), t("FETCH"));
+        g.insert(pop(4), pred("hasPopType"), t("IXSCAN"));
+        g.insert(pop(5), pred("hasPopType"), t("TBSCAN"));
+        g.insert(pop(5), pred("hasEstimateCardinality"), t("4043.0"));
+        g.insert(pop(5), pred("hasTotalCost"), t("15771.0"));
+        // Streams (direct edges here; the blank-node convention is exercised
+        // by optimatch-core's transform tests).
+        g.insert(pop(2), pred("hasOuterInputStream"), pop(3));
+        g.insert(pop(2), pred("hasInnerInputStream"), pop(5));
+        g.insert(pop(3), pred("hasInputStream"), pop(4));
+        g.insert(pop(4), pred("hasInputStream"), pop(6));
+        g.insert(pop(5), pred("hasInputStream"), pop(7));
+        g.insert(pop(6), pred("isABaseObj"), Term::lit_str("SALES_FACT"));
+        g.insert(pop(7), pred("isABaseObj"), Term::lit_str("CUST_DIM"));
+        g
+    }
+
+    const PFX: &str = "PREFIX p: <http://optimatch/pred#>\n";
+
+    #[test]
+    fn bgp_with_filter_matches_pattern_a_shape() {
+        let g = fig1_graph();
+        let q = format!(
+            "{PFX}SELECT ?join ?inner WHERE {{
+                ?join p:hasPopType \"NLJOIN\" .
+                ?join p:hasInnerInputStream ?inner .
+                ?inner p:hasPopType \"TBSCAN\" .
+                ?inner p:hasEstimateCardinality ?card .
+                FILTER (?card > 100)
+            }}"
+        );
+        let t = execute(&g, &q).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.get(0, "inner"),
+            Some(&Term::iri("http://optimatch/qep#pop5"))
+        );
+    }
+
+    #[test]
+    fn filter_excludes_on_threshold() {
+        let g = fig1_graph();
+        let q = format!(
+            "{PFX}SELECT ?inner WHERE {{
+                ?inner p:hasPopType \"TBSCAN\" .
+                ?inner p:hasEstimateCardinality ?card .
+                FILTER (?card > 5000)
+            }}"
+        );
+        assert!(execute(&g, &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn descendant_path_reaches_base_object() {
+        let g = fig1_graph();
+        // From the NLJOIN, any stream descendant that is a base object.
+        let q = format!(
+            "{PFX}SELECT ?base WHERE {{
+                ?join p:hasPopType \"NLJOIN\" .
+                ?join (p:hasOuterInputStream|p:hasInnerInputStream|p:hasInputStream)+ ?d .
+                ?d p:isABaseObj ?base .
+            }} ORDER BY ?base"
+        );
+        let t = execute(&g, &q).unwrap();
+        let names: Vec<_> = (0..t.len())
+            .map(|i| t.get(i, "base").unwrap().display_text().into_owned())
+            .collect();
+        assert_eq!(names, vec!["CUST_DIM", "SALES_FACT"]);
+    }
+
+    #[test]
+    fn optional_keeps_unmatched_rows() {
+        let g = fig1_graph();
+        let q = format!(
+            "{PFX}SELECT ?pop ?cost WHERE {{
+                ?pop p:hasPopType \"FETCH\" .
+                OPTIONAL {{ ?pop p:hasTotalCost ?cost . }}
+            }}"
+        );
+        let t = execute(&g, &q).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(0, "cost"), None);
+    }
+
+    #[test]
+    fn union_combines_branches() {
+        let g = fig1_graph();
+        let q = format!(
+            "{PFX}SELECT ?pop WHERE {{
+                {{ ?pop p:hasPopType \"TBSCAN\" . }} UNION {{ ?pop p:hasPopType \"IXSCAN\" . }}
+            }} ORDER BY ?pop"
+        );
+        let t = execute(&g, &q).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn bind_and_expression_projection() {
+        let g = fig1_graph();
+        let q = format!(
+            "{PFX}SELECT ?doubled WHERE {{
+                ?pop p:hasPopType \"TBSCAN\" .
+                ?pop p:hasEstimateCardinality ?card .
+                BIND (?card * 2 AS ?doubled)
+            }}"
+        );
+        let t = execute(&g, &q).unwrap();
+        assert_eq!(t.get(0, "doubled").unwrap().numeric_value(), Some(8086.0));
+    }
+
+    #[test]
+    fn alias_projection_renames_columns() {
+        let g = fig1_graph();
+        let q = format!("{PFX}SELECT ?pop1 AS ?TOP WHERE {{ ?pop1 p:hasPopType \"NLJOIN\" . }}");
+        let t = execute(&g, &q).unwrap();
+        assert_eq!(t.vars(), ["TOP"]);
+        assert!(t.get(0, "TOP").is_some());
+    }
+
+    #[test]
+    fn distinct_limit_offset() {
+        let g = fig1_graph();
+        let q = format!(
+            "{PFX}SELECT DISTINCT ?type WHERE {{ ?pop p:hasPopType ?type . }} ORDER BY ?type"
+        );
+        let t = execute(&g, &q).unwrap();
+        assert_eq!(t.len(), 4); // NLJOIN FETCH IXSCAN TBSCAN
+        let q2 = format!(
+            "{PFX}SELECT DISTINCT ?type WHERE {{ ?pop p:hasPopType ?type . }}
+             ORDER BY ?type LIMIT 2 OFFSET 1"
+        );
+        let t2 = execute(&g, &q2).unwrap();
+        assert_eq!(t2.len(), 2);
+        assert_eq!(t2.get(0, "type").unwrap().display_text(), "IXSCAN");
+    }
+
+    #[test]
+    fn order_by_desc_numeric() {
+        let g = fig1_graph();
+        let q = format!(
+            "{PFX}SELECT ?pop WHERE {{ ?pop p:hasEstimateCardinality ?c . }} ORDER BY DESC(?c)"
+        );
+        let t = execute(&g, &q).unwrap();
+        // 4043 (pop5) before 1251 (pop2).
+        assert_eq!(
+            t.get(0, "pop"),
+            Some(&Term::iri("http://optimatch/qep#pop5"))
+        );
+    }
+
+    #[test]
+    fn repeated_variable_requires_equality() {
+        let mut g = Graph::new();
+        g.insert(Term::iri("a"), Term::iri("p:self"), Term::iri("a"));
+        g.insert(Term::iri("b"), Term::iri("p:self"), Term::iri("c"));
+        let t = execute(&g, "SELECT ?x WHERE { ?x <p:self> ?x . }").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(0, "x"), Some(&Term::iri("a")));
+    }
+
+    #[test]
+    fn constant_not_in_graph_matches_nothing() {
+        let g = fig1_graph();
+        let q = format!("{PFX}SELECT ?pop WHERE {{ ?pop p:hasPopType \"ZZJOIN\" . }}");
+        assert!(execute(&g, &q).unwrap().is_empty());
+        // Unknown predicate too.
+        let q = format!("{PFX}SELECT ?pop WHERE {{ ?pop p:neverSeen ?x . }}");
+        assert!(execute(&g, &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reorder_and_source_order_agree() {
+        let g = fig1_graph();
+        let q = format!(
+            "{PFX}SELECT ?join ?base WHERE {{
+                ?d p:isABaseObj ?base .
+                ?join (p:hasOuterInputStream|p:hasInnerInputStream|p:hasInputStream)+ ?d .
+                ?join p:hasPopType \"NLJOIN\" .
+            }} ORDER BY ?base"
+        );
+        let query = parse_query(&q).unwrap();
+        let plan = crate::algebra::translate(&query).unwrap();
+        let with = evaluate_with_options(&g, &plan, true).unwrap();
+        let without = evaluate_with_options(&g, &plan, false).unwrap();
+        assert_eq!(with, without);
+        assert_eq!(with.len(), 2);
+    }
+
+    #[test]
+    fn exists_and_not_exists_filters() {
+        let g = fig1_graph();
+        // TBSCAN(5) carries a total cost statement: EXISTS sees it.
+        let q = format!(
+            "{PFX}SELECT ?pop WHERE {{
+                ?pop p:hasPopType \"TBSCAN\" .
+                FILTER EXISTS {{ ?pop p:hasTotalCost ?t . }}
+            }}"
+        );
+        let t = execute(&g, &q).unwrap();
+        assert_eq!(t.len(), 1);
+
+        // NOT EXISTS: TBSCAN has a total cost, so it is filtered out...
+        let q_not = format!(
+            "{PFX}SELECT ?pop WHERE {{
+                ?pop p:hasPopType \"TBSCAN\" .
+                FILTER NOT EXISTS {{ ?pop p:hasTotalCost ?t . }}
+            }}"
+        );
+        assert!(execute(&g, &q_not).unwrap().is_empty());
+
+        // ...while FETCH(3), which has none in this fixture, survives the
+        // same absence check — the cartesian-product-style test only
+        // NOT EXISTS can express.
+        let q_fetch = format!(
+            "{PFX}SELECT ?pop WHERE {{
+                ?pop p:hasPopType \"FETCH\" .
+                FILTER NOT EXISTS {{ ?pop p:hasTotalCost ?t . }}
+            }}"
+        );
+        assert_eq!(execute(&g, &q_fetch).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn exists_sees_outer_bindings() {
+        let g = fig1_graph();
+        // The subpattern must correlate on ?pop: only rows whose own
+        // cardinality clears the bar survive.
+        let q = format!(
+            "{PFX}SELECT ?pop WHERE {{
+                ?pop p:hasPopType ?ty .
+                FILTER EXISTS {{ ?pop p:hasEstimateCardinality ?c . FILTER (?c > 2000) }}
+            }}"
+        );
+        let t = execute(&g, &q).unwrap();
+        // Only TBSCAN(5) (card 4043) qualifies.
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.get(0, "pop"),
+            Some(&Term::iri("http://optimatch/qep#pop5"))
+        );
+    }
+
+    #[test]
+    fn count_star_over_workload_question() {
+        // The paper intro: "how many queries do an index scan access on
+        // the table" — per plan this is a COUNT of IXSCANs.
+        let g = fig1_graph();
+        let q = format!("{PFX}SELECT (COUNT(*) AS ?n) WHERE {{ ?pop p:hasPopType \"IXSCAN\" . }}");
+        let t = execute(&g, &q).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(0, "n").unwrap().numeric_value(), Some(1.0));
+
+        // COUNT over an empty match is 0, not an empty table.
+        let q = format!("{PFX}SELECT (COUNT(*) AS ?n) WHERE {{ ?pop p:hasPopType \"ZZJOIN\" . }}");
+        let t = execute(&g, &q).unwrap();
+        assert_eq!(t.get(0, "n").unwrap().numeric_value(), Some(0.0));
+    }
+
+    #[test]
+    fn group_by_with_count_and_sum() {
+        let mut g = Graph::new();
+        let card = Term::iri("p:card");
+        let ty = Term::iri("p:type");
+        for (name, t, c) in [
+            ("a", "TBSCAN", 10.0),
+            ("b", "TBSCAN", 30.0),
+            ("c", "IXSCAN", 5.0),
+        ] {
+            g.insert(Term::iri(name), ty.clone(), Term::lit_str(t));
+            g.insert(Term::iri(name), card.clone(), Term::lit_double(c));
+        }
+        let q = "SELECT ?t (COUNT(?pop) AS ?n) (SUM(?c) AS ?total) (AVG(?c) AS ?mean)
+                 WHERE { ?pop <p:type> ?t . ?pop <p:card> ?c . }
+                 GROUP BY ?t ORDER BY ?t";
+        let t = execute(&g, q).unwrap();
+        assert_eq!(t.len(), 2);
+        // IXSCAN group first alphabetically.
+        assert_eq!(t.get(0, "t").unwrap().display_text(), "IXSCAN");
+        assert_eq!(t.get(0, "n").unwrap().numeric_value(), Some(1.0));
+        assert_eq!(t.get(1, "t").unwrap().display_text(), "TBSCAN");
+        assert_eq!(t.get(1, "n").unwrap().numeric_value(), Some(2.0));
+        assert_eq!(t.get(1, "total").unwrap().numeric_value(), Some(40.0));
+        assert_eq!(t.get(1, "mean").unwrap().numeric_value(), Some(20.0));
+    }
+
+    #[test]
+    fn min_max_aggregates() {
+        let g = fig1_graph();
+        let q = format!(
+            "{PFX}SELECT (MIN(?c) AS ?lo) (MAX(?c) AS ?hi)
+             WHERE {{ ?pop p:hasEstimateCardinality ?c . }}"
+        );
+        let t = execute(&g, &q).unwrap();
+        assert_eq!(t.get(0, "lo").unwrap().numeric_value(), Some(1251.0));
+        assert_eq!(t.get(0, "hi").unwrap().numeric_value(), Some(4043.0));
+    }
+
+    #[test]
+    fn aggregate_misuse_is_rejected() {
+        let g = fig1_graph();
+        // Projecting a non-grouped variable alongside an aggregate.
+        let q = format!("{PFX}SELECT ?pop (COUNT(*) AS ?n) WHERE {{ ?pop p:hasPopType ?t . }}");
+        assert!(execute(&g, &q).is_err());
+        // Nested aggregate in an arithmetic expression.
+        let q = format!("{PFX}SELECT (COUNT(*) * 2 AS ?n) WHERE {{ ?pop p:hasPopType ?t . }}");
+        assert!(execute(&g, &q).is_err());
+        // SELECT * with GROUP BY.
+        let q = format!("{PFX}SELECT * WHERE {{ ?pop p:hasPopType ?t . }} GROUP BY ?t");
+        assert!(execute(&g, &q).is_err());
+    }
+
+    #[test]
+    fn join_of_two_groups() {
+        let g = fig1_graph();
+        let q = format!(
+            "{PFX}SELECT ?a ?b WHERE {{
+                {{ ?a p:hasPopType \"NLJOIN\" . }}
+                {{ ?a p:hasInnerInputStream ?b . }}
+            }}"
+        );
+        let t = execute(&g, &q).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+}

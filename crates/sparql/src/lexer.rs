@@ -1,0 +1,643 @@
+//! Tokenizer for the SPARQL subset.
+
+use crate::error::SparqlError;
+
+/// A lexical token with its byte position in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset where the token starts.
+    pub position: usize,
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+}
+
+/// The kinds of token the parser consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword, uppercased (`SELECT`, `WHERE`, `FILTER`, …).
+    Keyword(String),
+    /// `?name` — the leading `?` is stripped.
+    Var(String),
+    /// `<iri>` — the angle brackets are stripped.
+    IriRef(String),
+    /// `prefix:local` — stored as the two parts.
+    PrefixedName(String, String),
+    /// `_:label` blank node.
+    BlankNode(String),
+    /// A quoted string literal, unescaped. Optional `^^` datatype or `@lang`
+    /// suffixes are separate tokens handled by the parser.
+    String(String),
+    /// A numeric literal, kept as its lexical form plus parsed value.
+    Number(String, f64),
+    /// The keyword `a` (rdf:type shorthand).
+    A,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `|`
+    Pipe,
+    /// `^` (path inverse)
+    Caret,
+    /// `^^` (datatype marker)
+    CaretCaret,
+    /// `?` not followed by a name (path modifier)
+    Question,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `@lang` tag (the `@` is stripped)
+    LangTag(String),
+    /// End of input.
+    Eof,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT",
+    "DISTINCT",
+    "REDUCED",
+    "WHERE",
+    "FILTER",
+    "OPTIONAL",
+    "UNION",
+    "PREFIX",
+    "BASE",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
+    "AS",
+    "BIND",
+    "ASK",
+    "TRUE",
+    "FALSE",
+    "EXISTS",
+    "NOT",
+    "GROUP",
+    "HAVING",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    // Built-in function names (SPARQL treats these case-insensitively).
+    "BOUND",
+    "STR",
+    "DATATYPE",
+    "ISBLANK",
+    "ISIRI",
+    "ISURI",
+    "ISLITERAL",
+    "ISNUMERIC",
+    "REGEX",
+    "ABS",
+    "CEIL",
+    "FLOOR",
+    "STRSTARTS",
+    "STRENDS",
+    "CONTAINS",
+    "STRLEN",
+    "LCASE",
+    "UCASE",
+];
+
+/// Tokenize a query string.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, SparqlError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'{' => push1(&mut tokens, &mut i, start, TokenKind::LBrace),
+            b'}' => push1(&mut tokens, &mut i, start, TokenKind::RBrace),
+            b'(' => push1(&mut tokens, &mut i, start, TokenKind::LParen),
+            b')' => push1(&mut tokens, &mut i, start, TokenKind::RParen),
+            b';' => push1(&mut tokens, &mut i, start, TokenKind::Semicolon),
+            b',' => push1(&mut tokens, &mut i, start, TokenKind::Comma),
+            b'*' => push1(&mut tokens, &mut i, start, TokenKind::Star),
+            b'+' => push1(&mut tokens, &mut i, start, TokenKind::Plus),
+            b'/' => push1(&mut tokens, &mut i, start, TokenKind::Slash),
+            b'|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    i += 2;
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::OrOr,
+                    });
+                } else {
+                    push1(&mut tokens, &mut i, start, TokenKind::Pipe);
+                }
+            }
+            b'&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    i += 2;
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::AndAnd,
+                    });
+                } else {
+                    return Err(SparqlError::lex(start, "lone '&'"));
+                }
+            }
+            b'^' => {
+                if bytes.get(i + 1) == Some(&b'^') {
+                    i += 2;
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::CaretCaret,
+                    });
+                } else {
+                    push1(&mut tokens, &mut i, start, TokenKind::Caret);
+                }
+            }
+            b'=' => push1(&mut tokens, &mut i, start, TokenKind::Eq),
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::Neq,
+                    });
+                } else {
+                    push1(&mut tokens, &mut i, start, TokenKind::Bang);
+                }
+            }
+            b'<' => {
+                // Either an IRI reference or a comparison operator. An IRI
+                // ref has no whitespace before the closing '>'.
+                if let Some(end) = scan_iri_ref(bytes, i) {
+                    let iri = &src[i + 1..end];
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::IriRef(iri.to_string()),
+                    });
+                    i = end + 1;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::Le,
+                    });
+                } else {
+                    push1(&mut tokens, &mut i, start, TokenKind::Lt);
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::Ge,
+                    });
+                } else {
+                    push1(&mut tokens, &mut i, start, TokenKind::Gt);
+                }
+            }
+            b'?' | b'$' => {
+                let mut j = i + 1;
+                while j < bytes.len() && is_name_char(bytes[j]) {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    push1(&mut tokens, &mut i, start, TokenKind::Question);
+                } else {
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::Var(src[i + 1..j].to_string()),
+                    });
+                    i = j;
+                }
+            }
+            b'@' => {
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(SparqlError::lex(start, "empty language tag"));
+                }
+                tokens.push(Token {
+                    position: start,
+                    kind: TokenKind::LangTag(src[i + 1..j].to_string()),
+                });
+                i = j;
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut value = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(SparqlError::lex(start, "unterminated string literal"));
+                    }
+                    match bytes[j] {
+                        b'\\' => {
+                            let esc = *bytes
+                                .get(j + 1)
+                                .ok_or_else(|| SparqlError::lex(j, "dangling escape"))?;
+                            value.push(match esc {
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                b'\'' => '\'',
+                                b'n' => '\n',
+                                b'r' => '\r',
+                                b't' => '\t',
+                                other => {
+                                    return Err(SparqlError::lex(
+                                        j,
+                                        format!("unsupported escape \\{}", other as char),
+                                    ))
+                                }
+                            });
+                            j += 2;
+                        }
+                        q if q == quote => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {
+                            let rest = &src[j..];
+                            let ch = rest.chars().next().expect("in-bounds");
+                            value.push(ch);
+                            j += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    position: start,
+                    kind: TokenKind::String(value),
+                });
+                i = j;
+            }
+            b'_' if bytes.get(i + 1) == Some(&b':') => {
+                let mut j = i + 2;
+                while j < bytes.len() && is_name_char(bytes[j]) {
+                    j += 1;
+                }
+                if j == i + 2 {
+                    return Err(SparqlError::lex(start, "empty blank node label"));
+                }
+                tokens.push(Token {
+                    position: start,
+                    kind: TokenKind::BlankNode(src[i + 2..j].to_string()),
+                });
+                i = j;
+            }
+            b'-' => push1(&mut tokens, &mut i, start, TokenKind::Minus),
+            b'0'..=b'9' => {
+                let (j, lex) = scan_number(src, i);
+                let value: f64 = lex
+                    .parse()
+                    .map_err(|_| SparqlError::lex(start, format!("bad number {lex:?}")))?;
+                tokens.push(Token {
+                    position: start,
+                    kind: TokenKind::Number(lex, value),
+                });
+                i = j;
+            }
+            b'.' => {
+                // Decimal like `.5` or the triple terminator.
+                if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    let (j, lex) = scan_number(src, i);
+                    let value: f64 = lex
+                        .parse()
+                        .map_err(|_| SparqlError::lex(start, format!("bad number {lex:?}")))?;
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::Number(lex, value),
+                    });
+                    i = j;
+                } else {
+                    push1(&mut tokens, &mut i, start, TokenKind::Dot);
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut j = i;
+                while j < bytes.len() && is_name_char(bytes[j]) {
+                    j += 1;
+                }
+                let word = &src[i..j];
+                // Prefixed name?
+                if bytes.get(j) == Some(&b':') {
+                    let mut k = j + 1;
+                    while k < bytes.len() && is_name_char(bytes[k]) {
+                        k += 1;
+                    }
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::PrefixedName(word.to_string(), src[j + 1..k].to_string()),
+                    });
+                    i = k;
+                } else if word == "a" {
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::A,
+                    });
+                    i = j;
+                } else {
+                    let upper = word.to_ascii_uppercase();
+                    if KEYWORDS.contains(&upper.as_str()) {
+                        tokens.push(Token {
+                            position: start,
+                            kind: TokenKind::Keyword(upper),
+                        });
+                        i = j;
+                    } else {
+                        return Err(SparqlError::lex(start, format!("unexpected word {word:?}")));
+                    }
+                }
+            }
+            b':' => {
+                // Default-prefix name `:local`.
+                let mut k = i + 1;
+                while k < bytes.len() && is_name_char(bytes[k]) {
+                    k += 1;
+                }
+                tokens.push(Token {
+                    position: start,
+                    kind: TokenKind::PrefixedName(String::new(), src[i + 1..k].to_string()),
+                });
+                i = k;
+            }
+            other => {
+                return Err(SparqlError::lex(
+                    start,
+                    format!("unexpected character {:?}", other as char),
+                ))
+            }
+        }
+    }
+    tokens.push(Token {
+        position: src.len(),
+        kind: TokenKind::Eof,
+    });
+    Ok(tokens)
+}
+
+fn push1(tokens: &mut Vec<Token>, i: &mut usize, position: usize, kind: TokenKind) {
+    tokens.push(Token { position, kind });
+    *i += 1;
+}
+
+fn is_name_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Scan `<...>` as an IRI ref: returns the index of the closing `>` when the
+/// bracketed span contains no whitespace or nested `<`.
+fn scan_iri_ref(bytes: &[u8], start: usize) -> Option<usize> {
+    let mut j = start + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'>' => return Some(j),
+            b' ' | b'\t' | b'\r' | b'\n' | b'<' | b'"' => return None,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Scan a numeric literal (integer / decimal / double with exponent).
+fn scan_number(src: &str, start: usize) -> (usize, String) {
+    let bytes = src.as_bytes();
+    let mut j = start;
+    while j < bytes.len() && bytes[j].is_ascii_digit() {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'.' && bytes.get(j + 1).is_some_and(u8::is_ascii_digit) {
+        j += 1;
+        while j < bytes.len() && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+    }
+    if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+        let mut k = j + 1;
+        if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+            k += 1;
+        }
+        if k < bytes.len() && bytes[k].is_ascii_digit() {
+            j = k;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+        }
+    }
+    (j, src[start..j].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_figure6_fragment() {
+        let ks = kinds(r#"SELECT ?pop1 AS ?TOP WHERE { ?pop1 predURI:hasPopType "NLJOIN" . }"#);
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Var("pop1".into()),
+                TokenKind::Keyword("AS".into()),
+                TokenKind::Var("TOP".into()),
+                TokenKind::Keyword("WHERE".into()),
+                TokenKind::LBrace,
+                TokenKind::Var("pop1".into()),
+                TokenKind::PrefixedName("predURI".into(), "hasPopType".into()),
+                TokenKind::String("NLJOIN".into()),
+                TokenKind::Dot,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_lt_from_iri() {
+        assert_eq!(
+            kinds("?a < 5"),
+            vec![
+                TokenKind::Var("a".into()),
+                TokenKind::Lt,
+                TokenKind::Number("5".into(), 5.0),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("<http://x/p>"),
+            vec![TokenKind::IriRef("http://x/p".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("= != < <= > >= && || !"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Neq,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_including_exponent() {
+        assert_eq!(
+            kinds("100 4043.0 1.93187e+06 .5"),
+            vec![
+                TokenKind::Number("100".into(), 100.0),
+                TokenKind::Number("4043.0".into(), 4043.0),
+                TokenKind::Number("1.93187e+06".into(), 1.93187e6),
+                TokenKind::Number(".5".into(), 0.5),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn path_operators_and_question() {
+        assert_eq!(
+            kinds("p:x+ / p:y* | ^p:z?"),
+            vec![
+                TokenKind::PrefixedName("p".into(), "x".into()),
+                TokenKind::Plus,
+                TokenKind::Slash,
+                TokenKind::PrefixedName("p".into(), "y".into()),
+                TokenKind::Star,
+                TokenKind::Pipe,
+                TokenKind::Caret,
+                TokenKind::PrefixedName("p".into(), "z".into()),
+                TokenKind::Question,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_lang() {
+        assert_eq!(
+            kinds(r#""a\"b" "x"@en 'single'"#),
+            vec![
+                TokenKind::String("a\"b".into()),
+                TokenKind::String("x".into()),
+                TokenKind::LangTag("en".into()),
+                TokenKind::String("single".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn typed_literal_tokens() {
+        assert_eq!(
+            kinds(r#""42"^^<http://www.w3.org/2001/XMLSchema#integer>"#),
+            vec![
+                TokenKind::String("42".into()),
+                TokenKind::CaretCaret,
+                TokenKind::IriRef("http://www.w3.org/2001/XMLSchema#integer".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("SELECT # all of it\n ?x"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Var("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive_and_a_shorthand() {
+        assert_eq!(
+            kinds("select Where a"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("WHERE".into()),
+                TokenKind::A,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("&").is_err());
+        assert!(tokenize("~").is_err());
+        assert!(tokenize("notakeyword ").is_err());
+    }
+
+    #[test]
+    fn blank_nodes_and_default_prefix() {
+        assert_eq!(
+            kinds("_:b0 :local"),
+            vec![
+                TokenKind::BlankNode("b0".into()),
+                TokenKind::PrefixedName(String::new(), "local".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,984 @@
+//! Recursive-descent parser for the SPARQL subset.
+//!
+//! Prefixed names are resolved to full IRIs during parsing, so the AST only
+//! carries absolute IRIs. The grammar deliberately accepts the paper's
+//! non-standard bare projection alias (`SELECT ?pop1 AS ?TOP …`, Figure 6)
+//! in addition to the standard parenthesized form.
+
+use std::collections::HashMap;
+
+use optimatch_rdf::term::xsd;
+use optimatch_rdf::Term;
+
+use crate::ast::*;
+use crate::error::SparqlError;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parse a query string.
+pub fn parse(src: &str) -> Result<Query, SparqlError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        prefixes: HashMap::new(),
+        prefix_list: Vec::new(),
+    };
+    p.query()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+    prefix_list: Vec<(String, String)>,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn position(&self) -> usize {
+        self.tokens[self.pos].position
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SparqlError {
+        SparqlError::parse(self.position(), msg)
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), SparqlError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Keyword(k) if k == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SparqlError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn resolve_prefix(&self, prefix: &str, local: &str) -> Result<String, SparqlError> {
+        match self.prefixes.get(prefix) {
+            Some(ns) => Ok(format!("{ns}{local}")),
+            None => Err(SparqlError::Translate(format!(
+                "undeclared prefix {prefix:?}"
+            ))),
+        }
+    }
+
+    // ---- query structure -------------------------------------------------
+
+    fn query(&mut self) -> Result<Query, SparqlError> {
+        // Prologue.
+        while self.eat_keyword("PREFIX") {
+            let (prefix, local) = match self.bump() {
+                TokenKind::PrefixedName(p, l) => (p, l),
+                other => return Err(self.err(format!("expected prefix name, found {other:?}"))),
+            };
+            if !local.is_empty() {
+                return Err(self.err("prefix declaration must end with ':'"));
+            }
+            let iri = match self.bump() {
+                TokenKind::IriRef(i) => i,
+                other => return Err(self.err(format!("expected IRI, found {other:?}"))),
+            };
+            self.prefixes.insert(prefix.clone(), iri.clone());
+            self.prefix_list.push((prefix, iri));
+        }
+
+        // ASK form: existence check, no projection or solution modifiers
+        // beyond the pattern itself.
+        if self.eat_keyword("ASK") {
+            let where_clause = self.group_graph_pattern()?;
+            self.expect(&TokenKind::Eof, "end of query")?;
+            return Ok(Query {
+                ask: true,
+                prefixes: std::mem::take(&mut self.prefix_list),
+                distinct: false,
+                select: Vec::new(),
+                select_all: false,
+                where_clause,
+                order_by: Vec::new(),
+                group_by: Vec::new(),
+                having: None,
+                limit: Some(1),
+                offset: None,
+            });
+        }
+
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT") || {
+            // REDUCED is treated as DISTINCT (permitted by the spec).
+            self.eat_keyword("REDUCED")
+        };
+
+        let mut select = Vec::new();
+        let mut select_all = false;
+        if matches!(self.peek(), TokenKind::Star) {
+            self.bump();
+            select_all = true;
+        } else {
+            loop {
+                match self.peek().clone() {
+                    TokenKind::Var(v) => {
+                        self.bump();
+                        // Paper's bare alias form: `?pop1 AS ?TOP`.
+                        if self.eat_keyword("AS") {
+                            let alias = self.var()?;
+                            select.push(SelectItem::Expression {
+                                expr: Expression::Var(v),
+                                alias,
+                            });
+                        } else {
+                            select.push(SelectItem::Var(v));
+                        }
+                    }
+                    TokenKind::LParen => {
+                        self.bump();
+                        let expr = self.expression()?;
+                        self.expect_keyword("AS")?;
+                        let alias = self.var()?;
+                        self.expect(&TokenKind::RParen, ")")?;
+                        select.push(SelectItem::Expression { expr, alias });
+                    }
+                    _ => break,
+                }
+            }
+            if select.is_empty() {
+                return Err(self.err("SELECT needs at least one variable or '*'"));
+            }
+        }
+
+        // WHERE keyword is optional in SPARQL.
+        let _ = self.eat_keyword("WHERE");
+        let where_clause = self.group_graph_pattern()?;
+
+        // Solution modifiers.
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            while let TokenKind::Var(v) = self.peek().clone() {
+                self.bump();
+                group_by.push(v);
+            }
+            if group_by.is_empty() {
+                return Err(self.err("GROUP BY needs at least one variable"));
+            }
+        }
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.constraint()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let (ascending, need_paren) = if self.eat_keyword("ASC") {
+                    (true, true)
+                } else if self.eat_keyword("DESC") {
+                    (false, true)
+                } else {
+                    (true, false)
+                };
+                if need_paren {
+                    self.expect(&TokenKind::LParen, "(")?;
+                    let expr = self.expression()?;
+                    self.expect(&TokenKind::RParen, ")")?;
+                    order_by.push(OrderCondition { expr, ascending });
+                } else {
+                    match self.peek().clone() {
+                        TokenKind::Var(v) => {
+                            self.bump();
+                            order_by.push(OrderCondition {
+                                expr: Expression::Var(v),
+                                ascending,
+                            });
+                        }
+                        TokenKind::LParen => {
+                            self.bump();
+                            let expr = self.expression()?;
+                            self.expect(&TokenKind::RParen, ")")?;
+                            order_by.push(OrderCondition { expr, ascending });
+                        }
+                        _ => break,
+                    }
+                }
+                if !matches!(
+                    self.peek(),
+                    TokenKind::Var(_) | TokenKind::LParen | TokenKind::Keyword(_)
+                ) {
+                    break;
+                }
+                if matches!(self.peek(), TokenKind::Keyword(k) if k != "ASC" && k != "DESC") {
+                    break;
+                }
+            }
+            if order_by.is_empty() {
+                return Err(self.err("ORDER BY needs at least one condition"));
+            }
+        }
+
+        let mut limit = None;
+        let mut offset = None;
+        loop {
+            if self.eat_keyword("LIMIT") {
+                limit = Some(self.number_usize()?);
+            } else if self.eat_keyword("OFFSET") {
+                offset = Some(self.number_usize()?);
+            } else {
+                break;
+            }
+        }
+
+        self.expect(&TokenKind::Eof, "end of query")?;
+
+        Ok(Query {
+            ask: false,
+            prefixes: std::mem::take(&mut self.prefix_list),
+            distinct,
+            select,
+            select_all,
+            where_clause,
+            order_by,
+            group_by,
+            having,
+            limit,
+            offset,
+        })
+    }
+
+    fn var(&mut self) -> Result<String, SparqlError> {
+        match self.bump() {
+            TokenKind::Var(v) => Ok(v),
+            other => Err(self.err(format!("expected variable, found {other:?}"))),
+        }
+    }
+
+    fn number_usize(&mut self) -> Result<usize, SparqlError> {
+        match self.bump() {
+            TokenKind::Number(_, v) if v >= 0.0 && v.fract() == 0.0 => Ok(v as usize),
+            other => Err(self.err(format!("expected non-negative integer, found {other:?}"))),
+        }
+    }
+
+    // ---- graph patterns --------------------------------------------------
+
+    fn group_graph_pattern(&mut self) -> Result<GroupGraphPattern, SparqlError> {
+        self.expect(&TokenKind::LBrace, "{")?;
+        let mut elements = Vec::new();
+        loop {
+            match self.peek().clone() {
+                TokenKind::RBrace => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Keyword(k) if k == "FILTER" => {
+                    self.bump();
+                    let expr = self.constraint()?;
+                    elements.push(PatternElement::Filter(expr));
+                    let _ = self.eat_dot();
+                }
+                TokenKind::Keyword(k) if k == "OPTIONAL" => {
+                    self.bump();
+                    let inner = self.group_graph_pattern()?;
+                    elements.push(PatternElement::Optional(inner));
+                    let _ = self.eat_dot();
+                }
+                TokenKind::Keyword(k) if k == "BIND" => {
+                    self.bump();
+                    self.expect(&TokenKind::LParen, "(")?;
+                    let expr = self.expression()?;
+                    self.expect_keyword("AS")?;
+                    let v = self.var()?;
+                    self.expect(&TokenKind::RParen, ")")?;
+                    elements.push(PatternElement::Bind(expr, v));
+                    let _ = self.eat_dot();
+                }
+                TokenKind::LBrace => {
+                    let first = self.group_graph_pattern()?;
+                    if self.eat_keyword("UNION") {
+                        let mut branches = vec![first];
+                        loop {
+                            branches.push(self.group_graph_pattern()?);
+                            if !self.eat_keyword("UNION") {
+                                break;
+                            }
+                        }
+                        // Fold into right-nested unions.
+                        let mut it = branches.into_iter().rev();
+                        let mut acc = it.next().expect("at least two branches");
+                        for left in it {
+                            acc = GroupGraphPattern {
+                                elements: vec![PatternElement::Union(left, acc)],
+                            };
+                        }
+                        // Unwrap one level: acc is a group whose single
+                        // element is the union chain.
+                        elements.extend(acc.elements);
+                    } else {
+                        elements.push(PatternElement::Group(first));
+                    }
+                    let _ = self.eat_dot();
+                }
+                _ => {
+                    // A triples block.
+                    self.triples_block(&mut elements)?;
+                }
+            }
+        }
+        Ok(GroupGraphPattern { elements })
+    }
+
+    fn eat_dot(&mut self) -> bool {
+        if matches!(self.peek(), TokenKind::Dot) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parse `subject predicate object (';' pred obj)* (',' obj)* '.'?`.
+    fn triples_block(&mut self, out: &mut Vec<PatternElement>) -> Result<(), SparqlError> {
+        let subject = self.node_pattern()?;
+        loop {
+            let path = self.path()?;
+            loop {
+                let object = self.node_pattern()?;
+                out.push(PatternElement::Triple(TriplePattern {
+                    subject: subject.clone(),
+                    path: path.clone(),
+                    object,
+                }));
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if matches!(self.peek(), TokenKind::Semicolon) {
+                self.bump();
+                // Allow trailing ';' before '.' or '}'.
+                if matches!(self.peek(), TokenKind::Dot | TokenKind::RBrace) {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        let _ = self.eat_dot();
+        Ok(())
+    }
+
+    fn node_pattern(&mut self) -> Result<NodePattern, SparqlError> {
+        match self.bump() {
+            TokenKind::Var(v) => Ok(NodePattern::Var(v)),
+            TokenKind::IriRef(i) => Ok(NodePattern::Term(Term::iri(i))),
+            TokenKind::PrefixedName(p, l) => {
+                Ok(NodePattern::Term(Term::iri(self.resolve_prefix(&p, &l)?)))
+            }
+            TokenKind::BlankNode(b) => Ok(NodePattern::Term(Term::bnode(b))),
+            TokenKind::String(s) => Ok(NodePattern::Term(self.literal_suffix(s)?)),
+            TokenKind::Number(lex, _) => Ok(NodePattern::Term(number_term(&lex))),
+            TokenKind::Keyword(k) if k == "TRUE" => Ok(NodePattern::Term(Term::lit_bool(true))),
+            TokenKind::Keyword(k) if k == "FALSE" => Ok(NodePattern::Term(Term::lit_bool(false))),
+            other => Err(self.err(format!("expected term or variable, found {other:?}"))),
+        }
+    }
+
+    /// Handle `^^<dt>` / `@lang` after a string literal.
+    fn literal_suffix(&mut self, lexical: String) -> Result<Term, SparqlError> {
+        match self.peek().clone() {
+            TokenKind::CaretCaret => {
+                self.bump();
+                let dt = match self.bump() {
+                    TokenKind::IriRef(i) => i,
+                    TokenKind::PrefixedName(p, l) => self.resolve_prefix(&p, &l)?,
+                    other => {
+                        return Err(self.err(format!("expected datatype IRI, found {other:?}")))
+                    }
+                };
+                Ok(Term::lit_typed(lexical, dt))
+            }
+            TokenKind::LangTag(lang) => {
+                self.bump();
+                Ok(Term::Literal(optimatch_rdf::Literal::LangTagged {
+                    lexical,
+                    lang,
+                }))
+            }
+            _ => Ok(Term::lit_str(lexical)),
+        }
+    }
+
+    // ---- property paths --------------------------------------------------
+
+    fn path(&mut self) -> Result<Path, SparqlError> {
+        // A bare variable may stand for the whole predicate (`?s ?p ?o`);
+        // variables cannot participate in path operators.
+        if let TokenKind::Var(v) = self.peek().clone() {
+            self.bump();
+            return Ok(Path::Var(v));
+        }
+        self.path_alternative()
+    }
+
+    fn path_alternative(&mut self) -> Result<Path, SparqlError> {
+        let mut left = self.path_sequence()?;
+        while matches!(self.peek(), TokenKind::Pipe) {
+            self.bump();
+            let right = self.path_sequence()?;
+            left = Path::Alternative(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn path_sequence(&mut self) -> Result<Path, SparqlError> {
+        let mut left = self.path_elt_or_inverse()?;
+        while matches!(self.peek(), TokenKind::Slash) {
+            self.bump();
+            let right = self.path_elt_or_inverse()?;
+            left = Path::Sequence(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn path_elt_or_inverse(&mut self) -> Result<Path, SparqlError> {
+        if matches!(self.peek(), TokenKind::Caret) {
+            self.bump();
+            let inner = self.path_elt()?;
+            Ok(Path::Inverse(Box::new(inner)))
+        } else {
+            self.path_elt()
+        }
+    }
+
+    fn path_elt(&mut self) -> Result<Path, SparqlError> {
+        let primary = self.path_primary()?;
+        Ok(match self.peek() {
+            TokenKind::Star => {
+                self.bump();
+                Path::ZeroOrMore(Box::new(primary))
+            }
+            TokenKind::Plus => {
+                self.bump();
+                Path::OneOrMore(Box::new(primary))
+            }
+            TokenKind::Question => {
+                self.bump();
+                Path::ZeroOrOne(Box::new(primary))
+            }
+            _ => primary,
+        })
+    }
+
+    fn path_primary(&mut self) -> Result<Path, SparqlError> {
+        match self.bump() {
+            TokenKind::IriRef(i) => Ok(Path::Iri(i)),
+            TokenKind::PrefixedName(p, l) => Ok(Path::Iri(self.resolve_prefix(&p, &l)?)),
+            TokenKind::A => Ok(Path::Iri(
+                "http://www.w3.org/1999/02/22-rdf-syntax-ns#type".to_string(),
+            )),
+            TokenKind::LParen => {
+                let inner = self.path()?;
+                self.expect(&TokenKind::RParen, ")")?;
+                Ok(inner)
+            }
+            other => Err(self.err(format!("expected property path, found {other:?}"))),
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn constraint(&mut self) -> Result<Expression, SparqlError> {
+        // FILTER ( expr ) | FILTER builtinCall
+        if matches!(self.peek(), TokenKind::LParen) {
+            self.bump();
+            let e = self.expression()?;
+            self.expect(&TokenKind::RParen, ")")?;
+            Ok(e)
+        } else {
+            self.primary_expression()
+        }
+    }
+
+    fn expression(&mut self) -> Result<Expression, SparqlError> {
+        self.or_expression()
+    }
+
+    fn or_expression(&mut self) -> Result<Expression, SparqlError> {
+        let mut left = self.and_expression()?;
+        while matches!(self.peek(), TokenKind::OrOr) {
+            self.bump();
+            let right = self.and_expression()?;
+            left = Expression::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expression(&mut self) -> Result<Expression, SparqlError> {
+        let mut left = self.relational_expression()?;
+        while matches!(self.peek(), TokenKind::AndAnd) {
+            self.bump();
+            let right = self.relational_expression()?;
+            left = Expression::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn relational_expression(&mut self) -> Result<Expression, SparqlError> {
+        let left = self.additive_expression()?;
+        let op = match self.peek() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Neq => CmpOp::Neq,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.additive_expression()?;
+        Ok(Expression::Compare(op, Box::new(left), Box::new(right)))
+    }
+
+    fn additive_expression(&mut self) -> Result<Expression, SparqlError> {
+        let mut left = self.multiplicative_expression()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => ArithOp::Add,
+                TokenKind::Minus => ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.multiplicative_expression()?;
+            left = Expression::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn multiplicative_expression(&mut self) -> Result<Expression, SparqlError> {
+        let mut left = self.unary_expression()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => ArithOp::Mul,
+                TokenKind::Slash => ArithOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary_expression()?;
+            left = Expression::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expression(&mut self) -> Result<Expression, SparqlError> {
+        match self.peek() {
+            TokenKind::Bang => {
+                self.bump();
+                Ok(Expression::Not(Box::new(self.unary_expression()?)))
+            }
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expression::Neg(Box::new(self.unary_expression()?)))
+            }
+            TokenKind::Plus => {
+                self.bump();
+                self.unary_expression()
+            }
+            _ => self.primary_expression(),
+        }
+    }
+
+    fn primary_expression(&mut self) -> Result<Expression, SparqlError> {
+        match self.peek().clone() {
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expression()?;
+                self.expect(&TokenKind::RParen, ")")?;
+                Ok(e)
+            }
+            TokenKind::Var(v) => {
+                self.bump();
+                Ok(Expression::Var(v))
+            }
+            TokenKind::Number(lex, _) => {
+                self.bump();
+                Ok(Expression::Constant(number_term(&lex)))
+            }
+            TokenKind::String(s) => {
+                self.bump();
+                let term = self.literal_suffix(s)?;
+                Ok(Expression::Constant(term))
+            }
+            TokenKind::IriRef(i) => {
+                self.bump();
+                Ok(Expression::Constant(Term::iri(i)))
+            }
+            TokenKind::PrefixedName(p, l) => {
+                self.bump();
+                let iri = self.resolve_prefix(&p, &l)?;
+                // `xsd:double(expr)` style casts.
+                if matches!(self.peek(), TokenKind::LParen) && iri.starts_with(xsd_ns()) {
+                    self.bump();
+                    let arg = self.expression()?;
+                    self.expect(&TokenKind::RParen, ")")?;
+                    Ok(Expression::Call(Builtin::NumericCast, vec![arg]))
+                } else {
+                    Ok(Expression::Constant(Term::iri(iri)))
+                }
+            }
+            TokenKind::Keyword(k) if k == "TRUE" => {
+                self.bump();
+                Ok(Expression::Constant(Term::lit_bool(true)))
+            }
+            TokenKind::Keyword(k) if k == "FALSE" => {
+                self.bump();
+                Ok(Expression::Constant(Term::lit_bool(false)))
+            }
+            TokenKind::Keyword(k)
+                if matches!(k.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX") =>
+            {
+                self.bump();
+                self.expect(&TokenKind::LParen, "(")?;
+                let func = match k.as_str() {
+                    "COUNT" => AggFunc::Count,
+                    "SUM" => AggFunc::Sum,
+                    "AVG" => AggFunc::Avg,
+                    "MIN" => AggFunc::Min,
+                    _ => AggFunc::Max,
+                };
+                let arg = if matches!(self.peek(), TokenKind::Star) {
+                    if func != AggFunc::Count {
+                        return Err(self.err("only COUNT accepts '*'"));
+                    }
+                    self.bump();
+                    None
+                } else {
+                    Some(Box::new(self.expression()?))
+                };
+                self.expect(&TokenKind::RParen, ")")?;
+                Ok(Expression::Aggregate(func, arg))
+            }
+            TokenKind::Keyword(k) if k == "EXISTS" => {
+                self.bump();
+                let group = self.group_graph_pattern()?;
+                Ok(Expression::Exists(Box::new(group), true))
+            }
+            TokenKind::Keyword(k) if k == "NOT" => {
+                self.bump();
+                self.expect_keyword("EXISTS")?;
+                let group = self.group_graph_pattern()?;
+                Ok(Expression::Exists(Box::new(group), false))
+            }
+            TokenKind::Keyword(k) => {
+                if let Some(builtin) = builtin_for(&k) {
+                    self.bump();
+                    self.expect(&TokenKind::LParen, "(")?;
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), TokenKind::RParen) {
+                        loop {
+                            args.push(self.expression()?);
+                            if matches!(self.peek(), TokenKind::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, ")")?;
+                    check_arity(builtin, args.len()).map_err(|m| self.err(m))?;
+                    Ok(Expression::Call(builtin, args))
+                } else {
+                    Err(self.err(format!("unexpected keyword {k} in expression")))
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+fn xsd_ns() -> &'static str {
+    "http://www.w3.org/2001/XMLSchema#"
+}
+
+fn builtin_for(keyword: &str) -> Option<Builtin> {
+    Some(match keyword {
+        "BOUND" => Builtin::Bound,
+        "STR" => Builtin::Str,
+        "DATATYPE" => Builtin::Datatype,
+        "ISBLANK" => Builtin::IsBlank,
+        "ISIRI" | "ISURI" => Builtin::IsIri,
+        "ISLITERAL" => Builtin::IsLiteral,
+        "ISNUMERIC" => Builtin::IsNumeric,
+        "REGEX" => Builtin::Regex,
+        "ABS" => Builtin::Abs,
+        "CEIL" => Builtin::Ceil,
+        "FLOOR" => Builtin::Floor,
+        "STRSTARTS" => Builtin::StrStarts,
+        "STRENDS" => Builtin::StrEnds,
+        "CONTAINS" => Builtin::Contains,
+        "STRLEN" => Builtin::StrLen,
+        "LCASE" => Builtin::LCase,
+        "UCASE" => Builtin::UCase,
+        _ => return None,
+    })
+}
+
+fn check_arity(builtin: Builtin, n: usize) -> Result<(), String> {
+    let expected: &[usize] = match builtin {
+        Builtin::Bound
+        | Builtin::Str
+        | Builtin::Datatype
+        | Builtin::IsBlank
+        | Builtin::IsIri
+        | Builtin::IsLiteral
+        | Builtin::IsNumeric
+        | Builtin::Abs
+        | Builtin::Ceil
+        | Builtin::Floor
+        | Builtin::StrLen
+        | Builtin::LCase
+        | Builtin::UCase
+        | Builtin::NumericCast => &[1],
+        Builtin::Regex => &[2, 3],
+        Builtin::StrStarts | Builtin::StrEnds | Builtin::Contains => &[2],
+    };
+    if expected.contains(&n) {
+        Ok(())
+    } else {
+        Err(format!(
+            "{builtin:?} expects {expected:?} arguments, got {n}"
+        ))
+    }
+}
+
+/// Build the term for a bare numeric literal: integers get `xsd:integer`,
+/// anything with a fraction or exponent gets `xsd:double`.
+fn number_term(lexical: &str) -> Term {
+    if lexical.bytes().all(|b| b.is_ascii_digit()) {
+        Term::lit_typed(lexical, xsd::INTEGER)
+    } else {
+        Term::lit_typed(lexical, xsd::DOUBLE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure6_query() {
+        // A condensed version of the paper's autogenerated query (Fig 6).
+        let q = parse(
+            r#"
+            PREFIX popURI: <http://optimatch/qep#>
+            PREFIX predURI: <http://optimatch/pred#>
+            SELECT ?pop1 AS ?TOP ?pop2 AS ?ANY2 ?pop4 AS ?BASE4
+            WHERE {
+                ?pop1 predURI:hasPopType "NLJOIN" .
+                ?pop1 predURI:hasOuterInputStream ?bnodeOfPop2_to_pop1 .
+                ?bnodeOfPop2_to_pop1 predURI:hasOuterInputStream ?pop2 .
+                ?pop3 predURI:hasPopType "TBSCAN" .
+                ?pop3 predURI:hasEstimateCardinality ?internalHandler1 .
+                FILTER (?internalHandler1 > 100) .
+                ?pop4 predURI:isABaseObj ?internalHandler2 .
+            }
+            ORDER BY ?pop1
+            "#,
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.select[0].output_name(), "TOP");
+        assert!(!q.distinct);
+        assert_eq!(q.order_by.len(), 1);
+        // 6 triples + 1 filter.
+        assert_eq!(q.where_clause.elements.len(), 7);
+        // Prefix resolution happened.
+        let PatternElement::Triple(t) = &q.where_clause.elements[0] else {
+            panic!("expected triple");
+        };
+        assert_eq!(
+            t.path.as_plain_iri(),
+            Some("http://optimatch/pred#hasPopType")
+        );
+    }
+
+    #[test]
+    fn parses_property_paths() {
+        let q = parse(
+            r#"PREFIX p: <u:>
+               SELECT ?a WHERE { ?a (p:in|p:inner|p:outer)+ ?b . ?b ^p:out/p:x* ?c . }"#,
+        )
+        .unwrap();
+        let triples: Vec<_> = q
+            .where_clause
+            .elements
+            .iter()
+            .filter_map(|e| match e {
+                PatternElement::Triple(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(triples.len(), 2);
+        assert!(triples[0].path.is_recursive());
+        assert!(matches!(triples[0].path, Path::OneOrMore(_)));
+        assert!(matches!(triples[1].path, Path::Sequence(_, _)));
+    }
+
+    #[test]
+    fn parses_optional_union_bind() {
+        let q = parse(
+            r#"SELECT ?x WHERE {
+                 { ?x <p:a> 1 . } UNION { ?x <p:b> 2 . } UNION { ?x <p:c> 3 . }
+                 OPTIONAL { ?x <p:d> ?y . }
+                 BIND (?y + 1 AS ?z)
+             }"#,
+        )
+        .unwrap();
+        assert!(q
+            .where_clause
+            .elements
+            .iter()
+            .any(|e| matches!(e, PatternElement::Union(_, _))));
+        assert!(q
+            .where_clause
+            .elements
+            .iter()
+            .any(|e| matches!(e, PatternElement::Optional(_))));
+        assert!(q
+            .where_clause
+            .elements
+            .iter()
+            .any(|e| matches!(e, PatternElement::Bind(_, _))));
+    }
+
+    #[test]
+    fn parses_semicolon_and_comma_lists() {
+        let q = parse(r#"SELECT ?s WHERE { ?s <p:a> 1 ; <p:b> 2 , 3 . }"#).unwrap();
+        let n_triples = q
+            .where_clause
+            .elements
+            .iter()
+            .filter(|e| matches!(e, PatternElement::Triple(_)))
+            .count();
+        assert_eq!(n_triples, 3);
+    }
+
+    #[test]
+    fn parses_filter_builtins() {
+        let q = parse(
+            r#"SELECT ?s WHERE {
+                ?s <p:a> ?v .
+                FILTER (BOUND(?v) && REGEX(STR(?v), "SCAN") && !ISBLANK(?s))
+            }"#,
+        )
+        .unwrap();
+        assert!(q
+            .where_clause
+            .elements
+            .iter()
+            .any(|e| matches!(e, PatternElement::Filter(_))));
+    }
+
+    #[test]
+    fn parses_solution_modifiers() {
+        let q = parse(
+            "SELECT DISTINCT ?s WHERE { ?s <p:a> ?v . } ORDER BY DESC(?v) ?s LIMIT 10 OFFSET 5",
+        )
+        .unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].ascending);
+        assert!(q.order_by[1].ascending);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, Some(5));
+    }
+
+    #[test]
+    fn select_star() {
+        let q = parse("SELECT * WHERE { ?s ?p ?o . }").unwrap();
+        assert!(q.select_all);
+        assert!(!q.ask);
+    }
+
+    #[test]
+    fn ask_form() {
+        let q = parse("ASK { ?s <p:a> \"TBSCAN\" . }").unwrap();
+        assert!(q.ask);
+        assert!(q.select.is_empty());
+        assert_eq!(q.limit, Some(1));
+        // ASK takes no solution modifiers.
+        assert!(parse("ASK { ?s ?p ?o . } ORDER BY ?s").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "WHERE { ?s ?p ?o }",               // no SELECT
+            "SELECT WHERE { ?s ?p ?o }",        // no projection
+            "SELECT ?s { ?s ?p ?o ",            // unterminated group
+            "SELECT ?s { ?s ?p }",              // incomplete triple
+            "SELECT ?s { FILTER }",             // empty filter
+            "SELECT ?s { ?s q:undeclared ?o }", // unknown prefix
+            "SELECT ?s { ?s ?p ?o } LIMIT -1",  // negative limit
+            "SELECT ?s { ?s ?p ?o } garbage",   // trailing tokens
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse("SELECT ?x WHERE { FILTER (?a + ?b * 2 > 10) }").unwrap();
+        let PatternElement::Filter(Expression::Compare(CmpOp::Gt, lhs, _)) =
+            &q.where_clause.elements[0]
+        else {
+            panic!("expected comparison filter");
+        };
+        // Must parse as ?a + (?b * 2).
+        let Expression::Arith(ArithOp::Add, _, rhs) = lhs.as_ref() else {
+            panic!("expected addition at top, got {lhs:?}");
+        };
+        assert!(matches!(
+            rhs.as_ref(),
+            Expression::Arith(ArithOp::Mul, _, _)
+        ));
+    }
+
+    #[test]
+    fn typed_literals_in_patterns() {
+        let q = parse(
+            r#"SELECT ?s WHERE { ?s <p:a> "42"^^<http://www.w3.org/2001/XMLSchema#integer> . }"#,
+        )
+        .unwrap();
+        let PatternElement::Triple(t) = &q.where_clause.elements[0] else {
+            panic!();
+        };
+        assert_eq!(t.object, NodePattern::Term(Term::lit_integer(42)));
+    }
+}

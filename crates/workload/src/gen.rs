@@ -1,0 +1,499 @@
+//! The synthetic plan generator.
+//!
+//! Builds random-but-plausible DB2-style plans: join trees over a sampled
+//! star schema with a bottom-up cost model. Plans are sized to a target
+//! LOLEPOP count, matching the paper's workload shape (100+ operators on
+//! average, up to 550 in the largest bucket of its Figure 10).
+//!
+//! **Pattern exclusion invariant**: base plans never match Patterns A–D
+//! (the paper's §2.2–2.3 problem patterns), so that
+//! [`crate::inject`] alone determines ground truth:
+//!
+//! * `NLJOIN` inner inputs are never a bare `TBSCAN` (A);
+//! * no join carries a left-outer modifier (B);
+//! * scan cardinalities never drop below 0.01 (C);
+//! * `SORT` operators add zero I/O over their input (D — no spilling).
+
+use optimatch_qep::{
+    InputSource, InputStream, OpType, PlanOp, Predicate, PredicateKind, Qep, StreamKind,
+};
+use rand::Rng;
+
+use crate::schema::{sample_schema, Schema};
+
+/// Plan-size and shape parameters.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Minimum target operator count.
+    pub min_ops: usize,
+    /// Maximum target operator count.
+    pub max_ops: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> GeneratorConfig {
+        // The paper's workload averages 100+ operators per plan.
+        GeneratorConfig {
+            min_ops: 60,
+            max_ops: 180,
+        }
+    }
+}
+
+/// A reusable plan generator.
+#[derive(Debug, Clone)]
+pub struct PlanGenerator {
+    config: GeneratorConfig,
+}
+
+impl PlanGenerator {
+    /// Create a generator with the given configuration.
+    pub fn new(config: GeneratorConfig) -> PlanGenerator {
+        PlanGenerator { config }
+    }
+
+    /// Generate one plan with a target size sampled from the configured
+    /// range.
+    pub fn generate(&mut self, rng: &mut impl Rng, id: &str) -> Qep {
+        let target = rng.gen_range(self.config.min_ops..=self.config.max_ops);
+        self.generate_sized(rng, id, target)
+    }
+
+    /// Generate one plan with approximately `target_ops` operators (the
+    /// result is within a few operators of the target; Figure-10 buckets
+    /// classify by the actual [`Qep::op_count`]).
+    pub fn generate_sized(&mut self, rng: &mut impl Rng, id: &str, target_ops: usize) -> Qep {
+        let schema = sample_schema(rng);
+        let mut b = Builder {
+            qep: Qep::new(id),
+            schema,
+            next_id: 1,
+            next_q: 1,
+        };
+        for obj in b.schema.all_objects() {
+            b.qep.insert_object(obj.clone());
+        }
+
+        let root_id = b.alloc();
+        let budget = target_ops.saturating_sub(1).max(2);
+        let child = b.build(rng, budget, false);
+        let mut root = PlanOp::new(root_id, OpType::Return);
+        root.cardinality = child.card;
+        root.total_cost = child.total + 1.2;
+        root.io_cost = child.io + 0.3;
+        root.cpu_cost = child.cpu + 5000.0;
+        root.first_row_cost = child.first_row + 0.1;
+        root.buffers = child.buffers;
+        root.inputs.push(InputStream {
+            kind: StreamKind::Generic,
+            source: InputSource::Op(child.id),
+            estimated_rows: child.card,
+        });
+        b.qep.insert_op(root);
+        b.qep.statement = Some(format!(
+            "SELECT ... FROM {} ... ({} operators)",
+            b.schema.facts[0].name,
+            b.qep.op_count()
+        ));
+        // Quantize through the text formatter so parse(format(q)) == q.
+        b.qep.quantize();
+        b.qep
+    }
+}
+
+/// Summary of a built subtree, used by parents for cost roll-up.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Built {
+    pub id: u32,
+    pub card: f64,
+    pub total: f64,
+    pub io: f64,
+    pub cpu: f64,
+    pub first_row: f64,
+    pub buffers: f64,
+}
+
+pub(crate) struct Builder {
+    pub qep: Qep,
+    pub schema: Schema,
+    next_id: u32,
+    next_q: u32,
+}
+
+impl Builder {
+    pub fn alloc(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn qnum(&mut self) -> u32 {
+        let q = self.next_q;
+        self.next_q += 1;
+        q
+    }
+
+    /// Build a subtree within the operator budget. `inner_of_nljoin`
+    /// enforces the Pattern-A exclusion: such subtrees never have a bare
+    /// `TBSCAN` root.
+    pub fn build(&mut self, rng: &mut impl Rng, budget: usize, inner_of_nljoin: bool) -> Built {
+        // Large budgets must keep branching or sizes undershoot targets:
+        // leaves terminate a subtree regardless of remaining budget.
+        if budget >= 5 {
+            if rng.gen_bool(0.62) {
+                self.build_join(rng, budget)
+            } else {
+                self.build_unary(rng, budget, inner_of_nljoin)
+            }
+        } else if budget >= 2 && (rng.gen_bool(0.45) || inner_of_nljoin) {
+            self.build_unary(rng, budget, inner_of_nljoin)
+        } else {
+            self.build_leaf(rng, budget, inner_of_nljoin)
+        }
+    }
+
+    fn build_join(&mut self, rng: &mut impl Rng, budget: usize) -> Built {
+        let id = self.alloc();
+        let op_type = match rng.gen_range(0..10) {
+            0..=4 => OpType::HsJoin,
+            5..=7 => OpType::NlJoin,
+            _ => OpType::MsJoin,
+        };
+        let remaining = budget - 1;
+        let outer_budget = ((remaining as f64) * rng.gen_range(0.4..0.7)) as usize;
+        let inner_budget = remaining - outer_budget;
+        let outer = self.build(rng, outer_budget.max(1), false);
+        let inner = self.build(rng, inner_budget.max(1), op_type == OpType::NlJoin);
+
+        let selectivity = rng.gen_range(0.05..0.9);
+        let card = (outer.card * selectivity).max(1.0);
+        let own_cpu = (outer.card + inner.card) * 1.5;
+        // NLJOIN rescans its inner side per outer row; reflect that in cost.
+        let rescan = if op_type == OpType::NlJoin {
+            (outer.card.min(1e4) / 50.0) * inner.io.min(500.0)
+        } else {
+            0.0
+        };
+        let mut op = PlanOp::new(id, op_type);
+        op.cardinality = card;
+        op.total_cost = outer.total + inner.total + own_cpu / 4000.0 + rescan + 1.0;
+        op.io_cost = outer.io + inner.io + rescan / 10.0;
+        op.cpu_cost = outer.cpu + inner.cpu + own_cpu;
+        op.first_row_cost = outer.first_row + inner.first_row + 0.5;
+        op.buffers = outer.buffers + inner.buffers;
+        let (qa, qb) = (self.qnum(), self.qnum());
+        op.predicates.push(Predicate {
+            kind: PredicateKind::Join,
+            text: format!("(Q{qa}.CUST_ID = Q{qb}.CUST_ID)"),
+        });
+        op.inputs.push(InputStream {
+            kind: StreamKind::Outer,
+            source: InputSource::Op(outer.id),
+            estimated_rows: outer.card,
+        });
+        op.inputs.push(InputStream {
+            kind: StreamKind::Inner,
+            source: InputSource::Op(inner.id),
+            estimated_rows: inner.card,
+        });
+        let built = Built {
+            id,
+            card,
+            total: op.total_cost,
+            io: op.io_cost,
+            cpu: op.cpu_cost,
+            first_row: op.first_row_cost,
+            buffers: op.buffers,
+        };
+        self.qep.insert_op(op);
+        built
+    }
+
+    fn build_unary(&mut self, rng: &mut impl Rng, budget: usize, inner_of_nljoin: bool) -> Built {
+        let id = self.alloc();
+        let child = self.build(rng, budget - 1, false);
+        let op_type = match rng.gen_range(0..10) {
+            0..=2 => OpType::Sort,
+            3..=4 => OpType::GrpBy,
+            5 => OpType::Temp,
+            6 => OpType::Filter,
+            7 => OpType::Unique,
+            8 => OpType::Tq,
+            _ => {
+                if inner_of_nljoin {
+                    OpType::Sort
+                } else {
+                    OpType::Union
+                }
+            }
+        };
+        let card = match op_type {
+            OpType::GrpBy => (child.card * rng.gen_range(0.01..0.2)).max(1.0),
+            OpType::Filter => (child.card * rng.gen_range(0.1..0.9)).max(1.0),
+            OpType::Unique => (child.card * rng.gen_range(0.3..0.95)).max(1.0),
+            _ => child.card,
+        };
+        let own_cpu = child.card * 2.0 + 100.0;
+        let mut op = PlanOp::new(id, op_type);
+        op.cardinality = card;
+        op.total_cost = child.total + own_cpu / 4000.0 + 0.5;
+        // SORTs never spill in base plans (Pattern-D exclusion): their
+        // cumulative I/O equals the child's exactly.
+        op.io_cost = child.io;
+        op.cpu_cost = child.cpu + own_cpu;
+        op.first_row_cost = child.first_row + 0.2;
+        op.buffers = child.buffers;
+        if op_type == OpType::Sort {
+            op.arguments.insert("SPILLED".into(), "NO".into());
+        }
+        op.inputs.push(InputStream {
+            kind: StreamKind::Generic,
+            source: InputSource::Op(child.id),
+            estimated_rows: child.card,
+        });
+        let built = Built {
+            id,
+            card,
+            total: op.total_cost,
+            io: op.io_cost,
+            cpu: op.cpu_cost,
+            first_row: op.first_row_cost,
+            buffers: op.buffers,
+        };
+        self.qep.insert_op(op);
+        built
+    }
+
+    fn build_leaf(&mut self, rng: &mut impl Rng, budget: usize, inner_of_nljoin: bool) -> Built {
+        // A leaf is a table scan, or (with budget) FETCH over IXSCAN.
+        let use_index = budget >= 2 && rng.gen_bool(0.5);
+        if use_index {
+            let fact = self.schema.random_fact(rng).clone();
+            let idx = self
+                .schema
+                .index_for(&fact.qualified_name())
+                .expect("facts always have an index")
+                .clone();
+            let fetch_id = self.alloc();
+            let scan_id = self.alloc();
+            let q = self.qnum();
+            let selectivity = rng.gen_range(1e-6..1e-4);
+            let card = (fact.cardinality * selectivity).max(1.0);
+
+            let mut ixscan = PlanOp::new(scan_id, OpType::IxScan);
+            ixscan.cardinality = card;
+            ixscan.io_cost = rng.gen_range(2.0..20.0);
+            ixscan.cpu_cost = card * 3.0 + 1e4;
+            ixscan.total_cost = ixscan.io_cost * 8.0 + 2.0;
+            ixscan.first_row_cost = rng.gen_range(4.0..9.0);
+            ixscan.buffers = ixscan.io_cost;
+            ixscan.predicates.push(Predicate {
+                kind: PredicateKind::StartKey,
+                text: format!("(Q{q}.{} = ?)", idx.columns[0]),
+            });
+            ixscan.inputs.push(InputStream {
+                kind: StreamKind::Generic,
+                source: InputSource::Object(idx.qualified_name()),
+                estimated_rows: idx.cardinality,
+            });
+            let ixscan_totals = (ixscan.total_cost, ixscan.io_cost, ixscan.cpu_cost);
+            self.qep.insert_op(ixscan);
+
+            let mut fetch = PlanOp::new(fetch_id, OpType::Fetch);
+            fetch.cardinality = card;
+            fetch.io_cost = ixscan_totals.1 + card.min(5e4) / 10.0 + 5.0;
+            fetch.cpu_cost = ixscan_totals.2 + card * 8.0 + 2e4;
+            // Cumulative: the fetch's own cost on top of the index scan's.
+            fetch.total_cost = ixscan_totals.0 + (card.min(5e4) / 10.0 + 5.0) * 9.0 + 20.0;
+            fetch.first_row_cost = rng.gen_range(8.0..15.0);
+            fetch.buffers = fetch.io_cost;
+            fetch.inputs.push(InputStream {
+                kind: StreamKind::Outer,
+                source: InputSource::Op(scan_id),
+                estimated_rows: card,
+            });
+            fetch.inputs.push(InputStream {
+                kind: StreamKind::Generic,
+                source: InputSource::Object(fact.qualified_name()),
+                estimated_rows: fact.cardinality,
+            });
+            let built = Built {
+                id: fetch_id,
+                card,
+                total: fetch.total_cost,
+                io: fetch.io_cost,
+                cpu: fetch.cpu_cost,
+                first_row: fetch.first_row_cost,
+                buffers: fetch.buffers,
+            };
+            self.qep.insert_op(fetch);
+            built
+        } else {
+            let table = self.schema.random_dim(rng).clone();
+            let scan_id = self.alloc();
+            let q = self.qnum();
+            let selectivity = rng.gen_range(0.05..0.8);
+            let card = (table.cardinality * selectivity).max(1.0);
+            let mut scan = PlanOp::new(scan_id, OpType::TbScan);
+            scan.cardinality = card;
+            scan.io_cost = table.cardinality / 40.0 + 5.0;
+            scan.cpu_cost = table.cardinality * 2.0 + 1e4;
+            scan.total_cost = scan.io_cost * 9.0 + 10.0;
+            scan.first_row_cost = rng.gen_range(5.0..12.0);
+            scan.buffers = scan.io_cost;
+            scan.arguments.insert("MAXPAGES".into(), "ALL".into());
+            if rng.gen_bool(0.6) {
+                let col = table.columns[rng.gen_range(0..table.columns.len())].clone();
+                scan.predicates.push(Predicate {
+                    kind: PredicateKind::Sargable,
+                    text: format!("(Q{q}.{col} = ?)"),
+                });
+            }
+            scan.inputs.push(InputStream {
+                kind: StreamKind::Generic,
+                source: InputSource::Object(table.qualified_name()),
+                estimated_rows: table.cardinality,
+            });
+            let mut built = Built {
+                id: scan_id,
+                card,
+                total: scan.total_cost,
+                io: scan.io_cost,
+                cpu: scan.cpu_cost,
+                first_row: scan.first_row_cost,
+                buffers: scan.buffers,
+            };
+            self.qep.insert_op(scan);
+            if inner_of_nljoin {
+                // Pattern-A exclusion: wrap bare TBSCANs under a SORT when
+                // they would sit directly inside an NLJOIN inner stream.
+                let sort_id = self.alloc();
+                let mut sort = PlanOp::new(sort_id, OpType::Sort);
+                sort.cardinality = built.card;
+                sort.total_cost = built.total + 0.8;
+                sort.io_cost = built.io;
+                sort.cpu_cost = built.cpu + built.card * 2.0;
+                sort.first_row_cost = built.first_row + 0.2;
+                sort.buffers = built.buffers;
+                sort.arguments.insert("SPILLED".into(), "NO".into());
+                sort.inputs.push(InputStream {
+                    kind: StreamKind::Generic,
+                    source: InputSource::Op(scan_id),
+                    estimated_rows: built.card,
+                });
+                self.qep.insert_op(sort);
+                built = Built {
+                    id: sort_id,
+                    total: built.total + 0.8,
+                    ..built
+                };
+            }
+            built
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimatch_qep::{format_qep, parse_qep, JoinModifier};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen_one(seed: u64, target: usize) -> Qep {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PlanGenerator::new(GeneratorConfig::default()).generate_sized(&mut rng, "t", target)
+    }
+
+    #[test]
+    fn sizes_track_targets() {
+        for target in [25, 75, 150, 300, 520] {
+            let q = gen_one(target as u64, target);
+            let n = q.op_count();
+            assert!(
+                n >= target / 2 && n <= target * 2,
+                "target {target} produced {n} ops"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_plans_validate_and_round_trip() {
+        for seed in 0..10 {
+            let q = gen_one(seed, 80);
+            q.validate().unwrap();
+            let back = parse_qep(&format_qep(&q)).unwrap();
+            assert_eq!(back, q);
+        }
+    }
+
+    #[test]
+    fn base_plans_exclude_pattern_a() {
+        for seed in 0..20 {
+            let q = gen_one(seed, 120);
+            for op in q.ops.values() {
+                if op.op_type == OpType::NlJoin {
+                    let inner = op.input(StreamKind::Inner).unwrap();
+                    if let InputSource::Op(id) = inner.source {
+                        let child = q.op(id).unwrap();
+                        assert!(
+                            !(child.op_type == OpType::TbScan && child.cardinality > 100.0),
+                            "seed {seed}: NLJOIN #{} has bare TBSCAN inner",
+                            op.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn base_plans_exclude_patterns_b_c_d() {
+        for seed in 0..20 {
+            let q = gen_one(seed, 120);
+            for op in q.ops.values() {
+                // B: no outer-join modifiers at all.
+                assert_eq!(op.modifier, JoinModifier::None, "seed {seed} op {}", op.id);
+                // C: no near-zero-cardinality scans.
+                if op.op_type.is_scan() {
+                    assert!(op.cardinality >= 0.01, "seed {seed} op {}", op.id);
+                }
+                // D: SORTs add no I/O.
+                if op.op_type == OpType::Sort {
+                    if let Some(InputSource::Op(c)) = op.inputs.first().map(|s| &s.source) {
+                        let child = q.op(*c).unwrap();
+                        assert_eq!(op.io_cost, child.io_cost, "seed {seed} op {}", op.id);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn costs_are_cumulative() {
+        let q = gen_one(1, 100);
+        for op in q.ops.values() {
+            let child_total: f64 = op
+                .child_ops()
+                .filter_map(|c| q.op(c))
+                .map(|c| c.total_cost)
+                .sum();
+            assert!(
+                op.total_cost >= child_total,
+                "op {} total {} < children {}",
+                op.id,
+                op.total_cost,
+                child_total
+            );
+        }
+    }
+
+    #[test]
+    fn plans_mix_operator_kinds() {
+        let q = gen_one(5, 150);
+        let joins = q.ops.values().filter(|o| o.op_type.is_join()).count();
+        let scans = q.ops.values().filter(|o| o.op_type.is_scan()).count();
+        assert!(joins >= 5, "only {joins} joins");
+        assert!(scans >= 5, "only {scans} scans");
+    }
+}

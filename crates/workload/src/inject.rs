@@ -1,0 +1,825 @@
+//! Ground-truth pattern injection.
+//!
+//! Grafts instances of the paper's problem patterns into generated plans:
+//!
+//! * **Pattern A** (§2.2): `NLJOIN` with any outer (cardinality > 1) and a
+//!   `TBSCAN` inner with cardinality > 100 — fix: index the scanned table.
+//! * **Pattern B** (§2.3): a join with left-outer joins below *both* its
+//!   outer and inner streams (descendants, not necessarily immediate) —
+//!   fix: rewrite `(T1 LOJ T2) JOIN (T3 LOJ T4)`.
+//! * **Pattern C** (§2.3): a scan whose estimated cardinality collapses
+//!   below 0.001 over a base object bigger than 10⁶ rows — fix:
+//!   column-group statistics.
+//! * **Pattern D** (§2.3): a spilling `SORT` (adds I/O over its input) —
+//!   fix: increase sort memory.
+//!
+//! Each injection also samples a [`Variant`]: `HardForManual` instances
+//! use the formatting / nesting traps that defeat the paper's manual
+//! `grep` search (§3.3) while remaining true matches — the hard fractions
+//! are calibrated so the manual baseline lands at the paper's Table-1
+//! precisions (88% / 71% / 81%).
+
+use optimatch_qep::{
+    InputSource, InputStream, JoinModifier, OpType, PlanOp, Predicate, PredicateKind, Qep,
+    StreamKind,
+};
+use rand::Rng;
+
+/// The paper's four expert patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PatternId {
+    /// NLJOIN over large inner TBSCAN (paper Pattern A / experiment #1).
+    A,
+    /// LOJ below both sides of a join (Pattern B / experiment #2).
+    B,
+    /// Cardinality underestimation on a scan (Pattern C / experiment #3).
+    C,
+    /// Spilling SORT (Pattern D).
+    D,
+}
+
+impl PatternId {
+    /// All four patterns.
+    pub const ALL: [PatternId; 4] = [PatternId::A, PatternId::B, PatternId::C, PatternId::D];
+
+    /// Stable name used to key knowledge-base entries and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PatternId::A => "pattern-a-nljoin-tbscan",
+            PatternId::B => "pattern-b-loj-join-order",
+            PatternId::C => "pattern-c-cardinality-collapse",
+            PatternId::D => "pattern-d-sort-spill",
+        }
+    }
+}
+
+/// Whether an injected instance is findable by the manual baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Plain-decimal values, shallow nesting.
+    Easy,
+    /// Exponent-formatted deciding values or deep nesting — true matches
+    /// that the `grep` simulation misses.
+    HardForManual,
+}
+
+/// Injection rates and manual-difficulty fractions.
+#[derive(Debug, Clone)]
+pub struct InjectionConfig {
+    /// Probability a QEP receives a Pattern-A instance.
+    pub rate_a: f64,
+    /// Probability of a Pattern-B instance.
+    pub rate_b: f64,
+    /// Probability of a Pattern-C instance.
+    pub rate_c: f64,
+    /// Probability of a Pattern-D instance.
+    pub rate_d: f64,
+    /// Fraction of A instances that are hard for manual search.
+    pub hard_a: f64,
+    /// Fraction of B instances that are hard (deep nesting).
+    pub hard_b: f64,
+    /// Fraction of C instances that are hard (exponent cardinality).
+    pub hard_c: f64,
+}
+
+impl InjectionConfig {
+    /// The paper's §3.3 study workload: 15 / 12 / 18 matches per 100 QEPs
+    /// for patterns #1–#3, with hard fractions calibrated to its Table-1
+    /// manual precisions (88% / 71% / 81%).
+    pub fn paper_rates() -> InjectionConfig {
+        InjectionConfig {
+            rate_a: 0.15,
+            rate_b: 0.12,
+            rate_c: 0.18,
+            rate_d: 0.10,
+            hard_a: 0.12,
+            hard_b: 0.29,
+            hard_c: 0.19,
+        }
+    }
+
+    /// No injection at all (clean workloads for ablations).
+    pub fn none() -> InjectionConfig {
+        InjectionConfig {
+            rate_a: 0.0,
+            rate_b: 0.0,
+            rate_c: 0.0,
+            rate_d: 0.0,
+            hard_a: 0.0,
+            hard_b: 0.0,
+            hard_c: 0.0,
+        }
+    }
+}
+
+/// Inject patterns into a plan per the configured rates; returns the
+/// patterns actually injected (the plan's ground truth).
+pub fn inject_patterns(
+    qep: &mut Qep,
+    rng: &mut impl Rng,
+    config: &InjectionConfig,
+) -> Vec<PatternId> {
+    let mut injected = Vec::new();
+    if rng.gen_bool(config.rate_a) {
+        let variant = variant(rng, config.hard_a);
+        if inject_a(qep, rng, variant) {
+            injected.push(PatternId::A);
+        }
+    }
+    if rng.gen_bool(config.rate_b) {
+        let variant = variant(rng, config.hard_b);
+        if inject_b(qep, rng, variant) {
+            injected.push(PatternId::B);
+        }
+    }
+    if rng.gen_bool(config.rate_c) {
+        let variant = variant(rng, config.hard_c);
+        if inject_c(qep, rng, variant) {
+            injected.push(PatternId::C);
+        }
+    }
+    if rng.gen_bool(config.rate_d) && inject_d(qep, rng) {
+        injected.push(PatternId::D);
+    }
+    qep.quantize();
+    injected
+}
+
+/// Inject a single pattern instance with an explicit variant. Returns
+/// false when the plan offers no viable splice point.
+pub fn inject_pattern(
+    qep: &mut Qep,
+    rng: &mut impl Rng,
+    pattern: PatternId,
+    variant: Variant,
+) -> bool {
+    let ok = match pattern {
+        PatternId::A => inject_a(qep, rng, variant),
+        PatternId::B => inject_b(qep, rng, variant),
+        PatternId::C => inject_c(qep, rng, variant),
+        PatternId::D => inject_d(qep, rng),
+    };
+    qep.quantize();
+    ok
+}
+
+fn variant(rng: &mut impl Rng, hard_fraction: f64) -> Variant {
+    if rng.gen_bool(hard_fraction) {
+        Variant::HardForManual
+    } else {
+        Variant::Easy
+    }
+}
+
+fn next_id(qep: &Qep) -> u32 {
+    qep.ops.keys().max().copied().unwrap_or(0) + 1
+}
+
+/// True when splicing a new operator into any of `op`'s input edges would
+/// destroy a pattern instance that is already present: Pattern A depends
+/// on the NLJOIN's *immediate* inner TBSCAN and its outer cardinality;
+/// Pattern D on the SORT's *immediate* input. (B and C are insertion-proof:
+/// B uses unbounded descendant paths, C only relates a scan to its base
+/// object.) Keeping those edges untouched keeps ground truth exact when
+/// several patterns land in the same plan.
+fn edges_are_fragile(qep: &Qep, op: &PlanOp) -> bool {
+    match op.op_type {
+        OpType::NlJoin => {
+            let inner_is_big_tbscan = op.input(StreamKind::Inner).is_some_and(|s| {
+                matches!(&s.source, InputSource::Op(id)
+                    if qep.op(*id).is_some_and(|c| c.op_type == OpType::TbScan && c.cardinality > 100.0))
+            });
+            let outer_flows = op.input(StreamKind::Outer).is_some_and(|s| {
+                matches!(&s.source, InputSource::Op(id)
+                    if qep.op(*id).is_some_and(|c| c.cardinality > 1.0))
+            });
+            inner_is_big_tbscan && outer_flows
+        }
+        OpType::Sort => op.arguments.get("SPILLED").is_some_and(|v| v == "YES"),
+        _ => false,
+    }
+}
+
+/// Candidate splice edges: `(consumer id, input index)` for op→op streams
+/// whose producer satisfies `pred`, excluding edges of operators whose
+/// pattern membership an insertion would break.
+fn splice_candidates(qep: &Qep, pred: impl Fn(&PlanOp) -> bool) -> Vec<(u32, usize)> {
+    let mut out = Vec::new();
+    for op in qep.ops.values() {
+        if edges_are_fragile(qep, op) {
+            continue;
+        }
+        for (i, s) in op.inputs.iter().enumerate() {
+            if let InputSource::Op(child) = &s.source {
+                if qep.op(*child).is_some_and(&pred) {
+                    out.push((op.id, i));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Redirect `(consumer, input)` to `new_child`, keeping the stream kind.
+fn redirect(qep: &mut Qep, consumer: u32, input: usize, new_child: u32, rows: f64) {
+    let op = qep.ops.get_mut(&consumer).expect("consumer exists");
+    op.inputs[input].source = InputSource::Op(new_child);
+    op.inputs[input].estimated_rows = rows;
+}
+
+/// A dimension table for easy (plain-decimal) inners, or a fact table for
+/// hard (exponent) inners.
+fn scan_over(
+    qep: &mut Qep,
+    rng: &mut impl Rng,
+    op_type: OpType,
+    object: &str,
+    cardinality: f64,
+) -> u32 {
+    let id = next_id(qep);
+    let object_card = qep
+        .base_objects
+        .get(object)
+        .map(|o| o.cardinality)
+        .unwrap_or(cardinality);
+    let mut scan = PlanOp::new(id, op_type);
+    scan.cardinality = cardinality;
+    scan.io_cost = (object_card / 40.0 + 5.0).min(5e6);
+    scan.cpu_cost = object_card * 2.0 + 1e4;
+    scan.total_cost = scan.io_cost * 9.0 + 10.0;
+    scan.first_row_cost = rng.gen_range(5.0..12.0);
+    scan.buffers = scan.io_cost;
+    scan.inputs.push(InputStream {
+        kind: StreamKind::Generic,
+        source: InputSource::Object(object.to_string()),
+        estimated_rows: object_card,
+    });
+    qep.insert_op(scan);
+    id
+}
+
+fn dim_table(qep: &Qep, rng: &mut impl Rng) -> Option<(String, f64)> {
+    let dims: Vec<_> = qep
+        .base_objects
+        .values()
+        .filter(|o| {
+            o.kind == optimatch_qep::BaseObjectKind::Table
+                && o.cardinality > 200.0
+                && o.cardinality < 1e5
+        })
+        .collect();
+    if dims.is_empty() {
+        return None;
+    }
+    let t = dims[rng.gen_range(0..dims.len())];
+    Some((t.qualified_name(), t.cardinality))
+}
+
+fn fact_object(qep: &Qep, rng: &mut impl Rng) -> Option<(String, f64)> {
+    let facts: Vec<_> = qep
+        .base_objects
+        .values()
+        .filter(|o| o.cardinality >= 1e6)
+        .collect();
+    if facts.is_empty() {
+        return None;
+    }
+    let t = facts[rng.gen_range(0..facts.len())];
+    Some((t.qualified_name(), t.cardinality))
+}
+
+/// Pattern A: splice `NLJOIN(old-subtree, TBSCAN(table))` above a random
+/// edge whose producer has cardinality > 1.
+fn inject_a(qep: &mut Qep, rng: &mut impl Rng, variant: Variant) -> bool {
+    let candidates = splice_candidates(qep, |child| child.cardinality > 1.0);
+    if candidates.is_empty() {
+        return false;
+    }
+    let (consumer, input) = candidates[rng.gen_range(0..candidates.len())];
+    let InputSource::Op(old_child) = qep.op(consumer).unwrap().inputs[input].source.clone() else {
+        return false;
+    };
+
+    // Inner scan: easy = dimension table (plain-decimal cardinality
+    // 200..90_000); hard = fact table (exponent-formatted cardinality).
+    let (object, inner_card) = match variant {
+        Variant::Easy => {
+            let Some((name, card)) = dim_table(qep, rng) else {
+                return false;
+            };
+            (name, (card * rng.gen_range(0.5..1.0)).round().max(200.0))
+        }
+        Variant::HardForManual => {
+            let Some((name, card)) = fact_object(qep, rng) else {
+                return false;
+            };
+            (name, card * rng.gen_range(0.5..1.0))
+        }
+    };
+    let inner = scan_over(qep, rng, OpType::TbScan, &object, inner_card);
+
+    let old = qep.op(old_child).unwrap();
+    let (outer_card, outer_total, outer_io, outer_cpu) =
+        (old.cardinality, old.total_cost, old.io_cost, old.cpu_cost);
+    let inner_op_cost = qep.op(inner).unwrap().total_cost;
+    let inner_io = qep.op(inner).unwrap().io_cost;
+
+    let id = next_id(qep);
+    let mut join = PlanOp::new(id, OpType::NlJoin);
+    join.cardinality = outer_card.max(1.0);
+    // The pathological rescan cost that makes this pattern worth fixing.
+    join.total_cost = outer_total + inner_op_cost * outer_card.clamp(2.0, 1e3) * 0.1;
+    join.io_cost = outer_io + inner_io * 2.0;
+    join.cpu_cost = outer_cpu + outer_card * inner_card.min(1e6) * 0.01;
+    join.first_row_cost = 1.0;
+    join.buffers = outer_io + inner_io;
+    let q = rng.gen_range(1..40);
+    join.predicates.push(Predicate {
+        kind: PredicateKind::Join,
+        text: format!("(Q{q}.CUST_ID = Q{}.CUST_ID)", q + 1),
+    });
+    join.inputs.push(InputStream {
+        kind: StreamKind::Outer,
+        source: InputSource::Op(old_child),
+        estimated_rows: outer_card,
+    });
+    join.inputs.push(InputStream {
+        kind: StreamKind::Inner,
+        source: InputSource::Op(inner),
+        estimated_rows: inner_card,
+    });
+    let rows = join.cardinality;
+    qep.insert_op(join);
+    redirect(qep, consumer, input, id, rows);
+    true
+}
+
+/// Build a left-outer join over two fresh scans; inner scans are IXSCANs
+/// so an injected LOJ `NLJOIN` can never double as a Pattern-A match.
+fn build_loj(qep: &mut Qep, rng: &mut impl Rng, op_type: OpType) -> u32 {
+    let (outer_obj, outer_card) = dim_table(qep, rng).expect("dims exist");
+    let outer = scan_over(
+        qep,
+        rng,
+        OpType::TbScan,
+        &outer_obj,
+        (outer_card * 0.8).round().max(2.0),
+    );
+    let inner = {
+        let facts: Vec<_> = qep
+            .base_objects
+            .values()
+            .filter(|o| o.kind == optimatch_qep::BaseObjectKind::Index)
+            .map(|o| (o.qualified_name(), o.cardinality))
+            .collect();
+        let (obj, card) = if facts.is_empty() {
+            dim_table(qep, rng).expect("dims exist")
+        } else {
+            facts[rng.gen_range(0..facts.len())].clone()
+        };
+        scan_over(qep, rng, OpType::IxScan, &obj, (card * 1e-5).max(1.0))
+    };
+    let id = next_id(qep);
+    let o = qep.op(outer).unwrap().clone();
+    let i = qep.op(inner).unwrap().clone();
+    let mut join = PlanOp::new(id, op_type);
+    join.modifier = JoinModifier::LeftOuter;
+    join.cardinality = o.cardinality;
+    join.total_cost = o.total_cost + i.total_cost + 50.0;
+    join.io_cost = o.io_cost + i.io_cost;
+    join.cpu_cost = o.cpu_cost + i.cpu_cost + 1e4;
+    join.first_row_cost = 1.0;
+    join.buffers = o.buffers + i.buffers;
+    let q = rng.gen_range(40..80);
+    join.predicates.push(Predicate {
+        kind: PredicateKind::Join,
+        text: format!("(Q{q}.ACCT_ID = Q{}.ACCT_ID)", q + 1),
+    });
+    join.inputs.push(InputStream {
+        kind: StreamKind::Outer,
+        source: InputSource::Op(outer),
+        estimated_rows: o.cardinality,
+    });
+    join.inputs.push(InputStream {
+        kind: StreamKind::Inner,
+        source: InputSource::Op(inner),
+        estimated_rows: i.cardinality,
+    });
+    qep.insert_op(join);
+    id
+}
+
+/// Wrap `child` under a unary op (TEMP / TBSCAN chain), copying costs.
+fn wrap_unary(qep: &mut Qep, child: u32, op_type: OpType) -> u32 {
+    let c = qep.op(child).unwrap().clone();
+    let id = next_id(qep);
+    let mut op = PlanOp::new(id, op_type);
+    op.cardinality = c.cardinality;
+    op.total_cost = c.total_cost + 5.0;
+    op.io_cost = c.io_cost;
+    op.cpu_cost = c.cpu_cost + 500.0;
+    op.first_row_cost = c.first_row_cost + 0.1;
+    op.buffers = c.buffers;
+    op.inputs.push(InputStream {
+        kind: StreamKind::Generic,
+        source: InputSource::Op(child),
+        estimated_rows: c.cardinality,
+    });
+    qep.insert_op(op);
+    id
+}
+
+/// Pattern B: splice `HSJOIN( >HSJOIN(old, …), [TEMP chain] >NLJOIN(…) )`.
+/// The easy variant puts the inner-side LOJ immediately below the top
+/// join; the hard variant hides it under a TBSCAN→TEMP chain (depth 3),
+/// which the manual baseline's shallow descendant search misses.
+fn inject_b(qep: &mut Qep, rng: &mut impl Rng, variant: Variant) -> bool {
+    if dim_table(qep, rng).is_none() {
+        return false;
+    }
+    let candidates = splice_candidates(qep, |_| true);
+    if candidates.is_empty() {
+        return false;
+    }
+    let (consumer, input) = candidates[rng.gen_range(0..candidates.len())];
+    let InputSource::Op(old_child) = qep.op(consumer).unwrap().inputs[input].source.clone() else {
+        return false;
+    };
+
+    // Outer side: >HSJOIN with the old subtree as its outer input.
+    let outer_loj = {
+        let (inner_obj, inner_card) = dim_table(qep, rng).expect("checked above");
+        let inner_scan = scan_over(
+            qep,
+            rng,
+            OpType::IxScan,
+            &inner_obj,
+            (inner_card * 0.5).round().max(1.0),
+        );
+        let id = next_id(qep);
+        let old = qep.op(old_child).unwrap().clone();
+        let i = qep.op(inner_scan).unwrap().clone();
+        let mut join = PlanOp::new(id, OpType::HsJoin);
+        join.modifier = JoinModifier::LeftOuter;
+        join.cardinality = old.cardinality.max(1.0);
+        join.total_cost = old.total_cost + i.total_cost + 40.0;
+        join.io_cost = old.io_cost + i.io_cost;
+        join.cpu_cost = old.cpu_cost + i.cpu_cost + 1e4;
+        join.first_row_cost = 1.0;
+        join.buffers = old.buffers + i.buffers;
+        join.predicates.push(Predicate {
+            kind: PredicateKind::Join,
+            text: "(Q9.CUST_ID = Q8.CUST_ID)".into(),
+        });
+        join.inputs.push(InputStream {
+            kind: StreamKind::Outer,
+            source: InputSource::Op(old_child),
+            estimated_rows: old.cardinality,
+        });
+        join.inputs.push(InputStream {
+            kind: StreamKind::Inner,
+            source: InputSource::Op(inner_scan),
+            estimated_rows: i.cardinality,
+        });
+        qep.insert_op(join);
+        id
+    };
+
+    // Inner side: a >NLJOIN, optionally hidden under TEMP→TBSCAN.
+    let inner_loj = build_loj(qep, rng, OpType::NlJoin);
+    let inner_side = match variant {
+        Variant::Easy => inner_loj,
+        Variant::HardForManual => {
+            let temp = wrap_unary(qep, inner_loj, OpType::Temp);
+            wrap_unary(qep, temp, OpType::TbScan)
+        }
+    };
+
+    // Top join: HSJOIN or MSJOIN (never NLJOIN, to keep Pattern A out).
+    let id = next_id(qep);
+    let o = qep.op(outer_loj).unwrap().clone();
+    let i = qep.op(inner_side).unwrap().clone();
+    let top_type = if rng.gen_bool(0.5) {
+        OpType::HsJoin
+    } else {
+        OpType::MsJoin
+    };
+    let mut top = PlanOp::new(id, top_type);
+    top.cardinality = o.cardinality;
+    top.total_cost = o.total_cost + i.total_cost + 60.0;
+    top.io_cost = o.io_cost + i.io_cost;
+    top.cpu_cost = o.cpu_cost + i.cpu_cost + 2e4;
+    top.first_row_cost = 1.0;
+    top.buffers = o.buffers + i.buffers;
+    top.predicates.push(Predicate {
+        kind: PredicateKind::Join,
+        text: "(Q7.TRAN_ID = Q6.TRAN_ID)".into(),
+    });
+    top.inputs.push(InputStream {
+        kind: StreamKind::Outer,
+        source: InputSource::Op(outer_loj),
+        estimated_rows: o.cardinality,
+    });
+    top.inputs.push(InputStream {
+        kind: StreamKind::Inner,
+        source: InputSource::Op(inner_side),
+        estimated_rows: i.cardinality,
+    });
+    let rows = top.cardinality;
+    qep.insert_op(top);
+    redirect(qep, consumer, input, id, rows);
+    true
+}
+
+/// Pattern C: splice `HSJOIN(old, IXSCAN(fact-index, tiny cardinality))`.
+/// Easy: cardinality in [1e-4, 1e-3) — plain decimal. Hard: below 1e-5 —
+/// exponent form that the manual baseline misreads.
+fn inject_c(qep: &mut Qep, rng: &mut impl Rng, variant: Variant) -> bool {
+    let Some((object, _)) = fact_object(qep, rng) else {
+        return false;
+    };
+    let candidates = splice_candidates(qep, |_| true);
+    if candidates.is_empty() {
+        return false;
+    }
+    let (consumer, input) = candidates[rng.gen_range(0..candidates.len())];
+    let InputSource::Op(old_child) = qep.op(consumer).unwrap().inputs[input].source.clone() else {
+        return false;
+    };
+
+    let card = match variant {
+        Variant::Easy => rng.gen_range(1.1e-4..9.9e-4),
+        Variant::HardForManual => rng.gen_range(1e-8..9e-6),
+    };
+    let op_type = if rng.gen_bool(0.5) {
+        OpType::IxScan
+    } else {
+        OpType::TbScan
+    };
+    let scan = scan_over(qep, rng, op_type, &object, card);
+    {
+        let s = qep.ops.get_mut(&scan).expect("just inserted");
+        s.predicates.push(Predicate {
+            kind: PredicateKind::Sargable,
+            text: "(Q5.TRAN_TYPE = ?)".into(),
+        });
+        s.predicates.push(Predicate {
+            kind: PredicateKind::Sargable,
+            text: "(Q5.TRAN_CODE = ?)".into(),
+        });
+    }
+
+    let id = next_id(qep);
+    let old = qep.op(old_child).unwrap().clone();
+    let i = qep.op(scan).unwrap().clone();
+    let mut join = PlanOp::new(id, OpType::HsJoin);
+    join.cardinality = old.cardinality;
+    join.total_cost = old.total_cost + i.total_cost + 30.0;
+    join.io_cost = old.io_cost + i.io_cost;
+    join.cpu_cost = old.cpu_cost + i.cpu_cost + 1e4;
+    join.first_row_cost = 1.0;
+    join.buffers = old.buffers + i.buffers;
+    join.predicates.push(Predicate {
+        kind: PredicateKind::Join,
+        text: "(Q5.TRAN_ID = Q4.TRAN_ID)".into(),
+    });
+    join.inputs.push(InputStream {
+        kind: StreamKind::Outer,
+        source: InputSource::Op(old_child),
+        estimated_rows: old.cardinality,
+    });
+    join.inputs.push(InputStream {
+        kind: StreamKind::Inner,
+        source: InputSource::Op(scan),
+        estimated_rows: i.cardinality,
+    });
+    let rows = join.cardinality;
+    qep.insert_op(join);
+    redirect(qep, consumer, input, id, rows);
+    true
+}
+
+/// Pattern D: splice a spilling `SORT` (I/O cost strictly above its
+/// input's) above a random edge.
+fn inject_d(qep: &mut Qep, rng: &mut impl Rng) -> bool {
+    let candidates = splice_candidates(qep, |child| child.cardinality > 10.0);
+    if candidates.is_empty() {
+        return false;
+    }
+    let (consumer, input) = candidates[rng.gen_range(0..candidates.len())];
+    let InputSource::Op(old_child) = qep.op(consumer).unwrap().inputs[input].source.clone() else {
+        return false;
+    };
+    let old = qep.op(old_child).unwrap().clone();
+    let id = next_id(qep);
+    let mut sort = PlanOp::new(id, OpType::Sort);
+    sort.cardinality = old.cardinality;
+    let spill_io = rng.gen_range(50.0..900.0);
+    sort.total_cost = old.total_cost + spill_io * 9.0;
+    sort.io_cost = old.io_cost + spill_io;
+    sort.cpu_cost = old.cpu_cost + old.cardinality * 4.0;
+    sort.first_row_cost = old.first_row_cost + 2.0;
+    sort.buffers = old.buffers + spill_io;
+    sort.arguments.insert("SPILLED".into(), "YES".into());
+    sort.inputs.push(InputStream {
+        kind: StreamKind::Generic,
+        source: InputSource::Op(old_child),
+        estimated_rows: old.cardinality,
+    });
+    let rows = sort.cardinality;
+    qep.insert_op(sort);
+    redirect(qep, consumer, input, id, rows);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GeneratorConfig, PlanGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base(seed: u64) -> (Qep, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = PlanGenerator::new(GeneratorConfig::default()).generate_sized(&mut rng, "t", 80);
+        (q, rng)
+    }
+
+    /// Structural check for Pattern A on the model (reference oracle).
+    fn has_pattern_a(q: &Qep) -> bool {
+        q.ops.values().any(|op| {
+            op.op_type == OpType::NlJoin
+                && op
+                    .input(StreamKind::Outer)
+                    .is_some_and(|s| match &s.source {
+                        InputSource::Op(id) => q.op(*id).is_some_and(|o| o.cardinality > 1.0),
+                        _ => false,
+                    })
+                && op
+                    .input(StreamKind::Inner)
+                    .is_some_and(|s| match &s.source {
+                        InputSource::Op(id) => q
+                            .op(*id)
+                            .is_some_and(|o| o.op_type == OpType::TbScan && o.cardinality > 100.0),
+                        _ => false,
+                    })
+        })
+    }
+
+    fn descendants_with_loj(q: &Qep, start: u32) -> bool {
+        let mut stack = vec![start];
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            let Some(op) = q.op(id) else { continue };
+            if op.op_type.is_join() && op.modifier == JoinModifier::LeftOuter {
+                return true;
+            }
+            stack.extend(op.child_ops());
+        }
+        false
+    }
+
+    fn has_pattern_b(q: &Qep) -> bool {
+        q.ops.values().any(|op| {
+            if !op.op_type.is_join() {
+                return false;
+            }
+            let outer = op.input(StreamKind::Outer).and_then(|s| match &s.source {
+                InputSource::Op(id) => Some(*id),
+                _ => None,
+            });
+            let inner = op.input(StreamKind::Inner).and_then(|s| match &s.source {
+                InputSource::Op(id) => Some(*id),
+                _ => None,
+            });
+            matches!((outer, inner), (Some(o), Some(i))
+                if descendants_with_loj(q, o) && descendants_with_loj(q, i))
+        })
+    }
+
+    fn has_pattern_c(q: &Qep) -> bool {
+        q.ops.values().any(|op| {
+            op.op_type.is_scan()
+                && op.cardinality < 0.001
+                && op.inputs.iter().any(|s| match &s.source {
+                    InputSource::Object(name) => q
+                        .base_objects
+                        .get(name)
+                        .is_some_and(|o| o.cardinality > 1e6),
+                    _ => false,
+                })
+        })
+    }
+
+    fn has_pattern_d(q: &Qep) -> bool {
+        q.ops.values().any(|op| {
+            op.op_type == OpType::Sort
+                && op.inputs.iter().any(|s| match &s.source {
+                    InputSource::Op(id) => q.op(*id).is_some_and(|c| c.io_cost < op.io_cost),
+                    _ => false,
+                })
+        })
+    }
+
+    #[test]
+    fn inject_a_creates_exactly_pattern_a() {
+        for seed in 0..10 {
+            let (mut q, mut rng) = base(seed);
+            assert!(!has_pattern_a(&q), "seed {seed}: base already matches A");
+            assert!(inject_a(&mut q, &mut rng, Variant::Easy));
+            q.validate().unwrap();
+            assert!(has_pattern_a(&q), "seed {seed}: injection failed to match");
+        }
+    }
+
+    #[test]
+    fn inject_a_hard_variant_still_matches() {
+        let (mut q, mut rng) = base(3);
+        assert!(inject_a(&mut q, &mut rng, Variant::HardForManual));
+        assert!(has_pattern_a(&q));
+        // The hard variant's inner scan cardinality is exponent-sized.
+        let big_scan = q
+            .ops
+            .values()
+            .find(|o| o.op_type == OpType::TbScan && o.cardinality >= 1e6);
+        assert!(big_scan.is_some());
+    }
+
+    #[test]
+    fn inject_b_easy_and_hard_match() {
+        for (seed, variant) in [(1, Variant::Easy), (2, Variant::HardForManual)] {
+            let (mut q, mut rng) = base(seed);
+            assert!(!has_pattern_b(&q), "seed {seed}: base already matches B");
+            assert!(inject_b(&mut q, &mut rng, variant));
+            q.validate().unwrap();
+            assert!(has_pattern_b(&q), "seed {seed} {variant:?}");
+            // B must not smuggle in an A match.
+            assert!(!has_pattern_a(&q), "seed {seed}: B created A");
+        }
+    }
+
+    #[test]
+    fn inject_b_hard_hides_loj_behind_temp_chain() {
+        let (mut q, mut rng) = base(7);
+        assert!(inject_b(&mut q, &mut rng, Variant::HardForManual));
+        // There must exist a TEMP whose child is a left-outer join.
+        let deep = q.ops.values().any(|op| {
+            op.op_type == OpType::Temp
+                && op.child_ops().any(|c| {
+                    q.op(c)
+                        .is_some_and(|c| c.modifier == JoinModifier::LeftOuter)
+                })
+        });
+        assert!(deep);
+    }
+
+    #[test]
+    fn inject_c_easy_and_hard_match() {
+        for (seed, variant) in [(4, Variant::Easy), (5, Variant::HardForManual)] {
+            let (mut q, mut rng) = base(seed);
+            assert!(!has_pattern_c(&q));
+            assert!(inject_c(&mut q, &mut rng, variant));
+            q.validate().unwrap();
+            assert!(has_pattern_c(&q), "seed {seed} {variant:?}");
+        }
+    }
+
+    #[test]
+    fn inject_d_creates_spilling_sort() {
+        let (mut q, mut rng) = base(6);
+        assert!(!has_pattern_d(&q));
+        assert!(inject_d(&mut q, &mut rng));
+        q.validate().unwrap();
+        assert!(has_pattern_d(&q));
+    }
+
+    #[test]
+    fn injections_compose_without_cross_contamination() {
+        for seed in 0..20 {
+            let (mut q, mut rng) = base(100 + seed);
+            let injected = inject_patterns(&mut q, &mut rng, &InjectionConfig::paper_rates());
+            q.validate().unwrap();
+            for (pattern, present) in [
+                (PatternId::A, has_pattern_a(&q)),
+                (PatternId::B, has_pattern_b(&q)),
+                (PatternId::C, has_pattern_c(&q)),
+                (PatternId::D, has_pattern_d(&q)),
+            ] {
+                assert_eq!(
+                    injected.contains(&pattern),
+                    present,
+                    "seed {seed}: ground truth mismatch for {pattern:?} (injected: {injected:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_names_are_stable() {
+        assert_eq!(PatternId::A.name(), "pattern-a-nljoin-tbscan");
+        assert_eq!(PatternId::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,195 @@
+//! Workload persistence: write a generated workload to a directory of
+//! `.qep` text files plus a ground-truth manifest, and load it back.
+//!
+//! The manifest (`MANIFEST.tsv`) is a plain tab-separated file — one line
+//! per QEP, `<id>\t<comma-joined pattern names>` — so ground truth travels
+//! with the plan files and experiments can be re-run from disk exactly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use optimatch_qep::{format_qep, parse_qep};
+
+use crate::inject::PatternId;
+use crate::Workload;
+
+/// The manifest file name inside a workload directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.tsv";
+
+/// Errors reading or writing workload directories.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A plan file failed to parse.
+    Parse {
+        /// The offending file.
+        file: String,
+        /// The underlying parse error.
+        error: optimatch_qep::QepParseError,
+    },
+    /// The manifest is malformed.
+    Manifest(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::Parse { file, error } => write!(f, "{file}: {error}"),
+            StoreError::Manifest(m) => write!(f, "bad manifest: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+fn pattern_by_name(name: &str) -> Option<PatternId> {
+    PatternId::ALL.into_iter().find(|p| p.name() == name)
+}
+
+/// Write every plan as `<id>.qep` plus the ground-truth manifest.
+pub fn write_workload(workload: &Workload, dir: &Path) -> Result<(), StoreError> {
+    std::fs::create_dir_all(dir)?;
+    for qep in &workload.qeps {
+        std::fs::write(dir.join(format!("{}.qep", qep.id)), format_qep(qep))?;
+    }
+    let mut manifest = String::new();
+    for qep in &workload.qeps {
+        let patterns = workload
+            .truth
+            .get(&qep.id)
+            .map(|ps| ps.iter().map(|p| p.name()).collect::<Vec<_>>().join(","))
+            .unwrap_or_default();
+        manifest.push_str(&qep.id);
+        manifest.push('\t');
+        manifest.push_str(&patterns);
+        manifest.push('\n');
+    }
+    std::fs::write(dir.join(MANIFEST_FILE), manifest)?;
+    Ok(())
+}
+
+/// Load a workload directory written by [`write_workload`]. Plans are
+/// ordered as listed in the manifest; plans missing a manifest line (or a
+/// missing manifest file) load with empty ground truth.
+pub fn load_workload(dir: &Path) -> Result<Workload, StoreError> {
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let mut truth: BTreeMap<String, Vec<PatternId>> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    if manifest_path.exists() {
+        for (lineno, line) in std::fs::read_to_string(&manifest_path)?.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (id, patterns) = line
+                .split_once('\t')
+                .ok_or_else(|| StoreError::Manifest(format!("line {}: missing tab", lineno + 1)))?;
+            let mut pats = Vec::new();
+            for name in patterns.split(',').filter(|s| !s.is_empty()) {
+                let p = pattern_by_name(name).ok_or_else(|| {
+                    StoreError::Manifest(format!("line {}: unknown pattern {name:?}", lineno + 1))
+                })?;
+                pats.push(p);
+            }
+            order.push(id.to_string());
+            truth.insert(id.to_string(), pats);
+        }
+    }
+
+    // Load plan files; if a manifest gave an order, follow it.
+    let mut by_id = BTreeMap::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("qep") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let qep = parse_qep(&text).map_err(|error| StoreError::Parse {
+            file: path.display().to_string(),
+            error,
+        })?;
+        truth.entry(qep.id.clone()).or_default();
+        by_id.insert(qep.id.clone(), qep);
+    }
+
+    let mut qeps = Vec::with_capacity(by_id.len());
+    for id in &order {
+        if let Some(q) = by_id.remove(id) {
+            qeps.push(q);
+        }
+    }
+    // Any plans not named in the manifest follow in id order.
+    qeps.extend(by_id.into_values());
+
+    Ok(Workload { qeps, truth })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_workload, WorkloadConfig};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("optimatch-store-{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn round_trips_workload_with_ground_truth() {
+        let w = generate_workload(&WorkloadConfig {
+            seed: 17,
+            num_qeps: 12,
+            ..WorkloadConfig::default()
+        });
+        let dir = temp_dir("rt");
+        write_workload(&w, &dir).expect("writes");
+        let back = load_workload(&dir).expect("loads");
+        assert_eq!(back.qeps, w.qeps);
+        assert_eq!(back.truth, w.truth);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loads_without_manifest() {
+        let w = generate_workload(&WorkloadConfig {
+            seed: 18,
+            num_qeps: 3,
+            ..WorkloadConfig::default()
+        });
+        let dir = temp_dir("nomanifest");
+        write_workload(&w, &dir).expect("writes");
+        std::fs::remove_file(dir.join(MANIFEST_FILE)).expect("removes manifest");
+        let back = load_workload(&dir).expect("loads");
+        assert_eq!(back.qeps.len(), 3);
+        assert!(back.truth.values().all(|v| v.is_empty()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_manifest() {
+        let dir = temp_dir("badmanifest");
+        std::fs::write(dir.join(MANIFEST_FILE), "no-tab-here\n").expect("writes");
+        assert!(matches!(load_workload(&dir), Err(StoreError::Manifest(_))));
+        std::fs::write(dir.join(MANIFEST_FILE), "q1\tnot-a-pattern\n").expect("writes");
+        assert!(matches!(load_workload(&dir), Err(StoreError::Manifest(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_plan_files() {
+        let dir = temp_dir("badplan");
+        std::fs::write(dir.join("broken.qep"), "Plan Details:\n  1) NOPE: (x)\n").expect("writes");
+        assert!(matches!(load_workload(&dir), Err(StoreError::Parse { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

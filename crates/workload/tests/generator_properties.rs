@@ -1,0 +1,106 @@
+//! Property tests for the workload generator and injector over random
+//! seeds: structural validity, the pattern-exclusion invariant of base
+//! plans, text round-trips, and ground-truth faithfulness of injection.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use optimatch_qep::{format_qep, parse_qep, InputSource, JoinModifier, OpType, Qep, StreamKind};
+use optimatch_workload::inject::{inject_pattern, PatternId, Variant};
+use optimatch_workload::{GeneratorConfig, PlanGenerator};
+
+fn base_plan(seed: u64, target: usize) -> Qep {
+    let mut rng = StdRng::seed_from_u64(seed);
+    PlanGenerator::new(GeneratorConfig::default()).generate_sized(&mut rng, "prop", target)
+}
+
+/// Structural Pattern-A oracle shared by several properties.
+fn has_pattern_a(q: &Qep) -> bool {
+    q.ops.values().any(|op| {
+        op.op_type == OpType::NlJoin
+            && op
+                .input(StreamKind::Outer)
+                .is_some_and(|s| match &s.source {
+                    InputSource::Op(id) => q.op(*id).is_some_and(|o| o.cardinality > 1.0),
+                    _ => false,
+                })
+            && op
+                .input(StreamKind::Inner)
+                .is_some_and(|s| match &s.source {
+                    InputSource::Op(id) => q
+                        .op(*id)
+                        .is_some_and(|o| o.op_type == OpType::TbScan && o.cardinality > 100.0),
+                    _ => false,
+                })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated base plans validate, round-trip, and match none of the
+    /// four patterns — the exclusion invariant ground truth depends on.
+    #[test]
+    fn base_plans_are_valid_and_pattern_free(seed in any::<u64>(), target in 8usize..90) {
+        let q = base_plan(seed, target);
+        q.validate().expect("valid plan");
+        prop_assert_eq!(parse_qep(&format_qep(&q)).expect("parses"), q.clone());
+        prop_assert!(!has_pattern_a(&q), "seed {} produced a base A match", seed);
+        prop_assert!(
+            q.ops.values().all(|op| op.modifier == JoinModifier::None),
+            "base plans must not contain outer joins"
+        );
+        for op in q.ops.values() {
+            if op.op_type.is_scan() {
+                prop_assert!(op.cardinality >= 0.01);
+            }
+        }
+    }
+
+    /// Injecting any single pattern (any variant) produces a valid plan
+    /// that structurally contains what the ground truth claims.
+    #[test]
+    fn injection_is_faithful(
+        seed in any::<u64>(),
+        pattern_pick in 0usize..4,
+        hard in prop::bool::ANY,
+    ) {
+        let pattern = PatternId::ALL[pattern_pick];
+        let variant = if hard { Variant::HardForManual } else { Variant::Easy };
+        let mut q = base_plan(seed, 50);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        if !inject_pattern(&mut q, &mut rng, pattern, variant) {
+            // No viable splice point is a legal (rare) outcome.
+            return Ok(());
+        }
+        q.validate().expect("still valid after injection");
+        // Round-trips still hold after surgery.
+        prop_assert_eq!(parse_qep(&format_qep(&q)).expect("parses"), q.clone());
+        if pattern == PatternId::A {
+            prop_assert!(has_pattern_a(&q));
+        }
+    }
+
+    /// Costs stay cumulative in base plans: parents never undercut the sum
+    /// of their operator inputs.
+    #[test]
+    fn base_plan_costs_are_cumulative(seed in any::<u64>()) {
+        let q = base_plan(seed, 60);
+        for op in q.ops.values() {
+            let child_total: f64 = op
+                .child_ops()
+                .filter_map(|c| q.op(c))
+                .map(|c| c.total_cost)
+                .sum();
+            // Quantization may nudge values by a few ppm.
+            prop_assert!(
+                op.total_cost >= child_total * (1.0 - 1e-4),
+                "op {} total {} < children {}",
+                op.id,
+                op.total_cost,
+                child_total
+            );
+        }
+    }
+}

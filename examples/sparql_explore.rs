@@ -1,0 +1,78 @@
+//! Ad-hoc SPARQL exploration of transformed plans — the paper's
+//! introduction motivates questions like "find the spilling hash join
+//! below an aggregation with cost above N" and "compare an index access
+//! cost to the table scan cost". This example asks those directly in
+//! SPARQL over the RDF graphs, without going through the pattern builder.
+//!
+//! Run with: `cargo run --example sparql_explore`
+
+use optimatch_suite::core::transform::TransformedQep;
+use optimatch_suite::qep::fixtures;
+use optimatch_suite::sparql::execute;
+
+const PREFIXES: &str = "PREFIX popURI: <http://optimatch/qep#>\n\
+                        PREFIX predURI: <http://optimatch/pred#>\n";
+
+fn main() {
+    let plans: Vec<TransformedQep> = [fixtures::fig1(), fixtures::fig7(), fixtures::fig8()]
+        .into_iter()
+        .map(TransformedQep::new)
+        .collect();
+
+    // Q1 (paper intro): operators whose own cost increase exceeds half the
+    // plan's total cost — "subqueries that cost more than 50% of the query".
+    let q1 = format!(
+        "{PREFIXES}
+        SELECT ?pop ?type ?increase ?total WHERE {{
+            ?root predURI:hasPopType \"RETURN\" .
+            ?root predURI:hasTotalCost ?total .
+            ?pop predURI:hasPopType ?type .
+            ?pop predURI:hasTotalCostIncrease ?increase .
+            FILTER (?increase > ?total * 0.5)
+        }} ORDER BY DESC(?increase)"
+    );
+
+    // Q2: every join below which some descendant operator scans a given
+    // table — 'what would dropping an index affect?'
+    let q2 = format!(
+        "{PREFIXES}
+        SELECT DISTINCT ?join ?jt WHERE {{
+            ?join predURI:hasPopType ?jt .
+            FILTER (CONTAINS(?jt, \"JOIN\"))
+            ?join (predURI:hasInputStream|predURI:hasOuterInputStream|predURI:hasInnerInputStream)+ ?d .
+            ?d predURI:hasInputStream ?b1 .
+            ?b1 predURI:hasInputStream ?obj .
+            ?obj predURI:hasTableName \"TRAN_DIM\" .
+        }} ORDER BY ?join"
+    );
+
+    // Q3: index scans vs table scans with their costs, for the intro's
+    // "compare the index access cost to that of the table scan".
+    let q3 = format!(
+        "{PREFIXES}
+        SELECT ?pop ?type ?cost WHERE {{
+            {{ ?pop predURI:hasPopType \"IXSCAN\" . }}
+            UNION
+            {{ ?pop predURI:hasPopType \"TBSCAN\" . }}
+            ?pop predURI:hasPopType ?type .
+            ?pop predURI:hasTotalCost ?cost .
+        }} ORDER BY DESC(?cost) LIMIT 5"
+    );
+
+    for (name, query) in [
+        ("operators consuming >50% of total cost", &q1),
+        ("joins with a TRAN_DIM scan somewhere below", &q2),
+        ("five most expensive scans", &q3),
+    ] {
+        println!("=== {name} ===");
+        for t in &plans {
+            let table = execute(&t.graph, query).expect("query is valid");
+            if table.is_empty() {
+                continue;
+            }
+            println!("--- in {} ---", t.qep.id);
+            print!("{table}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the OptImatch reproduction suite.
+//!
+//! This crate exists to host the cross-crate integration tests (`tests/`)
+//! and the runnable examples (`examples/`). The actual functionality lives
+//! in the workspace crates; this module simply re-exports their public
+//! surfaces so examples can use one import root.
+
+pub use optimatch_core as core;
+pub use optimatch_qep as qep;
+pub use optimatch_rdf as rdf;
+pub use optimatch_sparql as sparql;
+pub use optimatch_workload as workload;
