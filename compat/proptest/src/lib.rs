@@ -1,0 +1,667 @@
+//! Minimal, self-contained stand-in for the subset of `proptest` this
+//! workspace uses, so the build is hermetic (no registry access).
+//!
+//! What it keeps from upstream: the [`proptest!`] macro shape (config
+//! header, `param in strategy` bindings, `prop_assert*` early returns),
+//! deterministic case generation, and the strategy combinators used here
+//! ([`Strategy::prop_map`] / [`Strategy::prop_flat_map`] /
+//! [`Strategy::boxed`], ranges, [`Just`], tuples, `Vec`s,
+//! [`collection::vec`], [`prop_oneof!`], [`string::string_regex`] and
+//! `&str`-literal regex strategies, [`any`]).
+//!
+//! What it deliberately drops: shrinking (failures report the raw values
+//! of the failing case) and persistence of failure seeds. Cases are
+//! seeded deterministically per index, so reruns reproduce failures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy;
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// Runner configuration. Only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; these suites override where it
+        // matters, and a leaner default keeps offline test runs brisk.
+        ProptestConfig::with_cases(64)
+    }
+}
+
+/// A failed property: message produced by `prop_assert!` and friends.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The per-test driver the [`proptest!`] macro expands to. Each case gets
+/// its own deterministically-seeded RNG, so failures reproduce exactly.
+pub fn run_cases(
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    for index in 0..config.cases {
+        let seed = 0x5EED_0000_0000_0000u64 ^ u64::from(index).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!("property failed at case {index}: {e}");
+        }
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for a whole type.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies (`prop::bool::ANY`).
+
+    /// Strategy yielding `true`/`false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl crate::Strategy for Any {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut rand::rngs::StdRng) -> core::primitive::bool {
+            rand::Rng::gen_bool(rng, 0.5)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::Strategy;
+
+    /// A length specification: an exact length or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive; lo + 1 encodes "exactly lo"
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// `vec(element, size)`: a `Vec` of independently drawn elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! String strategies from regex-like specifications.
+
+    use crate::regex_gen::{parse_regex, Node};
+    use crate::Strategy;
+
+    /// Failure to interpret a regex specification.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// A strategy producing strings matching `regex` (the subset
+    /// documented in [`crate::regex_gen`]).
+    pub fn string_regex(regex: &str) -> Result<RegexGeneratorStrategy, Error> {
+        parse_regex(regex)
+            .map(|node| RegexGeneratorStrategy { node })
+            .map_err(Error)
+    }
+
+    /// The strategy returned by [`string_regex`].
+    pub struct RegexGeneratorStrategy {
+        node: Node,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut rand::rngs::StdRng) -> String {
+            let mut out = String::new();
+            self.node.generate(rng, &mut out);
+            out
+        }
+    }
+}
+
+pub(crate) mod regex_gen {
+    //! A tiny regex *generator* (not matcher) covering the constructs the
+    //! test suites use: literals, escapes (`\n`, `\r`, `\t`, `\\`, and
+    //! escaped metacharacters), character classes with ranges, groups,
+    //! alternation, and the quantifiers `?`, `*`, `+`, `{m}`, `{m,n}`.
+    //! Unbounded repeats are capped at 4 extra iterations.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    const UNBOUNDED_CAP: u32 = 4;
+
+    #[derive(Debug, Clone)]
+    pub enum Node {
+        /// A fixed character.
+        Literal(char),
+        /// One char drawn from inclusive ranges.
+        Class(Vec<(char, char)>),
+        /// All parts in order.
+        Concat(Vec<Node>),
+        /// One branch at random.
+        Alt(Vec<Node>),
+        /// `min..=max` repetitions of the inner node.
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    impl Node {
+        pub fn generate(&self, rng: &mut StdRng, out: &mut String) {
+            match self {
+                Node::Literal(c) => out.push(*c),
+                Node::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                    let code = rng.gen_range(lo as u32..=hi as u32);
+                    out.push(char::from_u32(code).expect("class range is valid"));
+                }
+                Node::Concat(parts) => {
+                    for part in parts {
+                        part.generate(rng, out);
+                    }
+                }
+                Node::Alt(branches) => {
+                    branches[rng.gen_range(0..branches.len())].generate(rng, out);
+                }
+                Node::Repeat(inner, min, max) => {
+                    let n = rng.gen_range(*min..=*max);
+                    for _ in 0..n {
+                        inner.generate(rng, out);
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn parse_regex(pattern: &str) -> Result<Node, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let node = parse_alt(&chars, &mut pos)?;
+        if pos != chars.len() {
+            return Err(format!(
+                "unexpected {:?} at {pos} in {pattern:?}",
+                chars[pos]
+            ));
+        }
+        Ok(node)
+    }
+
+    fn parse_alt(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        let mut branches = vec![parse_concat(chars, pos)?];
+        while chars.get(*pos) == Some(&'|') {
+            *pos += 1;
+            branches.push(parse_concat(chars, pos)?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Node::Alt(branches)
+        })
+    }
+
+    fn parse_concat(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        let mut parts = Vec::new();
+        while let Some(&c) = chars.get(*pos) {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = parse_atom(chars, pos)?;
+            parts.push(parse_quantified(atom, chars, pos)?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Node::Concat(parts)
+        })
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        match chars.get(*pos) {
+            None => Err("unexpected end of regex".to_string()),
+            Some('(') => {
+                *pos += 1;
+                let inner = parse_alt(chars, pos)?;
+                if chars.get(*pos) != Some(&')') {
+                    return Err("unclosed group".to_string());
+                }
+                *pos += 1;
+                Ok(inner)
+            }
+            Some('[') => {
+                *pos += 1;
+                parse_class(chars, pos)
+            }
+            Some('\\') => {
+                *pos += 1;
+                let c = *chars.get(*pos).ok_or("dangling escape")?;
+                *pos += 1;
+                Ok(Node::Literal(unescape(c)))
+            }
+            Some('.') => {
+                *pos += 1;
+                // Any printable ASCII is plenty for a generator.
+                Ok(Node::Class(vec![(' ', '~')]))
+            }
+            Some(&c) if !"?*+{".contains(c) => {
+                *pos += 1;
+                Ok(Node::Literal(c))
+            }
+            Some(&c) => Err(format!("unexpected {c:?}")),
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        if chars.get(*pos) == Some(&'^') {
+            return Err("negated classes are not supported".to_string());
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let c = match chars.get(*pos) {
+                None => return Err("unclosed character class".to_string()),
+                Some(']') => {
+                    *pos += 1;
+                    if ranges.is_empty() {
+                        return Err("empty character class".to_string());
+                    }
+                    return Ok(Node::Class(ranges));
+                }
+                Some('\\') => {
+                    *pos += 1;
+                    let c = *chars.get(*pos).ok_or("dangling escape")?;
+                    *pos += 1;
+                    unescape(c)
+                }
+                Some(&c) => {
+                    *pos += 1;
+                    c
+                }
+            };
+            // A `-` forms a range unless it is the class's last character.
+            if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1) != Some(&']') {
+                *pos += 1;
+                let hi = match chars.get(*pos) {
+                    None => return Err("unclosed character class".to_string()),
+                    Some('\\') => {
+                        *pos += 1;
+                        let h = *chars.get(*pos).ok_or("dangling escape")?;
+                        unescape(h)
+                    }
+                    Some(&h) => h,
+                };
+                *pos += 1;
+                if hi < c {
+                    return Err(format!("inverted class range {c:?}-{hi:?}"));
+                }
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+    }
+
+    fn parse_quantified(atom: Node, chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        match chars.get(*pos) {
+            Some('?') => {
+                *pos += 1;
+                Ok(Node::Repeat(Box::new(atom), 0, 1))
+            }
+            Some('*') => {
+                *pos += 1;
+                Ok(Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP))
+            }
+            Some('+') => {
+                *pos += 1;
+                Ok(Node::Repeat(Box::new(atom), 1, 1 + UNBOUNDED_CAP))
+            }
+            Some('{') => {
+                *pos += 1;
+                let mut min = String::new();
+                while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                    min.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let min: u32 = min.parse().map_err(|_| "bad repetition count")?;
+                let max = match chars.get(*pos) {
+                    Some('}') => min,
+                    Some(',') => {
+                        *pos += 1;
+                        let mut max = String::new();
+                        while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                            max.push(chars[*pos]);
+                            *pos += 1;
+                        }
+                        if max.is_empty() {
+                            min + UNBOUNDED_CAP
+                        } else {
+                            max.parse().map_err(|_| "bad repetition count")?
+                        }
+                    }
+                    _ => return Err("unclosed repetition".to_string()),
+                };
+                if chars.get(*pos) != Some(&'}') {
+                    return Err("unclosed repetition".to_string());
+                }
+                *pos += 1;
+                if max < min {
+                    return Err(format!("inverted repetition {{{min},{max}}}"));
+                }
+                Ok(Node::Repeat(Box::new(atom), min, max))
+            }
+            _ => Ok(atom),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The customary glob import.
+
+    /// Upstream exposes the crate under `prop` as well (`prop::bool::ANY`).
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, Union,
+    };
+}
+
+/// Fail the property unless `cond` holds; extra arguments format the
+/// message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the property unless the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}"
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "{}\n  left: {left:?}\n right: {right:?}",
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Choose uniformly between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Property-test harness: each `fn name(x in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    { ($config:expr) $($(#[$meta:meta])* fn $name:ident($($param:ident in $strategy:expr),* $(,)?) $body:block)* } => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(&config, |__rng| {
+                    $(let $param = $crate::Strategy::generate(&($strategy), __rng);)*
+                    let __described = format!(
+                        concat!($("\n  ", stringify!($param), " = {:?}",)*),
+                        $(&$param),*
+                    );
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    __outcome.map_err(|e| $crate::TestCaseError(
+                        format!("{}\nwith values:{}", e.0, __described)
+                    ))
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_just() {
+        crate::run_cases(&ProptestConfig::with_cases(50), |rng| {
+            let v = (3usize..9).generate(rng);
+            prop_assert!((3..9).contains(&v));
+            let f = (0.0f64..1.0).generate(rng);
+            prop_assert!((0.0..1.0).contains(&f));
+            let j = Just(41).generate(rng);
+            prop_assert_eq!(j, 41);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn combinators_compose() {
+        crate::run_cases(&ProptestConfig::with_cases(20), |rng| {
+            let doubled = (1usize..5).prop_map(|v| v * 2).generate(rng);
+            prop_assert!(doubled % 2 == 0 && (2..10).contains(&doubled));
+
+            let nested = (2usize..5)
+                .prop_flat_map(|n| crate::collection::vec(0usize..n, n))
+                .generate(rng);
+            prop_assert!((2..5).contains(&nested.len()));
+
+            let from_vec_of_boxed: Vec<BoxedStrategy<usize>> =
+                (1..4).map(|i| (0..i as usize).boxed()).collect();
+            let values = from_vec_of_boxed.generate(rng);
+            prop_assert_eq!(values.len(), 3);
+
+            let tuple = ((0usize..3), prop::bool::ANY, Just("x")).generate(rng);
+            prop_assert!(tuple.0 < 3 && tuple.2 == "x");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn oneof_unions_heterogeneous_arms() {
+        let strategy = prop_oneof![Just("a".to_string()), "[0-9]{2}".prop_map(|s: String| s),];
+        crate::run_cases(&ProptestConfig::with_cases(40), |rng| {
+            let v = strategy.generate(rng);
+            prop_assert!(
+                v == "a" || (v.len() == 2 && v.chars().all(|c| c.is_ascii_digit())),
+                "{v}"
+            );
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn regex_strategies_match_their_own_shape() {
+        let ident = crate::string::string_regex("[a-zA-Z][a-zA-Z0-9_-]{0,10}").unwrap();
+        let number =
+            crate::string::string_regex("[+-]?[0-9]{1,10}(\\.[0-9]{0,8})?([eE][+-]?[0-9]{1,3})?")
+                .unwrap();
+        crate::run_cases(&ProptestConfig::with_cases(100), |rng| {
+            let s = ident.generate(rng);
+            prop_assert!(!s.is_empty() && s.len() <= 11, "{s:?}");
+            prop_assert!(s.chars().next().unwrap().is_ascii_alphabetic(), "{s:?}");
+
+            let n = number.generate(rng);
+            let trimmed = n.trim_start_matches(['+', '-']);
+            prop_assert!(trimmed.chars().next().unwrap().is_ascii_digit(), "{n:?}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn escapes_and_alternation_in_regexes() {
+        let ws = crate::string::string_regex("[ -~\n\r\t]{0,24}").unwrap();
+        let alt = crate::string::string_regex("(ab|cd)+").unwrap();
+        crate::run_cases(&ProptestConfig::with_cases(60), |rng| {
+            let s = ws.generate(rng);
+            prop_assert!(s.chars().count() <= 24, "{s:?}");
+            let a = alt.generate(rng);
+            prop_assert!(!a.is_empty() && a.len() % 2 == 0, "{a:?}");
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, early return, trailing comma.
+        #[test]
+        fn macro_form_works(
+            x in 0usize..10,
+            flag in prop::bool::ANY,
+        ) {
+            if flag {
+                return Ok(());
+            }
+            prop_assert!(x < 10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config_header(x in 0u32..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_values() {
+        crate::run_cases(&ProptestConfig::with_cases(5), |rng| {
+            let v = (0usize..3).generate(rng);
+            prop_assert!(v > 100, "v was {v}");
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,369 @@
+//! Minimal, self-contained stand-in for the subset of `serde` this
+//! workspace uses, so the build is hermetic (no registry access).
+//!
+//! Instead of upstream's visitor-based data model, everything funnels
+//! through one tree type, [`value::Value`]: [`Serialize`] renders into it
+//! and [`Deserialize`] reads back out of it. `serde_json` (the sibling
+//! stand-in) is just a text format for that tree. The derive macros come
+//! from the local `serde_derive` crate and honour the attributes used in
+//! this repository: `rename`, `default`, and `skip_serializing_if`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The self-describing tree both traits speak.
+
+    /// A JSON-shaped value. Object fields keep insertion order so struct
+    /// serialization is deterministic and mirrors declaration order.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// A number (integer or float, kept apart for faithful output).
+        Number(Number),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, in insertion order.
+        Object(Vec<(String, Value)>),
+    }
+
+    /// Integer vs. float is preserved so `1` round-trips as `1`, not `1.0`.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub enum Number {
+        /// A signed integer.
+        Int(i64),
+        /// A double-precision float.
+        Float(f64),
+    }
+
+    impl Value {
+        /// Object member lookup (also mirrors `serde_json::Value::get`).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The array items, when this is an array.
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The object fields, when this is an object.
+        pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+            match self {
+                Value::Object(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        /// The string content, when this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric content as `f64`, when this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(Number::Int(i)) => Some(*i as f64),
+                Value::Number(Number::Float(f)) => Some(*f),
+                _ => None,
+            }
+        }
+
+        /// The numeric content as `i64`, when this is an integer.
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Number(Number::Int(i)) => Some(*i),
+                _ => None,
+            }
+        }
+
+        /// The numeric content as `u64`, when a non-negative integer.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Number(Number::Int(i)) if *i >= 0 => Some(*i as u64),
+                _ => None,
+            }
+        }
+
+        /// The boolean content, when this is a boolean.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// True for `null`.
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+
+        /// A short name for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "boolean",
+                Value::Number(_) => "number",
+                Value::String(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            }
+        }
+    }
+}
+
+use value::{Number, Value};
+
+/// A deserialization failure (type mismatch, missing field, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` into the [`Value`] tree.
+pub trait Serialize {
+    /// The tree form of `self`.
+    fn serialize_to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse the tree, reporting mismatches as [`DeError`].
+    fn deserialize_from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+fn type_error<T>(expected: &str, got: &Value) -> Result<T, DeError> {
+    Err(DeError(format!(
+        "expected {expected}, found {}",
+        got.kind()
+    )))
+}
+
+impl Serialize for bool {
+    fn serialize_to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_from_value(v: &Value) -> Result<bool, DeError> {
+        v.as_bool().map_or_else(|| type_error("boolean", v), Ok)
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_to_value(&self) -> Value {
+                Value::Number(Number::Int(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_from_value(v: &Value) -> Result<$t, DeError> {
+                let i = v.as_i64().ok_or_else(|| {
+                    DeError(format!("expected integer, found {}", v.kind()))
+                })?;
+                <$t>::try_from(i)
+                    .map_err(|_| DeError(format!("integer {i} out of range")))
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_to_value(&self) -> Value {
+                Value::Number(Number::Float(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_from_value(v: &Value) -> Result<$t, DeError> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .map_or_else(|| type_error("number", v), Ok)
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for String {
+    fn serialize_to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_from_value(v: &Value) -> Result<String, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .map_or_else(|| type_error("string", v), Ok)
+    }
+}
+
+impl Serialize for str {
+    fn serialize_to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_to_value(&self) -> Value {
+        (**self).serialize_to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize_to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_from_value).collect(),
+            other => type_error("array", other),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize_to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize_from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_from_value(v)?)))
+                .collect(),
+            other => type_error("object", other),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::value::{Number, Value};
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn primitives_round_trip() {
+        let v = 42u32.serialize_to_value();
+        assert_eq!(u32::deserialize_from_value(&v), Ok(42));
+        let v = (-3i64).serialize_to_value();
+        assert_eq!(i64::deserialize_from_value(&v), Ok(-3));
+        let v = 0.5f64.serialize_to_value();
+        assert_eq!(f64::deserialize_from_value(&v), Ok(0.5));
+        let v = "hi".to_string().serialize_to_value();
+        assert_eq!(String::deserialize_from_value(&v), Ok("hi".to_string()));
+    }
+
+    #[test]
+    fn float_accepts_integer_tree() {
+        assert_eq!(
+            f64::deserialize_from_value(&Value::Number(Number::Int(3))),
+            Ok(3.0)
+        );
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v = Some("x".to_string()).serialize_to_value();
+        assert_eq!(
+            Option::<String>::deserialize_from_value(&v),
+            Ok(Some("x".to_string()))
+        );
+        assert_eq!(
+            Option::<String>::deserialize_from_value(&Value::Null),
+            Ok(None)
+        );
+        let v = vec![1u32, 2, 3].serialize_to_value();
+        assert_eq!(Vec::<u32>::deserialize_from_value(&v), Ok(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn type_mismatch_reports_kinds() {
+        let err = u32::deserialize_from_value(&Value::String("x".into())).unwrap_err();
+        assert!(err.0.contains("integer"), "{err}");
+        assert!(err.0.contains("string"), "{err}");
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::Number(Number::Int(1))),
+            ("b".to_string(), Value::Array(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(1));
+        assert_eq!(v.get("b").and_then(Value::as_array).map(Vec::len), Some(1));
+        assert!(v.get("missing").is_none());
+    }
+}

@@ -1,0 +1,356 @@
+//! Minimal vendored stand-in for `serde_derive`, built directly on
+//! `proc_macro` (no `syn`/`quote`, so it works without registry access).
+//!
+//! Supports exactly the shapes this workspace serializes:
+//!
+//! * structs with named fields, honouring `#[serde(rename = "…")]`,
+//!   `#[serde(default)]`, and `#[serde(skip_serializing_if = "path")]`;
+//! * enums with unit variants, honouring `#[serde(rename = "…")]`
+//!   (serialized as plain strings).
+//!
+//! Anything else (tuple structs, generics, data-carrying variants,
+//! container attributes) panics at expansion time with a clear message —
+//! better a loud build failure than a silently wrong impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    ident: String,
+    ser_name: String,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+struct Variant {
+    ident: String,
+    ser_name: String,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Attribute knobs gathered from `#[serde(...)]` lists.
+#[derive(Default)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+fn literal_text(t: &TokenTree) -> String {
+    let text = t.to_string();
+    let inner = text
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or_else(|| panic!("serde attribute value must be a string literal, got {text}"));
+    assert!(
+        !inner.contains('\\'),
+        "escapes in serde attribute values are not supported: {text}"
+    );
+    inner.to_string()
+}
+
+/// Parse the inside of one `serde(...)` group into `attrs`.
+fn parse_serde_list(group: &proc_macro::Group, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(ident) => {
+                let key = ident.to_string();
+                let has_value = matches!(
+                    tokens.get(i + 1),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '='
+                );
+                match (key.as_str(), has_value) {
+                    ("default", false) => {
+                        attrs.default = true;
+                        i += 1;
+                    }
+                    ("rename", true) => {
+                        attrs.rename = Some(literal_text(&tokens[i + 2]));
+                        i += 3;
+                    }
+                    ("skip_serializing_if", true) => {
+                        attrs.skip_if = Some(literal_text(&tokens[i + 2]));
+                        i += 3;
+                    }
+                    other => panic!("unsupported serde attribute: {other:?}"),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("unexpected token in serde attribute: {other}"),
+        }
+    }
+}
+
+/// Consume leading `#[...]` attributes at `i`, folding `serde` ones into
+/// the returned knobs and ignoring the rest (docs, `derive`, …).
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while matches!(&tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let Some(TokenTree::Group(group)) = tokens.get(*i + 1) else {
+            panic!("expected [...] after #");
+        };
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(name)) = inner.first() {
+            if name.to_string() == "serde" {
+                let Some(TokenTree::Group(list)) = inner.get(1) else {
+                    panic!("expected serde(...) list");
+                };
+                parse_serde_list(list, &mut attrs);
+            }
+        }
+        *i += 2;
+    }
+    attrs
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // `pub(crate)` and friends carry a parenthesized group.
+        if matches!(
+            &tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_struct_fields(body: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            panic!(
+                "expected field name, got {:?}",
+                tokens.get(i).map(|t| t.to_string())
+            );
+        };
+        let ident = name.to_string();
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field {ident} (tuple structs are not supported)"
+        );
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // Commas inside `(...)`/`[...]` are invisible here (grouped trees).
+        let mut depth = 0i32;
+        while let Some(token) = tokens.get(i) {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field {
+            ser_name: attrs.rename.unwrap_or_else(|| ident.clone()),
+            ident,
+            default: attrs.default,
+            skip_if: attrs.skip_if,
+        });
+    }
+    fields
+}
+
+fn parse_enum_variants(body: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            panic!(
+                "expected variant name, got {:?}",
+                tokens.get(i).map(|t| t.to_string())
+            );
+        };
+        let ident = name.to_string();
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+            panic!("variant {ident}: only unit variants are supported");
+        }
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("variant {ident}: explicit discriminants are not supported");
+        }
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant {
+            ser_name: attrs.rename.unwrap_or_else(|| ident.clone()),
+            ident,
+        });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Container attributes: only non-serde ones (docs/derive) are allowed.
+    let container = take_attrs(&tokens, &mut i);
+    assert!(
+        container.rename.is_none() && !container.default && container.skip_if.is_none(),
+        "container-level serde attributes are not supported"
+    );
+    skip_visibility(&tokens, &mut i);
+    let Some(TokenTree::Ident(kw)) = tokens.get(i) else {
+        panic!("expected struct/enum");
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+        panic!("expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("{name}: generic types are not supported");
+    }
+    let Some(TokenTree::Group(body)) = tokens.get(i) else {
+        panic!("{name}: expected a braced body (unit/tuple shapes unsupported)");
+    };
+    assert!(
+        body.delimiter() == Delimiter::Brace,
+        "{name}: only brace-bodied types are supported"
+    );
+    match kw.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_struct_fields(body),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_enum_variants(body),
+        },
+        other => panic!("cannot derive for {other}"),
+    }
+}
+
+/// Derive `serde::Serialize` (the stand-in trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let mut body = String::new();
+            body.push_str(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in &fields {
+                let push = format!(
+                    "fields.push((\"{}\".to_string(), ::serde::Serialize::serialize_to_value(&self.{})));",
+                    f.ser_name, f.ident
+                );
+                match &f.skip_if {
+                    Some(path) => {
+                        body.push_str(&format!("if !({path}(&self.{})) {{ {push} }}\n", f.ident));
+                    }
+                    None => {
+                        body.push_str(&push);
+                        body.push('\n');
+                    }
+                }
+            }
+            body.push_str("::serde::value::Value::Object(fields)");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{} => ::serde::value::Value::String(\"{}\".to_string()),\n",
+                        v.ident, v.ser_name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_to_value(&self) -> ::serde::value::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    };
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (the stand-in trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                let missing = if f.default {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(::serde::DeError(::std::string::String::from(\"missing field `{}` in {}\")))",
+                        f.ser_name, name
+                    )
+                };
+                inits.push_str(&format!(
+                    "{}: match obj.iter().find(|(k, _)| k.as_str() == \"{}\").map(|(_, v)| v) {{\n\
+                     ::std::option::Option::Some(v) => ::serde::Deserialize::deserialize_from_value(v)?,\n\
+                     ::std::option::Option::None => {missing},\n\
+                     }},\n",
+                    f.ident, f.ser_name
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_from_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let obj = match v {{\n\
+                 ::serde::value::Value::Object(obj) => obj,\n\
+                 other => return ::std::result::Result::Err(::serde::DeError(format!(\"expected object for {name}, found {{}}\", other.kind()))),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n}}\n}}\n"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "\"{}\" => ::std::result::Result::Ok({name}::{}),\n",
+                        v.ser_name, v.ident
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_from_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::value::Value::String(s) => match s.as_str() {{\n\
+                 {arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::DeError(format!(\"expected string for {name}, found {{}}\", other.kind()))),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    };
+    out.parse().expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,151 @@
+//! `scan_bench` — pruned vs. unpruned knowledge-base scan (the fig9-style
+//! experiment for the workload pruning index).
+//!
+//! The workload is half paper-shaped QEPs (which the built-in patterns can
+//! fire on) and half prunable aggregation chains (which no pattern can
+//! match, decidable from the feature summary alone). Both scans must
+//! produce byte-identical reports; the JSON written to `BENCH_scan.json`
+//! records the timings, the pruning counters, and the speedup.
+//!
+//! ```text
+//! scan_bench [--quick] [--out FILE.json]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use optimatch_bench::{paper_workload, prunable_plan, transform_all};
+use optimatch_core::{builtin, KnowledgeBase, ScanOptions, ScanOutcome, TransformedQep};
+use serde_json::Value;
+
+/// Best-of-`reps` scan wall time (and the last outcome, for the
+/// equivalence check and the counters).
+fn time_scan(
+    kb: &KnowledgeBase,
+    workload: &[TransformedQep],
+    options: ScanOptions,
+    reps: usize,
+) -> (Duration, ScanOutcome) {
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let outcome = kb
+            .scan_workload_with(workload, options)
+            .expect("benchmark scans are valid");
+        best = best.min(start.elapsed());
+        last = Some(outcome);
+    }
+    (best, last.expect("at least one rep"))
+}
+
+fn json_f64(x: f64) -> Value {
+    Value::Number(serde_json::Number::Float(x))
+}
+
+fn json_usize(x: usize) -> Value {
+    Value::Number(serde_json::Number::Int(x as i64))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_scan.json");
+
+    let half = if quick { 30 } else { 200 };
+    let paper = paper_workload(half);
+    let mut qeps = paper.qeps;
+    let prunable = half;
+    for i in 0..prunable {
+        qeps.push(prunable_plan(i, 30 + i % 60));
+    }
+    let (workload, transform_time) = transform_all(&optimatch_workload::Workload {
+        qeps,
+        truth: Default::default(),
+    });
+    let kb = builtin::paper_kb();
+    let reps = if quick { 2 } else { 3 };
+
+    println!("# pruned vs. unpruned KB scan");
+    println!(
+        "workload: {} QEPs ({} paper-shaped + {} prunable fillers), KB: {} entries",
+        workload.len(),
+        half,
+        prunable,
+        kb.len()
+    );
+    println!("transform: {transform_time:?}");
+
+    let (unpruned_time, unpruned) =
+        time_scan(&kb, &workload, ScanOptions::default().prune(false), reps);
+    let (pruned_time, pruned) = time_scan(&kb, &workload, ScanOptions::default(), reps);
+
+    assert_eq!(
+        unpruned.reports, pruned.reports,
+        "pruning must not change any report"
+    );
+    assert_eq!(unpruned.stats.pruned, 0);
+    assert!(
+        pruned.stats.pruned >= prunable * kb.len(),
+        "every (filler, entry) pair must be pruned: {:?}",
+        pruned.stats
+    );
+
+    let speedup = unpruned_time.as_secs_f64() / pruned_time.as_secs_f64();
+    println!(
+        "unpruned: {unpruned_time:?}  ({:.1} QEPs/s)",
+        workload.len() as f64 / unpruned_time.as_secs_f64()
+    );
+    println!(
+        "pruned:   {pruned_time:?}  ({:.1} QEPs/s)",
+        workload.len() as f64 / pruned_time.as_secs_f64()
+    );
+    println!(
+        "pruned {} of {} matcher runs ({:.0}%), speedup {speedup:.2}x",
+        pruned.stats.pruned,
+        pruned.stats.candidates,
+        pruned.stats.prune_rate() * 100.0
+    );
+
+    let stats = &pruned.stats;
+    let json = Value::Object(vec![
+        ("qeps".to_string(), json_usize(workload.len())),
+        ("prunable_qeps".to_string(), json_usize(prunable)),
+        ("kb_entries".to_string(), json_usize(kb.len())),
+        (
+            "unpruned_secs".to_string(),
+            json_f64(unpruned_time.as_secs_f64()),
+        ),
+        (
+            "pruned_secs".to_string(),
+            json_f64(pruned_time.as_secs_f64()),
+        ),
+        (
+            "unpruned_qeps_per_sec".to_string(),
+            json_f64(workload.len() as f64 / unpruned_time.as_secs_f64()),
+        ),
+        (
+            "pruned_qeps_per_sec".to_string(),
+            json_f64(workload.len() as f64 / pruned_time.as_secs_f64()),
+        ),
+        ("speedup".to_string(), json_f64(speedup)),
+        (
+            "stats".to_string(),
+            Value::Object(vec![
+                ("candidates".to_string(), json_usize(stats.candidates)),
+                ("pruned".to_string(), json_usize(stats.pruned)),
+                ("evaluated".to_string(), json_usize(stats.evaluated)),
+                ("matched".to_string(), json_usize(stats.matched)),
+                ("prune_rate".to_string(), json_f64(stats.prune_rate())),
+            ]),
+        ),
+    ]);
+    let mut text = serde_json::to_string_pretty(&json).expect("serializable");
+    text.push('\n');
+    std::fs::write(out_path, text).expect("writes the report");
+    println!("wrote {out_path}");
+}

@@ -48,6 +48,57 @@ pub fn time_kb_scan(kb: &KnowledgeBase, workload: &[TransformedQep]) -> Duration
     start.elapsed()
 }
 
+/// A plan no built-in KB pattern can match, but which is expensive to
+/// *prove* non-matching in the evaluator: a left-deep spine of `joins`
+/// INNER `NLJOIN`s over `TEMP` leaves. Every pattern is rejected by the
+/// feature index from the summary alone (no `TBSCAN`, no `IXSCAN`, no
+/// `SORT`, no `LEFT OUTER` join literal), while an unpruned scan must
+/// enumerate every join and walk its streams before failing. These plans
+/// measure what the pruning index actually saves.
+pub fn prunable_plan(id: usize, joins: usize) -> optimatch_qep::Qep {
+    use optimatch_qep::{InputSource, InputStream, OpType, PlanOp, Qep, StreamKind};
+    let joins = joins.max(1) as u32;
+    let stream = |kind, id, rows| InputStream {
+        kind,
+        source: InputSource::Op(id),
+        estimated_rows: rows,
+    };
+    let mut q = Qep::new(format!("filler{id}"));
+    let mut ret = PlanOp::new(1, OpType::Return);
+    ret.cardinality = 100.0;
+    ret.total_cost = 100.0 * joins as f64;
+    ret.io_cost = 10.0 * joins as f64;
+    ret.inputs.push(stream(StreamKind::Generic, 2, 100.0));
+    q.insert_op(ret);
+    // Joins 2..joins+1; join k has outer = join k+1 (or a leaf) and its
+    // own TEMP leaf as the inner side.
+    let leaf_base = joins + 2;
+    for k in 0..joins {
+        let op_id = 2 + k;
+        let mut join = PlanOp::new(op_id, OpType::NlJoin);
+        join.cardinality = 100.0 + k as f64;
+        join.total_cost = 100.0 * (joins - k) as f64;
+        join.io_cost = join.total_cost / 10.0;
+        let outer = if k + 1 < joins {
+            op_id + 1
+        } else {
+            leaf_base + joins
+        };
+        join.inputs.push(stream(StreamKind::Outer, outer, 500.0));
+        join.inputs
+            .push(stream(StreamKind::Inner, leaf_base + k, 50.0));
+        q.insert_op(join);
+    }
+    for k in 0..=joins {
+        let mut leaf = PlanOp::new(leaf_base + k, OpType::Temp);
+        leaf.cardinality = 50.0;
+        leaf.total_cost = 20.0;
+        leaf.io_cost = 2.0;
+        q.insert_op(leaf);
+    }
+    q
+}
+
 /// Least-squares linear fit returning (slope, intercept, r²) — used to
 /// verify the paper's linear-scaling claims.
 pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {

@@ -10,7 +10,7 @@
 //! optimatch tree   FILE.qep
 //! optimatch rdf    FILE.qep [--format turtle|ntriples]
 //! optimatch search DIR (--builtin NAME | --pattern FILE.json)
-//! optimatch scan   DIR [--kb FILE.json] [--threads N]
+//! optimatch scan   DIR [--kb FILE.json] [--threads N] [--no-prune]
 //! optimatch sparql FILE.qep QUERY.rq
 //! optimatch kb-init FILE.json
 //! ```
@@ -18,7 +18,7 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use optimatch_core::{builtin, KnowledgeBase, OptImatch, Pattern};
+use optimatch_core::{builtin, KnowledgeBase, OptImatch, Pattern, ScanOptions, SkippedFile};
 use optimatch_qep::{parse_qep, render_tree, workload_stats};
 use optimatch_rdf::turtle::{to_turtle, PrefixMap};
 use optimatch_workload::{
@@ -59,7 +59,7 @@ pub struct Args {
 }
 
 /// Options that never take a value.
-const BOOL_FLAGS: &[&str] = &["study"];
+const BOOL_FLAGS: &[&str] = &["study", "no-prune"];
 
 impl Args {
     /// Parse raw arguments (without the program and subcommand names).
@@ -98,6 +98,17 @@ impl Args {
     /// True when `--key` appeared (with or without a value).
     pub fn flag(&self, key: &str) -> bool {
         self.options.iter().any(|(k, _)| k == key)
+    }
+
+    /// Error on any option not in `known` — catches typos like
+    /// `--no-prunee` that would otherwise be silently ignored.
+    fn expect_options(&self, known: &[&str]) -> Result<(), CliError> {
+        for (k, _) in &self.options {
+            if !known.iter().any(|n| n == k) {
+                return Err(CliError(format!("unknown option --{k}")));
+            }
+        }
+        Ok(())
     }
 
     fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
@@ -142,7 +153,8 @@ pub fn usage() -> String {
      \x20 optimatch tree   FILE.qep                                 render the plan tree\n\
      \x20 optimatch rdf    FILE.qep [--format turtle|ntriples]      dump the RDF transform\n\
      \x20 optimatch search DIR (--builtin NAME | --pattern F.json)  find a problem pattern\n\
-     \x20 optimatch scan   DIR [--kb F.json] [--threads N] [--format json]  knowledge-base scan\n\
+     \x20 optimatch scan   DIR [--kb F.json] [--threads N] [--no-prune] [--format json]\n\
+     \x20                                                            knowledge-base scan\n\
      \x20 optimatch cluster DIR [--k N]                             cost clusters x patterns\n\
      \x20 optimatch diff   BEFORE.qep AFTER.qep                     plan regression report\n\
      \x20 optimatch sparql FILE.qep QUERY.rq                        ad-hoc SPARQL over a plan\n\
@@ -154,6 +166,7 @@ pub fn usage() -> String {
 }
 
 fn cmd_gen(args: &Args) -> Result<String, CliError> {
+    args.expect_options(&["out", "n", "seed", "study"])?;
     let out = args
         .option("out")
         .map(PathBuf::from)
@@ -199,12 +212,40 @@ fn load_plans_from(path: &Path) -> Result<Vec<optimatch_qep::Qep>, CliError> {
     }
 }
 
+/// Build a session from the first positional argument. Directories load
+/// leniently: unparseable plan files are returned as warnings instead of
+/// aborting, so one corrupt file cannot block a whole-workload analysis.
+fn load_session(args: &Args) -> Result<(OptImatch, Vec<SkippedFile>), CliError> {
+    let path = args
+        .positional
+        .first()
+        .map(PathBuf::from)
+        .ok_or_else(|| CliError("expected a plan file or directory".into()))?;
+    if path.is_dir() {
+        let load = OptImatch::from_dir_lenient(&path).map_err(|e| CliError(e.to_string()))?;
+        Ok((load.session, load.skipped))
+    } else {
+        Ok((OptImatch::from_qeps(load_plans_from(&path)?), Vec::new()))
+    }
+}
+
+/// One `warning:` line per skipped file, for the top of a report.
+fn warning_lines(skipped: &[SkippedFile]) -> String {
+    let mut out = String::new();
+    for s in skipped {
+        let _ = writeln!(out, "warning: skipped {s}");
+    }
+    out
+}
+
 fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    args.expect_options(&[])?;
     let plans = load_plans(args)?;
     Ok(format!("{}\n", workload_stats(plans.iter())))
 }
 
 fn cmd_tree(args: &Args) -> Result<String, CliError> {
+    args.expect_options(&[])?;
     let plans = load_plans(args)?;
     let mut out = String::new();
     for qep in &plans {
@@ -216,6 +257,7 @@ fn cmd_tree(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_rdf(args: &Args) -> Result<String, CliError> {
+    args.expect_options(&["format"])?;
     let plans = load_plans(args)?;
     let format = args.option("format").unwrap_or("turtle");
     let mut out = String::new();
@@ -251,13 +293,13 @@ fn resolve_pattern(args: &Args) -> Result<Pattern, CliError> {
 }
 
 fn cmd_search(args: &Args) -> Result<String, CliError> {
-    let plans = load_plans(args)?;
+    args.expect_options(&["builtin", "pattern"])?;
+    let (session, skipped) = load_session(args)?;
     let pattern = resolve_pattern(args)?;
-    let mut session = OptImatch::from_qeps(plans);
     let matches = session
         .search(&pattern)
         .map_err(|e| CliError(e.to_string()))?;
-    let mut out = String::new();
+    let mut out = warning_lines(&skipped);
     let _ = writeln!(
         out,
         "pattern {:?}: {} occurrence(s) in {} QEP(s)  [{:?}]",
@@ -281,7 +323,8 @@ fn cmd_search(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_scan(args: &Args) -> Result<String, CliError> {
-    let plans = load_plans(args)?;
+    args.expect_options(&["kb", "threads", "no-prune", "format"])?;
+    let (session, skipped) = load_session(args)?;
     let kb = match args.option("kb") {
         Some(file) => {
             KnowledgeBase::load(Path::new(file)).map_err(|e| CliError(format!("{file}: {e}")))?
@@ -289,13 +332,13 @@ fn cmd_scan(args: &Args) -> Result<String, CliError> {
         None => builtin::paper_kb(),
     };
     let threads: usize = args.parse_num("threads", 1)?;
-    let mut session = OptImatch::from_qeps(plans);
-    let reports = if threads > 1 {
-        session.scan_parallel(&kb, threads)
-    } else {
-        session.scan(&kb)
-    }
-    .map_err(|e| CliError(e.to_string()))?;
+    let options = ScanOptions::default()
+        .threads(threads)
+        .prune(!args.flag("no-prune"));
+    let outcome = session
+        .scan_with(&kb, options)
+        .map_err(|e| CliError(e.to_string()))?;
+    let reports = outcome.reports;
 
     if args.option("format") == Some("json") {
         return serde_json::to_string_pretty(&reports)
@@ -306,7 +349,7 @@ fn cmd_scan(args: &Args) -> Result<String, CliError> {
             .map_err(|e| CliError(e.to_string()));
     }
 
-    let mut out = String::new();
+    let mut out = warning_lines(&skipped);
     let flagged = reports
         .iter()
         .filter(|r| !r.recommendations.is_empty())
@@ -319,6 +362,16 @@ fn cmd_scan(args: &Args) -> Result<String, CliError> {
         flagged,
         session.timings().matching,
     );
+    let stats = outcome.stats;
+    let _ = writeln!(
+        out,
+        "pruning: {} of {} matcher runs skipped ({:.0}%), {} evaluated, {} matched",
+        stats.pruned,
+        stats.candidates,
+        stats.prune_rate() * 100.0,
+        stats.evaluated,
+        stats.matched,
+    );
     for report in &reports {
         if report.recommendations.is_empty() {
             continue;
@@ -330,6 +383,7 @@ fn cmd_scan(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_cluster(args: &Args) -> Result<String, CliError> {
+    args.expect_options(&["k", "kb"])?;
     use optimatch_core::cluster::{cluster_workload, correlate_patterns};
     use optimatch_core::transform::TransformedQep;
     let plans = load_plans(args)?;
@@ -371,6 +425,7 @@ fn cmd_cluster(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_diff(args: &Args) -> Result<String, CliError> {
+    args.expect_options(&[])?;
     let [before_path, after_path] = args.positional.as_slice() else {
         return err("diff: expected BEFORE.qep AFTER.qep");
     };
@@ -387,6 +442,7 @@ fn cmd_diff(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_sparql(args: &Args) -> Result<String, CliError> {
+    args.expect_options(&[])?;
     let [plan_path, query_path] = args.positional.as_slice() else {
         return err("sparql: expected FILE.qep QUERY.rq");
     };
@@ -405,6 +461,7 @@ fn cmd_sparql(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_kb_init(args: &Args) -> Result<String, CliError> {
+    args.expect_options(&[])?;
     let file = args
         .positional
         .first()
@@ -447,6 +504,16 @@ mod tests {
     }
 
     #[test]
+    fn unknown_options_are_rejected_not_ignored() {
+        let argv: Vec<String> = ["scan", "somewhere", "--no-prunee"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&argv).expect_err("typo'd flag must not be silently ignored");
+        assert!(err.0.contains("unknown option --no-prunee"), "{}", err.0);
+    }
+
+    #[test]
     fn gen_stats_tree_search_scan_pipeline() {
         let dir = temp_dir("pipeline");
         let out_dir = dir.join("wl");
@@ -474,6 +541,19 @@ mod tests {
 
         let scan = run_ok(&["scan", out_dir.to_str().unwrap(), "--threads", "2"]);
         assert!(scan.contains("scanned 8 QEP(s) against 4 KB entr(ies)"));
+        assert!(scan.contains("pruning:"), "{scan}");
+
+        // Reports are identical with pruning disabled; only the counter
+        // line changes (an unpruned scan skips nothing).
+        let unpruned = run_ok(&["scan", out_dir.to_str().unwrap(), "--no-prune"]);
+        assert!(unpruned.contains("pruning: 0 of"), "{unpruned}");
+        let body = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("pruning:") && !l.starts_with("scanned"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(body(&scan), body(&unpruned));
 
         // tree over a single file.
         let a_file = std::fs::read_dir(&out_dir)
@@ -569,6 +649,37 @@ mod tests {
         assert_eq!(reports.len(), 6);
         assert!(reports[0].get("qep_id").is_some());
         assert!(reports[0].get("recommendations").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_plan_files_warn_instead_of_aborting() {
+        let dir = temp_dir("lenient");
+        let out_dir = dir.join("wl");
+        std::fs::create_dir_all(&out_dir).unwrap();
+        std::fs::write(
+            out_dir.join("good.qep"),
+            optimatch_qep::format_qep(&optimatch_qep::fixtures::fig1()),
+        )
+        .unwrap();
+        std::fs::write(
+            out_dir.join("bad.qep"),
+            "Plan Details:\n1) FROBNICATE: (Not An Operator)\n",
+        )
+        .unwrap();
+
+        let scan = run_ok(&["scan", out_dir.to_str().unwrap()]);
+        assert!(scan.contains("warning: skipped"), "{scan}");
+        assert!(scan.contains("bad.qep"), "{scan}");
+        assert!(scan.contains("scanned 1 QEP(s)"), "{scan}");
+
+        let search = run_ok(&[
+            "search",
+            out_dir.to_str().unwrap(),
+            "--builtin",
+            "pattern-a-nljoin-tbscan",
+        ]);
+        assert!(search.contains("warning: skipped"), "{search}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -12,8 +12,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::error::Error;
 use crate::kb::KnowledgeBase;
-use crate::matcher::MatchError;
 use crate::transform::TransformedQep;
 
 /// Feature vector for one plan.
@@ -231,7 +231,7 @@ pub fn correlate_patterns(
     clustering: &WorkloadClustering,
     kb: &KnowledgeBase,
     workload: &[TransformedQep],
-) -> Result<Vec<ClusterPatternStat>, MatchError> {
+) -> Result<Vec<ClusterPatternStat>, Error> {
     assert_eq!(clustering.assignments.len(), workload.len());
     let reports = kb.scan_workload(workload)?;
 

@@ -1,0 +1,101 @@
+//! The unified `optimatch-core` error type.
+//!
+//! Loading, compiling, and matching used to surface two unrelated enums
+//! (`session::LoadError` and `matcher::MatchError`); they are now variants
+//! of one [`Error`] with proper [`std::error::Error::source`] chains, so
+//! callers can report the whole cause chain uniformly. The old names
+//! remain as deprecated aliases.
+
+use crate::compile::CompileError;
+use optimatch_qep::QepParseError;
+use optimatch_sparql::SparqlError;
+
+/// Any failure loading a workload, compiling a pattern, or matching.
+#[derive(Debug)]
+pub enum Error {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A file failed to parse as a QEP.
+    Parse {
+        /// The offending file.
+        file: String,
+        /// The parse error.
+        error: QepParseError,
+    },
+    /// A pattern failed to compile to SPARQL.
+    Compile(CompileError),
+    /// The generated SPARQL failed to parse or evaluate (a bug if it ever
+    /// happens — generated queries are tested to parse).
+    Sparql(SparqlError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Parse { file, error } => write!(f, "{file}: {error}"),
+            Error::Compile(e) => write!(f, "pattern compilation failed: {e}"),
+            Error::Sparql(e) => write!(f, "SPARQL error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Parse { error, .. } => Some(error),
+            Error::Compile(e) => Some(e),
+            Error::Sparql(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+impl From<CompileError> for Error {
+    fn from(e: CompileError) -> Error {
+        Error::Compile(e)
+    }
+}
+
+impl From<SparqlError> for Error {
+    fn from(e: SparqlError) -> Error {
+        Error::Sparql(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn source_chains_are_preserved() {
+        let e = Error::from(CompileError::UnknownType("WHATEVER".into()));
+        assert!(e.to_string().contains("WHATEVER"));
+        let source = e.source().expect("has a source");
+        assert!(source.to_string().contains("WHATEVER"));
+
+        let io = Error::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.source().is_some());
+        assert!(io.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn deprecated_aliases_still_name_the_variants() {
+        #[allow(deprecated)]
+        fn as_match_error(e: crate::matcher::MatchError) -> String {
+            match e {
+                crate::matcher::MatchError::Compile(c) => c.to_string(),
+                other => other.to_string(),
+            }
+        }
+        let text = as_match_error(Error::Compile(CompileError::UnknownType("X".into())));
+        assert!(text.contains('X'));
+    }
+}

@@ -1,0 +1,322 @@
+//! The workload pruning index: per-graph feature summaries vs. per-query
+//! required features.
+//!
+//! Scanning a workload (Algorithm 4) evaluates every compiled SPARQL query
+//! against every QEP graph; property-path evaluation dominates the cost.
+//! Most (graph, pattern) pairs cannot match at all — a pattern looking for
+//! a SORT cannot match a plan with no SORT — and that is decidable from a
+//! cheap summary without touching the evaluator.
+//!
+//! [`FeatureSummary`] is computed once per [`TransformedQep`] at transform
+//! time. [`RequiredFeatures`] is derived once per matcher at compile time
+//! from the compiled query's *required* triple patterns (anything behind
+//! `OPTIONAL`, `UNION`, `FILTER`, or a property-path branch that is not
+//! guaranteed to be traversed is excluded, so the set is conservative:
+//! a pruned graph provably has no solutions).
+//!
+//! [`TransformedQep`]: crate::transform::TransformedQep
+
+use std::collections::BTreeSet;
+
+use optimatch_qep::Qep;
+use optimatch_rdf::{Graph, Term};
+use optimatch_sparql::ast::{NodePattern, Query};
+
+use crate::vocab::{self, names};
+
+/// Cheap per-graph facts a matcher can prune on. Computed once at
+/// transform time; O(graph) to build, O(log n) per probe.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FeatureSummary {
+    /// Every predicate IRI asserted in the graph.
+    pub predicates: BTreeSet<String>,
+    /// Every `hasPopType` object value (operator mnemonics like `"SORT"`).
+    pub op_types: BTreeSet<String>,
+    /// Number of operators in the plan.
+    pub op_count: usize,
+    /// Largest number of input streams on any single operator.
+    pub max_fan_in: usize,
+}
+
+impl FeatureSummary {
+    /// Summarise a transformed plan.
+    pub fn of_graph(qep: &Qep, graph: &Graph) -> FeatureSummary {
+        let mut predicates = BTreeSet::new();
+        for id in graph.distinct_predicates() {
+            if let Some(iri) = graph.term(id).as_iri() {
+                predicates.insert(iri.to_string());
+            }
+        }
+        let mut op_types = BTreeSet::new();
+        let pop_type = vocab::pred(names::HAS_POP_TYPE);
+        for (_, _, o) in graph.triples_matching(None, Some(&pop_type), None) {
+            if let Some(lit) = o.as_literal() {
+                op_types.insert(lit.lexical().to_string());
+            }
+        }
+        FeatureSummary {
+            predicates,
+            op_types,
+            op_count: qep.op_count(),
+            max_fan_in: qep
+                .ops
+                .values()
+                .map(|op| op.inputs.len())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Features a graph **must** exhibit for a compiled query to have any
+/// solutions. Derived from the query's required triple patterns; every
+/// field is conservative — when in doubt, a feature is *not* required.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequiredFeatures {
+    /// Predicate IRIs every solution must traverse.
+    pub predicates: BTreeSet<String>,
+    /// `hasPopType` literals the graph must contain.
+    pub op_types: BTreeSet<String>,
+    /// Exact (predicate IRI, literal lexical form) pairs the graph must
+    /// assert (e.g. `hasJoinType "LEFT OUTER"`) — these need a graph
+    /// probe, not just the summary.
+    pub literal_objects: Vec<(String, Term)>,
+    /// Minimum number of operators any matching plan must have.
+    pub min_ops: usize,
+    /// The query requires at least one stream edge (set when a required
+    /// path traverses only stream predicates, e.g. the any-kind
+    /// alternation `(a|b|c)` which yields no single required predicate).
+    pub needs_stream_edge: bool,
+}
+
+/// True when the IRI is one of the three input-stream predicates or the
+/// output-stream back edge — the edges that exist iff some operator has
+/// an input.
+fn is_stream_iri(iri: &str) -> bool {
+    vocab::STREAM_PREDICATES
+        .iter()
+        .any(|p| iri == vocab::pred_iri(p))
+        || iri == vocab::pred_iri(names::HAS_OUTPUT_STREAM)
+}
+
+impl RequiredFeatures {
+    /// Derive the required features of a parsed query.
+    pub fn of_query(query: &Query) -> RequiredFeatures {
+        let mut out = RequiredFeatures::default();
+        let pop_type_iri = vocab::pred_iri(names::HAS_POP_TYPE);
+        let mut op_typed = false;
+        for triple in query.where_clause.required_triples() {
+            triple.path.required_iris(&mut out.predicates);
+            // A required path that mentions only stream predicates (the
+            // any-kind alternation case) still forces a stream edge even
+            // though no single predicate is required.
+            if !triple.path.can_match_empty() {
+                let mut all = BTreeSet::new();
+                triple.path.all_iris(&mut all);
+                if !all.is_empty() && all.iter().all(|i| is_stream_iri(i)) {
+                    out.needs_stream_edge = true;
+                }
+            }
+            // Concrete literal objects behind a plain predicate are exact
+            // requirements on the graph.
+            if let (Some(iri), NodePattern::Term(term)) =
+                (triple.path.as_plain_iri(), &triple.object)
+            {
+                if iri == pop_type_iri {
+                    op_typed = true;
+                    if let Some(lit) = term.as_literal() {
+                        out.op_types.insert(lit.lexical().to_string());
+                    }
+                } else if term.as_literal().is_some() {
+                    out.literal_objects.push((iri.to_string(), term.clone()));
+                }
+            } else if triple.path.as_plain_iri() == Some(pop_type_iri.as_str()) {
+                op_typed = true;
+            }
+        }
+        // Distinct required operator types imply distinct operators (each
+        // operator has exactly one hasPopType value); any op-typed triple
+        // at all implies at least one operator.
+        out.min_ops = out.op_types.len().max(usize::from(op_typed));
+        out
+    }
+
+    /// True when the graph could possibly satisfy this requirement set.
+    /// `false` is a proof of non-matching; `true` just means "evaluate".
+    pub fn satisfied_by(&self, summary: &FeatureSummary, graph: &Graph) -> bool {
+        summary.op_count >= self.min_ops
+            && (!self.needs_stream_edge || summary.max_fan_in >= 1)
+            && self.op_types.is_subset(&summary.op_types)
+            && self.predicates.is_subset(&summary.predicates)
+            && self
+                .literal_objects
+                .iter()
+                .all(|(p, o)| graph.has_predicate_object(&Term::iri(p.clone()), o))
+    }
+
+    /// True when this requirement set can never prune anything.
+    pub fn is_trivial(&self) -> bool {
+        self.predicates.is_empty()
+            && self.op_types.is_empty()
+            && self.literal_objects.is_empty()
+            && self.min_ops == 0
+            && !self.needs_stream_edge
+    }
+}
+
+/// Counters proving what pruning did during a scan. `pruned` graphs were
+/// skipped without invoking the SPARQL evaluator; soundness is asserted by
+/// the equivalence tests (pruned results == unpruned results).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// (graph, matcher) pairs considered.
+    pub candidates: usize,
+    /// Pairs skipped by the feature index.
+    pub pruned: usize,
+    /// Pairs handed to the SPARQL evaluator.
+    pub evaluated: usize,
+    /// Evaluated pairs that produced at least one match.
+    pub matched: usize,
+}
+
+impl PruneStats {
+    /// Fold another counter set into this one (used when merging
+    /// per-thread stats).
+    pub fn merge(&mut self, other: &PruneStats) {
+        self.candidates += other.candidates;
+        self.pruned += other.pruned;
+        self.evaluated += other.evaluated;
+        self.matched += other.matched;
+    }
+
+    /// Fraction of candidate pairs pruned, in `[0, 1]`.
+    pub fn prune_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.candidates as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::TransformedQep;
+    use optimatch_qep::fixtures;
+
+    #[test]
+    fn summary_captures_graph_features() {
+        let t = TransformedQep::new(fixtures::fig1());
+        let s = &t.summary;
+        assert!(s.predicates.contains(&vocab::pred_iri(names::HAS_POP_TYPE)));
+        assert!(s
+            .predicates
+            .contains(&vocab::pred_iri(names::HAS_INNER_INPUT_STREAM)));
+        assert!(s.op_types.contains("NLJOIN"));
+        assert!(s.op_types.contains("TBSCAN"));
+        assert!(!s.op_types.contains("SORT"));
+        assert_eq!(s.op_count, t.qep.op_count());
+        assert!(s.max_fan_in >= 2, "NLJOIN has two inputs");
+    }
+
+    #[test]
+    fn required_features_from_compiled_pattern() {
+        let pattern = crate::builtin::pattern_a().pattern;
+        let sparql = crate::compile::compile_pattern(&pattern).unwrap();
+        let query = optimatch_sparql::parse_query(&sparql).unwrap();
+        let req = RequiredFeatures::of_query(&query);
+        assert!(req.op_types.contains("NLJOIN"));
+        assert!(req.op_types.contains("TBSCAN"));
+        assert!(req.min_ops >= 2);
+        assert!(!req.is_trivial());
+    }
+
+    /// A three-operator plan with a SORT: RETURN <- SORT <- TBSCAN.
+    fn sort_plan() -> optimatch_qep::Qep {
+        use optimatch_qep::{InputSource, InputStream, OpType, PlanOp, Qep, StreamKind};
+        let stream = |id: u32| InputStream {
+            kind: StreamKind::Generic,
+            source: InputSource::Op(id),
+            estimated_rows: 100.0,
+        };
+        let mut q = Qep::new("sorted");
+        let mut ret = PlanOp::new(1, OpType::Return);
+        ret.io_cost = 50.0;
+        ret.inputs.push(stream(2));
+        let mut sort = PlanOp::new(2, OpType::Sort);
+        sort.io_cost = 40.0;
+        sort.inputs.push(stream(3));
+        let mut scan = PlanOp::new(3, OpType::TbScan);
+        scan.io_cost = 10.0;
+        scan.inputs.push(InputStream {
+            kind: StreamKind::Generic,
+            source: InputSource::Object("BIGD.T".to_string()),
+            estimated_rows: 100.0,
+        });
+        q.insert_op(ret);
+        q.insert_op(sort);
+        q.insert_op(scan);
+        q
+    }
+
+    #[test]
+    fn satisfied_by_is_conservative() {
+        let fig1 = TransformedQep::new(fixtures::fig1());
+        let sorted = TransformedQep::new(sort_plan());
+
+        let pattern = crate::builtin::pattern_d().pattern; // requires a SORT
+        let sparql = crate::compile::compile_pattern(&pattern).unwrap();
+        let query = optimatch_sparql::parse_query(&sparql).unwrap();
+        let req = RequiredFeatures::of_query(&query);
+        assert!(req.op_types.contains("SORT"));
+        // fig1 has no SORT: prunable. The sorted plan has one: must be
+        // evaluated, whether or not the full pattern ultimately fires.
+        assert!(!req.satisfied_by(&fig1.summary, &fig1.graph));
+        assert!(req.satisfied_by(&sorted.summary, &sorted.graph));
+    }
+
+    #[test]
+    fn literal_object_requirements_probe_the_graph() {
+        // Pattern B requires hasJoinType "LEFT OUTER"; fig1 is all-INNER,
+        // so the (predicate, literal) probe prunes it even though every
+        // plan asserts the hasJoinType predicate itself.
+        let pattern = crate::builtin::pattern_b().pattern;
+        let sparql = crate::compile::compile_pattern(&pattern).unwrap();
+        let query = optimatch_sparql::parse_query(&sparql).unwrap();
+        let req = RequiredFeatures::of_query(&query);
+        assert!(req
+            .literal_objects
+            .iter()
+            .any(|(p, o)| p == &vocab::pred_iri(names::HAS_JOIN_TYPE)
+                && o == &Term::lit_str("LEFT OUTER")));
+
+        let fig1 = TransformedQep::new(fixtures::fig1());
+        let fig7 = TransformedQep::new(fixtures::fig7());
+        assert!(!req.satisfied_by(&fig1.summary, &fig1.graph));
+        assert!(req.satisfied_by(&fig7.summary, &fig7.graph));
+    }
+
+    #[test]
+    fn stats_merge_and_rate() {
+        let mut a = PruneStats {
+            candidates: 4,
+            pruned: 1,
+            evaluated: 3,
+            matched: 2,
+        };
+        let b = PruneStats {
+            candidates: 6,
+            pruned: 4,
+            evaluated: 2,
+            matched: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.candidates, 10);
+        assert_eq!(a.pruned, 5);
+        assert_eq!(a.evaluated, 5);
+        assert_eq!(a.matched, 2);
+        assert!((a.prune_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(PruneStats::default().prune_rate(), 0.0);
+    }
+}

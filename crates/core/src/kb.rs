@@ -7,9 +7,13 @@
 //! stores its compiled SPARQL — the paper keeps both the executable query
 //! and the RDF/JSON description of the pattern.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
-use crate::matcher::{MatchError, Matcher, PatternMatch};
+use crate::error::Error;
+use crate::features::PruneStats;
+use crate::matcher::{Matcher, MatcherCache, PatternMatch};
 use crate::pattern::Pattern;
 use crate::rank::{self, Prototype};
 use crate::tagging::{Template, TemplateError};
@@ -75,7 +79,7 @@ impl QepReport {
 #[derive(Debug)]
 pub enum KbError {
     /// The entry's pattern does not compile.
-    Pattern(MatchError),
+    Pattern(Error),
     /// The entry's recommendation template does not parse.
     Template(TemplateError),
     /// An entry with this name already exists.
@@ -98,11 +102,71 @@ impl std::fmt::Display for KbError {
     }
 }
 
-impl std::error::Error for KbError {}
+impl std::error::Error for KbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KbError::Pattern(e) => Some(e),
+            KbError::Template(e) => Some(e),
+            KbError::Duplicate(_) => None,
+            KbError::Io(e) => Some(e),
+            KbError::Json(e) => Some(e),
+        }
+    }
+}
 
-/// A compiled entry: pattern matcher + parsed template.
+/// How a workload scan should run. Builder-style and `Copy`, so call
+/// sites read as `ScanOptions::default().threads(8).prune(false)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanOptions {
+    /// Worker threads (1 = sequential; values are clamped to ≥ 1).
+    pub threads: usize,
+    /// Whether the feature index may skip graphs (results are identical
+    /// either way; turning it off exists for benchmarks and debugging).
+    pub prune: bool,
+}
+
+impl Default for ScanOptions {
+    fn default() -> ScanOptions {
+        ScanOptions {
+            threads: 1,
+            prune: true,
+        }
+    }
+}
+
+impl ScanOptions {
+    /// The defaults: sequential, pruning on.
+    pub fn new() -> ScanOptions {
+        ScanOptions::default()
+    }
+
+    /// Set the worker-thread count.
+    pub fn threads(mut self, threads: usize) -> ScanOptions {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enable or disable feature-index pruning.
+    pub fn prune(mut self, prune: bool) -> ScanOptions {
+        self.prune = prune;
+        self
+    }
+}
+
+/// A workload scan's reports plus the pruning counters that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanOutcome {
+    /// One report per workload QEP, in workload order.
+    pub reports: Vec<QepReport>,
+    /// What the feature index did across all (QEP, entry) pairs.
+    pub stats: PruneStats,
+}
+
+/// A compiled entry: pattern matcher + parsed template. The matcher is
+/// shared out of the [`MatcherCache`], so structurally identical patterns
+/// compile once.
 struct CompiledEntry {
-    matcher: Matcher,
+    matcher: Arc<Matcher>,
     template: Template,
 }
 
@@ -111,6 +175,7 @@ struct CompiledEntry {
 pub struct KnowledgeBase {
     entries: Vec<KnowledgeBaseEntry>,
     compiled: Vec<CompiledEntry>,
+    cache: MatcherCache,
 }
 
 impl std::fmt::Debug for KnowledgeBase {
@@ -149,11 +214,20 @@ impl KnowledgeBase {
         if self.entries.iter().any(|e| e.name == entry.name) {
             return Err(KbError::Duplicate(entry.name));
         }
-        let matcher = Matcher::compile(&entry.pattern).map_err(KbError::Pattern)?;
+        let matcher = self
+            .cache
+            .get_or_compile(&entry.pattern)
+            .map_err(KbError::Pattern)?;
         let template = Template::parse(&entry.recommendation).map_err(KbError::Template)?;
         self.entries.push(entry);
         self.compiled.push(CompiledEntry { matcher, template });
         Ok(())
+    }
+
+    /// The compiled-matcher cache (shared across entries; exposed for
+    /// ad-hoc searches and cache-effectiveness reporting).
+    pub fn matcher_cache(&self) -> &MatcherCache {
+        &self.cache
     }
 
     /// The compiled SPARQL of an entry, by name.
@@ -163,14 +237,33 @@ impl KnowledgeBase {
     }
 
     /// Algorithm 5: scan one QEP against every entry, returning ranked,
-    /// context-adapted recommendations.
-    pub fn scan_qep(&self, t: &TransformedQep) -> Result<QepReport, MatchError> {
+    /// context-adapted recommendations. Prunes via the feature index.
+    pub fn scan_qep(&self, t: &TransformedQep) -> Result<QepReport, Error> {
+        self.scan_qep_with(t, true, &mut PruneStats::default())
+    }
+
+    /// [`KnowledgeBase::scan_qep`] with explicit pruning control and
+    /// counters: entries whose required features the graph lacks are
+    /// skipped without invoking the SPARQL evaluator when `prune` is set.
+    pub fn scan_qep_with(
+        &self,
+        t: &TransformedQep,
+        prune: bool,
+        stats: &mut PruneStats,
+    ) -> Result<QepReport, Error> {
         let mut recommendations = Vec::new();
         for (entry, compiled) in self.entries.iter().zip(&self.compiled) {
+            stats.candidates += 1;
+            if prune && !compiled.matcher.could_match(t) {
+                stats.pruned += 1;
+                continue;
+            }
+            stats.evaluated += 1;
             let matches: Vec<PatternMatch> = compiled.matcher.find(t)?;
             if matches.is_empty() {
                 continue;
             }
+            stats.matched += 1;
             let text = compiled.template.render(&matches, &t.qep);
             let confidence = best_confidence(entry, &matches, t);
             recommendations.push(Recommendation {
@@ -195,13 +288,62 @@ impl KnowledgeBase {
     /// confidences are additionally weighted by their workload-level
     /// correlation with cost impact (§2.3's statistical correlation
     /// analysis), then re-ranked within each report.
-    pub fn scan_workload(&self, workload: &[TransformedQep]) -> Result<Vec<QepReport>, MatchError> {
+    pub fn scan_workload(&self, workload: &[TransformedQep]) -> Result<Vec<QepReport>, Error> {
+        Ok(self
+            .scan_workload_with(workload, ScanOptions::default())?
+            .reports)
+    }
+
+    /// [`KnowledgeBase::scan_workload`] with explicit [`ScanOptions`]:
+    /// optionally fans the per-QEP loop out over threads (reports stay in
+    /// workload order and agree exactly with the sequential path), and
+    /// returns the pruning counters alongside the reports.
+    pub fn scan_workload_with(
+        &self,
+        workload: &[TransformedQep],
+        options: ScanOptions,
+    ) -> Result<ScanOutcome, Error> {
+        let threads = options.threads.clamp(1, workload.len().max(1));
+        let mut stats = PruneStats::default();
         let mut reports = Vec::with_capacity(workload.len());
-        for t in workload {
-            reports.push(self.scan_qep(t)?);
+        if threads <= 1 {
+            for t in workload {
+                reports.push(self.scan_qep_with(t, options.prune, &mut stats)?);
+            }
+        } else {
+            let chunk_size = workload.len().div_ceil(threads);
+            let chunk_results: Vec<Result<(Vec<QepReport>, PruneStats), Error>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = workload
+                        .chunks(chunk_size)
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                let mut local_stats = PruneStats::default();
+                                let mut local = Vec::with_capacity(chunk.len());
+                                for t in chunk {
+                                    local.push(self.scan_qep_with(
+                                        t,
+                                        options.prune,
+                                        &mut local_stats,
+                                    )?);
+                                }
+                                Ok((local, local_stats))
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("scan worker panicked"))
+                        .collect()
+                });
+            for chunk in chunk_results {
+                let (local, local_stats) = chunk?;
+                reports.extend(local);
+                stats.merge(&local_stats);
+            }
         }
         self.apply_workload_weighting(&mut reports, workload);
-        Ok(reports)
+        Ok(ScanOutcome { reports, stats })
     }
 
     /// The workload-level statistical weighting step of Algorithm 5,
@@ -400,6 +542,72 @@ mod tests {
         let a = kb.scan_qep(&w[0]).unwrap();
         let b = back.scan_qep(&w[0]).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pruned_scan_equals_unpruned_and_counts_skips() {
+        let kb = builtin::paper_kb();
+        let w = workload();
+        let pruned = kb.scan_workload_with(&w, ScanOptions::default()).unwrap();
+        let unpruned = kb
+            .scan_workload_with(&w, ScanOptions::default().prune(false))
+            .unwrap();
+        assert_eq!(pruned.reports, unpruned.reports);
+        assert_eq!(pruned.stats.candidates, w.len() * kb.len());
+        assert_eq!(unpruned.stats.pruned, 0);
+        assert_eq!(unpruned.stats.evaluated, w.len() * kb.len());
+        // Pattern D's SORT is absent from every fixture, so at least those
+        // (QEP, entry) pairs must have been skipped.
+        assert!(pruned.stats.pruned >= w.len(), "{:?}", pruned.stats);
+        assert_eq!(
+            pruned.stats.evaluated + pruned.stats.pruned,
+            pruned.stats.candidates
+        );
+    }
+
+    #[test]
+    fn threaded_scan_agrees_with_sequential() {
+        let kb = builtin::paper_kb();
+        let w: Vec<TransformedQep> = (0..3).flat_map(|_| workload()).collect();
+        let seq = kb.scan_workload_with(&w, ScanOptions::default()).unwrap();
+        let par = kb
+            .scan_workload_with(&w, ScanOptions::default().threads(4))
+            .unwrap();
+        assert_eq!(seq.reports, par.reports);
+        assert_eq!(seq.stats, par.stats);
+        // More threads than QEPs must also work. Compare against a
+        // sequential scan of the same slice — workload-level correlation
+        // weighting depends on the workload, so a sub-workload scan is
+        // not a slice of the full scan.
+        let wide = kb
+            .scan_workload_with(&w[..2], ScanOptions::default().threads(64))
+            .unwrap();
+        let narrow = kb
+            .scan_workload_with(&w[..2], ScanOptions::default())
+            .unwrap();
+        assert_eq!(wide.reports, narrow.reports);
+    }
+
+    #[test]
+    fn matcher_cache_spans_structurally_equal_entries() {
+        let mut kb = KnowledgeBase::new();
+        kb.add(builtin::pattern_a()).unwrap();
+        let mut renamed = builtin::pattern_a();
+        renamed.name = "a-again".into();
+        renamed.pattern.name = "a-again".into();
+        kb.add(renamed).unwrap();
+        assert_eq!(kb.len(), 2);
+        assert_eq!(kb.matcher_cache().len(), 1, "one compile for both");
+        assert_eq!(kb.matcher_cache().hits(), 1);
+        // Both entries still fire independently under their own names.
+        let w = workload();
+        let report = kb.scan_qep(&w[0]).unwrap();
+        let names: Vec<&str> = report
+            .recommendations
+            .iter()
+            .map(|r| r.entry.as_str())
+            .collect();
+        assert_eq!(names, vec!["pattern-a-nljoin-tbscan", "a-again"]);
     }
 
     #[test]

@@ -29,12 +29,18 @@
 //! 6. [`builtin`] — the paper's Patterns A–D with their recommendations.
 //! 7. [`cluster`] — cost-based workload clustering with per-cluster
 //!    pattern correlation (the fourth §1.1 use case).
-//! 8. [`session`] — the `OptImatch` facade tying it all together for
+//! 8. [`features`] — the workload pruning index: per-graph feature
+//!    summaries checked against per-matcher required features, so scans
+//!    skip graphs that provably cannot match without touching the SPARQL
+//!    evaluator.
+//! 9. [`session`] — the `OptImatch` facade tying it all together for
 //!    workload-scale analysis.
 
 pub mod builtin;
 pub mod cluster;
 pub mod compile;
+pub mod error;
+pub mod features;
 pub mod handlers;
 pub mod kb;
 pub mod matcher;
@@ -45,8 +51,10 @@ pub mod tagging;
 pub mod transform;
 pub mod vocab;
 
-pub use kb::{KnowledgeBase, KnowledgeBaseEntry, Recommendation};
-pub use matcher::{MatchBinding, Matcher, PatternMatch};
+pub use error::Error;
+pub use features::{FeatureSummary, PruneStats, RequiredFeatures};
+pub use kb::{KnowledgeBase, KnowledgeBaseEntry, Recommendation, ScanOptions, ScanOutcome};
+pub use matcher::{MatchBinding, Matcher, MatcherCache, PatternMatch};
 pub use pattern::{Pattern, PatternPop, PropertyCondition, Relationship, Sign, StreamSpec};
-pub use session::OptImatch;
+pub use session::{LenientLoad, OptImatch, SkippedFile, Timings};
 pub use transform::{transform_qep, TransformedQep};

@@ -7,46 +7,23 @@
 //! which is what the paper's step "relates any matched portions of RDF
 //! structure back to corresponding query plan" produces.
 
-use optimatch_rdf::Term;
-use optimatch_sparql::{ast, execute_parsed, parse_query, SparqlError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-use crate::compile::{compile_pattern, CompileError};
+use optimatch_rdf::Term;
+use optimatch_sparql::{ast, execute_parsed, parse_query};
+
+use crate::compile::compile_pattern;
+use crate::error::Error;
+use crate::features::{PruneStats, RequiredFeatures};
 use crate::pattern::Pattern;
 use crate::transform::TransformedQep;
 use crate::vocab;
 
-/// Errors surfaced by matching.
-#[derive(Debug)]
-pub enum MatchError {
-    /// The pattern failed to compile.
-    Compile(CompileError),
-    /// The generated SPARQL failed to parse or evaluate (a bug if it ever
-    /// happens — generated queries are tested to parse).
-    Sparql(SparqlError),
-}
-
-impl std::fmt::Display for MatchError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            MatchError::Compile(e) => write!(f, "{e}"),
-            MatchError::Sparql(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for MatchError {}
-
-impl From<CompileError> for MatchError {
-    fn from(e: CompileError) -> MatchError {
-        MatchError::Compile(e)
-    }
-}
-
-impl From<SparqlError> for MatchError {
-    fn from(e: SparqlError) -> MatchError {
-        MatchError::Sparql(e)
-    }
-}
+/// Former matcher error type, now folded into [`Error`].
+#[deprecated(note = "use optimatch_core::Error")]
+pub type MatchError = Error;
 
 /// What a result handler bound to, in plan terms.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,17 +100,21 @@ pub struct Matcher {
     pattern: Pattern,
     sparql: String,
     query: ast::Query,
+    required: RequiredFeatures,
 }
 
 impl Matcher {
-    /// Compile a pattern (Algorithm 2) and parse the generated SPARQL.
-    pub fn compile(pattern: &Pattern) -> Result<Matcher, MatchError> {
+    /// Compile a pattern (Algorithm 2), parse the generated SPARQL, and
+    /// derive the required-features set used for workload pruning.
+    pub fn compile(pattern: &Pattern) -> Result<Matcher, Error> {
         let sparql = compile_pattern(pattern)?;
         let query = parse_query(&sparql)?;
+        let required = RequiredFeatures::of_query(&query);
         Ok(Matcher {
             pattern: pattern.clone(),
             sparql,
             query,
+            required,
         })
     }
 
@@ -147,8 +128,19 @@ impl Matcher {
         &self.sparql
     }
 
+    /// The conservative feature set a graph must exhibit to match.
+    pub fn required_features(&self) -> &RequiredFeatures {
+        &self.required
+    }
+
+    /// Cheap pre-check: `false` proves [`Matcher::find`] would return no
+    /// matches for this QEP; `true` means the evaluator must decide.
+    pub fn could_match(&self, t: &TransformedQep) -> bool {
+        self.required.satisfied_by(&t.summary, &t.graph)
+    }
+
     /// Match against one transformed QEP, de-transforming solutions.
-    pub fn find(&self, t: &TransformedQep) -> Result<Vec<PatternMatch>, MatchError> {
+    pub fn find(&self, t: &TransformedQep) -> Result<Vec<PatternMatch>, Error> {
         let table = execute_parsed(&t.graph, &self.query)?;
         let mut out = Vec::with_capacity(table.len());
         for row in 0..table.len() {
@@ -171,28 +163,128 @@ impl Matcher {
     }
 
     /// Match across a workload, concatenating per-QEP matches
-    /// (the loop of Algorithm 3).
+    /// (the loop of Algorithm 3). Prunes via the feature index.
     pub fn find_in_workload(
         &self,
         workload: &[TransformedQep],
-    ) -> Result<Vec<PatternMatch>, MatchError> {
+    ) -> Result<Vec<PatternMatch>, Error> {
+        self.find_in_workload_with(workload, true, &mut PruneStats::default())
+    }
+
+    /// [`Matcher::find_in_workload`] with explicit pruning control and
+    /// counters: graphs missing a required feature are skipped without
+    /// touching the SPARQL evaluator when `prune` is set.
+    pub fn find_in_workload_with(
+        &self,
+        workload: &[TransformedQep],
+        prune: bool,
+        stats: &mut PruneStats,
+    ) -> Result<Vec<PatternMatch>, Error> {
         let mut out = Vec::new();
         for t in workload {
-            out.extend(self.find(t)?);
+            stats.candidates += 1;
+            if prune && !self.could_match(t) {
+                stats.pruned += 1;
+                continue;
+            }
+            stats.evaluated += 1;
+            let matches = self.find(t)?;
+            if !matches.is_empty() {
+                stats.matched += 1;
+            }
+            out.extend(matches);
         }
         Ok(out)
     }
 
     /// The QEP ids with at least one match — the granularity of the
     /// paper's workload experiments ("N QEP files match the pattern").
-    pub fn matching_qep_ids(&self, workload: &[TransformedQep]) -> Result<Vec<String>, MatchError> {
+    /// Prunes via the feature index.
+    pub fn matching_qep_ids(&self, workload: &[TransformedQep]) -> Result<Vec<String>, Error> {
+        self.matching_qep_ids_with(workload, true, &mut PruneStats::default())
+    }
+
+    /// [`Matcher::matching_qep_ids`] with explicit pruning control and
+    /// counters.
+    pub fn matching_qep_ids_with(
+        &self,
+        workload: &[TransformedQep],
+        prune: bool,
+        stats: &mut PruneStats,
+    ) -> Result<Vec<String>, Error> {
         let mut ids = Vec::new();
         for t in workload {
+            stats.candidates += 1;
+            if prune && !self.could_match(t) {
+                stats.pruned += 1;
+                continue;
+            }
+            stats.evaluated += 1;
             if !self.find(t)?.is_empty() {
+                stats.matched += 1;
                 ids.push(t.qep.id.clone());
             }
         }
         Ok(ids)
+    }
+}
+
+/// A concurrency-safe cache of compiled matchers, keyed by pattern
+/// *structure* (the `pops`, serialized) — renaming a pattern does not
+/// defeat the cache, since only the pops determine the generated SPARQL.
+/// Used by [`crate::kb::KnowledgeBase`] so repeated `add`s of structurally
+/// identical patterns (and ad-hoc session searches) skip Algorithm 2 and
+/// the SPARQL parser entirely.
+#[derive(Debug, Default)]
+pub struct MatcherCache {
+    inner: Mutex<HashMap<String, Arc<Matcher>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl MatcherCache {
+    /// An empty cache.
+    pub fn new() -> MatcherCache {
+        MatcherCache::default()
+    }
+
+    fn key(pattern: &Pattern) -> String {
+        serde_json::to_string(&pattern.pops).expect("pattern pops serialize")
+    }
+
+    /// The cached matcher for a structurally identical pattern, or compile
+    /// and cache it. Compilation happens outside the lock, so a slow
+    /// compile never blocks concurrent readers.
+    pub fn get_or_compile(&self, pattern: &Pattern) -> Result<Arc<Matcher>, Error> {
+        let key = MatcherCache::key(pattern);
+        if let Some(hit) = self.inner.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(Matcher::compile(pattern)?);
+        let mut map = self.inner.lock().unwrap();
+        Ok(Arc::clone(map.entry(key).or_insert(compiled)))
+    }
+
+    /// Number of distinct compiled matchers held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (compilations) so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
@@ -323,5 +415,65 @@ mod tests {
         let all = m.find_in_workload(&w).unwrap();
         let per_qep: usize = w.iter().map(|t| m.find(t).unwrap().len()).sum();
         assert_eq!(all.len(), per_qep);
+    }
+
+    #[test]
+    fn pruning_skips_graphs_without_required_op_type() {
+        // Pattern D requires a SORT; no fixture plan has one, so with
+        // pruning on, the evaluator never runs at all.
+        let m = Matcher::compile(&builtin::pattern_d().pattern).unwrap();
+        let w = workload();
+        let mut stats = crate::features::PruneStats::default();
+        let pruned = m.find_in_workload_with(&w, true, &mut stats).unwrap();
+        assert!(pruned.is_empty());
+        assert_eq!(stats.candidates, w.len());
+        assert_eq!(stats.pruned, w.len());
+        assert_eq!(stats.evaluated, 0);
+
+        let mut stats = crate::features::PruneStats::default();
+        let unpruned = m.find_in_workload_with(&w, false, &mut stats).unwrap();
+        assert_eq!(pruned, unpruned);
+        assert_eq!(stats.pruned, 0);
+        assert_eq!(stats.evaluated, w.len());
+    }
+
+    #[test]
+    fn pruned_results_equal_unpruned_on_fixtures() {
+        let w = workload();
+        for entry in crate::builtin::paper_entries() {
+            let m = Matcher::compile(&entry.pattern).unwrap();
+            let mut stats = crate::features::PruneStats::default();
+            let with = m.find_in_workload_with(&w, true, &mut stats).unwrap();
+            let without = m
+                .find_in_workload_with(&w, false, &mut crate::features::PruneStats::default())
+                .unwrap();
+            assert_eq!(with, without, "pattern {}", entry.pattern.name);
+            let ids_with = m
+                .matching_qep_ids_with(&w, true, &mut crate::features::PruneStats::default())
+                .unwrap();
+            let ids_without = m
+                .matching_qep_ids_with(&w, false, &mut crate::features::PruneStats::default())
+                .unwrap();
+            assert_eq!(ids_with, ids_without, "pattern {}", entry.pattern.name);
+        }
+    }
+
+    #[test]
+    fn matcher_cache_dedupes_structurally_equal_patterns() {
+        let cache = MatcherCache::new();
+        let a = builtin::pattern_a().pattern;
+        let mut renamed = a.clone();
+        renamed.name = "something-else".into();
+        let m1 = cache.get_or_compile(&a).unwrap();
+        let m2 = cache.get_or_compile(&renamed).unwrap();
+        assert!(Arc::ptr_eq(&m1, &m2), "rename must not defeat the cache");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+
+        let b = builtin::pattern_b().pattern;
+        let m3 = cache.get_or_compile(&b).unwrap();
+        assert!(!Arc::ptr_eq(&m1, &m3));
+        assert_eq!(cache.len(), 2);
     }
 }

@@ -2,39 +2,20 @@
 //! the knowledge base — the end-to-end flows of the paper's Figure 4.
 
 use std::path::Path;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use optimatch_qep::{parse_qep, Qep};
+use optimatch_qep::{parse_qep, Qep, QepParseError};
 
-use crate::kb::{KnowledgeBase, QepReport};
-use crate::matcher::{MatchError, Matcher, PatternMatch};
+use crate::error::Error;
+use crate::kb::{KnowledgeBase, QepReport, ScanOptions, ScanOutcome};
+use crate::matcher::{Matcher, MatcherCache, PatternMatch};
 use crate::pattern::Pattern;
 use crate::transform::TransformedQep;
 
-/// Errors loading workloads.
-#[derive(Debug)]
-pub enum LoadError {
-    /// Filesystem failure.
-    Io(std::io::Error),
-    /// A file failed to parse as a QEP.
-    Parse {
-        /// The offending file.
-        file: String,
-        /// The parse error.
-        error: optimatch_qep::QepParseError,
-    },
-}
-
-impl std::fmt::Display for LoadError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            LoadError::Io(e) => write!(f, "I/O error: {e}"),
-            LoadError::Parse { file, error } => write!(f, "{file}: {error}"),
-        }
-    }
-}
-
-impl std::error::Error for LoadError {}
+/// Former load error type, now folded into [`Error`].
+#[deprecated(note = "use optimatch_core::Error")]
+pub type LoadError = Error;
 
 /// Timing of the last operation, for the performance experiments.
 #[derive(Debug, Clone, Copy, Default)]
@@ -45,13 +26,41 @@ pub struct Timings {
     pub matching: Duration,
 }
 
+/// One file skipped by a lenient directory load.
+#[derive(Debug)]
+pub struct SkippedFile {
+    /// The file's path, as displayed.
+    pub file: String,
+    /// Why it failed to parse.
+    pub error: QepParseError,
+}
+
+impl std::fmt::Display for SkippedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.file, self.error)
+    }
+}
+
+/// The result of [`OptImatch::from_dir_lenient`]: a session over every
+/// file that parsed, plus the per-file errors for the rest.
+#[derive(Debug)]
+pub struct LenientLoad {
+    /// The session over the loadable plans.
+    pub session: OptImatch,
+    /// Files that failed to parse, in path order.
+    pub skipped: Vec<SkippedFile>,
+}
+
 /// An analysis session over a workload of QEPs.
 ///
+/// All read operations take `&self` — sessions can be shared across
+/// threads (timings use interior mutability).
+///
 /// ```
-/// use optimatch_core::{builtin, OptImatch};
+/// use optimatch_core::{builtin, OptImatch, ScanOptions};
 /// use optimatch_qep::fixtures;
 ///
-/// let mut session = OptImatch::from_qeps([fixtures::fig1(), fixtures::fig8()]);
+/// let session = OptImatch::from_qeps([fixtures::fig1(), fixtures::fig8()]);
 ///
 /// // Ad-hoc pattern search (paper Algorithms 2–3):
 /// let ids = session.matching_ids(&builtin::pattern_a().pattern)?;
@@ -60,12 +69,17 @@ pub struct Timings {
 /// // Knowledge-base scan (Algorithm 5):
 /// let reports = session.scan(&builtin::paper_kb())?;
 /// assert!(reports[0].recommendations[0].text.contains("CUST_DIM"));
-/// # Ok::<(), optimatch_core::matcher::MatchError>(())
+///
+/// // Tuned scan: 8 threads, pruning on, counters returned.
+/// let outcome = session.scan_with(&builtin::paper_kb(), ScanOptions::default().threads(8))?;
+/// assert_eq!(outcome.reports, reports);
+/// # Ok::<(), optimatch_core::Error>(())
 /// ```
 #[derive(Debug)]
 pub struct OptImatch {
     workload: Vec<TransformedQep>,
-    timings: Timings,
+    timings: Mutex<Timings>,
+    cache: MatcherCache,
 }
 
 impl OptImatch {
@@ -76,18 +90,17 @@ impl OptImatch {
         let workload: Vec<TransformedQep> = qeps.into_iter().map(TransformedQep::new).collect();
         OptImatch {
             workload,
-            timings: Timings {
+            timings: Mutex::new(Timings {
                 transform: start.elapsed(),
                 matching: Duration::ZERO,
-            },
+            }),
+            cache: MatcherCache::new(),
         }
     }
 
-    /// Load every `*.qep` / `*.exp` / `*.txt` file in a directory.
-    pub fn from_dir(dir: &Path) -> Result<OptImatch, LoadError> {
-        let mut qeps = Vec::new();
-        let mut paths: Vec<_> = std::fs::read_dir(dir)
-            .map_err(LoadError::Io)?
+    /// The `*.qep` / `*.exp` / `*.txt` files in a directory, sorted.
+    fn plan_files(dir: &Path) -> Result<Vec<std::path::PathBuf>, Error> {
+        let mut paths: Vec<_> = std::fs::read_dir(dir)?
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| {
                 matches!(
@@ -97,15 +110,45 @@ impl OptImatch {
             })
             .collect();
         paths.sort();
-        for path in paths {
-            let text = std::fs::read_to_string(&path).map_err(LoadError::Io)?;
-            let qep = parse_qep(&text).map_err(|error| LoadError::Parse {
+        Ok(paths)
+    }
+
+    /// Load every `*.qep` / `*.exp` / `*.txt` file in a directory,
+    /// failing on the first unparseable file. See
+    /// [`OptImatch::from_dir_lenient`] for the skip-and-continue variant.
+    pub fn from_dir(dir: &Path) -> Result<OptImatch, Error> {
+        let mut qeps = Vec::new();
+        for path in OptImatch::plan_files(dir)? {
+            let text = std::fs::read_to_string(&path)?;
+            let qep = parse_qep(&text).map_err(|error| Error::Parse {
                 file: path.display().to_string(),
                 error,
             })?;
             qeps.push(qep);
         }
         Ok(OptImatch::from_qeps(qeps))
+    }
+
+    /// Like [`OptImatch::from_dir`], but a file that fails to parse is
+    /// recorded and skipped instead of aborting the whole load. I/O
+    /// failures still abort (an unreadable directory is not a bad plan).
+    pub fn from_dir_lenient(dir: &Path) -> Result<LenientLoad, Error> {
+        let mut qeps = Vec::new();
+        let mut skipped = Vec::new();
+        for path in OptImatch::plan_files(dir)? {
+            let text = std::fs::read_to_string(&path)?;
+            match parse_qep(&text) {
+                Ok(qep) => qeps.push(qep),
+                Err(error) => skipped.push(SkippedFile {
+                    file: path.display().to_string(),
+                    error,
+                }),
+            }
+        }
+        Ok(LenientLoad {
+            session: OptImatch::from_qeps(qeps),
+            skipped,
+        })
     }
 
     /// Number of QEPs loaded.
@@ -125,7 +168,11 @@ impl OptImatch {
 
     /// Timing of the most recent operations.
     pub fn timings(&self) -> Timings {
-        self.timings
+        *self.timings.lock().unwrap()
+    }
+
+    fn record_matching(&self, elapsed: Duration) {
+        self.timings.lock().unwrap().matching = elapsed;
     }
 
     /// Total LOLEPOPs across the workload.
@@ -134,77 +181,61 @@ impl OptImatch {
     }
 
     /// Ad-hoc pattern search (compile + match across the workload).
-    pub fn search(&mut self, pattern: &Pattern) -> Result<Vec<PatternMatch>, MatchError> {
-        let matcher = Matcher::compile(pattern)?;
+    /// Compiled matchers are cached, so repeating a search skips
+    /// Algorithm 2.
+    pub fn search(&self, pattern: &Pattern) -> Result<Vec<PatternMatch>, Error> {
+        let matcher = self.cache.get_or_compile(pattern)?;
         self.search_compiled(&matcher)
     }
 
     /// Search with an already-compiled matcher (the hot path of the
     /// scalability experiments).
-    pub fn search_compiled(&mut self, matcher: &Matcher) -> Result<Vec<PatternMatch>, MatchError> {
+    pub fn search_compiled(&self, matcher: &Matcher) -> Result<Vec<PatternMatch>, Error> {
         let start = Instant::now();
         let result = matcher.find_in_workload(&self.workload);
-        self.timings.matching = start.elapsed();
+        self.record_matching(start.elapsed());
         result
     }
 
     /// QEP ids matching a pattern.
-    pub fn matching_ids(&mut self, pattern: &Pattern) -> Result<Vec<String>, MatchError> {
-        let matcher = Matcher::compile(pattern)?;
+    pub fn matching_ids(&self, pattern: &Pattern) -> Result<Vec<String>, Error> {
+        let matcher = self.cache.get_or_compile(pattern)?;
         let start = Instant::now();
         let ids = matcher.matching_qep_ids(&self.workload);
-        self.timings.matching = start.elapsed();
+        self.record_matching(start.elapsed());
         ids
     }
 
     /// Scan the whole workload against a knowledge base (Algorithm 5),
     /// producing one ranked report per QEP.
-    pub fn scan(&mut self, kb: &KnowledgeBase) -> Result<Vec<QepReport>, MatchError> {
-        let start = Instant::now();
-        let reports = kb.scan_workload(&self.workload);
-        self.timings.matching = start.elapsed();
-        reports
+    pub fn scan(&self, kb: &KnowledgeBase) -> Result<Vec<QepReport>, Error> {
+        Ok(self.scan_with(kb, ScanOptions::default())?.reports)
     }
 
-    /// Parallel variant of [`OptImatch::scan`]: the per-QEP scans fan out
-    /// over `threads` OS threads, then the workload-level statistical
-    /// weighting runs once over the combined result — so the output is
-    /// identical to the sequential scan.
+    /// Scan with explicit [`ScanOptions`] — thread fan-out and pruning
+    /// control; reports are identical to [`OptImatch::scan`] regardless of
+    /// the options, and the pruning counters come back in the outcome.
+    pub fn scan_with(
+        &self,
+        kb: &KnowledgeBase,
+        options: ScanOptions,
+    ) -> Result<ScanOutcome, Error> {
+        let start = Instant::now();
+        let outcome = kb.scan_workload_with(&self.workload, options);
+        self.record_matching(start.elapsed());
+        outcome
+    }
+
+    /// Parallel variant of [`OptImatch::scan`].
+    #[deprecated(note = "use scan_with(kb, ScanOptions::default().threads(n))")]
     pub fn scan_parallel(
         &mut self,
         kb: &KnowledgeBase,
         threads: usize,
-    ) -> Result<Vec<QepReport>, MatchError> {
-        let threads = threads.max(1).min(self.workload.len().max(1));
-        let start = Instant::now();
-        let chunk_size = self.workload.len().div_ceil(threads);
-        let chunks: Vec<&[TransformedQep]> = self.workload.chunks(chunk_size.max(1)).collect();
-
-        let mut partials: Vec<Result<Vec<QepReport>, MatchError>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|t| kb.scan_qep(t))
-                            .collect::<Result<Vec<_>, _>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                partials.push(handle.join().expect("scan threads do not panic"));
-            }
-        });
-
-        let mut reports = Vec::with_capacity(self.workload.len());
-        for partial in partials {
-            reports.extend(partial?);
-        }
-        kb.apply_workload_weighting(&mut reports, &self.workload);
-        self.timings.matching = start.elapsed();
-        Ok(reports)
+    ) -> Result<Vec<QepReport>, Error> {
+        Ok(self
+            .scan_with(kb, ScanOptions::default().threads(threads))?
+            .reports)
     }
 }
 
@@ -216,12 +247,23 @@ mod tests {
 
     #[test]
     fn session_over_fixtures() {
-        let mut s = OptImatch::from_qeps([fixtures::fig1(), fixtures::fig7(), fixtures::fig8()]);
+        let s = OptImatch::from_qeps([fixtures::fig1(), fixtures::fig7(), fixtures::fig8()]);
         assert_eq!(s.len(), 3);
         assert!(s.total_ops() >= 19);
         let ids = s.matching_ids(&builtin::pattern_a().pattern).unwrap();
         assert_eq!(ids, vec!["fig1"]);
         assert!(s.timings().matching > Duration::ZERO);
+    }
+
+    #[test]
+    fn repeated_searches_hit_the_matcher_cache() {
+        let s = OptImatch::from_qeps([fixtures::fig1()]);
+        let p = builtin::pattern_a().pattern;
+        let first = s.search(&p).unwrap();
+        let second = s.search(&p).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(s.cache.misses(), 1);
+        assert_eq!(s.cache.hits(), 1);
     }
 
     #[test]
@@ -244,14 +286,27 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("broken.qep"), "Plan Details:\n  1) NOPE: (x)\n").unwrap();
         let err = OptImatch::from_dir(&dir).unwrap_err();
-        assert!(matches!(err, LoadError::Parse { .. }));
+        assert!(matches!(err, Error::Parse { .. }));
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    fn parallel_scan_equals_sequential() {
-        use optimatch_qep::{InputSource, InputStream, OpType, PlanOp, Qep, StreamKind};
-        // Build a small mixed workload: fixtures plus filler plans.
+    fn lenient_load_skips_bad_files_and_keeps_the_rest() {
+        let dir = std::env::temp_dir().join("optimatch-session-lenient");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("good.qep"), format_qep(&fixtures::fig1())).unwrap();
+        std::fs::write(dir.join("broken.qep"), "Plan Details:\n  1) NOPE: (x)\n").unwrap();
+        let load = OptImatch::from_dir_lenient(&dir).unwrap();
+        assert_eq!(load.session.len(), 1);
+        assert_eq!(load.skipped.len(), 1);
+        assert!(load.skipped[0].file.contains("broken.qep"));
+        assert!(load.skipped[0].to_string().contains("broken.qep"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn mixed_workload() -> Vec<Qep> {
+        use optimatch_qep::{InputSource, InputStream, OpType, PlanOp, StreamKind};
+        // Fixtures plus filler plans.
         let mut qeps = vec![fixtures::fig1(), fixtures::fig7(), fixtures::fig8()];
         for i in 0..9 {
             let mut q = Qep::new(format!("filler{i}"));
@@ -267,19 +322,45 @@ mod tests {
             q.insert_op(sort);
             qeps.push(q);
         }
+        qeps
+    }
+
+    #[test]
+    fn scan_with_options_equals_plain_scan() {
         let kb = builtin::paper_kb();
-        let mut a = OptImatch::from_qeps(qeps.iter().cloned());
-        let mut b = OptImatch::from_qeps(qeps.iter().cloned());
-        let sequential = a.scan(&kb).unwrap();
+        let s = OptImatch::from_qeps(mixed_workload());
+        let sequential = s.scan(&kb).unwrap();
         for threads in [1, 2, 4, 32] {
-            let parallel = b.scan_parallel(&kb, threads).unwrap();
-            assert_eq!(parallel, sequential, "threads={threads}");
+            for prune in [true, false] {
+                let outcome = s
+                    .scan_with(&kb, ScanOptions::default().threads(threads).prune(prune))
+                    .unwrap();
+                assert_eq!(
+                    outcome.reports, sequential,
+                    "threads={threads} prune={prune}"
+                );
+                if prune {
+                    assert!(outcome.stats.pruned > 0, "filler plans are prunable");
+                } else {
+                    assert_eq!(outcome.stats.pruned, 0);
+                }
+            }
         }
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_scan_parallel_shim_still_works() {
+        let kb = builtin::paper_kb();
+        let mut s = OptImatch::from_qeps(mixed_workload());
+        let sequential = s.scan(&kb).unwrap();
+        let parallel = s.scan_parallel(&kb, 4).unwrap();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
     fn scan_produces_one_report_per_qep() {
-        let mut s = OptImatch::from_qeps([fixtures::fig1(), fixtures::fig7()]);
+        let s = OptImatch::from_qeps([fixtures::fig1(), fixtures::fig7()]);
         let reports = s.scan(&builtin::paper_kb()).unwrap();
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[0].qep_id, "fig1");

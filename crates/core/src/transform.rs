@@ -17,6 +17,7 @@ use optimatch_qep::{InputSource, JoinModifier, PredicateKind, Qep, StreamKind};
 use optimatch_rdf::numeric::format_double;
 use optimatch_rdf::{Graph, Term};
 
+use crate::features::FeatureSummary;
 use crate::vocab::{self, names};
 
 /// A QEP together with its RDF graph — the unit the matcher works on.
@@ -26,13 +27,20 @@ pub struct TransformedQep {
     pub qep: Qep,
     /// The derived RDF graph.
     pub graph: Graph,
+    /// Cheap pruning facts about the graph (see [`crate::features`]).
+    pub summary: FeatureSummary,
 }
 
 impl TransformedQep {
-    /// Shorthand: transform a plan.
+    /// Shorthand: transform a plan and summarise its features.
     pub fn new(qep: Qep) -> TransformedQep {
         let graph = transform_qep(&qep);
-        TransformedQep { qep, graph }
+        let summary = FeatureSummary::of_graph(&qep, &graph);
+        TransformedQep {
+            qep,
+            graph,
+            summary,
+        }
     }
 }
 

@@ -209,6 +209,38 @@ impl Graph {
         range1(&self.pos, p).count()
     }
 
+    /// The distinct predicates asserted in this graph, in id order (one
+    /// POS-index walk). This is the predicate presence set the workload
+    /// pruning layer summarizes per QEP.
+    pub fn distinct_predicates(&self) -> Vec<TermId> {
+        let mut out = Vec::new();
+        for &[p, _, _] in &self.pos {
+            if out.last() != Some(&p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// True when at least one triple carries predicate `p`. An un-interned
+    /// term is trivially absent.
+    pub fn has_predicate(&self, p: &Term) -> bool {
+        self.pool
+            .get(p)
+            .is_some_and(|id| range1(&self.pos, id).next().is_some())
+    }
+
+    /// True when at least one triple carries predicate `p` with object `o`
+    /// — an O(log n) POS probe, used by the pruning layer to reject graphs
+    /// that lack a required concrete property value without running any
+    /// SPARQL.
+    pub fn has_predicate_object(&self, p: &Term, o: &Term) -> bool {
+        match (self.pool.get(p), self.pool.get(o)) {
+            (Some(p), Some(o)) => range2(&self.pos, p, o).next().is_some(),
+            _ => false,
+        }
+    }
+
     /// The single object of `(s, p, ?)` if exactly one exists.
     pub fn object_of(&self, s: &Term, p: &Term) -> Option<Term> {
         let mut it = self.triples_matching(Some(s), Some(p), None);
@@ -366,6 +398,27 @@ mod tests {
         let a = g.fresh_bnode("b");
         let b = g.fresh_bnode("b");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn presence_checks_and_distinct_predicates() {
+        let g = sample();
+        let preds: Vec<&Term> = g
+            .distinct_predicates()
+            .into_iter()
+            .map(|id| g.term(id))
+            .collect();
+        assert_eq!(preds.len(), 3);
+        assert!(preds.contains(&&Term::iri("p:hasPopType")));
+
+        assert!(g.has_predicate(&Term::iri("p:hasInputStream")));
+        assert!(!g.has_predicate(&Term::iri("p:never")));
+        // An interned term that never appears in predicate position.
+        assert!(!g.has_predicate(&Term::iri("q:pop2")));
+
+        assert!(g.has_predicate_object(&Term::iri("p:hasPopType"), &Term::lit_str("TBSCAN")));
+        assert!(!g.has_predicate_object(&Term::iri("p:hasPopType"), &Term::lit_str("HSJOIN")));
+        assert!(!g.has_predicate_object(&Term::iri("p:never"), &Term::lit_str("TBSCAN")));
     }
 
     #[test]

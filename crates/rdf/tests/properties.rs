@@ -108,8 +108,8 @@ proptest! {
     /// formatting precision (six significant digits).
     #[test]
     fn numeric_format_parse_inverse(v in prop_oneof![
-        (-1e15..1e15f64),
-        (-1.0..1.0f64),
+        -1e15..1e15f64,
+        -1.0..1.0f64,
         Just(0.0),
     ]) {
         let s = format_double(v);

@@ -70,6 +70,33 @@ pub struct GroupGraphPattern {
     pub elements: Vec<PatternElement>,
 }
 
+impl GroupGraphPattern {
+    /// The triple patterns that **every** solution of this group must
+    /// satisfy: walks nested groups, but skips `OPTIONAL` blocks, both
+    /// `UNION` branches, and `FILTER` / `BIND` subexpressions (including
+    /// `EXISTS` groups) — a solution can exist without matching any of
+    /// those. This is the conservative skeleton feature-extraction uses
+    /// to prune graphs that cannot possibly match.
+    pub fn required_triples(&self) -> Vec<&TriplePattern> {
+        let mut out = Vec::new();
+        self.collect_required(&mut out);
+        out
+    }
+
+    fn collect_required<'a>(&'a self, out: &mut Vec<&'a TriplePattern>) {
+        for element in &self.elements {
+            match element {
+                PatternElement::Triple(t) => out.push(t),
+                PatternElement::Group(g) => g.collect_required(out),
+                PatternElement::Optional(_)
+                | PatternElement::Union(_, _)
+                | PatternElement::Filter(_)
+                | PatternElement::Bind(_, _) => {}
+            }
+        }
+    }
+}
+
 /// One element of a group graph pattern.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PatternElement {
@@ -137,6 +164,56 @@ impl Path {
         match self {
             Path::Iri(i) => Some(i),
             _ => None,
+        }
+    }
+
+    /// True when the path admits a zero-length traversal (`p*`, `p?`, and
+    /// combinations thereof) — such a path can match without touching any
+    /// triple at all.
+    pub fn can_match_empty(&self) -> bool {
+        match self {
+            Path::Iri(_) | Path::Var(_) | Path::OneOrMore(_) => false,
+            Path::ZeroOrMore(_) | Path::ZeroOrOne(_) => true,
+            Path::Inverse(p) => p.can_match_empty(),
+            Path::Sequence(a, b) => a.can_match_empty() && b.can_match_empty(),
+            Path::Alternative(a, b) => a.can_match_empty() || b.can_match_empty(),
+        }
+    }
+
+    /// Collect the predicate IRIs that **every** traversal of this path
+    /// must use, conservatively: alternation contributes nothing (either
+    /// branch may be taken), and `p*` / `p?` contribute nothing (zero
+    /// traversals are allowed). `p+` requires at least one traversal of
+    /// `p`, so `p`'s required predicates carry through.
+    pub fn required_iris(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            Path::Iri(i) => {
+                out.insert(i.clone());
+            }
+            Path::Var(_) | Path::Alternative(_, _) | Path::ZeroOrMore(_) | Path::ZeroOrOne(_) => {}
+            Path::Inverse(p) | Path::OneOrMore(p) => p.required_iris(out),
+            Path::Sequence(a, b) => {
+                a.required_iris(out);
+                b.required_iris(out);
+            }
+        }
+    }
+
+    /// Collect every predicate IRI mentioned anywhere in the path,
+    /// including optional and alternative branches.
+    pub fn all_iris(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            Path::Iri(i) => {
+                out.insert(i.clone());
+            }
+            Path::Var(_) => {}
+            Path::Inverse(p) | Path::ZeroOrMore(p) | Path::OneOrMore(p) | Path::ZeroOrOne(p) => {
+                p.all_iris(out)
+            }
+            Path::Sequence(a, b) | Path::Alternative(a, b) => {
+                a.all_iris(out);
+                b.all_iris(out);
+            }
         }
     }
 
@@ -315,6 +392,63 @@ mod tests {
             Box::new(Path::Iri("p:b".into()))
         )
         .is_recursive());
+    }
+
+    #[test]
+    fn required_iris_are_conservative() {
+        let mut req = std::collections::BTreeSet::new();
+        // a/b: both required.
+        Path::Sequence(
+            Box::new(Path::Iri("p:a".into())),
+            Box::new(Path::Iri("p:b".into())),
+        )
+        .required_iris(&mut req);
+        assert_eq!(req.len(), 2);
+
+        // (a|b)+: neither branch is guaranteed, but all_iris sees both.
+        let alt = Path::OneOrMore(Box::new(Path::Alternative(
+            Box::new(Path::Iri("p:a".into())),
+            Box::new(Path::Iri("p:b".into())),
+        )));
+        let mut req = std::collections::BTreeSet::new();
+        alt.required_iris(&mut req);
+        assert!(req.is_empty());
+        let mut all = std::collections::BTreeSet::new();
+        alt.all_iris(&mut all);
+        assert_eq!(all.len(), 2);
+        assert!(!alt.can_match_empty());
+
+        // a* can match empty; a+ cannot; a/b* requires only a.
+        assert!(Path::ZeroOrMore(Box::new(Path::Iri("p:a".into()))).can_match_empty());
+        assert!(!Path::OneOrMore(Box::new(Path::Iri("p:a".into()))).can_match_empty());
+        let seq = Path::Sequence(
+            Box::new(Path::Iri("p:a".into())),
+            Box::new(Path::ZeroOrMore(Box::new(Path::Iri("p:b".into())))),
+        );
+        let mut req = std::collections::BTreeSet::new();
+        seq.required_iris(&mut req);
+        assert_eq!(req.iter().collect::<Vec<_>>(), vec!["p:a"]);
+    }
+
+    #[test]
+    fn required_triples_skip_optional_and_union() {
+        let q = crate::parse_query(
+            "SELECT ?x WHERE { \
+               ?x <p:a> ?y . \
+               OPTIONAL { ?x <p:opt> ?o . } \
+               { ?x <p:u1> ?z . } UNION { ?x <p:u2> ?z . } \
+               { ?x <p:nested> ?w . } \
+               FILTER NOT EXISTS { ?x <p:absent> ?v . } \
+             }",
+        )
+        .expect("parses");
+        let required: Vec<&str> = q
+            .where_clause
+            .required_triples()
+            .iter()
+            .filter_map(|t| t.path.as_plain_iri())
+            .collect();
+        assert_eq!(required, vec!["p:a", "p:nested"]);
     }
 
     #[test]

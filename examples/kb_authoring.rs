@@ -68,7 +68,7 @@ fn main() {
     // Apply to the fixtures: fig1's FETCH(3) reads 1251 rows -> only
     // triggers after we lower the threshold? No: 1251 > 1000, and
     // SALES_FACT has 1.9e6 rows, so fig1 matches.
-    let mut session = OptImatch::from_qeps([fixtures::fig1(), fixtures::fig8()]);
+    let session = OptImatch::from_qeps([fixtures::fig1(), fixtures::fig8()]);
     let reports = session.scan(&kb).expect("scan succeeds");
     for report in &reports {
         println!("--- {} ---", report.qep_id);

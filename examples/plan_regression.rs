@@ -65,7 +65,7 @@ fn main() {
         .filter(|q| regressed_ids.contains(&q.id))
         .cloned()
         .collect();
-    let mut session = OptImatch::from_qeps(changed);
+    let session = OptImatch::from_qeps(changed);
     for report in session.scan(&builtin::paper_kb()).expect("scan succeeds") {
         println!("\n--- {} ---", report.qep_id);
         println!("{}", report.message());

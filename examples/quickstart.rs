@@ -54,7 +54,7 @@ fn main() {
 
     // --- 4. Knowledge-base recommendations. ---
     let kb = builtin::paper_kb();
-    let mut session = OptImatch::from_qeps([fig1]);
+    let session = OptImatch::from_qeps([fig1]);
     let reports = session.scan(&kb).expect("scan succeeds");
     println!();
     println!("=== Recommendations for {} ===", reports[0].qep_id);

@@ -26,7 +26,7 @@ fn main() {
         total_ops as f64 / workload.qeps.len() as f64
     );
 
-    let mut session = OptImatch::from_qeps(workload.qeps.iter().cloned());
+    let session = OptImatch::from_qeps(workload.qeps.iter().cloned());
     println!("  transform: {:?}", session.timings().transform);
 
     let kb = builtin::paper_kb();

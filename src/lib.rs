@@ -10,3 +10,7 @@ pub use optimatch_qep as qep;
 pub use optimatch_rdf as rdf;
 pub use optimatch_sparql as sparql;
 pub use optimatch_workload as workload;
+
+// The one error type every fallible core operation returns, at the
+// import root so downstream code can write `optimatch_suite::Error`.
+pub use optimatch_core::Error;

@@ -12,7 +12,7 @@ use optimatch_suite::workload::{generate_workload, WorkloadConfig};
 fn text_to_recommendation_pipeline() {
     let text = format_qep(&fixtures::fig1());
     let qep = parse_qep(&text).expect("parses");
-    let mut session = OptImatch::from_qeps([qep]);
+    let session = OptImatch::from_qeps([qep]);
     let reports = session.scan(&builtin::paper_kb()).expect("scans");
     assert_eq!(reports.len(), 1);
     let rec = &reports[0].recommendations[0];
@@ -91,7 +91,7 @@ fn matching_is_repeatable() {
         num_qeps: 15,
         ..WorkloadConfig::default()
     });
-    let mut session = OptImatch::from_qeps(w.qeps.iter().cloned());
+    let session = OptImatch::from_qeps(w.qeps.iter().cloned());
     let p = builtin::pattern_a().pattern;
     let first = session.matching_ids(&p).expect("matches");
     for _ in 0..3 {
@@ -113,8 +113,8 @@ fn directory_and_memory_sessions_agree() {
     for qep in &w.qeps {
         std::fs::write(dir.join(format!("{}.qep", qep.id)), format_qep(qep)).expect("write");
     }
-    let mut from_dir = OptImatch::from_dir(&dir).expect("loads");
-    let mut from_mem = OptImatch::from_qeps(w.qeps.iter().cloned());
+    let from_dir = OptImatch::from_dir(&dir).expect("loads");
+    let from_mem = OptImatch::from_qeps(w.qeps.iter().cloned());
     assert_eq!(from_dir.len(), from_mem.len());
     let p = builtin::pattern_c().pattern;
     assert_eq!(

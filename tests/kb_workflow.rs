@@ -27,8 +27,8 @@ fn kb_persistence_round_trip_preserves_scan_results() {
     std::fs::remove_file(&path).ok();
 
     let qeps = small_workload(31, 25);
-    let mut s1 = OptImatch::from_qeps(qeps.iter().cloned());
-    let mut s2 = OptImatch::from_qeps(qeps.iter().cloned());
+    let s1 = OptImatch::from_qeps(qeps.iter().cloned());
+    let s2 = OptImatch::from_qeps(qeps.iter().cloned());
     let r1 = s1.scan(&kb).expect("scan");
     let r2 = s2.scan(&reloaded).expect("scan");
     assert_eq!(r1, r2);
@@ -39,7 +39,7 @@ fn kb_persistence_round_trip_preserves_scan_results() {
 #[test]
 fn reports_are_ranked_and_complete() {
     let qeps = small_workload(77, 40);
-    let mut session = OptImatch::from_qeps(qeps);
+    let session = OptImatch::from_qeps(qeps);
     let reports = session.scan(&builtin::paper_kb()).expect("scan");
     assert_eq!(reports.len(), 40);
     let mut any_rec = false;
@@ -86,7 +86,7 @@ fn custom_entries_and_synthetic_kb() {
     assert_eq!(kb.len(), 5);
 
     let qeps = small_workload(13, 20);
-    let mut session = OptImatch::from_qeps(qeps);
+    let session = OptImatch::from_qeps(qeps);
     let reports = session.scan(&kb).expect("scan");
     assert_eq!(reports.len(), 20);
 
@@ -101,7 +101,7 @@ fn custom_entries_and_synthetic_kb() {
 #[test]
 fn recommendations_adapt_context_per_plan() {
     use optimatch_suite::qep::fixtures;
-    let mut session = OptImatch::from_qeps([fixtures::fig1(), fixtures::fig8()]);
+    let session = OptImatch::from_qeps([fixtures::fig1(), fixtures::fig8()]);
     let mut kb = KnowledgeBase::new();
     kb.add(builtin::pattern_c()).expect("valid");
     let reports = session.scan(&kb).expect("scan");

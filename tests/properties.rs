@@ -6,9 +6,13 @@ use proptest::prelude::*;
 
 use optimatch_suite::core::pattern::{Pattern, PatternPop, Relationship, Sign, StreamKindSpec};
 use optimatch_suite::core::vocab::{self, names};
-use optimatch_suite::core::{builtin, transform::TransformedQep, transform_qep, Matcher};
+use optimatch_suite::core::{
+    builtin, transform::TransformedQep, transform_qep, Matcher, PruneStats, ScanOptions,
+};
 use optimatch_suite::qep::{format_qep, parse_qep, InputSource, Qep};
-use optimatch_suite::workload::{GeneratorConfig, PlanGenerator};
+use optimatch_suite::workload::{
+    generate_workload, GeneratorConfig, PlanGenerator, WorkloadConfig,
+};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -162,6 +166,51 @@ proptest! {
         if pattern.validate().is_ok() {
             let m = Matcher::compile(&pattern);
             prop_assert!(m.is_ok(), "{:?}", m.err());
+        }
+    }
+
+    /// Soundness of the pruning index: over arbitrary generated workloads,
+    /// a pruned scan (and a pruned + threaded scan) returns exactly the
+    /// reports of an unpruned scan, and pruned matcher searches return
+    /// exactly the unpruned matches.
+    #[test]
+    fn pruned_scan_equals_unpruned_scan(seed in any::<u64>(), n in 2usize..10) {
+        let w = generate_workload(&WorkloadConfig {
+            seed,
+            num_qeps: n,
+            ..WorkloadConfig::default()
+        });
+        let workload: Vec<TransformedQep> =
+            w.qeps.into_iter().map(TransformedQep::new).collect();
+        let kb = builtin::paper_kb();
+
+        let unpruned = kb
+            .scan_workload_with(&workload, ScanOptions::default().prune(false))
+            .expect("scans");
+        let pruned = kb
+            .scan_workload_with(&workload, ScanOptions::default())
+            .expect("scans");
+        let threaded = kb
+            .scan_workload_with(&workload, ScanOptions::default().threads(3))
+            .expect("scans");
+        prop_assert_eq!(&unpruned.reports, &pruned.reports);
+        prop_assert_eq!(&unpruned.reports, &threaded.reports);
+        prop_assert_eq!(unpruned.stats.pruned, 0);
+        prop_assert_eq!(
+            pruned.stats.evaluated + pruned.stats.pruned,
+            pruned.stats.candidates
+        );
+
+        for entry in kb.entries() {
+            let m = Matcher::compile(&entry.pattern).expect("compiles");
+            let mut stats = PruneStats::default();
+            let fast = m
+                .find_in_workload_with(&workload, true, &mut stats)
+                .expect("matches");
+            let slow = m
+                .find_in_workload_with(&workload, false, &mut PruneStats::default())
+                .expect("matches");
+            prop_assert_eq!(fast, slow);
         }
     }
 }
