@@ -162,7 +162,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
@@ -194,7 +194,7 @@ pub mod string {
     }
 
     /// A strategy producing strings matching `regex` (the subset
-    /// documented in [`crate::regex_gen`]).
+    /// documented in the crate's regex-generator module).
     pub fn string_regex(regex: &str) -> Result<RegexGeneratorStrategy, Error> {
         parse_regex(regex)
             .map(|node| RegexGeneratorStrategy { node })

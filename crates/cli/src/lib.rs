@@ -9,16 +9,20 @@
 //! optimatch stats  DIR
 //! optimatch tree   FILE.qep
 //! optimatch rdf    FILE.qep [--format turtle|ntriples]
-//! optimatch search DIR (--builtin NAME | --pattern FILE.json)
-//! optimatch scan   DIR [--kb FILE.json] [--threads N] [--no-prune]
+//! optimatch search SOURCE (--builtin NAME | --pattern FILE.json)
+//! optimatch scan   SOURCE [--kb FILE.json] [--threads N] [--no-prune]
+//! optimatch repo   build DIR OUT.repo | add REPO DIR | stats REPO | verify REPO
 //! optimatch sparql FILE.qep QUERY.rq
 //! optimatch kb-init FILE.json
 //! ```
+//!
+//! `SOURCE` is a plan directory, a single plan file, or a persistent
+//! workload repository (detected by its 8-byte `OPTIREPO` magic).
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use optimatch_core::{builtin, KnowledgeBase, OptImatch, Pattern, ScanOptions, SkippedFile};
+use optimatch_core::{builtin, KnowledgeBase, OptImatch, Pattern, ScanOptions};
 use optimatch_qep::{parse_qep, render_tree, workload_stats};
 use optimatch_rdf::turtle::{to_turtle, PrefixMap};
 use optimatch_workload::{
@@ -135,6 +139,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "search" => cmd_search(&args),
         "scan" => cmd_scan(&args),
         "cluster" => cmd_cluster(&args),
+        "repo" => cmd_repo(&args),
         "diff" => cmd_diff(&args),
         "sparql" => cmd_sparql(&args),
         "kb-init" => cmd_kb_init(&args),
@@ -152,13 +157,22 @@ pub fn usage() -> String {
      \x20 optimatch stats  DIR                                      workload statistics\n\
      \x20 optimatch tree   FILE.qep                                 render the plan tree\n\
      \x20 optimatch rdf    FILE.qep [--format turtle|ntriples]      dump the RDF transform\n\
-     \x20 optimatch search DIR (--builtin NAME | --pattern F.json)  find a problem pattern\n\
-     \x20 optimatch scan   DIR [--kb F.json] [--threads N] [--no-prune] [--format json]\n\
+     \x20 optimatch search SOURCE (--builtin NAME | --pattern F.json)  find a problem pattern\n\
+     \x20 optimatch scan   SOURCE [--kb F.json] [--threads N] [--no-prune] [--format json]\n\
      \x20                                                            knowledge-base scan\n\
+     \x20 optimatch repo   build DIR OUT.repo                       snapshot a plan dir\n\
+     \x20 optimatch repo   add REPO DIR                             ingest new plans\n\
+     \x20 optimatch repo   stats REPO                               repository statistics\n\
+     \x20 optimatch repo   verify REPO                              integrity check (exit 1 on damage)\n\
      \x20 optimatch cluster DIR [--k N]                             cost clusters x patterns\n\
      \x20 optimatch diff   BEFORE.qep AFTER.qep                     plan regression report\n\
      \x20 optimatch sparql FILE.qep QUERY.rq                        ad-hoc SPARQL over a plan\n\
      \x20 optimatch kb-init FILE.json                               write the built-in KB\n\
+     \n\
+     SOURCE for search/scan is a plan directory, a single plan file, or a\n\
+     persistent workload repository built with `repo build` — repository\n\
+     files are auto-detected by their 8-byte OPTIREPO magic and give\n\
+     warm-start sessions (no plan parsing, no RDF transform).\n\
      \n\
      Built-in pattern names: pattern-a-nljoin-tbscan, pattern-b-loj-join-order,\n\
      pattern-c-cardinality-collapse, pattern-d-sort-spill\n"
@@ -215,25 +229,42 @@ fn load_plans_from(path: &Path) -> Result<Vec<optimatch_qep::Qep>, CliError> {
 /// Build a session from the first positional argument. Directories load
 /// leniently: unparseable plan files are returned as warnings instead of
 /// aborting, so one corrupt file cannot block a whole-workload analysis.
-fn load_session(args: &Args) -> Result<(OptImatch, Vec<SkippedFile>), CliError> {
+/// A file starting with the 8-byte repository magic (`OPTIREPO`) is
+/// opened as a persistent workload repository — also leniently, with
+/// damaged records reported as warnings; anything else is parsed as a
+/// single plan file.
+fn load_session(args: &Args) -> Result<(OptImatch, Vec<String>), CliError> {
     let path = args
         .positional
         .first()
         .map(PathBuf::from)
-        .ok_or_else(|| CliError("expected a plan file or directory".into()))?;
+        .ok_or_else(|| CliError("expected a plan file, directory, or repository".into()))?;
     if path.is_dir() {
         let load = OptImatch::from_dir_lenient(&path).map_err(|e| CliError(e.to_string()))?;
-        Ok((load.session, load.skipped))
+        let warnings = load
+            .skipped
+            .iter()
+            .map(|s| format!("skipped {s}"))
+            .collect();
+        Ok((load.session, warnings))
+    } else if optimatch_repo::is_repo_file(&path) {
+        let load = OptImatch::open_repo_lenient(&path).map_err(|e| CliError(e.to_string()))?;
+        let warnings = load
+            .skipped
+            .iter()
+            .map(|s| format!("skipped {s}"))
+            .collect();
+        Ok((load.session, warnings))
     } else {
         Ok((OptImatch::from_qeps(load_plans_from(&path)?), Vec::new()))
     }
 }
 
-/// One `warning:` line per skipped file, for the top of a report.
-fn warning_lines(skipped: &[SkippedFile]) -> String {
+/// One `warning:` line per message, for the top of a report.
+fn warning_lines(warnings: &[String]) -> String {
     let mut out = String::new();
-    for s in skipped {
-        let _ = writeln!(out, "warning: skipped {s}");
+    for w in warnings {
+        let _ = writeln!(out, "warning: {w}");
     }
     out
 }
@@ -422,6 +453,83 @@ fn cmd_cluster(args: &Args) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+fn cmd_repo(args: &Args) -> Result<String, CliError> {
+    args.expect_options(&[])?;
+    let mut out = String::new();
+    match args.positional.first().map(String::as_str) {
+        Some("build") => {
+            let [_, dir, repo] = args.positional.as_slice() else {
+                return err("repo build: expected DIR OUT.repo");
+            };
+            let built = optimatch_core::build_repo(Path::new(dir), Path::new(repo))
+                .map_err(|e| CliError(e.to_string()))?;
+            for s in &built.skipped {
+                let _ = writeln!(out, "warning: skipped {s}");
+            }
+            let _ = writeln!(out, "wrote {} record(s) to {repo}", built.records);
+            Ok(out)
+        }
+        Some("add") => {
+            let [_, repo, dir] = args.positional.as_slice() else {
+                return err("repo add: expected REPO DIR");
+            };
+            let added = optimatch_core::add_to_repo(Path::new(repo), Path::new(dir))
+                .map_err(|e| CliError(e.to_string()))?;
+            for s in &added.skipped {
+                let _ = writeln!(out, "warning: skipped {s}");
+            }
+            let _ = writeln!(
+                out,
+                "added {} record(s) to {repo} ({} already present)",
+                added.added, added.already_present
+            );
+            Ok(out)
+        }
+        Some("stats") => {
+            let [_, repo] = args.positional.as_slice() else {
+                return err("repo stats: expected REPO");
+            };
+            let repository = optimatch_repo::Repository::open(Path::new(repo))
+                .map_err(|e| CliError(e.to_string()))?;
+            let s = repository.stats();
+            let _ = writeln!(out, "{repo}: format v{}", s.version);
+            let _ = writeln!(
+                out,
+                "  {} record(s), {} labeled, {} op(s), {} triple(s), {} term(s)",
+                s.records, s.labeled, s.ops, s.triples, s.terms
+            );
+            Ok(out)
+        }
+        Some("verify") => {
+            let [_, repo] = args.positional.as_slice() else {
+                return err("repo verify: expected REPO");
+            };
+            let report = optimatch_repo::Repository::verify(Path::new(repo))
+                .map_err(|e| CliError(e.to_string()))?;
+            if report.is_ok() {
+                Ok(format!(
+                    "{repo}: OK — {} record(s), {} byte(s), format v{}\n",
+                    report.records, report.bytes, report.version
+                ))
+            } else {
+                let mut msg = format!(
+                    "{repo}: {} problem(s), {} intact record(s):\n",
+                    report.problems.len(),
+                    report.records
+                );
+                for p in &report.problems {
+                    let _ = writeln!(msg, "  {p}");
+                }
+                Err(CliError(msg))
+            }
+        }
+        Some(other) => err(format!(
+            "repo: unknown action {other:?} (expected build|add|stats|verify)"
+        )),
+        None => err("repo: expected an action (build|add|stats|verify)"),
+    }
 }
 
 fn cmd_diff(args: &Args) -> Result<String, CliError> {
@@ -681,6 +789,142 @@ mod tests {
         ]);
         assert!(search.contains("warning: skipped"), "{search}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repo_build_scan_stats_verify_pipeline() {
+        let dir = temp_dir("repo");
+        let out_dir = dir.join("wl");
+        run_ok(&[
+            "gen",
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--n",
+            "10",
+            "--seed",
+            "5",
+        ]);
+        let repo = dir.join("wl.optirepo");
+        let built = run_ok(&[
+            "repo",
+            "build",
+            out_dir.to_str().unwrap(),
+            repo.to_str().unwrap(),
+        ]);
+        assert!(built.contains("wrote 10 record(s)"), "{built}");
+
+        // Scanning the repository gives byte-identical output to scanning
+        // the directory it was built from (modulo the wall-clock timing
+        // in the header line, which is stripped before comparing).
+        let strip_timing = |s: String| {
+            s.lines()
+                .map(|l| l.split("  [").next().unwrap_or(l).to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let from_dir = strip_timing(run_ok(&["scan", out_dir.to_str().unwrap()]));
+        let from_repo = strip_timing(run_ok(&["scan", repo.to_str().unwrap()]));
+        assert_eq!(from_dir, from_repo);
+        let json_dir = run_ok(&["scan", out_dir.to_str().unwrap(), "--format", "json"]);
+        let json_repo = run_ok(&["scan", repo.to_str().unwrap(), "--format", "json"]);
+        assert_eq!(json_dir, json_repo);
+
+        // search works over the repository too.
+        let search = run_ok(&[
+            "search",
+            repo.to_str().unwrap(),
+            "--builtin",
+            "pattern-a-nljoin-tbscan",
+        ]);
+        assert!(search.contains("pattern \"pattern-a-nljoin-tbscan\""));
+
+        let stats = run_ok(&["repo", "stats", repo.to_str().unwrap()]);
+        assert!(stats.contains("10 record(s)"), "{stats}");
+        assert!(stats.contains("format v1"), "{stats}");
+
+        let verify = run_ok(&["repo", "verify", repo.to_str().unwrap()]);
+        assert!(verify.contains("OK"), "{verify}");
+
+        // add: a fresh directory of extra plans ingests incrementally.
+        let extra_dir = dir.join("extra");
+        run_ok(&[
+            "gen",
+            "--out",
+            extra_dir.to_str().unwrap(),
+            "--n",
+            "13",
+            "--seed",
+            "5",
+        ]);
+        let added = run_ok(&[
+            "repo",
+            "add",
+            repo.to_str().unwrap(),
+            extra_dir.to_str().unwrap(),
+        ]);
+        // Same seed ⇒ the first 10 ids already exist; 3 are new.
+        assert!(added.contains("added 3 record(s)"), "{added}");
+        assert!(added.contains("10 already present"), "{added}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repo_verify_fails_on_corruption_and_scan_warns() {
+        let dir = temp_dir("repocorrupt");
+        let out_dir = dir.join("wl");
+        run_ok(&[
+            "gen",
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--n",
+            "4",
+            "--seed",
+            "7",
+        ]);
+        let repo = dir.join("wl.optirepo");
+        run_ok(&[
+            "repo",
+            "build",
+            out_dir.to_str().unwrap(),
+            repo.to_str().unwrap(),
+        ]);
+
+        // Flip one byte in the middle of the record region.
+        let mut bytes = std::fs::read(&repo).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&repo, &bytes).unwrap();
+
+        // verify exits nonzero (a CliError) naming the problem.
+        let argv: Vec<String> = ["repo", "verify", repo.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let e = run(&argv).expect_err("verify must fail on a corrupt repository");
+        assert!(e.0.contains("problem(s)"), "{}", e.0);
+
+        // scan is lenient: warns about the damaged record, scans the rest.
+        let scan = run_ok(&["scan", repo.to_str().unwrap()]);
+        assert!(scan.contains("warning: skipped record"), "{scan}");
+        assert!(scan.contains("scanned 3 QEP(s)"), "{scan}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repo_action_errors_are_user_facing() {
+        let run_err = |argv: &[&str]| {
+            let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+            run(&argv).expect_err("command fails")
+        };
+        assert!(run_err(&["repo"]).0.contains("expected an action"));
+        assert!(run_err(&["repo", "explode"]).0.contains("unknown action"));
+        assert!(run_err(&["repo", "build", "just-one-arg"])
+            .0
+            .contains("expected DIR OUT.repo"));
+        assert!(run_err(&["repo", "verify", "/nonexistent-repo-xyz"])
+            .0
+            .contains("i/o error"));
     }
 
     #[test]

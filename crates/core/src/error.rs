@@ -27,6 +27,8 @@ pub enum Error {
     /// The generated SPARQL failed to parse or evaluate (a bug if it ever
     /// happens — generated queries are tested to parse).
     Sparql(SparqlError),
+    /// A persistent workload repository could not be opened or written.
+    Repo(optimatch_repo::RepoError),
 }
 
 impl std::fmt::Display for Error {
@@ -36,6 +38,7 @@ impl std::fmt::Display for Error {
             Error::Parse { file, error } => write!(f, "{file}: {error}"),
             Error::Compile(e) => write!(f, "pattern compilation failed: {e}"),
             Error::Sparql(e) => write!(f, "SPARQL error: {e}"),
+            Error::Repo(e) => write!(f, "repository error: {e}"),
         }
     }
 }
@@ -47,6 +50,7 @@ impl std::error::Error for Error {
             Error::Parse { error, .. } => Some(error),
             Error::Compile(e) => Some(e),
             Error::Sparql(e) => Some(e),
+            Error::Repo(e) => Some(e),
         }
     }
 }
@@ -66,6 +70,12 @@ impl From<CompileError> for Error {
 impl From<SparqlError> for Error {
     fn from(e: SparqlError) -> Error {
         Error::Sparql(e)
+    }
+}
+
+impl From<optimatch_repo::RepoError> for Error {
+    fn from(e: optimatch_repo::RepoError) -> Error {
+        Error::Repo(e)
     }
 }
 

@@ -35,6 +35,10 @@
 //!    evaluator.
 //! 9. [`session`] — the `OptImatch` facade tying it all together for
 //!    workload-scale analysis.
+//! 10. [`repo`] — persistence bridge to `optimatch-repo`: snapshot a
+//!     transformed workload into a checksummed on-disk repository and
+//!     reopen it later as a warm-start session
+//!     ([`OptImatch::open_repo`]) with no parse or transform work.
 
 pub mod builtin;
 pub mod cluster;
@@ -46,6 +50,7 @@ pub mod kb;
 pub mod matcher;
 pub mod pattern;
 pub mod rank;
+pub mod repo;
 pub mod session;
 pub mod tagging;
 pub mod transform;
@@ -56,5 +61,6 @@ pub use features::{FeatureSummary, PruneStats, RequiredFeatures};
 pub use kb::{KnowledgeBase, KnowledgeBaseEntry, Recommendation, ScanOptions, ScanOutcome};
 pub use matcher::{MatchBinding, Matcher, MatcherCache, PatternMatch};
 pub use pattern::{Pattern, PatternPop, PropertyCondition, Relationship, Sign, StreamSpec};
-pub use session::{LenientLoad, OptImatch, SkippedFile, Timings};
+pub use repo::{add_to_repo, build_repo, AddOutcome, BuildOutcome};
+pub use session::{LenientLoad, OptImatch, RepoLoad, SkippedFile, Timings};
 pub use transform::{transform_qep, TransformedQep};

@@ -51,6 +51,16 @@ pub struct LenientLoad {
     pub skipped: Vec<SkippedFile>,
 }
 
+/// The result of [`OptImatch::open_repo_lenient`]: a session over every
+/// intact record, plus what was skipped and why.
+#[derive(Debug)]
+pub struct RepoLoad {
+    /// The session over the intact records.
+    pub session: OptImatch,
+    /// Records that failed integrity checks.
+    pub skipped: Vec<optimatch_repo::SkippedRecord>,
+}
+
 /// An analysis session over a workload of QEPs.
 ///
 /// All read operations take `&self` — sessions can be shared across
@@ -98,8 +108,21 @@ impl OptImatch {
         }
     }
 
+    /// Build a session from already-transformed plans — the warm-start
+    /// path used by [`OptImatch::open_repo`], where the RDF graphs come
+    /// off disk instead of being derived. The recorded transform time is
+    /// whatever the restore cost, which is the honest number for
+    /// cold-vs-warm comparisons.
+    pub fn from_transformed(workload: Vec<TransformedQep>) -> OptImatch {
+        OptImatch {
+            workload,
+            timings: Mutex::new(Timings::default()),
+            cache: MatcherCache::new(),
+        }
+    }
+
     /// The `*.qep` / `*.exp` / `*.txt` files in a directory, sorted.
-    fn plan_files(dir: &Path) -> Result<Vec<std::path::PathBuf>, Error> {
+    pub(crate) fn plan_files(dir: &Path) -> Result<Vec<std::path::PathBuf>, Error> {
         let mut paths: Vec<_> = std::fs::read_dir(dir)?
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| {
@@ -148,6 +171,39 @@ impl OptImatch {
         Ok(LenientLoad {
             session: OptImatch::from_qeps(qeps),
             skipped,
+        })
+    }
+
+    /// Open a persistent workload repository (see `optimatch-repo`) as a
+    /// session, skipping the plan parse and RDF transform entirely. Any
+    /// integrity problem fails the open; see
+    /// [`OptImatch::open_repo_lenient`] to skip damaged records instead.
+    ///
+    /// Scanning a session opened this way produces reports identical to
+    /// scanning one built with [`OptImatch::from_dir`] over the source
+    /// directory.
+    pub fn open_repo(path: &Path) -> Result<OptImatch, Error> {
+        let repo = optimatch_repo::Repository::open(path)?;
+        Ok(OptImatch::from_transformed(
+            repo.records.into_iter().map(crate::repo::restore).collect(),
+        ))
+    }
+
+    /// Like [`OptImatch::open_repo`], but records failing their checksum
+    /// or decode are skipped and reported rather than fatal — the
+    /// repository counterpart of [`OptImatch::from_dir_lenient`].
+    pub fn open_repo_lenient(path: &Path) -> Result<RepoLoad, Error> {
+        let loaded = optimatch_repo::Repository::open_lenient(path)?;
+        Ok(RepoLoad {
+            session: OptImatch::from_transformed(
+                loaded
+                    .repository
+                    .records
+                    .into_iter()
+                    .map(crate::repo::restore)
+                    .collect(),
+            ),
+            skipped: loaded.skipped,
         })
     }
 

@@ -1,0 +1,103 @@
+//! A fast, deterministic hasher for internal intern tables.
+//!
+//! The term pool hashes hundreds of thousands of short strings when a
+//! workload-scale graph set is built or restored from the repository;
+//! SipHash (the `std` default) is the dominant cost there. This is the
+//! classic multiply-rotate folding scheme (as used by rustc's `FxHasher`):
+//! not DoS-resistant, which is fine for interning our own vocabulary, and
+//! several times faster on short keys. Never used for any on-disk or
+//! user-visible ordering.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Hash-map alias using [`FastHasher`].
+pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate folding hasher; see the module docs.
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Tag the top (always-padding) byte with the remainder length
+            // so `"x"` and `"x\0"` fold to different words.
+            self.add(u64::from_le_bytes(word) | ((rest.len() as u64 + 1) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FastHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn is_deterministic_and_input_sensitive() {
+        assert_eq!(hash_of(b"hasPopType"), hash_of(b"hasPopType"));
+        assert_ne!(hash_of(b"hasPopType"), hash_of(b"hasPopTypf"));
+        assert_ne!(hash_of(b"ab"), hash_of(b"ba"));
+        assert_ne!(hash_of(b""), hash_of(b"\0"));
+        // Length-extension with zero bytes must still change the hash.
+        assert_ne!(hash_of(b"x"), hash_of(b"x\0\0\0"));
+    }
+
+    #[test]
+    fn works_as_a_map_hasher() {
+        let mut m: FastMap<String, usize> = FastMap::default();
+        for i in 0..1000 {
+            m.insert(format!("term-{i}"), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m["term-437"], 437);
+    }
+}

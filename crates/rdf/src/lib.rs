@@ -39,6 +39,7 @@
 //! ```
 
 pub mod graph;
+pub mod hash;
 pub mod ntriples;
 pub mod numeric;
 pub mod pool;

@@ -152,6 +152,20 @@ impl<'a> LineParser<'a> {
         Ok(Term::bnode(label))
     }
 
+    /// Read the hex digits of a `\uXXXX` (4) or `\UXXXXXXXX` (8) numeric
+    /// escape, positioned just past the `u`/`U`.
+    fn unicode_escape(&mut self, digits: usize) -> Result<char, ParseError> {
+        if self.pos + digits > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + digits])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += digits;
+        char::from_u32(code)
+            .ok_or_else(|| self.err(format!("\\u escape U+{code:04X} is not a character")))
+    }
+
     fn literal(&mut self) -> Result<Term, ParseError> {
         self.expect(b'"')?;
         let mut lex = String::new();
@@ -165,17 +179,19 @@ impl<'a> LineParser<'a> {
                 Some(b'\\') => {
                     self.pos += 1;
                     let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
                     lex.push(match esc {
                         b'\\' => '\\',
                         b'"' => '"',
                         b'n' => '\n',
                         b'r' => '\r',
                         b't' => '\t',
+                        b'u' => self.unicode_escape(4)?,
+                        b'U' => self.unicode_escape(8)?,
                         other => {
                             return Err(self.err(format!("unsupported escape \\{}", other as char)))
                         }
                     });
-                    self.pos += 1;
                 }
                 Some(_) => {
                     // Advance one UTF-8 character.
@@ -256,6 +272,49 @@ mod tests {
         for t in g.iter() {
             assert!(g2.contains(&t.0, &t.1, &t.2), "missing {t:?}");
         }
+    }
+
+    #[test]
+    fn control_characters_in_literals_round_trip() {
+        // Predicate text scraped from plans can carry tabs, CRs,
+        // backslashes, and stray control bytes; all must survive a
+        // serialize → parse cycle.
+        let nasty = "T1.C1\t= 'a\\b'\r\nAND\u{0}\u{B}\u{1F} T2.C2 = \"x\"";
+        let mut g = Graph::new();
+        g.insert(
+            Term::iri("http://optimatch/qep#pop3"),
+            Term::iri("http://optimatch/pred#hasPredicateText"),
+            Term::lit_str(nasty),
+        );
+        let text = to_ntriples(&g);
+        // The serialized form must be a single clean line: no raw
+        // control characters anywhere.
+        let line = text.trim_end_matches('\n');
+        assert!(!line.contains(|c: char| (c as u32) < 0x20));
+        assert!(line.contains("\\u0000"));
+        assert!(line.contains("\\u000B"));
+        let g2 = from_ntriples(&text).unwrap();
+        assert!(g2.contains(
+            &Term::iri("http://optimatch/qep#pop3"),
+            &Term::iri("http://optimatch/pred#hasPredicateText"),
+            &Term::lit_str(nasty)
+        ));
+    }
+
+    #[test]
+    fn unicode_escapes_parse_in_both_widths() {
+        let text = "<a> <b> \"caf\\u00E9 \\U0001F600\" .\n";
+        let g = from_ntriples(text).unwrap();
+        assert!(g.contains(
+            &Term::iri("a"),
+            &Term::iri("b"),
+            &Term::lit_str("café \u{1F600}")
+        ));
+        // Malformed escapes are errors, not silent data.
+        assert!(from_ntriples("<a> <b> \"\\u00G9\" .\n").is_err());
+        assert!(from_ntriples("<a> <b> \"\\u00\" .\n").is_err());
+        // A surrogate code point is not a character.
+        assert!(from_ntriples("<a> <b> \"\\uD800\" .\n").is_err());
     }
 
     #[test]

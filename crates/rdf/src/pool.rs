@@ -5,9 +5,9 @@
 //! scans compare integers instead of strings and the per-QEP graphs (a few
 //! thousand triples each, a thousand graphs per workload) stay compact.
 
-use std::collections::HashMap;
-
+use crate::hash::FastHasher;
 use crate::term::Term;
+use std::hash::{Hash, Hasher};
 
 /// A dense identifier for an interned term, valid only within the pool that
 /// produced it.
@@ -22,10 +22,27 @@ impl TermId {
 }
 
 /// An append-only intern table for RDF terms.
+///
+/// The reverse index (term → id) is a linear-probing hash table whose
+/// slots hold only `id + 1` (zero means empty); keys are never copied out
+/// of the `terms` vector. That keeps pool construction allocation-free per
+/// term, which matters when a warm-start session restores hundreds of
+/// thousands of interned terms from the repository.
 #[derive(Debug, Default, Clone)]
 pub struct TermPool {
     terms: Vec<Term>,
-    ids: HashMap<Term, TermId>,
+    slots: Vec<u32>,
+}
+
+fn hash_term(term: &Term) -> u64 {
+    let mut h = FastHasher::default();
+    term.hash(&mut h);
+    h.finish()
+}
+
+/// Smallest power-of-two slot count keeping load factor under ~3/4.
+fn slot_capacity(terms: usize) -> usize {
+    (terms * 4 / 3 + 1).next_power_of_two().max(16)
 }
 
 impl TermPool {
@@ -34,20 +51,94 @@ impl TermPool {
         TermPool::default()
     }
 
+    /// Rebuild a pool from terms in interning order, so that term `i`
+    /// receives id `TermId(i)`. This is how deserialization reproduces a
+    /// pool with ids identical to the one that was serialized. Fails if
+    /// the slice contains the same term twice (ids would be ambiguous).
+    pub fn from_terms(terms: Vec<Term>) -> Result<TermPool, String> {
+        u32::try_from(terms.len()).map_err(|_| "term pool overflow".to_string())?;
+        let cap = slot_capacity(terms.len());
+        let mask = cap - 1;
+        let mut slots = vec![0u32; cap];
+        for (i, term) in terms.iter().enumerate() {
+            let mut j = hash_term(term) as usize & mask;
+            loop {
+                match slots[j] {
+                    0 => {
+                        slots[j] = i as u32 + 1;
+                        break;
+                    }
+                    slot => {
+                        let prev = (slot - 1) as usize;
+                        if &terms[prev] == term {
+                            return Err(format!(
+                                "duplicate term at indexes {prev} and {i}: {term}"
+                            ));
+                        }
+                    }
+                }
+                j = (j + 1) & mask;
+            }
+        }
+        Ok(TermPool { terms, slots })
+    }
+
     /// Intern a term, returning its id (allocating one if new).
     pub fn intern(&mut self, term: Term) -> TermId {
-        if let Some(&id) = self.ids.get(&term) {
-            return id;
+        if (self.terms.len() + 1) * 4 > self.slots.len() * 3 {
+            self.grow_index();
         }
-        let id = TermId(u32::try_from(self.terms.len()).expect("term pool overflow"));
-        self.terms.push(term.clone());
-        self.ids.insert(term, id);
-        id
+        let mask = self.slots.len() - 1;
+        let mut j = hash_term(&term) as usize & mask;
+        loop {
+            match self.slots[j] {
+                0 => break,
+                slot => {
+                    if self.terms[(slot - 1) as usize] == term {
+                        return TermId(slot - 1);
+                    }
+                }
+            }
+            j = (j + 1) & mask;
+        }
+        let id = u32::try_from(self.terms.len()).expect("term pool overflow");
+        self.terms.push(term);
+        self.slots[j] = id + 1;
+        TermId(id)
+    }
+
+    fn grow_index(&mut self) {
+        let cap = slot_capacity(self.terms.len() + 1).max(self.slots.len() * 2);
+        let mask = cap - 1;
+        let mut slots = vec![0u32; cap];
+        for (i, term) in self.terms.iter().enumerate() {
+            let mut j = hash_term(term) as usize & mask;
+            while slots[j] != 0 {
+                j = (j + 1) & mask;
+            }
+            slots[j] = i as u32 + 1;
+        }
+        self.slots = slots;
     }
 
     /// Look up the id of a term without interning it.
     pub fn get(&self, term: &Term) -> Option<TermId> {
-        self.ids.get(term).copied()
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut j = hash_term(term) as usize & mask;
+        loop {
+            match self.slots[j] {
+                0 => return None,
+                slot => {
+                    if &self.terms[(slot - 1) as usize] == term {
+                        return Some(TermId(slot - 1));
+                    }
+                }
+            }
+            j = (j + 1) & mask;
+        }
     }
 
     /// Resolve an id back to its term.

@@ -219,6 +219,12 @@ impl Term {
 }
 
 /// Escape a string for inclusion inside an N-Triples / Turtle quoted literal.
+///
+/// Besides the named escapes (`\\ \" \n \r \t`), every remaining C0
+/// control character is emitted as a `\uXXXX` numeric escape — predicate
+/// text scraped from query plans can legitimately carry form feeds or
+/// other control bytes, and emitting them raw would produce N-Triples
+/// that other parsers (and our own) reject.
 pub fn escape_literal(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -228,6 +234,9 @@ pub fn escape_literal(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04X}", c as u32));
+            }
             _ => out.push(c),
         }
     }

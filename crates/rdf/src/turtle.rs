@@ -394,6 +394,20 @@ impl<'a> TurtleParser<'a> {
         Ok(Term::lit_typed(lex, datatype))
     }
 
+    /// Read the hex digits of a `\uXXXX` (4) or `\UXXXXXXXX` (8) numeric
+    /// escape, positioned just past the `u`/`U`.
+    fn unicode_escape(&mut self, digits: usize) -> Result<char, TurtleParseError> {
+        let end = self.pos + digits;
+        if end > self.src.len() || !self.src.is_char_boundary(end) {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = &self.src[self.pos..end];
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += digits;
+        char::from_u32(code)
+            .ok_or_else(|| self.err(format!("\\u escape U+{code:04X} is not a character")))
+    }
+
     fn literal(&mut self) -> Result<Term, TurtleParseError> {
         self.expect(b'"')?;
         let mut lex = String::new();
@@ -407,17 +421,19 @@ impl<'a> TurtleParser<'a> {
                 Some(b'\\') => {
                     self.pos += 1;
                     let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
                     lex.push(match esc {
                         b'\\' => '\\',
                         b'"' => '"',
                         b'n' => '\n',
                         b'r' => '\r',
                         b't' => '\t',
+                        b'u' => self.unicode_escape(4)?,
+                        b'U' => self.unicode_escape(8)?,
                         other => {
                             return Err(self.err(format!("unsupported escape \\{}", other as char)))
                         }
                     });
-                    self.pos += 1;
                 }
                 Some(_) => {
                     let ch = self.src[self.pos..].chars().next().expect("in bounds");
@@ -488,6 +504,38 @@ mod tests {
         pm.add("a", "http://x/");
         pm.add("ab", "http://x/deep#");
         assert_eq!(pm.compact("http://x/deep#n"), "ab:n");
+    }
+
+    #[test]
+    fn control_characters_in_literals_round_trip() {
+        let nasty = "Q1.ID\t= Q2.ID\r\nAND\u{C} NAME LIKE '%\\%'";
+        let mut g = Graph::new();
+        g.insert(
+            Term::iri("http://optimatch/qep#pop4"),
+            Term::iri("http://optimatch/pred#hasPredicateText"),
+            Term::lit_str(nasty),
+        );
+        let ttl = to_turtle(&g, &PrefixMap::new());
+        assert!(ttl.contains("\\u000C"));
+        let g2 = from_turtle(&ttl).unwrap();
+        assert!(g2.contains(
+            &Term::iri("http://optimatch/qep#pop4"),
+            &Term::iri("http://optimatch/pred#hasPredicateText"),
+            &Term::lit_str(nasty)
+        ));
+    }
+
+    #[test]
+    fn unicode_escapes_parse_in_both_widths() {
+        let ttl = "<a> <b> \"caf\\u00E9 \\U0001F600\" .\n";
+        let g = from_turtle(ttl).unwrap();
+        assert!(g.contains(
+            &Term::iri("a"),
+            &Term::iri("b"),
+            &Term::lit_str("café \u{1F600}")
+        ));
+        assert!(from_turtle("<a> <b> \"\\uZZZZ\" .\n").is_err());
+        assert!(from_turtle("<a> <b> \"\\uD800\" .\n").is_err());
     }
 
     #[test]

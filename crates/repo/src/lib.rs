@@ -1,0 +1,28 @@
+//! Persistent workload repository for OptImatch knowledge bases.
+//!
+//! A repository is a single append-only binary file storing, per QEP:
+//! the interned RDF graph produced by the transform (Algorithm 1 of the
+//! OptImatch paper), the pruning feature summary, the parsed plan, the
+//! source filename, and any ground-truth labels. Opening a repository
+//! skips the plan parse and RDF transform entirely, giving warm-start
+//! sessions; every record is guarded by a CRC-32 so silent on-disk
+//! corruption is detected, named, and — in the lenient mode — skipped
+//! rather than fatal.
+//!
+//! This crate owns only the storage layer (format, checksums, record
+//! codec). It depends on `optimatch-qep` and `optimatch-rdf` for the
+//! payload types; session integration (`OptImatch::open_repo`) lives in
+//! `optimatch-core`.
+
+pub mod crc;
+pub mod error;
+pub mod record;
+pub mod store;
+mod wire;
+
+pub use error::RepoError;
+pub use record::{RepoRecord, StoredSummary};
+pub use store::{
+    is_repo_file, LenientRepo, RepoStats, RepoWriter, Repository, SkippedRecord, VerifyReport,
+    FORMAT_VERSION, MAGIC,
+};

@@ -1,0 +1,222 @@
+//! Little-endian, length-prefixed wire primitives.
+//!
+//! Every structure in the repository format is written through these
+//! helpers, so the encoding discipline lives in exactly one place:
+//! integers are little-endian, floats are IEEE-754 bit patterns, strings
+//! are a `u32` byte length followed by UTF-8 bytes, and sequences are a
+//! `u32` element count followed by the elements. Reads are bounds-checked
+//! against the enclosing record payload — a truncated or corrupted
+//! payload surfaces as a [`WireError`], never a panic.
+
+use std::fmt;
+
+/// A malformed byte sequence encountered while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append a `u8`.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Append a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` as its IEEE-754 bit pattern (exact round-trip).
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(
+        buf,
+        u32::try_from(s.len()).expect("string longer than 4 GiB"),
+    );
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Append a length-prefixed sequence of strings.
+pub fn put_strs(buf: &mut Vec<u8>, items: &[String]) {
+    put_u32(buf, items.len() as u32);
+    for s in items {
+        put_str(buf, s);
+    }
+}
+
+/// A bounds-checked reader over a byte slice.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Start reading at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Cursor<'a> {
+        Cursor { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError(format!(
+                "truncated {what}: need {n} byte(s), have {} at offset {}",
+                self.remaining(),
+                self.pos
+            )));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read `n` raw bytes. Lets fixed-stride sequences (the triple list)
+    /// be decoded from one slice instead of element-wise reads.
+    pub fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        self.take(n, what)
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn f64(&mut self, what: &str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &str) -> Result<String, WireError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError(format!("invalid UTF-8 in {what}")))
+    }
+
+    /// Read a length-prefixed sequence of strings.
+    pub fn strs(&mut self, what: &str) -> Result<Vec<String>, WireError> {
+        let n = self.u32(what)? as usize;
+        // Each element needs at least its 4-byte length prefix; reject
+        // counts the remaining bytes cannot possibly satisfy.
+        if n > self.remaining() / 4 {
+            return Err(WireError(format!("implausible {what} count {n}")));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.str(what)?);
+        }
+        Ok(out)
+    }
+
+    /// Read a sequence count, rejecting counts larger than the remaining
+    /// bytes could encode at `min_bytes` per element.
+    pub fn count(&mut self, min_bytes: usize, what: &str) -> Result<usize, WireError> {
+        let n = self.u32(what)? as usize;
+        if n > self.remaining() / min_bytes.max(1) {
+            return Err(WireError(format!("implausible {what} count {n}")));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f64(&mut buf, -0.1);
+        put_str(&mut buf, "héllo\tworld");
+        put_strs(&mut buf, &["a".into(), String::new()]);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.u8("x").unwrap(), 7);
+        assert_eq!(c.u32("x").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(c.u64("x").unwrap(), u64::MAX - 1);
+        assert_eq!(c.f64("x").unwrap(), -0.1);
+        assert_eq!(c.str("x").unwrap(), "héllo\tworld");
+        assert_eq!(c.strs("x").unwrap(), vec!["a".to_string(), String::new()]);
+        assert!(c.at_end());
+    }
+
+    #[test]
+    fn nan_bits_round_trip_exactly() {
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut buf = Vec::new();
+        put_f64(&mut buf, weird);
+        let got = Cursor::new(&buf).f64("x").unwrap();
+        assert_eq!(got.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "abcdef");
+        // Cut the string body short.
+        let cut = &buf[..buf.len() - 2];
+        let err = Cursor::new(cut).str("name").unwrap_err();
+        assert!(err.to_string().contains("truncated name"), "{err}");
+    }
+
+    #[test]
+    fn bogus_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX); // absurd string length
+        assert!(Cursor::new(&buf).str("s").is_err());
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX); // absurd element count
+        assert!(Cursor::new(&buf).strs("list").is_err());
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1000);
+        assert!(Cursor::new(&buf).count(8, "ops").is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let err = Cursor::new(&buf).str("label").unwrap_err();
+        assert!(err.to_string().contains("UTF-8"), "{err}");
+    }
+}

@@ -1,0 +1,209 @@
+//! Integrity checks against deliberately damaged repository files:
+//! single flipped bytes, truncation, and mangled structures. The strict
+//! open must fail naming the damaged record; the lenient open must
+//! recover everything else; `verify` must report every problem.
+
+use std::path::PathBuf;
+
+use optimatch_qep::fixtures;
+use optimatch_rdf::{Graph, Term};
+use optimatch_repo::{RepoError, RepoRecord, Repository, StoredSummary};
+
+fn record(id: &str, qep: optimatch_qep::Qep) -> RepoRecord {
+    let mut qep = qep;
+    qep.id = id.to_string();
+    let mut graph = Graph::new();
+    graph.insert(
+        Term::iri(format!("http://optimatch/qep/{id}")),
+        Term::iri("http://optimatch/hasPopType"),
+        Term::lit_str("HSJOIN"),
+    );
+    RepoRecord {
+        id: id.to_string(),
+        source_file: format!("{id}.qep"),
+        labels: Vec::new(),
+        summary: StoredSummary::default(),
+        qep,
+        graph,
+    }
+}
+
+fn fresh_repo(tag: &str) -> (PathBuf, Vec<u8>) {
+    let dir = std::env::temp_dir().join("optimatch-repo-corruption");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{tag}.repo"));
+    let records = vec![
+        record("q-first", fixtures::fig1()),
+        record("q-middle", fixtures::fig7()),
+        record("q-last", fixtures::fig8()),
+    ];
+    Repository::save(&path, &records).expect("save");
+    let bytes = std::fs::read(&path).expect("read back");
+    (path, bytes)
+}
+
+/// File offset of the i-th record's payload start, straight from the
+/// on-disk layout (16-byte header, 10-byte frames).
+fn payload_offset(bytes: &[u8], index: usize) -> (usize, usize) {
+    let mut pos = 16;
+    for _ in 0..index {
+        let len = u32::from_le_bytes(bytes[pos + 2..pos + 6].try_into().unwrap()) as usize;
+        pos += 10 + len;
+    }
+    let len = u32::from_le_bytes(bytes[pos + 2..pos + 6].try_into().unwrap()) as usize;
+    (pos + 10, len)
+}
+
+#[test]
+fn one_flipped_byte_fails_strict_open_naming_the_record() {
+    let (path, bytes) = fresh_repo("flip");
+    let (start, len) = payload_offset(&bytes, 1);
+    let mut bad = bytes.clone();
+    bad[start + len / 2] ^= 0x01;
+    std::fs::write(&path, &bad).unwrap();
+
+    let err = Repository::open(&path).unwrap_err();
+    match &err {
+        RepoError::Checksum { index, id, .. } => {
+            assert_eq!(*index, 1);
+            assert_eq!(id, "q-middle");
+        }
+        other => panic!("expected a checksum error, got {other}"),
+    }
+    assert!(err.to_string().contains("q-middle"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn lenient_open_skips_the_damaged_record_and_keeps_the_rest() {
+    let (path, bytes) = fresh_repo("flip-lenient");
+    let (start, _) = payload_offset(&bytes, 1);
+    let mut bad = bytes.clone();
+    bad[start] ^= 0x80;
+    std::fs::write(&path, &bad).unwrap();
+
+    let loaded = Repository::open_lenient(&path).unwrap();
+    let ids: Vec<&str> = loaded
+        .repository
+        .records
+        .iter()
+        .map(|r| r.id.as_str())
+        .collect();
+    assert_eq!(ids, vec!["q-first", "q-last"]);
+    assert_eq!(loaded.skipped.len(), 1);
+    let skip = &loaded.skipped[0];
+    assert_eq!(skip.index, Some(1));
+    assert_eq!(skip.id.as_deref(), Some("q-middle"));
+    assert!(skip.to_string().contains("q-middle"), "{skip}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_final_segment_recovers_earlier_records_leniently() {
+    let (path, bytes) = fresh_repo("truncate");
+    // Cut the file somewhere inside the last record's payload — the
+    // footer and trailer are gone with it.
+    let (last_start, last_len) = payload_offset(&bytes, 2);
+    let cut = last_start + last_len / 2;
+    std::fs::write(&path, &bytes[..cut]).unwrap();
+
+    // Strict open fails: no trailer.
+    let err = Repository::open(&path).unwrap_err();
+    assert!(matches!(err, RepoError::Corrupt { .. }), "{err}");
+
+    // Lenient open falls back to a sequential scan and recovers the
+    // first two records.
+    let loaded = Repository::open_lenient(&path).unwrap();
+    let ids: Vec<&str> = loaded
+        .repository
+        .records
+        .iter()
+        .map(|r| r.id.as_str())
+        .collect();
+    assert_eq!(ids, vec!["q-first", "q-middle"]);
+    assert!(
+        loaded
+            .skipped
+            .iter()
+            .any(|s| s.reason.contains("truncated")),
+        "skips: {:?}",
+        loaded.skipped
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn verify_reports_every_problem_without_stopping() {
+    let (path, bytes) = fresh_repo("verify");
+    let ok = Repository::verify(&path).unwrap();
+    assert!(ok.is_ok());
+    assert_eq!(ok.records, 3);
+    assert_eq!(ok.bytes, bytes.len() as u64);
+
+    // Damage two records at once.
+    let mut bad = bytes.clone();
+    let (s0, _) = payload_offset(&bytes, 0);
+    let (s2, _) = payload_offset(&bytes, 2);
+    bad[s0] ^= 0x40;
+    bad[s2] ^= 0x40;
+    std::fs::write(&path, &bad).unwrap();
+
+    let report = Repository::verify(&path).unwrap();
+    assert!(!report.is_ok());
+    assert_eq!(report.records, 1);
+    assert_eq!(report.problems.len(), 2);
+    assert!(
+        report.problems[0].contains("q-first"),
+        "{:?}",
+        report.problems
+    );
+    assert!(
+        report.problems[1].contains("q-last"),
+        "{:?}",
+        report.problems
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn damaged_footer_crc_triggers_sequential_recovery() {
+    let (path, bytes) = fresh_repo("footer");
+    // The footer body sits between the last record and the 16-byte
+    // trailer; flip a byte in it so its CRC no longer matches.
+    let trailer_start = bytes.len() - 16;
+    let footer_offset =
+        u64::from_le_bytes(bytes[trailer_start..trailer_start + 8].try_into().unwrap()) as usize;
+    let mut bad = bytes.clone();
+    bad[footer_offset + 10] ^= 0xFF; // first byte of the footer body
+    std::fs::write(&path, &bad).unwrap();
+
+    let err = Repository::open(&path).unwrap_err();
+    assert!(err.to_string().contains("footer"), "{err}");
+
+    // All three records are still intact; the sequential scan finds them.
+    let loaded = Repository::open_lenient(&path).unwrap();
+    assert_eq!(loaded.repository.records.len(), 3);
+    assert!(
+        loaded
+            .skipped
+            .iter()
+            .any(|s| s.reason.contains("sequential")),
+        "skips: {:?}",
+        loaded.skipped
+    );
+
+    // Appending to a repository with a broken footer must refuse.
+    assert!(Repository::append(&path, &[record("q-new", fixtures::fig1())]).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn append_grows_the_repository_incrementally() {
+    let (path, _) = fresh_repo("append-inc");
+    Repository::append(&path, &[record("q-extra", fixtures::fig1())]).unwrap();
+    let repo = Repository::open(&path).unwrap();
+    assert_eq!(repo.records.len(), 4);
+    assert_eq!(repo.records[3].id, "q-extra");
+    assert!(Repository::verify(&path).unwrap().is_ok());
+    std::fs::remove_file(&path).ok();
+}

@@ -8,6 +8,7 @@
 pub use optimatch_core as core;
 pub use optimatch_qep as qep;
 pub use optimatch_rdf as rdf;
+pub use optimatch_repo as repo;
 pub use optimatch_sparql as sparql;
 pub use optimatch_workload as workload;
 

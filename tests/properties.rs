@@ -169,6 +169,52 @@ proptest! {
         }
     }
 
+    /// Repository round trip: building a repository from a generated
+    /// workload directory and warm-starting from it yields the same
+    /// feature summaries and byte-identical scan reports (via JSON) as
+    /// the cold parse-and-transform path — with pruning on and off.
+    #[test]
+    fn repository_round_trips_generated_workloads(seed in any::<u64>(), n in 2usize..8) {
+        use optimatch_suite::core::OptImatch;
+
+        let w = generate_workload(&WorkloadConfig {
+            seed,
+            num_qeps: n,
+            ..WorkloadConfig::default()
+        });
+        let dir = std::env::temp_dir().join(format!(
+            "optimatch-prop-repo-{}-{seed:016x}-{n}",
+            std::process::id()
+        ));
+        optimatch_suite::workload::write_workload(&w, &dir).expect("writes the workload");
+        let repo_path = dir.join("workload.optirepo");
+        let outcome = optimatch_suite::core::build_repo(&dir, &repo_path).expect("builds");
+        prop_assert_eq!(outcome.records, n);
+        prop_assert!(outcome.skipped.is_empty());
+
+        let cold = OptImatch::from_dir(&dir).expect("cold load");
+        let warm = OptImatch::open_repo(&repo_path).expect("warm load");
+        prop_assert_eq!(warm.len(), cold.len());
+        let cold_summaries: Vec<_> = cold.workload().iter().map(|t| &t.summary).collect();
+        let warm_summaries: Vec<_> = warm.workload().iter().map(|t| &t.summary).collect();
+        prop_assert_eq!(cold_summaries, warm_summaries);
+
+        let kb = builtin::paper_kb();
+        for prune in [true, false] {
+            let opts = ScanOptions::default().prune(prune);
+            let from_cold = cold.scan_with(&kb, opts).expect("cold scan");
+            let from_warm = warm.scan_with(&kb, opts).expect("warm scan");
+            prop_assert_eq!(&from_cold.reports, &from_warm.reports);
+            prop_assert_eq!(
+                serde_json::to_string(&from_cold.reports).expect("serializable"),
+                serde_json::to_string(&from_warm.reports).expect("serializable")
+            );
+            prop_assert_eq!(from_cold.stats.pruned, from_warm.stats.pruned);
+            prop_assert_eq!(from_cold.stats.candidates, from_warm.stats.candidates);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// Soundness of the pruning index: over arbitrary generated workloads,
     /// a pruned scan (and a pruned + threaded scan) returns exactly the
     /// reports of an unpruned scan, and pruned matcher searches return
