@@ -13,7 +13,9 @@
 //! optimatch scan   SOURCE [--kb FILE.json] [--threads N] [--no-prune]
 //! optimatch repo   build DIR OUT.repo | add REPO DIR | stats REPO | verify REPO
 //! optimatch sparql FILE.qep QUERY.rq
-//! optimatch kb-init FILE.json
+//! optimatch kb-init FILE.json [--extended]
+//! optimatch kb lint [FILE.json] [--builtin|--extended] [--workload PATH]
+//!                   [--format text|json] [--deny-warnings]
 //! ```
 //!
 //! `SOURCE` is a plan directory, a single plan file, or a persistent
@@ -62,8 +64,11 @@ pub struct Args {
     pub options: Vec<(String, String)>,
 }
 
-/// Options that never take a value.
-const BOOL_FLAGS: &[&str] = &["study", "no-prune"];
+/// Options that never take a value. (`--builtin` is absent on purpose:
+/// `search --builtin NAME` takes a value, so `kb lint --builtin` relies
+/// on the parser's rule that a flag followed by another `--` option or
+/// nothing keeps an empty value.)
+const BOOL_FLAGS: &[&str] = &["study", "no-prune", "deny-warnings", "extended"];
 
 impl Args {
     /// Parse raw arguments (without the program and subcommand names).
@@ -142,6 +147,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "repo" => cmd_repo(&args),
         "diff" => cmd_diff(&args),
         "sparql" => cmd_sparql(&args),
+        "kb" => cmd_kb(&args),
         "kb-init" => cmd_kb_init(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => err(format!("unknown command {other:?}\n\n{}", usage())),
@@ -167,7 +173,12 @@ pub fn usage() -> String {
      \x20 optimatch cluster DIR [--k N]                             cost clusters x patterns\n\
      \x20 optimatch diff   BEFORE.qep AFTER.qep                     plan regression report\n\
      \x20 optimatch sparql FILE.qep QUERY.rq                        ad-hoc SPARQL over a plan\n\
-     \x20 optimatch kb-init FILE.json                               write the built-in KB\n\
+     \x20 optimatch kb-init FILE.json [--extended]                  write the built-in KB\n\
+     \x20 optimatch kb lint [F.json] [--builtin|--extended]         static analysis over KB\n\
+     \x20                   [--workload PATH] [--format text|json] [--deny-warnings]\n\
+     \x20                                                            entries (exit 1 on errors;\n\
+     \x20                                                            --workload adds dead-pattern\n\
+     \x20                                                            detection)\n\
      \n\
      SOURCE for search/scan is a plan directory, a single plan file, or a\n\
      persistent workload repository built with `repo build` — repository\n\
@@ -569,15 +580,78 @@ fn cmd_sparql(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_kb_init(args: &Args) -> Result<String, CliError> {
-    args.expect_options(&[])?;
+    args.expect_options(&["extended"])?;
     let file = args
         .positional
         .first()
         .ok_or_else(|| CliError("kb-init: expected an output FILE.json".into()))?;
-    let kb = builtin::paper_kb();
+    let kb = if args.flag("extended") {
+        builtin::extended_kb()
+    } else {
+        builtin::paper_kb()
+    };
     kb.save(Path::new(file))
         .map_err(|e| CliError(e.to_string()))?;
     Ok(format!("wrote {} entries to {file}", kb.len()))
+}
+
+/// `kb <action>` dispatch: `kb lint` runs the static-analysis suite;
+/// `kb init` is an alias for `kb-init`.
+fn cmd_kb(args: &Args) -> Result<String, CliError> {
+    match args.positional.first().map(String::as_str) {
+        Some("lint") => cmd_kb_lint(args),
+        Some("init") => {
+            let shifted = Args {
+                positional: args.positional[1..].to_vec(),
+                options: args.options.clone(),
+            };
+            cmd_kb_init(&shifted)
+        }
+        Some(other) => err(format!("kb: unknown action {other:?} (try `kb lint`)")),
+        None => err("kb: expected an action (`lint` or `init`)"),
+    }
+}
+
+/// `kb lint [FILE.json] [--builtin|--extended] [--workload PATH]
+/// [--format text|json] [--deny-warnings]`.
+///
+/// Exit status is the point: errors (and, under `--deny-warnings`,
+/// warnings) surface as a [`CliError`] carrying the full rendered
+/// report, so `main` prints it and exits non-zero.
+fn cmd_kb_lint(args: &Args) -> Result<String, CliError> {
+    args.expect_options(&["builtin", "extended", "workload", "format", "deny-warnings"])?;
+    if args.option("builtin").is_some_and(|v| !v.is_empty()) {
+        return err("kb lint: --builtin takes no value (put it after positionals)");
+    }
+
+    // What to lint: an explicit KB file beats the builtin libraries.
+    let entries = match args.positional.get(1) {
+        Some(file) => optimatch_lint::load_kb_entries(Path::new(file))
+            .map_err(|e| CliError(format!("kb lint: {e}")))?,
+        None if args.flag("extended") => builtin::extended_entries(),
+        None if args.flag("builtin") => builtin::paper_entries(),
+        None => return err("kb lint: expected a KB FILE.json, --builtin, or --extended"),
+    };
+
+    let workload = match args.option("workload") {
+        Some(path) => Some(
+            optimatch_lint::load_workload(Path::new(path))
+                .map_err(|e| CliError(format!("kb lint: {e}")))?,
+        ),
+        None => None,
+    };
+    let report = optimatch_lint::lint(&entries, workload.as_deref());
+
+    let rendered = match args.option("format").unwrap_or("text") {
+        "text" => report.render_text(),
+        "json" => report.render_json(),
+        other => return err(format!("kb lint: unknown format {other:?}")),
+    };
+    if report.has_failures(args.flag("deny-warnings")) {
+        Err(CliError(rendered))
+    } else {
+        Ok(rendered)
+    }
 }
 
 #[cfg(test)]
@@ -935,7 +1009,154 @@ mod tests {
         assert!(msg.contains("wrote 4 entries"));
         let kb = KnowledgeBase::load(&file).expect("loads");
         assert_eq!(kb.len(), 4);
+
+        // --extended writes the seven-entry library; `kb init` aliases.
+        let ext = dir.join("ext.json");
+        let msg = run_ok(&["kb", "init", ext.to_str().unwrap(), "--extended"]);
+        assert!(msg.contains("wrote 7 entries"));
+        assert_eq!(KnowledgeBase::load(&ext).expect("loads").len(), 7);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kb_lint_passes_builtin_libraries() {
+        // The builtin KBs must stay clean even under --deny-warnings
+        // (notes — recursive-path cost — are allowed).
+        for flags in [&["--builtin"][..], &["--extended"][..]] {
+            let mut argv = vec!["kb", "lint"];
+            argv.extend_from_slice(flags);
+            argv.push("--deny-warnings");
+            let out = run_ok(&argv);
+            assert!(out.contains("kb lint:"), "{out}");
+            assert!(!out.contains("error["), "{out}");
+            assert!(!out.contains("warning["), "{out}");
+        }
+    }
+
+    #[test]
+    fn kb_lint_fails_on_contradictory_pattern() {
+        let dir = temp_dir("kblint-contradiction");
+        let file = dir.join("kb.json");
+        let mut entry = builtin::pattern_c();
+        // hasEstimateCardinality < 0.001 already present; force > 1000.
+        entry.pattern.pops[0] = entry.pattern.pops[0].clone().prop(
+            "hasEstimateCardinality",
+            optimatch_core::Sign::Gt,
+            "1000",
+        );
+        std::fs::write(&file, serde_json::to_string(&vec![entry]).unwrap()).unwrap();
+        let argv: Vec<String> = ["kb", "lint", file.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let e = run(&argv).expect_err("contradiction must fail the lint");
+        assert!(e.0.contains("error[OL007]"), "{}", e.0);
+        assert!(e.0.contains("contradictory conditions"), "{}", e.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kb_lint_fails_on_undefined_template_alias() {
+        let dir = temp_dir("kblint-alias");
+        let file = dir.join("kb.json");
+        let mut entry = builtin::pattern_a();
+        entry.recommendation = "Fix @TOP, also consult @NOSUCH.".into();
+        std::fs::write(&file, serde_json::to_string(&vec![entry]).unwrap()).unwrap();
+        let argv: Vec<String> = ["kb", "lint", file.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let e = run(&argv).expect_err("undefined alias must fail the lint");
+        assert!(e.0.contains("error[OL201]"), "{}", e.0);
+        assert!(e.0.contains("@NOSUCH"), "{}", e.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kb_lint_detects_dead_patterns_with_workload() {
+        let dir = temp_dir("kblint-dead");
+        let plans = dir.join("wl");
+        run_ok(&[
+            "gen",
+            "--out",
+            plans.to_str().unwrap(),
+            "--n",
+            "6",
+            "--seed",
+            "7",
+        ]);
+        let file = dir.join("kb.json");
+        // An entry no generated plan can satisfy: a ZZJOIN (the generator
+        // never emits one).
+        let dead = optimatch_core::KnowledgeBaseEntry {
+            name: "needs-zzjoin".into(),
+            description: String::new(),
+            pattern: Pattern::new("needs-zzjoin", "")
+                .with_pop(optimatch_core::PatternPop::new(1, "ZZJOIN").alias("TOP")),
+            recommendation: "Review @TOP.".into(),
+            prototype: Default::default(),
+        };
+        std::fs::write(&file, serde_json::to_string(&vec![dead]).unwrap()).unwrap();
+        let argv: Vec<String> = [
+            "kb",
+            "lint",
+            file.to_str().unwrap(),
+            "--workload",
+            plans.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let e = run(&argv).expect_err("dead pattern must fail the lint");
+        assert!(e.0.contains("error[OL203]"), "{}", e.0);
+        assert!(e.0.contains("dead pattern"), "{}", e.0);
+
+        // The builtin KB against the same workload lints without a load
+        // failure either way — a small workload may leave some builtin
+        // patterns dead (non-zero exit), but the report always renders
+        // with the workload size in the summary.
+        let argv: Vec<String> = [
+            "kb",
+            "lint",
+            "--workload",
+            plans.to_str().unwrap(),
+            "--builtin",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let rendered = match run(&argv) {
+            Ok(out) => out,
+            Err(e) => e.0,
+        };
+        assert!(rendered.contains("workload QEPs"), "{rendered}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kb_lint_renders_json() {
+        let out = run_ok(&["kb", "lint", "--extended", "--format", "json"]);
+        assert!(out.contains("\"diagnostics\":["), "{out}");
+        assert!(out.contains("\"summary\":"), "{out}");
+        assert!(out.contains("\"OL104\""), "{out}");
+    }
+
+    #[test]
+    fn kb_lint_argument_errors() {
+        let run_err = |argv: &[&str]| {
+            let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+            run(&argv).expect_err("command fails")
+        };
+        assert!(run_err(&["kb"]).0.contains("expected an action"));
+        assert!(run_err(&["kb", "frob"]).0.contains("unknown action"));
+        assert!(run_err(&["kb", "lint"]).0.contains("--builtin"));
+        assert!(run_err(&["kb", "lint", "--builtin", "--format", "yaml"])
+            .0
+            .contains("unknown format"));
+        // `--builtin` accidentally swallowing a positional is diagnosed.
+        assert!(run_err(&["kb", "lint", "--builtin", "stray.json"])
+            .0
+            .contains("takes no value"));
     }
 
     #[test]
@@ -959,7 +1180,7 @@ mod tests {
     fn help_lists_commands() {
         let help = run_ok(&["help"]);
         for cmd in [
-            "gen", "stats", "tree", "rdf", "search", "scan", "sparql", "kb-init",
+            "gen", "stats", "tree", "rdf", "search", "scan", "sparql", "kb-init", "kb lint",
         ] {
             assert!(help.contains(cmd), "missing {cmd}");
         }

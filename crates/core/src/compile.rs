@@ -41,6 +41,13 @@ const EXACT_TYPES: [&str; 18] = [
     "TEMP", "FILTER", "UNION", "UNIQUE", "TQ", "RIDSCN", "IXAND", "SHIP",
 ];
 
+/// True when `op_type` is something the compiler can emit a type
+/// constraint for: the wildcard `ANY`, the classes `JOIN` / `SCAN`,
+/// `BASE OB`, or an exact operator mnemonic.
+pub fn is_known_op_type(op_type: &str) -> bool {
+    matches!(op_type, "ANY" | "JOIN" | "SCAN" | "BASE OB") || EXACT_TYPES.contains(&op_type)
+}
+
 /// The alternation of all three stream predicates (one logical hop is two
 /// path steps because edges route through blank nodes).
 fn any_stream_alt() -> String {
@@ -343,9 +350,11 @@ mod tests {
     #[test]
     fn unknown_type_is_rejected() {
         let p = Pattern::new("u", "").with_pop(PatternPop::new(1, "WHATEVER"));
+        // Validation (via the linter) catches unknown types before the
+        // compiler's own emit loop would.
         assert!(matches!(
             compile_pattern(&p),
-            Err(CompileError::UnknownType(_))
+            Err(CompileError::Invalid(PatternError::UnknownOpType { .. }))
         ));
     }
 

@@ -3,8 +3,7 @@
 //! Loading, compiling, and matching used to surface two unrelated enums
 //! (`session::LoadError` and `matcher::MatchError`); they are now variants
 //! of one [`Error`] with proper [`std::error::Error::source`] chains, so
-//! callers can report the whole cause chain uniformly. The old names
-//! remain as deprecated aliases.
+//! callers can report the whole cause chain uniformly.
 
 use crate::compile::CompileError;
 use optimatch_qep::QepParseError;
@@ -94,18 +93,5 @@ mod tests {
         let io = Error::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
         assert!(io.source().is_some());
         assert!(io.to_string().contains("gone"));
-    }
-
-    #[test]
-    fn deprecated_aliases_still_name_the_variants() {
-        #[allow(deprecated)]
-        fn as_match_error(e: crate::matcher::MatchError) -> String {
-            match e {
-                crate::matcher::MatchError::Compile(c) => c.to_string(),
-                other => other.to_string(),
-            }
-        }
-        let text = as_match_error(Error::Compile(CompileError::UnknownType("X".into())));
-        assert!(text.contains('X'));
     }
 }

@@ -384,6 +384,22 @@ impl KnowledgeBase {
         }
     }
 
+    /// Run the full static-analysis suite ([`crate::lint`]) over every
+    /// stored entry. Loaded KBs are already free of error-severity
+    /// pattern issues (loading compiles eagerly), so this surfaces
+    /// warnings and notes — plus template/query findings.
+    pub fn lint(&self) -> Vec<crate::lint::Diagnostic> {
+        crate::lint::lint_entries(&self.entries)
+    }
+
+    /// [`KnowledgeBase::lint`] plus dead-pattern detection: entries no
+    /// QEP in `workload` could ever satisfy are reported as `OL203`.
+    pub fn lint_with_workload(&self, workload: &[TransformedQep]) -> Vec<crate::lint::Diagnostic> {
+        let mut out = self.lint();
+        out.extend(crate::lint::lint_dead_patterns(&self.entries, workload));
+        out
+    }
+
     /// Serialize all entries to JSON.
     pub fn to_json(&self) -> Result<String, KbError> {
         serde_json::to_string_pretty(&self.entries).map_err(KbError::Json)

@@ -39,6 +39,12 @@
 //!     transformed workload into a checksummed on-disk repository and
 //!     reopen it later as a warm-start session
 //!     ([`OptImatch::open_repo`]) with no parse or transform work.
+//! 11. [`lint`] — clippy-style static analysis over KB entries: pattern
+//!     semantics (contradictions, unknown types/properties, unreachable
+//!     pops), compiled-query analysis (cartesian products, unbound
+//!     FILTER variables, non-well-designed OPTIONALs, recursive paths),
+//!     and cross-artifact checks (template aliases, dead patterns
+//!     against a stored workload).
 
 pub mod builtin;
 pub mod cluster;
@@ -47,6 +53,7 @@ pub mod error;
 pub mod features;
 pub mod handlers;
 pub mod kb;
+pub mod lint;
 pub mod matcher;
 pub mod pattern;
 pub mod rank;
@@ -59,6 +66,7 @@ pub mod vocab;
 pub use error::Error;
 pub use features::{FeatureSummary, PruneStats, RequiredFeatures};
 pub use kb::{KnowledgeBase, KnowledgeBaseEntry, Recommendation, ScanOptions, ScanOutcome};
+pub use lint::{Artifact, Diagnostic, PatternIssue, Severity};
 pub use matcher::{MatchBinding, Matcher, MatcherCache, PatternMatch};
 pub use pattern::{Pattern, PatternPop, PropertyCondition, Relationship, Sign, StreamSpec};
 pub use repo::{add_to_repo, build_repo, AddOutcome, BuildOutcome};

@@ -21,10 +21,6 @@ use crate::pattern::Pattern;
 use crate::transform::TransformedQep;
 use crate::vocab;
 
-/// Former matcher error type, now folded into [`Error`].
-#[deprecated(note = "use optimatch_core::Error")]
-pub type MatchError = Error;
-
 /// What a result handler bound to, in plan terms.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MatchTarget {

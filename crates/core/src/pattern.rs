@@ -195,6 +195,12 @@ pub enum PatternError {
     Empty,
     /// An alias is used by two pops.
     DuplicateAlias(String),
+    /// An operator type the compiler has no handler for.
+    UnknownOpType { pop: u32, op_type: String },
+    /// Two conditions on one property that no value satisfies together.
+    Contradiction { pop: u32, property: String },
+    /// A property both required by a condition and declared absent.
+    RequiredAndAbsent { pop: u32, property: String },
 }
 
 impl std::fmt::Display for PatternError {
@@ -207,6 +213,15 @@ impl std::fmt::Display for PatternError {
             PatternError::SelfReference(id) => write!(f, "pop {id} references itself"),
             PatternError::Empty => write!(f, "pattern has no pops"),
             PatternError::DuplicateAlias(a) => write!(f, "alias {a:?} used twice"),
+            PatternError::UnknownOpType { pop, op_type } => {
+                write!(f, "pop {pop} has unknown operator type {op_type:?}")
+            }
+            PatternError::Contradiction { pop, property } => {
+                write!(f, "pop {pop} has contradictory conditions on {property:?}")
+            }
+            PatternError::RequiredAndAbsent { pop, property } => {
+                write!(f, "pop {pop} both requires and forbids {property:?}")
+            }
         }
     }
 }
@@ -234,50 +249,20 @@ impl Pattern {
         self.pops.iter().find(|p| p.id == id)
     }
 
-    /// Check structural sanity.
+    /// Check semantic sanity: structural integrity (duplicate ids and
+    /// aliases, dangling or self-referential streams) plus the semantic
+    /// errors the linter knows about (unknown operator types,
+    /// contradictory conditions, required-and-absent properties). This is
+    /// a thin wrapper over [`crate::lint::pattern_issues`] reporting the
+    /// first error-severity issue; warnings never fail validation.
     pub fn validate(&self) -> Result<(), PatternError> {
-        if self.pops.is_empty() {
-            return Err(PatternError::Empty);
+        match crate::lint::pattern_issues(self)
+            .iter()
+            .find_map(|issue| issue.as_pattern_error())
+        {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        let mut seen = std::collections::BTreeSet::new();
-        let mut aliases = std::collections::BTreeSet::new();
-        for pop in &self.pops {
-            if !seen.insert(pop.id) {
-                return Err(PatternError::DuplicatePopId(pop.id));
-            }
-            if let Some(alias) = &pop.alias {
-                if !aliases.insert(alias.clone()) {
-                    return Err(PatternError::DuplicateAlias(alias.clone()));
-                }
-            }
-            for opt in &pop.optional_properties {
-                if !aliases.insert(opt.alias.clone()) {
-                    return Err(PatternError::DuplicateAlias(opt.alias.clone()));
-                }
-            }
-        }
-        for pop in &self.pops {
-            for s in &pop.streams {
-                if s.target == pop.id {
-                    return Err(PatternError::SelfReference(pop.id));
-                }
-                if !seen.contains(&s.target) {
-                    return Err(PatternError::UnknownStreamTarget {
-                        from: pop.id,
-                        to: s.target,
-                    });
-                }
-            }
-            for c in &pop.cross_conditions {
-                if !seen.contains(&c.other) {
-                    return Err(PatternError::UnknownStreamTarget {
-                        from: pop.id,
-                        to: c.other,
-                    });
-                }
-            }
-        }
-        Ok(())
     }
 
     /// True when any relationship is a descendant — such patterns compile

@@ -13,10 +13,6 @@ use crate::matcher::{Matcher, MatcherCache, PatternMatch};
 use crate::pattern::Pattern;
 use crate::transform::TransformedQep;
 
-/// Former load error type, now folded into [`Error`].
-#[deprecated(note = "use optimatch_core::Error")]
-pub type LoadError = Error;
-
 /// Timing of the last operation, for the performance experiments.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Timings {
@@ -281,18 +277,6 @@ impl OptImatch {
         self.record_matching(start.elapsed());
         outcome
     }
-
-    /// Parallel variant of [`OptImatch::scan`].
-    #[deprecated(note = "use scan_with(kb, ScanOptions::default().threads(n))")]
-    pub fn scan_parallel(
-        &mut self,
-        kb: &KnowledgeBase,
-        threads: usize,
-    ) -> Result<Vec<QepReport>, Error> {
-        Ok(self
-            .scan_with(kb, ScanOptions::default().threads(threads))?
-            .reports)
-    }
 }
 
 #[cfg(test)]
@@ -402,16 +386,6 @@ mod tests {
                 }
             }
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_scan_parallel_shim_still_works() {
-        let kb = builtin::paper_kb();
-        let mut s = OptImatch::from_qeps(mixed_workload());
-        let sequential = s.scan(&kb).unwrap();
-        let parallel = s.scan_parallel(&kb, 4).unwrap();
-        assert_eq!(parallel, sequential);
     }
 
     #[test]

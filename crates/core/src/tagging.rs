@@ -60,6 +60,17 @@ enum ColumnSource {
     Predicate,
 }
 
+/// One alias reference inside a template: a bare `@ALIAS` / `@[A,B]`
+/// member (`helper == None`) or a helper-function argument
+/// (`helper == Some("table" | "columns" | "predicates")`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagUse {
+    /// The referenced alias name.
+    pub alias: String,
+    /// The helper function it is passed to, when any.
+    pub helper: Option<&'static str>,
+}
+
 /// Template syntax errors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TemplateError {
@@ -205,6 +216,43 @@ impl Template {
             segments.push(Segment::Text(text));
         }
         Ok(Template { segments, limit })
+    }
+
+    /// Every alias reference in the template, in source order — the raw
+    /// material for cross-artifact lint checks (a tag naming an alias no
+    /// pop defines renders `<unbound:NAME>` at runtime).
+    pub fn tag_uses(&self) -> Vec<TagUse> {
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            match seg {
+                Segment::Text(_) => {}
+                Segment::Alias(a) => out.push(TagUse {
+                    alias: a.clone(),
+                    helper: None,
+                }),
+                Segment::AliasList(names) => {
+                    for a in names {
+                        out.push(TagUse {
+                            alias: a.clone(),
+                            helper: None,
+                        });
+                    }
+                }
+                Segment::Table(a) => out.push(TagUse {
+                    alias: a.clone(),
+                    helper: Some("table"),
+                }),
+                Segment::Columns { alias, .. } => out.push(TagUse {
+                    alias: alias.clone(),
+                    helper: Some("columns"),
+                }),
+                Segment::Predicates(a) => out.push(TagUse {
+                    alias: a.clone(),
+                    helper: Some("predicates"),
+                }),
+            }
+        }
+        out
     }
 
     /// Render the template against the matches found in one QEP. Renders
@@ -446,6 +494,28 @@ mod tests {
         let (matches, qep) = fig1_match();
         let t = Template::parse("See @?TOP").unwrap();
         assert_eq!(t.render(&matches, &qep), "See NLJOIN (#2)");
+    }
+
+    #[test]
+    fn tag_uses_report_aliases_and_helpers() {
+        let t = Template::parse(
+            "@limit(1)Fix @TOP and @[A,B]: @table(TBL), @columns(TBL, PREDICATE), @predicates(IX) admin@@db",
+        )
+        .unwrap();
+        let uses = t.tag_uses();
+        let flat: Vec<(&str, Option<&str>)> =
+            uses.iter().map(|u| (u.alias.as_str(), u.helper)).collect();
+        assert_eq!(
+            flat,
+            vec![
+                ("TOP", None),
+                ("A", None),
+                ("B", None),
+                ("TBL", Some("table")),
+                ("TBL", Some("columns")),
+                ("IX", Some("predicates")),
+            ]
+        );
     }
 
     #[test]

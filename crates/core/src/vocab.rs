@@ -115,6 +115,67 @@ pub mod names {
     pub const HAS_STOP_KEY_PREDICATE: &str = "hasStopKeyPredicate";
     /// Prefix for per-argument predicates: `hasArgMAXPAGES`, …
     pub const ARG_PREFIX: &str = "hasArg";
+
+    /// Every fixed predicate local name the transform can emit. Per-argument
+    /// predicates (`hasArg*`) are open-ended and therefore not listed; see
+    /// [`super::is_known_property`].
+    pub const ALL: [&str; 26] = [
+        HAS_POP_TYPE,
+        HAS_JOIN_TYPE,
+        HAS_OPERATOR_NUMBER,
+        HAS_ESTIMATE_CARDINALITY,
+        HAS_TOTAL_COST,
+        HAS_IO_COST,
+        HAS_CPU_COST,
+        HAS_FIRST_ROW_COST,
+        HAS_BUFFERS,
+        HAS_TOTAL_COST_INCREASE,
+        HAS_OUTER_INPUT_STREAM,
+        HAS_INNER_INPUT_STREAM,
+        HAS_INPUT_STREAM,
+        HAS_OUTPUT_STREAM,
+        HAS_STREAM_CARDINALITY,
+        IS_A_BASE_OBJ,
+        HAS_OBJECT_TYPE,
+        HAS_SCHEMA_NAME,
+        HAS_TABLE_NAME,
+        HAS_COLUMN,
+        HAS_PREDICATE,
+        HAS_JOIN_PREDICATE,
+        HAS_SARGABLE_PREDICATE,
+        HAS_RESIDUAL_PREDICATE,
+        HAS_START_KEY_PREDICATE,
+        HAS_STOP_KEY_PREDICATE,
+    ];
+}
+
+/// True when `local` is a predicate the RDF transform can actually emit:
+/// one of the fixed vocabulary names, or a per-argument predicate
+/// (`hasArgMAXPAGES`, …) which are open-ended by design (§2.1).
+pub fn is_known_property(local: &str) -> bool {
+    names::ALL.contains(&local)
+        || (local.len() > names::ARG_PREFIX.len() && local.starts_with(names::ARG_PREFIX))
+}
+
+/// True when `local` may carry several values on one resource (columns,
+/// predicate texts, streams). Single-valued properties admit interval
+/// reasoning over their conditions; multi-valued ones do not — two
+/// different equalities on `hasColumn` are satisfiable simultaneously.
+pub fn is_multi_valued(local: &str) -> bool {
+    matches!(
+        local,
+        names::HAS_COLUMN
+            | names::HAS_PREDICATE
+            | names::HAS_JOIN_PREDICATE
+            | names::HAS_SARGABLE_PREDICATE
+            | names::HAS_RESIDUAL_PREDICATE
+            | names::HAS_START_KEY_PREDICATE
+            | names::HAS_STOP_KEY_PREDICATE
+            | names::HAS_INPUT_STREAM
+            | names::HAS_OUTER_INPUT_STREAM
+            | names::HAS_INNER_INPUT_STREAM
+            | names::HAS_OUTPUT_STREAM
+    )
 }
 
 /// The three stream predicates, used to build descendant property paths.
@@ -158,6 +219,18 @@ mod tests {
             "http://optimatch/pred#hasPopType"
         );
         assert!(pred(names::HAS_TOTAL_COST).is_iri());
+    }
+
+    #[test]
+    fn property_knowledge() {
+        for name in names::ALL {
+            assert!(is_known_property(name), "{name}");
+        }
+        assert!(is_known_property("hasArgMAXPAGES"));
+        assert!(!is_known_property("hasArg"), "bare prefix is not a name");
+        assert!(!is_known_property("hasFrobnication"));
+        assert!(is_multi_valued(names::HAS_COLUMN));
+        assert!(!is_multi_valued(names::HAS_ESTIMATE_CARDINALITY));
     }
 
     #[test]

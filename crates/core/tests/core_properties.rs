@@ -113,6 +113,55 @@ proptest! {
         }
     }
 
+    /// Generated valid chain patterns lint clean: the linter reports
+    /// nothing above `Note` severity for any pattern the builder can
+    /// legitimately produce, so `validate()` and the linter agree.
+    #[test]
+    fn generated_valid_patterns_lint_clean(
+        types in proptest::collection::vec(0usize..7, 1..5),
+        descendant in proptest::collection::vec(prop::bool::ANY, 4),
+        kinds in proptest::collection::vec(0usize..4, 4),
+    ) {
+        const TYPES: [&str; 7] = ["ANY", "JOIN", "SCAN", "NLJOIN", "SORT", "FETCH", "TEMP"];
+        const KINDS: [StreamKindSpec; 4] = [
+            StreamKindSpec::Outer,
+            StreamKindSpec::Inner,
+            StreamKindSpec::Generic,
+            StreamKindSpec::Any,
+        ];
+        let mut pattern = Pattern::new("chain", "generated chain");
+        for (i, &t) in types.iter().enumerate() {
+            let mut pop = PatternPop::new(i as u32 + 1, TYPES[t]).alias(format!("P{}", i + 1));
+            if i + 1 < types.len() {
+                let rel = if descendant[i % 4] {
+                    Relationship::Descendant
+                } else {
+                    Relationship::Immediate
+                };
+                pop = pop.stream(KINDS[kinds[i % 4]], i as u32 + 2, rel);
+            }
+            if i == 0 {
+                pop = pop.prop("hasEstimateCardinality", Sign::Ge, "0");
+            }
+            pattern = pattern.with_pop(pop);
+        }
+        prop_assert!(pattern.validate().is_ok());
+        let entry = KnowledgeBaseEntry {
+            name: "chain".into(),
+            description: "generated chain".into(),
+            pattern,
+            recommendation: "Inspect @P1".into(),
+            prototype: Prototype::default(),
+        };
+        let diags = optimatch_core::lint::lint_entries(std::slice::from_ref(&entry));
+        let worst = diags.iter().map(|d| d.severity).max();
+        prop_assert!(
+            worst.is_none() || worst == Some(optimatch_core::lint::Severity::Note),
+            "generated pattern produced {:?}",
+            diags
+        );
+    }
+
     /// KB JSON persistence round-trips arbitrary recommendation text and
     /// prototypes exactly.
     #[test]

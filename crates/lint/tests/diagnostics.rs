@@ -1,0 +1,344 @@
+//! One test per diagnostic code: each fires on a minimal bad input and
+//! stays silent once the input is fixed.
+
+use optimatch_core::builtin;
+use optimatch_core::lint::query_diagnostics;
+use optimatch_core::pattern::{Pattern, PatternPop, Relationship, Sign, StreamKindSpec};
+use optimatch_core::vocab::names;
+use optimatch_core::{KnowledgeBaseEntry, TransformedQep};
+use optimatch_lint::lint;
+
+fn entry(pattern: Pattern, recommendation: &str) -> KnowledgeBaseEntry {
+    KnowledgeBaseEntry {
+        name: pattern.name.clone(),
+        description: String::new(),
+        pattern,
+        recommendation: recommendation.into(),
+        prototype: Default::default(),
+    }
+}
+
+fn codes(entries: &[KnowledgeBaseEntry]) -> Vec<String> {
+    lint(entries, None)
+        .diagnostics
+        .into_iter()
+        .map(|d| d.code)
+        .collect()
+}
+
+#[test]
+fn ol001_empty_pattern() {
+    let bad = entry(Pattern::new("e", ""), "nothing");
+    assert!(codes(&[bad]).contains(&"OL001".to_string()));
+    let fixed = entry(
+        Pattern::new("e", "").with_pop(PatternPop::new(1, "ANY")),
+        "fine",
+    );
+    assert!(codes(&[fixed]).is_empty());
+}
+
+#[test]
+fn ol002_duplicate_pop_id() {
+    let bad = entry(
+        Pattern::new("d", "")
+            .with_pop(PatternPop::new(1, "ANY"))
+            .with_pop(PatternPop::new(1, "SORT")),
+        "x",
+    );
+    assert!(codes(&[bad]).contains(&"OL002".to_string()));
+    let fixed = entry(
+        Pattern::new("d", "")
+            .with_pop(PatternPop::new(1, "ANY").stream(
+                StreamKindSpec::Any,
+                2,
+                Relationship::Immediate,
+            ))
+            .with_pop(PatternPop::new(2, "SORT")),
+        "x",
+    );
+    assert!(codes(&[fixed]).is_empty());
+}
+
+#[test]
+fn ol003_unknown_target() {
+    let bad = entry(
+        Pattern::new("t", "").with_pop(PatternPop::new(1, "ANY").stream(
+            StreamKindSpec::Any,
+            9,
+            Relationship::Immediate,
+        )),
+        "x",
+    );
+    assert!(codes(&[bad]).contains(&"OL003".to_string()));
+}
+
+#[test]
+fn ol004_self_reference() {
+    let bad = entry(
+        Pattern::new("s", "").with_pop(PatternPop::new(1, "ANY").stream(
+            StreamKindSpec::Any,
+            1,
+            Relationship::Immediate,
+        )),
+        "x",
+    );
+    assert!(codes(&[bad]).contains(&"OL004".to_string()));
+}
+
+#[test]
+fn ol005_duplicate_alias() {
+    let bad = entry(
+        Pattern::new("a", "")
+            .with_pop(PatternPop::new(1, "ANY").alias("X").stream(
+                StreamKindSpec::Any,
+                2,
+                Relationship::Immediate,
+            ))
+            .with_pop(PatternPop::new(2, "ANY").alias("X")),
+        "@X",
+    );
+    assert!(codes(&[bad]).contains(&"OL005".to_string()));
+}
+
+#[test]
+fn ol006_unknown_op_type() {
+    let bad = entry(
+        Pattern::new("o", "").with_pop(PatternPop::new(1, "FROBNICATE")),
+        "x",
+    );
+    assert!(codes(&[bad]).contains(&"OL006".to_string()));
+    // Classes and exact mnemonics are all fine.
+    for ty in ["ANY", "JOIN", "SCAN", "BASE OB", "NLJOIN", "TBSCAN", "SORT"] {
+        let ok = entry(Pattern::new("o", "").with_pop(PatternPop::new(1, ty)), "x");
+        assert!(codes(&[ok]).is_empty(), "{ty}");
+    }
+}
+
+#[test]
+fn ol007_contradictory_conditions() {
+    let bad = entry(
+        Pattern::new("c", "").with_pop(
+            PatternPop::new(1, "TBSCAN")
+                .prop(names::HAS_ESTIMATE_CARDINALITY, Sign::Gt, "1000000")
+                .prop(names::HAS_ESTIMATE_CARDINALITY, Sign::Lt, "10"),
+        ),
+        "x",
+    );
+    assert!(codes(&[bad]).contains(&"OL007".to_string()));
+    let fixed = entry(
+        Pattern::new("c", "").with_pop(
+            PatternPop::new(1, "TBSCAN")
+                .prop(names::HAS_ESTIMATE_CARDINALITY, Sign::Gt, "10")
+                .prop(names::HAS_ESTIMATE_CARDINALITY, Sign::Lt, "1000000"),
+        ),
+        "x",
+    );
+    assert!(codes(&[fixed]).is_empty());
+}
+
+#[test]
+fn ol008_required_and_absent() {
+    let bad = entry(
+        Pattern::new("ra", "").with_pop(
+            PatternPop::new(1, "JOIN")
+                .prop(names::HAS_JOIN_PREDICATE, Sign::Eq, "(A = B)")
+                .absent(names::HAS_JOIN_PREDICATE),
+        ),
+        "x",
+    );
+    assert!(codes(&[bad]).contains(&"OL008".to_string()));
+    let fixed = entry(
+        Pattern::new("ra", "")
+            .with_pop(PatternPop::new(1, "JOIN").absent(names::HAS_JOIN_PREDICATE)),
+        "x",
+    );
+    assert!(codes(&[fixed]).is_empty());
+}
+
+#[test]
+fn ol009_duplicate_entry_names() {
+    let a = builtin::pattern_a();
+    assert!(codes(&[a.clone(), a]).contains(&"OL009".to_string()));
+    assert!(!codes(&builtin::extended_entries())
+        .iter()
+        .any(|c| c == "OL009"));
+}
+
+#[test]
+fn ol010_unknown_property() {
+    let bad = entry(
+        Pattern::new("p", "").with_pop(PatternPop::new(1, "ANY").prop(
+            "hasFrobnication",
+            Sign::Eq,
+            "1",
+        )),
+        "x",
+    );
+    assert!(codes(&[bad]).contains(&"OL010".to_string()));
+}
+
+#[test]
+fn ol011_unreachable_pop() {
+    let bad = entry(
+        Pattern::new("u", "")
+            .with_pop(PatternPop::new(1, "SORT"))
+            .with_pop(PatternPop::new(2, "TBSCAN")),
+        "x",
+    );
+    let c = codes(&[bad]);
+    assert!(c.contains(&"OL011".to_string()), "{c:?}");
+}
+
+#[test]
+fn ol101_disconnected_query_components() {
+    // The same island pattern, viewed at the query layer: two pops with
+    // no connecting edge compile to disconnected required triples.
+    let bad = entry(
+        Pattern::new("u", "")
+            .with_pop(PatternPop::new(1, "SORT"))
+            .with_pop(PatternPop::new(2, "TBSCAN")),
+        "x",
+    );
+    let c = codes(&[bad]);
+    assert!(c.contains(&"OL101".to_string()), "{c:?}");
+    let connected = entry(
+        Pattern::new("u", "")
+            .with_pop(PatternPop::new(1, "SORT").stream(
+                StreamKindSpec::Any,
+                2,
+                Relationship::Immediate,
+            ))
+            .with_pop(PatternPop::new(2, "TBSCAN")),
+        "x",
+    );
+    assert!(codes(&[connected]).is_empty());
+}
+
+#[test]
+fn ol102_unbound_filter_var() {
+    let q = optimatch_sparql_parse("SELECT * WHERE { ?a <p:x> ?b . FILTER (?ghost = 1) }");
+    let diags = query_diagnostics("t", &q);
+    assert!(diags.iter().any(|d| d.code == "OL102"));
+    let q = optimatch_sparql_parse("SELECT * WHERE { ?a <p:x> ?b . FILTER (?b = 1) }");
+    assert!(query_diagnostics("t", &q).is_empty());
+}
+
+#[test]
+fn ol103_non_well_designed_optional() {
+    let q = optimatch_sparql_parse(
+        "SELECT * WHERE { ?a <p:x> ?b . \
+           OPTIONAL { ?a <p:y> ?v . } OPTIONAL { ?a <p:z> ?v . } }",
+    );
+    let diags = query_diagnostics("t", &q);
+    assert!(diags.iter().any(|d| d.code == "OL103"));
+}
+
+#[test]
+fn ol104_recursive_path_note() {
+    let c = codes(&[builtin::pattern_b()]);
+    assert_eq!(c, vec!["OL104"]);
+    let c = codes(&[builtin::pattern_a()]);
+    assert!(c.is_empty());
+}
+
+#[test]
+fn ol200_template_parse_failure() {
+    let bad = entry(
+        Pattern::new("t", "").with_pop(PatternPop::new(1, "ANY").alias("A")),
+        "@[unclosed",
+    );
+    assert!(codes(&[bad]).contains(&"OL200".to_string()));
+}
+
+#[test]
+fn ol201_undefined_template_alias() {
+    let bad = entry(
+        Pattern::new("t", "").with_pop(PatternPop::new(1, "ANY").alias("A")),
+        "Fix @A and @NOSUCH",
+    );
+    let report = lint(&[bad], None);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "OL201")
+        .expect("fires");
+    assert!(d.message.contains("@NOSUCH"));
+    let fixed = entry(
+        Pattern::new("t", "").with_pop(PatternPop::new(1, "ANY").alias("A")),
+        "Fix @A",
+    );
+    assert!(codes(&[fixed]).is_empty());
+}
+
+#[test]
+fn ol202_helper_over_value_alias() {
+    let bad = entry(
+        Pattern::new("h", "").with_pop(
+            PatternPop::new(1, "SORT")
+                .alias("TOP")
+                .optional_prop(names::HAS_BUFFERS, "BUF"),
+        ),
+        "@TOP spills; table @table(BUF)",
+    );
+    assert!(codes(&[bad]).contains(&"OL202".to_string()));
+    let fixed = entry(
+        Pattern::new("h", "").with_pop(
+            PatternPop::new(1, "SORT")
+                .alias("TOP")
+                .optional_prop(names::HAS_BUFFERS, "BUF"),
+        ),
+        "@TOP spills; buffers @BUF",
+    );
+    assert!(codes(&[fixed]).is_empty());
+}
+
+#[test]
+fn ol203_dead_pattern_against_workload() {
+    let workload: Vec<TransformedQep> = [optimatch_qep::fixtures::fig1()]
+        .into_iter()
+        .map(TransformedQep::new)
+        .collect();
+    let entries = vec![builtin::pattern_a(), builtin::pattern_d()];
+    let report = lint(&entries, Some(&workload));
+    let dead: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == "OL203")
+        .map(|d| d.entry.as_str())
+        .collect();
+    assert_eq!(dead, vec![builtin::pattern_d().name.as_str()]);
+    // Adding a plan that contains a SORT revives the pattern: the pruning
+    // index can no longer prove it dead.
+    let mut workload = workload;
+    workload.push(TransformedQep::new(sort_plan()));
+    let report = lint(&entries, Some(&workload));
+    assert!(report.diagnostics.iter().all(|d| d.code != "OL203"));
+}
+
+fn sort_plan() -> optimatch_qep::Qep {
+    use optimatch_qep::{InputSource, InputStream, OpType, PlanOp, Qep, StreamKind};
+    let mut q = Qep::new("sorted");
+    let mut ret = PlanOp::new(1, OpType::Return);
+    ret.inputs.push(InputStream {
+        kind: StreamKind::Generic,
+        source: InputSource::Op(2),
+        estimated_rows: 10.0,
+    });
+    q.insert_op(ret);
+    let mut sort = PlanOp::new(2, OpType::Sort);
+    sort.io_cost = 500.0;
+    sort.inputs.push(InputStream {
+        kind: StreamKind::Generic,
+        source: InputSource::Op(3),
+        estimated_rows: 10.0,
+    });
+    q.insert_op(sort);
+    let mut scan = PlanOp::new(3, OpType::TbScan);
+    scan.io_cost = 50.0;
+    q.insert_op(scan);
+    q
+}
+
+fn optimatch_sparql_parse(text: &str) -> optimatch_sparql::ast::Query {
+    optimatch_sparql::parse_query(text).expect("parses")
+}

@@ -95,6 +95,87 @@ impl GroupGraphPattern {
             }
         }
     }
+
+    /// Every variable this group can bind, walking *all* branches: triple
+    /// patterns (including those inside `OPTIONAL`, both `UNION` arms, and
+    /// nested groups) and `BIND` targets. `FILTER` expressions reference
+    /// variables but never bind them, so they contribute nothing. This is
+    /// the domain static analysis checks `FILTER` references against.
+    pub fn bound_vars(&self) -> std::collections::BTreeSet<String> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_bound(&mut out);
+        out
+    }
+
+    fn collect_bound(&self, out: &mut std::collections::BTreeSet<String>) {
+        for element in &self.elements {
+            match element {
+                PatternElement::Triple(t) => {
+                    for v in t.vars() {
+                        out.insert(v.to_string());
+                    }
+                }
+                PatternElement::Optional(g) | PatternElement::Group(g) => g.collect_bound(out),
+                PatternElement::Union(a, b) => {
+                    a.collect_bound(out);
+                    b.collect_bound(out);
+                }
+                PatternElement::Bind(_, v) => {
+                    out.insert(v.clone());
+                }
+                PatternElement::Filter(_) => {}
+            }
+        }
+    }
+
+    /// Every `FILTER` expression in this group, recursively (including
+    /// filters inside `OPTIONAL` blocks, `UNION` arms, and nested groups).
+    pub fn filters(&self) -> Vec<&Expression> {
+        let mut out = Vec::new();
+        self.collect_filters(&mut out);
+        out
+    }
+
+    fn collect_filters<'a>(&'a self, out: &mut Vec<&'a Expression>) {
+        for element in &self.elements {
+            match element {
+                PatternElement::Filter(e) => out.push(e),
+                PatternElement::Optional(g) | PatternElement::Group(g) => g.collect_filters(out),
+                PatternElement::Union(a, b) => {
+                    a.collect_filters(out);
+                    b.collect_filters(out);
+                }
+                PatternElement::Triple(_) | PatternElement::Bind(_, _) => {}
+            }
+        }
+    }
+
+    /// Every `OPTIONAL` block in this group, recursively — the subjects of
+    /// well-designedness analysis (Pérez et al.).
+    pub fn optionals(&self) -> Vec<&GroupGraphPattern> {
+        let mut out = Vec::new();
+        self.collect_optionals(&mut out);
+        out
+    }
+
+    fn collect_optionals<'a>(&'a self, out: &mut Vec<&'a GroupGraphPattern>) {
+        for element in &self.elements {
+            match element {
+                PatternElement::Optional(g) => {
+                    out.push(g);
+                    g.collect_optionals(out);
+                }
+                PatternElement::Group(g) => g.collect_optionals(out),
+                PatternElement::Union(a, b) => {
+                    a.collect_optionals(out);
+                    b.collect_optionals(out);
+                }
+                PatternElement::Triple(_)
+                | PatternElement::Filter(_)
+                | PatternElement::Bind(_, _) => {}
+            }
+        }
+    }
 }
 
 /// One element of a group graph pattern.
@@ -133,6 +214,24 @@ pub struct TriplePattern {
     pub path: Path,
     /// Object position.
     pub object: NodePattern,
+}
+
+impl TriplePattern {
+    /// The variables this triple pattern binds: subject and object
+    /// variables plus a predicate variable (`?s ?p ?o`).
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        if let NodePattern::Var(v) = &self.subject {
+            out.push(v.as_str());
+        }
+        if let Path::Var(v) = &self.path {
+            out.push(v.as_str());
+        }
+        if let NodePattern::Var(v) = &self.object {
+            out.push(v.as_str());
+        }
+        out
+    }
 }
 
 /// SPARQL property paths — the mechanism behind the paper's *descendant*
@@ -449,6 +548,34 @@ mod tests {
             .filter_map(|t| t.path.as_plain_iri())
             .collect();
         assert_eq!(required, vec!["p:a", "p:nested"]);
+    }
+
+    #[test]
+    fn bound_vars_span_all_branches_filters_do_not_bind() {
+        let q = crate::parse_query(
+            "SELECT ?x WHERE { \
+               ?x <p:a> ?y . \
+               OPTIONAL { ?x <p:opt> ?o . } \
+               { ?x <p:u1> ?z . } UNION { ?x <p:u2> ?w . } \
+               BIND (?y + 1 AS ?b) \
+               FILTER (?unbound > 0) \
+             }",
+        )
+        .expect("parses");
+        let bound = q.where_clause.bound_vars();
+        for v in ["x", "y", "o", "z", "w", "b"] {
+            assert!(bound.contains(v), "missing {v}");
+        }
+        assert!(!bound.contains("unbound"));
+        assert_eq!(q.where_clause.filters().len(), 1);
+        assert_eq!(q.where_clause.optionals().len(), 1);
+    }
+
+    #[test]
+    fn triple_pattern_vars() {
+        let q = crate::parse_query("SELECT * WHERE { ?s ?p ?o . }").expect("parses");
+        let triples = q.where_clause.required_triples();
+        assert_eq!(triples[0].vars(), vec!["s", "p", "o"]);
     }
 
     #[test]
