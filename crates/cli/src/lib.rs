@@ -54,6 +54,32 @@ fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
     Err(CliError(msg.into()))
 }
 
+/// Exit code for a scan that completed but contained incidents — distinct
+/// from success (0) and hard failure (1), so scripts can tell "complete
+/// but not exhaustive" apart from both.
+pub const EXIT_DEGRADED: i32 = 2;
+
+/// A successful command's rendered output, plus whether it completed
+/// *degraded* (a scan contained incidents: every healthy unit ran, but
+/// the report is not exhaustive). `main` maps `degraded` to
+/// [`EXIT_DEGRADED`].
+#[derive(Debug)]
+pub struct CmdOutput {
+    /// The text to print.
+    pub text: String,
+    /// True when the command completed with contained incidents.
+    pub degraded: bool,
+}
+
+impl CmdOutput {
+    fn clean(text: String) -> CmdOutput {
+        CmdOutput {
+            text,
+            degraded: false,
+        }
+    }
+}
+
 /// Minimal flag parser: positional arguments plus `--key value` /
 /// `--flag` options.
 #[derive(Debug, Default)]
@@ -68,7 +94,13 @@ pub struct Args {
 /// `search --builtin NAME` takes a value, so `kb lint --builtin` relies
 /// on the parser's rule that a flag followed by another `--` option or
 /// nothing keeps an empty value.)
-const BOOL_FLAGS: &[&str] = &["study", "no-prune", "deny-warnings", "extended"];
+const BOOL_FLAGS: &[&str] = &[
+    "study",
+    "no-prune",
+    "deny-warnings",
+    "extended",
+    "fail-fast",
+];
 
 impl Args {
     /// Parse raw arguments (without the program and subcommand names).
@@ -130,26 +162,33 @@ impl Args {
     }
 }
 
-/// Top-level dispatch; returns the text to print.
+/// Top-level dispatch; returns the text to print. Degraded completion is
+/// dropped — use [`run_with_status`] when the exit code matters.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
+    run_with_status(argv).map(|o| o.text)
+}
+
+/// [`run`], but keeping the degraded-completion flag so `main` can exit
+/// with [`EXIT_DEGRADED`] when a scan survived incidents.
+pub fn run_with_status(argv: &[String]) -> Result<CmdOutput, CliError> {
     let Some(command) = argv.first() else {
-        return Ok(usage());
+        return Ok(CmdOutput::clean(usage()));
     };
     let args = Args::parse(&argv[1..]);
     match command.as_str() {
-        "gen" => cmd_gen(&args),
-        "stats" => cmd_stats(&args),
-        "tree" => cmd_tree(&args),
-        "rdf" => cmd_rdf(&args),
+        "gen" => cmd_gen(&args).map(CmdOutput::clean),
+        "stats" => cmd_stats(&args).map(CmdOutput::clean),
+        "tree" => cmd_tree(&args).map(CmdOutput::clean),
+        "rdf" => cmd_rdf(&args).map(CmdOutput::clean),
         "search" => cmd_search(&args),
         "scan" => cmd_scan(&args),
-        "cluster" => cmd_cluster(&args),
-        "repo" => cmd_repo(&args),
-        "diff" => cmd_diff(&args),
-        "sparql" => cmd_sparql(&args),
-        "kb" => cmd_kb(&args),
-        "kb-init" => cmd_kb_init(&args),
-        "help" | "--help" | "-h" => Ok(usage()),
+        "cluster" => cmd_cluster(&args).map(CmdOutput::clean),
+        "repo" => cmd_repo(&args).map(CmdOutput::clean),
+        "diff" => cmd_diff(&args).map(CmdOutput::clean),
+        "sparql" => cmd_sparql(&args).map(CmdOutput::clean),
+        "kb" => cmd_kb(&args).map(CmdOutput::clean),
+        "kb-init" => cmd_kb_init(&args).map(CmdOutput::clean),
+        "help" | "--help" | "-h" => Ok(CmdOutput::clean(usage())),
         other => err(format!("unknown command {other:?}\n\n{}", usage())),
     }
 }
@@ -164,8 +203,9 @@ pub fn usage() -> String {
      \x20 optimatch tree   FILE.qep                                 render the plan tree\n\
      \x20 optimatch rdf    FILE.qep [--format turtle|ntriples]      dump the RDF transform\n\
      \x20 optimatch search SOURCE (--builtin NAME | --pattern F.json)  find a problem pattern\n\
+     \x20                  [--fuel N] [--deadline-ms MS] [--fail-fast]\n\
      \x20 optimatch scan   SOURCE [--kb F.json] [--threads N] [--no-prune] [--format json]\n\
-     \x20                                                            knowledge-base scan\n\
+     \x20                  [--fuel N] [--deadline-ms MS] [--fail-fast]  knowledge-base scan\n\
      \x20 optimatch repo   build DIR OUT.repo                       snapshot a plan dir\n\
      \x20 optimatch repo   add REPO DIR                             ingest new plans\n\
      \x20 optimatch repo   stats REPO                               repository statistics\n\
@@ -184,6 +224,11 @@ pub fn usage() -> String {
      persistent workload repository built with `repo build` — repository\n\
      files are auto-detected by their 8-byte OPTIREPO magic and give\n\
      warm-start sessions (no plan parsing, no RDF transform).\n\
+     \n\
+     --fuel/--deadline-ms bound each per-(pattern, QEP) evaluation; a unit\n\
+     exceeding its budget (or panicking) is contained and reported as a\n\
+     `warning: incident` line, and the command exits 2 (degraded) instead\n\
+     of 0. --fail-fast aborts at the first incident with exit 1.\n\
      \n\
      Built-in pattern names: pattern-a-nljoin-tbscan, pattern-b-loj-join-order,\n\
      pattern-c-cardinality-collapse, pattern-d-sort-spill\n"
@@ -334,14 +379,44 @@ fn resolve_pattern(args: &Args) -> Result<Pattern, CliError> {
     err("search: give --builtin NAME or --pattern FILE.json")
 }
 
-fn cmd_search(args: &Args) -> Result<String, CliError> {
-    args.expect_options(&["builtin", "pattern"])?;
+/// Apply the shared budget flags (`--fuel`, `--deadline-ms`,
+/// `--fail-fast`) to a [`ScanOptions`].
+fn budget_options(args: &Args, mut options: ScanOptions) -> Result<ScanOptions, CliError> {
+    if let Some(v) = args.option("fuel") {
+        let fuel: u64 = v
+            .parse()
+            .map_err(|_| CliError(format!("--fuel: bad value {v:?}")))?;
+        options = options.fuel(fuel);
+    }
+    if let Some(v) = args.option("deadline-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| CliError(format!("--deadline-ms: bad value {v:?}")))?;
+        options = options.deadline(std::time::Duration::from_millis(ms));
+    }
+    Ok(options.fail_fast(args.flag("fail-fast")))
+}
+
+/// One `warning: incident …` line per contained scan-unit failure.
+fn incident_lines(incidents: &[optimatch_core::ScanIncident]) -> String {
+    let mut out = String::new();
+    for i in incidents {
+        let _ = writeln!(out, "warning: incident {i}");
+    }
+    out
+}
+
+fn cmd_search(args: &Args) -> Result<CmdOutput, CliError> {
+    args.expect_options(&["builtin", "pattern", "fuel", "deadline-ms", "fail-fast"])?;
     let (session, skipped) = load_session(args)?;
     let pattern = resolve_pattern(args)?;
-    let matches = session
-        .search(&pattern)
+    let options = budget_options(args, ScanOptions::default().prune(false))?;
+    let outcome = session
+        .search_with(&pattern, &options)
         .map_err(|e| CliError(e.to_string()))?;
+    let matches = outcome.matches;
     let mut out = warning_lines(&skipped);
+    out.push_str(&incident_lines(&outcome.incidents));
     let _ = writeln!(
         out,
         "pattern {:?}: {} occurrence(s) in {} QEP(s)  [{:?}]",
@@ -361,11 +436,22 @@ fn cmd_search(args: &Args) -> Result<String, CliError> {
         }
         out.push('\n');
     }
-    Ok(out)
+    Ok(CmdOutput {
+        text: out,
+        degraded: !outcome.incidents.is_empty(),
+    })
 }
 
-fn cmd_scan(args: &Args) -> Result<String, CliError> {
-    args.expect_options(&["kb", "threads", "no-prune", "format"])?;
+fn cmd_scan(args: &Args) -> Result<CmdOutput, CliError> {
+    args.expect_options(&[
+        "kb",
+        "threads",
+        "no-prune",
+        "format",
+        "fuel",
+        "deadline-ms",
+        "fail-fast",
+    ])?;
     let (session, skipped) = load_session(args)?;
     let kb = match args.option("kb") {
         Some(file) => {
@@ -374,24 +460,37 @@ fn cmd_scan(args: &Args) -> Result<String, CliError> {
         None => builtin::paper_kb(),
     };
     let threads: usize = args.parse_num("threads", 1)?;
-    let options = ScanOptions::default()
-        .threads(threads)
-        .prune(!args.flag("no-prune"));
+    let options = budget_options(
+        args,
+        ScanOptions::default()
+            .threads(threads)
+            .prune(!args.flag("no-prune")),
+    )?;
     let outcome = session
         .scan_with(&kb, options)
         .map_err(|e| CliError(e.to_string()))?;
+    let degraded = outcome.is_degraded();
     let reports = outcome.reports;
 
     if args.option("format") == Some("json") {
-        return serde_json::to_string_pretty(&reports)
-            .map(|mut s| {
-                s.push('\n');
-                s
+        use serde::Serialize as _;
+        let value = serde_json::Value::Object(vec![
+            ("reports".to_string(), reports.serialize_to_value()),
+            (
+                "incidents".to_string(),
+                outcome.incidents.serialize_to_value(),
+            ),
+        ]);
+        return serde_json::to_string_pretty(&value)
+            .map(|mut text| {
+                text.push('\n');
+                CmdOutput { text, degraded }
             })
             .map_err(|e| CliError(e.to_string()));
     }
 
     let mut out = warning_lines(&skipped);
+    out.push_str(&incident_lines(&outcome.incidents));
     let flagged = reports
         .iter()
         .filter(|r| !r.recommendations.is_empty())
@@ -414,6 +513,13 @@ fn cmd_scan(args: &Args) -> Result<String, CliError> {
         stats.evaluated,
         stats.matched,
     );
+    if degraded {
+        let _ = writeln!(
+            out,
+            "degraded: {} scan unit(s) failed and were contained; reports are not exhaustive",
+            outcome.incidents.len(),
+        );
+    }
     for report in &reports {
         if report.recommendations.is_empty() {
             continue;
@@ -421,7 +527,10 @@ fn cmd_scan(args: &Args) -> Result<String, CliError> {
         let _ = writeln!(out, "--- {} ---", report.qep_id);
         let _ = writeln!(out, "{}", report.message());
     }
-    Ok(out)
+    Ok(CmdOutput {
+        text: out,
+        degraded,
+    })
 }
 
 fn cmd_cluster(args: &Args) -> Result<String, CliError> {
@@ -827,10 +936,105 @@ mod tests {
         ]);
         let json = run_ok(&["scan", out_dir.to_str().unwrap(), "--format", "json"]);
         let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
-        let reports = parsed.as_array().expect("array of reports");
+        let reports = parsed
+            .get("reports")
+            .and_then(|r| r.as_array())
+            .expect("reports array");
         assert_eq!(reports.len(), 6);
         assert!(reports[0].get("qep_id").is_some());
         assert!(reports[0].get("recommendations").is_some());
+        // A clean scan reports an empty incident list.
+        let incidents = parsed
+            .get("incidents")
+            .and_then(|i| i.as_array())
+            .expect("incidents array");
+        assert!(incidents.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn run_status(argv: &[&str]) -> CmdOutput {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        run_with_status(&argv).expect("command succeeds")
+    }
+
+    #[test]
+    fn fuel_starved_scan_degrades_with_incident_warnings() {
+        let dir = temp_dir("scanfuel");
+        let out_dir = dir.join("wl");
+        run_ok(&[
+            "gen",
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--n",
+            "5",
+            "--seed",
+            "4",
+        ]);
+        let src = out_dir.to_str().unwrap();
+
+        // Fuel 0: every evaluated unit trips; the scan still completes.
+        let starved = run_status(&["scan", src, "--no-prune", "--fuel", "0"]);
+        assert!(starved.degraded);
+        assert!(
+            starved.text.contains("warning: incident"),
+            "{}",
+            starved.text
+        );
+        assert!(starved.text.contains("fuel exhausted"), "{}", starved.text);
+        assert!(starved.text.contains("degraded:"), "{}", starved.text);
+        assert!(
+            starved.text.contains("scanned 5 QEP(s)"),
+            "{}",
+            starved.text
+        );
+
+        // A huge budget is observational: same output as no budget at all
+        // (modulo the wall-clock timing in the header).
+        let strip_timing = |s: &str| {
+            s.lines()
+                .map(|l| l.split("  [").next().unwrap_or(l).to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let unbudgeted = run_status(&["scan", src]);
+        let budgeted = run_status(&["scan", src, "--fuel", "18446744073709551615"]);
+        assert!(!budgeted.degraded);
+        assert_eq!(strip_timing(&budgeted.text), strip_timing(&unbudgeted.text));
+
+        // --fail-fast turns the first incident into a hard error.
+        let argv: Vec<String> = ["scan", src, "--no-prune", "--fuel", "0", "--fail-fast"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let e = run(&argv).expect_err("fail-fast must abort");
+        assert!(e.0.contains("scan aborted (fail-fast)"), "{}", e.0);
+
+        // JSON output carries the incidents.
+        let json = run_status(&["scan", src, "--no-prune", "--fuel", "0", "--format", "json"]);
+        assert!(json.degraded);
+        let parsed: serde_json::Value = serde_json::from_str(&json.text).expect("valid JSON");
+        let incidents = parsed
+            .get("incidents")
+            .and_then(|i| i.as_array())
+            .expect("incidents array");
+        assert!(!incidents.is_empty());
+        assert_eq!(
+            incidents[0].get("cause").and_then(|c| c.as_str()),
+            Some("fuel-exhausted")
+        );
+
+        // search honours the same budget flags.
+        let search = run_status(&[
+            "search",
+            src,
+            "--builtin",
+            "pattern-a-nljoin-tbscan",
+            "--fuel",
+            "0",
+        ]);
+        assert!(search.degraded);
+        assert!(search.text.contains("warning: incident"), "{}", search.text);
+
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,9 +1,17 @@
-//! `optimatch` binary: thin wrapper over [`optimatch_cli::run`].
+//! `optimatch` binary: thin wrapper over [`optimatch_cli::run_with_status`].
+//!
+//! Exit codes: 0 = success, 1 = hard failure, 2 = a scan completed but
+//! contained incidents (degraded — reports are valid but not exhaustive).
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match optimatch_cli::run(&argv) {
-        Ok(output) => print!("{output}"),
+    match optimatch_cli::run_with_status(&argv) {
+        Ok(output) => {
+            print!("{}", output.text);
+            if output.degraded {
+                std::process::exit(optimatch_cli::EXIT_DEGRADED);
+            }
+        }
         Err(e) => {
             eprintln!("optimatch: {e}");
             std::process::exit(1);

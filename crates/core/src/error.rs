@@ -28,6 +28,13 @@ pub enum Error {
     Sparql(SparqlError),
     /// A persistent workload repository could not be opened or written.
     Repo(optimatch_repo::RepoError),
+    /// A broken runtime invariant (worker thread or channel failure) or a
+    /// test-injected fault. Scans record these as incidents; seeing one at
+    /// top level means the scan runtime itself failed, not a pattern.
+    Internal(String),
+    /// A scan unit failed while `fail_fast` was set, aborting the scan at
+    /// its first incident.
+    Incident(Box<crate::kb::ScanIncident>),
 }
 
 impl std::fmt::Display for Error {
@@ -38,6 +45,8 @@ impl std::fmt::Display for Error {
             Error::Compile(e) => write!(f, "pattern compilation failed: {e}"),
             Error::Sparql(e) => write!(f, "SPARQL error: {e}"),
             Error::Repo(e) => write!(f, "repository error: {e}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+            Error::Incident(i) => write!(f, "scan aborted (fail-fast): {i}"),
         }
     }
 }
@@ -50,6 +59,7 @@ impl std::error::Error for Error {
             Error::Compile(e) => Some(e),
             Error::Sparql(e) => Some(e),
             Error::Repo(e) => Some(e),
+            Error::Internal(_) | Error::Incident(_) => None,
         }
     }
 }

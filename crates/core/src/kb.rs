@@ -8,7 +8,9 @@
 //! and the RDF/JSON description of the pattern.
 
 use std::sync::Arc;
+use std::time::Duration;
 
+use optimatch_sparql::{BudgetCause, SparqlError};
 use serde::{Deserialize, Serialize};
 
 use crate::error::Error;
@@ -123,6 +125,16 @@ pub struct ScanOptions {
     /// Whether the feature index may skip graphs (results are identical
     /// either way; turning it off exists for benchmarks and debugging).
     pub prune: bool,
+    /// Step budget ("fuel") for each (entry × QEP) evaluation; `None` is
+    /// unlimited. Budgets are observational until exceeded: a unit within
+    /// budget produces results identical to an unbudgeted run.
+    pub fuel: Option<u64>,
+    /// Wall-clock deadline for each (entry × QEP) evaluation, measured
+    /// from that unit's start.
+    pub deadline: Option<Duration>,
+    /// Abort the whole scan at its first incident (as
+    /// [`Error::Incident`]) instead of recording it and continuing.
+    pub fail_fast: bool,
 }
 
 impl Default for ScanOptions {
@@ -130,12 +142,16 @@ impl Default for ScanOptions {
         ScanOptions {
             threads: 1,
             prune: true,
+            fuel: None,
+            deadline: None,
+            fail_fast: false,
         }
     }
 }
 
 impl ScanOptions {
-    /// The defaults: sequential, pruning on.
+    /// The defaults: sequential, pruning on, no budget, incidents
+    /// recorded rather than fatal.
     pub fn new() -> ScanOptions {
         ScanOptions::default()
     }
@@ -151,15 +167,194 @@ impl ScanOptions {
         self.prune = prune;
         self
     }
+
+    /// Bound each (entry × QEP) evaluation to `fuel` steps.
+    pub fn fuel(mut self, fuel: u64) -> ScanOptions {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Bound each (entry × QEP) evaluation to a wall-clock deadline.
+    pub fn deadline(mut self, deadline: Duration) -> ScanOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Abort the scan on the first incident instead of recording it.
+    pub fn fail_fast(mut self, fail_fast: bool) -> ScanOptions {
+        self.fail_fast = fail_fast;
+        self
+    }
 }
 
-/// A workload scan's reports plus the pruning counters that produced them.
+/// Why one (entry × QEP) scan unit failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IncidentCause {
+    /// The matcher panicked; the payload message was captured.
+    Panic(String),
+    /// The matcher returned an error.
+    Error(String),
+    /// The unit's step budget ran out.
+    FuelExhausted,
+    /// The unit's wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+impl IncidentCause {
+    /// Stable machine-readable tag (used in JSON output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            IncidentCause::Panic(_) => "panic",
+            IncidentCause::Error(_) => "error",
+            IncidentCause::FuelExhausted => "fuel-exhausted",
+            IncidentCause::DeadlineExceeded => "deadline-exceeded",
+        }
+    }
+
+    /// The captured message, for causes that carry one.
+    pub fn detail(&self) -> Option<&str> {
+        match self {
+            IncidentCause::Panic(m) | IncidentCause::Error(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for IncidentCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IncidentCause::Panic(m) => write!(f, "panicked: {m}"),
+            IncidentCause::Error(m) => write!(f, "error: {m}"),
+            IncidentCause::FuelExhausted => f.write_str("fuel exhausted"),
+            IncidentCause::DeadlineExceeded => f.write_str("deadline exceeded"),
+        }
+    }
+}
+
+/// One contained scan-unit failure: which (entry × QEP) pair failed, why,
+/// and what it had consumed by then. A scan with incidents is *degraded*,
+/// not failed — every other unit's report is unaffected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanIncident {
+    /// The QEP being matched when the unit failed.
+    pub qep_id: String,
+    /// The KB entry whose matcher failed.
+    pub entry: String,
+    /// What happened.
+    pub cause: IncidentCause,
+    /// Wall-clock time the unit ran before failing.
+    pub elapsed: Duration,
+    /// Evaluation steps the unit consumed before failing.
+    pub fuel_spent: u64,
+}
+
+impl std::fmt::Display for ScanIncident {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "entry {:?} on qep {:?}: {} (fuel {}, {:?})",
+            self.entry, self.qep_id, self.cause, self.fuel_spent, self.elapsed
+        )
+    }
+}
+
+// Hand-written: the derive stand-in handles neither data-carrying enum
+// variants (`cause`) nor `Duration`. Elapsed serializes as microseconds.
+impl Serialize for ScanIncident {
+    fn serialize_to_value(&self) -> serde::value::Value {
+        use serde::value::{Number, Value};
+        let detail = match self.cause.detail() {
+            Some(m) => Value::String(m.to_string()),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            ("qep_id".to_string(), Value::String(self.qep_id.clone())),
+            ("entry".to_string(), Value::String(self.entry.clone())),
+            (
+                "cause".to_string(),
+                Value::String(self.cause.kind().to_string()),
+            ),
+            ("detail".to_string(), detail),
+            (
+                "fuel_spent".to_string(),
+                Value::Number(Number::Int(self.fuel_spent.min(i64::MAX as u64) as i64)),
+            ),
+            (
+                "elapsed_us".to_string(),
+                Value::Number(Number::Int(
+                    self.elapsed.as_micros().min(i64::MAX as u128) as i64
+                )),
+            ),
+        ])
+    }
+}
+
+/// A workload scan's reports plus the pruning counters that produced them
+/// and any contained unit failures.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScanOutcome {
     /// One report per workload QEP, in workload order.
     pub reports: Vec<QepReport>,
     /// What the feature index did across all (QEP, entry) pairs.
     pub stats: PruneStats,
+    /// Contained unit failures, in workload order then entry order
+    /// (deterministic for a given workload, KB, and budget). Empty for a
+    /// clean scan.
+    pub incidents: Vec<ScanIncident>,
+}
+
+impl ScanOutcome {
+    /// True when at least one scan unit failed and was contained — the
+    /// reports are complete for every other unit but not exhaustive.
+    pub fn is_degraded(&self) -> bool {
+        !self.incidents.is_empty()
+    }
+}
+
+/// Run one (entry × QEP) matcher unit inside the containment boundary: a
+/// fresh [`optimatch_sparql::Budget`] bounds its evaluation and
+/// `catch_unwind` converts a panic into a recorded incident (payload
+/// captured) instead of tearing down the scan.
+pub(crate) fn run_contained(
+    matcher: &Matcher,
+    entry_name: &str,
+    t: &TransformedQep,
+    options: &ScanOptions,
+) -> Result<Vec<PatternMatch>, ScanIncident> {
+    let budget = optimatch_sparql::Budget::limited(options.fuel, options.deadline);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        matcher.find_budgeted(t, &budget)
+    }));
+    let incident = |cause: IncidentCause| ScanIncident {
+        qep_id: t.qep.id.clone(),
+        entry: entry_name.to_string(),
+        cause,
+        elapsed: budget.elapsed(),
+        fuel_spent: budget.spent(),
+    };
+    match result {
+        Ok(Ok(matches)) => Ok(matches),
+        Ok(Err(Error::Sparql(SparqlError::BudgetExceeded { cause, .. }))) => {
+            Err(incident(match cause {
+                BudgetCause::Fuel => IncidentCause::FuelExhausted,
+                BudgetCause::Deadline => IncidentCause::DeadlineExceeded,
+            }))
+        }
+        Ok(Err(e)) => Err(incident(IncidentCause::Error(e.to_string()))),
+        Err(payload) => Err(incident(IncidentCause::Panic(panic_message(&*payload)))),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` and
+/// `String` cover `panic!` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A compiled entry: pattern matcher + parsed template. The matcher is
@@ -245,21 +440,51 @@ impl KnowledgeBase {
     /// [`KnowledgeBase::scan_qep`] with explicit pruning control and
     /// counters: entries whose required features the graph lacks are
     /// skipped without invoking the SPARQL evaluator when `prune` is set.
+    ///
+    /// Runs fail-fast: a panicking or erroring matcher surfaces as a
+    /// typed [`Error::Incident`], never a propagated panic.
     pub fn scan_qep_with(
         &self,
         t: &TransformedQep,
         prune: bool,
         stats: &mut PruneStats,
     ) -> Result<QepReport, Error> {
+        let options = ScanOptions::default().prune(prune).fail_fast(true);
+        let mut incidents = Vec::new();
+        self.scan_qep_governed(t, &options, stats, &mut incidents)
+    }
+
+    /// The contained per-QEP scan unit loop: every (entry × QEP) matcher
+    /// run is budgeted and panic-contained via [`run_contained`]. A
+    /// failing unit either aborts the scan (`fail_fast`) or is appended
+    /// to `incidents` (entry order) and its entry simply contributes no
+    /// recommendation for this QEP.
+    fn scan_qep_governed(
+        &self,
+        t: &TransformedQep,
+        options: &ScanOptions,
+        stats: &mut PruneStats,
+        incidents: &mut Vec<ScanIncident>,
+    ) -> Result<QepReport, Error> {
         let mut recommendations = Vec::new();
         for (entry, compiled) in self.entries.iter().zip(&self.compiled) {
             stats.candidates += 1;
-            if prune && !compiled.matcher.could_match(t) {
+            if options.prune && !compiled.matcher.could_match(t) {
                 stats.pruned += 1;
                 continue;
             }
             stats.evaluated += 1;
-            let matches: Vec<PatternMatch> = compiled.matcher.find(t)?;
+            let matches: Vec<PatternMatch> =
+                match run_contained(&compiled.matcher, &entry.name, t, options) {
+                    Ok(matches) => matches,
+                    Err(incident) => {
+                        if options.fail_fast {
+                            return Err(Error::Incident(Box::new(incident)));
+                        }
+                        incidents.push(incident);
+                        continue;
+                    }
+                };
             if matches.is_empty() {
                 continue;
             }
@@ -306,44 +531,62 @@ impl KnowledgeBase {
         let threads = options.threads.clamp(1, workload.len().max(1));
         let mut stats = PruneStats::default();
         let mut reports = Vec::with_capacity(workload.len());
+        let mut incidents = Vec::new();
         if threads <= 1 {
             for t in workload {
-                reports.push(self.scan_qep_with(t, options.prune, &mut stats)?);
+                reports.push(self.scan_qep_governed(t, &options, &mut stats, &mut incidents)?);
             }
         } else {
+            type ChunkResult = Result<(Vec<QepReport>, PruneStats, Vec<ScanIncident>), Error>;
             let chunk_size = workload.len().div_ceil(threads);
-            let chunk_results: Vec<Result<(Vec<QepReport>, PruneStats), Error>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = workload
-                        .chunks(chunk_size)
-                        .map(|chunk| {
-                            scope.spawn(move || {
-                                let mut local_stats = PruneStats::default();
-                                let mut local = Vec::with_capacity(chunk.len());
-                                for t in chunk {
-                                    local.push(self.scan_qep_with(
-                                        t,
-                                        options.prune,
-                                        &mut local_stats,
-                                    )?);
-                                }
-                                Ok((local, local_stats))
-                            })
+            let chunk_results: Vec<ChunkResult> = std::thread::scope(|scope| {
+                let handles: Vec<_> = workload
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let mut local_stats = PruneStats::default();
+                            let mut local_incidents = Vec::new();
+                            let mut local = Vec::with_capacity(chunk.len());
+                            for t in chunk {
+                                local.push(self.scan_qep_governed(
+                                    t,
+                                    &options,
+                                    &mut local_stats,
+                                    &mut local_incidents,
+                                )?);
+                            }
+                            Ok((local, local_stats, local_incidents))
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("scan worker panicked"))
-                        .collect()
-                });
+                    })
+                    .collect();
+                // Units are panic-contained, so a worker panic means the
+                // scan runtime itself broke — typed, not a process abort.
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(Error::Internal(
+                                "scan worker panicked outside the containment boundary".into(),
+                            ))
+                        })
+                    })
+                    .collect()
+            });
+            // Chunks partition the workload in order, so the first erring
+            // chunk holds the globally-first fail-fast incident.
             for chunk in chunk_results {
-                let (local, local_stats) = chunk?;
+                let (local, local_stats, local_incidents) = chunk?;
                 reports.extend(local);
                 stats.merge(&local_stats);
+                incidents.extend(local_incidents);
             }
         }
         self.apply_workload_weighting(&mut reports, workload);
-        Ok(ScanOutcome { reports, stats })
+        Ok(ScanOutcome {
+            reports,
+            stats,
+            incidents,
+        })
     }
 
     /// The workload-level statistical weighting step of Algorithm 5,
@@ -636,5 +879,132 @@ mod tests {
         let back = KnowledgeBase::load(&path).unwrap();
         assert_eq!(back.len(), kb.len());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fuel_starved_scan_survives_with_fuel_incidents() {
+        let kb = builtin::paper_kb();
+        let w = workload();
+        let outcome = kb
+            .scan_workload_with(&w, ScanOptions::default().prune(false).fuel(0))
+            .unwrap();
+        assert!(outcome.is_degraded());
+        // Every evaluated unit trips on its first step.
+        assert_eq!(outcome.incidents.len(), w.len() * kb.len());
+        for i in &outcome.incidents {
+            assert_eq!(i.cause, IncidentCause::FuelExhausted);
+            assert_eq!(i.cause.kind(), "fuel-exhausted");
+            assert!(i.cause.detail().is_none());
+        }
+        // One (empty) report per QEP still comes back.
+        assert_eq!(outcome.reports.len(), w.len());
+        assert!(outcome.reports.iter().all(|r| r.recommendations.is_empty()));
+    }
+
+    #[test]
+    fn zero_deadline_scan_records_deadline_incidents() {
+        let kb = builtin::paper_kb();
+        let w = workload();
+        let outcome = kb
+            .scan_workload_with(
+                &w,
+                ScanOptions::default().prune(false).deadline(Duration::ZERO),
+            )
+            .unwrap();
+        assert!(outcome.is_degraded());
+        assert!(!outcome.incidents.is_empty());
+        for i in &outcome.incidents {
+            assert_eq!(i.cause, IncidentCause::DeadlineExceeded);
+            assert_eq!(i.cause.kind(), "deadline-exceeded");
+        }
+    }
+
+    #[test]
+    fn chaos_faults_are_contained_and_fail_fast_short_circuits() {
+        let kb = builtin::paper_kb();
+        let w = workload();
+        let target = builtin::pattern_a().name;
+        let clean = kb
+            .scan_workload_with(&w, ScanOptions::default().prune(false))
+            .unwrap();
+        assert!(!clean.is_degraded());
+
+        // Silence the injected panic's default stderr report while armed.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+
+        crate::chaos::arm_panic(&target);
+        let panicked = kb
+            .scan_workload_with(&w, ScanOptions::default().prune(false))
+            .unwrap();
+        assert_eq!(panicked.incidents.len(), w.len());
+        for i in &panicked.incidents {
+            assert_eq!(i.entry, target);
+            assert_eq!(i.cause.kind(), "panic");
+            assert!(i.cause.detail().unwrap().contains("chaos: injected panic"));
+        }
+
+        crate::chaos::arm_error(&target);
+        let errored = kb
+            .scan_workload_with(&w, ScanOptions::default().prune(false))
+            .unwrap();
+        assert_eq!(errored.incidents.len(), w.len());
+        for i in &errored.incidents {
+            assert_eq!(i.cause.kind(), "error");
+            assert!(i.cause.detail().unwrap().contains("chaos: injected error"));
+        }
+
+        // fail_fast aborts at the globally first incident as a typed error.
+        let err = kb
+            .scan_workload_with(&w, ScanOptions::default().prune(false).fail_fast(true))
+            .unwrap_err();
+        match err {
+            Error::Incident(i) => {
+                assert_eq!(i.qep_id, w[0].qep.id);
+                assert_eq!(i.entry, target);
+            }
+            other => panic!("expected Error::Incident, got {other:?}"),
+        }
+
+        crate::chaos::disarm();
+        std::panic::set_hook(hook);
+
+        // Disarmed again, the same scan is clean — and identical to the
+        // pre-chaos run.
+        let after = kb
+            .scan_workload_with(&w, ScanOptions::default().prune(false))
+            .unwrap();
+        assert_eq!(after, clean);
+    }
+
+    #[test]
+    fn scan_incident_serializes_kind_detail_and_elapsed() {
+        use serde::value::{Number, Value};
+        let i = ScanIncident {
+            qep_id: "q1".into(),
+            entry: "e1".into(),
+            cause: IncidentCause::Panic("boom".into()),
+            elapsed: Duration::from_micros(7),
+            fuel_spent: 3,
+        };
+        let Value::Object(fields) = i.serialize_to_value() else {
+            panic!("incident must serialize to an object");
+        };
+        let get = |k: &str| &fields.iter().find(|(name, _)| name == k).unwrap().1;
+        assert!(matches!(get("qep_id"), Value::String(s) if s == "q1"));
+        assert!(matches!(get("cause"), Value::String(s) if s == "panic"));
+        assert!(matches!(get("detail"), Value::String(s) if s == "boom"));
+        assert!(matches!(get("fuel_spent"), Value::Number(Number::Int(3))));
+        assert!(matches!(get("elapsed_us"), Value::Number(Number::Int(7))));
+
+        let quiet = ScanIncident {
+            cause: IncidentCause::FuelExhausted,
+            ..i
+        };
+        let Value::Object(fields) = quiet.serialize_to_value() else {
+            panic!("incident must serialize to an object");
+        };
+        let detail = &fields.iter().find(|(name, _)| name == "detail").unwrap().1;
+        assert!(matches!(detail, Value::Null));
     }
 }

@@ -47,6 +47,8 @@
 //!     against a stored workload).
 
 pub mod builtin;
+#[doc(hidden)]
+pub mod chaos;
 pub mod cluster;
 pub mod compile;
 pub mod error;
@@ -65,10 +67,13 @@ pub mod vocab;
 
 pub use error::Error;
 pub use features::{FeatureSummary, PruneStats, RequiredFeatures};
-pub use kb::{KnowledgeBase, KnowledgeBaseEntry, Recommendation, ScanOptions, ScanOutcome};
+pub use kb::{
+    IncidentCause, KnowledgeBase, KnowledgeBaseEntry, Recommendation, ScanIncident, ScanOptions,
+    ScanOutcome,
+};
 pub use lint::{Artifact, Diagnostic, PatternIssue, Severity};
-pub use matcher::{MatchBinding, Matcher, MatcherCache, PatternMatch};
+pub use matcher::{MatchBinding, Matcher, MatcherCache, PatternMatch, SearchOutcome};
 pub use pattern::{Pattern, PatternPop, PropertyCondition, Relationship, Sign, StreamSpec};
 pub use repo::{add_to_repo, build_repo, AddOutcome, BuildOutcome};
-pub use session::{LenientLoad, OptImatch, RepoLoad, SkippedFile, Timings};
+pub use session::{LenientLoad, OptImatch, RepoLoad, SkipCause, SkippedFile, Timings};
 pub use transform::{transform_qep, TransformedQep};

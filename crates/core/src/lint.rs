@@ -686,7 +686,11 @@ pub fn query_diagnostics(entry: &str, query: &ast::Query) -> Vec<Diagnostic> {
                 "{recursive} recursive property path(s) (unbounded `*`/`+` from descendant \
                  relationships): expect ~2x evaluation cost (paper Figure 9)"
             ),
-            Some("use Immediate Child relationships where the shape allows it".into()),
+            Some(
+                "use Immediate Child relationships where the shape allows it; when scanning, \
+                 a runtime budget (`ScanOptions::fuel` / `scan --fuel`) bounds the worst case"
+                    .into(),
+            ),
         ));
     }
     out

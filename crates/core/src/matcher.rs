@@ -9,14 +9,15 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use optimatch_rdf::Term;
-use optimatch_sparql::{ast, execute_parsed, parse_query};
+use optimatch_sparql::{ast, execute_parsed_budgeted, parse_query, Budget};
 
 use crate::compile::compile_pattern;
 use crate::error::Error;
 use crate::features::{PruneStats, RequiredFeatures};
+use crate::kb::{run_contained, ScanIncident, ScanOptions};
 use crate::pattern::Pattern;
 use crate::transform::TransformedQep;
 use crate::vocab;
@@ -137,7 +138,20 @@ impl Matcher {
 
     /// Match against one transformed QEP, de-transforming solutions.
     pub fn find(&self, t: &TransformedQep) -> Result<Vec<PatternMatch>, Error> {
-        let table = execute_parsed(&t.graph, &self.query)?;
+        self.find_budgeted(t, &Budget::unlimited())
+    }
+
+    /// [`Matcher::find`] under an explicit evaluation [`Budget`]: results
+    /// are identical while the budget holds; exhaustion surfaces as
+    /// `Error::Sparql(SparqlError::BudgetExceeded)`. This is the unit the
+    /// scan pipeline wraps in its containment boundary.
+    pub fn find_budgeted(
+        &self,
+        t: &TransformedQep,
+        budget: &Budget,
+    ) -> Result<Vec<PatternMatch>, Error> {
+        crate::chaos::trip(&self.pattern.name)?;
+        let table = execute_parsed_budgeted(&t.graph, &self.query, budget)?;
         let mut out = Vec::with_capacity(table.len());
         for row in 0..table.len() {
             let mut bindings = Vec::with_capacity(table.vars().len());
@@ -223,6 +237,55 @@ impl Matcher {
         }
         Ok(ids)
     }
+
+    /// [`Matcher::find_in_workload_with`] under the scan containment
+    /// boundary: each per-QEP unit is budgeted (`options.fuel` /
+    /// `options.deadline`) and panic-contained. Failing units are
+    /// recorded as incidents — or abort the search when
+    /// `options.fail_fast` is set. `options.threads` is ignored (ad-hoc
+    /// searches run one pattern, sequentially).
+    pub fn search_workload(
+        &self,
+        workload: &[TransformedQep],
+        options: &ScanOptions,
+    ) -> Result<SearchOutcome, Error> {
+        let mut out = SearchOutcome::default();
+        for t in workload {
+            out.stats.candidates += 1;
+            if options.prune && !self.could_match(t) {
+                out.stats.pruned += 1;
+                continue;
+            }
+            out.stats.evaluated += 1;
+            match run_contained(self, &self.pattern.name, t, options) {
+                Ok(matches) => {
+                    if !matches.is_empty() {
+                        out.stats.matched += 1;
+                    }
+                    out.matches.extend(matches);
+                }
+                Err(incident) => {
+                    if options.fail_fast {
+                        return Err(Error::Incident(Box::new(incident)));
+                    }
+                    out.incidents.push(incident);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// What [`Matcher::search_workload`] produced: concatenated matches, the
+/// pruning counters, and any contained unit failures.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchOutcome {
+    /// Matches across the workload, in workload order.
+    pub matches: Vec<PatternMatch>,
+    /// What the feature index did.
+    pub stats: PruneStats,
+    /// Contained unit failures, in workload order.
+    pub incidents: Vec<ScanIncident>,
 }
 
 /// A concurrency-safe cache of compiled matchers, keyed by pattern
@@ -250,22 +313,32 @@ impl MatcherCache {
 
     /// The cached matcher for a structurally identical pattern, or compile
     /// and cache it. Compilation happens outside the lock, so a slow
-    /// compile never blocks concurrent readers.
+    /// compile never blocks concurrent readers. The lock recovers from
+    /// poisoning — the map is only ever inserted into, so a panicking
+    /// holder cannot leave it half-updated.
     pub fn get_or_compile(&self, pattern: &Pattern) -> Result<Arc<Matcher>, Error> {
         let key = MatcherCache::key(pattern);
-        if let Some(hit) = self.inner.lock().unwrap().get(&key) {
+        if let Some(hit) = self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let compiled = Arc::new(Matcher::compile(pattern)?);
-        let mut map = self.inner.lock().unwrap();
+        let mut map = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         Ok(Arc::clone(map.entry(key).or_insert(compiled)))
     }
 
     /// Number of distinct compiled matchers held.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// True when nothing has been compiled yet.

@@ -17,7 +17,7 @@ use optimatch_repo::{RepoRecord, Repository, StoredSummary};
 
 use crate::error::Error;
 use crate::features::FeatureSummary;
-use crate::session::{OptImatch, SkippedFile};
+use crate::session::{OptImatch, SkipCause, SkippedFile};
 use crate::transform::TransformedQep;
 
 /// The workload manifest filename (`<id>\t<comma-joined labels>` lines),
@@ -116,8 +116,17 @@ fn ingest_dir(dir: &Path) -> Result<(Vec<RepoRecord>, Vec<SkippedFile>), Error> 
     let mut records = Vec::new();
     let mut skipped = Vec::new();
     for path in OptImatch::plan_files(dir)? {
-        let text = std::fs::read_to_string(&path)?;
         let file = path.display().to_string();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                skipped.push(SkippedFile {
+                    file,
+                    cause: SkipCause::Io(e),
+                });
+                continue;
+            }
+        };
         match parse_qep(&text) {
             Ok(qep) => {
                 let t = TransformedQep::new(qep);
@@ -128,7 +137,10 @@ fn ingest_dir(dir: &Path) -> Result<(Vec<RepoRecord>, Vec<SkippedFile>), Error> 
                     .unwrap_or(file);
                 records.push(snapshot(&t, &source, lab));
             }
-            Err(error) => skipped.push(SkippedFile { file, error }),
+            Err(error) => skipped.push(SkippedFile {
+                file,
+                cause: SkipCause::Parse(error),
+            }),
         }
     }
     Ok((records, skipped))

@@ -2,14 +2,14 @@
 //! the knowledge base — the end-to-end flows of the paper's Figure 4.
 
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use optimatch_qep::{parse_qep, Qep, QepParseError};
 
 use crate::error::Error;
 use crate::kb::{KnowledgeBase, QepReport, ScanOptions, ScanOutcome};
-use crate::matcher::{Matcher, MatcherCache, PatternMatch};
+use crate::matcher::{Matcher, MatcherCache, PatternMatch, SearchOutcome};
 use crate::pattern::Pattern;
 use crate::transform::TransformedQep;
 
@@ -22,18 +22,36 @@ pub struct Timings {
     pub matching: Duration,
 }
 
+/// Why a lenient directory load skipped one file.
+#[derive(Debug)]
+pub enum SkipCause {
+    /// The file read cleanly but did not parse as a QEP.
+    Parse(QepParseError),
+    /// The file could not be read at all.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SkipCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SkipCause::Parse(e) => write!(f, "{e}"),
+            SkipCause::Io(e) => write!(f, "unreadable: {e}"),
+        }
+    }
+}
+
 /// One file skipped by a lenient directory load.
 #[derive(Debug)]
 pub struct SkippedFile {
     /// The file's path, as displayed.
     pub file: String,
-    /// Why it failed to parse.
-    pub error: QepParseError,
+    /// Why it was skipped.
+    pub cause: SkipCause,
 }
 
 impl std::fmt::Display for SkippedFile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: {}", self.file, self.error)
+        write!(f, "{}: {}", self.file, self.cause)
     }
 }
 
@@ -148,21 +166,26 @@ impl OptImatch {
         Ok(OptImatch::from_qeps(qeps))
     }
 
-    /// Like [`OptImatch::from_dir`], but a file that fails to parse is
-    /// recorded and skipped instead of aborting the whole load. I/O
-    /// failures still abort (an unreadable directory is not a bad plan).
+    /// Like [`OptImatch::from_dir`], but a file that fails to read or
+    /// parse is recorded and skipped instead of aborting the whole load.
+    /// An unreadable *directory* still aborts (that is not a bad plan,
+    /// it is a bad workload location).
     pub fn from_dir_lenient(dir: &Path) -> Result<LenientLoad, Error> {
         let mut qeps = Vec::new();
         let mut skipped = Vec::new();
         for path in OptImatch::plan_files(dir)? {
-            let text = std::fs::read_to_string(&path)?;
-            match parse_qep(&text) {
-                Ok(qep) => qeps.push(qep),
-                Err(error) => skipped.push(SkippedFile {
-                    file: path.display().to_string(),
-                    error,
-                }),
-            }
+            let file = path.display().to_string();
+            let cause = match std::fs::read_to_string(&path) {
+                Ok(text) => match parse_qep(&text) {
+                    Ok(qep) => {
+                        qeps.push(qep);
+                        continue;
+                    }
+                    Err(e) => SkipCause::Parse(e),
+                },
+                Err(e) => SkipCause::Io(e),
+            };
+            skipped.push(SkippedFile { file, cause });
         }
         Ok(LenientLoad {
             session: OptImatch::from_qeps(qeps),
@@ -219,12 +242,18 @@ impl OptImatch {
     }
 
     /// Timing of the most recent operations.
+    ///
+    /// `Timings` is plain data, so a panic while the lock was held cannot
+    /// leave it inconsistent — poisoning is recovered, not propagated.
     pub fn timings(&self) -> Timings {
-        *self.timings.lock().unwrap()
+        *self.timings.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn record_matching(&self, elapsed: Duration) {
-        self.timings.lock().unwrap().matching = elapsed;
+        self.timings
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .matching = elapsed;
     }
 
     /// Total LOLEPOPs across the workload.
@@ -245,6 +274,22 @@ impl OptImatch {
     pub fn search_compiled(&self, matcher: &Matcher) -> Result<Vec<PatternMatch>, Error> {
         let start = Instant::now();
         let result = matcher.find_in_workload(&self.workload);
+        self.record_matching(start.elapsed());
+        result
+    }
+
+    /// Ad-hoc pattern search under explicit [`ScanOptions`]: pruning,
+    /// per-QEP evaluation budgets, and fail-fast control, with incidents
+    /// contained and reported in the outcome. Within budget, matches are
+    /// identical to [`OptImatch::search`].
+    pub fn search_with(
+        &self,
+        pattern: &Pattern,
+        options: &ScanOptions,
+    ) -> Result<SearchOutcome, Error> {
+        let matcher = self.cache.get_or_compile(pattern)?;
+        let start = Instant::now();
+        let result = matcher.search_workload(&self.workload, options);
         self.record_matching(start.elapsed());
         result
     }
@@ -341,6 +386,24 @@ mod tests {
         assert_eq!(load.skipped.len(), 1);
         assert!(load.skipped[0].file.contains("broken.qep"));
         assert!(load.skipped[0].to_string().contains("broken.qep"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lenient_load_records_unreadable_files_strict_load_aborts() {
+        let dir = std::env::temp_dir().join("optimatch-session-unreadable");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("good.qep"), format_qep(&fixtures::fig1())).unwrap();
+        // A *directory* with a plan extension: read_to_string on it is a
+        // guaranteed I/O error regardless of the user we run as.
+        std::fs::create_dir_all(dir.join("trap.qep")).unwrap();
+        let load = OptImatch::from_dir_lenient(&dir).unwrap();
+        assert_eq!(load.session.len(), 1);
+        assert_eq!(load.skipped.len(), 1);
+        assert!(matches!(load.skipped[0].cause, SkipCause::Io(_)));
+        assert!(load.skipped[0].to_string().contains("unreadable"));
+        // The strict loader still aborts on the same directory.
+        assert!(matches!(OptImatch::from_dir(&dir), Err(Error::Io(_))));
         std::fs::remove_dir_all(&dir).ok();
     }
 

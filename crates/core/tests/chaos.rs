@@ -1,0 +1,294 @@
+//! Chaos harness: scans must survive hostile knowledge-base entries.
+//!
+//! A hostile KB carries (a) a pattern whose matcher panics (injected via
+//! `optimatch_core::chaos`) and (b) an adversarial deep-recursion pattern
+//! that exhausts any reasonable fuel budget. Scanning a 50-QEP workload
+//! against it must complete, leave every unaffected report byte-identical
+//! to a clean-KB run, and record deterministic incidents naming exactly
+//! the injected failures.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use optimatch_core::pattern::{Pattern, PatternPop, Relationship, StreamKindSpec};
+use optimatch_core::transform::TransformedQep;
+use optimatch_core::{
+    builtin, chaos, Error, IncidentCause, KnowledgeBase, KnowledgeBaseEntry, ScanIncident,
+    ScanOptions,
+};
+use optimatch_workload::{generate_workload, GeneratorConfig, InjectionConfig, WorkloadConfig};
+
+/// Chaos injection is process-global, so tests that arm it (or silence
+/// the panic hook) serialize on this lock.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Fuel that every well-formed builtin pattern finishes within on this
+/// workload (max observed spend: ~6k steps), but the recursion bomb
+/// always exceeds (min observed: >2M steps). `fuel_margins_hold` below
+/// pins both sides so the margin cannot silently erode.
+const FUEL: u64 = 100_000;
+
+fn workload50() -> Vec<TransformedQep> {
+    let w = generate_workload(&WorkloadConfig {
+        seed: 0xC4A05,
+        num_qeps: 50,
+        generator: GeneratorConfig::default(),
+        injection: InjectionConfig::paper_rates(),
+    });
+    w.qeps.into_iter().map(TransformedQep::new).collect()
+}
+
+/// A structurally unique pattern (single untyped pop) whose matcher the
+/// chaos hook is armed against. Structural uniqueness matters: matchers
+/// are shared by structure, and the hook fires on the *first compiled*
+/// pattern name.
+fn panicking_entry() -> KnowledgeBaseEntry {
+    KnowledgeBaseEntry {
+        name: "chaos-panic".into(),
+        description: "test-only: matcher panics via injected fault".into(),
+        pattern: Pattern::new("chaos-panic", "").with_pop(PatternPop::new(1, "ANY").alias("P")),
+        recommendation: "Contain @P.".into(),
+        prototype: Default::default(),
+    }
+}
+
+/// An adversarial pattern: a binary *tree* of untyped pops linked by
+/// `Descendant` relationships compiles to six joined recursive property
+/// paths whose pair sets multiply — the combinatorial evaluation blow-up
+/// the fuel budget exists to stop. It burns millions of steps on every
+/// plan in this workload, even the smallest.
+fn recursion_bomb_entry() -> KnowledgeBaseEntry {
+    let mut pattern = Pattern::new("chaos-recursion-bomb", "");
+    for id in 1u32..=7 {
+        let mut pop = PatternPop::new(id, "ANY").alias(format!("B{id}"));
+        if id <= 3 {
+            pop = pop
+                .stream(StreamKindSpec::Generic, 2 * id, Relationship::Descendant)
+                .stream(
+                    StreamKindSpec::Generic,
+                    2 * id + 1,
+                    Relationship::Descendant,
+                );
+        }
+        pattern = pattern.with_pop(pop);
+    }
+    KnowledgeBaseEntry {
+        name: "chaos-recursion-bomb".into(),
+        description: "test-only: deep-recursion fuel exhaustion".into(),
+        pattern,
+        recommendation: "Budget @B1.".into(),
+        prototype: Default::default(),
+    }
+}
+
+fn hostile_kb() -> KnowledgeBase {
+    let mut kb = builtin::paper_kb();
+    kb.add(panicking_entry()).unwrap();
+    kb.add(recursion_bomb_entry()).unwrap();
+    kb
+}
+
+/// The deterministic identity of an incident (everything but wall-clock).
+fn identity(i: &ScanIncident) -> (String, String, IncidentCause, u64) {
+    (
+        i.qep_id.clone(),
+        i.entry.clone(),
+        i.cause.clone(),
+        i.fuel_spent,
+    )
+}
+
+/// Pins the calibration of [`FUEL`]: every builtin-pattern unit on this
+/// workload finishes well under it, and the recursion bomb exceeds it on
+/// every plan. If either margin erodes, this fails before the survival
+/// tests start flaking.
+#[test]
+fn fuel_margins_hold() {
+    let workload = workload50();
+    let cache = optimatch_core::MatcherCache::new();
+    let mut clean_max = 0u64;
+    for entry in builtin::paper_entries() {
+        let matcher = cache.get_or_compile(&entry.pattern).unwrap();
+        for t in &workload {
+            let budget = optimatch_sparql::Budget::unlimited();
+            matcher.find_budgeted(t, &budget).unwrap();
+            clean_max = clean_max.max(budget.spent());
+        }
+    }
+    assert!(
+        clean_max * 2 <= FUEL,
+        "clean units must fit in half the budget, max spend {clean_max}"
+    );
+    let bomb = cache
+        .get_or_compile(&recursion_bomb_entry().pattern)
+        .unwrap();
+    for t in &workload {
+        let budget = optimatch_sparql::Budget::limited(Some(FUEL), None);
+        let result = bomb.find_budgeted(t, &budget);
+        assert!(
+            matches!(
+                result,
+                Err(Error::Sparql(
+                    optimatch_sparql::SparqlError::BudgetExceeded { .. }
+                ))
+            ),
+            "bomb must exhaust {FUEL} fuel on {} (spent {})",
+            t.qep.id,
+            budget.spent()
+        );
+    }
+}
+
+#[test]
+fn hostile_kb_scan_survives_and_unaffected_reports_are_identical() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let workload = workload50();
+    let clean = builtin::paper_kb()
+        .scan_workload_with(&workload, ScanOptions::default())
+        .unwrap();
+    assert!(!clean.is_degraded());
+
+    let kb = hostile_kb();
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    chaos::arm_panic("chaos-panic");
+    let sequential = kb
+        .scan_workload_with(&workload, ScanOptions::default().fuel(FUEL))
+        .unwrap();
+    let threaded = kb
+        .scan_workload_with(&workload, ScanOptions::default().fuel(FUEL).threads(8))
+        .unwrap();
+    chaos::disarm();
+    std::panic::set_hook(hook);
+
+    // Survival: one report per QEP, and every unaffected report is
+    // byte-identical to the clean-KB run (rendered text included).
+    assert!(sequential.is_degraded());
+    assert_eq!(sequential.reports.len(), workload.len());
+    assert_eq!(sequential.reports, clean.reports);
+    for (hostile, clean) in sequential.reports.iter().zip(&clean.reports) {
+        assert_eq!(hostile.message(), clean.message());
+    }
+
+    // Incidents name exactly the injected failures, with correct causes:
+    // the armed panic fires on every QEP, the bomb exhausts its fuel on
+    // every QEP, and no healthy entry appears.
+    let panics: Vec<_> = sequential
+        .incidents
+        .iter()
+        .filter(|i| i.entry == "chaos-panic")
+        .collect();
+    let bombs: Vec<_> = sequential
+        .incidents
+        .iter()
+        .filter(|i| i.entry == "chaos-recursion-bomb")
+        .collect();
+    assert_eq!(panics.len(), workload.len());
+    assert_eq!(bombs.len(), workload.len());
+    assert_eq!(
+        sequential.incidents.len(),
+        panics.len() + bombs.len(),
+        "no incident may name a healthy entry: {:?}",
+        sequential.incidents
+    );
+    for i in &panics {
+        match &i.cause {
+            IncidentCause::Panic(msg) => assert!(msg.contains("chaos: injected panic"), "{msg}"),
+            other => panic!("expected a panic cause, got {other:?}"),
+        }
+    }
+    for i in &bombs {
+        assert_eq!(i.cause, IncidentCause::FuelExhausted);
+        assert!(i.fuel_spent >= FUEL, "{i}");
+    }
+
+    // Determinism: the threaded scan records the same incidents (and
+    // reports) as the sequential one, wall-clock aside.
+    assert_eq!(threaded.reports, sequential.reports);
+    assert_eq!(
+        threaded.incidents.iter().map(identity).collect::<Vec<_>>(),
+        sequential
+            .incidents
+            .iter()
+            .map(identity)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn fail_fast_aborts_at_the_globally_first_incident() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let workload = workload50();
+    let kb = hostile_kb();
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    chaos::arm_panic("chaos-panic");
+    let sequential = kb
+        .scan_workload_with(&workload, ScanOptions::default().fuel(FUEL).fail_fast(true))
+        .unwrap_err();
+    let threaded = kb
+        .scan_workload_with(
+            &workload,
+            ScanOptions::default().fuel(FUEL).fail_fast(true).threads(8),
+        )
+        .unwrap_err();
+    chaos::disarm();
+    std::panic::set_hook(hook);
+
+    let first = |e: Error| match e {
+        Error::Incident(i) => *i,
+        other => panic!("expected Error::Incident, got {other:?}"),
+    };
+    let (seq, thr) = (first(sequential), first(threaded));
+    // The first incident is the panicking entry on the first QEP — the KB
+    // evaluates entries in insertion order, and the panic entry precedes
+    // the bomb.
+    assert_eq!(seq.qep_id, workload[0].qep.id);
+    assert_eq!(seq.entry, "chaos-panic");
+    // Threading does not change which incident aborts the scan.
+    assert_eq!(identity(&thr), identity(&seq));
+}
+
+#[test]
+fn starved_budgets_degrade_deterministically_without_chaos() {
+    let workload = workload50();
+    let kb = builtin::paper_kb();
+
+    // Fuel starvation: every evaluated unit trips on its first step, so
+    // two runs agree exactly (fuel accounting is deterministic).
+    let a = kb
+        .scan_workload_with(&workload, ScanOptions::default().fuel(0))
+        .unwrap();
+    let b = kb
+        .scan_workload_with(&workload, ScanOptions::default().fuel(0).threads(4))
+        .unwrap();
+    assert!(a.is_degraded());
+    assert!(a
+        .incidents
+        .iter()
+        .all(|i| i.cause == IncidentCause::FuelExhausted));
+    assert_eq!(
+        a.incidents.iter().map(identity).collect::<Vec<_>>(),
+        b.incidents.iter().map(identity).collect::<Vec<_>>()
+    );
+    assert_eq!(a.reports, b.reports);
+
+    // An already-expired deadline trips every unit on its first charge —
+    // no sleeping involved, the check is on the way in.
+    let expired = kb
+        .scan_workload_with(&workload, ScanOptions::default().deadline(Duration::ZERO))
+        .unwrap();
+    assert!(expired.is_degraded());
+    assert!(expired
+        .incidents
+        .iter()
+        .all(|i| i.cause == IncidentCause::DeadlineExceeded));
+    assert_eq!(
+        expired
+            .incidents
+            .iter()
+            .map(|i| &i.qep_id)
+            .collect::<Vec<_>>(),
+        a.incidents.iter().map(|i| &i.qep_id).collect::<Vec<_>>()
+    );
+}

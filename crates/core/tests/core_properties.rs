@@ -186,4 +186,36 @@ proptest! {
         let back = KnowledgeBase::from_json(&json).expect("parses");
         prop_assert_eq!(back.entries(), kb.entries());
     }
+
+    /// Budgets are observational until exceeded: a `u64::MAX` fuel budget
+    /// with no deadline produces a scan outcome identical to a budget-less
+    /// scan — same reports, same counters, no incidents — for arbitrary
+    /// workload sizes, thread counts, and pruning choices.
+    #[test]
+    fn unlimited_fuel_budget_is_observationally_equivalent(
+        picks in proptest::collection::vec(0usize..3, 1..8),
+        threads in 1usize..5,
+        prune in prop::bool::ANY,
+    ) {
+        use optimatch_core::{ScanOptions, TransformedQep};
+        let pool = [fixtures::fig1(), fixtures::fig7(), fixtures::fig8()];
+        let workload: Vec<TransformedQep> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let mut q = pool[p].clone();
+                q.id = format!("{}-{i}", q.id);
+                TransformedQep::new(q)
+            })
+            .collect();
+        let kb = optimatch_core::builtin::paper_kb();
+        let base = ScanOptions::default().threads(threads).prune(prune);
+        let plain = kb.scan_workload_with(&workload, base).expect("clean scan");
+        let budgeted = kb
+            .scan_workload_with(&workload, base.fuel(u64::MAX))
+            .expect("budgeted scan");
+        prop_assert!(budgeted.incidents.is_empty());
+        prop_assert_eq!(&budgeted.reports, &plain.reports);
+        prop_assert_eq!(budgeted.stats, plain.stats);
+    }
 }

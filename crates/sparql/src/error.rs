@@ -1,6 +1,9 @@
 //! Error type shared by the lexer, parser, and evaluator.
 
 use std::fmt;
+use std::time::Duration;
+
+use crate::budget::BudgetCause;
 
 /// Any failure while lexing, parsing, translating, or evaluating a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +27,16 @@ pub enum SparqlError {
     /// An evaluation-time error that cannot be expressed as SPARQL's
     /// row-local "error value" semantics (those simply drop rows).
     Eval(String),
+    /// Evaluation ran out of its [`crate::Budget`] (step fuel or
+    /// wall-clock deadline) before completing.
+    BudgetExceeded {
+        /// Which limit tripped first.
+        cause: BudgetCause,
+        /// Steps consumed before the budget ran out.
+        fuel_spent: u64,
+        /// Wall-clock time spent before the budget ran out.
+        elapsed: Duration,
+    },
 }
 
 impl SparqlError {
@@ -53,6 +66,14 @@ impl fmt::Display for SparqlError {
             }
             SparqlError::Translate(m) => write!(f, "translation error: {m}"),
             SparqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+            SparqlError::BudgetExceeded {
+                cause,
+                fuel_spent,
+                elapsed,
+            } => write!(
+                f,
+                "evaluation budget exceeded ({cause} after {fuel_spent} steps in {elapsed:?})"
+            ),
         }
     }
 }

@@ -18,6 +18,7 @@ use crate::algebra::{
     collect_exists_refs, CExpr, Node, Plan, PlanNodePattern, ProjExpr, TriplePlan,
 };
 use crate::ast::Path;
+use crate::budget::Budget;
 use crate::error::SparqlError;
 use crate::expr::{eval_expr, order_values, Value};
 use crate::path::{compile_path, eval_path};
@@ -34,16 +35,20 @@ struct Ctx<'g> {
     extra_ids: HashMap<Term, TermId>,
     /// When false, BGP patterns are matched in source order (ablation hook).
     reorder: bool,
+    /// The evaluation budget; every row produced, triple matched, and join
+    /// pair considered charges it.
+    budget: &'g Budget,
 }
 
 impl<'g> Ctx<'g> {
-    fn new(graph: &'g Graph, reorder: bool) -> Ctx<'g> {
+    fn new(graph: &'g Graph, reorder: bool, budget: &'g Budget) -> Ctx<'g> {
         Ctx {
             graph,
             graph_terms: graph.pool().len(),
             extra: Vec::new(),
             extra_ids: HashMap::new(),
             reorder,
+            budget,
         }
     }
 
@@ -79,7 +84,7 @@ impl<'g> Ctx<'g> {
 
 /// Evaluate a compiled plan against a graph.
 pub fn evaluate(graph: &Graph, plan: &Plan) -> Result<ResultTable, SparqlError> {
-    evaluate_with_options(graph, plan, true)
+    evaluate_budgeted(graph, plan, true, &Budget::unlimited())
 }
 
 /// Evaluate with BGP reordering switchable — the ablation benches use this
@@ -89,7 +94,19 @@ pub fn evaluate_with_options(
     plan: &Plan,
     reorder: bool,
 ) -> Result<ResultTable, SparqlError> {
-    let mut ctx = Ctx::new(graph, reorder);
+    evaluate_budgeted(graph, plan, reorder, &Budget::unlimited())
+}
+
+/// Evaluate under an explicit [`Budget`]. Results are identical to the
+/// unbudgeted path as long as the budget is not exceeded; exceeding it
+/// returns [`SparqlError::BudgetExceeded`] with the accounting snapshot.
+pub fn evaluate_budgeted(
+    graph: &Graph,
+    plan: &Plan,
+    reorder: bool,
+    budget: &Budget,
+) -> Result<ResultTable, SparqlError> {
+    let mut ctx = Ctx::new(graph, reorder, budget);
     let width = plan.vars.len();
     let unit_seed: Row = vec![None; width];
     let rows = eval_node(&mut ctx, &plan.root, plan, &unit_seed)?;
@@ -483,7 +500,7 @@ fn eval_node(
                 return Ok(left);
             }
             let right = eval_node(ctx, b, plan, seed)?;
-            Ok(join_rows(&left, &right))
+            join_rows(&left, &right, ctx.budget)
         }
         Node::LeftJoin(a, b) => {
             let left = eval_node(ctx, a, plan, seed)?;
@@ -495,6 +512,7 @@ fn eval_node(
             for l in &left {
                 let mut matched = false;
                 for r in &right {
+                    ctx.budget.charge(1)?;
                     if let Some(merged) = merge_rows(l, r) {
                         out.push(merged);
                         matched = true;
@@ -517,6 +535,7 @@ fn eval_node(
             let refs = exists_refs(expr);
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
+                ctx.budget.charge(1)?;
                 let keep = {
                     // Referenced EXISTS subpatterns re-enter the evaluator
                     // seeded with this row, before the lookup closure
@@ -540,6 +559,7 @@ fn eval_node(
             let refs = exists_refs(expr);
             let mut out = Vec::with_capacity(rows.len());
             for mut row in rows {
+                ctx.budget.charge(1)?;
                 let computed = {
                     let exists_results = eval_exists_refs(ctx, plan, &refs, &row);
                     let lookup = |s: usize| row.get(s).copied().flatten().map(|id| ctx.resolve(id));
@@ -571,16 +591,17 @@ fn merge_rows(a: &Row, b: &Row) -> Option<Row> {
     Some(out)
 }
 
-fn join_rows(left: &[Row], right: &[Row]) -> Vec<Row> {
+fn join_rows(left: &[Row], right: &[Row], budget: &Budget) -> Result<Vec<Row>, SparqlError> {
     let mut out = Vec::new();
     for l in left {
         for r in right {
+            budget.charge(1)?;
             if let Some(m) = merge_rows(l, r) {
                 out.push(m);
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Estimated cost of matching a triple pattern given currently-bound slots.
@@ -672,6 +693,7 @@ fn match_pattern(
             PlanNodePattern::Var(_) => None,
         };
         for row in rows {
+            ctx.budget.charge(1)?;
             let s = const_s.or_else(|| match &tp.subject {
                 PlanNodePattern::Var(v) => row[*v],
                 PlanNodePattern::Term(_) => None,
@@ -688,6 +710,7 @@ fn match_pattern(
                 continue;
             }
             for [ms, mp, mo] in ctx.graph.matching_ids(s, p, o) {
+                ctx.budget.charge(1)?;
                 let before = out.len();
                 extend_row(&row, tp, ms, mo, &mut out);
                 // Bind the predicate on rows just added.
@@ -720,6 +743,7 @@ fn match_pattern(
 
     let mut out = Vec::new();
     for row in rows {
+        ctx.budget.charge(1)?;
         let s = const_s.or_else(|| match &tp.subject {
             PlanNodePattern::Var(v) => row[*v],
             PlanNodePattern::Term(_) => unreachable!(),
@@ -742,11 +766,17 @@ fn match_pattern(
                     continue;
                 }
                 for [ms, _, mo] in ctx.graph.matching_ids(s, Some(*pred), o) {
+                    ctx.budget.charge(1)?;
                     extend_row(&row, tp, ms, mo, &mut out);
                 }
             }
             (None, Some(cpath)) => {
-                for (ms, mo) in eval_path(ctx.graph, cpath, s, o) {
+                let pairs = eval_path(ctx.graph, cpath, s, o, ctx.budget);
+                // The path engine bails out silently on exhaustion; turn
+                // the latched flag into the typed error here.
+                ctx.budget.check()?;
+                for (ms, mo) in pairs {
+                    ctx.budget.charge(1)?;
                     extend_row(&row, tp, ms, mo, &mut out);
                 }
             }
@@ -1099,6 +1129,68 @@ mod tests {
         // SELECT * with GROUP BY.
         let q = format!("{PFX}SELECT * WHERE {{ ?pop p:hasPopType ?t . }} GROUP BY ?t");
         assert!(execute(&g, &q).is_err());
+    }
+
+    #[test]
+    fn tiny_fuel_budget_yields_typed_error() {
+        let g = fig1_graph();
+        let q = format!(
+            "{PFX}SELECT ?base WHERE {{
+                ?join p:hasPopType \"NLJOIN\" .
+                ?join (p:hasOuterInputStream|p:hasInnerInputStream|p:hasInputStream)+ ?d .
+                ?d p:isABaseObj ?base .
+            }}"
+        );
+        let query = parse_query(&q).unwrap();
+        let budget = Budget::limited(Some(3), None);
+        let err = crate::execute_parsed_budgeted(&g, &query, &budget).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SparqlError::BudgetExceeded {
+                    cause: crate::BudgetCause::Fuel,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn sufficient_budget_is_observational() {
+        let g = fig1_graph();
+        let q = format!(
+            "{PFX}SELECT ?base WHERE {{
+                ?join p:hasPopType \"NLJOIN\" .
+                ?join (p:hasOuterInputStream|p:hasInnerInputStream|p:hasInputStream)+ ?d .
+                ?d p:isABaseObj ?base .
+            }} ORDER BY ?base"
+        );
+        let query = parse_query(&q).unwrap();
+        let unbudgeted = crate::execute_parsed(&g, &query).unwrap();
+        let budget = Budget::limited(Some(u64::MAX), None);
+        let budgeted = crate::execute_parsed_budgeted(&g, &query, &budget).unwrap();
+        assert_eq!(unbudgeted, budgeted);
+        assert!(budget.spent() > 0, "evaluation must charge the budget");
+    }
+
+    #[test]
+    fn zero_deadline_yields_deadline_cause() {
+        let g = fig1_graph();
+        let q = format!("{PFX}SELECT ?pop WHERE {{ ?pop p:hasPopType ?t . }}");
+        let query = parse_query(&q).unwrap();
+        let budget = Budget::limited(None, Some(std::time::Duration::ZERO));
+        let err = crate::execute_parsed_budgeted(&g, &query, &budget).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SparqlError::BudgetExceeded {
+                    cause: crate::BudgetCause::Deadline,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 pub mod algebra;
 pub mod ast;
+pub mod budget;
 pub mod error;
 pub mod eval;
 pub mod expr;
@@ -50,6 +51,7 @@ pub mod parser;
 pub mod path;
 pub mod results;
 
+pub use budget::{Budget, BudgetCause};
 pub use error::SparqlError;
 pub use results::ResultTable;
 
@@ -78,4 +80,18 @@ pub fn ask(graph: &Graph, text: &str) -> Result<bool, SparqlError> {
 pub fn execute_parsed(graph: &Graph, query: &ast::Query) -> Result<ResultTable, SparqlError> {
     let plan = algebra::translate(query)?;
     eval::evaluate(graph, &plan)
+}
+
+/// Evaluate an already-parsed query under an explicit evaluation
+/// [`Budget`]. Identical to [`execute_parsed`] while the budget holds;
+/// exhaustion (step fuel or deadline) returns
+/// [`SparqlError::BudgetExceeded`] instead of running unbounded — this is
+/// what bounds each (pattern × QEP) unit in workload scans.
+pub fn execute_parsed_budgeted(
+    graph: &Graph,
+    query: &ast::Query,
+    budget: &Budget,
+) -> Result<ResultTable, SparqlError> {
+    let plan = algebra::translate(query)?;
+    eval::evaluate_budgeted(graph, &plan, true, budget)
 }

@@ -12,6 +12,7 @@ use std::collections::BTreeSet;
 use optimatch_rdf::{Graph, TermId};
 
 use crate::ast::Path;
+use crate::budget::Budget;
 
 /// A property path with predicate IRIs resolved against a specific graph.
 /// `None` marks a predicate absent from the graph (it can never match).
@@ -68,8 +69,12 @@ fn reverse(path: &CPath) -> CPath {
 }
 
 /// One forward application of the path from `from`, collecting reachable
-/// targets into `out`.
-fn step(graph: &Graph, path: &CPath, from: TermId, out: &mut BTreeSet<TermId>) {
+/// targets into `out`. Bails out early (leaving `out` partial) once the
+/// budget is exceeded; callers must [`Budget::check`] afterwards.
+fn step(graph: &Graph, path: &CPath, from: TermId, out: &mut BTreeSet<TermId>, budget: &Budget) {
+    if !budget.try_charge(1) {
+        return;
+    }
     match path {
         CPath::Pred(Some(p)) => {
             out.extend(graph.matching_ids(Some(from), Some(*p), None).map(|t| t[2]));
@@ -83,44 +88,53 @@ fn step(graph: &Graph, path: &CPath, from: TermId, out: &mut BTreeSet<TermId>) {
             other => {
                 // General inverse: evaluate the reversed inner path forward.
                 let rev = reverse(other);
-                step(graph, &rev, from, out);
+                step(graph, &rev, from, out, budget);
             }
         },
         CPath::Seq(a, b) => {
             let mut mid = BTreeSet::new();
-            step(graph, a, from, &mut mid);
+            step(graph, a, from, &mut mid, budget);
             for m in mid {
-                step(graph, b, m, out);
+                step(graph, b, m, out, budget);
             }
         }
         CPath::Alt(a, b) => {
-            step(graph, a, from, out);
-            step(graph, b, from, out);
+            step(graph, a, from, out, budget);
+            step(graph, b, from, out, budget);
         }
         CPath::ZeroOrMore(inner) => {
             out.insert(from);
-            closure(graph, inner, from, out);
+            closure(graph, inner, from, out, budget);
         }
         CPath::OneOrMore(inner) => {
-            closure(graph, inner, from, out);
+            closure(graph, inner, from, out, budget);
         }
         CPath::ZeroOrOne(inner) => {
             out.insert(from);
-            step(graph, inner, from, out);
+            step(graph, inner, from, out, budget);
         }
     }
 }
 
 /// BFS transitive closure of `inner` starting from `from` (at least one
 /// application), adding every reachable node to `out`.
-fn closure(graph: &Graph, inner: &CPath, from: TermId, out: &mut BTreeSet<TermId>) {
+fn closure(
+    graph: &Graph,
+    inner: &CPath,
+    from: TermId,
+    out: &mut BTreeSet<TermId>,
+    budget: &Budget,
+) {
     let mut frontier = BTreeSet::new();
-    step(graph, inner, from, &mut frontier);
+    step(graph, inner, from, &mut frontier, budget);
     let mut pending: Vec<TermId> = frontier.into_iter().collect();
     while let Some(node) = pending.pop() {
+        if !budget.try_charge(1) {
+            return;
+        }
         if out.insert(node) {
             let mut next = BTreeSet::new();
-            step(graph, inner, node, &mut next);
+            step(graph, inner, node, &mut next, budget);
             pending.extend(next.into_iter().filter(|n| !out.contains(n)));
         }
     }
@@ -128,9 +142,12 @@ fn closure(graph: &Graph, inner: &CPath, from: TermId, out: &mut BTreeSet<TermId
 
 /// Every term id occurring in the graph (subject or object position) —
 /// the candidate set for fully-unbound path endpoints.
-fn all_nodes(graph: &Graph) -> BTreeSet<TermId> {
+fn all_nodes(graph: &Graph, budget: &Budget) -> BTreeSet<TermId> {
     let mut nodes = BTreeSet::new();
     for [s, _, o] in graph.iter_ids() {
+        if !budget.try_charge(1) {
+            break;
+        }
         nodes.insert(s);
         nodes.insert(o);
     }
@@ -139,16 +156,21 @@ fn all_nodes(graph: &Graph) -> BTreeSet<TermId> {
 
 /// Evaluate a path pattern. Endpoint ids may come from outside the graph
 /// (query constants); those can only match through zero-length paths.
+///
+/// When `budget` runs out mid-evaluation the returned pairs are partial;
+/// the budget's exceeded flag is latched, so callers detect this with
+/// [`Budget::check`].
 pub fn eval_path(
     graph: &Graph,
     path: &CPath,
     s: Option<TermId>,
     o: Option<TermId>,
+    budget: &Budget,
 ) -> Vec<(TermId, TermId)> {
     match (s, o) {
         (Some(s), Some(o)) => {
             let mut reach = BTreeSet::new();
-            step(graph, path, s, &mut reach);
+            step(graph, path, s, &mut reach, budget);
             if reach.contains(&o) {
                 vec![(s, o)]
             } else {
@@ -157,13 +179,13 @@ pub fn eval_path(
         }
         (Some(s), None) => {
             let mut reach = BTreeSet::new();
-            step(graph, path, s, &mut reach);
+            step(graph, path, s, &mut reach, budget);
             reach.into_iter().map(|o| (s, o)).collect()
         }
         (None, Some(o)) => {
             let rev = reverse(path);
             let mut reach = BTreeSet::new();
-            step(graph, &rev, o, &mut reach);
+            step(graph, &rev, o, &mut reach, budget);
             reach.into_iter().map(|s| (s, o)).collect()
         }
         (None, None) => {
@@ -178,9 +200,12 @@ pub fn eval_path(
                 };
             }
             let mut pairs = Vec::new();
-            for s in all_nodes(graph) {
+            for s in all_nodes(graph, budget) {
+                if budget.exceeded().is_some() {
+                    break;
+                }
                 let mut reach = BTreeSet::new();
-                step(graph, path, s, &mut reach);
+                step(graph, path, s, &mut reach, budget);
                 pairs.extend(reach.into_iter().map(|o| (s, o)));
             }
             pairs
@@ -220,7 +245,7 @@ mod tests {
     fn plain_predicate_forward() {
         let (g, ids) = chain();
         let path = p(&g, "<p:in>");
-        let pairs = eval_path(&g, &path, Some(ids[0]), None);
+        let pairs = eval_path(&g, &path, Some(ids[0]), None, &Budget::unlimited());
         assert_eq!(pairs, vec![(ids[0], ids[1])]);
     }
 
@@ -228,7 +253,7 @@ mod tests {
     fn one_or_more_reaches_all_descendants() {
         let (g, ids) = chain();
         let path = p(&g, "<p:in>+");
-        let pairs = eval_path(&g, &path, Some(ids[0]), None);
+        let pairs = eval_path(&g, &path, Some(ids[0]), None, &Budget::unlimited());
         let targets: Vec<TermId> = pairs.into_iter().map(|(_, o)| o).collect();
         assert_eq!(targets, vec![ids[1], ids[2], ids[3]]);
     }
@@ -237,7 +262,7 @@ mod tests {
     fn zero_or_more_includes_self() {
         let (g, ids) = chain();
         let path = p(&g, "<p:in>*");
-        let pairs = eval_path(&g, &path, Some(ids[1]), None);
+        let pairs = eval_path(&g, &path, Some(ids[1]), None, &Budget::unlimited());
         let targets: Vec<TermId> = pairs.into_iter().map(|(_, o)| o).collect();
         assert!(targets.contains(&ids[1]));
         assert!(targets.contains(&ids[3]));
@@ -248,7 +273,7 @@ mod tests {
     fn zero_or_one_is_bounded() {
         let (g, ids) = chain();
         let path = p(&g, "<p:in>?");
-        let pairs = eval_path(&g, &path, Some(ids[0]), None);
+        let pairs = eval_path(&g, &path, Some(ids[0]), None, &Budget::unlimited());
         let targets: Vec<TermId> = pairs.into_iter().map(|(_, o)| o).collect();
         assert_eq!(targets, vec![ids[0], ids[1]]);
     }
@@ -257,7 +282,7 @@ mod tests {
     fn inverse_walks_backward() {
         let (g, ids) = chain();
         let path = p(&g, "^<p:in>");
-        let pairs = eval_path(&g, &path, Some(ids[1]), None);
+        let pairs = eval_path(&g, &path, Some(ids[1]), None, &Budget::unlimited());
         assert_eq!(pairs, vec![(ids[1], ids[0])]);
     }
 
@@ -265,7 +290,7 @@ mod tests {
     fn sequence_composes() {
         let (g, ids) = chain();
         let path = p(&g, "<p:in>/<p:in>");
-        let pairs = eval_path(&g, &path, Some(ids[0]), None);
+        let pairs = eval_path(&g, &path, Some(ids[0]), None, &Budget::unlimited());
         assert_eq!(pairs, vec![(ids[0], ids[2])]);
     }
 
@@ -273,7 +298,7 @@ mod tests {
     fn alternative_unions() {
         let (g, ids) = chain();
         let path = p(&g, "(<p:in>|<p:out>)");
-        let pairs = eval_path(&g, &path, Some(ids[1]), None);
+        let pairs = eval_path(&g, &path, Some(ids[1]), None, &Budget::unlimited());
         let targets: Vec<TermId> = pairs.into_iter().map(|(_, o)| o).collect();
         assert_eq!(targets.len(), 2);
         assert!(targets.contains(&ids[0]));
@@ -284,7 +309,7 @@ mod tests {
     fn object_bound_evaluates_backward() {
         let (g, ids) = chain();
         let path = p(&g, "<p:in>+");
-        let pairs = eval_path(&g, &path, None, Some(ids[3]));
+        let pairs = eval_path(&g, &path, None, Some(ids[3]), &Budget::unlimited());
         let sources: Vec<TermId> = pairs.into_iter().map(|(s, _)| s).collect();
         assert_eq!(sources, vec![ids[0], ids[1], ids[2]]);
     }
@@ -293,15 +318,21 @@ mod tests {
     fn both_bound_checks_reachability() {
         let (g, ids) = chain();
         let path = p(&g, "<p:in>+");
-        assert_eq!(eval_path(&g, &path, Some(ids[0]), Some(ids[3])).len(), 1);
-        assert_eq!(eval_path(&g, &path, Some(ids[3]), Some(ids[0])).len(), 0);
+        assert_eq!(
+            eval_path(&g, &path, Some(ids[0]), Some(ids[3]), &Budget::unlimited()).len(),
+            1
+        );
+        assert_eq!(
+            eval_path(&g, &path, Some(ids[3]), Some(ids[0]), &Budget::unlimited()).len(),
+            0
+        );
     }
 
     #[test]
     fn both_unbound_enumerates_graph() {
         let (g, _) = chain();
         let path = p(&g, "<p:in>+");
-        let pairs = eval_path(&g, &path, None, None);
+        let pairs = eval_path(&g, &path, None, None, &Budget::unlimited());
         // 1→{2,3,4}, 2→{3,4}, 3→{4} = 6 pairs.
         assert_eq!(pairs.len(), 6);
     }
@@ -316,16 +347,38 @@ mod tests {
         g.insert(b.clone(), inp.clone(), a.clone());
         let path = p(&g, "<p:in>+");
         let ida = g.term_id(&a).unwrap();
-        let pairs = eval_path(&g, &path, Some(ida), None);
+        let pairs = eval_path(&g, &path, Some(ida), None, &Budget::unlimited());
         // a reaches b and itself through the cycle.
         assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn exhausted_budget_bails_out_and_latches() {
+        let (g, ids) = chain();
+        let path = p(&g, "<p:in>+");
+        let tight = Budget::limited(Some(2), None);
+        let _partial = eval_path(&g, &path, Some(ids[0]), None, &tight);
+        assert!(
+            tight.exceeded().is_some(),
+            "closure over 3 hops exceeds 2 steps"
+        );
+        assert!(tight.check().is_err());
+        // A sufficient budget is observational: same pairs as unlimited.
+        let enough = Budget::limited(Some(10_000), None);
+        let pairs = eval_path(&g, &path, Some(ids[0]), None, &enough);
+        assert!(enough.check().is_ok());
+        assert_eq!(
+            pairs,
+            eval_path(&g, &path, Some(ids[0]), None, &Budget::unlimited())
+        );
+        assert!(enough.spent() > 0);
     }
 
     #[test]
     fn unknown_predicate_matches_nothing() {
         let (g, ids) = chain();
         let path = p(&g, "<p:never>+");
-        assert!(eval_path(&g, &path, Some(ids[0]), None).is_empty());
-        assert!(eval_path(&g, &path, None, None).is_empty());
+        assert!(eval_path(&g, &path, Some(ids[0]), None, &Budget::unlimited()).is_empty());
+        assert!(eval_path(&g, &path, None, None, &Budget::unlimited()).is_empty());
     }
 }
