@@ -1,0 +1,187 @@
+//! `serve_bench` — closed-loop load generator for the HTTP diagnosis
+//! service: N client threads each issue M requests (a mix of
+//! `POST /v1/diagnose` and `GET /v1/scan`) against an in-process server,
+//! and the per-request latencies become p50/p95/p99 plus throughput in
+//! `BENCH_serve.json`.
+//!
+//! The server runs in the same process, so the numbers measure the service
+//! stack (parsing, worker pool, diagnosis, serialization) over loopback —
+//! no network variance, no cross-machine clock games.
+//!
+//! ```text
+//! serve_bench [--quick] [--clients N] [--requests M] [--workers W] [--out FILE.json]
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use optimatch_bench::paper_workload;
+use optimatch_core::{builtin, OptImatch};
+use optimatch_qep::format_qep;
+use optimatch_serve::{ServeOptions, Server};
+use serde_json::Value;
+
+fn json_f64(x: f64) -> Value {
+    Value::Number(serde_json::Number::Float(x))
+}
+
+fn json_usize(x: usize) -> Value {
+    Value::Number(serde_json::Number::Int(x as i64))
+}
+
+fn arg_num(args: &[String], key: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One round-trip: connect, send, read the whole response, check the
+/// status class. Returns the wall latency.
+fn round_trip(addr: SocketAddr, raw: &[u8]) -> Duration {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream.write_all(raw).expect("write request");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read response");
+    let elapsed = start.elapsed();
+    assert!(
+        buf.starts_with(b"HTTP/1.1 2"),
+        "non-2xx response: {}",
+        String::from_utf8_lossy(&buf[..buf.len().min(120)])
+    );
+    elapsed
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let clients = arg_num(&args, "--clients", if quick { 4 } else { 8 });
+    let requests = arg_num(&args, "--requests", if quick { 10 } else { 50 });
+    let workers = arg_num(&args, "--workers", 4);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_serve.json");
+
+    // A resident workload big enough that /v1/scan does real work, small
+    // enough that the bench stays in seconds.
+    let workload = paper_workload(if quick { 10 } else { 40 });
+    let diagnose_bodies: Vec<String> = workload.qeps.iter().take(8).map(format_qep).collect();
+    let session = OptImatch::from_qeps(workload.qeps.clone());
+    let qeps = session.len();
+
+    let server = Server::start(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .workers(workers)
+            .queue(clients * 2 + 8),
+        session,
+        builtin::paper_kb(),
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    println!("# HTTP service load generator");
+    println!(
+        "{clients} client(s) x {requests} request(s), {workers} worker(s), {qeps} resident QEP(s)"
+    );
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let bodies = diagnose_bodies.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut diagnose = Vec::new();
+            let mut scan = Vec::new();
+            for r in 0..requests {
+                // 3:1 diagnose-to-scan mix, staggered per client.
+                if (c + r) % 4 == 3 {
+                    scan.push(round_trip(
+                        addr,
+                        b"GET /v1/scan HTTP/1.1\r\nHost: bench\r\n\r\n",
+                    ));
+                } else {
+                    let body = &bodies[(c + r) % bodies.len()];
+                    let raw = format!(
+                        "POST /v1/diagnose HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    );
+                    diagnose.push(round_trip(addr, raw.as_bytes()));
+                }
+            }
+            (diagnose, scan)
+        }));
+    }
+    let mut diagnose = Vec::new();
+    let mut scan = Vec::new();
+    for handle in handles {
+        let (d, s) = handle.join().expect("client thread");
+        diagnose.extend(d);
+        scan.extend(s);
+    }
+    let wall = started.elapsed();
+    let total = diagnose.len() + scan.len();
+    let throughput = total as f64 / wall.as_secs_f64();
+
+    let metrics = server.metrics();
+    assert_eq!(
+        metrics.requests_total() as usize,
+        total,
+        "the registry must account for every request"
+    );
+    let report = server.shutdown();
+    assert!(report.drained, "shutdown left stragglers");
+
+    let mut summary = Vec::new();
+    for (name, mut lat) in [("diagnose", diagnose), ("scan", scan)] {
+        if lat.is_empty() {
+            continue;
+        }
+        lat.sort();
+        let p50 = percentile(&lat, 0.50);
+        let p95 = percentile(&lat, 0.95);
+        let p99 = percentile(&lat, 0.99);
+        println!(
+            "{name}: {} request(s), p50 {p50:?}, p95 {p95:?}, p99 {p99:?}",
+            lat.len()
+        );
+        summary.push((
+            name.to_string(),
+            Value::Object(vec![
+                ("requests".to_string(), json_usize(lat.len())),
+                ("p50_secs".to_string(), json_f64(p50.as_secs_f64())),
+                ("p95_secs".to_string(), json_f64(p95.as_secs_f64())),
+                ("p99_secs".to_string(), json_f64(p99.as_secs_f64())),
+            ]),
+        ));
+    }
+    println!("total: {total} request(s) in {wall:?} ({throughput:.1} req/s)");
+
+    let json = Value::Object(vec![
+        ("clients".to_string(), json_usize(clients)),
+        ("requests_per_client".to_string(), json_usize(requests)),
+        ("workers".to_string(), json_usize(workers)),
+        ("resident_qeps".to_string(), json_usize(qeps)),
+        ("total_requests".to_string(), json_usize(total)),
+        ("wall_secs".to_string(), json_f64(wall.as_secs_f64())),
+        ("requests_per_sec".to_string(), json_f64(throughput)),
+        ("routes".to_string(), Value::Object(summary)),
+    ]);
+    let mut text = serde_json::to_string_pretty(&json).expect("serializable");
+    text.push('\n');
+    std::fs::write(out_path, text).expect("writes the report");
+    println!("wrote {out_path}");
+}

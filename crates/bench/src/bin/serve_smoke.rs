@@ -1,0 +1,128 @@
+//! `serve_smoke` — end-to-end smoke test for the `optimatch serve` binary,
+//! run by CI against the release build: start the server as a real child
+//! process on an ephemeral port, hit `/healthz`, `POST /v1/diagnose`, and
+//! `/metrics` over TCP, then send SIGTERM and require a clean, drained
+//! exit with status 0.
+//!
+//! ```text
+//! serve_smoke [--bin PATH]        (default: target/release/optimatch)
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use optimatch_bench::paper_workload;
+use optimatch_qep::format_qep;
+use optimatch_workload::write_workload;
+
+fn request(addr: &str, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(raw).expect("write");
+    let mut buf = Vec::new();
+    let _ = stream.read_to_end(&mut buf);
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+fn expect_status(response: &str, status: &str, what: &str) {
+    assert!(
+        response.starts_with(&format!("HTTP/1.1 {status}")),
+        "{what}: expected {status}, got {:?}",
+        response.lines().next().unwrap_or("")
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bin = args
+        .iter()
+        .position(|a| a == "--bin")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("target/release/optimatch")
+        .to_string();
+
+    // A tiny on-disk workload for the server to load.
+    let dir = std::env::temp_dir().join(format!("optimatch-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let workload = paper_workload(4);
+    write_workload(&workload, &dir).expect("write workload");
+    let plan_text = format_qep(&workload.qeps[0]);
+
+    println!(
+        "starting {bin} serve {} on an ephemeral port",
+        dir.display()
+    );
+    let mut child = Command::new(&bin)
+        .args(["serve", dir.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+
+    // The banner names the bound address; everything downstream needs it.
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = loop {
+        match lines.next() {
+            Some(Ok(line)) if line.contains("listening on http://") => break line,
+            Some(Ok(_)) => continue,
+            other => panic!("no listening banner from the server: {other:?}"),
+        }
+    };
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address in the banner")
+        .to_string();
+    println!("server up at {addr}");
+
+    let response = request(&addr, b"GET /healthz HTTP/1.1\r\nHost: smoke\r\n\r\n");
+    expect_status(&response, "200", "/healthz");
+    assert!(response.contains("\"status\":\"ok\""), "{response}");
+
+    let raw = format!(
+        "POST /v1/diagnose HTTP/1.1\r\nHost: smoke\r\nContent-Length: {}\r\n\r\n{plan_text}",
+        plan_text.len()
+    );
+    let response = request(&addr, raw.as_bytes());
+    expect_status(&response, "200", "/v1/diagnose");
+    assert!(response.contains("\"reports\""), "{response}");
+
+    let response = request(&addr, b"GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n");
+    expect_status(&response, "200", "/metrics");
+    assert!(
+        response.contains("optimatch_http_requests_total{route=\"healthz\",code=\"200\"} 1"),
+        "{response}"
+    );
+    assert!(
+        response.contains("optimatch_http_requests_total{route=\"diagnose\",code=\"200\"} 1"),
+        "{response}"
+    );
+
+    // SIGTERM must drain and exit 0 — the graceful path, not a kill.
+    println!("sending SIGTERM to pid {}", child.id());
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(kill.success(), "kill -TERM failed");
+    let status = child.wait().expect("wait for the server");
+    assert!(
+        status.success(),
+        "server exited with {status:?} instead of 0"
+    );
+    let shutdown: Vec<String> = lines.map_while(Result::ok).collect();
+    assert!(
+        shutdown.iter().any(|l| l.contains("shutting down")),
+        "no shutdown summary in {shutdown:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("serve smoke OK: healthz, diagnose, metrics, graceful SIGTERM exit");
+}

@@ -16,6 +16,10 @@
 //! optimatch kb-init FILE.json [--extended]
 //! optimatch kb lint [FILE.json] [--builtin|--extended] [--workload PATH]
 //!                   [--format text|json] [--deny-warnings]
+//! optimatch serve  SOURCE [--kb FILE.json] [--addr HOST:PORT] [--workers N]
+//!                   [--queue N] [--max-body BYTES] [--read-timeout-ms MS]
+//!                   [--drain-ms MS] [--threads N] [--no-prune] [--fuel N]
+//!                   [--deadline-ms MS]
 //! ```
 //!
 //! `SOURCE` is a plan directory, a single plan file, or a persistent
@@ -188,6 +192,7 @@ pub fn run_with_status(argv: &[String]) -> Result<CmdOutput, CliError> {
         "sparql" => cmd_sparql(&args).map(CmdOutput::clean),
         "kb" => cmd_kb(&args).map(CmdOutput::clean),
         "kb-init" => cmd_kb_init(&args).map(CmdOutput::clean),
+        "serve" => cmd_serve(&args).map(CmdOutput::clean),
         "help" | "--help" | "-h" => Ok(CmdOutput::clean(usage())),
         other => err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -219,6 +224,11 @@ pub fn usage() -> String {
      \x20                                                            entries (exit 1 on errors;\n\
      \x20                                                            --workload adds dead-pattern\n\
      \x20                                                            detection)\n\
+     \x20 optimatch serve  SOURCE [--kb F.json] [--addr HOST:PORT]   long-running HTTP diagnosis\n\
+     \x20                   [--workers N] [--queue N] [--max-body BYTES]  service (POST /v1/diagnose,\n\
+     \x20                   [--read-timeout-ms MS] [--drain-ms MS]    POST /v1/search, GET /v1/scan,\n\
+     \x20                   [--threads N] [--no-prune] [--fuel N]     GET /healthz, GET /metrics);\n\
+     \x20                   [--deadline-ms MS]                        drains on SIGINT/SIGTERM\n\
      \n\
      SOURCE for search/scan is a plan directory, a single plan file, or a\n\
      persistent workload repository built with `repo build` — repository\n\
@@ -379,6 +389,16 @@ fn resolve_pattern(args: &Args) -> Result<Pattern, CliError> {
     err("search: give --builtin NAME or --pattern FILE.json")
 }
 
+/// The `--kb FILE.json` knowledge base, or the paper's built-in one.
+fn resolve_kb(args: &Args) -> Result<KnowledgeBase, CliError> {
+    match args.option("kb") {
+        Some(file) => {
+            KnowledgeBase::load(Path::new(file)).map_err(|e| CliError(format!("{file}: {e}")))
+        }
+        None => Ok(builtin::paper_kb()),
+    }
+}
+
 /// Apply the shared budget flags (`--fuel`, `--deadline-ms`,
 /// `--fail-fast`) to a [`ScanOptions`].
 fn budget_options(args: &Args, mut options: ScanOptions) -> Result<ScanOptions, CliError> {
@@ -453,12 +473,7 @@ fn cmd_scan(args: &Args) -> Result<CmdOutput, CliError> {
         "fail-fast",
     ])?;
     let (session, skipped) = load_session(args)?;
-    let kb = match args.option("kb") {
-        Some(file) => {
-            KnowledgeBase::load(Path::new(file)).map_err(|e| CliError(format!("{file}: {e}")))?
-        }
-        None => builtin::paper_kb(),
-    };
+    let kb = resolve_kb(args)?;
     let threads: usize = args.parse_num("threads", 1)?;
     let options = budget_options(
         args,
@@ -473,20 +488,12 @@ fn cmd_scan(args: &Args) -> Result<CmdOutput, CliError> {
     let reports = outcome.reports;
 
     if args.option("format") == Some("json") {
-        use serde::Serialize as _;
-        let value = serde_json::Value::Object(vec![
-            ("reports".to_string(), reports.serialize_to_value()),
-            (
-                "incidents".to_string(),
-                outcome.incidents.serialize_to_value(),
-            ),
-        ]);
-        return serde_json::to_string_pretty(&value)
-            .map(|mut text| {
-                text.push('\n');
-                CmdOutput { text, degraded }
-            })
-            .map_err(|e| CliError(e.to_string()));
+        // The same serializer the HTTP service uses (`/v1/scan`,
+        // `/v1/diagnose`), so the two surfaces stay byte-identical.
+        return Ok(CmdOutput {
+            text: optimatch_core::render_scan_json(&reports, &outcome.incidents),
+            degraded,
+        });
     }
 
     let mut out = warning_lines(&skipped);
@@ -533,18 +540,105 @@ fn cmd_scan(args: &Args) -> Result<CmdOutput, CliError> {
     })
 }
 
+/// `optimatch serve SOURCE ...` — load the workload once, then answer
+/// HTTP diagnosis traffic until SIGINT/SIGTERM, then drain gracefully.
+///
+/// This function blocks for the server's whole lifetime, so unlike the
+/// other commands it prints its startup banner eagerly (health probes and
+/// the CI smoke test parse the `listening on` line to find the port) and
+/// only *returns* the shutdown summary.
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    args.expect_options(&[
+        "kb",
+        "addr",
+        "workers",
+        "queue",
+        "max-body",
+        "read-timeout-ms",
+        "drain-ms",
+        "threads",
+        "no-prune",
+        "fuel",
+        "deadline-ms",
+    ])?;
+    let (session, skipped) = load_session(args)?;
+    let kb = resolve_kb(args)?;
+    let threads: usize = args.parse_num("threads", 1)?;
+    let scan = budget_options(
+        args,
+        ScanOptions::default()
+            .threads(threads)
+            .prune(!args.flag("no-prune")),
+    )?;
+
+    let mut options = optimatch_serve::ServeOptions::new().scan(scan);
+    if let Some(addr) = args.option("addr") {
+        options = options.addr(addr);
+    }
+    let workers = args.parse_num("workers", options.workers)?;
+    let queue = args.parse_num("queue", options.queue)?;
+    let max_body = args.parse_num("max-body", options.max_body)?;
+    options = options.workers(workers).queue(queue).max_body(max_body);
+    if let Some(v) = args.option("read-timeout-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| CliError(format!("--read-timeout-ms: bad value {v:?}")))?;
+        let t = std::time::Duration::from_millis(ms);
+        options = options.read_timeout(t).write_timeout(t);
+    }
+    if let Some(v) = args.option("drain-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| CliError(format!("--drain-ms: bad value {v:?}")))?;
+        options = options.drain(std::time::Duration::from_millis(ms));
+    }
+
+    let qeps = session.len();
+    let entries = kb.len();
+    let workers = options.workers;
+    let handle = optimatch_serve::Server::start(options, session, kb)
+        .map_err(|e| CliError(format!("serve: {e}")))?;
+
+    {
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout();
+        let _ = write!(stdout, "{}", warning_lines(&skipped));
+        let _ = writeln!(
+            stdout,
+            "optimatch-serve listening on http://{} ({qeps} QEP(s), {entries} KB entr(ies), {workers} worker(s))",
+            handle.addr()
+        );
+        let _ = stdout.flush();
+    }
+
+    optimatch_serve::signal::install();
+    while !optimatch_serve::signal::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let report = handle.shutdown();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "shutting down: {} request(s) served, drained={} in {:?}",
+        report.requests_total, report.drained, report.waited
+    );
+    if !report.drained {
+        let _ = writeln!(
+            out,
+            "warning: {} request(s) still in flight past the drain deadline",
+            report.stragglers
+        );
+    }
+    Ok(out)
+}
+
 fn cmd_cluster(args: &Args) -> Result<String, CliError> {
     args.expect_options(&["k", "kb"])?;
     use optimatch_core::cluster::{cluster_workload, correlate_patterns};
     use optimatch_core::transform::TransformedQep;
     let plans = load_plans(args)?;
     let k: usize = args.parse_num("k", 4)?;
-    let kb = match args.option("kb") {
-        Some(file) => {
-            KnowledgeBase::load(Path::new(file)).map_err(|e| CliError(format!("{file}: {e}")))?
-        }
-        None => builtin::paper_kb(),
-    };
+    let kb = resolve_kb(args)?;
     let workload: Vec<TransformedQep> = plans.into_iter().map(TransformedQep::new).collect();
     let clustering = cluster_workload(&workload, k);
     let stats =

@@ -301,6 +301,12 @@ pub struct ScanOutcome {
     /// (deterministic for a given workload, KB, and budget). Empty for a
     /// clean scan.
     pub incidents: Vec<ScanIncident>,
+    /// Total evaluation steps consumed across every unit — successful and
+    /// failed alike. Step counting is deterministic for a given workload,
+    /// KB, and budget, so two identical scans report identical totals;
+    /// long-running callers (the HTTP service's metrics registry) use it
+    /// as a hardware-independent work counter.
+    pub fuel_spent: u64,
 }
 
 impl ScanOutcome {
@@ -309,18 +315,44 @@ impl ScanOutcome {
     pub fn is_degraded(&self) -> bool {
         !self.incidents.is_empty()
     }
+
+    /// The canonical `{reports, incidents}` JSON document for this
+    /// outcome. See [`render_scan_json`].
+    pub fn render_json(&self) -> String {
+        render_scan_json(&self.reports, &self.incidents)
+    }
+}
+
+/// Render scan results as the canonical `{reports, incidents}` JSON
+/// document (pretty-printed, trailing newline).
+///
+/// This is the one serializer behind every machine-readable scan surface —
+/// `optimatch scan --format json` and the HTTP service's `/v1/scan` and
+/// `/v1/diagnose` responses all call it, so their outputs are byte-identical
+/// by construction and cannot drift.
+pub fn render_scan_json(reports: &[QepReport], incidents: &[ScanIncident]) -> String {
+    let value = serde::value::Value::Object(vec![
+        ("reports".to_string(), reports.serialize_to_value()),
+        ("incidents".to_string(), incidents.serialize_to_value()),
+    ]);
+    let mut text =
+        serde_json::to_string_pretty(&value).expect("scan reports always serialize to JSON");
+    text.push('\n');
+    text
 }
 
 /// Run one (entry × QEP) matcher unit inside the containment boundary: a
 /// fresh [`optimatch_sparql::Budget`] bounds its evaluation and
 /// `catch_unwind` converts a panic into a recorded incident (payload
-/// captured) instead of tearing down the scan.
+/// captured) instead of tearing down the scan. The success value carries
+/// the steps the unit consumed, so callers can keep workload-level fuel
+/// totals; failed units report their consumption on the incident.
 pub(crate) fn run_contained(
     matcher: &Matcher,
     entry_name: &str,
     t: &TransformedQep,
     options: &ScanOptions,
-) -> Result<Vec<PatternMatch>, ScanIncident> {
+) -> Result<(Vec<PatternMatch>, u64), ScanIncident> {
     let budget = optimatch_sparql::Budget::limited(options.fuel, options.deadline);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         matcher.find_budgeted(t, &budget)
@@ -333,7 +365,7 @@ pub(crate) fn run_contained(
         fuel_spent: budget.spent(),
     };
     match result {
-        Ok(Ok(matches)) => Ok(matches),
+        Ok(Ok(matches)) => Ok((matches, budget.spent())),
         Ok(Err(Error::Sparql(SparqlError::BudgetExceeded { cause, .. }))) => {
             Err(incident(match cause {
                 BudgetCause::Fuel => IncidentCause::FuelExhausted,
@@ -451,7 +483,7 @@ impl KnowledgeBase {
     ) -> Result<QepReport, Error> {
         let options = ScanOptions::default().prune(prune).fail_fast(true);
         let mut incidents = Vec::new();
-        self.scan_qep_governed(t, &options, stats, &mut incidents)
+        self.scan_qep_governed(t, &options, stats, &mut incidents, &mut 0)
     }
 
     /// The contained per-QEP scan unit loop: every (entry × QEP) matcher
@@ -465,6 +497,7 @@ impl KnowledgeBase {
         options: &ScanOptions,
         stats: &mut PruneStats,
         incidents: &mut Vec<ScanIncident>,
+        fuel_spent: &mut u64,
     ) -> Result<QepReport, Error> {
         let mut recommendations = Vec::new();
         for (entry, compiled) in self.entries.iter().zip(&self.compiled) {
@@ -476,11 +509,15 @@ impl KnowledgeBase {
             stats.evaluated += 1;
             let matches: Vec<PatternMatch> =
                 match run_contained(&compiled.matcher, &entry.name, t, options) {
-                    Ok(matches) => matches,
+                    Ok((matches, fuel)) => {
+                        *fuel_spent = fuel_spent.saturating_add(fuel);
+                        matches
+                    }
                     Err(incident) => {
                         if options.fail_fast {
                             return Err(Error::Incident(Box::new(incident)));
                         }
+                        *fuel_spent = fuel_spent.saturating_add(incident.fuel_spent);
                         incidents.push(incident);
                         continue;
                     }
@@ -532,12 +569,19 @@ impl KnowledgeBase {
         let mut stats = PruneStats::default();
         let mut reports = Vec::with_capacity(workload.len());
         let mut incidents = Vec::new();
+        let mut fuel_spent: u64 = 0;
         if threads <= 1 {
             for t in workload {
-                reports.push(self.scan_qep_governed(t, &options, &mut stats, &mut incidents)?);
+                reports.push(self.scan_qep_governed(
+                    t,
+                    &options,
+                    &mut stats,
+                    &mut incidents,
+                    &mut fuel_spent,
+                )?);
             }
         } else {
-            type ChunkResult = Result<(Vec<QepReport>, PruneStats, Vec<ScanIncident>), Error>;
+            type ChunkResult = Result<(Vec<QepReport>, PruneStats, Vec<ScanIncident>, u64), Error>;
             let chunk_size = workload.len().div_ceil(threads);
             let chunk_results: Vec<ChunkResult> = std::thread::scope(|scope| {
                 let handles: Vec<_> = workload
@@ -546,6 +590,7 @@ impl KnowledgeBase {
                         scope.spawn(move || {
                             let mut local_stats = PruneStats::default();
                             let mut local_incidents = Vec::new();
+                            let mut local_fuel: u64 = 0;
                             let mut local = Vec::with_capacity(chunk.len());
                             for t in chunk {
                                 local.push(self.scan_qep_governed(
@@ -553,9 +598,10 @@ impl KnowledgeBase {
                                     &options,
                                     &mut local_stats,
                                     &mut local_incidents,
+                                    &mut local_fuel,
                                 )?);
                             }
-                            Ok((local, local_stats, local_incidents))
+                            Ok((local, local_stats, local_incidents, local_fuel))
                         })
                     })
                     .collect();
@@ -575,10 +621,11 @@ impl KnowledgeBase {
             // Chunks partition the workload in order, so the first erring
             // chunk holds the globally-first fail-fast incident.
             for chunk in chunk_results {
-                let (local, local_stats, local_incidents) = chunk?;
+                let (local, local_stats, local_incidents, local_fuel) = chunk?;
                 reports.extend(local);
                 stats.merge(&local_stats);
                 incidents.extend(local_incidents);
+                fuel_spent = fuel_spent.saturating_add(local_fuel);
             }
         }
         self.apply_workload_weighting(&mut reports, workload);
@@ -586,6 +633,7 @@ impl KnowledgeBase {
             reports,
             stats,
             incidents,
+            fuel_spent,
         })
     }
 

@@ -68,8 +68,8 @@ pub mod vocab;
 pub use error::Error;
 pub use features::{FeatureSummary, PruneStats, RequiredFeatures};
 pub use kb::{
-    IncidentCause, KnowledgeBase, KnowledgeBaseEntry, Recommendation, ScanIncident, ScanOptions,
-    ScanOutcome,
+    render_scan_json, IncidentCause, KnowledgeBase, KnowledgeBaseEntry, QepReport, Recommendation,
+    ScanIncident, ScanOptions, ScanOutcome,
 };
 pub use lint::{Artifact, Diagnostic, PatternIssue, Severity};
 pub use matcher::{MatchBinding, Matcher, MatcherCache, PatternMatch, SearchOutcome};
@@ -77,3 +77,24 @@ pub use pattern::{Pattern, PatternPop, PropertyCondition, Relationship, Sign, St
 pub use repo::{add_to_repo, build_repo, AddOutcome, BuildOutcome};
 pub use session::{LenientLoad, OptImatch, RepoLoad, SkipCause, SkippedFile, Timings};
 pub use transform::{transform_qep, TransformedQep};
+
+/// Compile-time thread-safety contract: the long-running HTTP service
+/// (`optimatch-serve`) shares one session and knowledge base behind `Arc`s
+/// across a worker pool, so these types must stay `Send + Sync`. Interior
+/// mutability is confined to lock-protected state (`Timings` behind a
+/// `Mutex`, `MatcherCache` behind a `Mutex` + atomics); an accidental
+/// `Rc`/`RefCell`/raw-pointer regression fails compilation here, not at a
+/// distant use site.
+#[allow(dead_code)]
+fn _assert_shared_types_are_send_sync() {
+    fn _assert<T: Send + Sync>() {}
+    _assert::<OptImatch>();
+    _assert::<KnowledgeBase>();
+    _assert::<Matcher>();
+    _assert::<MatcherCache>();
+    _assert::<ScanOptions>();
+    _assert::<ScanOutcome>();
+    _assert::<SearchOutcome>();
+    _assert::<Timings>();
+    _assert::<TransformedQep>();
+}

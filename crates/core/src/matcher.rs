@@ -258,16 +258,18 @@ impl Matcher {
             }
             out.stats.evaluated += 1;
             match run_contained(self, &self.pattern.name, t, options) {
-                Ok(matches) => {
+                Ok((matches, fuel)) => {
                     if !matches.is_empty() {
                         out.stats.matched += 1;
                     }
+                    out.fuel_spent = out.fuel_spent.saturating_add(fuel);
                     out.matches.extend(matches);
                 }
                 Err(incident) => {
                     if options.fail_fast {
                         return Err(Error::Incident(Box::new(incident)));
                     }
+                    out.fuel_spent = out.fuel_spent.saturating_add(incident.fuel_spent);
                     out.incidents.push(incident);
                 }
             }
@@ -286,6 +288,9 @@ pub struct SearchOutcome {
     pub stats: PruneStats,
     /// Contained unit failures, in workload order.
     pub incidents: Vec<ScanIncident>,
+    /// Total evaluation steps across every unit (successful and failed);
+    /// deterministic for a given workload, pattern, and budget.
+    pub fuel_spent: u64,
 }
 
 /// A concurrency-safe cache of compiled matchers, keyed by pattern

@@ -1,0 +1,495 @@
+//! The lock-cheap metrics registry behind `GET /metrics`.
+//!
+//! Every instrument is an atomic: counters (`fetch_add`), gauges
+//! (`fetch_add`/`fetch_sub`), and fixed-bucket latency histograms (one
+//! atomic per bucket). Nothing here takes a lock, so the hot path pays a
+//! handful of relaxed atomic ops per request and `/metrics` renders a
+//! consistent-enough snapshot without stopping traffic.
+//!
+//! Rendering follows the Prometheus text exposition format (`# HELP` /
+//! `# TYPE` preamble, `name{label="value"} count` samples, cumulative
+//! `_bucket{le=...}` histograms with a `+Inf` bucket equal to `_count`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The request routes the registry tracks. `Other` covers 404s, 405s, and
+/// anything unparseable enough to lack a route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /v1/diagnose`
+    Diagnose,
+    /// `POST /v1/search`
+    Search,
+    /// `GET /v1/scan`
+    Scan,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// Everything else.
+    Other,
+}
+
+const ROUTES: [Route; 6] = [
+    Route::Diagnose,
+    Route::Search,
+    Route::Scan,
+    Route::Healthz,
+    Route::Metrics,
+    Route::Other,
+];
+
+impl Route {
+    fn index(self) -> usize {
+        match self {
+            Route::Diagnose => 0,
+            Route::Search => 1,
+            Route::Scan => 2,
+            Route::Healthz => 3,
+            Route::Metrics => 4,
+            Route::Other => 5,
+        }
+    }
+
+    /// The label value used in the exposition format.
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Diagnose => "diagnose",
+            Route::Search => "search",
+            Route::Scan => "scan",
+            Route::Healthz => "healthz",
+            Route::Metrics => "metrics",
+            Route::Other => "other",
+        }
+    }
+}
+
+/// Status codes get their own label dimension; codes outside this list
+/// (which the service never emits) fall into a catch-all bucket.
+const CODES: [u16; 11] = [200, 207, 400, 404, 405, 408, 411, 413, 500, 501, 503];
+
+fn code_index(status: u16) -> usize {
+    CODES
+        .iter()
+        .position(|&c| c == status)
+        .unwrap_or(CODES.len())
+}
+
+/// Histogram bucket upper bounds, in seconds. Chosen to straddle the
+/// service's realistic range: sub-millisecond health checks up to
+/// multi-second full-workload scans.
+pub const LATENCY_BUCKETS: [f64; 8] = [0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0, 30.0];
+
+/// Incident causes mirror `optimatch_core::IncidentCause::kind`; the
+/// registry is decoupled from core by taking the stable string tags.
+const INCIDENT_CAUSES: [&str; 4] = ["panic", "error", "fuel-exhausted", "deadline-exceeded"];
+
+/// One latency histogram: non-cumulative bucket counts plus a running sum
+/// (in microseconds) and total count. Rendered cumulatively.
+#[derive(Debug, Default)]
+struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS.len()],
+    overflow: AtomicU64,
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn observe(&self, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        match LATENCY_BUCKETS.iter().position(|&le| secs <= le) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum_micros.fetch_add(
+            elapsed.as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The registry. One instance per server, shared via `Arc` across the
+/// accept loop, every worker, and the `/metrics` handler.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// requests[route][code] — completed requests by route and status.
+    requests: [[AtomicU64; CODES.len() + 1]; ROUTES.len()],
+    latency: [Histogram; ROUTES.len()],
+    in_flight: AtomicU64,
+    queue_depth: AtomicU64,
+    connections: AtomicU64,
+    shed: AtomicU64,
+    read_timeouts: AtomicU64,
+    panics: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    incidents: [AtomicU64; INCIDENT_CAUSES.len()],
+    fuel_spent: AtomicU64,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record one completed request: route, final status, wall latency.
+    pub fn record_request(&self, route: Route, status: u16, elapsed: Duration) {
+        self.requests[route.index()][code_index(status)].fetch_add(1, Ordering::Relaxed);
+        self.latency[route.index()].observe(elapsed);
+    }
+
+    /// Completed requests for one (route, status) pair.
+    pub fn requests(&self, route: Route, status: u16) -> u64 {
+        self.requests[route.index()][code_index(status)].load(Ordering::Relaxed)
+    }
+
+    /// Completed requests across all routes and statuses.
+    pub fn requests_total(&self) -> u64 {
+        self.requests
+            .iter()
+            .flat_map(|by_code| by_code.iter())
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Increment the in-flight gauge (a worker picked up a connection).
+    pub fn inc_in_flight(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement the in-flight gauge.
+    pub fn dec_in_flight(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently being served.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Increment the accept-queue depth gauge.
+    pub fn inc_queue_depth(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement the accept-queue depth gauge.
+    pub fn dec_queue_depth(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections waiting in the accept queue.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Count an accepted connection.
+    pub fn inc_connections(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a connection shed by admission control (503 before parsing).
+    pub fn inc_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections shed by admission control so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Count a read-deadline expiry (slowloris trip).
+    pub fn inc_read_timeouts(&self) {
+        self.read_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read-deadline expiries so far.
+    pub fn read_timeouts_total(&self) -> u64 {
+        self.read_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Count a handler panic contained by the worker.
+    pub fn inc_panics(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Handler panics contained so far.
+    pub fn panics_total(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Add request bytes read off the wire.
+    pub fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add response bytes written to the wire.
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one contained scan incident by its stable cause tag
+    /// (`optimatch_core::IncidentCause::kind`).
+    pub fn inc_incident(&self, cause_kind: &str) {
+        if let Some(i) = INCIDENT_CAUSES.iter().position(|&c| c == cause_kind) {
+            self.incidents[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Incidents recorded for one cause tag.
+    pub fn incidents(&self, cause_kind: &str) -> u64 {
+        INCIDENT_CAUSES
+            .iter()
+            .position(|&c| c == cause_kind)
+            .map(|i| self.incidents[i].load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Add evaluation steps consumed by a scan/search/diagnose request.
+    pub fn add_fuel(&self, fuel: u64) {
+        self.fuel_spent.fetch_add(fuel, Ordering::Relaxed);
+    }
+
+    /// Total evaluation steps consumed across all requests.
+    pub fn fuel_spent_total(&self) -> u64 {
+        self.fuel_spent.load(Ordering::Relaxed)
+    }
+
+    /// Render the whole registry in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+
+        out.push_str(concat!(
+            "# HELP optimatch_http_requests_total Completed HTTP requests by route and status.\n",
+            "# TYPE optimatch_http_requests_total counter\n",
+        ));
+        for route in ROUTES {
+            for (ci, code) in CODES.iter().enumerate() {
+                let n = self.requests[route.index()][ci].load(Ordering::Relaxed);
+                if n > 0 {
+                    let _ = writeln!(
+                        out,
+                        "optimatch_http_requests_total{{route=\"{}\",code=\"{code}\"}} {n}",
+                        route.label()
+                    );
+                }
+            }
+            let other = self.requests[route.index()][CODES.len()].load(Ordering::Relaxed);
+            if other > 0 {
+                let _ = writeln!(
+                    out,
+                    "optimatch_http_requests_total{{route=\"{}\",code=\"other\"}} {other}",
+                    route.label()
+                );
+            }
+        }
+
+        let gauge = |out: &mut String, name: &str, help: &str, value: u64| {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}"
+            );
+        };
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}"
+            );
+        };
+        gauge(
+            &mut out,
+            "optimatch_http_in_flight",
+            "Connections currently being served by a worker.",
+            self.in_flight(),
+        );
+        gauge(
+            &mut out,
+            "optimatch_http_queue_depth",
+            "Connections waiting in the bounded accept queue.",
+            self.queue_depth(),
+        );
+        counter(
+            &mut out,
+            "optimatch_http_connections_total",
+            "Connections accepted.",
+            self.connections.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "optimatch_http_shed_total",
+            "Connections shed with 503 by admission control (queue full).",
+            self.shed_total(),
+        );
+        counter(
+            &mut out,
+            "optimatch_http_read_timeouts_total",
+            "Connections dropped at the read deadline (slowloris defense).",
+            self.read_timeouts_total(),
+        );
+        counter(
+            &mut out,
+            "optimatch_http_panics_total",
+            "Handler panics contained by the worker pool.",
+            self.panics_total(),
+        );
+        counter(
+            &mut out,
+            "optimatch_http_bytes_in_total",
+            "Request bytes read.",
+            self.bytes_in.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "optimatch_http_bytes_out_total",
+            "Response bytes written.",
+            self.bytes_out.load(Ordering::Relaxed),
+        );
+
+        out.push_str(concat!(
+            "# HELP optimatch_scan_incidents_total Contained scan-unit failures by cause.\n",
+            "# TYPE optimatch_scan_incidents_total counter\n",
+        ));
+        for (i, cause) in INCIDENT_CAUSES.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "optimatch_scan_incidents_total{{cause=\"{cause}\"}} {}",
+                self.incidents[i].load(Ordering::Relaxed)
+            );
+        }
+        counter(
+            &mut out,
+            "optimatch_scan_fuel_spent_total",
+            "Evaluation steps consumed by scan, search, and diagnose requests.",
+            self.fuel_spent_total(),
+        );
+
+        out.push_str(concat!(
+            "# HELP optimatch_http_request_seconds Request latency by route.\n",
+            "# TYPE optimatch_http_request_seconds histogram\n",
+        ));
+        for route in ROUTES {
+            let h = &self.latency[route.index()];
+            let count = h.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let mut cumulative = 0;
+            for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
+                cumulative += h.buckets[i].load(Ordering::Relaxed);
+                let _ = writeln!(
+                    out,
+                    "optimatch_http_request_seconds_bucket{{route=\"{}\",le=\"{le}\"}} {cumulative}",
+                    route.label()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "optimatch_http_request_seconds_bucket{{route=\"{}\",le=\"+Inf\"}} {count}",
+                route.label()
+            );
+            let _ = writeln!(
+                out,
+                "optimatch_http_request_seconds_sum{{route=\"{}\"}} {}",
+                route.label(),
+                h.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+            );
+            let _ = writeln!(
+                out,
+                "optimatch_http_request_seconds_count{{route=\"{}\"}} {count}",
+                route.label()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_counters_and_totals() {
+        let m = Metrics::new();
+        m.record_request(Route::Scan, 200, Duration::from_millis(3));
+        m.record_request(Route::Scan, 207, Duration::from_millis(40));
+        m.record_request(Route::Healthz, 200, Duration::from_micros(200));
+        m.record_request(Route::Other, 404, Duration::from_micros(90));
+        assert_eq!(m.requests(Route::Scan, 200), 1);
+        assert_eq!(m.requests(Route::Scan, 207), 1);
+        assert_eq!(m.requests_total(), 4);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let m = Metrics::new();
+        m.inc_in_flight();
+        m.inc_in_flight();
+        m.dec_in_flight();
+        assert_eq!(m.in_flight(), 1);
+        m.inc_queue_depth();
+        m.dec_queue_depth();
+        assert_eq!(m.queue_depth(), 0);
+    }
+
+    #[test]
+    fn incident_causes_are_tracked_by_kind() {
+        let m = Metrics::new();
+        m.inc_incident("fuel-exhausted");
+        m.inc_incident("fuel-exhausted");
+        m.inc_incident("panic");
+        m.inc_incident("not-a-cause"); // ignored, not a crash
+        assert_eq!(m.incidents("fuel-exhausted"), 2);
+        assert_eq!(m.incidents("panic"), 1);
+        assert_eq!(m.incidents("deadline-exceeded"), 0);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let m = Metrics::new();
+        m.record_request(Route::Diagnose, 200, Duration::from_millis(2));
+        m.record_request(Route::Scan, 207, Duration::from_secs(60));
+        m.inc_incident("deadline-exceeded");
+        m.add_fuel(123);
+        m.add_bytes_in(10);
+        m.add_bytes_out(20);
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("optimatch_http_requests_total{route=\"diagnose\",code=\"200\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("optimatch_http_requests_total{route=\"scan\",code=\"207\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("optimatch_scan_incidents_total{cause=\"deadline-exceeded\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("optimatch_scan_fuel_spent_total 123"),
+            "{text}"
+        );
+        // Histogram: the 60 s observation lands beyond every bucket, so
+        // +Inf (== _count) exceeds the last finite bucket.
+        assert!(
+            text.contains("optimatch_http_request_seconds_bucket{route=\"scan\",le=\"30\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("optimatch_http_request_seconds_bucket{route=\"scan\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("optimatch_http_request_seconds_count{route=\"scan\"} 1"),
+            "{text}"
+        );
+        // Every sample line parses as `name{labels} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable sample: {line}");
+        }
+    }
+}

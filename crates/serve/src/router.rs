@@ -1,0 +1,252 @@
+//! Request routing and the endpoint handlers.
+//!
+//! The API surface (see DESIGN.md §12 for the full reference):
+//!
+//! | Route                | What it does                                   |
+//! |----------------------|------------------------------------------------|
+//! | `POST /v1/diagnose`  | One QEP text in, ranked recommendations out    |
+//! | `POST /v1/search`    | Pattern JSON in, matches across the workload   |
+//! | `GET /v1/scan`       | Full-workload KB scan (`fuel`, `deadline_ms`,  |
+//! |                      | `threads`, `no_prune` query parameters)        |
+//! | `GET /healthz`       | Liveness plus workload/KB sizes                |
+//! | `GET /metrics`       | Prometheus text exposition                     |
+//!
+//! Scan-shaped responses (`/v1/diagnose`, `/v1/scan`) use
+//! [`optimatch_core::render_scan_json`], the same serializer behind
+//! `optimatch scan --format json` — the two surfaces are byte-identical by
+//! construction, which the integration tests assert. A degraded outcome
+//! (contained incidents) is HTTP 207 with a `Degraded: true` header; the
+//! document shape does not change.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use optimatch_core::{OptImatch, Pattern, ScanOptions, ScanOutcome};
+use optimatch_qep::parse_qep;
+use serde::Serialize as _;
+use serde_json::Value;
+
+use crate::http::{Request, Response};
+use crate::metrics::Route;
+use crate::AppState;
+
+/// The route a request belongs to, for metrics labelling — independent of
+/// whether handling succeeds.
+pub fn route_of(request: &Request) -> Route {
+    match request.path.as_str() {
+        "/v1/diagnose" => Route::Diagnose,
+        "/v1/search" => Route::Search,
+        "/v1/scan" => Route::Scan,
+        "/healthz" => Route::Healthz,
+        "/metrics" => Route::Metrics,
+        _ => Route::Other,
+    }
+}
+
+/// Dispatch a parsed request to its handler. Method mismatches on known
+/// paths are `405` with an `Allow` header; unknown paths are `404`.
+pub fn dispatch(state: &Arc<AppState>, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/diagnose") => diagnose(state, request),
+        ("POST", "/v1/search") => search(state, request),
+        ("GET", "/v1/scan") => scan(state, request),
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics(state),
+        (_, "/v1/diagnose") | (_, "/v1/search") => {
+            Response::error(405, "method not allowed").with_header("Allow", "POST")
+        }
+        (_, "/v1/scan") | (_, "/healthz") | (_, "/metrics") => {
+            Response::error(405, "method not allowed").with_header("Allow", "GET")
+        }
+        _ => Response::error(404, &format!("no route for {}", request.path)),
+    }
+}
+
+/// Apply the request's query parameters over the server's baseline scan
+/// options. A malformed value is a client error, not a silent default.
+fn scan_options(state: &AppState, request: &Request) -> Result<ScanOptions, Response> {
+    let mut options = state.options.scan;
+    if let Some(v) = request.query_param("fuel") {
+        let fuel: u64 = v
+            .parse()
+            .map_err(|_| Response::error(400, &format!("fuel: bad value {v:?}")))?;
+        options = options.fuel(fuel);
+    }
+    if let Some(v) = request.query_param("deadline_ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| Response::error(400, &format!("deadline_ms: bad value {v:?}")))?;
+        options = options.deadline(Duration::from_millis(ms));
+    }
+    if let Some(v) = request.query_param("threads") {
+        let threads: usize = v
+            .parse()
+            .map_err(|_| Response::error(400, &format!("threads: bad value {v:?}")))?;
+        options = options.threads(threads);
+    }
+    if let Some(v) = request.query_param("no_prune") {
+        match v {
+            "" | "1" | "true" => options = options.prune(false),
+            "0" | "false" => {}
+            other => {
+                return Err(Response::error(
+                    400,
+                    &format!("no_prune: bad value {other:?}"),
+                ))
+            }
+        }
+    }
+    // A request can never fail the whole service: budget violations stay
+    // contained incidents regardless of the baseline.
+    Ok(options.fail_fast(false))
+}
+
+/// Fold a scan outcome into the response: the shared JSON document, 200
+/// when clean, 207 + `Degraded: true` when incidents were contained. Also
+/// feeds the incident and fuel counters.
+fn scan_response(state: &AppState, outcome: &ScanOutcome) -> Response {
+    for incident in &outcome.incidents {
+        state.metrics.inc_incident(incident.cause.kind());
+    }
+    state.metrics.add_fuel(outcome.fuel_spent);
+    let body = outcome.render_json();
+    if outcome.is_degraded() {
+        Response::json(207, body).with_header("Degraded", "true")
+    } else {
+        Response::json(200, body)
+    }
+}
+
+/// `POST /v1/diagnose` — the body is one QEP in the plan-text format; the
+/// response is the ranked `{reports, incidents}` document for that plan
+/// against the resident KB, byte-identical to `optimatch scan` on a
+/// directory containing only that plan.
+fn diagnose(state: &Arc<AppState>, request: &Request) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let qep = match parse_qep(text) {
+        Ok(qep) => qep,
+        Err(e) => return Response::error(400, &format!("unparseable QEP: {e}")),
+    };
+    // The parser skips preamble it does not recognize, so arbitrary text
+    // "parses" into an empty plan — reject that as the client error it is.
+    if qep.op_count() == 0 {
+        return Response::error(400, "body contains no plan operators");
+    }
+    let options = match scan_options(state, request) {
+        Ok(options) => options,
+        Err(response) => return response,
+    };
+    let session = OptImatch::from_qeps([qep]);
+    match session.scan_with(&state.kb, options) {
+        Ok(outcome) => scan_response(state, &outcome),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+/// `POST /v1/search` — the body is a pattern in the builder JSON format
+/// (the paper's Figure 5); the response lists every occurrence across the
+/// resident workload with its de-transformed bindings.
+fn search(state: &Arc<AppState>, request: &Request) -> Response {
+    let json = match std::str::from_utf8(&request.body) {
+        Ok(json) => json,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let pattern = match Pattern::from_json(json) {
+        Ok(pattern) => pattern,
+        Err(e) => return Response::error(400, &format!("unparseable pattern: {e}")),
+    };
+    let options = match scan_options(state, request) {
+        Ok(options) => options,
+        Err(response) => return response,
+    };
+    let outcome = match state.session.search_with(&pattern, &options) {
+        Ok(outcome) => outcome,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    for incident in &outcome.incidents {
+        state.metrics.inc_incident(incident.cause.kind());
+    }
+    state.metrics.add_fuel(outcome.fuel_spent);
+
+    let matches = Value::Array(
+        outcome
+            .matches
+            .iter()
+            .map(|m| {
+                Value::Object(vec![
+                    ("qep_id".to_string(), Value::String(m.qep_id.clone())),
+                    (
+                        "bindings".to_string(),
+                        Value::Array(
+                            m.bindings
+                                .iter()
+                                .map(|b| {
+                                    Value::Object(vec![
+                                        ("name".to_string(), Value::String(b.name.clone())),
+                                        ("target".to_string(), Value::String(b.target.display())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let doc = Value::Object(vec![
+        ("pattern".to_string(), Value::String(pattern.name.clone())),
+        ("matches".to_string(), matches),
+        (
+            "incidents".to_string(),
+            outcome.incidents.serialize_to_value(),
+        ),
+    ]);
+    let mut body = match serde_json::to_string_pretty(&doc) {
+        Ok(body) => body,
+        Err(e) => return Response::error(500, &e.to_string()),
+    };
+    body.push('\n');
+    if outcome.incidents.is_empty() {
+        Response::json(200, body)
+    } else {
+        Response::json(207, body).with_header("Degraded", "true")
+    }
+}
+
+/// `GET /v1/scan` — scan the resident workload against the resident KB.
+/// `fuel` / `deadline_ms` / `threads` / `no_prune` query parameters
+/// override the server's baseline.
+fn scan(state: &Arc<AppState>, request: &Request) -> Response {
+    let options = match scan_options(state, request) {
+        Ok(options) => options,
+        Err(response) => return response,
+    };
+    match state.session.scan_with(&state.kb, options) {
+        Ok(outcome) => scan_response(state, &outcome),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+/// `GET /healthz` — liveness plus the resident sizes, cheap enough for a
+/// tight probe interval.
+fn healthz(state: &Arc<AppState>) -> Response {
+    let doc = Value::Object(vec![
+        ("status".to_string(), Value::String("ok".to_string())),
+        ("qeps".to_string(), state.session.len().serialize_to_value()),
+        (
+            "kb_entries".to_string(),
+            state.kb.len().serialize_to_value(),
+        ),
+    ]);
+    let mut body = serde_json::to_string(&doc).unwrap_or_else(|_| "{}".into());
+    body.push('\n');
+    Response::json(200, body)
+}
+
+/// `GET /metrics` — the registry in Prometheus text format.
+fn metrics(state: &Arc<AppState>) -> Response {
+    Response::text(200, state.metrics.render_prometheus())
+}
