@@ -1,0 +1,176 @@
+//! `ingest_bench` — live-ingestion throughput and snapshot-swap latency.
+//!
+//! Builds a repository-backed [`SessionManager`], then measures the two
+//! costs the live path introduces: a full ingest (transform + fsync'd
+//! append + successor-snapshot build + publish) and a bare KB hot-swap
+//! (successor build + publish only, no disk). A reader thread runs scans
+//! throughout, so the numbers are taken under the same contention the
+//! server sees. Results merge into BENCH_serve.json under an `"ingest"`
+//! key, next to serve_bench's HTTP numbers.
+//!
+//! ```text
+//! ingest_bench [--quick] [--out FILE.json]
+//! ```
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use optimatch_bench::paper_workload;
+use optimatch_core::{builtin, OpenOptions, OptImatch, SessionManager, Source};
+use serde_json::Value;
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn json_f64(x: f64) -> Value {
+    Value::Number(serde_json::Number::Float(x))
+}
+
+fn json_usize(x: usize) -> Value {
+    Value::Number(serde_json::Number::Int(x as i64))
+}
+
+fn summarize(label: &str, samples: &mut [Duration]) -> Vec<(String, Value)> {
+    samples.sort();
+    let p50 = percentile(samples, 0.50);
+    let p95 = percentile(samples, 0.95);
+    let max = *samples.last().expect("at least one sample");
+    println!(
+        "{label}: p50 {p50:?}  p95 {p95:?}  max {max:?}  ({} samples)",
+        samples.len()
+    );
+    vec![
+        (format!("{label}_p50_secs"), json_f64(p50.as_secs_f64())),
+        (format!("{label}_p95_secs"), json_f64(p95.as_secs_f64())),
+        (format!("{label}_max_secs"), json_f64(max.as_secs_f64())),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_serve.json");
+
+    let base = if quick { 20 } else { 100 };
+    let ingests = if quick { 40 } else { 200 };
+    let swaps = if quick { 20 } else { 100 };
+
+    // A repository-backed manager, the same shape `optimatch serve REPO`
+    // builds.
+    let dir = std::env::temp_dir().join(format!("optimatch-ingest-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let workload = paper_workload(base);
+    optimatch_workload::write_workload(&workload, &dir).expect("writes the workload");
+    let repo = dir.join("workload.optirepo");
+    optimatch_core::build_repo(&dir, &repo).expect("repository builds");
+    let opened =
+        OptImatch::open(Source::Repo(repo.clone()), OpenOptions::new()).expect("repository opens");
+    let manager = Arc::new(SessionManager::new(
+        opened.session,
+        builtin::paper_kb(),
+        Some(repo.clone()),
+    ));
+
+    println!(
+        "# live ingestion: {ingests} ingest(s) + {swaps} KB swap(s) over {base} resident QEPs"
+    );
+
+    // A reader scanning throughout: the latencies below are measured
+    // under snapshot churn with a concurrent consumer, like the server's.
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let manager = Arc::clone(&manager);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut scans = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let snapshot = manager.current();
+                let outcome = snapshot
+                    .session()
+                    .scan_with(snapshot.kb(), snapshot.session().defaults())
+                    .expect("scan");
+                assert_eq!(outcome.reports.len(), snapshot.session().len());
+                scans += 1;
+            }
+            scans
+        })
+    };
+
+    // Ingest latency: transform + durable append + publish, per plan.
+    let mut ingest_lat = Vec::with_capacity(ingests);
+    let ingest_start = Instant::now();
+    for i in 0..ingests {
+        let mut qep = workload.qeps[i % workload.qeps.len()].clone();
+        qep.id = format!("live-{i}");
+        let start = Instant::now();
+        manager.ingest(qep, "ingest-bench").expect("ingest");
+        ingest_lat.push(start.elapsed());
+    }
+    let ingest_wall = ingest_start.elapsed();
+    let per_sec = ingests as f64 / ingest_wall.as_secs_f64();
+
+    // Swap latency: KB hot-reload — successor snapshot + publish, no disk.
+    let mut swap_lat = Vec::with_capacity(swaps);
+    for _ in 0..swaps {
+        let start = Instant::now();
+        manager.reload_kb(builtin::paper_kb()).expect("reload");
+        swap_lat.push(start.elapsed());
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let scans = reader.join().expect("reader thread");
+
+    let generation = manager.generation();
+    assert_eq!(generation, (ingests + swaps) as u64);
+    assert_eq!(manager.current().session().len(), base + ingests);
+    // The disk caught every ingest: a cold strict open sees them all.
+    let cold = OptImatch::open(Source::Repo(repo.clone()), OpenOptions::new())
+        .expect("cold reopen")
+        .session;
+    assert_eq!(cold.len(), base + ingests);
+
+    println!("ingest throughput: {per_sec:.1} plans/s  ({ingest_wall:?} wall)");
+    println!("reader completed {scans} full scan(s) during the run; final generation {generation}");
+
+    let mut ingest_doc = vec![
+        ("resident_qeps".to_string(), json_usize(base)),
+        ("ingests".to_string(), json_usize(ingests)),
+        ("kb_swaps".to_string(), json_usize(swaps)),
+        ("ingest_per_sec".to_string(), json_f64(per_sec)),
+        ("reader_scans".to_string(), json_usize(scans)),
+        (
+            "final_generation".to_string(),
+            json_usize(generation as usize),
+        ),
+    ];
+    ingest_doc.extend(summarize("ingest", &mut ingest_lat));
+    ingest_doc.extend(summarize("kb_swap", &mut swap_lat));
+
+    // Merge under "ingest" so serve_bench's HTTP numbers survive in the
+    // same report file (either order of the two benches works).
+    let mut fields: Vec<(String, Value)> = match std::fs::read_to_string(out_path) {
+        Ok(text) => match serde_json::from_str::<Value>(&text) {
+            Ok(Value::Object(fields)) => {
+                fields.into_iter().filter(|(k, _)| k != "ingest").collect()
+            }
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    fields.push(("ingest".to_string(), Value::Object(ingest_doc)));
+    let mut text = serde_json::to_string_pretty(&Value::Object(fields)).expect("serializable");
+    text.push('\n');
+    std::fs::write(Path::new(out_path), text).expect("writes the report");
+    println!("wrote {out_path}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,7 +1,8 @@
 //! `repo_bench` — cold directory load vs. warm repository open.
 //!
-//! A cold session (`OptImatch::from_dir`) parses every plan file and runs
-//! the Algorithm-1 RDF transform; a warm session (`OptImatch::open_repo`)
+//! A cold session (`OptImatch::open` on a plan directory) parses every
+//! plan file and runs the Algorithm-1 RDF transform; a warm session
+//! (`OptImatch::open` on a repository file)
 //! deserializes the already-transformed graphs from the checksummed
 //! repository. Both must scan to byte-identical reports; the JSON written
 //! to `BENCH_repo.json` records the load timings, the one-time build
@@ -15,7 +16,7 @@ use std::path::Path;
 use std::time::{Duration, Instant};
 
 use optimatch_bench::paper_workload;
-use optimatch_core::{builtin, OptImatch, ScanOptions};
+use optimatch_core::{builtin, OpenOptions, OptImatch, ScanOptions, Source};
 use serde_json::Value;
 
 /// Best-of-`reps` wall time of a session constructor.
@@ -64,7 +65,9 @@ fn main() {
     println!("workload: {n} QEPs in {}", dir.display());
 
     let (cold_time, cold) = time_load(reps, || {
-        OptImatch::from_dir(&dir).expect("plan files parse")
+        OptImatch::open(Source::Dir(dir.clone()), OpenOptions::new())
+            .expect("plan files parse")
+            .session
     });
     println!(
         "cold from_dir:  {cold_time:?}  ({:.1} QEPs/s)",
@@ -90,7 +93,9 @@ fn main() {
     );
 
     let (warm_time, warm) = time_load(reps, || {
-        OptImatch::open_repo(&repo_path).expect("repository opens")
+        OptImatch::open(Source::Repo(repo_path.clone()), OpenOptions::new())
+            .expect("repository opens")
+            .session
     });
     println!(
         "warm open_repo: {warm_time:?}  ({:.1} QEPs/s)",

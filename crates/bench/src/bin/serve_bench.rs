@@ -17,7 +17,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use optimatch_bench::paper_workload;
-use optimatch_core::{builtin, OptImatch};
+use optimatch_core::{builtin, OptImatch, SessionManager};
 use optimatch_qep::format_qep;
 use optimatch_serve::{ServeOptions, Server};
 use serde_json::Value;
@@ -83,13 +83,13 @@ fn main() {
     let session = OptImatch::from_qeps(workload.qeps.clone());
     let qeps = session.len();
 
+    let manager = SessionManager::new(session, builtin::paper_kb(), None);
     let server = Server::start(
         ServeOptions::new()
             .addr("127.0.0.1:0")
             .workers(workers)
             .queue(clients * 2 + 8),
-        session,
-        builtin::paper_kb(),
+        manager,
     )
     .expect("bind");
     let addr = server.addr();

@@ -1,7 +1,9 @@
 //! `serve_smoke` — end-to-end smoke test for the `optimatch serve` binary,
-//! run by CI against the release build: start the server as a real child
-//! process on an ephemeral port, hit `/healthz`, `POST /v1/diagnose`, and
-//! `/metrics` over TCP, then send SIGTERM and require a clean, drained
+//! run by CI against the release build: build a repository, start the
+//! server over it as a real child process on an ephemeral port, hit
+//! `/healthz`, `POST /v1/diagnose`, and `/metrics` over TCP, live-ingest
+//! two plans with `optimatch ingest`, check the generation gauge and the
+//! `?since=` delta scan, then send SIGTERM and require a clean, drained
 //! exit with status 0.
 //!
 //! ```text
@@ -46,19 +48,32 @@ fn main() {
         .unwrap_or("target/release/optimatch")
         .to_string();
 
-    // A tiny on-disk workload for the server to load.
+    // A tiny on-disk workload, snapshotted into a repository so the
+    // server is repository-backed and can accept live ingestion.
     let dir = std::env::temp_dir().join(format!("optimatch-serve-smoke-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let workload = paper_workload(4);
     write_workload(&workload, &dir).expect("write workload");
     let plan_text = format_qep(&workload.qeps[0]);
+    let repo = dir.join("workload.optirepo");
+    optimatch_core::build_repo(&dir, &repo).expect("build repository");
+
+    // Two extra plans, not in the repository, to ingest live.
+    let mut extra_files = Vec::new();
+    for (i, name) in ["smoke-ingest-a", "smoke-ingest-b"].iter().enumerate() {
+        let mut qep = workload.qeps[i].clone();
+        qep.id = (*name).to_string();
+        let path = dir.join(format!("{name}.ingest"));
+        std::fs::write(&path, format_qep(&qep)).expect("write ingest plan");
+        extra_files.push(path);
+    }
 
     println!(
         "starting {bin} serve {} on an ephemeral port",
-        dir.display()
+        repo.display()
     );
     let mut child = Command::new(&bin)
-        .args(["serve", dir.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+        .args(["serve", repo.to_str().unwrap(), "--addr", "127.0.0.1:0"])
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
@@ -105,6 +120,54 @@ fn main() {
         "{response}"
     );
 
+    // Live-ingest two plans through the CLI client; each publishes a new
+    // snapshot generation.
+    let ingest = Command::new(&bin)
+        .arg("ingest")
+        .arg(&addr)
+        .args(extra_files.iter().map(|p| p.as_os_str()))
+        .output()
+        .expect("run optimatch ingest");
+    let ingest_out = String::from_utf8_lossy(&ingest.stdout).into_owned();
+    assert!(
+        ingest.status.success(),
+        "ingest failed: {ingest_out}{}",
+        String::from_utf8_lossy(&ingest.stderr)
+    );
+    println!("{}", ingest_out.trim_end());
+    assert!(ingest_out.contains("generation 1"), "{ingest_out}");
+    assert!(ingest_out.contains("generation 2"), "{ingest_out}");
+
+    // The delta scan since generation 0 covers exactly the two new plans.
+    let response = request(
+        &addr,
+        b"GET /v1/scan?since=0 HTTP/1.1\r\nHost: smoke\r\n\r\n",
+    );
+    expect_status(&response, "200", "/v1/scan?since=0");
+    assert_eq!(
+        response.matches("\"qep_id\"").count(),
+        2,
+        "delta scan must cover exactly the ingested plans: {response}"
+    );
+    assert!(response.contains("smoke-ingest-a"), "{response}");
+    assert!(response.contains("smoke-ingest-b"), "{response}");
+    assert!(response.contains("X-Generation: 2"), "{response}");
+
+    let response = request(&addr, b"GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n");
+    expect_status(&response, "200", "/metrics");
+    assert!(
+        response.contains("optimatch_session_generation 2"),
+        "{response}"
+    );
+    assert!(
+        response.contains("optimatch_session_swap_total 2"),
+        "{response}"
+    );
+    assert!(
+        response.contains("optimatch_ingest_requests_total{status=\"200\"} 2"),
+        "{response}"
+    );
+
     // SIGTERM must drain and exit 0 — the graceful path, not a kill.
     println!("sending SIGTERM to pid {}", child.id());
     let kill = Command::new("kill")
@@ -124,5 +187,7 @@ fn main() {
     );
 
     let _ = std::fs::remove_dir_all(&dir);
-    println!("serve smoke OK: healthz, diagnose, metrics, graceful SIGTERM exit");
+    println!(
+        "serve smoke OK: healthz, diagnose, live ingest, delta scan, metrics, graceful SIGTERM exit"
+    );
 }

@@ -20,6 +20,7 @@
 //!                   [--queue N] [--max-body BYTES] [--read-timeout-ms MS]
 //!                   [--drain-ms MS] [--threads N] [--no-prune] [--fuel N]
 //!                   [--deadline-ms MS]
+//! optimatch ingest ADDR [FILE.qep ...] [--kb FILE.json]
 //! ```
 //!
 //! `SOURCE` is a plan directory, a single plan file, or a persistent
@@ -28,7 +29,9 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use optimatch_core::{builtin, KnowledgeBase, OptImatch, Pattern, ScanOptions};
+use optimatch_core::{
+    builtin, KnowledgeBase, OpenOptions, OptImatch, Pattern, ScanOptions, SessionManager, Source,
+};
 use optimatch_qep::{parse_qep, render_tree, workload_stats};
 use optimatch_rdf::turtle::{to_turtle, PrefixMap};
 use optimatch_workload::{
@@ -193,6 +196,7 @@ pub fn run_with_status(argv: &[String]) -> Result<CmdOutput, CliError> {
         "kb" => cmd_kb(&args).map(CmdOutput::clean),
         "kb-init" => cmd_kb_init(&args).map(CmdOutput::clean),
         "serve" => cmd_serve(&args).map(CmdOutput::clean),
+        "ingest" => cmd_ingest(&args).map(CmdOutput::clean),
         "help" | "--help" | "-h" => Ok(CmdOutput::clean(usage())),
         other => err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -229,6 +233,11 @@ pub fn usage() -> String {
      \x20                   [--read-timeout-ms MS] [--drain-ms MS]    POST /v1/search, GET /v1/scan,\n\
      \x20                   [--threads N] [--no-prune] [--fuel N]     GET /healthz, GET /metrics);\n\
      \x20                   [--deadline-ms MS]                        drains on SIGINT/SIGTERM\n\
+     \x20 optimatch ingest ADDR [FILE.qep ...] [--kb F.json]         push plans (POST /v1/ingest)\n\
+     \x20                                                            and/or a KB (POST /v1/kb) into\n\
+     \x20                                                            a running repository-backed\n\
+     \x20                                                            server; each accepted plan\n\
+     \x20                                                            publishes a new generation\n\
      \n\
      SOURCE for search/scan is a plan directory, a single plan file, or a\n\
      persistent workload repository built with `repo build` — repository\n\
@@ -299,31 +308,26 @@ fn load_plans_from(path: &Path) -> Result<Vec<optimatch_qep::Qep>, CliError> {
 /// opened as a persistent workload repository — also leniently, with
 /// damaged records reported as warnings; anything else is parsed as a
 /// single plan file.
-fn load_session(args: &Args) -> Result<(OptImatch, Vec<String>), CliError> {
+fn load_session(args: &Args) -> Result<(OptImatch, Source, Vec<String>), CliError> {
     let path = args
         .positional
         .first()
         .map(PathBuf::from)
         .ok_or_else(|| CliError("expected a plan file, directory, or repository".into()))?;
-    if path.is_dir() {
-        let load = OptImatch::from_dir_lenient(&path).map_err(|e| CliError(e.to_string()))?;
-        let warnings = load
-            .skipped
-            .iter()
-            .map(|s| format!("skipped {s}"))
-            .collect();
-        Ok((load.session, warnings))
-    } else if optimatch_repo::is_repo_file(&path) {
-        let load = OptImatch::open_repo_lenient(&path).map_err(|e| CliError(e.to_string()))?;
-        let warnings = load
-            .skipped
-            .iter()
-            .map(|s| format!("skipped {s}"))
-            .collect();
-        Ok((load.session, warnings))
-    } else {
-        Ok((OptImatch::from_qeps(load_plans_from(&path)?), Vec::new()))
-    }
+    let source = Source::detect(&path).map_err(|e| CliError(e.to_string()))?;
+    // A single plan file stays strict: with exactly one input, "skip the
+    // broken file" would mean silently analysing nothing.
+    let options = match source {
+        Source::File(_) => OpenOptions::new(),
+        Source::Dir(_) | Source::Repo(_) => OpenOptions::new().lenient(),
+    };
+    let opened = OptImatch::open(source, options).map_err(|e| CliError(e.to_string()))?;
+    let warnings = opened
+        .skipped
+        .iter()
+        .map(|s| format!("skipped {s}"))
+        .collect();
+    Ok((opened.session, opened.source, warnings))
 }
 
 /// One `warning:` line per message, for the top of a report.
@@ -428,7 +432,7 @@ fn incident_lines(incidents: &[optimatch_core::ScanIncident]) -> String {
 
 fn cmd_search(args: &Args) -> Result<CmdOutput, CliError> {
     args.expect_options(&["builtin", "pattern", "fuel", "deadline-ms", "fail-fast"])?;
-    let (session, skipped) = load_session(args)?;
+    let (session, _source, skipped) = load_session(args)?;
     let pattern = resolve_pattern(args)?;
     let options = budget_options(args, ScanOptions::default().prune(false))?;
     let outcome = session
@@ -472,7 +476,7 @@ fn cmd_scan(args: &Args) -> Result<CmdOutput, CliError> {
         "deadline-ms",
         "fail-fast",
     ])?;
-    let (session, skipped) = load_session(args)?;
+    let (session, _source, skipped) = load_session(args)?;
     let kb = resolve_kb(args)?;
     let threads: usize = args.parse_num("threads", 1)?;
     let options = budget_options(
@@ -561,7 +565,7 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         "fuel",
         "deadline-ms",
     ])?;
-    let (session, skipped) = load_session(args)?;
+    let (session, source, skipped) = load_session(args)?;
     let kb = resolve_kb(args)?;
     let threads: usize = args.parse_num("threads", 1)?;
     let scan = budget_options(
@@ -596,7 +600,11 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let qeps = session.len();
     let entries = kb.len();
     let workers = options.workers;
-    let handle = optimatch_serve::Server::start(options, session, kb)
+    // Only a repository-backed session can accept live ingestion; a dir
+    // or single-file source still serves, but POST /v1/ingest returns 409.
+    let repo_path = source.repo_path().map(Path::to_path_buf);
+    let manager = SessionManager::new(session, kb, repo_path);
+    let handle = optimatch_serve::Server::start(options, manager)
         .map_err(|e| CliError(format!("serve: {e}")))?;
 
     {
@@ -627,6 +635,96 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
             out,
             "warning: {} request(s) still in flight past the drain deadline",
             report.stragglers
+        );
+    }
+    Ok(out)
+}
+
+/// Minimal HTTP client for `optimatch ingest`: one POST per call over a
+/// fresh connection (`Connection: close`), returning the status code and
+/// body. Hand-rolled over [`std::net::TcpStream`] — the serving layer has
+/// no client half, and the two endpoints only need this much.
+fn http_post(addr: &str, path: &str, body: &[u8]) -> Result<(u16, String), CliError> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError(format!("ingest: connect {addr}: {e}")))?;
+    let timeout = Some(std::time::Duration::from_secs(30));
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| CliError(format!("ingest: send to {addr}: {e}")))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| CliError(format!("ingest: read from {addr}: {e}")))?;
+    let text = String::from_utf8_lossy(&raw);
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| CliError(format!("ingest: malformed response from {addr}")))?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.trim().to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Pull one scalar field out of a flat, compact JSON object — enough to
+/// render ingest receipts without a full parser in the CLI.
+fn json_field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let pos = body.find(&format!("\"{key}\""))?;
+    let rest = body[pos..].split_once(':')?.1.trim_start();
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// `optimatch ingest ADDR [FILE.qep ...] [--kb F.json]` — push plans and/or
+/// a replacement knowledge base into a running `optimatch serve` instance.
+/// The KB (when given) is swapped first so the pushed plans are scanned
+/// against it from their first generation onward.
+fn cmd_ingest(args: &Args) -> Result<String, CliError> {
+    args.expect_options(&["kb"])?;
+    let Some(addr) = args.positional.first() else {
+        return err("ingest: expected ADDR [FILE.qep ...] [--kb F.json]");
+    };
+    let files = &args.positional[1..];
+    if files.is_empty() && args.option("kb").is_none() {
+        return err("ingest: give plan files, --kb F.json, or both");
+    }
+
+    let mut out = String::new();
+    if let Some(file) = args.option("kb") {
+        let body = std::fs::read(file).map_err(|e| CliError(format!("{file}: {e}")))?;
+        let (status, resp) = http_post(addr, "/v1/kb", &body)?;
+        if status != 200 {
+            return err(format!("kb reload rejected ({status}):\n{resp}"));
+        }
+        let _ = writeln!(
+            out,
+            "kb reloaded: {} entr(ies), generation {}",
+            json_field(&resp, "kb_entries").unwrap_or("?"),
+            json_field(&resp, "generation").unwrap_or("?"),
+        );
+    }
+    for file in files {
+        let body = std::fs::read(file).map_err(|e| CliError(format!("{file}: {e}")))?;
+        let (status, resp) = http_post(addr, "/v1/ingest", &body)?;
+        if status != 200 {
+            return err(format!("{file}: ingest failed ({status}):\n{resp}"));
+        }
+        let _ = writeln!(
+            out,
+            "ingested {} from {file}: generation {}, {} record(s) in repo",
+            json_field(&resp, "qep_id").unwrap_or("?"),
+            json_field(&resp, "generation").unwrap_or("?"),
+            json_field(&resp, "repo_len").unwrap_or("?"),
         );
     }
     Ok(out)

@@ -9,7 +9,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::time::Duration;
 
-use optimatch_core::{builtin, OptImatch};
+use optimatch_core::{builtin, OpenOptions, OptImatch, SessionManager, Source};
 use optimatch_serve::{Route, ServeOptions, Server};
 use optimatch_workload::{
     generate_workload, write_workload, GeneratorConfig, InjectionConfig, WorkloadConfig,
@@ -124,15 +124,19 @@ fn concurrent_traffic_matches_the_cli_byte_for_byte() {
         .collect();
 
     // One server over the same directory.
-    let load = OptImatch::from_dir_lenient(&dir).expect("load session");
+    let load = OptImatch::open(
+        Source::detect(&dir).expect("detect source"),
+        OpenOptions::new().lenient(),
+    )
+    .expect("load session");
     assert!(load.skipped.is_empty());
+    let manager = SessionManager::new(load.session, builtin::paper_kb(), None);
     let server = Server::start(
         ServeOptions::new()
             .addr("127.0.0.1:0")
             .workers(4)
             .drain(Duration::from_secs(30)),
-        load.session,
-        builtin::paper_kb(),
+        manager,
     )
     .expect("bind");
     let addr = server.addr();

@@ -56,7 +56,9 @@ pub mod features;
 pub mod handlers;
 pub mod kb;
 pub mod lint;
+pub mod live;
 pub mod matcher;
+pub mod open;
 pub mod pattern;
 pub mod rank;
 pub mod repo;
@@ -72,10 +74,16 @@ pub use kb::{
     ScanIncident, ScanOptions, ScanOutcome,
 };
 pub use lint::{Artifact, Diagnostic, PatternIssue, Severity};
+pub use live::{
+    GenerationMark, IngestReceipt, KbReloadReceipt, LiveError, SessionManager, SessionSnapshot,
+};
 pub use matcher::{MatchBinding, Matcher, MatcherCache, PatternMatch, SearchOutcome};
+pub use open::{OpenOptions, OpenSkip, Opened, Source, Strictness};
 pub use pattern::{Pattern, PatternPop, PropertyCondition, Relationship, Sign, StreamSpec};
 pub use repo::{add_to_repo, build_repo, AddOutcome, BuildOutcome};
-pub use session::{LenientLoad, OptImatch, RepoLoad, SkipCause, SkippedFile, Timings};
+#[allow(deprecated)]
+pub use session::{LenientLoad, RepoLoad};
+pub use session::{OptImatch, SkipCause, SkippedFile, Timings};
 pub use transform::{transform_qep, TransformedQep};
 
 /// Compile-time thread-safety contract: the long-running HTTP service
@@ -89,6 +97,8 @@ pub use transform::{transform_qep, TransformedQep};
 fn _assert_shared_types_are_send_sync() {
     fn _assert<T: Send + Sync>() {}
     _assert::<OptImatch>();
+    _assert::<SessionManager>();
+    _assert::<SessionSnapshot>();
     _assert::<KnowledgeBase>();
     _assert::<Matcher>();
     _assert::<MatcherCache>();

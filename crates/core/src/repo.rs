@@ -268,15 +268,20 @@ mod tests {
         let out = dir.join("workload.optirepo");
         build_repo(&dir, &out).unwrap();
 
-        let cold = OptImatch::from_dir(&dir).unwrap();
-        let warm = OptImatch::open_repo(&out).unwrap();
-        assert_eq!(warm.len(), cold.len());
+        use crate::open::{OpenOptions, Source};
+        let cold = OptImatch::open(Source::detect(&dir).unwrap(), OpenOptions::new()).unwrap();
+        let warm = OptImatch::open(Source::detect(&out).unwrap(), OpenOptions::new()).unwrap();
+        assert_eq!(warm.session.len(), cold.session.len());
         let kb = crate::builtin::paper_kb();
-        assert_eq!(warm.scan(&kb).unwrap(), cold.scan(&kb).unwrap());
+        assert_eq!(
+            warm.session.scan(&kb).unwrap(),
+            cold.session.scan(&kb).unwrap()
+        );
 
-        let lenient = OptImatch::open_repo_lenient(&out).unwrap();
+        let lenient =
+            OptImatch::open(Source::Repo(out.clone()), OpenOptions::new().lenient()).unwrap();
         assert!(lenient.skipped.is_empty());
-        assert_eq!(lenient.session.len(), cold.len());
+        assert_eq!(lenient.session.len(), cold.session.len());
         std::fs::remove_dir_all(&dir).ok();
     }
 

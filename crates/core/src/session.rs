@@ -57,6 +57,11 @@ impl std::fmt::Display for SkippedFile {
 
 /// The result of [`OptImatch::from_dir_lenient`]: a session over every
 /// file that parsed, plus the per-file errors for the rest.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `OptImatch::open(Source, OpenOptions)`, which returns `Opened`; \
+            scheduled for removal two PRs after the open API landed"
+)]
 #[derive(Debug)]
 pub struct LenientLoad {
     /// The session over the loadable plans.
@@ -67,6 +72,11 @@ pub struct LenientLoad {
 
 /// The result of [`OptImatch::open_repo_lenient`]: a session over every
 /// intact record, plus what was skipped and why.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `OptImatch::open(Source, OpenOptions)`, which returns `Opened`; \
+            scheduled for removal two PRs after the open API landed"
+)]
 #[derive(Debug)]
 pub struct RepoLoad {
     /// The session over the intact records.
@@ -104,6 +114,7 @@ pub struct OptImatch {
     workload: Vec<TransformedQep>,
     timings: Mutex<Timings>,
     cache: MatcherCache,
+    defaults: ScanOptions,
 }
 
 impl OptImatch {
@@ -119,20 +130,35 @@ impl OptImatch {
                 matching: Duration::ZERO,
             }),
             cache: MatcherCache::new(),
+            defaults: ScanOptions::default(),
         }
     }
 
     /// Build a session from already-transformed plans — the warm-start
-    /// path used by [`OptImatch::open_repo`], where the RDF graphs come
-    /// off disk instead of being derived. The recorded transform time is
-    /// whatever the restore cost, which is the honest number for
-    /// cold-vs-warm comparisons.
+    /// path used by [`OptImatch::open`] on a repository source, where the
+    /// RDF graphs come off disk instead of being derived. The recorded
+    /// transform time is whatever the restore cost, which is the honest
+    /// number for cold-vs-warm comparisons.
     pub fn from_transformed(workload: Vec<TransformedQep>) -> OptImatch {
         OptImatch {
             workload,
             timings: Mutex::new(Timings::default()),
             cache: MatcherCache::new(),
+            defaults: ScanOptions::default(),
         }
+    }
+
+    /// Replace the session's baseline [`ScanOptions`] (what
+    /// [`OptImatch::scan`] uses); set by [`OptImatch::open`] from its
+    /// [`crate::OpenOptions`].
+    pub fn with_defaults(mut self, defaults: ScanOptions) -> OptImatch {
+        self.defaults = defaults;
+        self
+    }
+
+    /// The session's baseline [`ScanOptions`].
+    pub fn defaults(&self) -> ScanOptions {
+        self.defaults
     }
 
     /// The `*.qep` / `*.exp` / `*.txt` files in a directory, sorted.
@@ -151,56 +177,42 @@ impl OptImatch {
     }
 
     /// Load every `*.qep` / `*.exp` / `*.txt` file in a directory,
-    /// failing on the first unparseable file. See
-    /// [`OptImatch::from_dir_lenient`] for the skip-and-continue variant.
+    /// failing on the first unparseable file.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `OptImatch::open(Source::Dir(dir.into()), OpenOptions::new())`; \
+                scheduled for removal two PRs after the open API landed"
+    )]
     pub fn from_dir(dir: &Path) -> Result<OptImatch, Error> {
-        let mut qeps = Vec::new();
-        for path in OptImatch::plan_files(dir)? {
-            let text = std::fs::read_to_string(&path)?;
-            let qep = parse_qep(&text).map_err(|error| Error::Parse {
-                file: path.display().to_string(),
-                error,
-            })?;
-            qeps.push(qep);
-        }
-        Ok(OptImatch::from_qeps(qeps))
+        load_dir_strict(dir)
     }
 
     /// Like [`OptImatch::from_dir`], but a file that fails to read or
     /// parse is recorded and skipped instead of aborting the whole load.
     /// An unreadable *directory* still aborts (that is not a bad plan,
     /// it is a bad workload location).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `OptImatch::open(Source::Dir(dir.into()), OpenOptions::new().lenient())`; \
+                scheduled for removal two PRs after the open API landed"
+    )]
+    #[allow(deprecated)]
     pub fn from_dir_lenient(dir: &Path) -> Result<LenientLoad, Error> {
-        let mut qeps = Vec::new();
-        let mut skipped = Vec::new();
-        for path in OptImatch::plan_files(dir)? {
-            let file = path.display().to_string();
-            let cause = match std::fs::read_to_string(&path) {
-                Ok(text) => match parse_qep(&text) {
-                    Ok(qep) => {
-                        qeps.push(qep);
-                        continue;
-                    }
-                    Err(e) => SkipCause::Parse(e),
-                },
-                Err(e) => SkipCause::Io(e),
-            };
-            skipped.push(SkippedFile { file, cause });
-        }
-        Ok(LenientLoad {
-            session: OptImatch::from_qeps(qeps),
-            skipped,
-        })
+        let (session, skipped) = load_dir_lenient(dir)?;
+        Ok(LenientLoad { session, skipped })
     }
 
     /// Open a persistent workload repository (see `optimatch-repo`) as a
     /// session, skipping the plan parse and RDF transform entirely. Any
-    /// integrity problem fails the open; see
-    /// [`OptImatch::open_repo_lenient`] to skip damaged records instead.
+    /// integrity problem fails the open.
     ///
     /// Scanning a session opened this way produces reports identical to
-    /// scanning one built with [`OptImatch::from_dir`] over the source
-    /// directory.
+    /// scanning one built over the source directory.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `OptImatch::open(Source::Repo(path.into()), OpenOptions::new())`; \
+                scheduled for removal two PRs after the open API landed"
+    )]
     pub fn open_repo(path: &Path) -> Result<OptImatch, Error> {
         let repo = optimatch_repo::Repository::open(path)?;
         Ok(OptImatch::from_transformed(
@@ -211,6 +223,12 @@ impl OptImatch {
     /// Like [`OptImatch::open_repo`], but records failing their checksum
     /// or decode are skipped and reported rather than fatal — the
     /// repository counterpart of [`OptImatch::from_dir_lenient`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `OptImatch::open(Source::Repo(path.into()), OpenOptions::new().lenient())`; \
+                scheduled for removal two PRs after the open API landed"
+    )]
+    #[allow(deprecated)]
     pub fn open_repo_lenient(path: &Path) -> Result<RepoLoad, Error> {
         let loaded = optimatch_repo::Repository::open_lenient(path)?;
         Ok(RepoLoad {
@@ -304,9 +322,12 @@ impl OptImatch {
     }
 
     /// Scan the whole workload against a knowledge base (Algorithm 5),
-    /// producing one ranked report per QEP.
+    /// producing one ranked report per QEP. Runs under the session's
+    /// baseline [`ScanOptions`] (see [`OptImatch::defaults`]); reports are
+    /// option-independent, so the baseline only shapes *how* the scan
+    /// runs.
     pub fn scan(&self, kb: &KnowledgeBase) -> Result<Vec<QepReport>, Error> {
-        Ok(self.scan_with(kb, ScanOptions::default())?.reports)
+        Ok(self.scan_with(kb, self.defaults)?.reports)
     }
 
     /// Scan with explicit [`ScanOptions`] — thread fan-out and pruning
@@ -322,6 +343,43 @@ impl OptImatch {
         self.record_matching(start.elapsed());
         outcome
     }
+}
+
+/// Strict directory load, shared by [`OptImatch::open`] and the
+/// deprecated [`OptImatch::from_dir`] wrapper.
+pub(crate) fn load_dir_strict(dir: &Path) -> Result<OptImatch, Error> {
+    let mut qeps = Vec::new();
+    for path in OptImatch::plan_files(dir)? {
+        let text = std::fs::read_to_string(&path)?;
+        let qep = parse_qep(&text).map_err(|error| Error::Parse {
+            file: path.display().to_string(),
+            error,
+        })?;
+        qeps.push(qep);
+    }
+    Ok(OptImatch::from_qeps(qeps))
+}
+
+/// Lenient directory load, shared by [`OptImatch::open`] and the
+/// deprecated [`OptImatch::from_dir_lenient`] wrapper.
+pub(crate) fn load_dir_lenient(dir: &Path) -> Result<(OptImatch, Vec<SkippedFile>), Error> {
+    let mut qeps = Vec::new();
+    let mut skipped = Vec::new();
+    for path in OptImatch::plan_files(dir)? {
+        let file = path.display().to_string();
+        let cause = match std::fs::read_to_string(&path) {
+            Ok(text) => match parse_qep(&text) {
+                Ok(qep) => {
+                    qeps.push(qep);
+                    continue;
+                }
+                Err(e) => SkipCause::Parse(e),
+            },
+            Err(e) => SkipCause::Io(e),
+        };
+        skipped.push(SkippedFile { file, cause });
+    }
+    Ok((OptImatch::from_qeps(qeps), skipped))
 }
 
 #[cfg(test)]
@@ -360,7 +418,7 @@ mod tests {
         }
         // A non-plan file that must be ignored.
         std::fs::write(dir.join("README.md"), "not a plan").unwrap();
-        let s = OptImatch::from_dir(&dir).unwrap();
+        let s = load_dir_strict(&dir).unwrap();
         assert_eq!(s.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -370,7 +428,7 @@ mod tests {
         let dir = std::env::temp_dir().join("optimatch-session-badfile");
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("broken.qep"), "Plan Details:\n  1) NOPE: (x)\n").unwrap();
-        let err = OptImatch::from_dir(&dir).unwrap_err();
+        let err = load_dir_strict(&dir).unwrap_err();
         assert!(matches!(err, Error::Parse { .. }));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -381,11 +439,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("good.qep"), format_qep(&fixtures::fig1())).unwrap();
         std::fs::write(dir.join("broken.qep"), "Plan Details:\n  1) NOPE: (x)\n").unwrap();
-        let load = OptImatch::from_dir_lenient(&dir).unwrap();
-        assert_eq!(load.session.len(), 1);
-        assert_eq!(load.skipped.len(), 1);
-        assert!(load.skipped[0].file.contains("broken.qep"));
-        assert!(load.skipped[0].to_string().contains("broken.qep"));
+        let (session, skipped) = load_dir_lenient(&dir).unwrap();
+        assert_eq!(session.len(), 1);
+        assert_eq!(skipped.len(), 1);
+        assert!(skipped[0].file.contains("broken.qep"));
+        assert!(skipped[0].to_string().contains("broken.qep"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -397,13 +455,13 @@ mod tests {
         // A *directory* with a plan extension: read_to_string on it is a
         // guaranteed I/O error regardless of the user we run as.
         std::fs::create_dir_all(dir.join("trap.qep")).unwrap();
-        let load = OptImatch::from_dir_lenient(&dir).unwrap();
-        assert_eq!(load.session.len(), 1);
-        assert_eq!(load.skipped.len(), 1);
-        assert!(matches!(load.skipped[0].cause, SkipCause::Io(_)));
-        assert!(load.skipped[0].to_string().contains("unreadable"));
+        let (session, skipped) = load_dir_lenient(&dir).unwrap();
+        assert_eq!(session.len(), 1);
+        assert_eq!(skipped.len(), 1);
+        assert!(matches!(skipped[0].cause, SkipCause::Io(_)));
+        assert!(skipped[0].to_string().contains("unreadable"));
         // The strict loader still aborts on the same directory.
-        assert!(matches!(OptImatch::from_dir(&dir), Err(Error::Io(_))));
+        assert!(matches!(load_dir_strict(&dir), Err(Error::Io(_))));
         std::fs::remove_dir_all(&dir).ok();
     }
 

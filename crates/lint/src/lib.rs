@@ -188,21 +188,17 @@ pub fn load_kb_entries(path: &Path) -> Result<Vec<KnowledgeBaseEntry>, LintError
 /// resolution rule the CLI's `scan` command applies, lenient throughout
 /// (a corrupt plan shouldn't block linting the rest).
 pub fn load_workload(path: &Path) -> Result<Vec<TransformedQep>, LintError> {
-    let session = if path.is_dir() {
-        OptImatch::from_dir_lenient(path)
-            .map_err(|e| LintError::Workload(e.to_string()))?
-            .session
-    } else if optimatch_repo::is_repo_file(path) {
-        OptImatch::open_repo_lenient(path)
-            .map_err(|e| LintError::Workload(e.to_string()))?
-            .session
-    } else {
-        let text = std::fs::read_to_string(path).map_err(LintError::Io)?;
-        let qep = optimatch_qep::parse_qep(&text)
-            .map_err(|e| LintError::Workload(format!("{}: {e}", path.display())))?;
-        OptImatch::from_qeps([qep])
+    use optimatch_core::{OpenOptions, Source};
+    let source = Source::detect(path).map_err(|e| LintError::Workload(e.to_string()))?;
+    let options = match source {
+        // A single plan file stays strict: skipping the only input would
+        // silently lint against an empty workload.
+        Source::File(_) => OpenOptions::new(),
+        Source::Dir(_) | Source::Repo(_) => OpenOptions::new().lenient(),
     };
-    Ok(session.workload().to_vec())
+    let opened =
+        OptImatch::open(source, options).map_err(|e| LintError::Workload(e.to_string()))?;
+    Ok(opened.session.workload().to_vec())
 }
 
 #[cfg(test)]

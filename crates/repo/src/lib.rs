@@ -23,6 +23,6 @@ mod wire;
 pub use error::RepoError;
 pub use record::{RepoRecord, StoredSummary};
 pub use store::{
-    is_repo_file, LenientRepo, RepoStats, RepoWriter, Repository, SkippedRecord, VerifyReport,
-    FORMAT_VERSION, MAGIC,
+    is_repo_file, LenientRepo, RecoveredAppend, RepoStats, RepoWriter, Repository, SkippedRecord,
+    VerifyReport, FORMAT_VERSION, MAGIC,
 };

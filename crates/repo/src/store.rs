@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ┌────────────────────────────────────────────────────────────┐
-//! │ header (16 B): "OPTIREPO" · version u8 · 7 reserved zeros  │
+//! │ header (16 B): "OPTIREPO" · version u8 · append flag u8    │
+//! │                · 6 reserved zeros                          │
 //! ├────────────────────────────────────────────────────────────┤
 //! │ record 0: "QR" · payload_len u32 · crc32 u32 · payload     │
 //! │ record 1: …                                                │
@@ -18,8 +19,23 @@
 //! Records are self-delimiting, so a reader that loses the footer (e.g.
 //! after truncation) can still recover every intact record by scanning
 //! segments forward from the header — that is what the lenient open does.
-//! Appending rewrites only the footer and trailer: existing record bytes
-//! are preserved verbatim, keeping ingest incremental.
+//!
+//! Appending is in-place and crash-safe. [`Repository::append`] commits
+//! through the header's append-in-progress flag (byte 9):
+//!
+//! 1. set the flag, fsync — any later crash is now *detectable*;
+//! 2. write the new record frames over the old footer, fsync — complete,
+//!    checksum-valid frames are committed data from here on;
+//! 3. write the new footer + trailer after them, fsync;
+//! 4. clear the flag, fsync.
+//!
+//! Existing record bytes are never rewritten, keeping ingest incremental.
+//! A crash between steps 1 and 4 leaves the flag set; the next *strict*
+//! open detects it, keeps every complete checksum-valid frame (committed
+//! by step 2's fsync), discards the torn tail, rewrites the index, and
+//! clears the flag — reporting what it did via [`Repository::recovered`].
+//! With the flag clear, strict opens behave exactly as before: damage in
+//! a flag-clear file is corruption, not a torn append, and still fails.
 
 use std::fmt;
 use std::io::Read as _;
@@ -43,6 +59,13 @@ const HEADER_LEN: usize = 16;
 const TRAILER_LEN: usize = 16;
 /// Segment frame: 2-byte magic + payload length + payload CRC.
 const FRAME_LEN: usize = 10;
+/// Header byte holding the append-in-progress flag (the first reserved
+/// byte after the version). Zero in a quiescent file; readers of older
+/// files (which wrote all reserved bytes as zero) see it clear.
+const APPEND_FLAG_OFFSET: u64 = 9;
+/// The flag value [`Repository::append`] sets before touching record
+/// bytes and clears only after the new index is durable.
+const APPEND_IN_PROGRESS: u8 = 1;
 
 /// One footer index entry describing a record segment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -127,6 +150,18 @@ impl VerifyReport {
     }
 }
 
+/// What a strict open salvaged from a repository whose append-in-progress
+/// flag was still set — evidence of a torn [`Repository::append`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveredAppend {
+    /// Records kept: every complete, checksum-valid frame. Frames were
+    /// fsync'd before the index was touched, so these are committed data.
+    pub records: usize,
+    /// Torn tail bytes discarded (0 when the crash landed between the
+    /// index write and the flag clear, where nothing was actually lost).
+    pub dropped_bytes: u64,
+}
+
 /// An opened repository: the format version and every decoded record, in
 /// ingest order.
 #[derive(Debug)]
@@ -135,6 +170,10 @@ pub struct Repository {
     pub version: u8,
     /// The records, in the order they were ingested.
     pub records: Vec<RepoRecord>,
+    /// Present when this strict open found a torn append and repaired it;
+    /// `None` for a quiescent file (and always for lenient opens, which
+    /// report through `skipped` and never write).
+    pub recovered: Option<RecoveredAppend>,
 }
 
 /// True when `path` is a file that starts with the repository magic —
@@ -288,16 +327,29 @@ impl Repository {
     /// Open a repository, verifying every checksum and decoding every
     /// record. Any integrity problem fails the whole open; see
     /// [`Repository::open_lenient`] for the skip-and-continue variant.
+    ///
+    /// The one exception is a **torn append**: when the header's
+    /// append-in-progress flag is still set, the damage is a known crash
+    /// window rather than silent corruption, so the open recovers every
+    /// committed frame, repairs the file in place, and reports what it
+    /// did via [`Repository::recovered`] instead of failing.
     pub fn open(path: &Path) -> Result<Repository, RepoError> {
         let data = std::fs::read(path)?;
         let version = check_header(&data, path)?;
+        if data[APPEND_FLAG_OFFSET as usize] != 0 {
+            return recover_torn_append(path, &data, version);
+        }
         let (footer_offset, entries) =
             read_footer(&data).map_err(|detail| RepoError::Corrupt { detail })?;
         let mut records = Vec::with_capacity(entries.len());
         for (index, entry) in entries.iter().enumerate() {
             records.push(decode_entry(&data, entry, index, footer_offset)?);
         }
-        Ok(Repository { version, records })
+        Ok(Repository {
+            version,
+            records,
+            recovered: None,
+        })
     }
 
     /// Open a repository, skipping records that fail integrity checks and
@@ -310,30 +362,48 @@ impl Repository {
         let version = check_header(&data, path)?;
         let mut skipped = Vec::new();
         let mut records = Vec::new();
-        match read_footer(&data) {
-            Ok((footer_offset, entries)) => {
-                for (index, entry) in entries.iter().enumerate() {
-                    match decode_entry(&data, entry, index, footer_offset) {
-                        Ok(r) => records.push(r),
-                        Err(e) => skipped.push(SkippedRecord {
-                            index: Some(index),
-                            id: Some(entry.id.clone()),
-                            reason: e.to_string(),
-                        }),
+        if data[APPEND_FLAG_OFFSET as usize] != 0 {
+            // A torn append: the footer cannot be trusted. Recover by
+            // sequential scan, but stay read-only — only the strict open
+            // repairs the file.
+            skipped.push(SkippedRecord {
+                index: None,
+                id: None,
+                reason: "an append was interrupted (append-in-progress flag is set); \
+                         recovering records by sequential scan"
+                    .into(),
+            });
+            sequential_scan(&data, &mut records, &mut skipped);
+        } else {
+            match read_footer(&data) {
+                Ok((footer_offset, entries)) => {
+                    for (index, entry) in entries.iter().enumerate() {
+                        match decode_entry(&data, entry, index, footer_offset) {
+                            Ok(r) => records.push(r),
+                            Err(e) => skipped.push(SkippedRecord {
+                                index: Some(index),
+                                id: Some(entry.id.clone()),
+                                reason: e.to_string(),
+                            }),
+                        }
                     }
                 }
-            }
-            Err(reason) => {
-                skipped.push(SkippedRecord {
-                    index: None,
-                    id: None,
-                    reason: format!("{reason}; recovering records by sequential scan"),
-                });
-                sequential_scan(&data, &mut records, &mut skipped);
+                Err(reason) => {
+                    skipped.push(SkippedRecord {
+                        index: None,
+                        id: None,
+                        reason: format!("{reason}; recovering records by sequential scan"),
+                    });
+                    sequential_scan(&data, &mut records, &mut skipped);
+                }
             }
         }
         Ok(LenientRepo {
-            repository: Repository { version, records },
+            repository: Repository {
+                version,
+                records,
+                recovered: None,
+            },
             skipped,
         })
     }
@@ -349,6 +419,13 @@ impl Repository {
             bytes: data.len() as u64,
             problems: Vec::new(),
         };
+        if data[APPEND_FLAG_OFFSET as usize] != 0 {
+            report.problems.push(
+                "append-in-progress flag is set (an append was interrupted); \
+                 a strict open repairs the file"
+                    .into(),
+            );
+        }
         match read_footer(&data) {
             Ok((footer_offset, entries)) => {
                 let mut expected_offset = HEADER_LEN as u64;
@@ -387,33 +464,75 @@ impl Repository {
     }
 
     /// Append records to an existing repository without re-encoding the
-    /// ones already stored: existing record bytes are kept verbatim and
-    /// only the footer and trailer are rewritten. Ids must not collide
-    /// with stored records. The file is validated before being touched,
-    /// so appending to a corrupt repository fails rather than entrenching
-    /// the damage.
-    pub fn append(path: &Path, records: &[RepoRecord]) -> Result<(), RepoError> {
+    /// ones already stored: existing record bytes are kept verbatim; the
+    /// new frames land where the old footer was and a fresh footer +
+    /// trailer follow them. Ids must not collide with stored records (or
+    /// within the batch). The file is validated before being touched, so
+    /// appending to a corrupt repository fails rather than entrenching
+    /// the damage. Returns the repository's new total record count.
+    ///
+    /// The write is in-place but crash-safe: the header's
+    /// append-in-progress flag is set (and fsync'd) first, the frames are
+    /// fsync'd before the index that references them, and the flag is
+    /// cleared only after the index is durable. A crash anywhere in
+    /// between is detected and repaired by the next strict
+    /// [`Repository::open`] — see the module docs for the full protocol.
+    pub fn append(path: &Path, records: &[RepoRecord]) -> Result<usize, RepoError> {
+        use std::io::{Seek, SeekFrom, Write};
+
         let data = std::fs::read(path)?;
         let version = check_header(&data, path)?;
         if version != FORMAT_VERSION {
             return Err(RepoError::UnsupportedVersion { found: version });
+        }
+        if data[APPEND_FLAG_OFFSET as usize] != 0 {
+            return Err(RepoError::Corrupt {
+                detail: "append-in-progress flag is set (a previous append was interrupted); \
+                         open the repository to repair it before appending"
+                    .into(),
+            });
         }
         let (footer_offset, mut entries) =
             read_footer(&data).map_err(|detail| RepoError::Corrupt { detail })?;
         for (index, entry) in entries.iter().enumerate() {
             segment_payload(&data, entry, index, footer_offset)?;
         }
-        let mut buf = data[..footer_offset].to_vec();
+        if records.is_empty() {
+            return Ok(entries.len());
+        }
+        let mut delta = Vec::new();
         for record in records {
             if entries.iter().any(|e| e.id == record.id) {
                 return Err(RepoError::DuplicateId {
                     id: record.id.clone(),
                 });
             }
-            entries.push(append_segment(&mut buf, record));
+            entries.push(append_segment(&mut delta, record, footer_offset as u64));
         }
-        finish_file(&mut buf, &entries);
-        write_atomically(path, &buf)
+        let index = build_index(footer_offset as u64 + delta.len() as u64, &entries);
+
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)?;
+        // 1. Mark the append in flight before any record byte moves.
+        f.seek(SeekFrom::Start(APPEND_FLAG_OFFSET))?;
+        f.write_all(&[APPEND_IN_PROGRESS])?;
+        f.sync_data()?;
+        // 2. Frames first: once this fsync returns they are committed —
+        //    recovery keeps every complete checksum-valid frame.
+        f.seek(SeekFrom::Start(footer_offset as u64))?;
+        f.write_all(&delta)?;
+        f.sync_data()?;
+        // 3. Then the index that references them. The file only grows
+        //    (the new footer indexes a superset), so no truncation here.
+        f.write_all(&index)?;
+        f.sync_data()?;
+        // 4. Quiesce: the append is fully durable.
+        f.seek(SeekFrom::Start(APPEND_FLAG_OFFSET))?;
+        f.write_all(&[0])?;
+        f.sync_data()?;
+        Ok(entries.len())
     }
 
     /// Aggregate statistics over the records.
@@ -434,11 +553,13 @@ impl Repository {
 }
 
 /// Encode one record as a segment at the end of `buf`, returning its
-/// index entry.
-fn append_segment(buf: &mut Vec<u8>, record: &RepoRecord) -> IndexEntry {
+/// index entry. `base` is the file offset `buf[0]` will land at, so
+/// entry offsets are absolute whether the buffer holds the whole image
+/// (writer: base 0) or just an append delta (base = old footer offset).
+fn append_segment(buf: &mut Vec<u8>, record: &RepoRecord, base: u64) -> IndexEntry {
     let payload = record.encode();
     let entry = IndexEntry {
-        offset: buf.len() as u64,
+        offset: base + buf.len() as u64,
         len: payload.len() as u32,
         crc: crc32(&payload),
         id: record.id.clone(),
@@ -450,11 +571,10 @@ fn append_segment(buf: &mut Vec<u8>, record: &RepoRecord) -> IndexEntry {
     entry
 }
 
-/// Append the footer and trailer for `entries` to a buffer that ends
-/// right after the last record segment.
-fn finish_file(buf: &mut Vec<u8>, entries: &[IndexEntry]) {
-    let footer_offset = buf.len() as u64;
-    let mut body = Vec::with_capacity(entries.len() * 32);
+/// Build the footer + trailer bytes indexing `entries`, for a footer
+/// that will live at file offset `footer_offset`.
+fn build_index(footer_offset: u64, entries: &[IndexEntry]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(entries.len() * 32 + 4);
     put_u32(&mut body, entries.len() as u32);
     for e in entries {
         put_u64(&mut body, e.offset);
@@ -462,12 +582,122 @@ fn finish_file(buf: &mut Vec<u8>, entries: &[IndexEntry]) {
         put_u32(&mut body, e.crc);
         put_str(&mut body, &e.id);
     }
-    buf.extend_from_slice(FOOTER_MAGIC);
-    put_u32(buf, body.len() as u32);
-    put_u32(buf, crc32(&body));
-    buf.extend_from_slice(&body);
-    put_u64(buf, footer_offset);
-    buf.extend_from_slice(END_MAGIC);
+    let mut out = Vec::with_capacity(FRAME_LEN + body.len() + TRAILER_LEN);
+    out.extend_from_slice(FOOTER_MAGIC);
+    put_u32(&mut out, body.len() as u32);
+    put_u32(&mut out, crc32(&body));
+    out.extend_from_slice(&body);
+    put_u64(&mut out, footer_offset);
+    out.extend_from_slice(END_MAGIC);
+    out
+}
+
+/// Append the footer and trailer for `entries` to a buffer that ends
+/// right after the last record segment.
+fn finish_file(buf: &mut Vec<u8>, entries: &[IndexEntry]) {
+    let index = build_index(buf.len() as u64, entries);
+    buf.extend_from_slice(&index);
+}
+
+/// Strict-open recovery for a file whose append-in-progress flag is set:
+/// the last append tore somewhere between marking and quiescing. Frames
+/// were fsync'd before the index, so every complete checksum-valid frame
+/// is committed data; the first damaged byte starts the torn tail.
+fn recover_torn_append(path: &Path, data: &[u8], version: u8) -> Result<Repository, RepoError> {
+    // Fast path: the crash landed between the index write and the flag
+    // clear. The footer is intact and every record decodes — nothing was
+    // lost; repair is just clearing the flag.
+    if let Ok((footer_offset, entries)) = read_footer(data) {
+        let decoded: Result<Vec<RepoRecord>, RepoError> = entries
+            .iter()
+            .enumerate()
+            .map(|(index, entry)| decode_entry(data, entry, index, footer_offset))
+            .collect();
+        if let Ok(records) = decoded {
+            let _ = clear_append_flag(path);
+            return Ok(Repository {
+                version,
+                recovered: Some(RecoveredAppend {
+                    records: records.len(),
+                    dropped_bytes: 0,
+                }),
+                records,
+            });
+        }
+    }
+    // Walk the self-delimiting frames forward from the header. The first
+    // frame that is incomplete, unrecognized, checksum-invalid, or
+    // undecodable marks where the tear begins; everything after it
+    // (including the stale or partial index) is the torn tail.
+    let mut pos = HEADER_LEN;
+    let mut entries = Vec::new();
+    let mut records = Vec::new();
+    while pos + FRAME_LEN <= data.len() && &data[pos..pos + 2] == RECORD_MAGIC {
+        let len = u32::from_le_bytes(data[pos + 2..pos + 6].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(data[pos + 6..pos + 10].try_into().expect("4 bytes"));
+        if pos + FRAME_LEN + len > data.len() {
+            break;
+        }
+        let payload = &data[pos + FRAME_LEN..pos + FRAME_LEN + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(record) = RepoRecord::decode(payload) else {
+            break;
+        };
+        entries.push(IndexEntry {
+            offset: pos as u64,
+            len: len as u32,
+            crc,
+            id: record.id.clone(),
+        });
+        records.push(record);
+        pos += FRAME_LEN + len;
+    }
+    let dropped_bytes = (data.len() - pos) as u64;
+    // Best-effort repair: rewrite the index over the torn tail, truncate,
+    // clear the flag. A failure (read-only file system, say) still opens
+    // — the file just stays dirty and the next open recovers again.
+    let _ = repair_torn_file(path, pos as u64, &entries);
+    Ok(Repository {
+        version,
+        recovered: Some(RecoveredAppend {
+            records: records.len(),
+            dropped_bytes,
+        }),
+        records,
+    })
+}
+
+/// Rewrite the index at `footer_offset`, drop everything after it, and
+/// quiesce the flag — the repair half of [`recover_torn_append`].
+fn repair_torn_file(
+    path: &Path,
+    footer_offset: u64,
+    entries: &[IndexEntry],
+) -> std::io::Result<()> {
+    use std::io::{Seek, SeekFrom, Write};
+    let index = build_index(footer_offset, entries);
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)?;
+    f.seek(SeekFrom::Start(footer_offset))?;
+    f.write_all(&index)?;
+    f.set_len(footer_offset + index.len() as u64)?;
+    f.sync_data()?;
+    f.seek(SeekFrom::Start(APPEND_FLAG_OFFSET))?;
+    f.write_all(&[0])?;
+    f.sync_data()
+}
+
+/// Clear the append-in-progress flag on an otherwise intact file.
+fn clear_append_flag(path: &Path) -> std::io::Result<()> {
+    use std::io::{Seek, SeekFrom, Write};
+    let mut f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.seek(SeekFrom::Start(APPEND_FLAG_OFFSET))?;
+    f.write_all(&[0])?;
+    f.sync_data()
 }
 
 /// Write through a sibling temp file + rename, so a crash mid-write
@@ -614,7 +844,7 @@ mod tests {
         let records = three_records();
         Repository::save(&path, &records[..2]).unwrap();
         let before = std::fs::read(&path).unwrap();
-        Repository::append(&path, &records[2..]).unwrap();
+        assert_eq!(Repository::append(&path, &records[2..]).unwrap(), 3);
         let after = std::fs::read(&path).unwrap();
         // The original record region is byte-identical; only index
         // structures after it changed.
@@ -730,7 +960,8 @@ impl RepoWriter {
                 id: record.id.clone(),
             });
         }
-        let entry = append_segment(&mut self.buf, record);
+        // The buffer starts at the header, so offsets are absolute.
+        let entry = append_segment(&mut self.buf, record, 0);
         self.entries.push(entry);
         Ok(())
     }

@@ -207,3 +207,127 @@ fn append_grows_the_repository_incrementally() {
     assert!(Repository::verify(&path).unwrap().is_ok());
     std::fs::remove_file(&path).ok();
 }
+
+/// The header's append-in-progress flag (byte 9) — the commit protocol's
+/// crash marker. These tests simulate each crash window by hand-editing
+/// the file the way an interrupted `append` would have left it.
+fn set_append_flag(bytes: &mut [u8]) {
+    bytes[9] = 1;
+}
+
+fn footer_offset_of(bytes: &[u8]) -> usize {
+    let trailer_start = bytes.len() - 16;
+    u64::from_le_bytes(bytes[trailer_start..trailer_start + 8].try_into().unwrap()) as usize
+}
+
+#[test]
+fn torn_append_before_any_frame_byte_recovers_everything() {
+    // Crash window 1: the flag was set and fsync'd, but no new frame
+    // byte reached the disk. The old footer is intact, so a strict open
+    // keeps all records, drops nothing, and just clears the flag.
+    let (path, bytes) = fresh_repo("torn-early");
+    let mut torn = bytes.clone();
+    set_append_flag(&mut torn);
+    std::fs::write(&path, &torn).unwrap();
+
+    let repo = Repository::open(&path).unwrap();
+    assert_eq!(repo.records.len(), 3);
+    let recovered = repo.recovered.expect("torn append reported");
+    assert_eq!(recovered.records, 3);
+    assert_eq!(recovered.dropped_bytes, 0);
+
+    // The repair quiesced the file: the next open is ordinary.
+    let again = Repository::open(&path).unwrap();
+    assert!(again.recovered.is_none());
+    assert!(Repository::verify(&path).unwrap().is_ok());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn torn_append_mid_frame_drops_only_the_torn_tail() {
+    // Crash window 2: the tear lands inside a new record's frame. The
+    // committed prefix (every complete checksum-valid frame) survives;
+    // the partial frame is discarded and the index rebuilt over it.
+    let (path, bytes) = fresh_repo("torn-mid");
+    let old_footer = footer_offset_of(&bytes);
+    Repository::append(&path, &[record("q-torn", fixtures::fig1())]).unwrap();
+    let appended = std::fs::read(&path).unwrap();
+
+    let cut = old_footer + 7; // partway into the new frame's header
+    let mut torn = appended[..cut].to_vec();
+    set_append_flag(&mut torn);
+    std::fs::write(&path, &torn).unwrap();
+
+    let repo = Repository::open(&path).unwrap();
+    assert_eq!(
+        repo.records
+            .iter()
+            .map(|r| r.id.as_str())
+            .collect::<Vec<_>>(),
+        vec!["q-first", "q-middle", "q-last"]
+    );
+    let recovered = repo.recovered.expect("torn append reported");
+    assert_eq!(recovered.records, 3);
+    assert_eq!(recovered.dropped_bytes, 7);
+
+    // The repair rewrote a valid index and cleared the flag, so the file
+    // verifies clean and accepts new appends.
+    assert!(Repository::verify(&path).unwrap().is_ok());
+    assert_eq!(
+        Repository::append(&path, &[record("q-after", fixtures::fig7())]).unwrap(),
+        4
+    );
+    assert!(Repository::open(&path).unwrap().recovered.is_none());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn torn_append_after_index_write_loses_nothing() {
+    // Crash window 3: frames and index are durable, only the flag clear
+    // was lost. Every record — including the appended one — survives.
+    let (path, _) = fresh_repo("torn-late");
+    Repository::append(&path, &[record("q-new", fixtures::fig8())]).unwrap();
+    let mut torn = std::fs::read(&path).unwrap();
+    set_append_flag(&mut torn);
+    std::fs::write(&path, &torn).unwrap();
+
+    let repo = Repository::open(&path).unwrap();
+    assert_eq!(repo.records.len(), 4);
+    assert_eq!(repo.records[3].id, "q-new");
+    let recovered = repo.recovered.expect("torn append reported");
+    assert_eq!(recovered.records, 4);
+    assert_eq!(recovered.dropped_bytes, 0);
+    assert!(Repository::verify(&path).unwrap().is_ok());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dirty_file_refuses_appends_and_opens_leniently_read_only() {
+    let (path, bytes) = fresh_repo("torn-dirty");
+    let mut torn = bytes.clone();
+    set_append_flag(&mut torn);
+    std::fs::write(&path, &torn).unwrap();
+
+    // Appending to a dirty file must refuse: the tear has to be repaired
+    // (by a strict open) before new records can commit.
+    let err = Repository::append(&path, &[record("q-nope", fixtures::fig1())]).unwrap_err();
+    assert!(err.to_string().contains("append-in-progress"), "{err}");
+
+    // verify names the flag as a problem.
+    let report = Repository::verify(&path).unwrap();
+    assert!(report
+        .problems
+        .iter()
+        .any(|p| p.contains("append-in-progress")));
+
+    // The lenient open recovers the records but never writes: the flag
+    // stays set afterwards.
+    let loaded = Repository::open_lenient(&path).unwrap();
+    assert_eq!(loaded.repository.records.len(), 3);
+    assert!(loaded
+        .skipped
+        .iter()
+        .any(|s| s.reason.contains("append-in-progress")));
+    assert_eq!(std::fs::read(&path).unwrap()[9], 1);
+    std::fs::remove_file(&path).ok();
+}

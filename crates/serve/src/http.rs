@@ -352,8 +352,10 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         411 => "Length Required",
         413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
@@ -391,7 +393,9 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_the_emitted_codes() {
-        for code in [200, 207, 400, 404, 405, 408, 411, 413, 500, 501, 503] {
+        for code in [
+            200, 207, 400, 404, 405, 408, 409, 411, 413, 422, 500, 501, 503,
+        ] {
             assert_ne!(reason(code), "Unknown", "code {code}");
         }
     }

@@ -1,11 +1,18 @@
 //! # optimatch-serve
 //!
-//! The long-running HTTP diagnosis service: load a workload once into a
-//! shared [`OptImatch`] session plus a [`KnowledgeBase`], then answer
-//! concurrent diagnosis traffic from a fixed worker pool. This is the
-//! paper's "shared expert system" deployment shape (§1, §2.3): analysts
-//! and tools `POST` individual plans or query the resident workload,
-//! instead of paying a cold start per invocation.
+//! The long-running HTTP diagnosis service: load a workload into a
+//! [`SessionManager`] (an `OptImatch` session + `KnowledgeBase` behind
+//! generation-numbered hot-swap snapshots), then answer concurrent
+//! diagnosis traffic from a fixed worker pool. This is the paper's
+//! "shared expert system" deployment shape (§1, §2.3) plus the GALO
+//! follow-up's fleet reality: analysts and tools `POST` individual plans
+//! or query the resident workload — and `POST /v1/ingest` new plans into
+//! it while it serves — instead of paying a cold start per invocation.
+//!
+//! Every request begins by taking the manager's current snapshot (one
+//! `Arc` clone) and runs against it end to end, so an ingest or KB
+//! reload landing mid-request never changes what that request sees; the
+//! snapshot's generation is echoed in an `X-Generation` response header.
 //!
 //! ## Architecture
 //!
@@ -47,7 +54,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use optimatch_core::{KnowledgeBase, OptImatch, ScanOptions};
+use optimatch_core::{ScanOptions, SessionManager};
 
 pub mod http;
 pub mod metrics;
@@ -158,13 +165,13 @@ impl ServeOptions {
     }
 }
 
-/// Shared immutable state: the resident session and KB, the metrics
-/// registry, and the options. One instance, `Arc`-shared everywhere.
+/// Shared state: the session manager (current snapshot + mutation
+/// entry points), the metrics registry, and the options. One instance,
+/// `Arc`-shared everywhere.
 pub struct AppState {
-    /// The resident workload session (loaded once).
-    pub session: Arc<OptImatch>,
-    /// The resident knowledge base.
-    pub kb: Arc<KnowledgeBase>,
+    /// The resident session manager; handlers take one snapshot per
+    /// request via [`SessionManager::current`].
+    pub manager: Arc<SessionManager>,
     /// The metrics registry.
     pub metrics: Arc<Metrics>,
     /// The serve options (baseline scan options live here).
@@ -249,24 +256,22 @@ pub struct Server;
 
 impl Server {
     /// Bind, spawn the worker pool and accept loop, and return a handle.
-    /// The session and KB are loaded by the caller (once) and shared
-    /// read-only across all workers — `optimatch_core` guarantees the
-    /// types are `Send + Sync` with a compile-time assertion.
-    pub fn start(
-        options: ServeOptions,
-        session: OptImatch,
-        kb: KnowledgeBase,
-    ) -> io::Result<ServerHandle> {
+    /// The manager is built by the caller (once) and shared across all
+    /// workers — `optimatch_core` guarantees [`SessionManager`] is
+    /// `Send + Sync` with a compile-time assertion. Pass a
+    /// repository-backed manager to enable `POST /v1/ingest`.
+    pub fn start(options: ServeOptions, manager: SessionManager) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&options.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
         let workers_n = options.workers.max(1);
         let queue_cap = options.queue.max(1);
+        let metrics = Metrics::new();
+        metrics.set_session_generation(manager.generation());
         let state = Arc::new(AppState {
-            session: Arc::new(session),
-            kb: Arc::new(kb),
-            metrics: Arc::new(Metrics::new()),
+            manager: Arc::new(manager),
+            metrics: Arc::new(metrics),
             options,
         });
         let stop = Arc::new(AtomicBool::new(false));

@@ -23,6 +23,10 @@ pub enum Route {
     Search,
     /// `GET /v1/scan`
     Scan,
+    /// `POST /v1/ingest`
+    Ingest,
+    /// `POST /v1/kb`
+    Kb,
     /// `GET /healthz`
     Healthz,
     /// `GET /metrics`
@@ -31,10 +35,12 @@ pub enum Route {
     Other,
 }
 
-const ROUTES: [Route; 6] = [
+const ROUTES: [Route; 8] = [
     Route::Diagnose,
     Route::Search,
     Route::Scan,
+    Route::Ingest,
+    Route::Kb,
     Route::Healthz,
     Route::Metrics,
     Route::Other,
@@ -46,9 +52,11 @@ impl Route {
             Route::Diagnose => 0,
             Route::Search => 1,
             Route::Scan => 2,
-            Route::Healthz => 3,
-            Route::Metrics => 4,
-            Route::Other => 5,
+            Route::Ingest => 3,
+            Route::Kb => 4,
+            Route::Healthz => 5,
+            Route::Metrics => 6,
+            Route::Other => 7,
         }
     }
 
@@ -58,6 +66,8 @@ impl Route {
             Route::Diagnose => "diagnose",
             Route::Search => "search",
             Route::Scan => "scan",
+            Route::Ingest => "ingest",
+            Route::Kb => "kb",
             Route::Healthz => "healthz",
             Route::Metrics => "metrics",
             Route::Other => "other",
@@ -67,7 +77,13 @@ impl Route {
 
 /// Status codes get their own label dimension; codes outside this list
 /// (which the service never emits) fall into a catch-all bucket.
-const CODES: [u16; 11] = [200, 207, 400, 404, 405, 408, 411, 413, 500, 501, 503];
+const CODES: [u16; 13] = [
+    200, 207, 400, 404, 405, 408, 409, 411, 413, 422, 500, 501, 503,
+];
+
+/// Outcomes of a `POST /v1/kb` hot reload: `ok` (published), `rejected`
+/// (lint errors, 422), `invalid` (body did not parse or compile, 400).
+const KB_RELOAD_RESULTS: [&str; 3] = ["ok", "rejected", "invalid"];
 
 fn code_index(status: u16) -> usize {
     CODES
@@ -127,6 +143,17 @@ pub struct Metrics {
     bytes_out: AtomicU64,
     incidents: [AtomicU64; INCIDENT_CAUSES.len()],
     fuel_spent: AtomicU64,
+    /// The highest snapshot generation published (monotonic via
+    /// `fetch_max`, so out-of-order reports cannot move it backwards).
+    session_generation: AtomicU64,
+    /// Snapshot publications (ingests + KB reloads).
+    session_swaps: AtomicU64,
+    /// `/v1/ingest` responses by status code.
+    ingest_requests: [AtomicU64; CODES.len() + 1],
+    /// End-to-end `/v1/ingest` latency (parse → durable append → swap).
+    ingest_latency: Histogram,
+    /// `/v1/kb` reloads by outcome.
+    kb_reloads: [AtomicU64; KB_RELOAD_RESULTS.len()],
 }
 
 impl Metrics {
@@ -257,6 +284,58 @@ impl Metrics {
         self.fuel_spent.load(Ordering::Relaxed)
     }
 
+    /// Report a published snapshot generation. Monotonic: concurrent
+    /// handlers reporting out of order can only move the gauge forward.
+    pub fn set_session_generation(&self, generation: u64) {
+        self.session_generation
+            .fetch_max(generation, Ordering::Relaxed);
+    }
+
+    /// The highest snapshot generation reported so far.
+    pub fn session_generation(&self) -> u64 {
+        self.session_generation.load(Ordering::Relaxed)
+    }
+
+    /// Count one snapshot publication (ingest or KB reload).
+    pub fn inc_session_swaps(&self) {
+        self.session_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot publications so far.
+    pub fn session_swaps_total(&self) -> u64 {
+        self.session_swaps.load(Ordering::Relaxed)
+    }
+
+    /// Record one completed `/v1/ingest` request: status + wall latency.
+    /// (The shared per-route counters also see it; these instruments
+    /// exist because ingest latency — dominated by the fsync'd append —
+    /// deserves its own histogram.)
+    pub fn record_ingest(&self, status: u16, elapsed: Duration) {
+        self.ingest_requests[code_index(status)].fetch_add(1, Ordering::Relaxed);
+        self.ingest_latency.observe(elapsed);
+    }
+
+    /// `/v1/ingest` responses recorded with `status`.
+    pub fn ingest_requests(&self, status: u16) -> u64 {
+        self.ingest_requests[code_index(status)].load(Ordering::Relaxed)
+    }
+
+    /// Count one `/v1/kb` reload by outcome (`ok`, `rejected`, `invalid`).
+    pub fn inc_kb_reload(&self, result: &str) {
+        if let Some(i) = KB_RELOAD_RESULTS.iter().position(|&r| r == result) {
+            self.kb_reloads[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `/v1/kb` reloads recorded for one outcome.
+    pub fn kb_reloads(&self, result: &str) -> u64 {
+        KB_RELOAD_RESULTS
+            .iter()
+            .position(|&r| r == result)
+            .map(|i| self.kb_reloads[i].load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
     /// Render the whole registry in the Prometheus text exposition format.
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write as _;
@@ -366,6 +445,77 @@ impl Metrics {
             self.fuel_spent_total(),
         );
 
+        gauge(
+            &mut out,
+            "optimatch_session_generation",
+            "Highest published session snapshot generation (0 = initial load).",
+            self.session_generation(),
+        );
+        counter(
+            &mut out,
+            "optimatch_session_swap_total",
+            "Session snapshot publications (ingests and KB reloads).",
+            self.session_swaps_total(),
+        );
+        out.push_str(concat!(
+            "# HELP optimatch_ingest_requests_total /v1/ingest responses by status.\n",
+            "# TYPE optimatch_ingest_requests_total counter\n",
+        ));
+        for (ci, code) in CODES.iter().enumerate() {
+            let n = self.ingest_requests[ci].load(Ordering::Relaxed);
+            if n > 0 {
+                let _ = writeln!(
+                    out,
+                    "optimatch_ingest_requests_total{{status=\"{code}\"}} {n}"
+                );
+            }
+        }
+        let other = self.ingest_requests[CODES.len()].load(Ordering::Relaxed);
+        if other > 0 {
+            let _ = writeln!(
+                out,
+                "optimatch_ingest_requests_total{{status=\"other\"}} {other}"
+            );
+        }
+        out.push_str(concat!(
+            "# HELP optimatch_kb_reload_total /v1/kb hot reloads by outcome.\n",
+            "# TYPE optimatch_kb_reload_total counter\n",
+        ));
+        for (i, result) in KB_RELOAD_RESULTS.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "optimatch_kb_reload_total{{result=\"{result}\"}} {}",
+                self.kb_reloads[i].load(Ordering::Relaxed)
+            );
+        }
+        let ingest_count = self.ingest_latency.count.load(Ordering::Relaxed);
+        if ingest_count > 0 {
+            out.push_str(concat!(
+                "# HELP optimatch_ingest_latency_seconds /v1/ingest latency ",
+                "(parse, durable append, snapshot swap).\n",
+                "# TYPE optimatch_ingest_latency_seconds histogram\n",
+            ));
+            let h = &self.ingest_latency;
+            let mut cumulative = 0;
+            for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
+                cumulative += h.buckets[i].load(Ordering::Relaxed);
+                let _ = writeln!(
+                    out,
+                    "optimatch_ingest_latency_seconds_bucket{{le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "optimatch_ingest_latency_seconds_bucket{{le=\"+Inf\"}} {ingest_count}"
+            );
+            let _ = writeln!(
+                out,
+                "optimatch_ingest_latency_seconds_sum {}",
+                h.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+            );
+            let _ = writeln!(out, "optimatch_ingest_latency_seconds_count {ingest_count}");
+        }
+
         out.push_str(concat!(
             "# HELP optimatch_http_request_seconds Request latency by route.\n",
             "# TYPE optimatch_http_request_seconds histogram\n",
@@ -444,6 +594,53 @@ mod tests {
         assert_eq!(m.incidents("fuel-exhausted"), 2);
         assert_eq!(m.incidents("panic"), 1);
         assert_eq!(m.incidents("deadline-exceeded"), 0);
+    }
+
+    #[test]
+    fn session_and_ingest_instruments() {
+        let m = Metrics::new();
+        // Generation is monotonic under out-of-order reports.
+        m.set_session_generation(2);
+        m.set_session_generation(1);
+        assert_eq!(m.session_generation(), 2);
+        m.inc_session_swaps();
+        m.inc_session_swaps();
+        assert_eq!(m.session_swaps_total(), 2);
+        m.record_ingest(200, Duration::from_millis(4));
+        m.record_ingest(409, Duration::from_millis(1));
+        assert_eq!(m.ingest_requests(200), 1);
+        assert_eq!(m.ingest_requests(409), 1);
+        m.inc_kb_reload("ok");
+        m.inc_kb_reload("rejected");
+        m.inc_kb_reload("not-a-result"); // ignored, not a crash
+        assert_eq!(m.kb_reloads("ok"), 1);
+        assert_eq!(m.kb_reloads("rejected"), 1);
+        assert_eq!(m.kb_reloads("invalid"), 0);
+
+        let text = m.render_prometheus();
+        assert!(text.contains("optimatch_session_generation 2"), "{text}");
+        assert!(text.contains("optimatch_session_swap_total 2"), "{text}");
+        assert!(
+            text.contains("optimatch_ingest_requests_total{status=\"200\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("optimatch_ingest_requests_total{status=\"409\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("optimatch_kb_reload_total{result=\"ok\"} 1"),
+            "{text}"
+        );
+        // All reload labels render even at zero.
+        assert!(
+            text.contains("optimatch_kb_reload_total{result=\"invalid\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("optimatch_ingest_latency_seconds_count 2"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -7,9 +7,17 @@
 //! | `POST /v1/diagnose`  | One QEP text in, ranked recommendations out    |
 //! | `POST /v1/search`    | Pattern JSON in, matches across the workload   |
 //! | `GET /v1/scan`       | Full-workload KB scan (`fuel`, `deadline_ms`,  |
-//! |                      | `threads`, `no_prune` query parameters)        |
-//! | `GET /healthz`       | Liveness plus workload/KB sizes                |
+//! |                      | `threads`, `no_prune`, `since` query params)   |
+//! | `POST /v1/ingest`    | One QEP text in: durable append + new snapshot |
+//! | `POST /v1/kb`        | KB JSON in: lint-gated hot reload              |
+//! | `GET /healthz`       | Liveness plus workload/KB sizes + generation   |
 //! | `GET /metrics`       | Prometheus text exposition                     |
+//!
+//! Every handler takes **one snapshot** of the session manager up front
+//! and uses it exclusively, so a concurrent ingest or KB reload never
+//! changes what a request in flight sees. `/v1/*` responses carry the
+//! snapshot's generation in an `X-Generation` header (a header, not a
+//! body field, so scan documents stay byte-identical to the CLI's).
 //!
 //! Scan-shaped responses (`/v1/diagnose`, `/v1/scan`) use
 //! [`optimatch_core::render_scan_json`], the same serializer behind
@@ -19,9 +27,9 @@
 //! document shape does not change.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use optimatch_core::{OptImatch, Pattern, ScanOptions, ScanOutcome};
+use optimatch_core::{LiveError, OptImatch, Pattern, ScanOptions, ScanOutcome, SessionSnapshot};
 use optimatch_qep::parse_qep;
 use serde::Serialize as _;
 use serde_json::Value;
@@ -37,6 +45,8 @@ pub fn route_of(request: &Request) -> Route {
         "/v1/diagnose" => Route::Diagnose,
         "/v1/search" => Route::Search,
         "/v1/scan" => Route::Scan,
+        "/v1/ingest" => Route::Ingest,
+        "/v1/kb" => Route::Kb,
         "/healthz" => Route::Healthz,
         "/metrics" => Route::Metrics,
         _ => Route::Other,
@@ -50,9 +60,11 @@ pub fn dispatch(state: &Arc<AppState>, request: &Request) -> Response {
         ("POST", "/v1/diagnose") => diagnose(state, request),
         ("POST", "/v1/search") => search(state, request),
         ("GET", "/v1/scan") => scan(state, request),
+        ("POST", "/v1/ingest") => ingest(state, request),
+        ("POST", "/v1/kb") => kb_reload(state, request),
         ("GET", "/healthz") => healthz(state),
         ("GET", "/metrics") => metrics(state),
-        (_, "/v1/diagnose") | (_, "/v1/search") => {
+        (_, "/v1/diagnose") | (_, "/v1/search") | (_, "/v1/ingest") | (_, "/v1/kb") => {
             Response::error(405, "method not allowed").with_header("Allow", "POST")
         }
         (_, "/v1/scan") | (_, "/healthz") | (_, "/metrics") => {
@@ -60,6 +72,11 @@ pub fn dispatch(state: &Arc<AppState>, request: &Request) -> Response {
         }
         _ => Response::error(404, &format!("no route for {}", request.path)),
     }
+}
+
+/// Stamp the snapshot generation a response was computed against.
+fn with_generation(response: Response, snapshot: &SessionSnapshot) -> Response {
+    response.with_header("X-Generation", &snapshot.generation().to_string())
 }
 
 /// Apply the request's query parameters over the server's baseline scan
@@ -122,6 +139,7 @@ fn scan_response(state: &AppState, outcome: &ScanOutcome) -> Response {
 /// against the resident KB, byte-identical to `optimatch scan` on a
 /// directory containing only that plan.
 fn diagnose(state: &Arc<AppState>, request: &Request) -> Response {
+    let snapshot = state.manager.current();
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => return Response::error(400, "body is not UTF-8"),
@@ -140,8 +158,8 @@ fn diagnose(state: &Arc<AppState>, request: &Request) -> Response {
         Err(response) => return response,
     };
     let session = OptImatch::from_qeps([qep]);
-    match session.scan_with(&state.kb, options) {
-        Ok(outcome) => scan_response(state, &outcome),
+    match session.scan_with(snapshot.kb(), options) {
+        Ok(outcome) => with_generation(scan_response(state, &outcome), &snapshot),
         Err(e) => Response::error(500, &e.to_string()),
     }
 }
@@ -150,6 +168,7 @@ fn diagnose(state: &Arc<AppState>, request: &Request) -> Response {
 /// (the paper's Figure 5); the response lists every occurrence across the
 /// resident workload with its de-transformed bindings.
 fn search(state: &Arc<AppState>, request: &Request) -> Response {
+    let snapshot = state.manager.current();
     let json = match std::str::from_utf8(&request.body) {
         Ok(json) => json,
         Err(_) => return Response::error(400, "body is not UTF-8"),
@@ -162,7 +181,7 @@ fn search(state: &Arc<AppState>, request: &Request) -> Response {
         Ok(options) => options,
         Err(response) => return response,
     };
-    let outcome = match state.session.search_with(&pattern, &options) {
+    let outcome = match snapshot.session().search_with(&pattern, &options) {
         Ok(outcome) => outcome,
         Err(e) => return Response::error(400, &e.to_string()),
     };
@@ -209,36 +228,172 @@ fn search(state: &Arc<AppState>, request: &Request) -> Response {
         Err(e) => return Response::error(500, &e.to_string()),
     };
     body.push('\n');
-    if outcome.incidents.is_empty() {
+    let response = if outcome.incidents.is_empty() {
         Response::json(200, body)
     } else {
         Response::json(207, body).with_header("Degraded", "true")
-    }
+    };
+    with_generation(response, &snapshot)
 }
 
 /// `GET /v1/scan` — scan the resident workload against the resident KB.
 /// `fuel` / `deadline_ms` / `threads` / `no_prune` query parameters
-/// override the server's baseline.
+/// override the server's baseline; `since=G` restricts the scan to QEPs
+/// ingested after snapshot generation `G` (a delta, not a diff — the
+/// workload only grows).
 fn scan(state: &Arc<AppState>, request: &Request) -> Response {
+    let snapshot = state.manager.current();
     let options = match scan_options(state, request) {
         Ok(options) => options,
         Err(response) => return response,
     };
-    match state.session.scan_with(&state.kb, options) {
-        Ok(outcome) => scan_response(state, &outcome),
+    let outcome = match request.query_param("since") {
+        Some(v) => {
+            let since: u64 = match v.parse() {
+                Ok(since) => since,
+                Err(_) => return Response::error(400, &format!("since: bad value {v:?}")),
+            };
+            snapshot.scan_since(since, options)
+        }
+        None => snapshot.session().scan_with(snapshot.kb(), options),
+    };
+    match outcome {
+        Ok(outcome) => with_generation(scan_response(state, &outcome), &snapshot),
         Err(e) => Response::error(500, &e.to_string()),
     }
 }
 
-/// `GET /healthz` — liveness plus the resident sizes, cheap enough for a
-/// tight probe interval.
+/// `POST /v1/ingest` — the body is one QEP in the plan-text format. The
+/// plan is transformed, durably appended to the backing repository, and
+/// published as snapshot generation N+1; requests already in flight keep
+/// the snapshot they started with. `409` when the server is not
+/// repository-backed or the id is already resident; `400` for bodies
+/// that do not parse into a non-empty plan.
+fn ingest(state: &Arc<AppState>, request: &Request) -> Response {
+    let started = Instant::now();
+    let response = ingest_inner(state, request);
+    state
+        .metrics
+        .record_ingest(response.status, started.elapsed());
+    response
+}
+
+fn ingest_inner(state: &Arc<AppState>, request: &Request) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let qep = match parse_qep(text) {
+        Ok(qep) => qep,
+        Err(e) => return Response::error(400, &format!("unparseable QEP: {e}")),
+    };
+    match state.manager.ingest(qep, "v1-ingest") {
+        Ok(receipt) => {
+            state.metrics.inc_session_swaps();
+            state.metrics.set_session_generation(receipt.generation);
+            let doc = Value::Object(vec![
+                (
+                    "generation".to_string(),
+                    receipt.generation.serialize_to_value(),
+                ),
+                ("qep_id".to_string(), Value::String(receipt.qep_id)),
+                (
+                    "repo_len".to_string(),
+                    receipt.repo_len.serialize_to_value(),
+                ),
+                (
+                    "workload_len".to_string(),
+                    receipt.workload_len.serialize_to_value(),
+                ),
+            ]);
+            let mut body = serde_json::to_string(&doc).unwrap_or_else(|_| "{}".into());
+            body.push('\n');
+            Response::json(200, body).with_header("X-Generation", &receipt.generation.to_string())
+        }
+        Err(LiveError::EmptyPlan) => Response::error(400, "body contains no plan operators"),
+        Err(e @ LiveError::NotRepoBacked) | Err(e @ LiveError::DuplicateId(_)) => {
+            Response::error(409, &e.to_string())
+        }
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+/// `POST /v1/kb` — the body is a knowledge base in the JSON entry-list
+/// format. The replacement is lint-gated: error-severity diagnostics
+/// reject it with `422` and the diagnostics document; a KB that does not
+/// parse or compile at all is `400`. On success the new KB is published
+/// as the next snapshot generation (the workload is untouched).
+fn kb_reload(state: &Arc<AppState>, request: &Request) -> Response {
+    let json = match std::str::from_utf8(&request.body) {
+        Ok(json) => json,
+        Err(_) => {
+            state.metrics.inc_kb_reload("invalid");
+            return Response::error(400, "body is not UTF-8");
+        }
+    };
+    let kb = match optimatch_core::KnowledgeBase::from_json(json) {
+        Ok(kb) => kb,
+        Err(e) => {
+            state.metrics.inc_kb_reload("invalid");
+            return Response::error(400, &format!("unloadable knowledge base: {e}"));
+        }
+    };
+    match state.manager.reload_kb(kb) {
+        Ok(receipt) => {
+            state.metrics.inc_kb_reload("ok");
+            state.metrics.inc_session_swaps();
+            state.metrics.set_session_generation(receipt.generation);
+            let doc = Value::Object(vec![
+                (
+                    "generation".to_string(),
+                    receipt.generation.serialize_to_value(),
+                ),
+                (
+                    "kb_entries".to_string(),
+                    receipt.kb_entries.serialize_to_value(),
+                ),
+            ]);
+            let mut body = serde_json::to_string(&doc).unwrap_or_else(|_| "{}".into());
+            body.push('\n');
+            Response::json(200, body).with_header("X-Generation", &receipt.generation.to_string())
+        }
+        Err(LiveError::KbRejected(diagnostics)) => {
+            state.metrics.inc_kb_reload("rejected");
+            let doc = Value::Object(vec![
+                (
+                    "error".to_string(),
+                    Value::String("knowledge base rejected by lint".to_string()),
+                ),
+                ("diagnostics".to_string(), diagnostics.serialize_to_value()),
+            ]);
+            let mut body = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".into());
+            body.push('\n');
+            Response::json(422, body)
+        }
+        Err(e) => {
+            state.metrics.inc_kb_reload("invalid");
+            Response::error(500, &e.to_string())
+        }
+    }
+}
+
+/// `GET /healthz` — liveness plus the resident sizes and current
+/// generation, cheap enough for a tight probe interval.
 fn healthz(state: &Arc<AppState>) -> Response {
+    let snapshot = state.manager.current();
     let doc = Value::Object(vec![
         ("status".to_string(), Value::String("ok".to_string())),
-        ("qeps".to_string(), state.session.len().serialize_to_value()),
+        (
+            "generation".to_string(),
+            snapshot.generation().serialize_to_value(),
+        ),
+        (
+            "qeps".to_string(),
+            snapshot.session().len().serialize_to_value(),
+        ),
         (
             "kb_entries".to_string(),
-            state.kb.len().serialize_to_value(),
+            snapshot.kb().len().serialize_to_value(),
         ),
     ]);
     let mut body = serde_json::to_string(&doc).unwrap_or_else(|_| "{}".into());

@@ -8,13 +8,14 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-use optimatch_core::{builtin, OptImatch};
+use optimatch_core::{builtin, OptImatch, SessionManager};
 use optimatch_qep::{fixtures, format_qep};
 use optimatch_serve::{ServeOptions, Server, ServerHandle};
 
 fn start(options: ServeOptions) -> ServerHandle {
     let session = OptImatch::from_qeps([fixtures::fig1(), fixtures::fig7(), fixtures::fig8()]);
-    Server::start(options.addr("127.0.0.1:0"), session, builtin::paper_kb()).expect("bind")
+    let manager = SessionManager::new(session, builtin::paper_kb(), None);
+    Server::start(options.addr("127.0.0.1:0"), manager).expect("bind")
 }
 
 /// Send raw bytes, read the whole response (the server always closes).

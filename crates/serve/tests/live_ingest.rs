@@ -1,0 +1,358 @@
+//! Live-ingestion integration tests: readers hammering `/v1/scan`,
+//! `/v1/diagnose`, and delta scans while a writer ingests plans and
+//! hot-swaps knowledge bases through the HTTP surface. The invariant
+//! under test is snapshot isolation: every response is internally
+//! consistent with exactly one generation (the one its `X-Generation`
+//! header names), no response ever mixes two, and after the dust settles
+//! the served scan is byte-identical to a cold open of the repository.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use optimatch_core::{
+    builtin, KnowledgeBaseEntry, OpenOptions, OptImatch, Pattern, PatternPop, ScanOptions,
+    SessionManager, Source,
+};
+use optimatch_qep::{fixtures, format_qep};
+use optimatch_serve::{ServeOptions, Server, ServerHandle};
+
+/// Send raw bytes, read the whole response (the server always closes).
+fn send_raw(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream.write_all(raw).expect("write");
+    let mut buf = Vec::new();
+    let _ = stream.read_to_end(&mut buf);
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    send_raw(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+    send_raw(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"))
+}
+
+fn header_of(response: &str, name: &str) -> Option<String> {
+    let head = response.split("\r\n\r\n").next()?;
+    head.lines().find_map(|line| {
+        let (k, v) = line.split_once(':')?;
+        (k.eq_ignore_ascii_case(name)).then(|| v.trim().to_string())
+    })
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("")
+}
+
+fn generation_of(response: &str) -> u64 {
+    header_of(response, "X-Generation")
+        .unwrap_or_else(|| panic!("no X-Generation header in {response:?}"))
+        .parse()
+        .expect("X-Generation is a number")
+}
+
+/// Pull one scalar field out of a compact JSON object by string search —
+/// the receipts are flat, so this is all the parsing the tests need.
+fn json_u64(body: &str, key: &str) -> u64 {
+    let pos = body
+        .find(&format!("\"{key}\""))
+        .unwrap_or_else(|| panic!("no {key:?} in {body:?}"));
+    let rest = body[pos..].split_once(':').expect("key has a value").1;
+    let rest = rest.trim_start();
+    let end = rest.find([',', '}']).expect("value ends");
+    rest[..end].trim().parse().expect("value is a number")
+}
+
+/// One scan report per QEP, one `qep_id` key per report.
+fn report_count(body: &str) -> usize {
+    body.matches("\"qep_id\"").count()
+}
+
+/// Write three fixture plans, build a repository over them, and return
+/// its path (parent dir is the temp dir to clean up).
+fn build_repo(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "optimatch-live-ingest-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for q in [fixtures::fig1(), fixtures::fig7(), fixtures::fig8()] {
+        std::fs::write(dir.join(format!("{}.qep", q.id)), format_qep(&q)).unwrap();
+    }
+    let repo = dir.join("workload.optirepo");
+    optimatch_core::build_repo(&dir, &repo).expect("repo builds");
+    repo
+}
+
+fn start_over_repo(repo: &Path) -> ServerHandle {
+    let opened =
+        OptImatch::open(Source::Repo(repo.to_path_buf()), OpenOptions::new()).expect("opens");
+    let manager = SessionManager::new(
+        opened.session,
+        builtin::paper_kb(),
+        Some(repo.to_path_buf()),
+    );
+    Server::start(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .workers(4)
+            .queue(64)
+            .drain(Duration::from_secs(30)),
+        manager,
+    )
+    .expect("bind")
+}
+
+/// A unique plan for ingestion: a fixture under a fresh id.
+fn unique_plan(i: usize) -> String {
+    let mut q = fixtures::fig1();
+    q.id = format!("live-{i}");
+    format_qep(&q)
+}
+
+/// The tentpole invariant: concurrent readers race a writer that ingests
+/// eight plans and swaps the KB four times. Every reader response must be
+/// consistent with exactly the generation its header names, generations
+/// must be monotone per connection sequence, and the post-quiesce scan
+/// must be byte-identical to a cold open of the repository file.
+#[test]
+fn readers_never_observe_a_torn_generation() {
+    const INGESTS: usize = 8;
+    const BASE: usize = 3; // fixture plans resident at generation 0
+
+    let repo = build_repo("race");
+    let server = start_over_repo(&repo);
+    let addr = server.addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..3 {
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let mut full = Vec::new(); // (generation, reports)
+            let mut delta = Vec::new(); // (generation, reports since gen 0)
+            let diagnose_body = format_qep(&fixtures::fig8());
+            while !stop.load(Ordering::Relaxed) {
+                let response = get(addr, "/v1/scan");
+                assert_eq!(status_of(&response), 200, "{response}");
+                full.push((generation_of(&response), report_count(body_of(&response))));
+
+                let response = get(addr, "/v1/scan?since=0");
+                assert_eq!(status_of(&response), 200, "{response}");
+                delta.push((generation_of(&response), report_count(body_of(&response))));
+
+                let response = post(addr, "/v1/diagnose", &diagnose_body);
+                assert_eq!(status_of(&response), 200, "{response}");
+                assert_eq!(report_count(body_of(&response)), 1, "{response}");
+            }
+            (full, delta)
+        }));
+    }
+
+    // The writer: one thread ingesting plans over HTTP, reloading the KB
+    // every other round. Returns the generation → workload-length history
+    // the readers' observations are checked against.
+    let writer = std::thread::spawn(move || {
+        let kb_json = builtin::paper_kb().to_json().expect("kb serializes");
+        let mut history = vec![(0u64, BASE)]; // generation 0: the fixtures
+        for i in 0..INGESTS {
+            let response = post(addr, "/v1/ingest", &unique_plan(i));
+            assert_eq!(status_of(&response), 200, "{response}");
+            let body = body_of(&response);
+            let generation = json_u64(body, "generation");
+            let workload_len = json_u64(body, "workload_len") as usize;
+            assert_eq!(workload_len, BASE + i + 1);
+            assert_eq!(json_u64(body, "repo_len") as usize, BASE + i + 1);
+            assert_eq!(generation_of(&response), generation);
+            history.push((generation, workload_len));
+
+            if i % 2 == 0 {
+                let response = post(addr, "/v1/kb", &kb_json);
+                assert_eq!(status_of(&response), 200, "{response}");
+                let generation = json_u64(body_of(&response), "generation");
+                // A KB swap publishes a new generation over the same workload.
+                history.push((generation, workload_len));
+            }
+        }
+        history
+    });
+
+    let history = writer.join().expect("writer thread");
+    stop.store(true, Ordering::Relaxed);
+
+    // Every publication got a distinct, consecutive generation number.
+    let generations: Vec<u64> = history.iter().map(|(g, _)| *g).collect();
+    assert_eq!(generations, (0..=(INGESTS as u64 + 4)).collect::<Vec<_>>());
+    let len_at = |g: u64| -> usize {
+        history
+            .iter()
+            .find(|(gen, _)| *gen == g)
+            .unwrap_or_else(|| panic!("reader observed unknown generation {g}"))
+            .1
+    };
+
+    for reader in readers {
+        let (full, delta) = reader.join().expect("reader thread");
+        assert!(!full.is_empty(), "readers must have completed requests");
+        // Full scans: the report count is exactly the workload length at
+        // the generation the response claims — never a mix of two.
+        for &(g, reports) in &full {
+            assert_eq!(reports, len_at(g), "full scan at generation {g}");
+        }
+        // Delta scans since generation 0: exactly the ingested suffix.
+        for &(g, reports) in &delta {
+            assert_eq!(reports, len_at(g) - BASE, "delta scan at generation {g}");
+        }
+        // Snapshots are published monotonically, so a single client
+        // issuing sequential requests can never see time move backwards.
+        for pair in full.windows(2) {
+            assert!(
+                pair[0].0 <= pair[1].0,
+                "generation went backwards: {pair:?}"
+            );
+        }
+    }
+
+    // Post-quiesce: the served scan must be byte-identical to a cold open
+    // of the repository file the ingests appended to.
+    let response = get(addr, "/v1/scan");
+    assert_eq!(status_of(&response), 200);
+    assert_eq!(generation_of(&response), INGESTS as u64 + 4);
+    let cold = OptImatch::open(Source::Repo(repo.clone()), OpenOptions::new())
+        .expect("cold open")
+        .session;
+    assert_eq!(cold.len(), BASE + INGESTS);
+    let cold_scan = cold
+        .scan_with(&builtin::paper_kb(), ScanOptions::default())
+        .expect("cold scan");
+    assert_eq!(body_of(&response), cold_scan.render_json());
+
+    // Delta coverage: everything after generation 0 is exactly the
+    // ingested plans; everything after the final generation is nothing.
+    let response = get(addr, "/v1/scan?since=0");
+    let body = body_of(&response);
+    assert_eq!(report_count(body), INGESTS);
+    for i in 0..INGESTS {
+        assert!(body.contains(&format!("live-{i}")), "missing live-{i}");
+    }
+    let response = get(addr, &format!("/v1/scan?since={}", INGESTS + 4));
+    assert_eq!(status_of(&response), 200);
+    assert_eq!(report_count(body_of(&response)), 0);
+
+    // The instruments agree with the receipts.
+    let metrics = get(addr, "/metrics");
+    let expected_generation = format!("optimatch_session_generation {}", INGESTS + 4);
+    assert!(metrics.contains(&expected_generation), "{metrics}");
+    let expected_swaps = format!("optimatch_session_swap_total {}", INGESTS + 4);
+    assert!(metrics.contains(&expected_swaps), "{metrics}");
+    assert!(
+        metrics.contains("optimatch_kb_reload_total{result=\"ok\"} 4"),
+        "{metrics}"
+    );
+
+    let report = server.shutdown();
+    assert!(report.drained, "server must drain cleanly");
+    std::fs::remove_dir_all(repo.parent().unwrap()).ok();
+}
+
+/// A server over an in-memory (non-repository) session still answers
+/// reads but refuses ingestion with a conflict, not a crash.
+#[test]
+fn ingest_without_a_repository_is_409() {
+    let session = OptImatch::from_qeps([fixtures::fig1()]);
+    let manager = SessionManager::new(session, builtin::paper_kb(), None);
+    let server = Server::start(ServeOptions::new().addr("127.0.0.1:0"), manager).expect("bind");
+
+    let response = post(server.addr(), "/v1/ingest", &unique_plan(0));
+    assert_eq!(status_of(&response), 409, "{response}");
+    assert!(body_of(&response).contains("repository"), "{response}");
+
+    // Reads and KB reloads still work on the same server.
+    let response = get(server.addr(), "/v1/scan");
+    assert_eq!(status_of(&response), 200);
+    assert_eq!(generation_of(&response), 0);
+    server.shutdown();
+}
+
+/// `/v1/kb` gatekeeping: malformed JSON is a 400, a KB that parses but
+/// fails the lint at error severity is a 422 with diagnostics, and
+/// neither publishes a generation.
+#[test]
+fn kb_reload_rejections_leave_the_session_untouched() {
+    let repo = build_repo("kbgate");
+    let server = start_over_repo(&repo);
+    let addr = server.addr();
+
+    let response = post(addr, "/v1/kb", "{ not json");
+    assert_eq!(status_of(&response), 400, "{response}");
+
+    // A template referencing an alias no pop defines compiles (so the KB
+    // loads) but lints at error severity (OL201) — the reload must refuse
+    // to publish it.
+    let pattern =
+        Pattern::new("bogus", "lint bait").with_pop(PatternPop::new(1, "TBSCAN").alias("SCAN"));
+    let entries = vec![KnowledgeBaseEntry {
+        name: "bogus-entry".into(),
+        description: "refers to an undefined alias".into(),
+        pattern,
+        recommendation: "Fix @NOTHERE immediately".into(),
+        prototype: Default::default(),
+    }];
+    let bait = serde_json::to_string(&entries).expect("entries serialize");
+    let response = post(addr, "/v1/kb", &bait);
+    assert_eq!(status_of(&response), 422, "{response}");
+    assert!(
+        body_of(&response).contains("rejected by lint"),
+        "{response}"
+    );
+
+    // No generation was published; the resident KB still serves.
+    let response = get(addr, "/v1/scan");
+    assert_eq!(generation_of(&response), 0);
+    let metrics = get(addr, "/metrics");
+    assert!(
+        metrics.contains("optimatch_session_generation 0"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("optimatch_kb_reload_total{result=\"invalid\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("optimatch_kb_reload_total{result=\"rejected\"} 1"),
+        "{metrics}"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(repo.parent().unwrap()).ok();
+}

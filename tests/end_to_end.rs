@@ -2,7 +2,9 @@
 //! compilation → SPARQL matching → knowledge-base recommendation, across
 //! all workspace crates.
 
-use optimatch_suite::core::{builtin, transform::TransformedQep, Matcher, OptImatch};
+use optimatch_suite::core::{
+    builtin, transform::TransformedQep, Matcher, OpenOptions, OptImatch, Source,
+};
 use optimatch_suite::qep::{fixtures, format_qep, parse_qep};
 use optimatch_suite::workload::{generate_workload, WorkloadConfig};
 
@@ -113,7 +115,9 @@ fn directory_and_memory_sessions_agree() {
     for qep in &w.qeps {
         std::fs::write(dir.join(format!("{}.qep", qep.id)), format_qep(qep)).expect("write");
     }
-    let from_dir = OptImatch::from_dir(&dir).expect("loads");
+    let from_dir = OptImatch::open(Source::Dir(dir.clone()), OpenOptions::new())
+        .expect("loads")
+        .session;
     let from_mem = OptImatch::from_qeps(w.qeps.iter().cloned());
     assert_eq!(from_dir.len(), from_mem.len());
     let p = builtin::pattern_c().pattern;

@@ -175,7 +175,7 @@ proptest! {
     /// the cold parse-and-transform path — with pruning on and off.
     #[test]
     fn repository_round_trips_generated_workloads(seed in any::<u64>(), n in 2usize..8) {
-        use optimatch_suite::core::OptImatch;
+        use optimatch_suite::core::{OpenOptions, OptImatch, Source};
 
         let w = generate_workload(&WorkloadConfig {
             seed,
@@ -192,8 +192,12 @@ proptest! {
         prop_assert_eq!(outcome.records, n);
         prop_assert!(outcome.skipped.is_empty());
 
-        let cold = OptImatch::from_dir(&dir).expect("cold load");
-        let warm = OptImatch::open_repo(&repo_path).expect("warm load");
+        let cold = OptImatch::open(Source::Dir(dir.clone()), OpenOptions::new())
+            .expect("cold load")
+            .session;
+        let warm = OptImatch::open(Source::Repo(repo_path.clone()), OpenOptions::new())
+            .expect("warm load")
+            .session;
         prop_assert_eq!(warm.len(), cold.len());
         let cold_summaries: Vec<_> = cold.workload().iter().map(|t| &t.summary).collect();
         let warm_summaries: Vec<_> = warm.workload().iter().map(|t| &t.summary).collect();
