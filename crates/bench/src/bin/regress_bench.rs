@@ -1,0 +1,125 @@
+//! `regress_bench` — in-process latency of the GALO-mode regression
+//! diagnosis (`optimatch_core::regress`).
+//!
+//! Two workloads are measured against the built-in KB: the paper's
+//! sort-spill pair (the smallest interesting delta) and generated
+//! plan pairs where the AFTER side is a cost-perturbed clone of the
+//! BEFORE side (the no-delta fast path a fleet mostly sees). Results
+//! merge into BENCH_serve.json under a `"regress"` key, next to
+//! serve_bench's HTTP numbers and ingest_bench's ingestion numbers.
+//!
+//! ```text
+//! regress_bench [--quick] [--out FILE.json]
+//! ```
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use optimatch_bench::paper_workload;
+use optimatch_core::{builtin, regress, RegressOptions};
+use optimatch_qep::fixtures;
+use serde_json::Value;
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn json_f64(x: f64) -> Value {
+    Value::Number(serde_json::Number::Float(x))
+}
+
+fn summarize(label: &str, samples: &mut [Duration]) -> Vec<(String, Value)> {
+    samples.sort();
+    let p50 = percentile(samples, 0.50);
+    let p95 = percentile(samples, 0.95);
+    let p99 = percentile(samples, 0.99);
+    println!(
+        "{label}: p50 {p50:?}  p95 {p95:?}  p99 {p99:?}  ({} samples)",
+        samples.len()
+    );
+    vec![
+        (format!("{label}_p50_secs"), json_f64(p50.as_secs_f64())),
+        (format!("{label}_p95_secs"), json_f64(p95.as_secs_f64())),
+        (format!("{label}_p99_secs"), json_f64(p99.as_secs_f64())),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_serve.json");
+
+    let iters = if quick { 50 } else { 500 };
+    let kb = builtin::paper_kb();
+    let options = RegressOptions::default();
+
+    // The regressed pair: fig1 against fig1 plus an injected spilling
+    // SORT — every iteration must produce the pattern-d delta finding.
+    let before = fixtures::fig1();
+    let after = fixtures::fig1_sort_spill();
+    let mut delta_lat = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let outcome = regress(&kb, &before, &after, &options).expect("clean regress");
+        delta_lat.push(start.elapsed());
+        assert!(
+            outcome
+                .findings
+                .iter()
+                .any(|f| f.entry == "pattern-d-sort-spill"),
+            "the regressed pair must surface the sort-spill delta"
+        );
+    }
+
+    // The no-delta path: generated plans against cost-perturbed clones of
+    // themselves (same structure, +2% costs) — structurally aligned,
+    // patterns fire identically on both sides, empty delta.
+    let workload = paper_workload(if quick { 8 } else { 32 });
+    let mut clean_lat = Vec::with_capacity(workload.qeps.len());
+    for qep in &workload.qeps {
+        let mut perturbed = qep.clone();
+        for op in perturbed.ops.values_mut() {
+            op.total_cost *= 1.02;
+        }
+        let start = Instant::now();
+        let outcome = regress(&kb, qep, &perturbed, &options).expect("clean regress");
+        clean_lat.push(start.elapsed());
+        assert!(
+            outcome.incidents.is_empty(),
+            "perturbed clones must diagnose cleanly"
+        );
+    }
+
+    let mut doc = vec![
+        ("iterations".to_string(), Value::Number(serde_json::Number::Int(iters as i64))),
+        (
+            "clean_pairs".to_string(),
+            Value::Number(serde_json::Number::Int(workload.qeps.len() as i64)),
+        ),
+    ];
+    doc.extend(summarize("delta_pair", &mut delta_lat));
+    doc.extend(summarize("clean_pair", &mut clean_lat));
+
+    // Merge under "regress" so the other benches' numbers survive in the
+    // same report file (any run order works).
+    let mut fields: Vec<(String, Value)> = match std::fs::read_to_string(out_path) {
+        Ok(text) => match serde_json::from_str::<Value>(&text) {
+            Ok(Value::Object(fields)) => {
+                fields.into_iter().filter(|(k, _)| k != "regress").collect()
+            }
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    fields.push(("regress".to_string(), Value::Object(doc)));
+    let mut text = serde_json::to_string_pretty(&Value::Object(fields)).expect("serializable");
+    text.push('\n');
+    std::fs::write(Path::new(out_path), text).expect("writes the report");
+    println!("wrote {out_path}");
+}

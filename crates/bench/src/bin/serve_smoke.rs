@@ -1,10 +1,11 @@
 //! `serve_smoke` — end-to-end smoke test for the `optimatch serve` binary,
 //! run by CI against the release build: build a repository, start the
-//! server over it as a real child process on an ephemeral port, hit
-//! `/healthz`, `POST /v1/diagnose`, and `/metrics` over TCP, live-ingest
-//! two plans with `optimatch ingest`, check the generation gauge and the
-//! `?since=` delta scan, then send SIGTERM and require a clean, drained
-//! exit with status 0.
+//! server over it as a real child process on an ephemeral port (with
+//! `--record-stats`), hit `/healthz`, `POST /v1/diagnose`,
+//! `POST /v1/regress` with a regressed plan pair, `GET /v1/stats`, and
+//! `/metrics` over TCP, live-ingest two plans with `optimatch ingest`,
+//! check the generation gauge and the `?since=` delta scan, then send
+//! SIGTERM and require a clean, drained exit with status 0.
 //!
 //! ```text
 //! serve_smoke [--bin PATH]        (default: target/release/optimatch)
@@ -73,7 +74,13 @@ fn main() {
         repo.display()
     );
     let mut child = Command::new(&bin)
-        .args(["serve", repo.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+        .args([
+            "serve",
+            repo.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--record-stats",
+        ])
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
@@ -109,6 +116,37 @@ fn main() {
     expect_status(&response, "200", "/v1/diagnose");
     assert!(response.contains("\"reports\""), "{response}");
 
+    // Regression diagnosis over a plan pair whose AFTER side inserted a
+    // spilling SORT: the delta must surface pattern-d, anchored at the
+    // inserted operator, and count in the regress metrics.
+    let pair = serde_json::Value::Object(vec![
+        (
+            "before".to_string(),
+            serde_json::Value::String(format_qep(&optimatch_qep::fixtures::fig1())),
+        ),
+        (
+            "after".to_string(),
+            serde_json::Value::String(format_qep(&optimatch_qep::fixtures::fig1_sort_spill())),
+        ),
+    ]);
+    let body = serde_json::to_string(&pair).expect("pair serializes");
+    let raw = format!(
+        "POST /v1/regress HTTP/1.1\r\nHost: smoke\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let response = request(&addr, raw.as_bytes());
+    expect_status(&response, "200", "/v1/regress");
+    assert!(response.contains("\"findings\""), "{response}");
+    assert!(response.contains("pattern-d-sort-spill"), "{response}");
+
+    // The regress call recorded its fired matches into the sidecar store
+    // (the server runs with --record-stats), so /v1/stats reports them.
+    let response = request(&addr, b"GET /v1/stats HTTP/1.1\r\nHost: smoke\r\n\r\n");
+    expect_status(&response, "200", "/v1/stats");
+    assert!(response.contains("\"recording\": true"), "{response}");
+    assert!(response.contains("pattern-d-sort-spill"), "{response}");
+    assert!(!response.contains("\"records\": 0"), "{response}");
+
     let response = request(&addr, b"GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n");
     expect_status(&response, "200", "/metrics");
     assert!(
@@ -117,6 +155,14 @@ fn main() {
     );
     assert!(
         response.contains("optimatch_http_requests_total{route=\"diagnose\",code=\"200\"} 1"),
+        "{response}"
+    );
+    assert!(
+        response.contains("optimatch_regress_requests_total{status=\"200\"} 1"),
+        "{response}"
+    );
+    assert!(
+        response.contains("optimatch_regress_latency_seconds_count 1"),
         "{response}"
     );
 
@@ -188,6 +234,7 @@ fn main() {
 
     let _ = std::fs::remove_dir_all(&dir);
     println!(
-        "serve smoke OK: healthz, diagnose, live ingest, delta scan, metrics, graceful SIGTERM exit"
+        "serve smoke OK: healthz, diagnose, regress, stats, live ingest, delta scan, metrics, \
+         graceful SIGTERM exit"
     );
 }

@@ -21,6 +21,9 @@
 //!                   [--drain-ms MS] [--threads N] [--no-prune] [--fuel N]
 //!                   [--deadline-ms MS]
 //! optimatch ingest ADDR [FILE.qep ...] [--kb FILE.json]
+//! optimatch diff   BEFORE.qep AFTER.qep [--format text|json] [--threshold X]
+//! optimatch regress BEFORE.qep AFTER.qep [--kb FILE.json] [--threshold X]
+//!                   [--format text|json] [--fuel N] [--deadline-ms MS] [--fail-fast]
 //! ```
 //!
 //! `SOURCE` is a plan directory, a single plan file, or a persistent
@@ -107,6 +110,7 @@ const BOOL_FLAGS: &[&str] = &[
     "deny-warnings",
     "extended",
     "fail-fast",
+    "record-stats",
 ];
 
 impl Args {
@@ -191,7 +195,8 @@ pub fn run_with_status(argv: &[String]) -> Result<CmdOutput, CliError> {
         "scan" => cmd_scan(&args),
         "cluster" => cmd_cluster(&args).map(CmdOutput::clean),
         "repo" => cmd_repo(&args).map(CmdOutput::clean),
-        "diff" => cmd_diff(&args).map(CmdOutput::clean),
+        "diff" => cmd_diff(&args),
+        "regress" => cmd_regress(&args),
         "sparql" => cmd_sparql(&args).map(CmdOutput::clean),
         "kb" => cmd_kb(&args).map(CmdOutput::clean),
         "kb-init" => cmd_kb_init(&args).map(CmdOutput::clean),
@@ -221,6 +226,10 @@ pub fn usage() -> String {
      \x20 optimatch repo   verify REPO                              integrity check (exit 1 on damage)\n\
      \x20 optimatch cluster DIR [--k N]                             cost clusters x patterns\n\
      \x20 optimatch diff   BEFORE.qep AFTER.qep                     plan regression report\n\
+     \x20                  [--format text|json] [--threshold X]     (exit 2 on regression)\n\
+     \x20 optimatch regress BEFORE.qep AFTER.qep [--kb F.json]      KB delta diagnosis over an\n\
+     \x20                  [--threshold X] [--format text|json]     aligned plan pair (exit 2\n\
+     \x20                  [--fuel N] [--deadline-ms MS] [--fail-fast]  when findings/incidents)\n\
      \x20 optimatch sparql FILE.qep QUERY.rq                        ad-hoc SPARQL over a plan\n\
      \x20 optimatch kb-init FILE.json [--extended]                  write the built-in KB\n\
      \x20 optimatch kb lint [F.json] [--builtin|--extended]         static analysis over KB\n\
@@ -231,8 +240,12 @@ pub fn usage() -> String {
      \x20 optimatch serve  SOURCE [--kb F.json] [--addr HOST:PORT]   long-running HTTP diagnosis\n\
      \x20                   [--workers N] [--queue N] [--max-body BYTES]  service (POST /v1/diagnose,\n\
      \x20                   [--read-timeout-ms MS] [--drain-ms MS]    POST /v1/search, GET /v1/scan,\n\
-     \x20                   [--threads N] [--no-prune] [--fuel N]     GET /healthz, GET /metrics);\n\
-     \x20                   [--deadline-ms MS]                        drains on SIGINT/SIGTERM\n\
+     \x20                   [--threads N] [--no-prune] [--fuel N]     POST /v1/regress, GET /v1/stats,\n\
+     \x20                   [--deadline-ms MS] [--record-stats]       GET /healthz, GET /metrics);\n\
+     \x20                                                            drains on SIGINT/SIGTERM;\n\
+     \x20                                                            --record-stats appends fired\n\
+     \x20                                                            matches to REPO.stats for\n\
+     \x20                                                            history-weighted ranking\n\
      \x20 optimatch ingest ADDR [FILE.qep ...] [--kb F.json]         push plans (POST /v1/ingest)\n\
      \x20                                                            and/or a KB (POST /v1/kb) into\n\
      \x20                                                            a running repository-backed\n\
@@ -309,6 +322,19 @@ fn load_plans_from(path: &Path) -> Result<Vec<optimatch_qep::Qep>, CliError> {
 /// damaged records reported as warnings; anything else is parsed as a
 /// single plan file.
 fn load_session(args: &Args) -> Result<(OptImatch, Source, Vec<String>), CliError> {
+    let opened = open_session(args, false)?;
+    let warnings = opened
+        .skipped
+        .iter()
+        .map(|s| format!("skipped {s}"))
+        .collect();
+    Ok((opened.session, opened.source, warnings))
+}
+
+/// The open behind [`load_session`], also used directly by `serve` (which
+/// additionally needs the [`optimatch_core::Opened::stats`] sidecar when
+/// `--record-stats` is given).
+fn open_session(args: &Args, record_stats: bool) -> Result<optimatch_core::Opened, CliError> {
     let path = args
         .positional
         .first()
@@ -321,13 +347,8 @@ fn load_session(args: &Args) -> Result<(OptImatch, Source, Vec<String>), CliErro
         Source::File(_) => OpenOptions::new(),
         Source::Dir(_) | Source::Repo(_) => OpenOptions::new().lenient(),
     };
-    let opened = OptImatch::open(source, options).map_err(|e| CliError(e.to_string()))?;
-    let warnings = opened
-        .skipped
-        .iter()
-        .map(|s| format!("skipped {s}"))
-        .collect();
-    Ok((opened.session, opened.source, warnings))
+    OptImatch::open(source, options.record_stats(record_stats))
+        .map_err(|e| CliError(e.to_string()))
 }
 
 /// One `warning:` line per message, for the top of a report.
@@ -564,8 +585,15 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         "no-prune",
         "fuel",
         "deadline-ms",
+        "record-stats",
     ])?;
-    let (session, source, skipped) = load_session(args)?;
+    let opened = open_session(args, args.flag("record-stats"))?;
+    let skipped: Vec<String> = opened
+        .skipped
+        .iter()
+        .map(|s| format!("skipped {s}"))
+        .collect();
+    let (session, source, stats) = (opened.session, opened.source, opened.stats);
     let kb = resolve_kb(args)?;
     let threads: usize = args.parse_num("threads", 1)?;
     let scan = budget_options(
@@ -603,7 +631,10 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     // Only a repository-backed session can accept live ingestion; a dir
     // or single-file source still serves, but POST /v1/ingest returns 409.
     let repo_path = source.repo_path().map(Path::to_path_buf);
-    let manager = SessionManager::new(session, kb, repo_path);
+    let mut manager = SessionManager::new(session, kb, repo_path);
+    if let Some(stats) = stats {
+        manager = manager.with_stats(stats);
+    }
     let handle = optimatch_serve::Server::start(options, manager)
         .map_err(|e| CliError(format!("serve: {e}")))?;
 
@@ -844,21 +875,196 @@ fn cmd_repo(args: &Args) -> Result<String, CliError> {
     }
 }
 
-fn cmd_diff(args: &Args) -> Result<String, CliError> {
-    args.expect_options(&[])?;
+/// Load the two single-plan positional arguments shared by `diff` and
+/// `regress`.
+fn load_plan_pair(
+    args: &Args,
+    cmd: &str,
+) -> Result<(optimatch_qep::Qep, optimatch_qep::Qep), CliError> {
     let [before_path, after_path] = args.positional.as_slice() else {
-        return err("diff: expected BEFORE.qep AFTER.qep");
+        return err(format!("{cmd}: expected BEFORE.qep AFTER.qep"));
     };
-    let before = load_plans_from(Path::new(before_path))?;
-    let after = load_plans_from(Path::new(after_path))?;
-    let (Some(before), Some(after)) = (before.first(), after.first()) else {
-        return err("diff: both arguments must be single plan files");
-    };
-    let d = optimatch_qep::diff_qeps(before, after);
-    if !d.is_changed() {
-        return Ok("plans are identical\n".to_string());
+    let mut before = load_plans_from(Path::new(before_path))?;
+    let mut after = load_plans_from(Path::new(after_path))?;
+    if before.len() != 1 || after.len() != 1 {
+        return err(format!("{cmd}: both arguments must be single plan files"));
     }
-    Ok(d.to_string())
+    Ok((before.remove(0), after.remove(0)))
+}
+
+/// Render a [`PlanDiff`](optimatch_qep::PlanDiff) as the machine-readable
+/// document behind `optimatch diff --format json`. Unbounded per-operator
+/// cost ratios (a before-cost of zero) are encoded with the finite
+/// [`optimatch_qep::UNBOUNDED_CHANGE`] sentinel so the document is valid
+/// JSON.
+fn render_diff_json(d: &optimatch_qep::PlanDiff, threshold: f64) -> String {
+    use optimatch_qep::finite_change;
+    use serde::value::{Number, Value};
+    let op_list = |ops: &[(u32, optimatch_qep::OpType)]| {
+        Value::Array(
+            ops.iter()
+                .map(|(id, t)| {
+                    Value::Object(vec![
+                        ("id".to_string(), Value::Number(Number::Int(i64::from(*id)))),
+                        ("type".to_string(), Value::String(t.to_string())),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    let changed = Value::Array(
+        d.changed_ops
+            .iter()
+            .map(|c| {
+                Value::Object(vec![
+                    ("id".to_string(), Value::Number(Number::Int(i64::from(c.id)))),
+                    (
+                        "type_before".to_string(),
+                        Value::String(c.op_type.0.to_string()),
+                    ),
+                    (
+                        "type_after".to_string(),
+                        Value::String(c.op_type.1.to_string()),
+                    ),
+                    (
+                        "cost_before".to_string(),
+                        Value::Number(Number::Float(c.total_cost.0)),
+                    ),
+                    (
+                        "cost_after".to_string(),
+                        Value::Number(Number::Float(c.total_cost.1)),
+                    ),
+                    (
+                        "cost_change".to_string(),
+                        Value::Number(Number::Float(finite_change(c.cost_change()))),
+                    ),
+                    (
+                        "cardinality_before".to_string(),
+                        Value::Number(Number::Float(c.cardinality.0)),
+                    ),
+                    (
+                        "cardinality_after".to_string(),
+                        Value::Number(Number::Float(c.cardinality.1)),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let strings = |v: &[String]| Value::Array(v.iter().map(|s| Value::String(s.clone())).collect());
+    let doc = Value::Object(vec![
+        (
+            "total_cost_before".to_string(),
+            Value::Number(Number::Float(d.total_cost.0)),
+        ),
+        (
+            "total_cost_after".to_string(),
+            Value::Number(Number::Float(d.total_cost.1)),
+        ),
+        (
+            "cost_change".to_string(),
+            Value::Number(Number::Float(finite_change(d.cost_change()))),
+        ),
+        (
+            "cardinality_blowup".to_string(),
+            Value::Bool(d.cardinality_blowup()),
+        ),
+        (
+            "regression".to_string(),
+            Value::Bool(d.is_regression(threshold)),
+        ),
+        ("removed_ops".to_string(), op_list(&d.removed_ops)),
+        ("added_ops".to_string(), op_list(&d.added_ops)),
+        ("changed_ops".to_string(), changed),
+        ("dropped_objects".to_string(), strings(&d.dropped_objects)),
+        ("new_objects".to_string(), strings(&d.new_objects)),
+    ]);
+    use serde::Serialize as _;
+    let mut text = serde_json::to_string_pretty(&doc.serialize_to_value())
+        .expect("plan diffs always serialize to JSON");
+    text.push('\n');
+    text
+}
+
+/// Cost-increase fraction above which `diff`/`regress` treat the plan
+/// pair as a regression (10% by default; cardinality blow-ups always
+/// count).
+const DIFF_THRESHOLD_DEFAULT: f64 = 0.1;
+
+fn cmd_diff(args: &Args) -> Result<CmdOutput, CliError> {
+    args.expect_options(&["format", "threshold"])?;
+    let (before, after) = load_plan_pair(args, "diff")?;
+    let threshold: f64 = args.parse_num("threshold", DIFF_THRESHOLD_DEFAULT)?;
+    let d = optimatch_qep::diff_qeps(&before, &after);
+    // A detected regression exits EXIT_DEGRADED (2), so scripts can gate
+    // deployments on `optimatch diff` without parsing its output.
+    let degraded = d.is_regression(threshold);
+    let text = match args.option("format").unwrap_or("text") {
+        "json" => render_diff_json(&d, threshold),
+        "text" => {
+            if !d.is_changed() {
+                "plans are identical\n".to_string()
+            } else {
+                let mut text = d.to_string();
+                if degraded {
+                    let _ = writeln!(
+                        text,
+                        "regression: cost change exceeds {:.0}% or cardinality blew up",
+                        threshold * 100.0
+                    );
+                }
+                text
+            }
+        }
+        other => return err(format!("diff: unknown --format {other:?}")),
+    };
+    Ok(CmdOutput { text, degraded })
+}
+
+/// `optimatch regress BEFORE.qep AFTER.qep` — GALO-mode regression
+/// diagnosis: align the two plans, run the KB over both, and report the
+/// *delta* (patterns new or materially stronger on AFTER), anchored to
+/// the aligned operators. Exits [`EXIT_DEGRADED`] when the diagnosis
+/// found delta findings or contained incidents.
+fn cmd_regress(args: &Args) -> Result<CmdOutput, CliError> {
+    args.expect_options(&[
+        "kb",
+        "threshold",
+        "format",
+        "fuel",
+        "deadline-ms",
+        "fail-fast",
+    ])?;
+    let (before, after) = load_plan_pair(args, "regress")?;
+    let kb = resolve_kb(args)?;
+    let scan = budget_options(args, ScanOptions::default())?;
+    let threshold: f64 = args.parse_num("threshold", 0.05)?;
+    let options = optimatch_core::RegressOptions::default()
+        .scan(scan)
+        .threshold(threshold);
+    let outcome = optimatch_core::regress(&kb, &before, &after, &options)
+        .map_err(|e| CliError(e.to_string()))?;
+    let degraded = outcome.is_degraded() || !outcome.findings.is_empty();
+    let text = match args.option("format").unwrap_or("text") {
+        "json" => outcome.render_json(),
+        "text" => {
+            let mut text = String::new();
+            let _ = writeln!(
+                text,
+                "aligned {} operator pair(s) ({} renumbered, {} inserted, {} removed, {} type-changed)",
+                outcome.alignment.pairs.len(),
+                outcome.alignment.renumbered(),
+                outcome.alignment.count(optimatch_qep::AlignClass::Inserted),
+                outcome.alignment.count(optimatch_qep::AlignClass::Removed),
+                outcome
+                    .alignment
+                    .count(optimatch_qep::AlignClass::TypeChanged),
+            );
+            text.push_str(&outcome.to_string());
+            text
+        }
+        other => return err(format!("regress: unknown --format {other:?}")),
+    };
+    Ok(CmdOutput { text, degraded })
 }
 
 fn cmd_sparql(args: &Args) -> Result<String, CliError> {
@@ -1110,6 +1316,72 @@ mod tests {
         // Identical plans.
         let same = run_ok(&["diff", a.to_str().unwrap(), a.to_str().unwrap()]);
         assert!(same.contains("identical"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn diff_threshold_gates_the_degraded_exit_and_json_parses() {
+        let dir = temp_dir("diffjson");
+        let a = dir.join("a.qep");
+        let b = dir.join("b.qep");
+        let mut q = optimatch_qep::fixtures::fig1();
+        std::fs::write(&a, optimatch_qep::format_qep(&q)).expect("writes");
+        q.ops.get_mut(&1).unwrap().total_cost *= 2.0;
+        std::fs::write(&b, optimatch_qep::format_qep(&q)).expect("writes");
+        let (a, b) = (a.to_str().unwrap(), b.to_str().unwrap());
+
+        // A doubled root cost trips the default 10% threshold (exit 2)...
+        let out = run_status(&["diff", a, b]);
+        assert!(out.degraded, "{}", out.text);
+        assert!(out.text.contains("regression:"), "{}", out.text);
+        // ...but not a threshold above the observed +100%.
+        let out = run_status(&["diff", a, b, "--threshold", "1.5"]);
+        assert!(!out.degraded, "{}", out.text);
+        // Identical plans are never a regression, even at threshold 0.
+        let out = run_status(&["diff", a, a, "--threshold", "0"]);
+        assert!(!out.degraded);
+
+        // The JSON document parses, uses finite numbers, and carries the
+        // regression verdict.
+        let out = run_status(&["diff", a, b, "--format", "json"]);
+        assert!(out.degraded);
+        let doc: serde::value::Value = serde_json::from_str(&out.text).expect("valid JSON");
+        assert_eq!(doc.get("regression").and_then(|v| v.as_bool()), Some(true));
+        let change = doc.get("cost_change").and_then(|v| v.as_f64()).unwrap();
+        assert!(change.is_finite() && change > 0.9, "{change}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn regress_command_reports_the_sort_spill_delta() {
+        let dir = temp_dir("regress");
+        let a = dir.join("before.qep");
+        let b = dir.join("after.qep");
+        std::fs::write(&a, optimatch_qep::format_qep(&optimatch_qep::fixtures::fig1()))
+            .expect("writes");
+        std::fs::write(
+            &b,
+            optimatch_qep::format_qep(&optimatch_qep::fixtures::fig1_sort_spill()),
+        )
+        .expect("writes");
+        let (a, b) = (a.to_str().unwrap(), b.to_str().unwrap());
+
+        // Identical plans: clean exit, explicit empty-delta message.
+        let out = run_status(&["regress", a, a]);
+        assert!(!out.degraded, "{}", out.text);
+        assert!(out.text.contains("no delta findings"), "{}", out.text);
+
+        // The regressed pair: exit 2 and the new pattern named, anchored
+        // at the inserted SORT.
+        let out = run_status(&["regress", a, b]);
+        assert!(out.degraded, "{}", out.text);
+        assert!(out.text.contains("pattern-d-sort-spill"), "{}", out.text);
+        assert!(out.text.contains("#9"), "{}", out.text);
+
+        // JSON mode round-trips through the vendored parser.
+        let out = run_status(&["regress", a, b, "--format", "json"]);
+        let doc: serde::value::Value = serde_json::from_str(&out.text).expect("valid JSON");
+        assert!(doc.get("findings").is_some(), "{}", out.text);
         std::fs::remove_dir_all(&dir).ok();
     }
 

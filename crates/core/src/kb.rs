@@ -289,6 +289,22 @@ impl Serialize for ScanIncident {
     }
 }
 
+/// One fired (entry × QEP) match, reduced to the features the fleet
+/// match-history store records: the best occurrence's raw (pre-workload-
+/// weighting) confidence and the matched operator's cost share. See
+/// [`crate::stats::MatchStatsStore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchSample {
+    /// The KB entry that fired.
+    pub entry: String,
+    /// The QEP it fired on.
+    pub qep_id: String,
+    /// Raw confidence of the best occurrence (before workload weighting).
+    pub confidence: f64,
+    /// Cost share of the best occurrence's anchor operator.
+    pub cost_share: f64,
+}
+
 /// A workload scan's reports plus the pruning counters that produced them
 /// and any contained unit failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -307,6 +323,9 @@ pub struct ScanOutcome {
     /// long-running callers (the HTTP service's metrics registry) use it
     /// as a hardware-independent work counter.
     pub fuel_spent: u64,
+    /// One sample per fired (entry × QEP) pair, in workload order then
+    /// entry order — what a match-history store records for this scan.
+    pub samples: Vec<MatchSample>,
 }
 
 impl ScanOutcome {
@@ -391,10 +410,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// A compiled entry: pattern matcher + parsed template. The matcher is
 /// shared out of the [`MatcherCache`], so structurally identical patterns
-/// compile once.
-struct CompiledEntry {
-    matcher: Arc<Matcher>,
-    template: Template,
+/// compile once. `pub(crate)` so the regression-diagnosis module can run
+/// the same matcher/template units over a plan pair.
+pub(crate) struct CompiledEntry {
+    pub(crate) matcher: Arc<Matcher>,
+    pub(crate) template: Template,
 }
 
 /// The knowledge base: entries plus their compiled forms.
@@ -457,6 +477,14 @@ impl KnowledgeBase {
         &self.cache
     }
 
+    /// Entries zipped with their compiled matcher/template units, for
+    /// crate-internal consumers (the regression-diagnosis delta scan).
+    pub(crate) fn units(
+        &self,
+    ) -> impl Iterator<Item = (&KnowledgeBaseEntry, &CompiledEntry)> {
+        self.entries.iter().zip(&self.compiled)
+    }
+
     /// The compiled SPARQL of an entry, by name.
     pub fn sparql_of(&self, name: &str) -> Option<&str> {
         let idx = self.entries.iter().position(|e| e.name == name)?;
@@ -483,7 +511,7 @@ impl KnowledgeBase {
     ) -> Result<QepReport, Error> {
         let options = ScanOptions::default().prune(prune).fail_fast(true);
         let mut incidents = Vec::new();
-        self.scan_qep_governed(t, &options, stats, &mut incidents, &mut 0)
+        self.scan_qep_governed(t, &options, stats, &mut incidents, &mut 0, &mut Vec::new())
     }
 
     /// The contained per-QEP scan unit loop: every (entry × QEP) matcher
@@ -498,6 +526,7 @@ impl KnowledgeBase {
         stats: &mut PruneStats,
         incidents: &mut Vec<ScanIncident>,
         fuel_spent: &mut u64,
+        samples: &mut Vec<MatchSample>,
     ) -> Result<QepReport, Error> {
         let mut recommendations = Vec::new();
         for (entry, compiled) in self.entries.iter().zip(&self.compiled) {
@@ -527,7 +556,13 @@ impl KnowledgeBase {
             }
             stats.matched += 1;
             let text = compiled.template.render(&matches, &t.qep);
-            let confidence = best_confidence(entry, &matches, t);
+            let (confidence, cost_share) = best_match_features(entry, &matches, t);
+            samples.push(MatchSample {
+                entry: entry.name.clone(),
+                qep_id: t.qep.id.clone(),
+                confidence,
+                cost_share,
+            });
             recommendations.push(Recommendation {
                 entry: entry.name.clone(),
                 text,
@@ -570,6 +605,7 @@ impl KnowledgeBase {
         let mut reports = Vec::with_capacity(workload.len());
         let mut incidents = Vec::new();
         let mut fuel_spent: u64 = 0;
+        let mut samples = Vec::new();
         if threads <= 1 {
             for t in workload {
                 reports.push(self.scan_qep_governed(
@@ -578,12 +614,19 @@ impl KnowledgeBase {
                     &mut stats,
                     &mut incidents,
                     &mut fuel_spent,
+                    &mut samples,
                 )?);
             }
         } else {
-            type ChunkResult = Result<(Vec<QepReport>, PruneStats, Vec<ScanIncident>, u64), Error>;
+            type ChunkOut = (
+                Vec<QepReport>,
+                PruneStats,
+                Vec<ScanIncident>,
+                u64,
+                Vec<MatchSample>,
+            );
             let chunk_size = workload.len().div_ceil(threads);
-            let chunk_results: Vec<ChunkResult> = std::thread::scope(|scope| {
+            let chunk_results: Vec<Result<ChunkOut, Error>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = workload
                     .chunks(chunk_size)
                     .map(|chunk| {
@@ -591,6 +634,7 @@ impl KnowledgeBase {
                             let mut local_stats = PruneStats::default();
                             let mut local_incidents = Vec::new();
                             let mut local_fuel: u64 = 0;
+                            let mut local_samples = Vec::new();
                             let mut local = Vec::with_capacity(chunk.len());
                             for t in chunk {
                                 local.push(self.scan_qep_governed(
@@ -599,9 +643,10 @@ impl KnowledgeBase {
                                     &mut local_stats,
                                     &mut local_incidents,
                                     &mut local_fuel,
+                                    &mut local_samples,
                                 )?);
                             }
-                            Ok((local, local_stats, local_incidents, local_fuel))
+                            Ok((local, local_stats, local_incidents, local_fuel, local_samples))
                         })
                     })
                     .collect();
@@ -621,11 +666,12 @@ impl KnowledgeBase {
             // Chunks partition the workload in order, so the first erring
             // chunk holds the globally-first fail-fast incident.
             for chunk in chunk_results {
-                let (local, local_stats, local_incidents, local_fuel) = chunk?;
+                let (local, local_stats, local_incidents, local_fuel, local_samples) = chunk?;
                 reports.extend(local);
                 stats.merge(&local_stats);
                 incidents.extend(local_incidents);
                 fuel_spent = fuel_spent.saturating_add(local_fuel);
+                samples.extend(local_samples);
             }
         }
         self.apply_workload_weighting(&mut reports, workload);
@@ -634,6 +680,7 @@ impl KnowledgeBase {
             stats,
             incidents,
             fuel_spent,
+            samples,
         })
     }
 
@@ -718,18 +765,26 @@ impl KnowledgeBase {
     }
 }
 
-/// The confidence of the best occurrence in this QEP.
-fn best_confidence(
+/// The (confidence, cost share) of the best occurrence in this QEP —
+/// shared with the regression-diagnosis delta scan so both surfaces score
+/// matches identically.
+pub(crate) fn best_match_features(
     entry: &KnowledgeBaseEntry,
     matches: &[PatternMatch],
     t: &TransformedQep,
-) -> f64 {
+) -> (f64, f64) {
     matches
         .iter()
         .filter_map(|m| m.anchor_pop())
         .filter_map(|id| rank::features_for(&t.qep, id))
-        .map(|f| rank::confidence(entry.prototype, f))
-        .fold(0.0, f64::max)
+        .map(|f| (rank::confidence(entry.prototype, f), f.cost_share))
+        .fold((0.0, 0.0), |best, cand| {
+            if cand.0 > best.0 {
+                cand
+            } else {
+                best
+            }
+        })
 }
 
 #[cfg(test)]

@@ -61,8 +61,10 @@ pub mod matcher;
 pub mod open;
 pub mod pattern;
 pub mod rank;
+pub mod regress;
 pub mod repo;
 pub mod session;
+pub mod stats;
 pub mod tagging;
 pub mod transform;
 pub mod vocab;
@@ -70,8 +72,8 @@ pub mod vocab;
 pub use error::Error;
 pub use features::{FeatureSummary, PruneStats, RequiredFeatures};
 pub use kb::{
-    render_scan_json, IncidentCause, KnowledgeBase, KnowledgeBaseEntry, QepReport, Recommendation,
-    ScanIncident, ScanOptions, ScanOutcome,
+    render_scan_json, IncidentCause, KnowledgeBase, KnowledgeBaseEntry, MatchSample, QepReport,
+    Recommendation, ScanIncident, ScanOptions, ScanOutcome,
 };
 pub use lint::{Artifact, Diagnostic, PatternIssue, Severity};
 pub use live::{
@@ -80,10 +82,12 @@ pub use live::{
 pub use matcher::{MatchBinding, Matcher, MatcherCache, PatternMatch, SearchOutcome};
 pub use open::{OpenOptions, OpenSkip, Opened, Source, Strictness};
 pub use pattern::{Pattern, PatternPop, PropertyCondition, Relationship, Sign, StreamSpec};
+pub use regress::{regress, DeltaAnchor, DeltaFinding, RegressOptions, RegressOutcome};
 pub use repo::{add_to_repo, build_repo, AddOutcome, BuildOutcome};
 #[allow(deprecated)]
 pub use session::{LenientLoad, RepoLoad};
 pub use session::{OptImatch, SkipCause, SkippedFile, Timings};
+pub use stats::{EntryWeight, MatchRecord, MatchStatsStore, MIN_HISTORY};
 pub use transform::{transform_qep, TransformedQep};
 
 /// Compile-time thread-safety contract: the long-running HTTP service
@@ -101,6 +105,7 @@ fn _assert_shared_types_are_send_sync() {
     _assert::<SessionSnapshot>();
     _assert::<KnowledgeBase>();
     _assert::<Matcher>();
+    _assert::<MatchStatsStore>();
     _assert::<MatcherCache>();
     _assert::<ScanOptions>();
     _assert::<ScanOutcome>();

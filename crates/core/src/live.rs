@@ -217,6 +217,7 @@ pub struct SessionManager {
     current: RwLock<Arc<SessionSnapshot>>,
     writer: Mutex<()>,
     swaps: AtomicU64,
+    stats: Option<Arc<crate::stats::MatchStatsStore>>,
 }
 
 impl SessionManager {
@@ -245,7 +246,20 @@ impl SessionManager {
             current: RwLock::new(Arc::new(snapshot)),
             writer: Mutex::new(()),
             swaps: AtomicU64::new(0),
+            stats: None,
         }
+    }
+
+    /// Attach a fleet match-history store: serving surfaces record every
+    /// fired match into it, stamped with the generation that produced it.
+    pub fn with_stats(mut self, stats: Arc<crate::stats::MatchStatsStore>) -> SessionManager {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// The attached match-history store, when recording is enabled.
+    pub fn stats(&self) -> Option<&Arc<crate::stats::MatchStatsStore>> {
+        self.stats.as_ref()
     }
 
     /// The repository this manager appends to, when repository-backed.

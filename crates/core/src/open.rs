@@ -103,6 +103,11 @@ pub struct OpenOptions {
     pub prune: bool,
     /// Baseline: scan worker threads (clamped to ≥ 1).
     pub threads: usize,
+    /// Record fired-match statistics into the repository's MatchStats
+    /// sidecar (`<repo>.stats`). Only effective for [`Source::Repo`] —
+    /// directories and single files have no durable anchor to attach a
+    /// sidecar to, so the flag is ignored for them.
+    pub record_stats: bool,
 }
 
 impl Default for OpenOptions {
@@ -111,6 +116,7 @@ impl Default for OpenOptions {
             strictness: Strictness::Strict,
             prune: true,
             threads: 1,
+            record_stats: false,
         }
     }
 }
@@ -141,6 +147,12 @@ impl OpenOptions {
     /// Set the baseline scan thread count (clamped to ≥ 1).
     pub fn threads(mut self, threads: usize) -> OpenOptions {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enable fired-match statistics recording (repository sources only).
+    pub fn record_stats(mut self, record_stats: bool) -> OpenOptions {
+        self.record_stats = record_stats;
         self
     }
 
@@ -187,6 +199,10 @@ pub struct Opened {
     pub source: Source,
     /// Problems skipped or recovered from, in load order.
     pub skipped: Vec<OpenSkip>,
+    /// The MatchStats sidecar, opened (or created) when
+    /// [`OpenOptions::record_stats`] was set and the source is a
+    /// repository. `None` otherwise.
+    pub stats: Option<std::sync::Arc<crate::stats::MatchStatsStore>>,
 }
 
 impl OptImatch {
@@ -252,10 +268,19 @@ impl OptImatch {
                 )
             }
         };
+        let stats = match (&source, options.record_stats) {
+            (Source::Repo(path), true) => Some(std::sync::Arc::new(
+                crate::stats::MatchStatsStore::open(&crate::stats::MatchStatsStore::sidecar_path(
+                    path,
+                ))?,
+            )),
+            _ => None,
+        };
         Ok(Opened {
             session: session.with_defaults(defaults),
             source,
             skipped,
+            stats,
         })
     }
 }

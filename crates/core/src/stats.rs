@@ -1,0 +1,530 @@
+//! The durable fleet match-history store ("MatchStats").
+//!
+//! The paper ranks recommendations by correlating match confidence with
+//! cost impact *within one scan* (§2.3). A fleet sees far more evidence
+//! than one scan: every diagnosis, scan, and regression analysis fires
+//! matches whose (confidence, cost-share) pairs say how well each entry's
+//! prototype actually predicts expensive spots in real traffic. This
+//! module persists those samples so [`crate::rank::correlation_weight`]
+//! can consume accumulated history instead of only the in-scan sample —
+//! ranking confidence improves as the fleet submits traffic.
+//!
+//! The store is an append-only sidecar file next to the workload
+//! repository, under the same hand-rolled checksummed wire-format
+//! discipline as `optimatch-repo`:
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────┐
+//! │ header (16 B): "OPTISTAT" · version u8 · 7 reserved zeros│
+//! ├──────────────────────────────────────────────────────────┤
+//! │ record 0: "MS" · payload_len u32 · crc32 u32 · payload   │
+//! │ record 1: …                                              │
+//! └──────────────────────────────────────────────────────────┘
+//! payload: entry str · qep_id str · confidence f64 ·
+//!          cost_share f64 · generation u64
+//! ```
+//!
+//! There is no footer or index: records are self-delimiting and the file
+//! only ever grows, so a reopen after a kill is byte-identical — nothing
+//! is rewritten. Appends are fsync'd before [`MatchStatsStore::record`]
+//! returns. A torn tail (crash mid-append) is detected by the frame CRC,
+//! reported, and overwritten by the next append; every complete frame
+//! before it survives.
+
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+use optimatch_repo::crc::crc32;
+use optimatch_repo::wire::{put_f64, put_str, put_u32, put_u64, Cursor};
+
+use crate::error::Error;
+use crate::kb::{MatchSample, QepReport};
+use crate::rank;
+
+/// The 8-byte magic every MatchStats sidecar starts with.
+pub const STATS_MAGIC: &[u8; 8] = b"OPTISTAT";
+/// Current format version.
+pub const STATS_VERSION: u8 = 1;
+/// Recorded samples an entry needs before its history outweighs the
+/// in-scan sample — below this the recorded correlation is noise.
+pub const MIN_HISTORY: usize = 8;
+
+const RECORD_MAGIC: &[u8; 2] = b"MS";
+const HEADER_LEN: usize = 16;
+const FRAME_LEN: usize = 10;
+
+/// One recorded fired match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchRecord {
+    /// The KB entry that fired.
+    pub entry: String,
+    /// The QEP it fired on.
+    pub qep_id: String,
+    /// Raw confidence of the best occurrence.
+    pub confidence: f64,
+    /// Cost share of the best occurrence's anchor operator.
+    pub cost_share: f64,
+    /// Session generation at recording time (0 for static sessions).
+    pub generation: u64,
+}
+
+impl MatchRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        put_str(&mut buf, &self.entry);
+        put_str(&mut buf, &self.qep_id);
+        put_f64(&mut buf, self.confidence);
+        put_f64(&mut buf, self.cost_share);
+        put_u64(&mut buf, self.generation);
+        buf
+    }
+
+    fn decode(payload: &[u8]) -> Result<MatchRecord, String> {
+        let mut c = Cursor::new(payload);
+        let record = MatchRecord {
+            entry: c.str("entry").map_err(|e| e.to_string())?,
+            qep_id: c.str("qep_id").map_err(|e| e.to_string())?,
+            confidence: c.f64("confidence").map_err(|e| e.to_string())?,
+            cost_share: c.f64("cost_share").map_err(|e| e.to_string())?,
+            generation: c.u64("generation").map_err(|e| e.to_string())?,
+        };
+        if !c.at_end() {
+            return Err("trailing bytes in match record".into());
+        }
+        Ok(record)
+    }
+}
+
+/// The learned state of one entry, derived from recorded history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryWeight {
+    /// The KB entry name.
+    pub entry: String,
+    /// Recorded fired matches for this entry.
+    pub samples: usize,
+    /// The correlation weight history assigns it (1.0 = neutral). Only
+    /// applied once `samples >= MIN_HISTORY`.
+    pub weight: f64,
+    /// True when the entry has enough history for the weight to be used.
+    pub learned: bool,
+}
+
+#[derive(Debug, Default)]
+struct StatsState {
+    records: Vec<MatchRecord>,
+    /// File offset appends continue at — end of the last intact frame.
+    valid_len: u64,
+}
+
+/// A durable, append-only store of fired-match statistics. Thread-safe:
+/// one mutex orders appends and guards the in-memory aggregate.
+#[derive(Debug)]
+pub struct MatchStatsStore {
+    path: PathBuf,
+    state: Mutex<StatsState>,
+    /// Bytes of torn tail found at open (0 for a clean file); the next
+    /// append overwrites them.
+    torn_tail: u64,
+}
+
+impl MatchStatsStore {
+    /// The conventional sidecar location for a repository at `repo`:
+    /// the same path with `.stats` appended (`wl.optirepo.stats`).
+    pub fn sidecar_path(repo: &Path) -> PathBuf {
+        let mut os = repo.as_os_str().to_owned();
+        os.push(".stats");
+        PathBuf::from(os)
+    }
+
+    /// Open (or create) a MatchStats sidecar. Every intact frame is
+    /// loaded; a torn tail after the last intact frame is tolerated and
+    /// reported via [`MatchStatsStore::torn_tail_bytes`]. Opening never
+    /// writes, so a kill-and-reopen leaves the file byte-identical.
+    pub fn open(path: &Path) -> Result<MatchStatsStore, Error> {
+        let data = match std::fs::read(path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let mut header = Vec::with_capacity(HEADER_LEN);
+                header.extend_from_slice(STATS_MAGIC);
+                header.push(STATS_VERSION);
+                header.extend_from_slice(&[0u8; 7]);
+                let mut f = std::fs::File::create(path)?;
+                f.write_all(&header)?;
+                f.sync_data()?;
+                return Ok(MatchStatsStore {
+                    path: path.to_path_buf(),
+                    state: Mutex::new(StatsState {
+                        records: Vec::new(),
+                        valid_len: HEADER_LEN as u64,
+                    }),
+                    torn_tail: 0,
+                });
+            }
+            Err(e) => return Err(Error::Io(e)),
+        };
+        if data.len() < HEADER_LEN || &data[..8] != STATS_MAGIC {
+            return Err(Error::Internal(format!(
+                "{} is not a MatchStats sidecar",
+                path.display()
+            )));
+        }
+        if data[8] == 0 || data[8] > STATS_VERSION {
+            return Err(Error::Internal(format!(
+                "unsupported MatchStats version {}",
+                data[8]
+            )));
+        }
+        let mut records = Vec::new();
+        let mut pos = HEADER_LEN;
+        while pos + FRAME_LEN <= data.len() && &data[pos..pos + 2] == RECORD_MAGIC {
+            let len =
+                u32::from_le_bytes(data[pos + 2..pos + 6].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(data[pos + 6..pos + 10].try_into().expect("4 bytes"));
+            if pos + FRAME_LEN + len > data.len() {
+                break; // torn tail: incomplete payload
+            }
+            let payload = &data[pos + FRAME_LEN..pos + FRAME_LEN + len];
+            if crc32(payload) != crc {
+                break; // torn tail: damaged frame
+            }
+            let Ok(record) = MatchRecord::decode(payload) else {
+                break;
+            };
+            records.push(record);
+            pos += FRAME_LEN + len;
+        }
+        let torn_tail = (data.len() - pos) as u64;
+        Ok(MatchStatsStore {
+            path: path.to_path_buf(),
+            state: Mutex::new(StatsState {
+                records,
+                valid_len: pos as u64,
+            }),
+            torn_tail,
+        })
+    }
+
+    /// The sidecar's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Torn-tail bytes found (and tolerated) at open time.
+    pub fn torn_tail_bytes(&self) -> u64 {
+        self.torn_tail
+    }
+
+    /// Total recorded fired matches.
+    pub fn len(&self) -> usize {
+        self.lock().records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of every recorded match, in recording order.
+    pub fn records(&self) -> Vec<MatchRecord> {
+        self.lock().records.clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StatsState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Durably append one record per sample (fsync before returning) and
+    /// fold them into the in-memory aggregate. Returns the new total.
+    /// A torn tail left by an earlier crash is overwritten here.
+    pub fn record(&self, samples: &[MatchSample], generation: u64) -> Result<usize, Error> {
+        let mut state = self.lock();
+        if samples.is_empty() {
+            return Ok(state.records.len());
+        }
+        let new: Vec<MatchRecord> = samples
+            .iter()
+            .map(|s| MatchRecord {
+                entry: s.entry.clone(),
+                qep_id: s.qep_id.clone(),
+                confidence: s.confidence,
+                cost_share: s.cost_share,
+                generation,
+            })
+            .collect();
+        let mut delta = Vec::new();
+        for r in &new {
+            let payload = r.encode();
+            delta.extend_from_slice(RECORD_MAGIC);
+            put_u32(&mut delta, payload.len() as u32);
+            put_u32(&mut delta, crc32(&payload));
+            delta.extend_from_slice(&payload);
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)?;
+        f.seek(SeekFrom::Start(state.valid_len))?;
+        f.write_all(&delta)?;
+        let end = state.valid_len + delta.len() as u64;
+        // Drop any torn tail the new frames did not fully cover.
+        f.set_len(end)?;
+        f.sync_data()?;
+        state.valid_len = end;
+        state.records.extend(new);
+        Ok(state.records.len())
+    }
+
+    /// The learned correlation weight for one entry:
+    /// [`rank::correlation_weight`] over *recorded history* rather than
+    /// the in-scan sample. `None` until the entry has [`MIN_HISTORY`]
+    /// recorded matches.
+    pub fn entry_weight(&self, entry: &str) -> Option<f64> {
+        let state = self.lock();
+        let (confidences, cost_shares): (Vec<f64>, Vec<f64>) = state
+            .records
+            .iter()
+            .filter(|r| r.entry == entry)
+            .map(|r| (r.confidence, r.cost_share))
+            .unzip();
+        if confidences.len() < MIN_HISTORY {
+            return None;
+        }
+        Some(rank::correlation_weight(&confidences, &cost_shares))
+    }
+
+    /// Learned per-entry state, sorted by entry name — what `GET
+    /// /v1/stats` exposes.
+    pub fn weights(&self) -> Vec<EntryWeight> {
+        let state = self.lock();
+        let mut by_entry: std::collections::BTreeMap<&str, (Vec<f64>, Vec<f64>)> =
+            std::collections::BTreeMap::new();
+        for r in &state.records {
+            let slot = by_entry.entry(r.entry.as_str()).or_default();
+            slot.0.push(r.confidence);
+            slot.1.push(r.cost_share);
+        }
+        by_entry
+            .into_iter()
+            .map(|(entry, (confidences, cost_shares))| {
+                let learned = confidences.len() >= MIN_HISTORY;
+                EntryWeight {
+                    entry: entry.to_string(),
+                    samples: confidences.len(),
+                    weight: if learned {
+                        rank::correlation_weight(&confidences, &cost_shares)
+                    } else {
+                        1.0
+                    },
+                    learned,
+                }
+            })
+            .collect()
+    }
+
+    /// Re-weight scan reports by recorded history: each recommendation
+    /// whose entry has learned history is scaled by that entry's recorded
+    /// correlation weight, then reports re-rank. Entries without enough
+    /// history are untouched, so an empty store is a no-op — ranking
+    /// changes only once the fleet has submitted ≥ [`MIN_HISTORY`]
+    /// matches for an entry.
+    pub fn apply_history_weighting(&self, reports: &mut [QepReport]) {
+        let weights: std::collections::BTreeMap<String, f64> = self
+            .weights()
+            .into_iter()
+            .filter(|w| w.learned && (w.weight - 1.0).abs() > f64::EPSILON)
+            .map(|w| (w.entry, w.weight))
+            .collect();
+        if weights.is_empty() {
+            return;
+        }
+        for report in reports.iter_mut() {
+            for r in &mut report.recommendations {
+                if let Some(w) = weights.get(&r.entry) {
+                    r.confidence = (r.confidence * w).clamp(0.0, 1.0);
+                }
+            }
+            report.recommendations.sort_by(|a, b| {
+                b.confidence
+                    .partial_cmp(&a.confidence)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("optimatch-match-stats");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("{tag}-{}.stats", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        path
+    }
+
+    fn sample(entry: &str, confidence: f64, cost_share: f64) -> MatchSample {
+        MatchSample {
+            entry: entry.into(),
+            qep_id: "q".into(),
+            confidence,
+            cost_share,
+        }
+    }
+
+    #[test]
+    fn record_and_reopen_round_trips() {
+        let path = temp_path("roundtrip");
+        let store = MatchStatsStore::open(&path).unwrap();
+        assert!(store.is_empty());
+        store
+            .record(&[sample("e1", 0.9, 0.8), sample("e2", 0.2, 0.1)], 3)
+            .unwrap();
+        store.record(&[sample("e1", 0.5, 0.4)], 4).unwrap();
+        assert_eq!(store.len(), 3);
+
+        let again = MatchStatsStore::open(&path).unwrap();
+        assert_eq!(again.records(), store.records());
+        assert_eq!(again.records()[0].generation, 3);
+        assert_eq!(again.records()[2].generation, 4);
+        assert_eq!(again.torn_tail_bytes(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_is_byte_identical() {
+        let path = temp_path("bytes");
+        let store = MatchStatsStore::open(&path).unwrap();
+        for i in 0..10 {
+            store
+                .record(&[sample("e", 0.1 * f64::from(i), 0.05 * f64::from(i))], 0)
+                .unwrap();
+        }
+        drop(store); // simulated kill: no shutdown path runs
+        let before = std::fs::read(&path).unwrap();
+        let again = MatchStatsStore::open(&path).unwrap();
+        assert_eq!(again.len(), 10);
+        let after = std::fs::read(&path).unwrap();
+        assert_eq!(before, after, "open must never rewrite the file");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_and_overwritten() {
+        let path = temp_path("torn");
+        let store = MatchStatsStore::open(&path).unwrap();
+        store.record(&[sample("e1", 0.9, 0.8)], 0).unwrap();
+        drop(store);
+        // Simulate a crash mid-append: half a frame at the tail.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"MS\x40\x00\x00\x00").unwrap(); // frame cut short
+        }
+        let store = MatchStatsStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1, "intact records survive the torn tail");
+        assert!(store.torn_tail_bytes() > 0);
+        store.record(&[sample("e2", 0.3, 0.2)], 1).unwrap();
+        // The repaired file reads clean end to end.
+        let again = MatchStatsStore::open(&path).unwrap();
+        assert_eq!(again.len(), 2);
+        assert_eq!(again.torn_tail_bytes(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_stats_files_are_rejected() {
+        let path = temp_path("notstats");
+        std::fs::write(&path, b"OPTIREPO????????").unwrap();
+        assert!(MatchStatsStore::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn weights_need_min_history() {
+        let path = temp_path("minhist");
+        let store = MatchStatsStore::open(&path).unwrap();
+        // Positively correlated samples, one short of the threshold.
+        for i in 0..MIN_HISTORY - 1 {
+            let x = 0.1 + 0.1 * i as f64;
+            store.record(&[sample("e", x, x)], 0).unwrap();
+        }
+        assert_eq!(store.entry_weight("e"), None);
+        store.record(&[sample("e", 0.95, 0.95)], 0).unwrap();
+        let w = store.entry_weight("e").unwrap();
+        assert!((w - 1.2).abs() < 1e-9, "perfect correlation boosts: {w}");
+        let listed = store.weights();
+        assert_eq!(listed.len(), 1);
+        assert!(listed[0].learned);
+        assert_eq!(listed[0].samples, MIN_HISTORY);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn history_weighting_provably_reorders_ranking() {
+        let path = temp_path("reorder");
+        let store = MatchStatsStore::open(&path).unwrap();
+        let report = || crate::QepReport {
+            qep_id: "q1".into(),
+            recommendations: vec![
+                crate::Recommendation {
+                    entry: "anti".into(),
+                    text: "a".into(),
+                    confidence: 0.60,
+                    occurrences: 1,
+                },
+                crate::Recommendation {
+                    entry: "corr".into(),
+                    text: "b".into(),
+                    confidence: 0.55,
+                    occurrences: 1,
+                },
+            ],
+        };
+
+        // Below MIN_HISTORY the store is inert: ranking is unchanged.
+        let mut reports = vec![report()];
+        store.apply_history_weighting(&mut reports);
+        assert_eq!(reports[0].recommendations[0].entry, "anti");
+
+        // Fleet history arrives: `corr`'s confidence tracks cost share
+        // perfectly (weight 1.2) while `anti`'s anti-correlates (0.8).
+        for i in 0..MIN_HISTORY {
+            let x = 0.1 + 0.1 * i as f64;
+            store
+                .record(&[sample("corr", x, x), sample("anti", x, 1.0 - x)], 0)
+                .unwrap();
+        }
+
+        // Deterministic flip: 0.55 * 1.2 = 0.66 now outranks
+        // 0.60 * 0.8 = 0.48.
+        let mut reports = vec![report()];
+        store.apply_history_weighting(&mut reports);
+        let ranked: Vec<&str> = reports[0]
+            .recommendations
+            .iter()
+            .map(|r| r.entry.as_str())
+            .collect();
+        assert_eq!(ranked, ["corr", "anti"]);
+        assert!((reports[0].recommendations[0].confidence - 0.66).abs() < 1e-9);
+        assert!((reports[0].recommendations[1].confidence - 0.48).abs() < 1e-9);
+
+        // And the learned weights survive a reopen, so the reordering is
+        // stable across process restarts.
+        let again = MatchStatsStore::open(&path).unwrap();
+        let mut reports = vec![report()];
+        again.apply_history_weighting(&mut reports);
+        assert_eq!(reports[0].recommendations[0].entry, "corr");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sidecar_path_appends_stats_suffix() {
+        assert_eq!(
+            MatchStatsStore::sidecar_path(Path::new("/x/wl.optirepo")),
+            PathBuf::from("/x/wl.optirepo.stats")
+        );
+    }
+}

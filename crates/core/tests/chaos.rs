@@ -292,3 +292,62 @@ fn starved_budgets_degrade_deterministically_without_chaos() {
         a.incidents.iter().map(|i| &i.qep_id).collect::<Vec<_>>()
     );
 }
+
+/// A regression diagnosis over a hostile KB contains the panicking entry
+/// as a typed incident (exactly what a serve handler turns into a 207,
+/// never a 500) while the healthy entries still produce their delta; with
+/// `fail_fast` the same fault surfaces as a typed [`Error::Incident`].
+#[test]
+fn regress_contains_hostile_patterns_as_typed_incidents() {
+    use optimatch_qep::fixtures;
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let kb = hostile_kb();
+    let before = fixtures::fig1();
+    let after = fixtures::fig1_sort_spill();
+
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    chaos::arm_panic("chaos-panic");
+    let options = optimatch_core::RegressOptions::default()
+        .scan(ScanOptions::default().fuel(FUEL));
+    let outcome = optimatch_core::regress(&kb, &before, &after, &options).unwrap();
+    let failed = optimatch_core::regress(
+        &kb,
+        &before,
+        &after,
+        &optimatch_core::RegressOptions::default()
+            .scan(ScanOptions::default().fuel(FUEL).fail_fast(true)),
+    )
+    .unwrap_err();
+    chaos::disarm();
+    std::panic::set_hook(hook);
+
+    // Contained mode: the diagnosis completes degraded. The armed panic
+    // and the recursion bomb each produce typed incidents; neither entry
+    // contributes findings, but the healthy sort-spill delta survives.
+    assert!(outcome.is_degraded());
+    for i in &outcome.incidents {
+        assert!(
+            i.entry == "chaos-panic" || i.entry == "chaos-recursion-bomb",
+            "incident names a healthy entry: {i}"
+        );
+    }
+    assert!(outcome
+        .incidents
+        .iter()
+        .any(|i| matches!(&i.cause, IncidentCause::Panic(m) if m.contains("chaos: injected panic"))));
+    assert!(outcome
+        .findings
+        .iter()
+        .any(|f| f.entry == "pattern-d-sort-spill"));
+    // The panicking entry never produces a finding — its fault became the
+    // incident above. (The recursion bomb may legitimately finish within
+    // budget on these tiny plans, so no claim is made about it.)
+    assert!(!outcome.findings.iter().any(|f| f.entry == "chaos-panic"));
+
+    // Fail-fast mode: the first fault aborts as a typed incident error.
+    match failed {
+        Error::Incident(i) => assert_eq!(i.entry, "chaos-panic"),
+        other => panic!("expected Error::Incident, got {other:?}"),
+    }
+}

@@ -218,4 +218,31 @@ proptest! {
         prop_assert_eq!(&budgeted.reports, &plain.reports);
         prop_assert_eq!(budgeted.stats, plain.stats);
     }
+
+    /// Regression diagnosis is reflexive: `regress(plan, plan)` yields an
+    /// empty delta — no findings, no incidents, an unchanged diff, and no
+    /// inserted/removed alignment pairs — for arbitrary generated plans,
+    /// including ones that DO match KB patterns on both sides.
+    #[test]
+    fn regress_of_identical_plans_is_empty(
+        seed in 0u64..1024,
+        pick in 0usize..8,
+        threshold in 0.0f64..0.5,
+    ) {
+        let workload = optimatch_workload::generate_workload(&optimatch_workload::WorkloadConfig {
+            seed,
+            num_qeps: 8,
+            ..Default::default()
+        });
+        let qep = &workload.qeps[pick % workload.qeps.len()];
+        let kb = optimatch_core::builtin::paper_kb();
+        let options = optimatch_core::RegressOptions::default().threshold(threshold);
+        let outcome = optimatch_core::regress(&kb, qep, qep, &options).expect("clean regress");
+        prop_assert!(outcome.findings.is_empty(), "{:?}", outcome.findings);
+        prop_assert!(outcome.incidents.is_empty());
+        prop_assert!(!outcome.diff.is_changed());
+        let inserted = outcome.alignment.count(optimatch_qep::AlignClass::Inserted);
+        let removed = outcome.alignment.count(optimatch_qep::AlignClass::Removed);
+        prop_assert_eq!(inserted + removed, 0);
+    }
 }

@@ -10,7 +10,30 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use crate::model::{OpType, Qep};
+use crate::model::{InputSource, OpType, Qep};
+
+/// Multiplier over the before-estimate at which a type-stable operator's
+/// cardinality growth counts as a regression on its own (see
+/// [`PlanDiff::cardinality_blowup`]). The floor of 1 row keeps the
+/// paper's sub-row estimates (`1.311e-08`) from tripping it on noise.
+pub const CARD_BLOWUP_FACTOR: f64 = 100.0;
+
+/// Finite JSON stand-in for an unbounded relative change (before-cost 0,
+/// after-cost positive): `cost_change()` returns `f64::INFINITY`, which
+/// JSON cannot represent, so serializers emit this sentinel instead.
+pub const UNBOUNDED_CHANGE: f64 = 1.0e12;
+
+/// Clamp a relative change to something JSON can carry: infinities become
+/// [`UNBOUNDED_CHANGE`] (signed), NaN becomes zero.
+pub fn finite_change(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else if x.is_infinite() {
+        UNBOUNDED_CHANGE.copysign(x)
+    } else {
+        x
+    }
+}
 
 /// How one operator number changed between the two plans.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,10 +99,23 @@ impl PlanDiff {
         }
     }
 
+    /// True when any type-stable shared operator's cardinality estimate
+    /// blew up by [`CARD_BLOWUP_FACTOR`] or more — the cost-masked
+    /// regression class where a stale estimate hides a bad plan behind an
+    /// unchanged (or even *lower*) total cost.
+    pub fn cardinality_blowup(&self) -> bool {
+        self.changed_ops.iter().any(|c| {
+            let (before, after) = c.cardinality;
+            c.op_type.0 == c.op_type.1 && after >= before.max(1.0) * CARD_BLOWUP_FACTOR
+        })
+    }
+
     /// True when the second plan regressed by more than `threshold`
-    /// (e.g. `0.2` = 20% costlier).
+    /// (e.g. `0.2` = 20% costlier), or when a type-stable operator's
+    /// cardinality estimate blew up (see [`PlanDiff::cardinality_blowup`])
+    /// even if the total cost held steady.
     pub fn is_regression(&self, threshold: f64) -> bool {
-        self.cost_change() > threshold
+        self.cost_change() > threshold || self.cardinality_blowup()
     }
 
     /// True when the plans differ at all (structure or cost).
@@ -174,6 +210,263 @@ pub fn diff_qeps(before: &Qep, after: &Qep) -> PlanDiff {
         histogram_delta,
         dropped_objects,
         new_objects,
+    }
+}
+
+/// How one aligned operator (or unmatched leftover) is classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlignClass {
+    /// Paired; type, cost, and cardinality all within rounding.
+    Unchanged,
+    /// Paired with the same type, but cost or cardinality moved.
+    CostShifted,
+    /// Paired (same number or same structural slot) with a new type.
+    TypeChanged,
+    /// Present only in the after plan.
+    Inserted,
+    /// Present only in the before plan.
+    Removed,
+}
+
+impl AlignClass {
+    /// Stable lowercase label, used in reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlignClass::Unchanged => "unchanged",
+            AlignClass::CostShifted => "cost-shifted",
+            AlignClass::TypeChanged => "type-changed",
+            AlignClass::Inserted => "inserted",
+            AlignClass::Removed => "removed",
+        }
+    }
+}
+
+impl fmt::Display for AlignClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One operator pairing produced by [`align_qeps`]. Exactly one side is
+/// `None` for inserted/removed operators; both are set otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignedOp {
+    /// Operator number in the before plan, when present there.
+    pub before: Option<u32>,
+    /// Operator number in the after plan, when present there.
+    pub after: Option<u32>,
+    /// Operator type on each side, where the side exists.
+    pub op_type: (Option<OpType>, Option<OpType>),
+    /// How the pairing is classified.
+    pub class: AlignClass,
+}
+
+/// A structural alignment of two plans: every operator of either plan
+/// appears in exactly one [`AlignedOp`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlanAlignment {
+    /// The pairings, ordered by after-plan operator number (pairs with an
+    /// after side first, then removed-only operators by before number).
+    pub pairs: Vec<AlignedOp>,
+}
+
+impl PlanAlignment {
+    /// The before-plan operator aligned to `after_id`, if any.
+    pub fn before_of(&self, after_id: u32) -> Option<u32> {
+        self.pairs
+            .iter()
+            .find(|p| p.after == Some(after_id))
+            .and_then(|p| p.before)
+    }
+
+    /// The classification of the after-plan operator `after_id`.
+    pub fn class_of(&self, after_id: u32) -> Option<AlignClass> {
+        self.pairs
+            .iter()
+            .find(|p| p.after == Some(after_id))
+            .map(|p| p.class)
+    }
+
+    /// Number of pairings with the given classification.
+    pub fn count(&self, class: AlignClass) -> usize {
+        self.pairs.iter().filter(|p| p.class == class).count()
+    }
+
+    /// Pairings whose two sides carry different operator numbers — the
+    /// renumbered operators recovered by structural matching.
+    pub fn renumbered(&self) -> usize {
+        self.pairs
+            .iter()
+            .filter(|p| matches!((p.before, p.after), (Some(b), Some(a)) if b != a))
+            .count()
+    }
+}
+
+/// Per-operator structural signature: the operator type, its fan-in, and
+/// the sorted base objects its subtree ultimately reads. Two operators
+/// with the same signature do the same job over the same data, whatever
+/// the optimizer numbered them.
+fn signatures(q: &Qep) -> BTreeMap<u32, String> {
+    let mut leaves: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    for id in q.topological_order() {
+        let Some(op) = q.op(id) else { continue };
+        let mut set = BTreeSet::new();
+        for s in &op.inputs {
+            match &s.source {
+                InputSource::Object(name) => {
+                    set.insert(name.clone());
+                }
+                InputSource::Op(child) => {
+                    if let Some(cs) = leaves.get(child) {
+                        set.extend(cs.iter().cloned());
+                    }
+                }
+            }
+        }
+        leaves.insert(id, set);
+    }
+    leaves
+        .into_iter()
+        .map(|(id, set)| {
+            let op = q.op(id).expect("id from leaves map");
+            let objs: Vec<&str> = set.iter().map(String::as_str).collect();
+            (
+                id,
+                format!("{}/{}[{}]", op.op_type, op.inputs.len(), objs.join(",")),
+            )
+        })
+        .collect()
+}
+
+/// True when cost or cardinality moved beyond rounding (0.1% relative).
+fn moved(before: (f64, f64), after: (f64, f64)) -> bool {
+    let shifted = |b: f64, a: f64| {
+        if b == 0.0 {
+            a != 0.0
+        } else {
+            ((a - b) / b).abs() > 1e-3
+        }
+    };
+    shifted(before.0, after.0) || shifted(before.1, after.1)
+}
+
+/// Structurally align two plans, pairing operators by number when the
+/// numbering is stable and by subtree signature (type + fan-in + base
+/// objects read) when the optimizer renumbered them. Every operator of
+/// either plan lands in exactly one pairing, classified as unchanged,
+/// cost-shifted, type-changed, inserted, or removed.
+pub fn align_qeps(before: &Qep, after: &Qep) -> PlanAlignment {
+    let mut before_free: BTreeSet<u32> = before.ops.keys().copied().collect();
+    let mut after_free: BTreeSet<u32> = after.ops.keys().copied().collect();
+    let mut pairs = Vec::new();
+
+    let classify = |b_id: u32, a_id: u32, class_hint: Option<AlignClass>| {
+        let b = before.op(b_id).expect("paired before op");
+        let a = after.op(a_id).expect("paired after op");
+        let class = class_hint.unwrap_or(if b.op_type != a.op_type {
+            AlignClass::TypeChanged
+        } else if moved(
+            (b.total_cost, b.cardinality),
+            (a.total_cost, a.cardinality),
+        ) {
+            AlignClass::CostShifted
+        } else {
+            AlignClass::Unchanged
+        });
+        AlignedOp {
+            before: Some(b_id),
+            after: Some(a_id),
+            op_type: (Some(b.op_type), Some(a.op_type)),
+            class,
+        }
+    };
+
+    // Pass 1 — stable numbering: the same operator number carries the
+    // same type on both sides.
+    for id in before_free.intersection(&after_free).copied().collect::<Vec<_>>() {
+        if before.op(id).map(|o| o.op_type) == after.op(id).map(|o| o.op_type) {
+            pairs.push(classify(id, id, None));
+            before_free.remove(&id);
+            after_free.remove(&id);
+        }
+    }
+
+    // Pass 2 — renumbered operators: match leftovers by structural
+    // signature, smallest numbers first (deterministic on ties).
+    let before_sigs = signatures(before);
+    let after_sigs = signatures(after);
+    let mut by_sig: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+    for &id in &before_free {
+        by_sig.entry(before_sigs[&id].as_str()).or_default().push(id);
+    }
+    for a_id in after_free.iter().copied().collect::<Vec<_>>() {
+        let sig = after_sigs[&a_id].as_str();
+        let Some(candidates) = by_sig.get_mut(sig) else {
+            continue;
+        };
+        if candidates.is_empty() {
+            continue;
+        }
+        let b_id = candidates.remove(0);
+        pairs.push(classify(b_id, a_id, None));
+        before_free.remove(&b_id);
+        after_free.remove(&a_id);
+    }
+
+    // Pass 3 — number-stable type changes: a shared number whose type
+    // flipped (e.g. NLJOIN -> HSJOIN) and found no structural partner.
+    for id in before_free.intersection(&after_free).copied().collect::<Vec<_>>() {
+        pairs.push(classify(id, id, Some(AlignClass::TypeChanged)));
+        before_free.remove(&id);
+        after_free.remove(&id);
+    }
+
+    // Pass 4 — leftovers are genuine insertions and removals.
+    for &id in &after_free {
+        pairs.push(AlignedOp {
+            before: None,
+            after: Some(id),
+            op_type: (None, after.op(id).map(|o| o.op_type)),
+            class: AlignClass::Inserted,
+        });
+    }
+    for &id in &before_free {
+        pairs.push(AlignedOp {
+            before: Some(id),
+            after: None,
+            op_type: (before.op(id).map(|o| o.op_type), None),
+            class: AlignClass::Removed,
+        });
+    }
+
+    pairs.sort_by_key(|p| (p.after.is_none(), p.after, p.before));
+    PlanAlignment { pairs }
+}
+
+impl fmt::Display for PlanAlignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.pairs {
+            match (p.before, p.after) {
+                (Some(b), Some(a)) => {
+                    let t = match (p.op_type.0, p.op_type.1) {
+                        (Some(tb), Some(ta)) if tb != ta => format!("{tb} -> {ta}"),
+                        (_, Some(ta)) => ta.to_string(),
+                        _ => String::new(),
+                    };
+                    writeln!(f, "  #{b} ~ #{a} {t} [{}]", p.class)?;
+                }
+                (None, Some(a)) => {
+                    let t = p.op_type.1.map(|t| t.to_string()).unwrap_or_default();
+                    writeln!(f, "        #{a} {t} [{}]", p.class)?;
+                }
+                (Some(b), None) => {
+                    let t = p.op_type.0.map(|t| t.to_string()).unwrap_or_default();
+                    writeln!(f, "  #{b}       {t} [{}]", p.class)?;
+                }
+                (None, None) => {}
+            }
+        }
+        Ok(())
     }
 }
 
@@ -288,6 +581,82 @@ mod tests {
         assert_eq!(d.histogram_delta[&OpType::Sort], 1);
         // IDX1 is no longer read (its reader vanished).
         assert!(d.dropped_objects.contains(&"BIGD.IDX1".to_string()));
+    }
+
+    #[test]
+    fn cardinality_blowup_fires_without_cost_growth() {
+        let before = fixtures::fig1();
+        let mut after = before.clone();
+        // Type-stable, cost flat — but the estimate exploded 1000x.
+        after.ops.get_mut(&5).unwrap().cardinality *= 1000.0;
+        let d = diff_qeps(&before, &after);
+        assert!(d.cost_change().abs() < 1e-9);
+        assert!(d.cardinality_blowup());
+        assert!(d.is_regression(0.2), "blow-up must fire is_regression");
+        // Small estimate drift does not.
+        let mut mild = before.clone();
+        mild.ops.get_mut(&5).unwrap().cardinality *= 2.0;
+        assert!(!diff_qeps(&before, &mild).cardinality_blowup());
+    }
+
+    #[test]
+    fn finite_change_encodes_infinities() {
+        assert_eq!(finite_change(f64::INFINITY), UNBOUNDED_CHANGE);
+        assert_eq!(finite_change(f64::NEG_INFINITY), -UNBOUNDED_CHANGE);
+        assert_eq!(finite_change(f64::NAN), 0.0);
+        assert_eq!(finite_change(0.25), 0.25);
+    }
+
+    #[test]
+    fn identical_plans_align_fully_unchanged() {
+        let q = fixtures::fig7();
+        let al = align_qeps(&q, &q);
+        assert_eq!(al.pairs.len(), q.op_count());
+        assert_eq!(al.count(AlignClass::Unchanged), q.op_count());
+        assert_eq!(al.renumbered(), 0);
+        for p in &al.pairs {
+            assert_eq!(p.before, p.after);
+        }
+    }
+
+    #[test]
+    fn renumbered_operators_align_by_structure() {
+        let before = fixtures::fig1();
+        let mut after = before.clone();
+        // Renumber the TBSCAN 5 -> 50 (same subtree over CUST_DIM).
+        let mut scan = after.ops.remove(&5).unwrap();
+        scan.id = 50;
+        after.insert_op(scan);
+        after.ops.get_mut(&2).unwrap().inputs[1].source = InputSource::Op(50);
+        let al = align_qeps(&before, &after);
+        assert_eq!(al.before_of(50), Some(5));
+        assert_eq!(al.class_of(50), Some(AlignClass::Unchanged));
+        assert_eq!(al.renumbered(), 1);
+        assert_eq!(al.count(AlignClass::Inserted), 0);
+        assert_eq!(al.count(AlignClass::Removed), 0);
+    }
+
+    #[test]
+    fn insertions_removals_and_type_flips_classify() {
+        let before = fixtures::fig1();
+        let mut after = before.clone();
+        after.ops.get_mut(&2).unwrap().op_type = OpType::HsJoin;
+        let mut sort = PlanOp::new(9, OpType::Sort);
+        sort.inputs.push(InputStream {
+            kind: StreamKind::Generic,
+            source: InputSource::Op(5),
+            estimated_rows: 4043.0,
+        });
+        after.insert_op(sort);
+        after.ops.get_mut(&2).unwrap().inputs[1].source = InputSource::Op(9);
+        let al = align_qeps(&before, &after);
+        assert_eq!(al.class_of(2), Some(AlignClass::TypeChanged));
+        assert_eq!(al.class_of(9), Some(AlignClass::Inserted));
+        assert_eq!(al.before_of(9), None);
+        assert_eq!(al.count(AlignClass::Removed), 0);
+        let text = al.to_string();
+        assert!(text.contains("[inserted]"), "{text}");
+        assert!(text.contains("NLJOIN -> HSJOIN"), "{text}");
     }
 
     #[test]

@@ -134,6 +134,44 @@ pub fn fig1() -> Qep {
     q
 }
 
+/// [`fig1`] after a plan change inserted a spilling `SORT` between the
+/// nested-loop join and its inner table scan — the GALO-style regression
+/// fixture. The sort's cumulative I/O cost exceeds its input's, so
+/// `pattern-d-sort-spill` fires on this plan but not on [`fig1`]; a
+/// regression diagnosis over the pair should surface exactly that delta,
+/// anchored at the inserted operator `9`.
+pub fn fig1_sort_spill() -> Qep {
+    let mut q = fig1();
+    q.id = "fig1-sort-spill".into();
+
+    let mut sort = PlanOp::new(9, OpType::Sort);
+    sort.cardinality = 4043.0;
+    // Costs are cumulative: the sort carries its TBSCAN input (15771 /
+    // 1755 io) plus a heavy spill of its own.
+    sort.total_cost = 19862.0;
+    sort.io_cost = 3912.0;
+    sort.cpu_cost = 6.8e6;
+    sort.first_row_cost = 15771.0;
+    sort.buffers = 840.0;
+    sort.inputs.push(op_stream(StreamKind::Generic, 5, 4043.0));
+    q.insert_op(sort);
+
+    // Reroute the join's inner stream through the new sort and propagate
+    // the extra cost up the spine.
+    let nljoin = q.ops.get_mut(&2).expect("fig1 has op 2");
+    for input in &mut nljoin.inputs {
+        if input.source == InputSource::Op(5) {
+            input.source = InputSource::Op(9);
+        }
+    }
+    nljoin.total_cost = 20891.0;
+    nljoin.io_cost = 4044.0;
+    let ret = q.ops.get_mut(&1).expect("fig1 has op 1");
+    ret.total_cost = 20892.2;
+    ret.io_cost = 4047.0;
+    q
+}
+
 /// The paper's Figure 7: a join with left-outer joins below both its outer
 /// and inner input streams — the poor-join-order Pattern B instance
 /// (`(T1 LOJ T2) JOIN (T3 LOJ T4)`, §2.3). The inner-side LOJ sits under a

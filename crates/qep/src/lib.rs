@@ -31,7 +31,10 @@ pub mod model;
 pub mod parse;
 pub mod stats;
 
-pub use diff::{diff_qeps, PlanDiff};
+pub use diff::{
+    align_qeps, diff_qeps, finite_change, AlignClass, AlignedOp, PlanAlignment, PlanDiff,
+    CARD_BLOWUP_FACTOR, UNBOUNDED_CHANGE,
+};
 pub use format::{format_qep, render_tree};
 pub use model::{
     BaseObject, BaseObjectKind, InputSource, InputStream, JoinModifier, OpType, PlanOp, Predicate,

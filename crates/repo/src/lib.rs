@@ -18,7 +18,7 @@ pub mod crc;
 pub mod error;
 pub mod record;
 pub mod store;
-mod wire;
+pub mod wire;
 
 pub use error::RepoError;
 pub use record::{RepoRecord, StoredSummary};

@@ -27,6 +27,10 @@ pub enum Route {
     Ingest,
     /// `POST /v1/kb`
     Kb,
+    /// `POST /v1/regress`
+    Regress,
+    /// `GET /v1/stats`
+    Stats,
     /// `GET /healthz`
     Healthz,
     /// `GET /metrics`
@@ -35,12 +39,14 @@ pub enum Route {
     Other,
 }
 
-const ROUTES: [Route; 8] = [
+const ROUTES: [Route; 10] = [
     Route::Diagnose,
     Route::Search,
     Route::Scan,
     Route::Ingest,
     Route::Kb,
+    Route::Regress,
+    Route::Stats,
     Route::Healthz,
     Route::Metrics,
     Route::Other,
@@ -54,9 +60,11 @@ impl Route {
             Route::Scan => 2,
             Route::Ingest => 3,
             Route::Kb => 4,
-            Route::Healthz => 5,
-            Route::Metrics => 6,
-            Route::Other => 7,
+            Route::Regress => 5,
+            Route::Stats => 6,
+            Route::Healthz => 7,
+            Route::Metrics => 8,
+            Route::Other => 9,
         }
     }
 
@@ -68,6 +76,8 @@ impl Route {
             Route::Scan => "scan",
             Route::Ingest => "ingest",
             Route::Kb => "kb",
+            Route::Regress => "regress",
+            Route::Stats => "stats",
             Route::Healthz => "healthz",
             Route::Metrics => "metrics",
             Route::Other => "other",
@@ -154,6 +164,10 @@ pub struct Metrics {
     ingest_latency: Histogram,
     /// `/v1/kb` reloads by outcome.
     kb_reloads: [AtomicU64; KB_RELOAD_RESULTS.len()],
+    /// `/v1/regress` responses by status code.
+    regress_requests: [AtomicU64; CODES.len() + 1],
+    /// End-to-end `/v1/regress` latency (parse both plans → delta scan).
+    regress_latency: Histogram,
 }
 
 impl Metrics {
@@ -327,6 +341,20 @@ impl Metrics {
         }
     }
 
+    /// Record one completed `/v1/regress` request: status + wall latency.
+    /// Regression diagnosis runs the matcher over *two* plans, so its
+    /// latency profile differs from single-plan diagnose enough to earn
+    /// its own histogram.
+    pub fn record_regress(&self, status: u16, elapsed: Duration) {
+        self.regress_requests[code_index(status)].fetch_add(1, Ordering::Relaxed);
+        self.regress_latency.observe(elapsed);
+    }
+
+    /// `/v1/regress` responses recorded with `status`.
+    pub fn regress_requests(&self, status: u16) -> u64 {
+        self.regress_requests[code_index(status)].load(Ordering::Relaxed)
+    }
+
     /// `/v1/kb` reloads recorded for one outcome.
     pub fn kb_reloads(&self, result: &str) -> u64 {
         KB_RELOAD_RESULTS
@@ -478,6 +506,26 @@ impl Metrics {
             );
         }
         out.push_str(concat!(
+            "# HELP optimatch_regress_requests_total /v1/regress responses by status.\n",
+            "# TYPE optimatch_regress_requests_total counter\n",
+        ));
+        for (ci, code) in CODES.iter().enumerate() {
+            let n = self.regress_requests[ci].load(Ordering::Relaxed);
+            if n > 0 {
+                let _ = writeln!(
+                    out,
+                    "optimatch_regress_requests_total{{status=\"{code}\"}} {n}"
+                );
+            }
+        }
+        let other = self.regress_requests[CODES.len()].load(Ordering::Relaxed);
+        if other > 0 {
+            let _ = writeln!(
+                out,
+                "optimatch_regress_requests_total{{status=\"other\"}} {other}"
+            );
+        }
+        out.push_str(concat!(
             "# HELP optimatch_kb_reload_total /v1/kb hot reloads by outcome.\n",
             "# TYPE optimatch_kb_reload_total counter\n",
         ));
@@ -514,6 +562,36 @@ impl Metrics {
                 h.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
             );
             let _ = writeln!(out, "optimatch_ingest_latency_seconds_count {ingest_count}");
+        }
+        let regress_count = self.regress_latency.count.load(Ordering::Relaxed);
+        if regress_count > 0 {
+            out.push_str(concat!(
+                "# HELP optimatch_regress_latency_seconds /v1/regress latency ",
+                "(parse both plans, align, delta scan).\n",
+                "# TYPE optimatch_regress_latency_seconds histogram\n",
+            ));
+            let h = &self.regress_latency;
+            let mut cumulative = 0;
+            for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
+                cumulative += h.buckets[i].load(Ordering::Relaxed);
+                let _ = writeln!(
+                    out,
+                    "optimatch_regress_latency_seconds_bucket{{le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "optimatch_regress_latency_seconds_bucket{{le=\"+Inf\"}} {regress_count}"
+            );
+            let _ = writeln!(
+                out,
+                "optimatch_regress_latency_seconds_sum {}",
+                h.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+            );
+            let _ = writeln!(
+                out,
+                "optimatch_regress_latency_seconds_count {regress_count}"
+            );
         }
 
         out.push_str(concat!(
@@ -641,6 +719,32 @@ mod tests {
             text.contains("optimatch_ingest_latency_seconds_count 2"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn regress_instruments() {
+        let m = Metrics::new();
+        m.record_regress(200, Duration::from_millis(8));
+        m.record_regress(207, Duration::from_millis(20));
+        m.record_regress(400, Duration::from_micros(90));
+        assert_eq!(m.regress_requests(200), 1);
+        assert_eq!(m.regress_requests(207), 1);
+        assert_eq!(m.regress_requests(400), 1);
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("optimatch_regress_requests_total{status=\"200\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("optimatch_regress_requests_total{status=\"207\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("optimatch_regress_latency_seconds_count 3"),
+            "{text}"
+        );
+        // Zero-valued statuses stay out of the exposition.
+        assert!(!text.contains("optimatch_regress_requests_total{status=\"500\"}"));
     }
 
     #[test]

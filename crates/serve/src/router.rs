@@ -10,6 +10,8 @@
 //! |                      | `threads`, `no_prune`, `since` query params)   |
 //! | `POST /v1/ingest`    | One QEP text in: durable append + new snapshot |
 //! | `POST /v1/kb`        | KB JSON in: lint-gated hot reload              |
+//! | `POST /v1/regress`   | `{before, after}` plan pair in: delta report   |
+//! | `GET /v1/stats`      | Learned per-entry match-history weights        |
 //! | `GET /healthz`       | Liveness plus workload/KB sizes + generation   |
 //! | `GET /metrics`       | Prometheus text exposition                     |
 //!
@@ -47,6 +49,8 @@ pub fn route_of(request: &Request) -> Route {
         "/v1/scan" => Route::Scan,
         "/v1/ingest" => Route::Ingest,
         "/v1/kb" => Route::Kb,
+        "/v1/regress" => Route::Regress,
+        "/v1/stats" => Route::Stats,
         "/healthz" => Route::Healthz,
         "/metrics" => Route::Metrics,
         _ => Route::Other,
@@ -62,12 +66,15 @@ pub fn dispatch(state: &Arc<AppState>, request: &Request) -> Response {
         ("GET", "/v1/scan") => scan(state, request),
         ("POST", "/v1/ingest") => ingest(state, request),
         ("POST", "/v1/kb") => kb_reload(state, request),
+        ("POST", "/v1/regress") => regress(state, request),
+        ("GET", "/v1/stats") => stats(state),
         ("GET", "/healthz") => healthz(state),
         ("GET", "/metrics") => metrics(state),
-        (_, "/v1/diagnose") | (_, "/v1/search") | (_, "/v1/ingest") | (_, "/v1/kb") => {
+        (_, "/v1/diagnose") | (_, "/v1/search") | (_, "/v1/ingest") | (_, "/v1/kb")
+        | (_, "/v1/regress") => {
             Response::error(405, "method not allowed").with_header("Allow", "POST")
         }
-        (_, "/v1/scan") | (_, "/healthz") | (_, "/metrics") => {
+        (_, "/v1/scan") | (_, "/v1/stats") | (_, "/healthz") | (_, "/metrics") => {
             Response::error(405, "method not allowed").with_header("Allow", "GET")
         }
         _ => Response::error(404, &format!("no route for {}", request.path)),
@@ -120,12 +127,19 @@ fn scan_options(state: &AppState, request: &Request) -> Result<ScanOptions, Resp
 
 /// Fold a scan outcome into the response: the shared JSON document, 200
 /// when clean, 207 + `Degraded: true` when incidents were contained. Also
-/// feeds the incident and fuel counters.
-fn scan_response(state: &AppState, outcome: &ScanOutcome) -> Response {
+/// feeds the incident and fuel counters, and — when the server records
+/// match statistics — appends the outcome's fired-match samples to the
+/// history store, stamped with the snapshot generation that produced them.
+fn scan_response(state: &AppState, outcome: &ScanOutcome, snapshot: &SessionSnapshot) -> Response {
     for incident in &outcome.incidents {
         state.metrics.inc_incident(incident.cause.kind());
     }
     state.metrics.add_fuel(outcome.fuel_spent);
+    if let Some(stats) = state.manager.stats() {
+        // Recording is best-effort: a full disk must not fail a scan
+        // whose results are already computed.
+        let _ = stats.record(&outcome.samples, snapshot.generation());
+    }
     let body = outcome.render_json();
     if outcome.is_degraded() {
         Response::json(207, body).with_header("Degraded", "true")
@@ -159,7 +173,7 @@ fn diagnose(state: &Arc<AppState>, request: &Request) -> Response {
     };
     let session = OptImatch::from_qeps([qep]);
     match session.scan_with(snapshot.kb(), options) {
-        Ok(outcome) => with_generation(scan_response(state, &outcome), &snapshot),
+        Ok(outcome) => with_generation(scan_response(state, &outcome, &snapshot), &snapshot),
         Err(e) => Response::error(500, &e.to_string()),
     }
 }
@@ -258,7 +272,7 @@ fn scan(state: &Arc<AppState>, request: &Request) -> Response {
         None => snapshot.session().scan_with(snapshot.kb(), options),
     };
     match outcome {
-        Ok(outcome) => with_generation(scan_response(state, &outcome), &snapshot),
+        Ok(outcome) => with_generation(scan_response(state, &outcome, &snapshot), &snapshot),
         Err(e) => Response::error(500, &e.to_string()),
     }
 }
@@ -375,6 +389,113 @@ fn kb_reload(state: &Arc<AppState>, request: &Request) -> Response {
             Response::error(500, &e.to_string())
         }
     }
+}
+
+/// `POST /v1/regress` — the body is a JSON object `{"before": "<plan
+/// text>", "after": "<plan text>"}`. Both plans are parsed, aligned, and
+/// delta-matched against the snapshot's KB; the response is the delta
+/// report (patterns new — or materially stronger — on the regressed
+/// plan, anchored to aligned operators). Degraded diagnoses (contained
+/// matcher failures) are `207` + `Degraded: true`, like scans.
+fn regress(state: &Arc<AppState>, request: &Request) -> Response {
+    let started = Instant::now();
+    let response = regress_inner(state, request);
+    state
+        .metrics
+        .record_regress(response.status, started.elapsed());
+    response
+}
+
+fn regress_inner(state: &Arc<AppState>, request: &Request) -> Response {
+    let snapshot = state.manager.current();
+    let json = match std::str::from_utf8(&request.body) {
+        Ok(json) => json,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let doc: Value = match serde_json::from_str(json) {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, &format!("unparseable body: {e}")),
+    };
+    let mut plans = [None, None];
+    for (i, key) in ["before", "after"].into_iter().enumerate() {
+        let Some(text) = doc.get(key).and_then(|v| v.as_str()) else {
+            return Response::error(400, &format!("body needs a string field {key:?}"));
+        };
+        let qep = match parse_qep(text) {
+            Ok(qep) => qep,
+            Err(e) => return Response::error(400, &format!("{key}: unparseable QEP: {e}")),
+        };
+        if qep.op_count() == 0 {
+            return Response::error(400, &format!("{key}: contains no plan operators"));
+        }
+        plans[i] = Some(qep);
+    }
+    let (before, after) = (plans[0].take().expect("set"), plans[1].take().expect("set"));
+    let mut options = optimatch_core::RegressOptions::default();
+    options.scan = match scan_options(state, request) {
+        Ok(scan) => scan,
+        Err(response) => return response,
+    };
+    if let Some(v) = request.query_param("threshold") {
+        let threshold: f64 = match v.parse() {
+            Ok(t) => t,
+            Err(_) => return Response::error(400, &format!("threshold: bad value {v:?}")),
+        };
+        options = options.threshold(threshold);
+    }
+    match optimatch_core::regress(snapshot.kb(), &before, &after, &options) {
+        Ok(outcome) => {
+            for incident in &outcome.incidents {
+                state.metrics.inc_incident(incident.cause.kind());
+            }
+            state.metrics.add_fuel(outcome.fuel_spent);
+            if let Some(stats) = state.manager.stats() {
+                let _ = stats.record(&outcome.samples, snapshot.generation());
+            }
+            let body = outcome.render_json();
+            let response = if outcome.is_degraded() {
+                Response::json(207, body).with_header("Degraded", "true")
+            } else {
+                Response::json(200, body)
+            };
+            with_generation(response, &snapshot)
+        }
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+/// `GET /v1/stats` — the learned per-entry weights from the fleet
+/// match-history store. Always answers: with recording disabled the
+/// document says so and lists nothing, so probes need no special casing.
+fn stats(state: &Arc<AppState>) -> Response {
+    let snapshot = state.manager.current();
+    let (recording, records, entries) = match state.manager.stats() {
+        Some(stats) => (
+            true,
+            stats.len(),
+            stats
+                .weights()
+                .into_iter()
+                .map(|w| {
+                    Value::Object(vec![
+                        ("entry".to_string(), Value::String(w.entry)),
+                        ("samples".to_string(), w.samples.serialize_to_value()),
+                        ("weight".to_string(), w.weight.serialize_to_value()),
+                        ("learned".to_string(), Value::Bool(w.learned)),
+                    ])
+                })
+                .collect(),
+        ),
+        None => (false, 0, Vec::new()),
+    };
+    let doc = Value::Object(vec![
+        ("recording".to_string(), Value::Bool(recording)),
+        ("records".to_string(), records.serialize_to_value()),
+        ("entries".to_string(), Value::Array(entries)),
+    ]);
+    let mut body = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".into());
+    body.push('\n');
+    with_generation(Response::json(200, body), &snapshot)
 }
 
 /// `GET /healthz` — liveness plus the resident sizes and current
