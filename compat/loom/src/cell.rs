@@ -1,0 +1,92 @@
+//! A race-checked `UnsafeCell`.
+//!
+//! Mirrors loom's API: data is reached through `with` / `with_mut`
+//! closures taking raw pointers, and every access is checked against the
+//! happens-before relation. A read must happen-after the last write; a
+//! write must happen-after the last write *and* every read. Two accesses
+//! that the clocks cannot order are a data race, and the execution fails
+//! with the interleaving that produced it.
+
+use std::sync::{Mutex as StdMutex, PoisonError};
+
+use crate::rt::{self, MAX_THREADS};
+
+#[derive(Default)]
+struct CellState {
+    /// Last write: (thread, that thread's clock stamp at the write).
+    write: Option<(usize, u32)>,
+    /// Per-thread stamp of each thread's latest read (0 = never read).
+    reads: [u32; MAX_THREADS],
+}
+
+pub struct UnsafeCell<T> {
+    data: std::cell::UnsafeCell<T>,
+    state: StdMutex<CellState>,
+}
+
+// Safety: the model run fails on any unordered pair of accesses, so all
+// surviving executions access `data` race-free; outside a model run the
+// caller carries the same obligation std::cell::UnsafeCell imposes.
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    pub fn new(data: T) -> UnsafeCell<T> {
+        UnsafeCell {
+            data: std::cell::UnsafeCell::new(data),
+            state: StdMutex::new(CellState::default()),
+        }
+    }
+
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        if let Some((exec, me)) = rt::current() {
+            exec.reschedule(me);
+            let race = {
+                let mut s = exec.lock();
+                let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                let racy = matches!(st.write, Some((w, stamp)) if s.clocks[me].0[w] < stamp);
+                if !racy {
+                    s.clocks[me].0[me] += 1;
+                    st.reads[me] = s.clocks[me].0[me];
+                }
+                racy
+            };
+            if race {
+                exec.fail("data race: read of UnsafeCell concurrent with a write".to_string());
+            }
+        }
+        f(self.data.get())
+    }
+
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        if let Some((exec, me)) = rt::current() {
+            exec.reschedule(me);
+            let race = {
+                let mut s = exec.lock();
+                let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                let write_racy = matches!(st.write, Some((w, stamp)) if s.clocks[me].0[w] < stamp);
+                let read_racy =
+                    (0..MAX_THREADS).any(|t| st.reads[t] != 0 && s.clocks[me].0[t] < st.reads[t]);
+                if !(write_racy || read_racy) {
+                    s.clocks[me].0[me] += 1;
+                    st.write = Some((me, s.clocks[me].0[me]));
+                }
+                write_racy || read_racy
+            };
+            if race {
+                exec.fail(
+                    "data race: write to UnsafeCell concurrent with another access".to_string(),
+                );
+            }
+        }
+        f(self.data.get())
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}

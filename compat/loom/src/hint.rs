@@ -1,0 +1,6 @@
+//! `std::hint` stand-ins: in a model run, a spin hint is a scheduling
+//! point (the spinning thread must let the thread it waits on proceed).
+
+pub fn spin_loop() {
+    crate::thread::yield_now();
+}

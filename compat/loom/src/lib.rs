@@ -1,0 +1,331 @@
+//! Vendored, dependency-free stand-in for the [loom] model checker.
+//!
+//! The workspace's hot paths lean on hand-rolled atomics — the
+//! `SessionManager` snapshot swap, the metrics registry, the match-stats
+//! sidecar — and stress tests cannot prove those orderings right: a
+//! missing `Release`/`Acquire` pair may only misbehave one run in a
+//! million on x86 and deterministically on ARM. This crate explores the
+//! interleavings *exhaustively* instead:
+//!
+//! - every instrumented operation (atomic access, lock, spawn, join) is a
+//!   scheduling point, and a DFS over the decision trail replays the
+//!   model closure once per distinct interleaving, with a configurable
+//!   bound on preemptive switches (the CHESS insight: ≤2 preemptions
+//!   exposes almost every real bug while keeping the space tractable);
+//! - atomics keep their whole store history with per-thread vector
+//!   clocks; loads may legally return stale values unless an
+//!   acquire/release (or SeqCst) edge forbids it, and each legal choice
+//!   is itself explored — so the checker catches *ordering* bugs, not
+//!   just torn interleavings.
+//!
+//! The API mirrors the subset of loom this workspace uses, so production
+//! crates gate on `cfg(loom)` exactly as they would with the real thing:
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicU64, Ordering};
+//! use loom::sync::Arc;
+//!
+//! let report = loom::explore(|| {
+//!     let gauge = Arc::new(AtomicU64::new(0));
+//!     let writer = {
+//!         let gauge = Arc::clone(&gauge);
+//!         loom::thread::spawn(move || {
+//!             gauge.fetch_max(3, Ordering::Relaxed);
+//!         })
+//!     };
+//!     gauge.fetch_max(7, Ordering::Relaxed);
+//!     writer.join().unwrap();
+//!     assert_eq!(gauge.load(Ordering::Relaxed), 7);
+//! });
+//! assert!(report.iterations >= 2);
+//! ```
+//!
+//! Extensions beyond loom's API, used by the workspace's model tests:
+//! [`explore`] (returns the interleaving count so tests can assert real
+//! coverage), [`check_expect_failure`] (proves a deliberately weakened
+//! protocol *is* caught — the mutation half of every model test), and
+//! [`choose`] (first-class nondeterministic choice, e.g. "truncate the
+//! frame at every possible byte").
+//!
+//! Known simplifications, all on the conservative side for our tests:
+//! `Arc` is `std::sync::Arc` (its internals are not under test),
+//! `compare_exchange_weak` never fails spuriously, and SeqCst is
+//! approximated by a global clock join (slightly stronger than C11's
+//! total order, identical for the protocols modeled here).
+//!
+//! [loom]: https://github.com/tokio-rs/loom
+
+pub mod cell;
+pub mod hint;
+pub mod model;
+pub mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use model::model;
+pub use rt::Report;
+
+/// Explore every interleaving of `f`; panic on the first failing one.
+/// Returns how many executions were checked.
+pub fn explore<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model::Builder::new().check(f)
+}
+
+/// Prove the model has teeth: explore `f` expecting at least one failing
+/// interleaving, and return its failure message. Panics if every
+/// interleaving passes — a mutation test that cannot fail is worthless.
+pub fn check_expect_failure<F>(f: F) -> String
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match rt::explore_impl(rt::Config::default(), f) {
+        Ok(report) => panic!(
+            "expected the model to catch a failure, but all {} interleavings passed",
+            report.iterations
+        ),
+        Err(message) => message,
+    }
+}
+
+/// A nondeterministic choice in `0..n`, explored exhaustively by the DFS
+/// (a value branch point). Returns 0 outside a model run.
+pub fn choose(n: usize) -> usize {
+    rt::choose(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use crate::sync::{Arc, Mutex, PoisonError, RwLock};
+
+    #[test]
+    fn counter_with_rmw_is_exact() {
+        let report = crate::explore(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    crate::thread::spawn(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::Relaxed), 2);
+        });
+        assert!(report.iterations > 1, "expected multiple interleavings");
+    }
+
+    #[test]
+    fn load_store_counter_race_is_caught() {
+        // The classic lost update: load + store instead of fetch_add.
+        let message = crate::check_expect_failure(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    crate::thread::spawn(move || {
+                        let v = counter.load(Ordering::SeqCst);
+                        counter.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 2);
+        });
+        assert!(
+            message.contains("assertion"),
+            "unexpected failure: {message}"
+        );
+    }
+
+    #[test]
+    fn release_acquire_publishes_data() {
+        crate::explore(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let ready = Arc::new(AtomicBool::new(false));
+            let producer = {
+                let (data, ready) = (Arc::clone(&data), Arc::clone(&ready));
+                crate::thread::spawn(move || {
+                    data.store(42, Ordering::Relaxed);
+                    ready.store(true, Ordering::Release);
+                })
+            };
+            if ready.load(Ordering::Acquire) {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            producer.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn relaxed_publish_is_caught() {
+        // Same protocol with the Release fence dropped: the reader may
+        // see `ready` without the payload — the checker must find it.
+        let message = crate::check_expect_failure(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let ready = Arc::new(AtomicBool::new(false));
+            let producer = {
+                let (data, ready) = (Arc::clone(&data), Arc::clone(&ready));
+                crate::thread::spawn(move || {
+                    data.store(42, Ordering::Relaxed);
+                    ready.store(true, Ordering::Relaxed);
+                })
+            };
+            if ready.load(Ordering::Acquire) {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            producer.join().unwrap();
+        });
+        assert!(message.contains("42"), "unexpected failure: {message}");
+    }
+
+    #[test]
+    fn relaxed_acquire_side_is_caught() {
+        let message = crate::check_expect_failure(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let ready = Arc::new(AtomicBool::new(false));
+            let producer = {
+                let (data, ready) = (Arc::clone(&data), Arc::clone(&ready));
+                crate::thread::spawn(move || {
+                    data.store(42, Ordering::Relaxed);
+                    ready.store(true, Ordering::Release);
+                })
+            };
+            if ready.load(Ordering::Relaxed) {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            producer.join().unwrap();
+        });
+        assert!(message.contains("42"), "unexpected failure: {message}");
+    }
+
+    #[test]
+    fn mutex_excludes_and_synchronizes() {
+        crate::explore(|| {
+            let cell = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let cell = Arc::clone(&cell);
+                    crate::thread::spawn(move || {
+                        let mut guard = cell.lock().unwrap_or_else(PoisonError::into_inner);
+                        *guard += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let guard = cell.lock().unwrap_or_else(PoisonError::into_inner);
+            assert_eq!(*guard, 2);
+        });
+    }
+
+    #[test]
+    fn mutex_deadlock_is_caught() {
+        let message = crate::check_expect_failure(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let t = {
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                crate::thread::spawn(move || {
+                    let _ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+                    let _gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+                })
+            };
+            let _gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+            drop((_ga, _gb));
+            t.join().unwrap();
+        });
+        assert!(
+            message.contains("deadlock"),
+            "unexpected failure: {message}"
+        );
+    }
+
+    #[test]
+    fn rwlock_readers_never_see_torn_state() {
+        crate::explore(|| {
+            // Writer keeps (a, b) equal under the write lock; readers
+            // must never observe a half-applied update.
+            let pair = Arc::new(RwLock::new((0u64, 0u64)));
+            let writer = {
+                let pair = Arc::clone(&pair);
+                crate::thread::spawn(move || {
+                    let mut g = pair.write().unwrap_or_else(PoisonError::into_inner);
+                    g.0 += 1;
+                    g.1 += 1;
+                })
+            };
+            let g = pair.read().unwrap_or_else(PoisonError::into_inner);
+            assert_eq!(g.0, g.1);
+            drop(g);
+            writer.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn unsafe_cell_race_is_caught() {
+        let message = crate::check_expect_failure(|| {
+            let cell = Arc::new(crate::cell::UnsafeCell::new(0u64));
+            let t = {
+                let cell = Arc::clone(&cell);
+                crate::thread::spawn(move || {
+                    cell.with_mut(|p| unsafe { *p = 1 });
+                })
+            };
+            cell.with(|p| unsafe { *p });
+            t.join().unwrap();
+        });
+        assert!(
+            message.contains("data race"),
+            "unexpected failure: {message}"
+        );
+    }
+
+    #[test]
+    fn choose_explores_every_alternative() {
+        use std::sync::Mutex as StdMutex;
+        let seen = std::sync::Arc::new(StdMutex::new([false; 5]));
+        let seen_in = std::sync::Arc::clone(&seen);
+        crate::explore(move || {
+            let pick = crate::choose(5);
+            seen_in.lock().unwrap()[pick] = true;
+        });
+        assert_eq!(*seen.lock().unwrap(), [true; 5]);
+    }
+
+    #[test]
+    fn preemption_bound_keeps_large_models_tractable() {
+        let report = crate::explore(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    crate::thread::spawn(move || {
+                        for _ in 0..4 {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::Relaxed), 12);
+        });
+        assert!(
+            report.iterations < 200_000,
+            "preemption bound failed to contain the state space: {} iterations",
+            report.iterations
+        );
+    }
+}

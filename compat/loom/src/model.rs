@@ -1,0 +1,60 @@
+//! Exploration entry points and their knobs.
+
+use crate::rt::{self, Config, Report};
+
+/// Configures a model run, mirroring `loom::model::Builder`.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct Builder {
+    /// Maximum preemptive context switches per execution. `None` removes
+    /// the bound (full exploration — exponential, keep models tiny).
+    pub preemption_bound: Option<usize>,
+    /// Branch points allowed in one execution before it is declared
+    /// runaway.
+    pub max_branches: usize,
+    /// Executions explored before the state space is declared too large.
+    pub max_iterations: usize,
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        let defaults = Config::default();
+        Builder {
+            preemption_bound: Some(defaults.preemption_bound),
+            max_branches: defaults.max_branches,
+            max_iterations: defaults.max_iterations,
+        }
+    }
+
+    /// Explore every interleaving of `f`; panic (with the trail of the
+    /// failing schedule) on the first failure.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let cfg = Config {
+            preemption_bound: self.preemption_bound.unwrap_or(usize::MAX),
+            max_branches: self.max_branches,
+            max_iterations: self.max_iterations,
+        };
+        match rt::explore_impl(cfg, f) {
+            Ok(report) => report,
+            Err(message) => panic!("loom model failed: {message}"),
+        }
+    }
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder::new()
+    }
+}
+
+/// Explore every interleaving of `f`, panicking on the first failure —
+/// the `loom::model` entry point.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f);
+}

@@ -1,0 +1,599 @@
+//! The model-checking runtime: a deterministic DFS scheduler over real OS
+//! threads plus the vector-clock machinery the instrumented primitives
+//! hang off.
+//!
+//! ## How an execution runs
+//!
+//! Every model thread is a real OS thread, but **exactly one runs at a
+//! time**: each instrumented operation (atomic access, lock, spawn, join,
+//! explicit yield) first calls [`Execution::reschedule`], which consults
+//! the *trail* — the recorded sequence of branch decisions — to pick which
+//! runnable thread proceeds, then parks the current thread until it is
+//! picked again. Because threads only ever pause inside `reschedule`, an
+//! execution is a deterministic function of its trail.
+//!
+//! ## How the state space is explored
+//!
+//! The trail is a DFS stack. The first execution takes choice 0 at every
+//! branch point (scheduling choices *and* value choices — which eligible
+//! store a weak load reads). After each execution the controller
+//! backtracks: the deepest branch point with an untried alternative is
+//! advanced and everything after it is discarded. Exploration ends when
+//! the trail is exhausted. Preemptions (switching away from a thread that
+//! could have continued) are bounded — the classic CHESS result is that
+//! almost all real concurrency bugs manifest within two preemptions, and
+//! the bound keeps the search finite and fast.
+//!
+//! ## How ordering bugs are caught
+//!
+//! Every thread carries a vector clock. A store records the writer's
+//! clock; a *release* store additionally publishes it. An *acquire* load
+//! joins the publisher's clock into the reader — that is the only way
+//! happens-before edges cross threads through atomics. A load is **not**
+//! forced to read the newest store: it may read any store not yet
+//! superseded by one that happens-before the reader (per-location
+//! coherence is enforced through a per-thread "last seen" floor). Weaken a
+//! `Release` to `Relaxed` and the clock join disappears, stale reads
+//! become eligible, and the DFS will find the interleaving where the
+//! staleness violates an assertion — a torn protocol, not just a torn
+//! value.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Model-thread capacity. Clocks are fixed-size arrays for cheap copies;
+/// raise this if a model ever legitimately needs more threads.
+pub const MAX_THREADS: usize = 8;
+
+/// A vector clock: one logical timestamp per model thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VClock(pub [u32; MAX_THREADS]);
+
+impl VClock {
+    /// Pointwise maximum — the happens-before join.
+    pub fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.0[i] = self.0[i].max(other.0[i]);
+        }
+    }
+}
+
+/// What a model thread is doing, as far as the scheduler cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    /// Schedulable.
+    Ready,
+    /// Waiting on the object with this id (a lock, or a thread id for
+    /// joins); woken when the object is released.
+    Blocked(usize),
+    /// Finished.
+    Done,
+}
+
+/// One recorded decision: `chosen` out of `alternatives`. `sched` marks
+/// scheduling choices (vs. value choices) for trace rendering.
+#[derive(Debug, Clone, Copy)]
+pub struct Branch {
+    alternatives: usize,
+    chosen: usize,
+    sched: bool,
+}
+
+/// Exploration limits. See [`crate::model::Builder`] for the public knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Most preemptive context switches allowed per execution.
+    pub preemption_bound: usize,
+    /// Most branch points allowed per execution (runaway guard).
+    pub max_branches: usize,
+    /// Most executions explored before the run is declared too large.
+    pub max_iterations: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            preemption_bound: 2,
+            max_branches: 50_000,
+            max_iterations: 1_000_000,
+        }
+    }
+}
+
+/// The scheduler state, guarded by the execution's one big lock.
+pub struct Sched {
+    trail: Vec<Branch>,
+    cursor: usize,
+    threads: Vec<Run>,
+    active: usize,
+    preemptions: usize,
+    /// Per-thread vector clocks.
+    pub clocks: Vec<VClock>,
+    /// The global SeqCst synchronization clock: every `SeqCst` operation
+    /// joins through it, which is what makes a fully-`SeqCst` protocol
+    /// read like an interleaving of a single memory.
+    pub sc_clock: VClock,
+    next_obj: usize,
+    failure: Option<String>,
+    abort: bool,
+    cfg: Config,
+}
+
+impl Sched {
+    fn all_done(&self) -> bool {
+        self.threads.iter().all(|t| *t == Run::Done)
+    }
+
+    /// Consume the next decision from the trail, or extend it with a new
+    /// branch point taking alternative 0.
+    pub fn branch(&mut self, alternatives: usize, sched: bool) -> usize {
+        if alternatives <= 1 {
+            return 0;
+        }
+        if self.cursor < self.trail.len() {
+            let b = self.trail[self.cursor];
+            if b.alternatives != alternatives {
+                // The model closure did something nondeterministic (time,
+                // randomness, ...): replay diverged. Surface it loudly.
+                self.failure = Some(format!(
+                    "nondeterministic model: replay saw {alternatives} alternative(s) where the \
+                     recorded execution saw {}; model closures must be pure",
+                    b.alternatives
+                ));
+                self.abort = true;
+                return b.chosen.min(alternatives - 1);
+            }
+            self.cursor += 1;
+            b.chosen
+        } else {
+            if self.trail.len() >= self.cfg.max_branches {
+                self.failure = Some(format!(
+                    "execution exceeded {} branch points; shrink the model",
+                    self.cfg.max_branches
+                ));
+                self.abort = true;
+                return 0;
+            }
+            self.trail.push(Branch {
+                alternatives,
+                chosen: 0,
+                sched,
+            });
+            self.cursor += 1;
+            0
+        }
+    }
+
+    /// Allocate an object id for a lock (ids below [`MAX_THREADS`] are
+    /// reserved for thread-join waiting).
+    pub fn alloc_obj(&mut self) -> usize {
+        let id = self.next_obj;
+        self.next_obj += 1;
+        id
+    }
+
+    /// Wake every thread blocked on `obj`.
+    pub fn release_obj(&mut self, obj: usize) {
+        for t in self.threads.iter_mut() {
+            if *t == Run::Blocked(obj) {
+                *t = Run::Ready;
+            }
+        }
+    }
+
+    fn render_trail(&self) -> String {
+        let mut out = String::with_capacity(self.trail.len() * 3 + 16);
+        out.push('[');
+        for (i, b) in self.trail.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{}{}", if b.sched { "s" } else { "v" }, b.chosen));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// One execution: the big lock + condvar every model thread parks on, and
+/// the OS handles to join when the execution ends.
+pub struct Execution {
+    sched: Mutex<Sched>,
+    cond: Condvar,
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Sentinel panic payload used to unwind model threads when an execution
+/// aborts (failure found elsewhere, or exploration shutting down).
+struct AbortUnwind;
+
+fn panic_abort() -> ! {
+    std::panic::panic_any(AbortUnwind)
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+    /// True while this OS thread is a model thread — used by the quiet
+    /// panic hook so expected in-model failures do not spam stderr.
+    static IN_MODEL: RefCell<bool> = const { RefCell::new(false) };
+}
+
+/// The current execution + model-thread id, if this OS thread is one.
+pub fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn install_quiet_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quiet = IN_MODEL.with(|f| *f.borrow());
+            if !quiet {
+                previous(info);
+            }
+        }));
+    });
+}
+
+impl Execution {
+    fn new(cfg: Config, trail: Vec<Branch>) -> Execution {
+        Execution {
+            sched: Mutex::new(Sched {
+                trail,
+                cursor: 0,
+                threads: vec![Run::Ready],
+                active: 0,
+                preemptions: 0,
+                clocks: vec![VClock::default()],
+                sc_clock: VClock::default(),
+                next_obj: MAX_THREADS,
+                failure: None,
+                abort: false,
+                cfg,
+            }),
+            cond: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The big lock.
+    pub fn lock(&self) -> MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Register a new model thread whose clock starts at the parent's,
+    /// then advance the parent (the spawn itself is an event). Returns the
+    /// child's thread id.
+    pub fn register_thread(&self, parent: usize) -> usize {
+        let mut s = self.lock();
+        let tid = s.threads.len();
+        assert!(
+            tid < MAX_THREADS,
+            "model exceeded {MAX_THREADS} threads; raise loom::rt::MAX_THREADS"
+        );
+        s.threads.push(Run::Ready);
+        let parent_clock = s.clocks[parent];
+        s.clocks.push(parent_clock);
+        s.clocks[parent].0[parent] += 1;
+        tid
+    }
+
+    /// Keep an OS handle to join when the execution finishes.
+    pub fn adopt_os_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.os_handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handle);
+    }
+
+    /// If thread `tid` has finished, join its final clock into `me`'s (the
+    /// join happens-before edge) and return true.
+    pub fn thread_done_and_sync(&self, tid: usize, me: usize) -> bool {
+        let mut s = self.lock();
+        if s.abort {
+            drop(s);
+            panic_abort();
+        }
+        if s.threads[tid] == Run::Done {
+            let child_clock = s.clocks[tid];
+            s.clocks[me].join(&child_clock);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Mark `me` blocked on `obj` (it will be rescheduled only after a
+    /// [`Sched::release_obj`] on that id).
+    pub fn block_on(&self, me: usize, obj: usize) {
+        let mut s = self.lock();
+        if s.abort {
+            drop(s);
+            panic_abort();
+        }
+        s.threads[me] = Run::Blocked(obj);
+    }
+
+    /// A scheduling point: decide who runs next, then wait for our turn.
+    /// Panics with the abort sentinel if the execution is being torn down.
+    pub fn reschedule(&self, me: usize) {
+        {
+            let mut s = self.lock();
+            if s.abort {
+                drop(s);
+                panic_abort();
+            }
+            let me_ready = s.threads[me] == Run::Ready;
+            let mut alts: Vec<usize> = Vec::with_capacity(s.threads.len());
+            if me_ready {
+                alts.push(me);
+            }
+            // Once the preemption budget is spent, a runnable thread keeps
+            // running; forced switches (blocked/terminated) stay free.
+            if !(me_ready && s.preemptions >= s.cfg.preemption_bound) {
+                for t in 0..s.threads.len() {
+                    if t != me && s.threads[t] == Run::Ready {
+                        alts.push(t);
+                    }
+                }
+            }
+            if alts.is_empty() {
+                if !s.all_done() {
+                    let trail = s.render_trail();
+                    s.failure.get_or_insert(format!(
+                        "deadlock: every live thread is blocked\n  trail: {trail}"
+                    ));
+                    s.abort = true;
+                }
+                drop(s);
+                self.cond.notify_all();
+                panic_abort();
+            }
+            let chosen = alts[s.branch(alts.len(), true)];
+            if s.abort {
+                drop(s);
+                self.cond.notify_all();
+                panic_abort();
+            }
+            if chosen != me && me_ready {
+                s.preemptions += 1;
+            }
+            s.active = chosen;
+        }
+        self.cond.notify_all();
+        self.wait_for_turn(me);
+    }
+
+    /// Park until the scheduler hands this thread the baton.
+    pub fn wait_for_turn(&self, me: usize) {
+        let mut s = self.lock();
+        loop {
+            if s.abort {
+                drop(s);
+                panic_abort();
+            }
+            if s.active == me && s.threads[me] == Run::Ready {
+                return;
+            }
+            s = self.cond.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Record a failure found by the *currently running* thread and abort
+    /// the execution. Does not return.
+    pub fn fail(&self, message: String) -> ! {
+        {
+            let mut s = self.lock();
+            let trail = s.render_trail();
+            s.failure
+                .get_or_insert(format!("{message}\n  trail: {trail}"));
+            s.abort = true;
+        }
+        self.cond.notify_all();
+        panic_abort();
+    }
+
+    /// True once the execution is aborting — instrumented primitives fall
+    /// back to plain semantics so unwinding destructors never reschedule.
+    pub fn aborting(&self) -> bool {
+        self.lock().abort
+    }
+
+    /// A thread's body finished (cleanly, by user panic, or by abort).
+    fn finish_thread(&self, me: usize, panic_message: Option<String>) {
+        let mut s = self.lock();
+        s.clocks[me].0[me] += 1;
+        s.threads[me] = Run::Done;
+        // Joiners wait on the thread id itself.
+        s.release_obj(me);
+        if let Some(message) = panic_message {
+            let trail = s.render_trail();
+            s.failure
+                .get_or_insert(format!("{message}\n  trail: {trail}"));
+            s.abort = true;
+            drop(s);
+            self.cond.notify_all();
+            return;
+        }
+        if s.abort || s.all_done() {
+            drop(s);
+            self.cond.notify_all();
+            return;
+        }
+        // Hand the baton to someone runnable; none left means deadlock.
+        let mut alts: Vec<usize> = Vec::with_capacity(s.threads.len());
+        for t in 0..s.threads.len() {
+            if s.threads[t] == Run::Ready {
+                alts.push(t);
+            }
+        }
+        if alts.is_empty() {
+            let trail = s.render_trail();
+            s.failure.get_or_insert(format!(
+                "deadlock: every live thread is blocked\n  trail: {trail}"
+            ));
+            s.abort = true;
+        } else {
+            let chosen = alts[s.branch(alts.len(), true)];
+            s.active = chosen;
+        }
+        drop(s);
+        self.cond.notify_all();
+    }
+}
+
+/// The body every model thread (root and spawned) runs.
+pub fn run_thread(exec: Arc<Execution>, tid: usize, f: impl FnOnce()) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    IN_MODEL.with(|m| *m.borrow_mut() = true);
+    let result = if exec.wait_for_turn_or_park(tid) {
+        catch_unwind(AssertUnwindSafe(f))
+    } else {
+        // Woke into an aborting execution: never run the body.
+        Ok(())
+    };
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    IN_MODEL.with(|m| *m.borrow_mut() = false);
+    match result {
+        Ok(()) => exec.finish_thread(tid, None),
+        Err(payload) if payload.is::<AbortUnwind>() => exec.finish_thread(tid, None),
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "model thread panicked".to_string()
+            };
+            exec.finish_thread(tid, Some(message));
+        }
+    }
+}
+
+impl Execution {
+    /// Like [`Execution::wait_for_turn`], but swallows the abort panic —
+    /// used at thread startup, where unwinding has nothing to clean up.
+    /// Returns false if the execution aborted before this thread's turn.
+    fn wait_for_turn_or_park(&self, me: usize) -> bool {
+        catch_unwind(AssertUnwindSafe(|| self.wait_for_turn(me))).is_ok()
+    }
+}
+
+/// What one full exploration did.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Distinct executions (interleavings) explored.
+    pub iterations: usize,
+    /// Branch points in the longest execution seen.
+    pub deepest_trail: usize,
+}
+
+/// Run the DFS to completion. `Ok(report)` when every interleaving passed;
+/// `Err(message)` on the first failing one.
+pub fn explore_impl<F>(cfg: Config, f: F) -> Result<Report, String>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_panic_hook();
+    let f = Arc::new(f);
+    let mut trail: Vec<Branch> = Vec::new();
+    let mut iterations = 0usize;
+    let mut deepest_trail = 0usize;
+    loop {
+        iterations += 1;
+        if iterations > cfg.max_iterations {
+            return Err(format!(
+                "state space exceeded {} executions; shrink the model or lower the \
+                 preemption bound",
+                cfg.max_iterations
+            ));
+        }
+        let exec = Arc::new(Execution::new(cfg, trail));
+        let root = {
+            let exec = Arc::clone(&exec);
+            let f = Arc::clone(&f);
+            std::thread::Builder::new()
+                .name("loom-model-0".to_string())
+                .spawn(move || run_thread(exec, 0, move || f()))
+                .expect("spawn model root thread")
+        };
+        {
+            let mut s = exec.lock();
+            while !s.all_done() {
+                s = exec.cond.wait(s).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        let _ = root.join();
+        for handle in std::mem::take(
+            &mut *exec
+                .os_handles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        ) {
+            let _ = handle.join();
+        }
+        let s = exec.lock();
+        deepest_trail = deepest_trail.max(s.trail.len());
+        if let Some(failure) = &s.failure {
+            return Err(format!("{failure}\n  found on iteration {iterations}"));
+        }
+        // Backtrack: advance the deepest branch with an untried
+        // alternative, dropping everything after it.
+        let mut next: Vec<Branch> = s.trail.clone();
+        drop(s);
+        loop {
+            match next.last_mut() {
+                None => {
+                    return Ok(Report {
+                        iterations,
+                        deepest_trail,
+                    })
+                }
+                Some(last) if last.chosen + 1 < last.alternatives => {
+                    last.chosen += 1;
+                    break;
+                }
+                Some(_) => {
+                    next.pop();
+                }
+            }
+        }
+        trail = next;
+    }
+}
+
+/// A nondeterministic choice in `0..n`, explored exhaustively by the DFS.
+/// Outside a model run it returns 0.
+pub fn choose(n: usize) -> usize {
+    let Some((exec, _me)) = current() else {
+        return 0;
+    };
+    let mut s = exec.lock();
+    if s.abort {
+        drop(s);
+        panic_abort();
+    }
+    let picked = s.branch(n, false);
+    if s.abort {
+        drop(s);
+        self_notify_and_abort(&exec);
+    }
+    picked
+}
+
+fn self_notify_and_abort(exec: &Execution) -> ! {
+    exec.cond.notify_all();
+    panic_abort()
+}
+
+/// Fail the current execution with `message` (used by primitives for data
+/// races and by user-facing assertion helpers). Outside a model run this
+/// is a plain panic.
+pub fn fail_current(message: String) -> ! {
+    match current() {
+        Some((exec, _)) => exec.fail(message),
+        None => panic!("{message}"),
+    }
+}

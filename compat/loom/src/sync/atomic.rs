@@ -1,0 +1,441 @@
+//! Instrumented atomics.
+//!
+//! Every atomic keeps its **full store history** for the current
+//! execution. A load does not simply return the newest value: it may
+//! return any store that coherence still allows — a store is ineligible
+//! only once a *newer* store to the same location happens-before the
+//! reader, or once this thread has already observed something newer
+//! (per-thread `last_seen` floor). When several stores are eligible the
+//! choice is a DFS branch point, so the checker exhaustively explores
+//! every stale read the memory model permits.
+//!
+//! Ordering is what makes edges: a `Release` store publishes the writer's
+//! vector clock alongside the value, an `Acquire` load joins it, and a
+//! `Relaxed` access does neither — which is exactly how a
+//! missing-`Release` bug surfaces as an assertion failure instead of
+//! going unnoticed. `SeqCst` additionally joins through a global clock,
+//! approximating the single total order. Read-modify-writes always act on
+//! the newest store (they are atomic against the modification order) and
+//! continue release sequences per C++20: an RMW propagates the previous
+//! store's release clock even when the RMW itself is relaxed.
+
+use std::sync::{Mutex, PoisonError};
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt::{self, VClock, MAX_THREADS};
+
+#[derive(Clone, Copy)]
+struct StoreEntry {
+    value: u64,
+    writer: usize,
+    clock: VClock,
+    release: Option<VClock>,
+}
+
+struct Inner {
+    stores: Vec<StoreEntry>,
+    /// Newest store index each thread has observed — the coherence floor.
+    last_seen: [usize; MAX_THREADS],
+}
+
+/// The untyped core all public atomic types wrap.
+pub(crate) struct AtomicCore {
+    inner: Mutex<Inner>,
+}
+
+fn acquire_ish(ordering: Ordering) -> bool {
+    matches!(
+        ordering,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn release_ish(ordering: Ordering) -> bool {
+    matches!(
+        ordering,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+impl AtomicCore {
+    fn new(value: u64) -> AtomicCore {
+        // The initial store carries the creator's clock (zero outside a
+        // model run): anyone the atomic is handed to — via spawn or Arc —
+        // already happens-after it.
+        let clock = match rt::current() {
+            Some((exec, me)) => exec.lock().clocks[me],
+            None => VClock::default(),
+        };
+        let writer = rt::current().map(|(_, me)| me).unwrap_or(0);
+        AtomicCore {
+            inner: Mutex::new(Inner {
+                stores: vec![StoreEntry {
+                    value,
+                    writer,
+                    clock,
+                    release: None,
+                }],
+                last_seen: [0; MAX_THREADS],
+            }),
+        }
+    }
+
+    fn inner(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn load(&self, ordering: Ordering) -> u64 {
+        let Some((exec, me)) = rt::current() else {
+            return self.inner().stores.last().expect("store history").value;
+        };
+        exec.reschedule(me);
+        let mut s = exec.lock();
+        if ordering == Ordering::SeqCst {
+            let sc = s.sc_clock;
+            s.clocks[me].join(&sc);
+        }
+        let mut inner = self.inner();
+        let reader = s.clocks[me];
+        // Coherence floor: the newest store that happens-before the
+        // reader hides everything older.
+        let hb_floor = inner
+            .stores
+            .iter()
+            .rposition(|e| reader.0[e.writer] >= e.clock.0[e.writer])
+            .unwrap_or(0);
+        let floor = hb_floor.max(inner.last_seen[me]);
+        let eligible = inner.stores.len() - floor;
+        let idx = floor + s.branch(eligible, false);
+        let idx = idx.min(inner.stores.len() - 1);
+        inner.last_seen[me] = idx;
+        let entry = inner.stores[idx];
+        if acquire_ish(ordering) {
+            if let Some(published) = entry.release {
+                s.clocks[me].join(&published);
+            }
+        }
+        entry.value
+    }
+
+    fn store(&self, value: u64, ordering: Ordering) {
+        let Some((exec, me)) = rt::current() else {
+            self.inner().stores.push(StoreEntry {
+                value,
+                writer: 0,
+                clock: VClock::default(),
+                release: None,
+            });
+            return;
+        };
+        exec.reschedule(me);
+        let mut s = exec.lock();
+        s.clocks[me].0[me] += 1;
+        if ordering == Ordering::SeqCst {
+            let sc = s.sc_clock;
+            s.clocks[me].join(&sc);
+            let mine = s.clocks[me];
+            s.sc_clock.join(&mine);
+        }
+        let clock = s.clocks[me];
+        let mut inner = self.inner();
+        inner.stores.push(StoreEntry {
+            value,
+            writer: me,
+            clock,
+            release: release_ish(ordering).then_some(clock),
+        });
+        let idx = inner.stores.len() - 1;
+        inner.last_seen[me] = idx;
+    }
+
+    fn rmw(&self, ordering: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        let Some((exec, me)) = rt::current() else {
+            let mut inner = self.inner();
+            let prev = inner.stores.last().expect("store history").value;
+            inner.stores.push(StoreEntry {
+                value: f(prev),
+                writer: 0,
+                clock: VClock::default(),
+                release: None,
+            });
+            return prev;
+        };
+        exec.reschedule(me);
+        let mut s = exec.lock();
+        let mut inner = self.inner();
+        let prev = *inner.stores.last().expect("store history");
+        if acquire_ish(ordering) {
+            if let Some(published) = prev.release {
+                s.clocks[me].join(&published);
+            }
+        }
+        if ordering == Ordering::SeqCst {
+            let sc = s.sc_clock;
+            s.clocks[me].join(&sc);
+        }
+        s.clocks[me].0[me] += 1;
+        if ordering == Ordering::SeqCst {
+            let mine = s.clocks[me];
+            s.sc_clock.join(&mine);
+            let sc = s.sc_clock;
+            s.clocks[me].join(&sc);
+        }
+        let clock = s.clocks[me];
+        // C++20 release sequence: the RMW store hands on the previous
+        // release clock even when the RMW itself is relaxed.
+        let release = match (release_ish(ordering), prev.release) {
+            (true, Some(mut inherited)) => {
+                inherited.join(&clock);
+                Some(inherited)
+            }
+            (true, None) => Some(clock),
+            (false, inherited) => inherited,
+        };
+        inner.stores.push(StoreEntry {
+            value: f(prev.value),
+            writer: me,
+            clock,
+            release,
+        });
+        let idx = inner.stores.len() - 1;
+        inner.last_seen[me] = idx;
+        prev.value
+    }
+
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        let Some((exec, me)) = rt::current() else {
+            let mut inner = self.inner();
+            let prev = inner.stores.last().expect("store history").value;
+            if prev == current {
+                inner.stores.push(StoreEntry {
+                    value: new,
+                    writer: 0,
+                    clock: VClock::default(),
+                    release: None,
+                });
+                return Ok(prev);
+            }
+            return Err(prev);
+        };
+        exec.reschedule(me);
+        let mut s = exec.lock();
+        let mut inner = self.inner();
+        let prev = *inner.stores.last().expect("store history");
+        if prev.value != current {
+            // Failed CAS reads the newest value with the failure ordering.
+            if acquire_ish(failure) {
+                if let Some(published) = prev.release {
+                    s.clocks[me].join(&published);
+                }
+            }
+            if failure == Ordering::SeqCst {
+                let sc = s.sc_clock;
+                s.clocks[me].join(&sc);
+            }
+            let idx = inner.stores.len() - 1;
+            inner.last_seen[me] = idx;
+            return Err(prev.value);
+        }
+        if acquire_ish(success) {
+            if let Some(published) = prev.release {
+                s.clocks[me].join(&published);
+            }
+        }
+        if success == Ordering::SeqCst {
+            let sc = s.sc_clock;
+            s.clocks[me].join(&sc);
+        }
+        s.clocks[me].0[me] += 1;
+        if success == Ordering::SeqCst {
+            let mine = s.clocks[me];
+            s.sc_clock.join(&mine);
+            let sc = s.sc_clock;
+            s.clocks[me].join(&sc);
+        }
+        let clock = s.clocks[me];
+        let release = match (release_ish(success), prev.release) {
+            (true, Some(mut inherited)) => {
+                inherited.join(&clock);
+                Some(inherited)
+            }
+            (true, None) => Some(clock),
+            (false, inherited) => inherited,
+        };
+        inner.stores.push(StoreEntry {
+            value: new,
+            writer: me,
+            clock,
+            release,
+        });
+        let idx = inner.stores.len() - 1;
+        inner.last_seen[me] = idx;
+        Ok(prev.value)
+    }
+
+    fn latest(&self) -> u64 {
+        self.inner().stores.last().expect("store history").value
+    }
+}
+
+/// An acquire/release/SeqCst fence. Modeled coarsely: a SeqCst fence
+/// joins both ways through the global SeqCst clock; weaker fences are
+/// scheduling points only (the per-op clocks already carry their edges).
+pub fn fence(ordering: Ordering) {
+    let Some((exec, me)) = rt::current() else {
+        return std::sync::atomic::fence(ordering);
+    };
+    exec.reschedule(me);
+    if ordering == Ordering::SeqCst {
+        let mut s = exec.lock();
+        let sc = s.sc_clock;
+        s.clocks[me].join(&sc);
+        let mine = s.clocks[me];
+        s.sc_clock.join(&mine);
+    }
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $ty:ty) => {
+        /// Model-checked drop-in for the std atomic of the same name.
+        pub struct $name(AtomicCore);
+
+        impl $name {
+            pub fn new(value: $ty) -> $name {
+                $name(AtomicCore::new(value as u64))
+            }
+
+            pub fn load(&self, ordering: Ordering) -> $ty {
+                self.0.load(ordering) as $ty
+            }
+
+            pub fn store(&self, value: $ty, ordering: Ordering) {
+                self.0.store(value as u64, ordering)
+            }
+
+            pub fn swap(&self, value: $ty, ordering: Ordering) -> $ty {
+                self.0.rmw(ordering, |_| value as u64) as $ty
+            }
+
+            pub fn fetch_add(&self, value: $ty, ordering: Ordering) -> $ty {
+                self.0
+                    .rmw(ordering, |v| (v as $ty).wrapping_add(value) as u64) as $ty
+            }
+
+            pub fn fetch_sub(&self, value: $ty, ordering: Ordering) -> $ty {
+                self.0
+                    .rmw(ordering, |v| (v as $ty).wrapping_sub(value) as u64) as $ty
+            }
+
+            pub fn fetch_max(&self, value: $ty, ordering: Ordering) -> $ty {
+                self.0.rmw(ordering, |v| (v as $ty).max(value) as u64) as $ty
+            }
+
+            pub fn fetch_min(&self, value: $ty, ordering: Ordering) -> $ty {
+                self.0.rmw(ordering, |v| (v as $ty).min(value) as u64) as $ty
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.0
+                    .compare_exchange(current as u64, new as u64, success, failure)
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+            }
+
+            /// Modeled as the strong variant: no spurious failures.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> $name {
+                $name::new(0)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.0.latest() as $ty)
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU64, u64);
+int_atomic!(AtomicUsize, usize);
+int_atomic!(AtomicU32, u32);
+
+/// Model-checked drop-in for `std::sync::atomic::AtomicBool`.
+pub struct AtomicBool(AtomicCore);
+
+impl AtomicBool {
+    pub fn new(value: bool) -> AtomicBool {
+        AtomicBool(AtomicCore::new(value as u64))
+    }
+
+    pub fn load(&self, ordering: Ordering) -> bool {
+        self.0.load(ordering) != 0
+    }
+
+    pub fn store(&self, value: bool, ordering: Ordering) {
+        self.0.store(value as u64, ordering)
+    }
+
+    pub fn swap(&self, value: bool, ordering: Ordering) -> bool {
+        self.0.rmw(ordering, |_| value as u64) != 0
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.0
+            .compare_exchange(current as u64, new as u64, success, failure)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.compare_exchange(current, new, success, failure)
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AtomicBool({})", self.0.latest() != 0)
+    }
+}

@@ -1,0 +1,352 @@
+//! Model-checked `sync` primitives: `Mutex`, `RwLock`, and the
+//! [`atomic`] module, plus `Arc` re-exported from std.
+//!
+//! `Arc` stays `std::sync::Arc` deliberately: its internal reference
+//! counting is correct and never blocks, so modeling it would only blow
+//! up the state space. What matters for exploration is everything that
+//! *can* block or reorder — locks and atomics — and those are the model
+//! types below. Lock acquire/release carry vector clocks exactly like
+//! their std counterparts carry synchronizes-with: an unlock joins the
+//! holder's clock into the lock, the next acquire joins the lock's clock
+//! into the new holder.
+
+pub mod atomic;
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
+
+pub use std::sync::{Arc, LockResult, PoisonError, TryLockError, TryLockResult, Weak};
+
+use crate::rt::{self, VClock};
+
+struct MutexState {
+    held: bool,
+    clock: VClock,
+}
+
+/// Model-checked mutual exclusion. Never poisons: a panic inside a model
+/// run fails the whole execution instead.
+pub struct Mutex<T> {
+    state: StdMutex<MutexState>,
+    obj: OnceLock<usize>,
+    data: UnsafeCell<T>,
+}
+
+// Safety: access to `data` is serialized by the model scheduler (or the
+// plain `held` flag outside a model run), mirroring std's Mutex.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Reading `data` would race with a holder; mirror std's
+        // `<locked>` placeholder unconditionally.
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T> Mutex<T> {
+    pub fn new(data: T) -> Mutex<T> {
+        Mutex {
+            state: StdMutex::new(MutexState {
+                held: false,
+                clock: VClock::default(),
+            }),
+            obj: OnceLock::new(),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    fn state(&self) -> StdMutexGuard<'_, MutexState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let Some((exec, me)) = rt::current() else {
+            let mut st = self.state();
+            assert!(!st.held, "model Mutex contended outside a model run");
+            st.held = true;
+            return Ok(MutexGuard { lock: self });
+        };
+        exec.reschedule(me);
+        loop {
+            let obj = {
+                let mut s = exec.lock();
+                let mut st = self.state();
+                if !st.held {
+                    st.held = true;
+                    let lock_clock = st.clock;
+                    s.clocks[me].join(&lock_clock);
+                    return Ok(MutexGuard { lock: self });
+                }
+                if self.obj.get().is_none() {
+                    let id = s.alloc_obj();
+                    let _ = self.obj.set(id);
+                }
+                *self.obj.get().expect("lock object id")
+            };
+            exec.block_on(me, obj);
+            exec.reschedule(me);
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: exclusive hold, serialized by the scheduler.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: exclusive hold, serialized by the scheduler.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let ctx = rt::current();
+        let plain = match &ctx {
+            None => true,
+            // During a user panic or execution teardown, release without
+            // scheduling: destructors must never branch or park.
+            Some((exec, _)) => std::thread::panicking() || exec.aborting(),
+        };
+        if plain {
+            self.lock.state().held = false;
+            return;
+        }
+        let (exec, me) = ctx.expect("checked above");
+        {
+            let mut s = exec.lock();
+            s.clocks[me].0[me] += 1;
+            let mine = s.clocks[me];
+            let mut st = self.lock.state();
+            st.held = false;
+            st.clock.join(&mine);
+            if let Some(&obj) = self.lock.obj.get() {
+                s.release_obj(obj);
+            }
+        }
+        // A scheduling point right after release: waiters contend now.
+        exec.reschedule(me);
+    }
+}
+
+struct RwState {
+    readers: usize,
+    writer: bool,
+    /// Released by write-unlocks; acquired by every subsequent lock.
+    clock_w: VClock,
+    /// Released by read-unlocks; acquired by subsequent write-locks.
+    clock_r: VClock,
+}
+
+/// Model-checked reader-writer lock. Never poisons.
+pub struct RwLock<T> {
+    state: StdMutex<RwState>,
+    obj: OnceLock<usize>,
+    data: UnsafeCell<T>,
+}
+
+// Safety: same serialization argument as Mutex; readers only get `&T`.
+unsafe impl<T: Send> Send for RwLock<T> {}
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+impl<T> RwLock<T> {
+    pub fn new(data: T) -> RwLock<T> {
+        RwLock {
+            state: StdMutex::new(RwState {
+                readers: 0,
+                writer: false,
+                clock_w: VClock::default(),
+                clock_r: VClock::default(),
+            }),
+            obj: OnceLock::new(),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    fn state(&self) -> StdMutexGuard<'_, RwState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn obj_id(&self, s: &mut rt::Sched) -> usize {
+        if self.obj.get().is_none() {
+            let id = s.alloc_obj();
+            let _ = self.obj.set(id);
+        }
+        *self.obj.get().expect("lock object id")
+    }
+
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let Some((exec, me)) = rt::current() else {
+            let mut st = self.state();
+            assert!(
+                !st.writer,
+                "model RwLock write-contended outside a model run"
+            );
+            st.readers += 1;
+            return Ok(RwLockReadGuard { lock: self });
+        };
+        exec.reschedule(me);
+        loop {
+            let obj = {
+                let mut s = exec.lock();
+                let mut st = self.state();
+                if !st.writer {
+                    st.readers += 1;
+                    let write_clock = st.clock_w;
+                    s.clocks[me].join(&write_clock);
+                    return Ok(RwLockReadGuard { lock: self });
+                }
+                drop(st);
+                self.obj_id(&mut s)
+            };
+            exec.block_on(me, obj);
+            exec.reschedule(me);
+        }
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let Some((exec, me)) = rt::current() else {
+            let mut st = self.state();
+            assert!(
+                !st.writer && st.readers == 0,
+                "model RwLock contended outside a model run"
+            );
+            st.writer = true;
+            return Ok(RwLockWriteGuard { lock: self });
+        };
+        exec.reschedule(me);
+        loop {
+            let obj = {
+                let mut s = exec.lock();
+                let mut st = self.state();
+                if !st.writer && st.readers == 0 {
+                    st.writer = true;
+                    let write_clock = st.clock_w;
+                    let read_clock = st.clock_r;
+                    s.clocks[me].join(&write_clock);
+                    s.clocks[me].join(&read_clock);
+                    return Ok(RwLockWriteGuard { lock: self });
+                }
+                drop(st);
+                self.obj_id(&mut s)
+            };
+            exec.block_on(me, obj);
+            exec.reschedule(me);
+        }
+    }
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: no writer can hold the lock while readers do.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        let ctx = rt::current();
+        let plain = match &ctx {
+            None => true,
+            Some((exec, _)) => std::thread::panicking() || exec.aborting(),
+        };
+        if plain {
+            self.lock.state().readers -= 1;
+            return;
+        }
+        let (exec, me) = ctx.expect("checked above");
+        {
+            let mut s = exec.lock();
+            s.clocks[me].0[me] += 1;
+            let mine = s.clocks[me];
+            let mut st = self.lock.state();
+            st.clock_r.join(&mine);
+            st.readers -= 1;
+            if st.readers == 0 {
+                drop(st);
+                if let Some(&obj) = self.lock.obj.get() {
+                    s.release_obj(obj);
+                }
+            }
+        }
+        exec.reschedule(me);
+    }
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: exclusive hold.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: exclusive hold.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        let ctx = rt::current();
+        let plain = match &ctx {
+            None => true,
+            Some((exec, _)) => std::thread::panicking() || exec.aborting(),
+        };
+        if plain {
+            self.lock.state().writer = false;
+            return;
+        }
+        let (exec, me) = ctx.expect("checked above");
+        {
+            let mut s = exec.lock();
+            s.clocks[me].0[me] += 1;
+            let mine = s.clocks[me];
+            let mut st = self.lock.state();
+            st.clock_w.join(&mine);
+            st.writer = false;
+            drop(st);
+            if let Some(&obj) = self.lock.obj.get() {
+                s.release_obj(obj);
+            }
+        }
+        exec.reschedule(me);
+    }
+}

@@ -1,0 +1,81 @@
+//! Model-aware `thread::spawn` / `JoinHandle` / `yield_now`.
+//!
+//! Spawned closures run on real OS threads, but the runtime serializes
+//! them: a child only makes progress when the DFS scheduler hands it the
+//! baton. `spawn` is itself a scheduling point (the child may run first),
+//! and `join` both blocks on the child and joins its final vector clock —
+//! a completed child's writes happen-before everything after the join,
+//! exactly like std.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::rt;
+
+/// Handle to a model thread. Unlike std, dropping it without joining is
+/// fine — the execution still waits for the child to finish.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawn a model thread. Must be called from inside a model run.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, me) = rt::current().expect("loom::thread::spawn used outside loom::model");
+    let tid = exec.register_thread(me);
+    let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let os_handle = {
+        let exec = Arc::clone(&exec);
+        let result = Arc::clone(&result);
+        std::thread::Builder::new()
+            .name(format!("loom-model-{tid}"))
+            .spawn(move || {
+                let body_result = Arc::clone(&result);
+                rt::run_thread(Arc::clone(&exec), tid, move || {
+                    let value = f();
+                    *body_result.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+                })
+            })
+            .expect("spawn model OS thread")
+    };
+    exec.adopt_os_handle(os_handle);
+    // The spawn is a scheduling point: the child may be picked to run
+    // before the parent's next instruction.
+    exec.reschedule(me);
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the child, joining its clock (the join edge). Always
+    /// `Ok`: a panicking child fails the whole execution instead.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (exec, me) = rt::current().expect("JoinHandle::join used outside loom::model");
+        loop {
+            if exec.thread_done_and_sync(self.tid, me) {
+                break;
+            }
+            // Joiners wait on the child's thread id as the wake object.
+            exec.block_on(me, self.tid);
+            exec.reschedule(me);
+        }
+        let value = self
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("joined model thread left no result");
+        Ok(value)
+    }
+}
+
+/// A pure scheduling point: let any other runnable thread go first.
+pub fn yield_now() {
+    if let Some((exec, me)) = rt::current() {
+        exec.reschedule(me);
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -93,6 +93,8 @@ fn main() {
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
             let mut scans = 0usize;
+            // relaxed: pure shutdown flag — the join below is the real
+            // synchronization point; a stale read costs one extra scan.
             while !stop.load(Ordering::Relaxed) {
                 let snapshot = manager.current();
                 let outcome = snapshot
@@ -127,6 +129,7 @@ fn main() {
         swap_lat.push(start.elapsed());
     }
 
+    // relaxed: see the reader's load — `join` orders everything after.
     stop.store(true, Ordering::Relaxed);
     let scans = reader.join().expect("reader thread");
 

@@ -97,7 +97,10 @@ fn main() {
     }
 
     let mut doc = vec![
-        ("iterations".to_string(), Value::Number(serde_json::Number::Int(iters as i64))),
+        (
+            "iterations".to_string(),
+            Value::Number(serde_json::Number::Int(iters as i64)),
+        ),
         (
             "clean_pairs".to_string(),
             Value::Number(serde_json::Number::Int(workload.qeps.len() as i64)),

@@ -347,8 +347,7 @@ fn open_session(args: &Args, record_stats: bool) -> Result<optimatch_core::Opene
         Source::File(_) => OpenOptions::new(),
         Source::Dir(_) | Source::Repo(_) => OpenOptions::new().lenient(),
     };
-    OptImatch::open(source, options.record_stats(record_stats))
-        .map_err(|e| CliError(e.to_string()))
+    OptImatch::open(source, options.record_stats(record_stats)).map_err(|e| CliError(e.to_string()))
 }
 
 /// One `warning:` line per message, for the top of a report.
@@ -917,7 +916,10 @@ fn render_diff_json(d: &optimatch_qep::PlanDiff, threshold: f64) -> String {
             .iter()
             .map(|c| {
                 Value::Object(vec![
-                    ("id".to_string(), Value::Number(Number::Int(i64::from(c.id)))),
+                    (
+                        "id".to_string(),
+                        Value::Number(Number::Int(i64::from(c.id))),
+                    ),
                     (
                         "type_before".to_string(),
                         Value::String(c.op_type.0.to_string()),
@@ -1357,8 +1359,11 @@ mod tests {
         let dir = temp_dir("regress");
         let a = dir.join("before.qep");
         let b = dir.join("after.qep");
-        std::fs::write(&a, optimatch_qep::format_qep(&optimatch_qep::fixtures::fig1()))
-            .expect("writes");
+        std::fs::write(
+            &a,
+            optimatch_qep::format_qep(&optimatch_qep::fixtures::fig1()),
+        )
+        .expect("writes");
         std::fs::write(
             &b,
             optimatch_qep::format_qep(&optimatch_qep::fixtures::fig1_sort_spill()),

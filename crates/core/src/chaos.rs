@@ -47,6 +47,10 @@ pub fn disarm() {
 /// Fire the armed fault if `pattern_name` is the target. Called by the
 /// matcher on every `find`; free when disarmed.
 pub(crate) fn trip(pattern_name: &str) -> Result<(), crate::error::Error> {
+    // relaxed: the hot-path disarmed check. Arming is test-only and uses
+    // SeqCst stores; the target string behind its own lock provides the
+    // actual synchronization, so a stale OFF read here merely delays an
+    // injected fault by one call.
     match MODE.load(Ordering::Relaxed) {
         OFF => Ok(()),
         mode => {

@@ -479,9 +479,7 @@ impl KnowledgeBase {
 
     /// Entries zipped with their compiled matcher/template units, for
     /// crate-internal consumers (the regression-diagnosis delta scan).
-    pub(crate) fn units(
-        &self,
-    ) -> impl Iterator<Item = (&KnowledgeBaseEntry, &CompiledEntry)> {
+    pub(crate) fn units(&self) -> impl Iterator<Item = (&KnowledgeBaseEntry, &CompiledEntry)> {
         self.entries.iter().zip(&self.compiled)
     }
 
@@ -646,7 +644,13 @@ impl KnowledgeBase {
                                     &mut local_samples,
                                 )?);
                             }
-                            Ok((local, local_stats, local_incidents, local_fuel, local_samples))
+                            Ok((
+                                local,
+                                local_stats,
+                                local_incidents,
+                                local_fuel,
+                                local_samples,
+                            ))
                         })
                     })
                     .collect();
@@ -778,13 +782,16 @@ pub(crate) fn best_match_features(
         .filter_map(|m| m.anchor_pop())
         .filter_map(|id| rank::features_for(&t.qep, id))
         .map(|f| (rank::confidence(entry.prototype, f), f.cost_share))
-        .fold((0.0, 0.0), |best, cand| {
-            if cand.0 > best.0 {
-                cand
-            } else {
-                best
-            }
-        })
+        .fold(
+            (0.0, 0.0),
+            |best, cand| {
+                if cand.0 > best.0 {
+                    cand
+                } else {
+                    best
+                }
+            },
+        )
 }
 
 #[cfg(test)]

@@ -37,8 +37,8 @@
 //!    workload-scale analysis.
 //! 10. [`repo`] — persistence bridge to `optimatch-repo`: snapshot a
 //!     transformed workload into a checksummed on-disk repository and
-//!     reopen it later as a warm-start session
-//!     ([`OptImatch::open_repo`]) with no parse or transform work.
+//!     reopen it later as a warm-start session (repository-backed
+//!     [`OptImatch::open`]) with no parse or transform work.
 //! 11. [`lint`] — clippy-style static analysis over KB entries: pattern
 //!     semantics (contradictions, unknown types/properties, unreachable
 //!     pops), compiled-query analysis (cartesian products, unbound
@@ -65,6 +65,7 @@ pub mod regress;
 pub mod repo;
 pub mod session;
 pub mod stats;
+pub mod sync;
 pub mod tagging;
 pub mod transform;
 pub mod vocab;
@@ -84,8 +85,6 @@ pub use open::{OpenOptions, OpenSkip, Opened, Source, Strictness};
 pub use pattern::{Pattern, PatternPop, PropertyCondition, Relationship, Sign, StreamSpec};
 pub use regress::{regress, DeltaAnchor, DeltaFinding, RegressOptions, RegressOutcome};
 pub use repo::{add_to_repo, build_repo, AddOutcome, BuildOutcome};
-#[allow(deprecated)]
-pub use session::{LenientLoad, RepoLoad};
 pub use session::{OptImatch, SkipCause, SkippedFile, Timings};
 pub use stats::{EntryWeight, MatchRecord, MatchStatsStore, MIN_HISTORY};
 pub use transform::{transform_qep, TransformedQep};

@@ -28,9 +28,9 @@
 //! (generation → workload length at publication), which is what makes
 //! `?since=G` delta scans a slice of the workload rather than a diff.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use optimatch_qep::Qep;
 
@@ -281,6 +281,8 @@ impl SessionManager {
 
     /// Snapshots published since construction (ingests + KB reloads).
     pub fn swap_total(&self) -> u64 {
+        // relaxed: standalone monotonic counter read for reporting; the
+        // snapshot pointer itself synchronizes through the RwLock.
         self.swaps.load(Ordering::Relaxed)
     }
 
@@ -373,6 +375,9 @@ impl SessionManager {
     /// Atomically swap the current snapshot pointer.
     fn publish(&self, snapshot: SessionSnapshot) {
         *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(snapshot);
+        // relaxed: observability-only counter, ordered after the swap for
+        // writers by the publish lock; readers never branch on it. Proven
+        // safe in tests/loom_live.rs (snapshot torn-read model).
         self.swaps.fetch_add(1, Ordering::Relaxed);
     }
 }

@@ -329,9 +329,13 @@ impl MatcherCache {
             .unwrap_or_else(PoisonError::into_inner)
             .get(&key)
         {
+            // relaxed: hit/miss tallies are independent monotonic
+            // statistics; nothing is ordered against them and readers
+            // tolerate cross-counter skew.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
+        // relaxed: see `hits` above.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let compiled = Arc::new(Matcher::compile(pattern)?);
         let mut map = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
@@ -353,11 +357,13 @@ impl MatcherCache {
 
     /// Cache hits so far.
     pub fn hits(&self) -> usize {
+        // relaxed: statistics snapshot; staleness is acceptable.
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Cache misses (compilations) so far.
     pub fn misses(&self) -> usize {
+        // relaxed: statistics snapshot; staleness is acceptable.
         self.misses.load(Ordering::Relaxed)
     }
 }

@@ -9,8 +9,8 @@
 //! repository by its 8-byte `OPTIREPO` magic), and [`OpenOptions`] carries
 //! the load strictness plus the session's baseline scan behaviour
 //! (mirroring [`ScanOptions`]' `prune` / `threads` knobs). The old
-//! constructors survive as `#[deprecated]` thin wrappers over this path,
-//! scheduled for removal two PRs after 0.6 — the same cadence
+//! constructors rode out their deprecation window as thin wrappers over
+//! this path and have since been deleted — the same cadence
 //! `scan_parallel` followed.
 
 use std::path::{Path, PathBuf};
@@ -269,11 +269,11 @@ impl OptImatch {
             }
         };
         let stats = match (&source, options.record_stats) {
-            (Source::Repo(path), true) => Some(std::sync::Arc::new(
-                crate::stats::MatchStatsStore::open(&crate::stats::MatchStatsStore::sidecar_path(
-                    path,
-                ))?,
-            )),
+            (Source::Repo(path), true) => {
+                Some(std::sync::Arc::new(crate::stats::MatchStatsStore::open(
+                    &crate::stats::MatchStatsStore::sidecar_path(path),
+                )?))
+            }
             _ => None,
         };
         Ok(Opened {
@@ -421,25 +421,6 @@ mod tests {
             opened.session.scan(&kb).unwrap(),
             pruned.session.scan(&kb).unwrap()
         );
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_work() {
-        let dir = temp_dir("deprecated");
-        std::fs::write(dir.join("fig1.qep"), format_qep(&fixtures::fig1())).unwrap();
-        let repo = dir.join("workload.repo");
-        crate::repo::build_repo(&dir, &repo).unwrap();
-
-        assert_eq!(OptImatch::from_dir(&dir).unwrap().len(), 1);
-        let lenient = OptImatch::from_dir_lenient(&dir).unwrap();
-        assert_eq!(lenient.session.len(), 1);
-        assert!(lenient.skipped.is_empty());
-        assert_eq!(OptImatch::open_repo(&repo).unwrap().len(), 1);
-        let repo_load = OptImatch::open_repo_lenient(&repo).unwrap();
-        assert_eq!(repo_load.session.len(), 1);
-        assert!(repo_load.skipped.is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -21,7 +21,9 @@
 //! not the regression, and is excluded by construction — that is the
 //! whole point of diffing matches instead of plans.
 
-use optimatch_qep::{align_qeps, diff_qeps, finite_change, AlignClass, PlanAlignment, PlanDiff, Qep};
+use optimatch_qep::{
+    align_qeps, diff_qeps, finite_change, AlignClass, PlanAlignment, PlanDiff, Qep,
+};
 use serde::value::{Number, Value};
 use serde::Serialize;
 
@@ -250,10 +252,7 @@ impl RegressOutcome {
             ("diff".to_string(), diff),
             ("alignment".to_string(), alignment),
             ("findings".to_string(), findings),
-            (
-                "incidents".to_string(),
-                self.incidents.serialize_to_value(),
-            ),
+            ("incidents".to_string(), self.incidents.serialize_to_value()),
         ]);
         let mut text = serde_json::to_string_pretty(&value)
             .expect("regress outcomes always serialize to JSON");
@@ -275,7 +274,10 @@ impl std::fmt::Display for RegressOutcome {
             writeln!(f, "cardinality estimate blow-up detected")?;
         }
         if self.findings.is_empty() {
-            writeln!(f, "no delta findings: no pattern is new on the regressed plan")?;
+            writeln!(
+                f,
+                "no delta findings: no pattern is new on the regressed plan"
+            )?;
         }
         for finding in &self.findings {
             let anchors: Vec<String> = finding
@@ -334,8 +336,8 @@ pub fn regress(
         // Run one side inside the containment boundary; `None` means the
         // unit failed (and was either recorded or escalated).
         let run_side = |t: &TransformedQep,
-                            incidents: &mut Vec<ScanIncident>,
-                            fuel_spent: &mut u64|
+                        incidents: &mut Vec<ScanIncident>,
+                        fuel_spent: &mut u64|
          -> Result<Option<Vec<_>>, Error> {
             if options.scan.prune && !compiled.matcher.could_match(t) {
                 return Ok(Some(Vec::new()));
@@ -368,8 +370,7 @@ pub fn regress(
         if after_matches.is_empty() {
             continue;
         }
-        let (after_confidence, after_share) =
-            best_match_features(entry, &after_matches, &t_after);
+        let (after_confidence, after_share) = best_match_features(entry, &after_matches, &t_after);
         samples.push(MatchSample {
             entry: entry.name.clone(),
             qep_id: t_after.qep.id.clone(),
@@ -381,8 +382,8 @@ pub fn regress(
         } else {
             best_match_features(entry, &before_matches, &t_before)
         };
-        let is_delta = before_matches.is_empty()
-            || after_confidence - before_confidence > options.threshold;
+        let is_delta =
+            before_matches.is_empty() || after_confidence - before_confidence > options.threshold;
         if !is_delta {
             continue;
         }

@@ -87,8 +87,8 @@ pub fn manifest_labels(dir: &Path) -> HashMap<String, Vec<String>> {
 }
 
 /// The result of [`build_repo`]: how many records were written and which
-/// plan files failed to parse (skipped, mirroring
-/// [`OptImatch::from_dir_lenient`]).
+/// plan files failed to parse (skipped, mirroring a lenient
+/// [`OptImatch::open`] over the same directory).
 #[derive(Debug)]
 pub struct BuildOutcome {
     /// Records written to the repository.
@@ -109,8 +109,8 @@ pub struct AddOutcome {
 }
 
 /// Parse, transform, and label every plan file in `dir` (in the same
-/// sorted order as [`OptImatch::from_dir`]) — the ingest half of a warm
-/// session.
+/// sorted order as a directory [`OptImatch::open`]) — the ingest half of
+/// a warm session.
 fn ingest_dir(dir: &Path) -> Result<(Vec<RepoRecord>, Vec<SkippedFile>), Error> {
     let labels = manifest_labels(dir);
     let mut records = Vec::new();
@@ -147,9 +147,9 @@ fn ingest_dir(dir: &Path) -> Result<(Vec<RepoRecord>, Vec<SkippedFile>), Error> 
 }
 
 /// Build a fresh repository at `out` from every plan file in `dir`.
-/// Unparseable files are skipped and reported, like
-/// [`OptImatch::from_dir_lenient`]; labels are taken from the
-/// directory's `MANIFEST.tsv` when present.
+/// Unparseable files are skipped and reported, like a lenient
+/// [`OptImatch::open`]; labels are taken from the directory's
+/// `MANIFEST.tsv` when present.
 pub fn build_repo(dir: &Path, out: &Path) -> Result<BuildOutcome, Error> {
     let (records, skipped) = ingest_dir(dir)?;
     Repository::save(out, &records)?;

@@ -2,8 +2,9 @@
 //! the knowledge base — the end-to-end flows of the paper's Figure 4.
 
 use std::path::Path;
-use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+use crate::sync::{Mutex, PoisonError};
 
 use optimatch_qep::{parse_qep, Qep, QepParseError};
 
@@ -53,36 +54,6 @@ impl std::fmt::Display for SkippedFile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}: {}", self.file, self.cause)
     }
-}
-
-/// The result of [`OptImatch::from_dir_lenient`]: a session over every
-/// file that parsed, plus the per-file errors for the rest.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `OptImatch::open(Source, OpenOptions)`, which returns `Opened`; \
-            scheduled for removal two PRs after the open API landed"
-)]
-#[derive(Debug)]
-pub struct LenientLoad {
-    /// The session over the loadable plans.
-    pub session: OptImatch,
-    /// Files that failed to parse, in path order.
-    pub skipped: Vec<SkippedFile>,
-}
-
-/// The result of [`OptImatch::open_repo_lenient`]: a session over every
-/// intact record, plus what was skipped and why.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `OptImatch::open(Source, OpenOptions)`, which returns `Opened`; \
-            scheduled for removal two PRs after the open API landed"
-)]
-#[derive(Debug)]
-pub struct RepoLoad {
-    /// The session over the intact records.
-    pub session: OptImatch,
-    /// Records that failed integrity checks.
-    pub skipped: Vec<optimatch_repo::SkippedRecord>,
 }
 
 /// An analysis session over a workload of QEPs.
@@ -174,74 +145,6 @@ impl OptImatch {
             .collect();
         paths.sort();
         Ok(paths)
-    }
-
-    /// Load every `*.qep` / `*.exp` / `*.txt` file in a directory,
-    /// failing on the first unparseable file.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `OptImatch::open(Source::Dir(dir.into()), OpenOptions::new())`; \
-                scheduled for removal two PRs after the open API landed"
-    )]
-    pub fn from_dir(dir: &Path) -> Result<OptImatch, Error> {
-        load_dir_strict(dir)
-    }
-
-    /// Like [`OptImatch::from_dir`], but a file that fails to read or
-    /// parse is recorded and skipped instead of aborting the whole load.
-    /// An unreadable *directory* still aborts (that is not a bad plan,
-    /// it is a bad workload location).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `OptImatch::open(Source::Dir(dir.into()), OpenOptions::new().lenient())`; \
-                scheduled for removal two PRs after the open API landed"
-    )]
-    #[allow(deprecated)]
-    pub fn from_dir_lenient(dir: &Path) -> Result<LenientLoad, Error> {
-        let (session, skipped) = load_dir_lenient(dir)?;
-        Ok(LenientLoad { session, skipped })
-    }
-
-    /// Open a persistent workload repository (see `optimatch-repo`) as a
-    /// session, skipping the plan parse and RDF transform entirely. Any
-    /// integrity problem fails the open.
-    ///
-    /// Scanning a session opened this way produces reports identical to
-    /// scanning one built over the source directory.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `OptImatch::open(Source::Repo(path.into()), OpenOptions::new())`; \
-                scheduled for removal two PRs after the open API landed"
-    )]
-    pub fn open_repo(path: &Path) -> Result<OptImatch, Error> {
-        let repo = optimatch_repo::Repository::open(path)?;
-        Ok(OptImatch::from_transformed(
-            repo.records.into_iter().map(crate::repo::restore).collect(),
-        ))
-    }
-
-    /// Like [`OptImatch::open_repo`], but records failing their checksum
-    /// or decode are skipped and reported rather than fatal — the
-    /// repository counterpart of [`OptImatch::from_dir_lenient`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `OptImatch::open(Source::Repo(path.into()), OpenOptions::new().lenient())`; \
-                scheduled for removal two PRs after the open API landed"
-    )]
-    #[allow(deprecated)]
-    pub fn open_repo_lenient(path: &Path) -> Result<RepoLoad, Error> {
-        let loaded = optimatch_repo::Repository::open_lenient(path)?;
-        Ok(RepoLoad {
-            session: OptImatch::from_transformed(
-                loaded
-                    .repository
-                    .records
-                    .into_iter()
-                    .map(crate::repo::restore)
-                    .collect(),
-            ),
-            skipped: loaded.skipped,
-        })
     }
 
     /// Number of QEPs loaded.
@@ -345,8 +248,8 @@ impl OptImatch {
     }
 }
 
-/// Strict directory load, shared by [`OptImatch::open`] and the
-/// deprecated [`OptImatch::from_dir`] wrapper.
+/// Strict directory load backing [`OptImatch::open`] on a
+/// [`crate::Source::Dir`] under [`crate::Strictness::Strict`].
 pub(crate) fn load_dir_strict(dir: &Path) -> Result<OptImatch, Error> {
     let mut qeps = Vec::new();
     for path in OptImatch::plan_files(dir)? {
@@ -360,8 +263,8 @@ pub(crate) fn load_dir_strict(dir: &Path) -> Result<OptImatch, Error> {
     Ok(OptImatch::from_qeps(qeps))
 }
 
-/// Lenient directory load, shared by [`OptImatch::open`] and the
-/// deprecated [`OptImatch::from_dir_lenient`] wrapper.
+/// Lenient directory load backing [`OptImatch::open`] on a
+/// [`crate::Source::Dir`] under [`crate::Strictness::Lenient`].
 pub(crate) fn load_dir_lenient(dir: &Path) -> Result<(OptImatch, Vec<SkippedFile>), Error> {
     let mut qeps = Vec::new();
     let mut skipped = Vec::new();

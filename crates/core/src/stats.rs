@@ -33,7 +33,8 @@
 
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, PoisonError};
+
+use crate::sync::{Mutex, MutexGuard, PoisonError};
 
 use optimatch_repo::crc::crc32;
 use optimatch_repo::wire::{put_f64, put_str, put_u32, put_u64, Cursor};
@@ -80,6 +81,20 @@ impl MatchRecord {
         buf
     }
 
+    /// The record as one self-delimiting wire frame:
+    /// `"MS" · payload_len u32 · crc32 u32 · payload`. What
+    /// [`MatchStatsStore::record`] appends and [`recover`] re-reads;
+    /// public so crash-recovery tests can build file images byte by byte.
+    pub fn frame(&self) -> Vec<u8> {
+        let payload = self.encode();
+        let mut frame = Vec::with_capacity(FRAME_LEN + payload.len());
+        frame.extend_from_slice(RECORD_MAGIC);
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
     fn decode(payload: &[u8]) -> Result<MatchRecord, String> {
         let mut c = Cursor::new(payload);
         let record = MatchRecord {
@@ -117,11 +132,57 @@ struct StatsState {
     valid_len: u64,
 }
 
+/// The canonical 16-byte sidecar header: magic, version, reserved zeros.
+pub fn header_bytes() -> [u8; HEADER_LEN] {
+    let mut header = [0u8; HEADER_LEN];
+    header[..8].copy_from_slice(STATS_MAGIC);
+    header[8] = STATS_VERSION;
+    header
+}
+
+/// Recover every intact record from a full sidecar image (header
+/// included). Returns the records and `valid_len` — the offset of the
+/// first byte that is not part of an intact frame, i.e. where the next
+/// append would continue. Shared by [`MatchStatsStore::open`] and the
+/// crash-recovery model tests, so what the tests prove is exactly what
+/// production runs.
+pub fn recover(data: &[u8]) -> Result<(Vec<MatchRecord>, usize), Error> {
+    if data.len() < HEADER_LEN || &data[..8] != STATS_MAGIC {
+        return Err(Error::Internal("not a MatchStats sidecar".to_string()));
+    }
+    if data[8] == 0 || data[8] > STATS_VERSION {
+        return Err(Error::Internal(format!(
+            "unsupported MatchStats version {}",
+            data[8]
+        )));
+    }
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN;
+    while pos + FRAME_LEN <= data.len() && &data[pos..pos + 2] == RECORD_MAGIC {
+        let len = u32::from_le_bytes(data[pos + 2..pos + 6].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(data[pos + 6..pos + 10].try_into().expect("4 bytes"));
+        if pos + FRAME_LEN + len > data.len() {
+            break; // torn tail: incomplete payload
+        }
+        let payload = &data[pos + FRAME_LEN..pos + FRAME_LEN + len];
+        if crc32(payload) != crc {
+            break; // torn tail: damaged frame
+        }
+        let Ok(record) = MatchRecord::decode(payload) else {
+            break;
+        };
+        records.push(record);
+        pos += FRAME_LEN + len;
+    }
+    Ok((records, pos))
+}
+
 /// A durable, append-only store of fired-match statistics. Thread-safe:
 /// one mutex orders appends and guards the in-memory aggregate.
 #[derive(Debug)]
 pub struct MatchStatsStore {
-    path: PathBuf,
+    /// `None` for an ephemeral (memory-only) store.
+    path: Option<PathBuf>,
     state: Mutex<StatsState>,
     /// Bytes of torn tail found at open (0 for a clean file); the next
     /// append overwrites them.
@@ -145,15 +206,11 @@ impl MatchStatsStore {
         let data = match std::fs::read(path) {
             Ok(data) => data,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                let mut header = Vec::with_capacity(HEADER_LEN);
-                header.extend_from_slice(STATS_MAGIC);
-                header.push(STATS_VERSION);
-                header.extend_from_slice(&[0u8; 7]);
                 let mut f = std::fs::File::create(path)?;
-                f.write_all(&header)?;
+                f.write_all(&header_bytes())?;
                 f.sync_data()?;
                 return Ok(MatchStatsStore {
-                    path: path.to_path_buf(),
+                    path: Some(path.to_path_buf()),
                     state: Mutex::new(StatsState {
                         records: Vec::new(),
                         valid_len: HEADER_LEN as u64,
@@ -163,40 +220,11 @@ impl MatchStatsStore {
             }
             Err(e) => return Err(Error::Io(e)),
         };
-        if data.len() < HEADER_LEN || &data[..8] != STATS_MAGIC {
-            return Err(Error::Internal(format!(
-                "{} is not a MatchStats sidecar",
-                path.display()
-            )));
-        }
-        if data[8] == 0 || data[8] > STATS_VERSION {
-            return Err(Error::Internal(format!(
-                "unsupported MatchStats version {}",
-                data[8]
-            )));
-        }
-        let mut records = Vec::new();
-        let mut pos = HEADER_LEN;
-        while pos + FRAME_LEN <= data.len() && &data[pos..pos + 2] == RECORD_MAGIC {
-            let len =
-                u32::from_le_bytes(data[pos + 2..pos + 6].try_into().expect("4 bytes")) as usize;
-            let crc = u32::from_le_bytes(data[pos + 6..pos + 10].try_into().expect("4 bytes"));
-            if pos + FRAME_LEN + len > data.len() {
-                break; // torn tail: incomplete payload
-            }
-            let payload = &data[pos + FRAME_LEN..pos + FRAME_LEN + len];
-            if crc32(payload) != crc {
-                break; // torn tail: damaged frame
-            }
-            let Ok(record) = MatchRecord::decode(payload) else {
-                break;
-            };
-            records.push(record);
-            pos += FRAME_LEN + len;
-        }
+        let (records, pos) =
+            recover(&data).map_err(|e| Error::Internal(format!("{}: {e}", path.display())))?;
         let torn_tail = (data.len() - pos) as u64;
         Ok(MatchStatsStore {
-            path: path.to_path_buf(),
+            path: Some(path.to_path_buf()),
             state: Mutex::new(StatsState {
                 records,
                 valid_len: pos as u64,
@@ -205,9 +233,24 @@ impl MatchStatsStore {
         })
     }
 
-    /// The sidecar's on-disk path.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// A memory-only store: same aggregate semantics, no sidecar file.
+    /// Used by concurrency model tests, where per-interleaving disk I/O
+    /// would swamp the exploration, and usable wherever durability is
+    /// not wanted.
+    pub fn ephemeral() -> MatchStatsStore {
+        MatchStatsStore {
+            path: None,
+            state: Mutex::new(StatsState {
+                records: Vec::new(),
+                valid_len: HEADER_LEN as u64,
+            }),
+            torn_tail: 0,
+        }
+    }
+
+    /// The sidecar's on-disk path (`None` for an ephemeral store).
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
     }
 
     /// Torn-tail bytes found (and tolerated) at open time.
@@ -230,7 +273,7 @@ impl MatchStatsStore {
         self.lock().records.clone()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, StatsState> {
+    fn lock(&self) -> MutexGuard<'_, StatsState> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -254,23 +297,23 @@ impl MatchStatsStore {
             .collect();
         let mut delta = Vec::new();
         for r in &new {
-            let payload = r.encode();
-            delta.extend_from_slice(RECORD_MAGIC);
-            put_u32(&mut delta, payload.len() as u32);
-            put_u32(&mut delta, crc32(&payload));
-            delta.extend_from_slice(&payload);
+            delta.extend_from_slice(&r.frame());
         }
-        let mut f = std::fs::OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(&self.path)?;
-        f.seek(SeekFrom::Start(state.valid_len))?;
-        f.write_all(&delta)?;
-        let end = state.valid_len + delta.len() as u64;
-        // Drop any torn tail the new frames did not fully cover.
-        f.set_len(end)?;
-        f.sync_data()?;
-        state.valid_len = end;
+        if let Some(path) = &self.path {
+            let mut f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(path)?;
+            f.seek(SeekFrom::Start(state.valid_len))?;
+            f.write_all(&delta)?;
+            let end = state.valid_len + delta.len() as u64;
+            // Drop any torn tail the new frames did not fully cover.
+            f.set_len(end)?;
+            f.sync_data()?;
+            state.valid_len = end;
+        } else {
+            state.valid_len += delta.len() as u64;
+        }
         state.records.extend(new);
         Ok(state.records.len())
     }
@@ -420,7 +463,10 @@ mod tests {
         // Simulate a crash mid-append: half a frame at the tail.
         {
             use std::io::Write as _;
-            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
             f.write_all(b"MS\x40\x00\x00\x00").unwrap(); // frame cut short
         }
         let store = MatchStatsStore::open(&path).unwrap();

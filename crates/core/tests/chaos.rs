@@ -308,8 +308,7 @@ fn regress_contains_hostile_patterns_as_typed_incidents() {
     let hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     chaos::arm_panic("chaos-panic");
-    let options = optimatch_core::RegressOptions::default()
-        .scan(ScanOptions::default().fuel(FUEL));
+    let options = optimatch_core::RegressOptions::default().scan(ScanOptions::default().fuel(FUEL));
     let outcome = optimatch_core::regress(&kb, &before, &after, &options).unwrap();
     let failed = optimatch_core::regress(
         &kb,
@@ -332,10 +331,9 @@ fn regress_contains_hostile_patterns_as_typed_incidents() {
             "incident names a healthy entry: {i}"
         );
     }
-    assert!(outcome
-        .incidents
-        .iter()
-        .any(|i| matches!(&i.cause, IncidentCause::Panic(m) if m.contains("chaos: injected panic"))));
+    assert!(outcome.incidents.iter().any(
+        |i| matches!(&i.cause, IncidentCause::Panic(m) if m.contains("chaos: injected panic"))
+    ));
     assert!(outcome
         .findings
         .iter()

@@ -1,0 +1,270 @@
+//! Model-checked [`MatchStatsStore`]: concurrent `record` vs `weights`
+//! on an ephemeral store, and crash recovery of the on-disk sidecar
+//! image at *every* possible torn-tail cut point, under the vendored
+//! `loom` scheduler (`RUSTFLAGS="--cfg loom"`).
+//!
+//! The recovery test drives the exact production code path: images are
+//! built from [`stats::header_bytes`] + [`MatchRecord::frame`] and read
+//! back through [`stats::recover`] — the same functions
+//! [`MatchStatsStore::open`] and `record` use, so what the model proves
+//! is what production runs.
+
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+
+use optimatch_core::stats::{self, MatchStatsStore};
+use optimatch_core::{MatchRecord, MatchSample};
+
+fn sample(entry: &str, qep: &str, confidence: f64) -> MatchSample {
+    MatchSample {
+        entry: entry.to_string(),
+        qep_id: qep.to_string(),
+        confidence,
+        cost_share: 0.5,
+    }
+}
+
+#[test]
+fn concurrent_record_and_weights_are_consistent() {
+    let report = loom::explore(|| {
+        let store = Arc::new(MatchStatsStore::ephemeral());
+
+        let writers: Vec<_> = ["pattern-a", "pattern-b"]
+            .into_iter()
+            .map(|entry| {
+                let store = Arc::clone(&store);
+                loom::thread::spawn(move || {
+                    store
+                        .record(&[sample(entry, "q1", 0.9)], 1)
+                        .expect("ephemeral record");
+                })
+            })
+            .collect();
+
+        let reader = {
+            let store = Arc::clone(&store);
+            loom::thread::spawn(move || {
+                // Mid-race reads must always see a consistent aggregate:
+                // never a torn count, never a record that is half there.
+                let len = store.len();
+                assert!(len <= 2, "phantom records: {len}");
+                let weights = stats_total_samples(&store);
+                assert!(weights <= 2, "phantom samples in weights: {weights}");
+            })
+        };
+
+        for w in writers {
+            w.join().unwrap();
+        }
+        reader.join().unwrap();
+
+        // Both appends landed, none was lost to the race.
+        assert_eq!(store.len(), 2, "a record was lost");
+        assert_eq!(stats_total_samples(&store), 2);
+    });
+    assert!(
+        report.iterations > 100,
+        "model explored only {} interleavings",
+        report.iterations
+    );
+}
+
+fn stats_total_samples(store: &MatchStatsStore) -> usize {
+    store.weights().iter().map(|w| w.samples).sum()
+}
+
+/// Mutation: the append offset advanced *outside* the state mutex — the
+/// unlocked fast path an early draft of `record` plausibly has. Two
+/// concurrent appends then read the same offset and one frame overwrites
+/// the other; the model must find the lost advance.
+#[test]
+fn mutation_unlocked_valid_len_advance_is_caught() {
+    const FRAME: u64 = 53;
+    let message = loom::check_expect_failure(|| {
+        let valid_len = Arc::new(AtomicU64::new(16));
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let valid_len = Arc::clone(&valid_len);
+                loom::thread::spawn(move || {
+                    // Weakened record(): read-compute-store, no mutex.
+                    let at = valid_len.load(Ordering::Acquire);
+                    valid_len.store(at + FRAME, Ordering::Release);
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(
+            valid_len.load(Ordering::Acquire),
+            16 + 2 * FRAME,
+            "overlapping append"
+        );
+    });
+    assert!(
+        message.contains("overlapping append"),
+        "model failed for the wrong reason: {message}"
+    );
+}
+
+fn two_record_image() -> (Vec<u8>, MatchRecord, MatchRecord) {
+    let r1 = MatchRecord {
+        entry: "pattern-a".to_string(),
+        qep_id: "q1".to_string(),
+        confidence: 0.9,
+        cost_share: 0.4,
+        generation: 1,
+    };
+    let r2 = MatchRecord {
+        entry: "pattern-b".to_string(),
+        qep_id: "q2".to_string(),
+        confidence: 0.7,
+        cost_share: 0.6,
+        generation: 2,
+    };
+    let mut image = stats::header_bytes().to_vec();
+    image.extend_from_slice(&r1.frame());
+    image.extend_from_slice(&r2.frame());
+    (image, r1, r2)
+}
+
+/// A writer killed mid-append leaves a prefix of the full image on disk.
+/// Enumerate *every* cut point with the model's value branching: each
+/// must either fail cleanly (cut inside the header) or recover a clean
+/// prefix of the records at a reopenable offset — and appending to that
+/// offset must produce a fully intact file again.
+#[test]
+fn torn_tail_recovery_at_every_cut_point() {
+    let (image, r1, r2) = two_record_image();
+    let header_len = stats::header_bytes().len();
+    let frame1_end = header_len + r1.frame().len();
+    assert!(image.len() > 100, "image too small to exercise >100 cuts");
+
+    let full = image.clone();
+    let report = loom::explore(move || {
+        let cut = loom::choose(full.len() + 1);
+        let torn = &full[..cut];
+
+        if cut < header_len {
+            assert!(
+                stats::recover(torn).is_err(),
+                "accepted a truncated header ({cut} bytes)"
+            );
+            return;
+        }
+
+        let (records, valid_len) = stats::recover(torn).expect("post-header prefix must reopen");
+        // Recovery yields a clean prefix of what was being written …
+        let expected: &[&MatchRecord] = if cut == full.len() {
+            &[&r1, &r2]
+        } else if cut >= frame1_end {
+            &[&r1]
+        } else {
+            &[]
+        };
+        assert_eq!(records.len(), expected.len(), "wrong prefix at cut {cut}");
+        for (got, want) in records.iter().zip(expected) {
+            assert_eq!(&got, want, "corrupted record surfaced at cut {cut}");
+        }
+        // … at an offset the next append can continue from.
+        assert!(valid_len <= cut, "valid_len past the data at cut {cut}");
+        let mut healed = torn[..valid_len].to_vec();
+        healed.extend_from_slice(&r2.frame());
+        let (reopened, _) = stats::recover(&healed).expect("healed file must reopen");
+        assert_eq!(
+            reopened.last().expect("appended record"),
+            &r2,
+            "append after recovery lost the new frame (cut {cut})"
+        );
+    });
+    assert!(
+        report.iterations > 100,
+        "expected one interleaving per cut point, got {}",
+        report.iterations
+    );
+}
+
+/// Mutation: recovery without the CRC check. Flip one payload byte of
+/// the second frame (a torn or bit-rotted tail the length fields cannot
+/// see) — the CRC-less replica must surface a corrupted record for at
+/// least one flip position, which the model catches.
+#[test]
+fn mutation_crcless_recovery_is_caught() {
+    let (image, _r1, r2) = two_record_image();
+    let header_len = stats::header_bytes().len();
+    let frame2_payload_start = image.len() - (r2.frame().len() - 10);
+
+    let message = loom::check_expect_failure(move || {
+        let flip = frame2_payload_start + loom::choose(image.len() - frame2_payload_start);
+        let mut rotted = image.clone();
+        rotted[flip] ^= 0x01;
+
+        // The real recover must refuse the damaged frame outright …
+        let (records, valid_len) = stats::recover(&rotted).expect("prefix still reopens");
+        assert_eq!(records.len(), 1, "real recover accepted a damaged frame");
+        assert!(valid_len <= frame2_payload_start);
+
+        // … while the CRC-less replica trusts it and hands back garbage.
+        let recovered = crcless_recover(&rotted, header_len);
+        assert_eq!(
+            recovered.last(),
+            Some(&r2),
+            "corrupt record surfaced by CRC-less recovery"
+        );
+    });
+    assert!(
+        message.contains("corrupt record surfaced"),
+        "model failed for the wrong reason: {message}"
+    );
+}
+
+/// The weakened recover: identical framing walk, CRC field ignored.
+fn crcless_recover(data: &[u8], header_len: usize) -> Vec<MatchRecord> {
+    let mut records = Vec::new();
+    let mut pos = header_len;
+    while pos + 10 <= data.len() && &data[pos..pos + 2] == b"MS" {
+        let len = u32::from_le_bytes(data[pos + 2..pos + 6].try_into().unwrap()) as usize;
+        if pos + 10 + len > data.len() {
+            break;
+        }
+        let payload = &data[pos + 10..pos + 10 + len];
+        match decode_replica(payload) {
+            Some(record) => records.push(record),
+            None => break,
+        }
+        pos += 10 + len;
+    }
+    records
+}
+
+/// Payload decoding for the replica: the same wire layout `MatchRecord`
+/// uses (len-prefixed strings, little-endian f64/u64).
+fn decode_replica(payload: &[u8]) -> Option<MatchRecord> {
+    let mut pos = 0usize;
+    let mut str_field = |payload: &[u8]| -> Option<String> {
+        let len = u32::from_le_bytes(payload.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        pos += 4;
+        let s = String::from_utf8(payload.get(pos..pos + len)?.to_vec()).ok()?;
+        pos += len;
+        Some(s)
+    };
+    let entry = str_field(payload)?;
+    let qep_id = str_field(payload)?;
+    let mut f64_field = |payload: &[u8]| -> Option<f64> {
+        let v = f64::from_le_bytes(payload.get(pos..pos + 8)?.try_into().ok()?);
+        pos += 8;
+        Some(v)
+    };
+    let confidence = f64_field(payload)?;
+    let cost_share = f64_field(payload)?;
+    let generation = u64::from_le_bytes(payload.get(pos..pos + 8)?.try_into().ok()?);
+    Some(MatchRecord {
+        entry,
+        qep_id,
+        confidence,
+        cost_share,
+        generation,
+    })
+}

@@ -1,0 +1,285 @@
+//! A lightweight Rust source classifier: splits every line into its
+//! *code* portion and its *comment* portion, so the rules can match
+//! tokens without being fooled by strings and can read justification
+//! comments without being fooled by code.
+//!
+//! This is deliberately not a parser. It tracks exactly the lexical
+//! state needed to tell code from non-code:
+//!
+//! - line comments (`//`, `///`, `//!`),
+//! - block comments (`/* … */`, nested, possibly multi-line),
+//! - string literals (`"…"` with escapes, byte strings),
+//! - raw strings (`r"…"`, `r#"…"#` with any number of hashes),
+//! - char literals vs. lifetimes (`'a'` vs. `'a`).
+//!
+//! String and char literal *contents* are blanked out of the code
+//! portion (the delimiters stay), so `"unsafe"` in a message can never
+//! trip a rule keyed on the `unsafe` token.
+
+/// One source line, split.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// The code on this line, with literal contents blanked to spaces.
+    pub code: String,
+    /// The concatenated comment text on this line (without `//`/`/*`).
+    pub comment: String,
+}
+
+/// Split `text` into classified lines. Always returns one entry per
+/// input line (including the last line without a trailing newline).
+pub fn classify(text: &str) -> Vec<Line> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut lines = vec![Line::default()];
+    let mut i = 0usize;
+
+    macro_rules! cur {
+        () => {
+            lines.last_mut().expect("at least one line")
+        };
+    }
+    macro_rules! newline {
+        () => {
+            lines.push(Line::default())
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                newline!();
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment: the rest of the line is comment text.
+                i += 2;
+                while i < chars.len() && chars[i] != '\n' {
+                    cur!().comment.push(chars[i]);
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, nested; may span lines.
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            newline!();
+                        } else {
+                            cur!().comment.push(chars[i]);
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // Plain (or byte) string literal: blank the contents.
+                cur!().code.push('"');
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => {
+                            cur!().code.push(' ');
+                            if chars.get(i + 1).is_some() {
+                                cur!().code.push(' ');
+                                i += 2;
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        '"' => {
+                            cur!().code.push('"');
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            newline!();
+                            i += 1;
+                        }
+                        _ => {
+                            cur!().code.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            'r' if is_raw_string_start(&chars, i) => {
+                let hashes = count_hashes(&chars, i + 1);
+                cur!().code.push('r');
+                for _ in 0..hashes {
+                    cur!().code.push('#');
+                }
+                cur!().code.push('"');
+                i += 1 + hashes + 1; // r, hashes, opening quote
+                while i < chars.len() {
+                    if chars[i] == '"' && has_hashes(&chars, i + 1, hashes) {
+                        cur!().code.push('"');
+                        for _ in 0..hashes {
+                            cur!().code.push('#');
+                        }
+                        i += 1 + hashes;
+                        break;
+                    }
+                    if chars[i] == '\n' {
+                        newline!();
+                    } else {
+                        cur!().code.push(' ');
+                    }
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime. `'\…'` and `'x'` are
+                // literals (blanked); anything else is a lifetime.
+                if chars.get(i + 1) == Some(&'\\') {
+                    cur!().code.push('\'');
+                    i += 2; // skip the backslash
+                    cur!().code.push(' ');
+                    while i < chars.len() && chars[i] != '\'' {
+                        cur!().code.push(' ');
+                        i += 1;
+                    }
+                    if i < chars.len() {
+                        cur!().code.push('\'');
+                        i += 1;
+                    }
+                } else if chars.get(i + 2) == Some(&'\'') {
+                    cur!().code.push('\'');
+                    cur!().code.push(' ');
+                    cur!().code.push('\'');
+                    i += 3;
+                } else {
+                    cur!().code.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                cur!().code.push(c);
+                i += 1;
+            }
+        }
+    }
+    lines
+}
+
+/// `r"…"` / `r#"…"#` / `br"…"` start? (`i` points at the `r`.) Raw
+/// identifiers like `r#type` have a letter, not `"`, after the hashes.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Only when `r` begins a token: the previous char must not be part
+    // of an identifier (else `for` / `ptr` would false-positive).
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            // `br"…"` byte raw string: allow exactly a `b` prefix that
+            // itself begins a token.
+            let b_prefixed =
+                prev == 'b' && (i < 2 || !(chars[i - 2].is_alphanumeric() || chars[i - 2] == '_'));
+            if !b_prefixed {
+                return false;
+            }
+        }
+    }
+    let hashes = count_hashes(chars, i + 1);
+    chars.get(i + 1 + hashes) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], from: usize) -> usize {
+    chars[from.min(chars.len())..]
+        .iter()
+        .take_while(|&&c| c == '#')
+        .count()
+}
+
+fn has_hashes(chars: &[char], from: usize, n: usize) -> bool {
+    (0..n).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+/// True when `code` contains `token` as a whole word (not as a substring
+/// of a longer identifier).
+pub fn has_word(code: &str, token: &str) -> bool {
+    let mut start = 0;
+    while let Some(at) = code[start..].find(token) {
+        let at = start + at;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + token.len();
+        let after_ok = !code[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_blanked_out_of_code() {
+        let lines = classify(r#"let s = "unsafe Ordering::Relaxed"; call();"#);
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(!lines[0].code.contains("Relaxed"));
+        assert!(lines[0].code.contains("call();"));
+    }
+
+    #[test]
+    fn line_and_block_comments_are_separated() {
+        let lines = classify("code(); // SAFETY: fine\n/* multi\nline */ more();");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].code.contains("code();"));
+        assert!(lines[0].comment.contains("SAFETY: fine"));
+        assert!(lines[1].comment.contains("multi"));
+        assert!(lines[2].comment.contains("line"));
+        assert!(lines[2].code.contains("more();"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let lines = classify("/* a /* b */ c */ after();");
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].code.contains("after();"));
+        assert!(lines[0].comment.contains('c'));
+    }
+
+    #[test]
+    fn raw_strings_do_not_leak_tokens_or_eat_code() {
+        let lines = classify(r##"let p = r#"an "unsafe" // not a comment"#; tail();"##);
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.is_empty());
+        assert!(lines[0].code.contains("tail();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = classify("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'q'; // ok");
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].code.contains("&'a str"));
+        assert!(!lines[0].code.contains('q'));
+        assert!(lines[0].comment.contains("ok"));
+    }
+
+    #[test]
+    fn word_boundaries_hold() {
+        assert!(has_word("unsafe {", "unsafe"));
+        assert!(!has_word("unsafe_fn()", "unsafe"));
+        assert!(!has_word("an_unsafe", "unsafe"));
+        assert!(has_word("x.unsafe()", "unsafe"));
+    }
+}

@@ -1,0 +1,72 @@
+//! CLI entry point: `cargo run -p optimatch-devlint [-- --deny-warnings] [root]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny = true,
+            "--help" | "-h" => {
+                println!(
+                    "optimatch-devlint — workspace self-lint (OD0xx rules)\n\n\
+                     usage: cargo run -p optimatch-devlint [-- OPTIONS] [ROOT]\n\n\
+                     options:\n  --deny-warnings   exit non-zero if any finding is reported"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+
+    let diagnostics = match optimatch_devlint::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("devlint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    if diagnostics.is_empty() {
+        println!("devlint: clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "devlint: {} finding(s){}",
+            diagnostics.len(),
+            if deny { " (denied)" } else { "" }
+        );
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Walk up from the current directory to the `[workspace]` manifest.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

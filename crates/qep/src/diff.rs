@@ -365,10 +365,7 @@ pub fn align_qeps(before: &Qep, after: &Qep) -> PlanAlignment {
         let a = after.op(a_id).expect("paired after op");
         let class = class_hint.unwrap_or(if b.op_type != a.op_type {
             AlignClass::TypeChanged
-        } else if moved(
-            (b.total_cost, b.cardinality),
-            (a.total_cost, a.cardinality),
-        ) {
+        } else if moved((b.total_cost, b.cardinality), (a.total_cost, a.cardinality)) {
             AlignClass::CostShifted
         } else {
             AlignClass::Unchanged
@@ -383,7 +380,11 @@ pub fn align_qeps(before: &Qep, after: &Qep) -> PlanAlignment {
 
     // Pass 1 — stable numbering: the same operator number carries the
     // same type on both sides.
-    for id in before_free.intersection(&after_free).copied().collect::<Vec<_>>() {
+    for id in before_free
+        .intersection(&after_free)
+        .copied()
+        .collect::<Vec<_>>()
+    {
         if before.op(id).map(|o| o.op_type) == after.op(id).map(|o| o.op_type) {
             pairs.push(classify(id, id, None));
             before_free.remove(&id);
@@ -397,7 +398,10 @@ pub fn align_qeps(before: &Qep, after: &Qep) -> PlanAlignment {
     let after_sigs = signatures(after);
     let mut by_sig: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
     for &id in &before_free {
-        by_sig.entry(before_sigs[&id].as_str()).or_default().push(id);
+        by_sig
+            .entry(before_sigs[&id].as_str())
+            .or_default()
+            .push(id);
     }
     for a_id in after_free.iter().copied().collect::<Vec<_>>() {
         let sig = after_sigs[&a_id].as_str();
@@ -415,7 +419,11 @@ pub fn align_qeps(before: &Qep, after: &Qep) -> PlanAlignment {
 
     // Pass 3 — number-stable type changes: a shared number whose type
     // flipped (e.g. NLJOIN -> HSJOIN) and found no structural partner.
-    for id in before_free.intersection(&after_free).copied().collect::<Vec<_>>() {
+    for id in before_free
+        .intersection(&after_free)
+        .copied()
+        .collect::<Vec<_>>()
+    {
         pairs.push(classify(id, id, Some(AlignClass::TypeChanged)));
         before_free.remove(&id);
         after_free.remove(&id);

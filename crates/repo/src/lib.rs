@@ -11,8 +11,8 @@
 //!
 //! This crate owns only the storage layer (format, checksums, record
 //! codec). It depends on `optimatch-qep` and `optimatch-rdf` for the
-//! payload types; session integration (`OptImatch::open_repo`) lives in
-//! `optimatch-core`.
+//! payload types; session integration (repository-backed
+//! `OptImatch::open`) lives in `optimatch-core`.
 
 pub mod crc;
 pub mod error;

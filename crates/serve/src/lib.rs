@@ -60,6 +60,7 @@ pub mod http;
 pub mod metrics;
 pub mod router;
 pub mod signal;
+pub mod sync;
 
 pub use metrics::{Metrics, Route};
 
@@ -320,11 +321,23 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _peer)) => {
                 state.metrics.inc_connections();
+                // Increment the gauge BEFORE the send: once `try_send`
+                // succeeds a worker may dequeue and decrement immediately,
+                // and inc-after-send would let that decrement land first,
+                // underflowing the u64 gauge. The failure arms compensate.
+                // Proven in `tests/loom_queue.rs`.
+                state.metrics.inc_queue_depth();
                 match tx.try_send(stream) {
-                    Ok(()) => state.metrics.inc_queue_depth(),
-                    Err(TrySendError::Full(stream)) => shed(stream, state),
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        state.metrics.dec_queue_depth();
+                        shed(stream, state);
+                    }
                     // Workers gone: the server is tearing down.
-                    Err(TrySendError::Disconnected(_)) => return,
+                    Err(TrySendError::Disconnected(_)) => {
+                        state.metrics.dec_queue_depth();
+                        return;
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {

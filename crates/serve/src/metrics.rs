@@ -9,9 +9,88 @@
 //! Rendering follows the Prometheus text exposition format (`# HELP` /
 //! `# TYPE` preamble, `name{label="value"} count` samples, cumulative
 //! `_bucket{le=...}` histograms with a `+Inf` bucket equal to `_count`).
+//!
+//! ## Memory ordering
+//!
+//! Every instrument uses `Relaxed` atomics, on purpose: each one is an
+//! independent statistic, no reader derives a cross-instrument invariant,
+//! and `/metrics` explicitly renders a *statistical* snapshot rather than
+//! a linearizable one. The contract lives in the three instrument types
+//! below ([`Counter`], [`Gauge`], [`MaxGauge`]) so every call site
+//! inherits one audited justification; the model tests in
+//! `tests/loom_metrics.rs` and `tests/loom_queue.rs` prove the two
+//! instruments with real protocol obligations (the monotone
+//! `session_generation` high-water mark and the queue-depth gauge) hold
+//! under every interleaving. See DESIGN.md §15 for the full table.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+struct Counter(AtomicU64);
+
+impl Counter {
+    fn add(&self, n: u64) {
+        // relaxed: independent monotonic statistic; nothing orders
+        // against it and exposition tolerates cross-counter skew.
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn inc(&self) {
+        self.add(1);
+    }
+
+    fn get(&self) -> u64 {
+        // relaxed: exposition snapshot read; staleness is acceptable.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge that moves both ways (in-flight, queue depth). Every `dec`
+/// must be reachable from its matching `inc` through a happens-before
+/// edge (here: the connection handoff through the worker channel), or
+/// the gauge can transiently underflow — proven in `tests/loom_queue.rs`.
+#[derive(Debug, Default)]
+struct Gauge(AtomicU64);
+
+impl Gauge {
+    fn inc(&self) {
+        // relaxed: the matching dec is ordered after this inc by the
+        // channel that hands the connection over, not by the atomic.
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn dec(&self) {
+        // relaxed: see inc — the protocol, not the ordering, pairs them.
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> u64 {
+        // relaxed: exposition snapshot read; staleness is acceptable.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A high-water-mark gauge (session generation): reports may arrive out
+/// of order, the gauge only ever moves forward.
+#[derive(Debug, Default)]
+struct MaxGauge(AtomicU64);
+
+impl MaxGauge {
+    fn report(&self, value: u64) {
+        // relaxed: fetch_max is a single atomic RMW, so monotonicity
+        // holds under any ordering; no other location is published
+        // through this one. Proven in tests/loom_metrics.rs.
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> u64 {
+        // relaxed: exposition snapshot read; staleness is acceptable.
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// The request routes the registry tracks. `Other` covers 404s, 405s, and
 /// anything unparseable enough to lack a route.
@@ -115,24 +194,22 @@ const INCIDENT_CAUSES: [&str; 4] = ["panic", "error", "fuel-exhausted", "deadlin
 /// (in microseconds) and total count. Rendered cumulatively.
 #[derive(Debug, Default)]
 struct Histogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS.len()],
-    overflow: AtomicU64,
-    sum_micros: AtomicU64,
-    count: AtomicU64,
+    buckets: [Counter; LATENCY_BUCKETS.len()],
+    overflow: Counter,
+    sum_micros: Counter,
+    count: Counter,
 }
 
 impl Histogram {
     fn observe(&self, elapsed: Duration) {
         let secs = elapsed.as_secs_f64();
         match LATENCY_BUCKETS.iter().position(|&le| secs <= le) {
-            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
-            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+            Some(i) => self.buckets[i].inc(),
+            None => self.overflow.inc(),
         };
-        self.sum_micros.fetch_add(
-            elapsed.as_micros().min(u64::MAX as u128) as u64,
-            Ordering::Relaxed,
-        );
-        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros
+            .add(elapsed.as_micros().min(u64::MAX as u128) as u64);
+        self.count.inc();
     }
 }
 
@@ -141,31 +218,31 @@ impl Histogram {
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// requests[route][code] — completed requests by route and status.
-    requests: [[AtomicU64; CODES.len() + 1]; ROUTES.len()],
+    requests: [[Counter; CODES.len() + 1]; ROUTES.len()],
     latency: [Histogram; ROUTES.len()],
-    in_flight: AtomicU64,
-    queue_depth: AtomicU64,
-    connections: AtomicU64,
-    shed: AtomicU64,
-    read_timeouts: AtomicU64,
-    panics: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    incidents: [AtomicU64; INCIDENT_CAUSES.len()],
-    fuel_spent: AtomicU64,
+    in_flight: Gauge,
+    queue_depth: Gauge,
+    connections: Counter,
+    shed: Counter,
+    read_timeouts: Counter,
+    panics: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    incidents: [Counter; INCIDENT_CAUSES.len()],
+    fuel_spent: Counter,
     /// The highest snapshot generation published (monotonic via
     /// `fetch_max`, so out-of-order reports cannot move it backwards).
-    session_generation: AtomicU64,
+    session_generation: MaxGauge,
     /// Snapshot publications (ingests + KB reloads).
-    session_swaps: AtomicU64,
+    session_swaps: Counter,
     /// `/v1/ingest` responses by status code.
-    ingest_requests: [AtomicU64; CODES.len() + 1],
+    ingest_requests: [Counter; CODES.len() + 1],
     /// End-to-end `/v1/ingest` latency (parse → durable append → swap).
     ingest_latency: Histogram,
     /// `/v1/kb` reloads by outcome.
-    kb_reloads: [AtomicU64; KB_RELOAD_RESULTS.len()],
+    kb_reloads: [Counter; KB_RELOAD_RESULTS.len()],
     /// `/v1/regress` responses by status code.
-    regress_requests: [AtomicU64; CODES.len() + 1],
+    regress_requests: [Counter; CODES.len() + 1],
     /// End-to-end `/v1/regress` latency (parse both plans → delta scan).
     regress_latency: Histogram,
 }
@@ -178,13 +255,13 @@ impl Metrics {
 
     /// Record one completed request: route, final status, wall latency.
     pub fn record_request(&self, route: Route, status: u16, elapsed: Duration) {
-        self.requests[route.index()][code_index(status)].fetch_add(1, Ordering::Relaxed);
+        self.requests[route.index()][code_index(status)].inc();
         self.latency[route.index()].observe(elapsed);
     }
 
     /// Completed requests for one (route, status) pair.
     pub fn requests(&self, route: Route, status: u16) -> u64 {
-        self.requests[route.index()][code_index(status)].load(Ordering::Relaxed)
+        self.requests[route.index()][code_index(status)].get()
     }
 
     /// Completed requests across all routes and statuses.
@@ -192,90 +269,90 @@ impl Metrics {
         self.requests
             .iter()
             .flat_map(|by_code| by_code.iter())
-            .map(|c| c.load(Ordering::Relaxed))
+            .map(|c| c.get())
             .sum()
     }
 
     /// Increment the in-flight gauge (a worker picked up a connection).
     pub fn inc_in_flight(&self) {
-        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.inc();
     }
 
     /// Decrement the in-flight gauge.
     pub fn dec_in_flight(&self) {
-        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.in_flight.dec();
     }
 
     /// Connections currently being served.
     pub fn in_flight(&self) -> u64 {
-        self.in_flight.load(Ordering::Relaxed)
+        self.in_flight.get()
     }
 
     /// Increment the accept-queue depth gauge.
     pub fn inc_queue_depth(&self) {
-        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.inc();
     }
 
     /// Decrement the accept-queue depth gauge.
     pub fn dec_queue_depth(&self) {
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.dec();
     }
 
     /// Connections waiting in the accept queue.
     pub fn queue_depth(&self) -> u64 {
-        self.queue_depth.load(Ordering::Relaxed)
+        self.queue_depth.get()
     }
 
     /// Count an accepted connection.
     pub fn inc_connections(&self) {
-        self.connections.fetch_add(1, Ordering::Relaxed);
+        self.connections.inc();
     }
 
     /// Count a connection shed by admission control (503 before parsing).
     pub fn inc_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.inc();
     }
 
     /// Connections shed by admission control so far.
     pub fn shed_total(&self) -> u64 {
-        self.shed.load(Ordering::Relaxed)
+        self.shed.get()
     }
 
     /// Count a read-deadline expiry (slowloris trip).
     pub fn inc_read_timeouts(&self) {
-        self.read_timeouts.fetch_add(1, Ordering::Relaxed);
+        self.read_timeouts.inc();
     }
 
     /// Read-deadline expiries so far.
     pub fn read_timeouts_total(&self) -> u64 {
-        self.read_timeouts.load(Ordering::Relaxed)
+        self.read_timeouts.get()
     }
 
     /// Count a handler panic contained by the worker.
     pub fn inc_panics(&self) {
-        self.panics.fetch_add(1, Ordering::Relaxed);
+        self.panics.inc();
     }
 
     /// Handler panics contained so far.
     pub fn panics_total(&self) -> u64 {
-        self.panics.load(Ordering::Relaxed)
+        self.panics.get()
     }
 
     /// Add request bytes read off the wire.
     pub fn add_bytes_in(&self, n: u64) {
-        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+        self.bytes_in.add(n);
     }
 
     /// Add response bytes written to the wire.
     pub fn add_bytes_out(&self, n: u64) {
-        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+        self.bytes_out.add(n);
     }
 
     /// Count one contained scan incident by its stable cause tag
     /// (`optimatch_core::IncidentCause::kind`).
     pub fn inc_incident(&self, cause_kind: &str) {
         if let Some(i) = INCIDENT_CAUSES.iter().position(|&c| c == cause_kind) {
-            self.incidents[i].fetch_add(1, Ordering::Relaxed);
+            self.incidents[i].inc();
         }
     }
 
@@ -284,40 +361,39 @@ impl Metrics {
         INCIDENT_CAUSES
             .iter()
             .position(|&c| c == cause_kind)
-            .map(|i| self.incidents[i].load(Ordering::Relaxed))
+            .map(|i| self.incidents[i].get())
             .unwrap_or(0)
     }
 
     /// Add evaluation steps consumed by a scan/search/diagnose request.
     pub fn add_fuel(&self, fuel: u64) {
-        self.fuel_spent.fetch_add(fuel, Ordering::Relaxed);
+        self.fuel_spent.add(fuel);
     }
 
     /// Total evaluation steps consumed across all requests.
     pub fn fuel_spent_total(&self) -> u64 {
-        self.fuel_spent.load(Ordering::Relaxed)
+        self.fuel_spent.get()
     }
 
     /// Report a published snapshot generation. Monotonic: concurrent
     /// handlers reporting out of order can only move the gauge forward.
     pub fn set_session_generation(&self, generation: u64) {
-        self.session_generation
-            .fetch_max(generation, Ordering::Relaxed);
+        self.session_generation.report(generation);
     }
 
     /// The highest snapshot generation reported so far.
     pub fn session_generation(&self) -> u64 {
-        self.session_generation.load(Ordering::Relaxed)
+        self.session_generation.get()
     }
 
     /// Count one snapshot publication (ingest or KB reload).
     pub fn inc_session_swaps(&self) {
-        self.session_swaps.fetch_add(1, Ordering::Relaxed);
+        self.session_swaps.inc();
     }
 
     /// Snapshot publications so far.
     pub fn session_swaps_total(&self) -> u64 {
-        self.session_swaps.load(Ordering::Relaxed)
+        self.session_swaps.get()
     }
 
     /// Record one completed `/v1/ingest` request: status + wall latency.
@@ -325,19 +401,19 @@ impl Metrics {
     /// exist because ingest latency — dominated by the fsync'd append —
     /// deserves its own histogram.)
     pub fn record_ingest(&self, status: u16, elapsed: Duration) {
-        self.ingest_requests[code_index(status)].fetch_add(1, Ordering::Relaxed);
+        self.ingest_requests[code_index(status)].inc();
         self.ingest_latency.observe(elapsed);
     }
 
     /// `/v1/ingest` responses recorded with `status`.
     pub fn ingest_requests(&self, status: u16) -> u64 {
-        self.ingest_requests[code_index(status)].load(Ordering::Relaxed)
+        self.ingest_requests[code_index(status)].get()
     }
 
     /// Count one `/v1/kb` reload by outcome (`ok`, `rejected`, `invalid`).
     pub fn inc_kb_reload(&self, result: &str) {
         if let Some(i) = KB_RELOAD_RESULTS.iter().position(|&r| r == result) {
-            self.kb_reloads[i].fetch_add(1, Ordering::Relaxed);
+            self.kb_reloads[i].inc();
         }
     }
 
@@ -346,13 +422,13 @@ impl Metrics {
     /// latency profile differs from single-plan diagnose enough to earn
     /// its own histogram.
     pub fn record_regress(&self, status: u16, elapsed: Duration) {
-        self.regress_requests[code_index(status)].fetch_add(1, Ordering::Relaxed);
+        self.regress_requests[code_index(status)].inc();
         self.regress_latency.observe(elapsed);
     }
 
     /// `/v1/regress` responses recorded with `status`.
     pub fn regress_requests(&self, status: u16) -> u64 {
-        self.regress_requests[code_index(status)].load(Ordering::Relaxed)
+        self.regress_requests[code_index(status)].get()
     }
 
     /// `/v1/kb` reloads recorded for one outcome.
@@ -360,7 +436,7 @@ impl Metrics {
         KB_RELOAD_RESULTS
             .iter()
             .position(|&r| r == result)
-            .map(|i| self.kb_reloads[i].load(Ordering::Relaxed))
+            .map(|i| self.kb_reloads[i].get())
             .unwrap_or(0)
     }
 
@@ -375,7 +451,7 @@ impl Metrics {
         ));
         for route in ROUTES {
             for (ci, code) in CODES.iter().enumerate() {
-                let n = self.requests[route.index()][ci].load(Ordering::Relaxed);
+                let n = self.requests[route.index()][ci].get();
                 if n > 0 {
                     let _ = writeln!(
                         out,
@@ -384,7 +460,7 @@ impl Metrics {
                     );
                 }
             }
-            let other = self.requests[route.index()][CODES.len()].load(Ordering::Relaxed);
+            let other = self.requests[route.index()][CODES.len()].get();
             if other > 0 {
                 let _ = writeln!(
                     out,
@@ -422,7 +498,7 @@ impl Metrics {
             &mut out,
             "optimatch_http_connections_total",
             "Connections accepted.",
-            self.connections.load(Ordering::Relaxed),
+            self.connections.get(),
         );
         counter(
             &mut out,
@@ -446,13 +522,13 @@ impl Metrics {
             &mut out,
             "optimatch_http_bytes_in_total",
             "Request bytes read.",
-            self.bytes_in.load(Ordering::Relaxed),
+            self.bytes_in.get(),
         );
         counter(
             &mut out,
             "optimatch_http_bytes_out_total",
             "Response bytes written.",
-            self.bytes_out.load(Ordering::Relaxed),
+            self.bytes_out.get(),
         );
 
         out.push_str(concat!(
@@ -463,7 +539,7 @@ impl Metrics {
             let _ = writeln!(
                 out,
                 "optimatch_scan_incidents_total{{cause=\"{cause}\"}} {}",
-                self.incidents[i].load(Ordering::Relaxed)
+                self.incidents[i].get()
             );
         }
         counter(
@@ -490,7 +566,7 @@ impl Metrics {
             "# TYPE optimatch_ingest_requests_total counter\n",
         ));
         for (ci, code) in CODES.iter().enumerate() {
-            let n = self.ingest_requests[ci].load(Ordering::Relaxed);
+            let n = self.ingest_requests[ci].get();
             if n > 0 {
                 let _ = writeln!(
                     out,
@@ -498,7 +574,7 @@ impl Metrics {
                 );
             }
         }
-        let other = self.ingest_requests[CODES.len()].load(Ordering::Relaxed);
+        let other = self.ingest_requests[CODES.len()].get();
         if other > 0 {
             let _ = writeln!(
                 out,
@@ -510,7 +586,7 @@ impl Metrics {
             "# TYPE optimatch_regress_requests_total counter\n",
         ));
         for (ci, code) in CODES.iter().enumerate() {
-            let n = self.regress_requests[ci].load(Ordering::Relaxed);
+            let n = self.regress_requests[ci].get();
             if n > 0 {
                 let _ = writeln!(
                     out,
@@ -518,7 +594,7 @@ impl Metrics {
                 );
             }
         }
-        let other = self.regress_requests[CODES.len()].load(Ordering::Relaxed);
+        let other = self.regress_requests[CODES.len()].get();
         if other > 0 {
             let _ = writeln!(
                 out,
@@ -533,10 +609,10 @@ impl Metrics {
             let _ = writeln!(
                 out,
                 "optimatch_kb_reload_total{{result=\"{result}\"}} {}",
-                self.kb_reloads[i].load(Ordering::Relaxed)
+                self.kb_reloads[i].get()
             );
         }
-        let ingest_count = self.ingest_latency.count.load(Ordering::Relaxed);
+        let ingest_count = self.ingest_latency.count.get();
         if ingest_count > 0 {
             out.push_str(concat!(
                 "# HELP optimatch_ingest_latency_seconds /v1/ingest latency ",
@@ -546,7 +622,7 @@ impl Metrics {
             let h = &self.ingest_latency;
             let mut cumulative = 0;
             for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
-                cumulative += h.buckets[i].load(Ordering::Relaxed);
+                cumulative += h.buckets[i].get();
                 let _ = writeln!(
                     out,
                     "optimatch_ingest_latency_seconds_bucket{{le=\"{le}\"}} {cumulative}"
@@ -559,11 +635,11 @@ impl Metrics {
             let _ = writeln!(
                 out,
                 "optimatch_ingest_latency_seconds_sum {}",
-                h.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+                h.sum_micros.get() as f64 / 1e6
             );
             let _ = writeln!(out, "optimatch_ingest_latency_seconds_count {ingest_count}");
         }
-        let regress_count = self.regress_latency.count.load(Ordering::Relaxed);
+        let regress_count = self.regress_latency.count.get();
         if regress_count > 0 {
             out.push_str(concat!(
                 "# HELP optimatch_regress_latency_seconds /v1/regress latency ",
@@ -573,7 +649,7 @@ impl Metrics {
             let h = &self.regress_latency;
             let mut cumulative = 0;
             for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
-                cumulative += h.buckets[i].load(Ordering::Relaxed);
+                cumulative += h.buckets[i].get();
                 let _ = writeln!(
                     out,
                     "optimatch_regress_latency_seconds_bucket{{le=\"{le}\"}} {cumulative}"
@@ -586,7 +662,7 @@ impl Metrics {
             let _ = writeln!(
                 out,
                 "optimatch_regress_latency_seconds_sum {}",
-                h.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+                h.sum_micros.get() as f64 / 1e6
             );
             let _ = writeln!(
                 out,
@@ -600,13 +676,13 @@ impl Metrics {
         ));
         for route in ROUTES {
             let h = &self.latency[route.index()];
-            let count = h.count.load(Ordering::Relaxed);
+            let count = h.count.get();
             if count == 0 {
                 continue;
             }
             let mut cumulative = 0;
             for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
-                cumulative += h.buckets[i].load(Ordering::Relaxed);
+                cumulative += h.buckets[i].get();
                 let _ = writeln!(
                     out,
                     "optimatch_http_request_seconds_bucket{{route=\"{}\",le=\"{le}\"}} {cumulative}",
@@ -622,7 +698,7 @@ impl Metrics {
                 out,
                 "optimatch_http_request_seconds_sum{{route=\"{}\"}} {}",
                 route.label(),
-                h.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+                h.sum_micros.get() as f64 / 1e6
             );
             let _ = writeln!(
                 out,

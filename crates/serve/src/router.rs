@@ -70,7 +70,10 @@ pub fn dispatch(state: &Arc<AppState>, request: &Request) -> Response {
         ("GET", "/v1/stats") => stats(state),
         ("GET", "/healthz") => healthz(state),
         ("GET", "/metrics") => metrics(state),
-        (_, "/v1/diagnose") | (_, "/v1/search") | (_, "/v1/ingest") | (_, "/v1/kb")
+        (_, "/v1/diagnose")
+        | (_, "/v1/search")
+        | (_, "/v1/ingest")
+        | (_, "/v1/kb")
         | (_, "/v1/regress") => {
             Response::error(405, "method not allowed").with_header("Allow", "POST")
         }
@@ -416,25 +419,38 @@ fn regress_inner(state: &Arc<AppState>, request: &Request) -> Response {
         Ok(doc) => doc,
         Err(e) => return Response::error(400, &format!("unparseable body: {e}")),
     };
-    let mut plans = [None, None];
-    for (i, key) in ["before", "after"].into_iter().enumerate() {
+    let parse_plan = |key: &str| -> Result<optimatch_qep::Qep, Response> {
         let Some(text) = doc.get(key).and_then(|v| v.as_str()) else {
-            return Response::error(400, &format!("body needs a string field {key:?}"));
+            return Err(Response::error(
+                400,
+                &format!("body needs a string field {key:?}"),
+            ));
         };
-        let qep = match parse_qep(text) {
-            Ok(qep) => qep,
-            Err(e) => return Response::error(400, &format!("{key}: unparseable QEP: {e}")),
-        };
+        let qep = parse_qep(text)
+            .map_err(|e| Response::error(400, &format!("{key}: unparseable QEP: {e}")))?;
         if qep.op_count() == 0 {
-            return Response::error(400, &format!("{key}: contains no plan operators"));
+            return Err(Response::error(
+                400,
+                &format!("{key}: contains no plan operators"),
+            ));
         }
-        plans[i] = Some(qep);
-    }
-    let (before, after) = (plans[0].take().expect("set"), plans[1].take().expect("set"));
-    let mut options = optimatch_core::RegressOptions::default();
-    options.scan = match scan_options(state, request) {
+        Ok(qep)
+    };
+    let before = match parse_plan("before") {
+        Ok(qep) => qep,
+        Err(response) => return response,
+    };
+    let after = match parse_plan("after") {
+        Ok(qep) => qep,
+        Err(response) => return response,
+    };
+    let scan = match scan_options(state, request) {
         Ok(scan) => scan,
         Err(response) => return response,
+    };
+    let mut options = optimatch_core::RegressOptions {
+        scan,
+        ..Default::default()
     };
     if let Some(v) = request.query_param("threshold") {
         let threshold: f64 = match v.parse() {

@@ -39,6 +39,11 @@ extern "C" fn on_signal(_signum: i32) {
 /// Install the flag-setting handler for `SIGINT` and `SIGTERM`. Safe to
 /// call more than once; later installs are no-ops on the flag's meaning.
 pub fn install() {
+    // SAFETY: `c_signal` is ISO C `signal(2)` with the documented ABI;
+    // the handler address passed is a real `extern "C" fn(i32)` that
+    // outlives the process (a fn item), and the handler body performs a
+    // single atomic store, which is async-signal-safe. No Rust state is
+    // touched from signal context.
     #[cfg(unix)]
     unsafe {
         c_signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
@@ -61,4 +66,34 @@ pub fn request() {
 /// production).
 pub fn reset() {
     SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The flag protocol (everything except the foreign `signal(2)`
+    /// call) — also what the CI Miri job executes. One test, not
+    /// several: the flag is a process-global and parallel test threads
+    /// would interfere.
+    #[test]
+    fn flag_protocol_roundtrip_and_idempotent_install() {
+        reset();
+        assert!(!requested());
+        request();
+        assert!(requested());
+        request(); // idempotent
+        assert!(requested());
+        reset();
+        assert!(!requested());
+
+        // Miri cannot model the foreign `signal(2)` call; skip only the
+        // installs under it.
+        #[cfg(unix)]
+        if !cfg!(miri) {
+            install();
+            install();
+            assert!(!requested());
+        }
+    }
 }

@@ -1,0 +1,25 @@
+//! Synchronization facade: std in normal builds, the vendored `loom`
+//! model checker when compiled with `RUSTFLAGS="--cfg loom"`.
+//!
+//! The [`crate::metrics`] registry and the queue-depth/shed accounting in
+//! the accept/worker path import their primitives from here so the
+//! `loom_*` integration tests can explore every interleaving of the real
+//! counters. `crate::signal` intentionally does NOT use this facade: a
+//! static signal flag needs `const` construction and is touched from a
+//! signal handler, neither of which a model type can do.
+
+#[cfg(not(loom))]
+pub use std::sync::atomic;
+#[cfg(not(loom))]
+pub use std::sync::{
+    Arc, LockResult, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    Weak,
+};
+
+#[cfg(loom)]
+pub use loom::sync::atomic;
+#[cfg(loom)]
+pub use loom::sync::{
+    Arc, LockResult, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    Weak,
+};

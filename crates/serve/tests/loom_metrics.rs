@@ -1,0 +1,94 @@
+//! Model-checked `session_generation` gauge: racing snapshot
+//! publications report their generations through [`Metrics`] and the
+//! exposed high-water mark must never go backwards, in every
+//! interleaving the vendored `loom` scheduler can produce
+//! (`RUSTFLAGS="--cfg loom"`).
+
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+
+use optimatch_serve::metrics::Metrics;
+
+#[test]
+fn session_generation_high_water_mark_is_monotone() {
+    let report = loom::explore(|| {
+        let metrics = Arc::new(Metrics::new());
+
+        // Two publications racing to report: the swap for generation 2
+        // can reach the metrics layer before the older in-flight report
+        // of generation 1 does — exactly the reorder `fetch_max` absorbs.
+        let publishers: Vec<_> = [1u64, 2]
+            .into_iter()
+            .map(|generation| {
+                let metrics = Arc::clone(&metrics);
+                loom::thread::spawn(move || {
+                    metrics.set_session_generation(generation);
+                })
+            })
+            .collect();
+
+        let observer = {
+            let metrics = Arc::clone(&metrics);
+            loom::thread::spawn(move || {
+                let first = metrics.session_generation();
+                let second = metrics.session_generation();
+                assert!(
+                    second >= first,
+                    "generation gauge regressed: {first} then {second}"
+                );
+            })
+        };
+
+        for p in publishers {
+            p.join().unwrap();
+        }
+        observer.join().unwrap();
+
+        // Whatever the arrival order, the high-water mark wins out.
+        assert_eq!(
+            metrics.session_generation(),
+            2,
+            "stale generation overwrote a newer one"
+        );
+    });
+    assert!(
+        report.iterations > 100,
+        "model explored only {} interleavings",
+        report.iterations
+    );
+}
+
+/// Mutation: the gauge as a plain last-writer-wins `store` — what the
+/// metrics layer used before `fetch_max`. The model must find the
+/// interleaving where the report for generation 1 lands after the report
+/// for generation 2 and the exposed value moves backwards.
+#[test]
+fn mutation_last_writer_wins_gauge_is_caught() {
+    let message = loom::check_expect_failure(|| {
+        let gauge = Arc::new(AtomicU64::new(0));
+        let publishers: Vec<_> = [1u64, 2]
+            .into_iter()
+            .map(|generation| {
+                let gauge = Arc::clone(&gauge);
+                loom::thread::spawn(move || {
+                    // Weakened report(): store instead of fetch_max.
+                    gauge.store(generation, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for p in publishers {
+            p.join().unwrap();
+        }
+        assert_eq!(
+            gauge.load(Ordering::Relaxed),
+            2,
+            "generation gauge went backwards"
+        );
+    });
+    assert!(
+        message.contains("generation gauge went backwards"),
+        "model failed for the wrong reason: {message}"
+    );
+}

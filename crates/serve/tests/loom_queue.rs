@@ -1,0 +1,164 @@
+//! Model-checked queue-depth/shed accounting: the accept-loop/worker
+//! handoff protocol from `accept_loop`/`worker_loop`, reduced to its
+//! synchronization skeleton and explored exhaustively under the
+//! vendored `loom` scheduler (`RUSTFLAGS="--cfg loom"`).
+//!
+//! The protocol under test is the one `accept_loop` commits to: the
+//! `queue_depth` gauge is incremented BEFORE the handoff is published
+//! (and compensated on a failed send), so a worker's decrement can never
+//! outrun the acceptor's increment and wrap the unsigned gauge. The
+//! mutation check reproduces the pre-fix ordering — increment after a
+//! successful send — and proves the model catches the underflow it
+//! allows.
+
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+
+use optimatch_serve::metrics::Metrics;
+
+/// A gauge that wrapped: any value in the top half of the u64 range can
+/// only come from `0 - 1`.
+fn assert_not_underflowed(depth: u64) {
+    assert!(
+        depth < u64::MAX / 2,
+        "queue depth gauge underflowed to {depth}"
+    );
+}
+
+#[test]
+fn queue_depth_accounting_never_underflows() {
+    let report = loom::explore(|| {
+        let metrics = Arc::new(Metrics::new());
+        // The bounded channel reduced to one slot: 0 = empty, 1 = a
+        // connection was handed off. Release/Acquire mirrors the
+        // synchronization `SyncSender::try_send`/`recv` provide.
+        let slot = Arc::new(AtomicU64::new(0));
+
+        let acceptor = {
+            let metrics = Arc::clone(&metrics);
+            let slot = Arc::clone(&slot);
+            loom::thread::spawn(move || {
+                // The fixed accept_loop ordering: gauge up, then publish.
+                metrics.inc_queue_depth();
+                slot.store(1, Ordering::Release);
+            })
+        };
+
+        let worker = {
+            let metrics = Arc::clone(&metrics);
+            let slot = Arc::clone(&slot);
+            loom::thread::spawn(move || {
+                // worker_loop: bounded poll for the handoff (a blocking
+                // recv in production; bounded so the model stays finite).
+                for _ in 0..2 {
+                    if slot.load(Ordering::Acquire) == 1 {
+                        metrics.dec_queue_depth();
+                        assert_not_underflowed(metrics.queue_depth());
+                        return true;
+                    }
+                    loom::thread::yield_now();
+                }
+                false
+            })
+        };
+
+        acceptor.join().unwrap();
+        let consumed = worker.join().unwrap();
+
+        let final_depth = metrics.queue_depth();
+        assert_not_underflowed(final_depth);
+        // Conservation: exactly what was enqueued minus what was served.
+        assert_eq!(final_depth, if consumed { 0 } else { 1 });
+    });
+    assert!(
+        report.iterations > 100,
+        "model explored only {} interleavings",
+        report.iterations
+    );
+}
+
+/// The shed path: a full queue compensates the optimistic increment, so
+/// a shed connection leaves the gauge where it found it while the shed
+/// counter records the drop.
+#[test]
+fn shed_path_compensates_the_optimistic_increment() {
+    let report = loom::explore(|| {
+        let metrics = Arc::new(Metrics::new());
+
+        let accepted = {
+            let metrics = Arc::clone(&metrics);
+            loom::thread::spawn(move || {
+                metrics.inc_queue_depth();
+            })
+        };
+        let shedders: Vec<_> = (0..2)
+            .map(|_| {
+                let metrics = Arc::clone(&metrics);
+                loom::thread::spawn(move || {
+                    // accept_loop on Err(Full): undo the increment, shed.
+                    metrics.inc_queue_depth();
+                    metrics.dec_queue_depth();
+                    metrics.inc_shed();
+                })
+            })
+            .collect();
+
+        accepted.join().unwrap();
+        for s in shedders {
+            s.join().unwrap();
+        }
+
+        assert_eq!(metrics.queue_depth(), 1, "shed leaked into queue depth");
+        assert_eq!(metrics.shed_total(), 2);
+    });
+    assert!(
+        report.iterations > 100,
+        "model explored only {} interleavings",
+        report.iterations
+    );
+}
+
+/// Mutation: the pre-fix `accept_loop` ordering — increment only AFTER
+/// the send succeeds. A worker scheduled between the publish and the
+/// increment decrements a still-zero gauge and wraps it; the model must
+/// find that window.
+#[test]
+fn mutation_increment_after_send_underflow_is_caught() {
+    let message = loom::check_expect_failure(|| {
+        let metrics = Arc::new(Metrics::new());
+        let slot = Arc::new(AtomicU64::new(0));
+
+        let acceptor = {
+            let metrics = Arc::clone(&metrics);
+            let slot = Arc::clone(&slot);
+            loom::thread::spawn(move || {
+                // The original bug: publish first, count second.
+                slot.store(1, Ordering::Release);
+                metrics.inc_queue_depth();
+            })
+        };
+        let worker = {
+            let metrics = Arc::clone(&metrics);
+            let slot = Arc::clone(&slot);
+            loom::thread::spawn(move || {
+                for _ in 0..2 {
+                    if slot.load(Ordering::Acquire) == 1 {
+                        metrics.dec_queue_depth();
+                        assert_not_underflowed(metrics.queue_depth());
+                        return;
+                    }
+                    loom::thread::yield_now();
+                }
+            })
+        };
+
+        acceptor.join().unwrap();
+        worker.join().unwrap();
+    });
+    assert!(
+        message.contains("underflowed"),
+        "model failed for the wrong reason: {message}"
+    );
+}
