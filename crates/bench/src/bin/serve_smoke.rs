@@ -232,9 +232,95 @@ fn main() {
         "no shutdown summary in {shutdown:?}"
     );
 
+    // Disk-full degradation: restart the server with the repository's
+    // durable footprint capped at its current size, so the next append
+    // hits ENOSPC. The ingest must be refused with 503 (after the CLI
+    // client exhausts its bounded retries), reads must keep answering,
+    // and health/metrics must report sticky read-only mode.
+    let repo_len = std::fs::metadata(&repo).expect("repo metadata").len();
+    println!("restarting with --max-repo-bytes {repo_len} (disk-full scenario)");
+    let mut capped = Command::new(&bin)
+        .args([
+            "serve",
+            repo.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--max-repo-bytes",
+            &repo_len.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    let stdout = capped.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = loop {
+        match lines.next() {
+            Some(Ok(line)) if line.contains("listening on http://") => break line,
+            Some(Ok(_)) => continue,
+            other => panic!("no listening banner from the capped server: {other:?}"),
+        }
+    };
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address in the banner")
+        .to_string();
+    println!("capped server up at {addr}");
+
+    // A plan not yet resident (the earlier ingests are in the repo now),
+    // so the refusal comes from the full disk, not a duplicate id.
+    let mut full_disk_qep = workload.qeps[2].clone();
+    full_disk_qep.id = "smoke-ingest-full".to_string();
+    let full_disk_file = dir.join("smoke-ingest-full.ingest");
+    std::fs::write(&full_disk_file, format_qep(&full_disk_qep)).expect("write ingest plan");
+    let ingest = Command::new(&bin)
+        .arg("ingest")
+        .arg(&addr)
+        .arg(full_disk_file.as_os_str())
+        .output()
+        .expect("run optimatch ingest against the capped server");
+    let ingest_err = String::from_utf8_lossy(&ingest.stderr).into_owned();
+    assert!(
+        !ingest.status.success(),
+        "ingest against a full disk must fail"
+    );
+    assert!(ingest_err.contains("503"), "{ingest_err}");
+
+    // The full disk costs writes, not reads: diagnose still answers.
+    let raw = format!(
+        "POST /v1/diagnose HTTP/1.1\r\nHost: smoke\r\nContent-Length: {}\r\n\r\n{plan_text}",
+        plan_text.len()
+    );
+    let response = request(&addr, raw.as_bytes());
+    expect_status(&response, "200", "/v1/diagnose on a full disk");
+    assert!(response.contains("\"reports\""), "{response}");
+
+    let response = request(&addr, b"GET /healthz HTTP/1.1\r\nHost: smoke\r\n\r\n");
+    expect_status(&response, "200", "/healthz on a full disk");
+    assert!(response.contains("\"storage\":\"read_only\""), "{response}");
+    let response = request(&addr, b"GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n");
+    assert!(
+        response.contains("optimatch_storage_errors_total{kind=\"disk_full\"} 1"),
+        "{response}"
+    );
+    assert!(response.contains("optimatch_read_only 1"), "{response}");
+
+    let kill = Command::new("kill")
+        .args(["-TERM", &capped.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(kill.success(), "kill -TERM failed");
+    let status = capped.wait().expect("wait for the capped server");
+    assert!(
+        status.success(),
+        "capped server exited with {status:?} instead of 0"
+    );
+
     let _ = std::fs::remove_dir_all(&dir);
     println!(
         "serve smoke OK: healthz, diagnose, regress, stats, live ingest, delta scan, metrics, \
-         graceful SIGTERM exit"
+         graceful SIGTERM exit, disk-full read-only degradation"
     );
 }

@@ -335,6 +335,17 @@ fn load_session(args: &Args) -> Result<(OptImatch, Source, Vec<String>), CliErro
 /// additionally needs the [`optimatch_core::Opened::stats`] sidecar when
 /// `--record-stats` is given).
 fn open_session(args: &Args, record_stats: bool) -> Result<optimatch_core::Opened, CliError> {
+    open_session_on(args, record_stats, None)
+}
+
+/// [`open_session`] with an optional injected filesystem for the durable
+/// stores (`optimatch serve --max-repo-bytes` wraps the real disk in a
+/// [`optimatch_core::vfs::CappedFs`] here).
+fn open_session_on(
+    args: &Args,
+    record_stats: bool,
+    vfs: Option<std::sync::Arc<dyn optimatch_core::vfs::Vfs>>,
+) -> Result<optimatch_core::Opened, CliError> {
     let path = args
         .positional
         .first()
@@ -343,10 +354,13 @@ fn open_session(args: &Args, record_stats: bool) -> Result<optimatch_core::Opene
     let source = Source::detect(&path).map_err(|e| CliError(e.to_string()))?;
     // A single plan file stays strict: with exactly one input, "skip the
     // broken file" would mean silently analysing nothing.
-    let options = match source {
+    let mut options = match source {
         Source::File(_) => OpenOptions::new(),
         Source::Dir(_) | Source::Repo(_) => OpenOptions::new().lenient(),
     };
+    if let Some(vfs) = vfs {
+        options = options.vfs(vfs);
+    }
     OptImatch::open(source, options.record_stats(record_stats)).map_err(|e| CliError(e.to_string()))
 }
 
@@ -585,8 +599,27 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         "fuel",
         "deadline-ms",
         "record-stats",
+        "max-repo-bytes",
     ])?;
-    let opened = open_session(args, args.flag("record-stats"))?;
+    // `--max-repo-bytes N` caps the durable footprint (repository +
+    // sidecar) by wrapping the real disk in a `CappedFs`: growth past the
+    // cap fails with ENOSPC, which the server turns into read-only
+    // degradation instead of a 500. Useful for ops quotas and for
+    // exercising the degradation path without filling a real disk.
+    let vfs: Option<std::sync::Arc<dyn optimatch_core::vfs::Vfs>> =
+        match args.option("max-repo-bytes") {
+            Some(v) => {
+                let cap: u64 = v
+                    .parse()
+                    .map_err(|_| CliError(format!("--max-repo-bytes: bad value {v:?}")))?;
+                Some(std::sync::Arc::new(optimatch_core::vfs::CappedFs::new(
+                    optimatch_core::vfs::std_fs(),
+                    cap,
+                )))
+            }
+            None => None,
+        };
+    let opened = open_session_on(args, args.flag("record-stats"), vfs.clone())?;
     let skipped: Vec<String> = opened
         .skipped
         .iter()
@@ -634,6 +667,9 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     if let Some(stats) = stats {
         manager = manager.with_stats(stats);
     }
+    if let Some(vfs) = vfs {
+        manager = manager.with_vfs(vfs);
+    }
     let handle = optimatch_serve::Server::start(options, manager)
         .map_err(|e| CliError(format!("serve: {e}")))?;
 
@@ -670,11 +706,84 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// How many POST attempts `optimatch ingest` makes before giving up on a
+/// retryable failure (a `503` or a transport error).
+const INGEST_ATTEMPTS: u32 = 5;
+
+/// Backoff base and cap for the retry schedule, in milliseconds.
+const INGEST_BACKOFF_BASE_MS: u64 = 100;
+const INGEST_BACKOFF_CAP_MS: u64 = 2_000;
+
+/// The deterministic half of the retry policy: attempt `i` (0-based)
+/// sleeps a jittered exponential delay in `[cap_i/2, cap_i]` where
+/// `cap_i = min(base << i, cap)`. Full-jitter keeps a fleet of clients
+/// retrying against one recovering server from thundering in lockstep;
+/// the xorshift PRNG keeps the schedule dependency-free and, given a
+/// seed, reproducible for tests.
+fn backoff_delays(attempts: u32, base_ms: u64, cap_ms: u64, seed: u64) -> Vec<std::time::Duration> {
+    let mut x = seed | 1; // xorshift must not start at 0
+    (0..attempts)
+        .map(|i| {
+            let exp = base_ms.saturating_mul(1u64 << i.min(16)).min(cap_ms).max(1);
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            std::time::Duration::from_millis(exp / 2 + x % (exp / 2 + 1))
+        })
+        .collect()
+}
+
+/// Whether a response status is worth retrying: only `503` — the server
+/// saying "overloaded or degraded, come back" (it sends `Retry-After`
+/// with it). Client errors and hard server errors are final.
+fn retryable_status(status: u16) -> bool {
+    status == 503
+}
+
+/// POST with bounded retry: transport failures (refused/reset connects,
+/// timeouts) and `503` responses are retried on the jittered exponential
+/// schedule above; anything else returns immediately. Safe for both
+/// ingest endpoints — re-sending a plan that actually landed is a `409`
+/// duplicate, not a double append.
+fn http_post(addr: &str, path: &str, body: &[u8]) -> Result<(u16, String), CliError> {
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(1);
+    let delays = backoff_delays(
+        INGEST_ATTEMPTS,
+        INGEST_BACKOFF_BASE_MS,
+        INGEST_BACKOFF_CAP_MS,
+        seed,
+    );
+    let mut last: Option<CliError> = None;
+    for (i, delay) in delays.iter().enumerate() {
+        match http_post_once(addr, path, body) {
+            Ok((status, resp)) if retryable_status(status) && i + 1 < delays.len() => {
+                last = Some(CliError(format!(
+                    "ingest: {addr} answered {status} (attempt {} of {INGEST_ATTEMPTS}):\n{resp}",
+                    i + 1
+                )));
+                std::thread::sleep(*delay);
+            }
+            Ok(result) => return Ok(result),
+            Err(e) => {
+                if i + 1 >= delays.len() {
+                    return Err(e);
+                }
+                last = Some(e);
+                std::thread::sleep(*delay);
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| CliError("ingest: no attempts made".into())))
+}
+
 /// Minimal HTTP client for `optimatch ingest`: one POST per call over a
 /// fresh connection (`Connection: close`), returning the status code and
 /// body. Hand-rolled over [`std::net::TcpStream`] — the serving layer has
 /// no client half, and the two endpoints only need this much.
-fn http_post(addr: &str, path: &str, body: &[u8]) -> Result<(u16, String), CliError> {
+fn http_post_once(addr: &str, path: &str, body: &[u8]) -> Result<(u16, String), CliError> {
     use std::io::{Read as _, Write as _};
     let mut stream = std::net::TcpStream::connect(addr)
         .map_err(|e| CliError(format!("ingest: connect {addr}: {e}")))?;
@@ -1192,6 +1301,39 @@ mod tests {
         assert_eq!(a.option("n"), Some("5"));
         assert!(a.flag("study"));
         assert!(!a.flag("missing"));
+    }
+
+    #[test]
+    fn backoff_schedule_is_bounded_jittered_and_reproducible() {
+        let delays = backoff_delays(5, 100, 2_000, 42);
+        assert_eq!(delays.len(), 5);
+        // Attempt i's cap is min(100 << i, 2000); jitter keeps each delay
+        // within [cap/2, cap].
+        for (i, d) in delays.iter().enumerate() {
+            let cap = (100u64 << i).min(2_000);
+            let ms = d.as_millis() as u64;
+            assert!(
+                ms >= cap / 2 && ms <= cap,
+                "attempt {i}: {ms}ms vs cap {cap}ms"
+            );
+        }
+        // Same seed, same schedule; different seed, (almost surely)
+        // different jitter.
+        assert_eq!(delays, backoff_delays(5, 100, 2_000, 42));
+        // (An odd seed: `seed | 1` maps 42 and 43 to the same stream.)
+        assert_ne!(delays, backoff_delays(5, 100, 2_000, 1_234_567));
+        // A zero seed must not wedge the xorshift at zero.
+        for d in backoff_delays(3, 100, 2_000, 0) {
+            assert!(d.as_millis() > 0);
+        }
+    }
+
+    #[test]
+    fn only_503_is_a_retryable_status() {
+        assert!(retryable_status(503));
+        for status in [200, 207, 400, 409, 422, 500] {
+            assert!(!retryable_status(status), "{status} must be final");
+        }
     }
 
     #[test]

@@ -79,6 +79,7 @@ pub use kb::{
 pub use lint::{Artifact, Diagnostic, PatternIssue, Severity};
 pub use live::{
     GenerationMark, IngestReceipt, KbReloadReceipt, LiveError, SessionManager, SessionSnapshot,
+    StorageErrorKind,
 };
 pub use matcher::{MatchBinding, Matcher, MatcherCache, PatternMatch, SearchOutcome};
 pub use open::{OpenOptions, OpenSkip, Opened, Source, Strictness};
@@ -88,6 +89,11 @@ pub use repo::{add_to_repo, build_repo, AddOutcome, BuildOutcome};
 pub use session::{OptImatch, SkipCause, SkippedFile, Timings};
 pub use stats::{EntryWeight, MatchRecord, MatchStatsStore, MIN_HISTORY};
 pub use transform::{transform_qep, TransformedQep};
+
+/// The storage-fault-injection layer, re-exported so downstream crates
+/// (serve, cli, their tests) can construct `SimFs`/`CappedFs` instances
+/// without a direct `optimatch-repo` dependency.
+pub use optimatch_repo::vfs;
 
 /// Compile-time thread-safety contract: the long-running HTTP service
 /// (`optimatch-serve`) shares one session and knowledge base behind `Arc`s

@@ -152,9 +152,39 @@ pub enum LiveError {
     /// The replacement KB failed the linter with error-severity
     /// diagnostics; the resident KB is untouched.
     KbRejected(Vec<Diagnostic>),
+    /// The durable append hit a storage fault (disk full, I/O error)
+    /// before anything was published. The resident snapshot is intact
+    /// and keeps serving; the serving layer degrades to read-only and
+    /// tells clients to retry rather than treating this as a bug.
+    Storage {
+        /// Classified fault, for metrics and retry policy.
+        kind: StorageErrorKind,
+        /// The underlying error.
+        error: Error,
+    },
     /// The durable append (or another underlying operation) failed; no
     /// snapshot was published.
     Failed(Error),
+}
+
+/// Classification of a storage fault surfaced by an ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageErrorKind {
+    /// `ENOSPC`: the device is out of space; retrying may succeed once
+    /// space is reclaimed.
+    DiskFull,
+    /// Any other I/O failure (EIO, short write, …).
+    Io,
+}
+
+impl StorageErrorKind {
+    /// Stable label used by the `storage_errors_total{kind}` metric.
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageErrorKind::DiskFull => "disk_full",
+            StorageErrorKind::Io => "io",
+        }
+    }
 }
 
 impl std::fmt::Display for LiveError {
@@ -170,6 +200,12 @@ impl std::fmt::Display for LiveError {
                 "knowledge base rejected by lint with {} error(s)",
                 diags.len()
             ),
+            LiveError::Storage { kind, error } => match kind {
+                StorageErrorKind::DiskFull => {
+                    write!(f, "storage full, ingestion suspended: {error}")
+                }
+                StorageErrorKind::Io => write!(f, "storage error, ingestion suspended: {error}"),
+            },
             LiveError::Failed(e) => write!(f, "{e}"),
         }
     }
@@ -179,6 +215,7 @@ impl std::error::Error for LiveError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             LiveError::Failed(e) => Some(e),
+            LiveError::Storage { error, .. } => Some(error),
             _ => None,
         }
     }
@@ -214,6 +251,10 @@ impl std::error::Error for LiveError {
 #[derive(Debug)]
 pub struct SessionManager {
     repo_path: Option<PathBuf>,
+    /// The filesystem durable appends go through. Plain `std` Arc (not
+    /// the loom facade): the vfs carries no concurrency protocol and
+    /// the loom `Arc` cannot hold unsized trait objects.
+    vfs: std::sync::Arc<dyn optimatch_repo::vfs::Vfs>,
     current: RwLock<Arc<SessionSnapshot>>,
     writer: Mutex<()>,
     swaps: AtomicU64,
@@ -243,6 +284,7 @@ impl SessionManager {
         };
         SessionManager {
             repo_path,
+            vfs: optimatch_repo::vfs::std_fs(),
             current: RwLock::new(Arc::new(snapshot)),
             writer: Mutex::new(()),
             swaps: AtomicU64::new(0),
@@ -254,6 +296,14 @@ impl SessionManager {
     /// fired match into it, stamped with the generation that produced it.
     pub fn with_stats(mut self, stats: Arc<crate::stats::MatchStatsStore>) -> SessionManager {
         self.stats = Some(stats);
+        self
+    }
+
+    /// Route durable appends through an injected filesystem (fault
+    /// injection in tests, byte caps in the CLI). Defaults to the real
+    /// filesystem.
+    pub fn with_vfs(mut self, vfs: std::sync::Arc<dyn optimatch_repo::vfs::Vfs>) -> SessionManager {
+        self.vfs = vfs;
         self
     }
 
@@ -309,8 +359,12 @@ impl SessionManager {
         let transformed = TransformedQep::new(qep);
         let record = crate::repo::snapshot(&transformed, source_file, Vec::new());
         // Durable first: only a successful fsync'd append may publish.
-        let repo_len = optimatch_repo::Repository::append(repo_path, std::slice::from_ref(&record))
-            .map_err(|e| LiveError::Failed(Error::from(e)))?;
+        let repo_len = optimatch_repo::Repository::append_on(
+            &*self.vfs,
+            repo_path,
+            std::slice::from_ref(&record),
+        )
+        .map_err(classify_append_error)?;
         let mut workload = prev.session.workload().to_vec();
         workload.push(transformed);
         let session = OptImatch::from_transformed(workload).with_defaults(prev.session.defaults());
@@ -379,6 +433,26 @@ impl SessionManager {
         // writers by the publish lock; readers never branch on it. Proven
         // safe in tests/loom_live.rs (snapshot torn-read model).
         self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Sort an append failure into the storage-fault bucket (I/O errors,
+/// classified full-vs-other) or the generic failure bucket (duplicate
+/// ids and structural corruption are not storage faults).
+fn classify_append_error(e: optimatch_repo::RepoError) -> LiveError {
+    match e {
+        optimatch_repo::RepoError::Io(io) => {
+            let kind = if optimatch_repo::vfs::is_disk_full(&io) {
+                StorageErrorKind::DiskFull
+            } else {
+                StorageErrorKind::Io
+            };
+            LiveError::Storage {
+                kind,
+                error: Error::Io(io),
+            }
+        }
+        other => LiveError::Failed(Error::from(other)),
     }
 }
 

@@ -95,7 +95,7 @@ pub enum Strictness {
 /// Options for [`OptImatch::open`]: strictness plus the session's baseline
 /// scan behaviour, mirroring [`ScanOptions`]. `prune` and `threads` become
 /// the defaults [`OptImatch::scan`] and the serving layer start from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct OpenOptions {
     /// Skip-and-report vs fail-fast loading.
     pub strictness: Strictness,
@@ -108,6 +108,14 @@ pub struct OpenOptions {
     /// directories and single files have no durable anchor to attach a
     /// sidecar to, so the flag is ignored for them.
     pub record_stats: bool,
+    /// Filesystem all durable I/O (repository open, MatchStats sidecar)
+    /// goes through. `None` means the real filesystem
+    /// ([`optimatch_repo::vfs::StdFs`]); tests inject
+    /// [`optimatch_repo::vfs::SimFs`] or a capped wrapper here to
+    /// exercise fault handling. Directory and single-file sources still
+    /// read plan text through `std::fs` — the VFS covers the durable
+    /// repository formats, not ad-hoc text loading.
+    pub vfs: Option<std::sync::Arc<dyn optimatch_repo::vfs::Vfs>>,
 }
 
 impl Default for OpenOptions {
@@ -117,6 +125,7 @@ impl Default for OpenOptions {
             prune: true,
             threads: 1,
             record_stats: false,
+            vfs: None,
         }
     }
 }
@@ -153,6 +162,14 @@ impl OpenOptions {
     /// Enable fired-match statistics recording (repository sources only).
     pub fn record_stats(mut self, record_stats: bool) -> OpenOptions {
         self.record_stats = record_stats;
+        self
+    }
+
+    /// Route all durable I/O through `vfs` instead of the real
+    /// filesystem. Repository sources and the MatchStats sidecar honour
+    /// the injection; plan-text sources do not (see the field docs).
+    pub fn vfs(mut self, vfs: std::sync::Arc<dyn optimatch_repo::vfs::Vfs>) -> OpenOptions {
+        self.vfs = Some(vfs);
         self
     }
 
@@ -224,6 +241,10 @@ impl OptImatch {
     /// ```
     pub fn open(source: Source, options: OpenOptions) -> Result<Opened, Error> {
         let defaults = options.scan_options();
+        let vfs = options
+            .vfs
+            .clone()
+            .unwrap_or_else(optimatch_repo::vfs::std_fs);
         let (session, skipped) = match (&source, options.strictness) {
             (Source::Dir(dir), Strictness::Strict) => {
                 (crate::session::load_dir_strict(dir)?, Vec::new())
@@ -234,7 +255,7 @@ impl OptImatch {
             }
             (Source::File(path), strictness) => open_file(path, strictness)?,
             (Source::Repo(path), Strictness::Strict) => {
-                let repo = optimatch_repo::Repository::open(path)?;
+                let repo = optimatch_repo::Repository::open_on(&*vfs, path)?;
                 let skipped = repo
                     .recovered
                     .as_ref()
@@ -254,7 +275,7 @@ impl OptImatch {
                 )
             }
             (Source::Repo(path), Strictness::Lenient) => {
-                let loaded = optimatch_repo::Repository::open_lenient(path)?;
+                let loaded = optimatch_repo::Repository::open_lenient_on(&*vfs, path)?;
                 (
                     OptImatch::from_transformed(
                         loaded
@@ -270,7 +291,8 @@ impl OptImatch {
         };
         let stats = match (&source, options.record_stats) {
             (Source::Repo(path), true) => {
-                Some(std::sync::Arc::new(crate::stats::MatchStatsStore::open(
+                Some(std::sync::Arc::new(crate::stats::MatchStatsStore::open_on(
+                    vfs,
                     &crate::stats::MatchStatsStore::sidecar_path(path),
                 )?))
             }

@@ -31,12 +31,17 @@
 //! reported, and overwritten by the next append; every complete frame
 //! before it survives.
 
-use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+// Plain `std` Arc for the filesystem handle: the vfs carries no
+// concurrency protocol worth model-checking, and the loom `Arc` cannot
+// hold unsized trait objects.
+use std::sync::Arc;
 
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::{Mutex, MutexGuard, PoisonError};
 
 use optimatch_repo::crc::crc32;
+use optimatch_repo::vfs::{std_fs, OpenMode, Vfs};
 use optimatch_repo::wire::{put_f64, put_str, put_u32, put_u64, Cursor};
 
 use crate::error::Error;
@@ -183,10 +188,24 @@ pub fn recover(data: &[u8]) -> Result<(Vec<MatchRecord>, usize), Error> {
 pub struct MatchStatsStore {
     /// `None` for an ephemeral (memory-only) store.
     path: Option<PathBuf>,
+    /// The filesystem appends go through ([`std_fs`] in production).
+    vfs: Arc<dyn Vfs>,
     state: Mutex<StatsState>,
     /// Bytes of torn tail found at open (0 for a clean file); the next
     /// append overwrites them.
     torn_tail: u64,
+    /// Samples lost to failed best-effort appends; surfaced through
+    /// `GET /v1/stats` so dropped history is visible, not silent.
+    dropped: AtomicU64,
+    /// Set once the store looks structurally gone (file deleted,
+    /// permissions revoked) rather than transiently failing; further
+    /// best-effort appends skip the doomed I/O.
+    poisoned: AtomicBool,
+    /// Log-once latch for the first best-effort failure.
+    logged: AtomicBool,
+    /// Always true outside the crashsim suite; see
+    /// [`MatchStatsStore::skip_sync_for_tests`].
+    sync_appends: bool,
 }
 
 impl MatchStatsStore {
@@ -203,34 +222,61 @@ impl MatchStatsStore {
     /// reported via [`MatchStatsStore::torn_tail_bytes`]. Opening never
     /// writes, so a kill-and-reopen leaves the file byte-identical.
     pub fn open(path: &Path) -> Result<MatchStatsStore, Error> {
-        let data = match std::fs::read(path) {
+        MatchStatsStore::open_on(std_fs(), path)
+    }
+
+    /// [`MatchStatsStore::open`] over an injected filesystem; appends
+    /// go through the same handle for the store's whole life.
+    pub fn open_on(vfs: Arc<dyn Vfs>, path: &Path) -> Result<MatchStatsStore, Error> {
+        let data = match vfs.read(path) {
             Ok(data) => data,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                let mut f = std::fs::File::create(path)?;
-                f.write_all(&header_bytes())?;
+                let mut f = vfs.open(path, OpenMode::Create)?;
+                f.write_all(0, &header_bytes())?;
                 f.sync_data()?;
-                return Ok(MatchStatsStore {
-                    path: Some(path.to_path_buf()),
-                    state: Mutex::new(StatsState {
+                drop(f);
+                return Ok(MatchStatsStore::with_state(
+                    Some(path.to_path_buf()),
+                    vfs,
+                    StatsState {
                         records: Vec::new(),
                         valid_len: HEADER_LEN as u64,
-                    }),
-                    torn_tail: 0,
-                });
+                    },
+                    0,
+                ));
             }
             Err(e) => return Err(Error::Io(e)),
         };
         let (records, pos) =
             recover(&data).map_err(|e| Error::Internal(format!("{}: {e}", path.display())))?;
         let torn_tail = (data.len() - pos) as u64;
-        Ok(MatchStatsStore {
-            path: Some(path.to_path_buf()),
-            state: Mutex::new(StatsState {
+        Ok(MatchStatsStore::with_state(
+            Some(path.to_path_buf()),
+            vfs,
+            StatsState {
                 records,
                 valid_len: pos as u64,
-            }),
+            },
             torn_tail,
-        })
+        ))
+    }
+
+    fn with_state(
+        path: Option<PathBuf>,
+        vfs: Arc<dyn Vfs>,
+        state: StatsState,
+        torn_tail: u64,
+    ) -> MatchStatsStore {
+        MatchStatsStore {
+            path,
+            vfs,
+            state: Mutex::new(state),
+            torn_tail,
+            dropped: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            logged: AtomicBool::new(false),
+            sync_appends: true,
+        }
     }
 
     /// A memory-only store: same aggregate semantics, no sidecar file.
@@ -238,14 +284,24 @@ impl MatchStatsStore {
     /// would swamp the exploration, and usable wherever durability is
     /// not wanted.
     pub fn ephemeral() -> MatchStatsStore {
-        MatchStatsStore {
-            path: None,
-            state: Mutex::new(StatsState {
+        MatchStatsStore::with_state(
+            None,
+            std_fs(),
+            StatsState {
                 records: Vec::new(),
                 valid_len: HEADER_LEN as u64,
-            }),
-            torn_tail: 0,
-        }
+            },
+            0,
+        )
+    }
+
+    /// Crashsim-only knob: make appends return before their fsync, so
+    /// the crash-point explorer can prove the acked ⇒ durable invariant
+    /// actually depends on that fsync (mutation check). Never call this
+    /// outside the test suite.
+    #[doc(hidden)]
+    pub fn skip_sync_for_tests(&mut self) {
+        self.sync_appends = false;
     }
 
     /// The sidecar's on-disk path (`None` for an ephemeral store).
@@ -300,22 +356,76 @@ impl MatchStatsStore {
             delta.extend_from_slice(&r.frame());
         }
         if let Some(path) = &self.path {
-            let mut f = std::fs::OpenOptions::new()
-                .read(true)
-                .write(true)
-                .open(path)?;
-            f.seek(SeekFrom::Start(state.valid_len))?;
-            f.write_all(&delta)?;
+            let mut f = self.vfs.open(path, OpenMode::ReadWrite)?;
+            f.write_all(state.valid_len, &delta)?;
             let end = state.valid_len + delta.len() as u64;
             // Drop any torn tail the new frames did not fully cover.
             f.set_len(end)?;
-            f.sync_data()?;
+            if self.sync_appends {
+                f.sync_data()?;
+            }
             state.valid_len = end;
         } else {
             state.valid_len += delta.len() as u64;
         }
         state.records.extend(new);
         Ok(state.records.len())
+    }
+
+    /// [`MatchStatsStore::record`] for call sites where history loss
+    /// must not fail the request (scan and regression handlers). A
+    /// transient failure (disk full, I/O error) logs once, counts the
+    /// dropped samples, and leaves the store usable for the next
+    /// attempt; a structural failure (sidecar deleted, permissions
+    /// revoked) additionally poisons the store so later calls skip the
+    /// doomed syscalls entirely. Returns whether the samples were
+    /// recorded.
+    pub fn record_best_effort(&self, samples: &[MatchSample], generation: u64) -> bool {
+        if samples.is_empty() {
+            return true;
+        }
+        // relaxed: the flag is a monotonic hint; a racing reader doing
+        // one extra doomed attempt is harmless.
+        if self.poisoned.load(Ordering::Relaxed) {
+            // relaxed: independent counter, read only for reporting.
+            self.dropped
+                .fetch_add(samples.len() as u64, Ordering::Relaxed);
+            return false;
+        }
+        match self.record(samples, generation) {
+            Ok(_) => true,
+            Err(e) => {
+                // relaxed: independent counter, read only for reporting.
+                self.dropped
+                    .fetch_add(samples.len() as u64, Ordering::Relaxed);
+                if is_structural(&e) {
+                    // relaxed: monotonic flag; see the load above.
+                    self.poisoned.store(true, Ordering::Relaxed);
+                }
+                // relaxed: log-once latch; a duplicate line under a
+                // race is cosmetic.
+                if !self.logged.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "optimatch: match-history recording failed ({e}); \
+                         continuing without history (drops counted in /v1/stats)"
+                    );
+                }
+                false
+            }
+        }
+    }
+
+    /// Samples lost to failed [`MatchStatsStore::record_best_effort`]
+    /// calls since the store was opened.
+    pub fn dropped_samples(&self) -> u64 {
+        // relaxed: independent counter, read only for reporting.
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// True once a structural failure stopped best-effort recording.
+    pub fn is_poisoned(&self) -> bool {
+        // relaxed: monotonic hint flag.
+        self.poisoned.load(Ordering::Relaxed)
     }
 
     /// The learned correlation weight for one entry:
@@ -393,6 +503,19 @@ impl MatchStatsStore {
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
         }
+    }
+}
+
+/// Classify a best-effort append failure. A missing or unopenable
+/// sidecar will not heal on retry — the store is structurally gone; a
+/// full disk or media error can clear, so the store stays usable.
+fn is_structural(err: &Error) -> bool {
+    match err {
+        Error::Io(io) => matches!(
+            io.kind(),
+            std::io::ErrorKind::NotFound | std::io::ErrorKind::PermissionDenied
+        ),
+        _ => false,
     }
 }
 
@@ -564,6 +687,37 @@ mod tests {
         again.apply_history_weighting(&mut reports);
         assert_eq!(reports[0].recommendations[0].entry, "corr");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn best_effort_counts_transient_drops_and_stays_usable() {
+        use optimatch_repo::vfs::{FaultKind, FaultPlan, SimFs};
+        let fs = SimFs::new();
+        let path = PathBuf::from("/wl.optirepo.stats");
+        let store = MatchStatsStore::open_on(Arc::new(fs.clone()), &path).unwrap();
+        fs.set_plan(FaultPlan::new().fail_write(1, FaultKind::Enospc));
+        assert!(!store.record_best_effort(&[sample("e", 0.5, 0.5)], 0));
+        assert_eq!(store.dropped_samples(), 1);
+        assert!(!store.is_poisoned(), "a full disk is transient");
+        // The condition cleared; the store never stopped being usable.
+        assert!(store.record_best_effort(&[sample("e", 0.6, 0.6)], 1));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.dropped_samples(), 1);
+    }
+
+    #[test]
+    fn best_effort_poisons_when_the_sidecar_is_gone() {
+        use optimatch_repo::vfs::SimFs;
+        let fs = SimFs::new();
+        let path = PathBuf::from("/wl.optirepo.stats");
+        let store = MatchStatsStore::open_on(Arc::new(fs.clone()), &path).unwrap();
+        fs.remove(&path);
+        assert!(!store.record_best_effort(&[sample("e", 0.5, 0.5)], 0));
+        assert!(store.is_poisoned(), "a deleted sidecar will not heal");
+        // Later calls skip the doomed I/O but keep counting losses.
+        assert!(!store.record_best_effort(&[sample("e", 0.6, 0.6)], 1));
+        assert_eq!(store.dropped_samples(), 2);
+        assert_eq!(store.len(), 0);
     }
 
     #[test]

@@ -180,6 +180,49 @@ mod tests {
     }
 
     #[test]
+    fn od006_fires_only_in_vfs_covered_storage_code() {
+        let s = "fn load(p: &Path) -> Vec<u8> { std::fs::read(p).unwrap() }";
+        // Inside the repo crate (outside vfs.rs): flagged.
+        assert_eq!(
+            codes(&lint_rust_source(
+                "crates/repo/src/store.rs",
+                s,
+                SourceScope::Production,
+                8
+            )),
+            ["OD006"]
+        );
+        // The stats sidecar is covered too.
+        assert_eq!(
+            codes(&lint_rust_source(
+                "crates/core/src/stats.rs",
+                s,
+                SourceScope::Production,
+                8
+            )),
+            ["OD006"]
+        );
+        // vfs.rs is where the real syscalls are supposed to live.
+        assert!(
+            lint_rust_source("crates/repo/src/vfs.rs", s, SourceScope::Production, 8).is_empty()
+        );
+        // Everything else may use std::fs freely.
+        assert!(
+            lint_rust_source("crates/core/src/session.rs", s, SourceScope::Production, 8)
+                .is_empty()
+        );
+        // Suppression works like every other rule.
+        let allowed = "// devlint: allow(OD006)\nlet f = std::fs::File::open(p);";
+        assert!(lint_rust_source(
+            "crates/repo/src/store.rs",
+            allowed,
+            SourceScope::Production,
+            8
+        )
+        .is_empty());
+    }
+
+    #[test]
     fn test_tail_is_exempt_from_source_rules() {
         let s = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.load(Ordering::Relaxed); unsafe { y() } }\n}";
         assert!(lint_rust_source("crates/x/src/a.rs", s, SourceScope::Production, 8).is_empty());

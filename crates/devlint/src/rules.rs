@@ -9,6 +9,7 @@
 //! | OD003 | `unwrap`/`expect`/`panic!` in serve request-handling code |
 //! | OD004 | non-path dependency in a `Cargo.toml` (hermetic-build policy) |
 //! | OD005 | `#[deprecated]` item past (or without) its stated removal PR |
+//! | OD006 | direct `std::fs` / `File::` use in VFS-covered storage code |
 //!
 //! OD001/OD002 look for the justification in a comment on the same line
 //! or within [`LOOKBACK`] lines above — the shape `rustc` shows in
@@ -49,6 +50,16 @@ pub fn scope_for(path: &str) -> SourceScope {
         return SourceScope::ServeHandler;
     }
     SourceScope::Production
+}
+
+/// Is this file inside the storage layer that must route all I/O through
+/// the VFS (OD006)? The repository crate and the MatchStats sidecar —
+/// everything the crash-point explorer exercises. `vfs.rs` itself is the
+/// one place the real syscalls are allowed to live.
+pub fn vfs_covered(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    (p.starts_with("crates/repo/src/") && p != "crates/repo/src/vfs.rs")
+        || p == "crates/core/src/stats.rs"
 }
 
 /// Lint one Rust source file. `current_pr` feeds OD005's "overdue"
@@ -97,6 +108,22 @@ pub fn lint_rust_source(
                 "`unsafe` without a `// SAFETY:` comment stating the invariant \
                  that makes it sound",
             ));
+        }
+        if vfs_covered(path) && !suppressed(&lines, i, "OD006") {
+            for token in ["std::fs::", "File::", "OpenOptions::new"] {
+                if line.code.contains(token) {
+                    out.push(Diagnostic::new(
+                        "OD006",
+                        path,
+                        i + 1,
+                        &format!(
+                            "direct `{token}` in VFS-covered storage code — route the \
+                             I/O through `optimatch_repo::vfs::Vfs` so fault injection \
+                             and the crash-point explorer see it"
+                        ),
+                    ));
+                }
+            }
         }
         if scope == SourceScope::ServeHandler && !suppressed(&lines, i, "OD003") {
             for token in [".unwrap()", ".expect(", "panic!("] {

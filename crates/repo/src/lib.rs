@@ -18,6 +18,7 @@ pub mod crc;
 pub mod error;
 pub mod record;
 pub mod store;
+pub mod vfs;
 pub mod wire;
 
 pub use error::RepoError;

@@ -43,6 +43,7 @@ use std::path::Path;
 
 use crate::crc::crc32;
 use crate::record::RepoRecord;
+use crate::vfs::{OpenMode, StdFs, Vfs};
 use crate::wire::{put_str, put_u32, put_u64, Cursor};
 use crate::RepoError;
 
@@ -179,6 +180,9 @@ pub struct Repository {
 /// True when `path` is a file that starts with the repository magic —
 /// the detection rule the CLI uses to tell repositories from plan files.
 pub fn is_repo_file(path: &Path) -> bool {
+    // An 8-byte sniff of an arbitrary CLI argument, not durable I/O —
+    // the one production site allowed around the Vfs layer.
+    // devlint: allow(OD006)
     let Ok(mut f) = std::fs::File::open(path) else {
         return false;
     };
@@ -334,10 +338,15 @@ impl Repository {
     /// committed frame, repairs the file in place, and reports what it
     /// did via [`Repository::recovered`] instead of failing.
     pub fn open(path: &Path) -> Result<Repository, RepoError> {
-        let data = std::fs::read(path)?;
+        Repository::open_on(&StdFs, path)
+    }
+
+    /// [`Repository::open`] over an injected filesystem.
+    pub fn open_on(vfs: &dyn Vfs, path: &Path) -> Result<Repository, RepoError> {
+        let data = vfs.read(path)?;
         let version = check_header(&data, path)?;
         if data[APPEND_FLAG_OFFSET as usize] != 0 {
-            return recover_torn_append(path, &data, version);
+            return recover_torn_append(vfs, path, &data, version);
         }
         let (footer_offset, entries) =
             read_footer(&data).map_err(|detail| RepoError::Corrupt { detail })?;
@@ -358,7 +367,13 @@ impl Repository {
     /// records are recovered by scanning segments forward from the
     /// header. Only an unreadable or non-repository file is an error.
     pub fn open_lenient(path: &Path) -> Result<LenientRepo, RepoError> {
-        let data = std::fs::read(path)?;
+        Repository::open_lenient_on(&StdFs, path)
+    }
+
+    /// [`Repository::open_lenient`] over an injected filesystem. Never
+    /// writes, whatever it finds.
+    pub fn open_lenient_on(vfs: &dyn Vfs, path: &Path) -> Result<LenientRepo, RepoError> {
+        let data = vfs.read(path)?;
         let version = check_header(&data, path)?;
         let mut skipped = Vec::new();
         let mut records = Vec::new();
@@ -411,7 +426,12 @@ impl Repository {
     /// Check every structure in the file without failing on the first
     /// problem; the report collects all of them.
     pub fn verify(path: &Path) -> Result<VerifyReport, RepoError> {
-        let data = std::fs::read(path)?;
+        Repository::verify_on(&StdFs, path)
+    }
+
+    /// [`Repository::verify`] over an injected filesystem.
+    pub fn verify_on(vfs: &dyn Vfs, path: &Path) -> Result<VerifyReport, RepoError> {
+        let data = vfs.read(path)?;
         let version = check_header(&data, path)?;
         let mut report = VerifyReport {
             version,
@@ -456,11 +476,16 @@ impl Repository {
     /// Write a fresh repository containing `records`, replacing any
     /// existing file at `path`.
     pub fn save(path: &Path, records: &[RepoRecord]) -> Result<(), RepoError> {
+        Repository::save_on(&StdFs, path, records)
+    }
+
+    /// [`Repository::save`] over an injected filesystem.
+    pub fn save_on(vfs: &dyn Vfs, path: &Path, records: &[RepoRecord]) -> Result<(), RepoError> {
         let mut writer = RepoWriter::new();
         for r in records {
             writer.add(r)?;
         }
-        writer.write_to(path)
+        writer.write_to_on(vfs, path)
     }
 
     /// Append records to an existing repository without re-encoding the
@@ -478,63 +503,99 @@ impl Repository {
     /// between is detected and repaired by the next strict
     /// [`Repository::open`] — see the module docs for the full protocol.
     pub fn append(path: &Path, records: &[RepoRecord]) -> Result<usize, RepoError> {
-        use std::io::{Seek, SeekFrom, Write};
-
-        let data = std::fs::read(path)?;
-        let version = check_header(&data, path)?;
-        if version != FORMAT_VERSION {
-            return Err(RepoError::UnsupportedVersion { found: version });
-        }
-        if data[APPEND_FLAG_OFFSET as usize] != 0 {
-            return Err(RepoError::Corrupt {
-                detail: "append-in-progress flag is set (a previous append was interrupted); \
-                         open the repository to repair it before appending"
-                    .into(),
-            });
-        }
-        let (footer_offset, mut entries) =
-            read_footer(&data).map_err(|detail| RepoError::Corrupt { detail })?;
-        for (index, entry) in entries.iter().enumerate() {
-            segment_payload(&data, entry, index, footer_offset)?;
-        }
-        if records.is_empty() {
-            return Ok(entries.len());
-        }
-        let mut delta = Vec::new();
-        for record in records {
-            if entries.iter().any(|e| e.id == record.id) {
-                return Err(RepoError::DuplicateId {
-                    id: record.id.clone(),
-                });
-            }
-            entries.push(append_segment(&mut delta, record, footer_offset as u64));
-        }
-        let index = build_index(footer_offset as u64 + delta.len() as u64, &entries);
-
-        let mut f = std::fs::OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(path)?;
-        // 1. Mark the append in flight before any record byte moves.
-        f.seek(SeekFrom::Start(APPEND_FLAG_OFFSET))?;
-        f.write_all(&[APPEND_IN_PROGRESS])?;
-        f.sync_data()?;
-        // 2. Frames first: once this fsync returns they are committed —
-        //    recovery keeps every complete checksum-valid frame.
-        f.seek(SeekFrom::Start(footer_offset as u64))?;
-        f.write_all(&delta)?;
-        f.sync_data()?;
-        // 3. Then the index that references them. The file only grows
-        //    (the new footer indexes a superset), so no truncation here.
-        f.write_all(&index)?;
-        f.sync_data()?;
-        // 4. Quiesce: the append is fully durable.
-        f.seek(SeekFrom::Start(APPEND_FLAG_OFFSET))?;
-        f.write_all(&[0])?;
-        f.sync_data()?;
-        Ok(entries.len())
+        Repository::append_on(&StdFs, path, records)
     }
 
+    /// [`Repository::append`] over an injected filesystem.
+    pub fn append_on(
+        vfs: &dyn Vfs,
+        path: &Path,
+        records: &[RepoRecord],
+    ) -> Result<usize, RepoError> {
+        append_impl(vfs, path, records, true)
+    }
+
+    /// Deliberately weakened [`Repository::append_on`] that skips the
+    /// frame and index fsyncs (steps 2 and 3), leaning on the final flag
+    /// fsync to flush everything at once. On a device that persists
+    /// cached writes out of order, that single fsync window can commit
+    /// the index while dropping the frames it points at. This exists so
+    /// the crashsim suite can prove the crash-point explorer *catches*
+    /// the violation — the mutation-check discipline of DESIGN.md §15,
+    /// applied to storage. Never call it for real data.
+    #[doc(hidden)]
+    pub fn append_on_skipping_frame_sync(
+        vfs: &dyn Vfs,
+        path: &Path,
+        records: &[RepoRecord],
+    ) -> Result<usize, RepoError> {
+        append_impl(vfs, path, records, false)
+    }
+}
+
+/// The shared body of [`Repository::append_on`] and its weakened
+/// mutation-check twin; `sync_frames` selects whether steps 2 and 3 of
+/// the protocol fsync (always true outside the crashsim suite).
+fn append_impl(
+    vfs: &dyn Vfs,
+    path: &Path,
+    records: &[RepoRecord],
+    sync_frames: bool,
+) -> Result<usize, RepoError> {
+    let data = vfs.read(path)?;
+    let version = check_header(&data, path)?;
+    if version != FORMAT_VERSION {
+        return Err(RepoError::UnsupportedVersion { found: version });
+    }
+    if data[APPEND_FLAG_OFFSET as usize] != 0 {
+        return Err(RepoError::Corrupt {
+            detail: "append-in-progress flag is set (a previous append was interrupted); \
+                         open the repository to repair it before appending"
+                .into(),
+        });
+    }
+    let (footer_offset, mut entries) =
+        read_footer(&data).map_err(|detail| RepoError::Corrupt { detail })?;
+    for (index, entry) in entries.iter().enumerate() {
+        segment_payload(&data, entry, index, footer_offset)?;
+    }
+    if records.is_empty() {
+        return Ok(entries.len());
+    }
+    let mut delta = Vec::new();
+    for record in records {
+        if entries.iter().any(|e| e.id == record.id) {
+            return Err(RepoError::DuplicateId {
+                id: record.id.clone(),
+            });
+        }
+        entries.push(append_segment(&mut delta, record, footer_offset as u64));
+    }
+    let index = build_index(footer_offset as u64 + delta.len() as u64, &entries);
+
+    let mut f = vfs.open(path, OpenMode::ReadWrite)?;
+    // 1. Mark the append in flight before any record byte moves.
+    f.write_all(APPEND_FLAG_OFFSET, &[APPEND_IN_PROGRESS])?;
+    f.sync_data()?;
+    // 2. Frames first: once this fsync returns they are committed —
+    //    recovery keeps every complete checksum-valid frame.
+    f.write_all(footer_offset as u64, &delta)?;
+    if sync_frames {
+        f.sync_data()?;
+    }
+    // 3. Then the index that references them. The file only grows
+    //    (the new footer indexes a superset), so no truncation here.
+    f.write_all(footer_offset as u64 + delta.len() as u64, &index)?;
+    if sync_frames {
+        f.sync_data()?;
+    }
+    // 4. Quiesce: the append is fully durable.
+    f.write_all(APPEND_FLAG_OFFSET, &[0])?;
+    f.sync_data()?;
+    Ok(entries.len())
+}
+
+impl Repository {
     /// Aggregate statistics over the records.
     pub fn stats(&self) -> RepoStats {
         RepoStats {
@@ -603,7 +664,12 @@ fn finish_file(buf: &mut Vec<u8>, entries: &[IndexEntry]) {
 /// the last append tore somewhere between marking and quiescing. Frames
 /// were fsync'd before the index, so every complete checksum-valid frame
 /// is committed data; the first damaged byte starts the torn tail.
-fn recover_torn_append(path: &Path, data: &[u8], version: u8) -> Result<Repository, RepoError> {
+fn recover_torn_append(
+    vfs: &dyn Vfs,
+    path: &Path,
+    data: &[u8],
+    version: u8,
+) -> Result<Repository, RepoError> {
     // Fast path: the crash landed between the index write and the flag
     // clear. The footer is intact and every record decodes — nothing was
     // lost; repair is just clearing the flag.
@@ -614,7 +680,7 @@ fn recover_torn_append(path: &Path, data: &[u8], version: u8) -> Result<Reposito
             .map(|(index, entry)| decode_entry(data, entry, index, footer_offset))
             .collect();
         if let Ok(records) = decoded {
-            let _ = clear_append_flag(path);
+            let _ = clear_append_flag(vfs, path);
             return Ok(Repository {
                 version,
                 recovered: Some(RecoveredAppend {
@@ -658,7 +724,7 @@ fn recover_torn_append(path: &Path, data: &[u8], version: u8) -> Result<Reposito
     // Best-effort repair: rewrite the index over the torn tail, truncate,
     // clear the flag. A failure (read-only file system, say) still opens
     // — the file just stays dirty and the next open recovers again.
-    let _ = repair_torn_file(path, pos as u64, &entries);
+    let _ = repair_torn_file(vfs, path, pos as u64, &entries);
     Ok(Repository {
         version,
         recovered: Some(RecoveredAppend {
@@ -672,42 +738,38 @@ fn recover_torn_append(path: &Path, data: &[u8], version: u8) -> Result<Reposito
 /// Rewrite the index at `footer_offset`, drop everything after it, and
 /// quiesce the flag — the repair half of [`recover_torn_append`].
 fn repair_torn_file(
+    vfs: &dyn Vfs,
     path: &Path,
     footer_offset: u64,
     entries: &[IndexEntry],
 ) -> std::io::Result<()> {
-    use std::io::{Seek, SeekFrom, Write};
     let index = build_index(footer_offset, entries);
-    let mut f = std::fs::OpenOptions::new()
-        .read(true)
-        .write(true)
-        .open(path)?;
-    f.seek(SeekFrom::Start(footer_offset))?;
-    f.write_all(&index)?;
+    let mut f = vfs.open(path, OpenMode::ReadWrite)?;
+    f.write_all(footer_offset, &index)?;
     f.set_len(footer_offset + index.len() as u64)?;
     f.sync_data()?;
-    f.seek(SeekFrom::Start(APPEND_FLAG_OFFSET))?;
-    f.write_all(&[0])?;
+    f.write_all(APPEND_FLAG_OFFSET, &[0])?;
     f.sync_data()
 }
 
 /// Clear the append-in-progress flag on an otherwise intact file.
-fn clear_append_flag(path: &Path) -> std::io::Result<()> {
-    use std::io::{Seek, SeekFrom, Write};
-    let mut f = std::fs::OpenOptions::new().write(true).open(path)?;
-    f.seek(SeekFrom::Start(APPEND_FLAG_OFFSET))?;
-    f.write_all(&[0])?;
+fn clear_append_flag(vfs: &dyn Vfs, path: &Path) -> std::io::Result<()> {
+    let mut f = vfs.open(path, OpenMode::ReadWrite)?;
+    f.write_all(APPEND_FLAG_OFFSET, &[0])?;
     f.sync_data()
 }
 
 /// Write through a sibling temp file + rename, so a crash mid-write
 /// cannot leave a half-written repository under the final name.
-fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), RepoError> {
+fn write_atomically(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> Result<(), RepoError> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, path).map_err(RepoError::Io)
+    let mut f = vfs.open(&tmp, OpenMode::Create)?;
+    f.write_all(0, bytes)?;
+    f.sync_data()?;
+    drop(f);
+    vfs.rename(&tmp, path).map_err(RepoError::Io)
 }
 
 /// Footer-less recovery: walk self-delimiting segments forward from the
@@ -974,7 +1036,12 @@ impl RepoWriter {
 
     /// Finish the image and write it to `path` atomically.
     pub fn write_to(self, path: &Path) -> Result<(), RepoError> {
+        self.write_to_on(&StdFs, path)
+    }
+
+    /// [`RepoWriter::write_to`] over an injected filesystem.
+    pub fn write_to_on(self, vfs: &dyn Vfs, path: &Path) -> Result<(), RepoError> {
         let bytes = self.finish();
-        write_atomically(path, &bytes)
+        write_atomically(vfs, path, &bytes)
     }
 }

@@ -2,11 +2,18 @@
 //! single flipped bytes, truncation, and mangled structures. The strict
 //! open must fail naming the damaged record; the lenient open must
 //! recover everything else; `verify` must report every problem.
+//!
+//! Pure byte-damage tests run on a [`SimFs`] (no temp files); the
+//! torn-append crash-window tests deliberately stay on the real
+//! filesystem — one raw on-disk test per window — so the `StdFs` path
+//! keeps coverage too. Exhaustive window enumeration lives in
+//! `tests/crashsim.rs`.
 
 use std::path::PathBuf;
 
 use optimatch_qep::fixtures;
 use optimatch_rdf::{Graph, Term};
+use optimatch_repo::vfs::SimFs;
 use optimatch_repo::{RepoError, RepoRecord, Repository, StoredSummary};
 
 fn record(id: &str, qep: optimatch_qep::Qep) -> RepoRecord {
@@ -42,6 +49,21 @@ fn fresh_repo(tag: &str) -> (PathBuf, Vec<u8>) {
     (path, bytes)
 }
 
+/// The same three-record repository on a simulated disk: the bytes plus
+/// a `SimFs` to damage them on. No temp files, no cleanup.
+fn fresh_sim_repo() -> (SimFs, PathBuf, Vec<u8>) {
+    let fs = SimFs::new();
+    let path = PathBuf::from("/sim/corruption.optirepo");
+    let records = vec![
+        record("q-first", fixtures::fig1()),
+        record("q-middle", fixtures::fig7()),
+        record("q-last", fixtures::fig8()),
+    ];
+    Repository::save_on(&fs, &path, &records).expect("save");
+    let bytes = fs.image(&path).expect("image");
+    (fs, path, bytes)
+}
+
 /// File offset of the i-th record's payload start, straight from the
 /// on-disk layout (16-byte header, 10-byte frames).
 fn payload_offset(bytes: &[u8], index: usize) -> (usize, usize) {
@@ -56,13 +78,13 @@ fn payload_offset(bytes: &[u8], index: usize) -> (usize, usize) {
 
 #[test]
 fn one_flipped_byte_fails_strict_open_naming_the_record() {
-    let (path, bytes) = fresh_repo("flip");
+    let (fs, path, bytes) = fresh_sim_repo();
     let (start, len) = payload_offset(&bytes, 1);
     let mut bad = bytes.clone();
     bad[start + len / 2] ^= 0x01;
-    std::fs::write(&path, &bad).unwrap();
+    fs.install(&path, &bad);
 
-    let err = Repository::open(&path).unwrap_err();
+    let err = Repository::open_on(&fs, &path).unwrap_err();
     match &err {
         RepoError::Checksum { index, id, .. } => {
             assert_eq!(*index, 1);
@@ -71,18 +93,17 @@ fn one_flipped_byte_fails_strict_open_naming_the_record() {
         other => panic!("expected a checksum error, got {other}"),
     }
     assert!(err.to_string().contains("q-middle"), "{err}");
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn lenient_open_skips_the_damaged_record_and_keeps_the_rest() {
-    let (path, bytes) = fresh_repo("flip-lenient");
+    let (fs, path, bytes) = fresh_sim_repo();
     let (start, _) = payload_offset(&bytes, 1);
     let mut bad = bytes.clone();
     bad[start] ^= 0x80;
-    std::fs::write(&path, &bad).unwrap();
+    fs.install(&path, &bad);
 
-    let loaded = Repository::open_lenient(&path).unwrap();
+    let loaded = Repository::open_lenient_on(&fs, &path).unwrap();
     let ids: Vec<&str> = loaded
         .repository
         .records
@@ -95,25 +116,24 @@ fn lenient_open_skips_the_damaged_record_and_keeps_the_rest() {
     assert_eq!(skip.index, Some(1));
     assert_eq!(skip.id.as_deref(), Some("q-middle"));
     assert!(skip.to_string().contains("q-middle"), "{skip}");
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn truncated_final_segment_recovers_earlier_records_leniently() {
-    let (path, bytes) = fresh_repo("truncate");
+    let (fs, path, bytes) = fresh_sim_repo();
     // Cut the file somewhere inside the last record's payload — the
     // footer and trailer are gone with it.
     let (last_start, last_len) = payload_offset(&bytes, 2);
     let cut = last_start + last_len / 2;
-    std::fs::write(&path, &bytes[..cut]).unwrap();
+    fs.install(&path, &bytes[..cut]);
 
     // Strict open fails: no trailer.
-    let err = Repository::open(&path).unwrap_err();
+    let err = Repository::open_on(&fs, &path).unwrap_err();
     assert!(matches!(err, RepoError::Corrupt { .. }), "{err}");
 
     // Lenient open falls back to a sequential scan and recovers the
     // first two records.
-    let loaded = Repository::open_lenient(&path).unwrap();
+    let loaded = Repository::open_lenient_on(&fs, &path).unwrap();
     let ids: Vec<&str> = loaded
         .repository
         .records
@@ -129,13 +149,12 @@ fn truncated_final_segment_recovers_earlier_records_leniently() {
         "skips: {:?}",
         loaded.skipped
     );
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn verify_reports_every_problem_without_stopping() {
-    let (path, bytes) = fresh_repo("verify");
-    let ok = Repository::verify(&path).unwrap();
+    let (fs, path, bytes) = fresh_sim_repo();
+    let ok = Repository::verify_on(&fs, &path).unwrap();
     assert!(ok.is_ok());
     assert_eq!(ok.records, 3);
     assert_eq!(ok.bytes, bytes.len() as u64);
@@ -146,9 +165,9 @@ fn verify_reports_every_problem_without_stopping() {
     let (s2, _) = payload_offset(&bytes, 2);
     bad[s0] ^= 0x40;
     bad[s2] ^= 0x40;
-    std::fs::write(&path, &bad).unwrap();
+    fs.install(&path, &bad);
 
-    let report = Repository::verify(&path).unwrap();
+    let report = Repository::verify_on(&fs, &path).unwrap();
     assert!(!report.is_ok());
     assert_eq!(report.records, 1);
     assert_eq!(report.problems.len(), 2);
@@ -162,12 +181,11 @@ fn verify_reports_every_problem_without_stopping() {
         "{:?}",
         report.problems
     );
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn damaged_footer_crc_triggers_sequential_recovery() {
-    let (path, bytes) = fresh_repo("footer");
+    let (fs, path, bytes) = fresh_sim_repo();
     // The footer body sits between the last record and the 16-byte
     // trailer; flip a byte in it so its CRC no longer matches.
     let trailer_start = bytes.len() - 16;
@@ -175,13 +193,13 @@ fn damaged_footer_crc_triggers_sequential_recovery() {
         u64::from_le_bytes(bytes[trailer_start..trailer_start + 8].try_into().unwrap()) as usize;
     let mut bad = bytes.clone();
     bad[footer_offset + 10] ^= 0xFF; // first byte of the footer body
-    std::fs::write(&path, &bad).unwrap();
+    fs.install(&path, &bad);
 
-    let err = Repository::open(&path).unwrap_err();
+    let err = Repository::open_on(&fs, &path).unwrap_err();
     assert!(err.to_string().contains("footer"), "{err}");
 
     // All three records are still intact; the sequential scan finds them.
-    let loaded = Repository::open_lenient(&path).unwrap();
+    let loaded = Repository::open_lenient_on(&fs, &path).unwrap();
     assert_eq!(loaded.repository.records.len(), 3);
     assert!(
         loaded
@@ -193,8 +211,7 @@ fn damaged_footer_crc_triggers_sequential_recovery() {
     );
 
     // Appending to a repository with a broken footer must refuse.
-    assert!(Repository::append(&path, &[record("q-new", fixtures::fig1())]).is_err());
-    std::fs::remove_file(&path).ok();
+    assert!(Repository::append_on(&fs, &path, &[record("q-new", fixtures::fig1())]).is_err());
 }
 
 #[test]

@@ -1,0 +1,174 @@
+//! Property tests over the repository's wire format and lenient reader:
+//! arbitrary truncation and single-byte corruption of a valid file (or
+//! a lone record payload) must never panic the decoder, and no record
+//! ever comes back without surviving its CRC — a corrupted payload is
+//! skipped, not silently returned mutated.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use optimatch_qep::fixtures;
+use optimatch_rdf::{Graph, Term};
+use optimatch_repo::vfs::SimFs;
+use optimatch_repo::wire::Cursor;
+use optimatch_repo::{RepoRecord, Repository, StoredSummary};
+
+fn record(id: &str, qep: optimatch_qep::Qep) -> RepoRecord {
+    let mut qep = qep;
+    qep.id = id.to_string();
+    let mut graph = Graph::new();
+    graph.insert(
+        Term::iri(format!("http://optimatch/qep/{id}")),
+        Term::iri("http://optimatch/hasPopType"),
+        Term::lit_str("HSJOIN"),
+    );
+    RepoRecord {
+        id: id.to_string(),
+        source_file: format!("{id}.qep"),
+        labels: vec!["label-a".to_string()],
+        summary: StoredSummary::default(),
+        qep,
+        graph,
+    }
+}
+
+/// A valid three-record repository image, built once per process.
+fn repo_bytes() -> &'static [u8] {
+    use std::sync::OnceLock;
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let fs = SimFs::new();
+        let path = PathBuf::from("/sim/props.optirepo");
+        let records = vec![
+            record("q-1", fixtures::fig1()),
+            record("q-2", fixtures::fig7()),
+            record("q-3", fixtures::fig8()),
+        ];
+        Repository::save_on(&fs, &path, &records).expect("save");
+        fs.image(&path).expect("image")
+    })
+}
+
+/// The ids the undamaged image decodes to.
+const ORIGINAL_IDS: [&str; 3] = ["q-1", "q-2", "q-3"];
+
+/// Open `bytes` leniently via a fresh SimFs; returns `None` when the
+/// open itself errors (acceptable — only panics are bugs).
+fn lenient(bytes: &[u8]) -> Option<Vec<RepoRecord>> {
+    let fs = SimFs::new();
+    let path = PathBuf::from("/sim/damaged.optirepo");
+    fs.install(&path, bytes);
+    Repository::open_lenient_on(&fs, &path)
+        .ok()
+        .map(|l| l.repository.records)
+}
+
+/// Every surviving record must be byte-for-byte one of the originals:
+/// its payload re-encodes to exactly what was stored, so nothing came
+/// back without its CRC (over those same bytes) having been verified.
+fn assert_survivors_are_originals(records: &[RepoRecord]) {
+    let originals = [
+        record("q-1", fixtures::fig1()),
+        record("q-2", fixtures::fig7()),
+        record("q-3", fixtures::fig8()),
+    ];
+    for r in records {
+        let Some(i) = ORIGINAL_IDS.iter().position(|id| *id == r.id) else {
+            panic!("recovered a record with an invented id {:?}", r.id);
+        };
+        assert_eq!(
+            r.encode(),
+            originals[i].encode(),
+            "recovered record {:?} differs from the original",
+            r.id
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Truncating the file anywhere never panics the lenient reader,
+    /// and whatever it salvages is a subset of the original records,
+    /// unmodified.
+    #[test]
+    fn lenient_open_survives_any_truncation(cut in 0usize..4096) {
+        let bytes = repo_bytes();
+        let cut = cut % (bytes.len() + 1);
+        if let Some(records) = lenient(&bytes[..cut]) {
+            assert_survivors_are_originals(&records);
+        }
+    }
+
+    /// Flipping any single bit never panics the lenient reader and
+    /// never lets a mutated payload through: survivors are always
+    /// byte-identical to originals (the CRC catches every single-bit
+    /// payload flip by construction).
+    #[test]
+    fn lenient_open_survives_any_single_bit_flip(pos in 0usize..65536, bit in 0u8..8) {
+        let mut bytes = repo_bytes().to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        if let Some(records) = lenient(&bytes) {
+            assert_survivors_are_originals(&records);
+        }
+    }
+
+    /// Truncation plus a flip in the remaining prefix — the compound
+    /// damage a torn write followed by media rot would leave.
+    #[test]
+    fn lenient_open_survives_truncation_plus_corruption(
+        cut in 64usize..4096,
+        pos in 0usize..65536,
+        bit in 0u8..8,
+    ) {
+        let bytes = repo_bytes();
+        let cut = 64 + cut % (bytes.len() - 63);
+        let mut damaged = bytes[..cut].to_vec();
+        let pos = pos % damaged.len();
+        damaged[pos] ^= 1 << bit;
+        if let Some(records) = lenient(&damaged) {
+            assert_survivors_are_originals(&records);
+        }
+    }
+
+    /// The record decoder is total over arbitrary bytes: garbage in,
+    /// `Err` (never a panic) out. A successful decode of random bytes
+    /// would be suspicious but is not unsound — the store only feeds it
+    /// CRC-verified payloads.
+    #[test]
+    fn record_decode_is_total(payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = RepoRecord::decode(&payload);
+    }
+
+    /// Why the store checks the CRC *before* decoding: a flipped bit in
+    /// a count field can reinterpret the stream into a different but
+    /// well-formed record, so decode alone is not self-authenticating.
+    /// CRC32 detects every single-bit error by construction — this is
+    /// the property the "no unverified frame" guarantee rests on.
+    #[test]
+    fn the_crc_catches_every_single_bit_flip(pos in 0usize..65536, bit in 0u8..8) {
+        let original = record("q-flip", fixtures::fig1());
+        let mut payload = original.encode();
+        let pos = pos % payload.len();
+        payload[pos] ^= 1 << bit;
+        assert_ne!(
+            optimatch_repo::crc::crc32(&payload),
+            optimatch_repo::crc::crc32(&record("q-flip", fixtures::fig1()).encode()),
+            "a single-bit flip slipped past the CRC"
+        );
+    }
+
+    /// The wire cursor primitives are total over arbitrary bytes.
+    #[test]
+    fn cursor_primitives_are_total(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut c = Cursor::new(&data);
+        let _ = c.u8("x");
+        let _ = c.u32("x");
+        let _ = c.u64("x");
+        let _ = c.f64("x");
+        let _ = c.str("x");
+        let _ = c.strs("x");
+    }
+}

@@ -177,6 +177,26 @@ pub struct AppState {
     pub metrics: Arc<Metrics>,
     /// The serve options (baseline scan options live here).
     pub options: ServeOptions,
+    /// Sticky read-only degraded mode: set on the first storage fault
+    /// surfaced by an ingest and never cleared (a full or failing disk
+    /// does not heal itself; an operator restarts the server once it
+    /// does). Reads keep serving the pinned snapshot; writes are refused
+    /// with `503` + `Retry-After`.
+    read_only: AtomicBool,
+}
+
+impl AppState {
+    /// Whether the server is in read-only degraded mode.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::SeqCst)
+    }
+
+    /// Enter read-only degraded mode (idempotent, never reversed) and
+    /// mirror it into the metrics registry.
+    pub fn enter_read_only(&self) {
+        self.read_only.store(true, Ordering::SeqCst);
+        self.metrics.set_read_only();
+    }
 }
 
 /// What a graceful shutdown achieved.
@@ -274,6 +294,7 @@ impl Server {
             manager: Arc::new(manager),
             metrics: Arc::new(metrics),
             options,
+            read_only: AtomicBool::new(false),
         });
         let stop = Arc::new(AtomicBool::new(false));
 

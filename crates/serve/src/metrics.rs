@@ -190,6 +190,10 @@ pub const LATENCY_BUCKETS: [f64; 8] = [0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0,
 /// registry is decoupled from core by taking the stable string tags.
 const INCIDENT_CAUSES: [&str; 4] = ["panic", "error", "fuel-exhausted", "deadline-exceeded"];
 
+/// Storage-fault kinds mirror `optimatch_core::StorageErrorKind::label`:
+/// `disk_full` (ENOSPC) vs any other I/O failure on the durable path.
+const STORAGE_ERROR_KINDS: [&str; 2] = ["disk_full", "io"];
+
 /// One latency histogram: non-cumulative bucket counts plus a running sum
 /// (in microseconds) and total count. Rendered cumulatively.
 #[derive(Debug, Default)]
@@ -245,6 +249,12 @@ pub struct Metrics {
     regress_requests: [Counter; CODES.len() + 1],
     /// End-to-end `/v1/regress` latency (parse both plans → delta scan).
     regress_latency: Histogram,
+    /// Durable-storage failures by kind (`disk_full`, `io`).
+    storage_errors: [Counter; STORAGE_ERROR_KINDS.len()],
+    /// 1 once the server has entered read-only degraded mode. Sticky by
+    /// construction: a `MaxGauge` only moves forward, so concurrent
+    /// reporters cannot flap it back to 0.
+    read_only: MaxGauge,
 }
 
 impl Metrics {
@@ -431,6 +441,35 @@ impl Metrics {
         self.regress_requests[code_index(status)].get()
     }
 
+    /// Count one durable-storage failure by its stable kind label
+    /// (`optimatch_core::StorageErrorKind::label`).
+    pub fn inc_storage_error(&self, kind: &str) {
+        if let Some(i) = STORAGE_ERROR_KINDS.iter().position(|&k| k == kind) {
+            self.storage_errors[i].inc();
+        }
+    }
+
+    /// Storage failures recorded for one kind label.
+    pub fn storage_errors(&self, kind: &str) -> u64 {
+        STORAGE_ERROR_KINDS
+            .iter()
+            .position(|&k| k == kind)
+            .map(|i| self.storage_errors[i].get())
+            .unwrap_or(0)
+    }
+
+    /// Report that the server entered read-only degraded mode. Sticky:
+    /// there is no way to move the gauge back to 0 short of a restart,
+    /// matching the service's degradation contract.
+    pub fn set_read_only(&self) {
+        self.read_only.report(1);
+    }
+
+    /// Whether read-only degraded mode has been reported.
+    pub fn read_only(&self) -> bool {
+        self.read_only.get() != 0
+    }
+
     /// `/v1/kb` reloads recorded for one outcome.
     pub fn kb_reloads(&self, result: &str) -> u64 {
         KB_RELOAD_RESULTS
@@ -612,6 +651,23 @@ impl Metrics {
                 self.kb_reloads[i].get()
             );
         }
+        out.push_str(concat!(
+            "# HELP optimatch_storage_errors_total Durable-storage failures by kind.\n",
+            "# TYPE optimatch_storage_errors_total counter\n",
+        ));
+        for (i, kind) in STORAGE_ERROR_KINDS.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "optimatch_storage_errors_total{{kind=\"{kind}\"}} {}",
+                self.storage_errors[i].get()
+            );
+        }
+        gauge(
+            &mut out,
+            "optimatch_read_only",
+            "1 once the server entered read-only degraded mode (sticky).",
+            self.read_only.get(),
+        );
         let ingest_count = self.ingest_latency.count.get();
         if ingest_count > 0 {
             out.push_str(concat!(
@@ -795,6 +851,32 @@ mod tests {
             text.contains("optimatch_ingest_latency_seconds_count 2"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn storage_instruments_count_by_kind_and_read_only_is_sticky() {
+        let m = Metrics::new();
+        assert!(!m.read_only());
+        m.inc_storage_error("disk_full");
+        m.inc_storage_error("disk_full");
+        m.inc_storage_error("io");
+        m.inc_storage_error("not-a-kind"); // ignored, not a crash
+        assert_eq!(m.storage_errors("disk_full"), 2);
+        assert_eq!(m.storage_errors("io"), 1);
+        m.set_read_only();
+        m.set_read_only(); // idempotent
+        assert!(m.read_only());
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("optimatch_storage_errors_total{kind=\"disk_full\"} 2"),
+            "{text}"
+        );
+        // Both kind labels render even at zero counts elsewhere.
+        assert!(
+            text.contains("optimatch_storage_errors_total{kind=\"io\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("optimatch_read_only 1"), "{text}");
     }
 
     #[test]

@@ -140,8 +140,9 @@ fn scan_response(state: &AppState, outcome: &ScanOutcome, snapshot: &SessionSnap
     state.metrics.add_fuel(outcome.fuel_spent);
     if let Some(stats) = state.manager.stats() {
         // Recording is best-effort: a full disk must not fail a scan
-        // whose results are already computed.
-        let _ = stats.record(&outcome.samples, snapshot.generation());
+        // whose results are already computed. Drops are counted and
+        // surfaced through `GET /v1/stats`, not silently discarded.
+        stats.record_best_effort(&outcome.samples, snapshot.generation());
     }
     let body = outcome.render_json();
     if outcome.is_degraded() {
@@ -295,7 +296,21 @@ fn ingest(state: &Arc<AppState>, request: &Request) -> Response {
     response
 }
 
+/// The refusal every write gets once the server is read-only: `503` with
+/// a `Retry-After` hint, mirroring the admission-control shed response so
+/// clients need one retry policy for both.
+fn read_only_response(state: &AppState) -> Response {
+    Response::error(
+        503,
+        "storage degraded, server is read-only; ingestion suspended",
+    )
+    .with_header("Retry-After", &state.options.retry_after_secs.to_string())
+}
+
 fn ingest_inner(state: &Arc<AppState>, request: &Request) -> Response {
+    if state.is_read_only() {
+        return read_only_response(state);
+    }
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => return Response::error(400, "body is not UTF-8"),
@@ -330,6 +345,15 @@ fn ingest_inner(state: &Arc<AppState>, request: &Request) -> Response {
         Err(LiveError::EmptyPlan) => Response::error(400, "body contains no plan operators"),
         Err(e @ LiveError::NotRepoBacked) | Err(e @ LiveError::DuplicateId(_)) => {
             Response::error(409, &e.to_string())
+        }
+        // A storage fault on the durable append flips the server into
+        // sticky read-only mode: this ingest and every later one get a
+        // retryable 503, while reads keep serving the pinned snapshot.
+        Err(e @ LiveError::Storage { kind, .. }) => {
+            state.metrics.inc_storage_error(kind.label());
+            state.enter_read_only();
+            Response::error(503, &e.to_string())
+                .with_header("Retry-After", &state.options.retry_after_secs.to_string())
         }
         Err(e) => Response::error(500, &e.to_string()),
     }
@@ -466,7 +490,7 @@ fn regress_inner(state: &Arc<AppState>, request: &Request) -> Response {
             }
             state.metrics.add_fuel(outcome.fuel_spent);
             if let Some(stats) = state.manager.stats() {
-                let _ = stats.record(&outcome.samples, snapshot.generation());
+                stats.record_best_effort(&outcome.samples, snapshot.generation());
             }
             let body = outcome.render_json();
             let response = if outcome.is_degraded() {
@@ -485,10 +509,11 @@ fn regress_inner(state: &Arc<AppState>, request: &Request) -> Response {
 /// document says so and lists nothing, so probes need no special casing.
 fn stats(state: &Arc<AppState>) -> Response {
     let snapshot = state.manager.current();
-    let (recording, records, entries) = match state.manager.stats() {
+    let (recording, records, dropped, entries) = match state.manager.stats() {
         Some(stats) => (
             true,
             stats.len(),
+            stats.dropped_samples(),
             stats
                 .weights()
                 .into_iter()
@@ -502,11 +527,12 @@ fn stats(state: &Arc<AppState>) -> Response {
                 })
                 .collect(),
         ),
-        None => (false, 0, Vec::new()),
+        None => (false, 0, 0, Vec::new()),
     };
     let doc = Value::Object(vec![
         ("recording".to_string(), Value::Bool(recording)),
         ("records".to_string(), records.serialize_to_value()),
+        ("dropped".to_string(), dropped.serialize_to_value()),
         ("entries".to_string(), Value::Array(entries)),
     ]);
     let mut body = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".into());
@@ -518,8 +544,14 @@ fn stats(state: &Arc<AppState>) -> Response {
 /// generation, cheap enough for a tight probe interval.
 fn healthz(state: &Arc<AppState>) -> Response {
     let snapshot = state.manager.current();
+    let storage = if state.is_read_only() {
+        "read_only"
+    } else {
+        "ok"
+    };
     let doc = Value::Object(vec![
         ("status".to_string(), Value::String("ok".to_string())),
+        ("storage".to_string(), Value::String(storage.to_string())),
         (
             "generation".to_string(),
             snapshot.generation().serialize_to_value(),

@@ -1,0 +1,262 @@
+//! Storage-degradation integration tests: a storage fault injected under
+//! the durable append (via `SimFs`) must flip the server into sticky
+//! read-only mode — ingest answers `503` + `Retry-After`, reads keep
+//! serving the pinned snapshot, `/healthz` reports the degradation, and
+//! the `storage_errors_total{kind}` / `read_only` instruments reflect it.
+//! A 500 on a full disk is the bug these tests exist to prevent.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use optimatch_core::vfs::{FaultKind, FaultPlan, SimFs, Vfs};
+use optimatch_core::{builtin, OpenOptions, OptImatch, SessionManager, Source};
+use optimatch_qep::{fixtures, format_qep};
+use optimatch_serve::{ServeOptions, Server, ServerHandle};
+
+fn send_raw(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream.write_all(raw).expect("write");
+    let mut buf = Vec::new();
+    let _ = stream.read_to_end(&mut buf);
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    send_raw(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+    send_raw(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"))
+}
+
+fn header_of(response: &str, name: &str) -> Option<String> {
+    let head = response.split("\r\n\r\n").next()?;
+    head.lines().find_map(|line| {
+        let (k, v) = line.split_once(':')?;
+        (k.eq_ignore_ascii_case(name)).then(|| v.trim().to_string())
+    })
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("")
+}
+
+/// Pull one scalar field out of a JSON object by string search — the
+/// documents under test are flat enough for this.
+fn json_u64(body: &str, key: &str) -> u64 {
+    let pos = body
+        .find(&format!("\"{key}\""))
+        .unwrap_or_else(|| panic!("no {key:?} in {body:?}"));
+    let rest = body[pos..].split_once(':').expect("key has a value").1;
+    let rest = rest.trim_start();
+    let end = rest.find([',', '}', '\n']).expect("value ends");
+    rest[..end].trim().parse().expect("value is a number")
+}
+
+/// Build a three-plan repository on the real filesystem, copy its bytes
+/// into a fresh `SimFs` at the same path, and return both. The real file
+/// is deleted — from here on only the simulated disk exists.
+fn sim_repo(tag: &str) -> (SimFs, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "optimatch-storage-degraded-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for q in [fixtures::fig1(), fixtures::fig7(), fixtures::fig8()] {
+        std::fs::write(dir.join(format!("{}.qep", q.id)), format_qep(&q)).unwrap();
+    }
+    let repo = dir.join("workload.optirepo");
+    optimatch_core::build_repo(&dir, &repo).expect("repo builds");
+    let bytes = std::fs::read(&repo).expect("repo bytes");
+    let fs = SimFs::new();
+    fs.install(&repo, &bytes);
+    std::fs::remove_dir_all(&dir).ok();
+    (fs, repo)
+}
+
+/// Start a server whose session, repository, and stats sidecar all live
+/// on the given simulated filesystem.
+fn start_on_sim(fs: &SimFs, repo: &Path, record_stats: bool) -> ServerHandle {
+    let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+    let opened = OptImatch::open(
+        Source::Repo(repo.to_path_buf()),
+        OpenOptions::new()
+            .record_stats(record_stats)
+            .vfs(Arc::clone(&vfs)),
+    )
+    .expect("opens on SimFs");
+    let mut manager = SessionManager::new(
+        opened.session,
+        builtin::paper_kb(),
+        Some(repo.to_path_buf()),
+    )
+    .with_vfs(Arc::clone(&vfs));
+    if let Some(stats) = opened.stats {
+        manager = manager.with_stats(stats);
+    }
+    Server::start(ServeOptions::new().addr("127.0.0.1:0"), manager).expect("bind")
+}
+
+fn unique_plan(i: usize) -> String {
+    let mut q = fixtures::fig1();
+    q.id = format!("degraded-{i}");
+    format_qep(&q)
+}
+
+/// The acceptance scenario: ENOSPC under the append's frame write flips
+/// the server read-only — sticky 503s on ingest, reads still 200 from
+/// the pinned snapshot, health and metrics reporting the degradation.
+#[test]
+fn enospc_on_ingest_degrades_to_sticky_read_only() {
+    let (fs, repo) = sim_repo("enospc");
+    let server = start_on_sim(&fs, &repo, false);
+    let addr = server.addr();
+
+    // Healthy first: one ingest succeeds through the simulated disk.
+    let response = post(addr, "/v1/ingest", &unique_plan(0));
+    assert_eq!(status_of(&response), 200, "{response}");
+
+    // The append writes flag, frames, index, flag — fail the frame write
+    // (write #2 of the next append) with ENOSPC.
+    fs.set_plan(FaultPlan::new().fail_write(2, FaultKind::Enospc));
+    let response = post(addr, "/v1/ingest", &unique_plan(1));
+    assert_eq!(status_of(&response), 503, "{response}");
+    assert!(header_of(&response, "Retry-After").is_some(), "{response}");
+    assert!(body_of(&response).contains("storage full"), "{response}");
+    assert!(fs.plan_exhausted(), "the injected fault must have fired");
+
+    // Sticky: the next ingest is refused up front, without touching
+    // storage (the fault plan is already exhausted, so a new append
+    // would have *succeeded* — the gate must not let it through).
+    let ops_before = fs.ops();
+    let response = post(addr, "/v1/ingest", &unique_plan(2));
+    assert_eq!(status_of(&response), 503, "{response}");
+    assert!(header_of(&response, "Retry-After").is_some(), "{response}");
+    assert_eq!(
+        fs.ops(),
+        ops_before,
+        "read-only ingest must not touch storage"
+    );
+
+    // Reads keep answering from the pinned snapshot: the successful
+    // ingest's generation, 3 + 1 resident plans.
+    let response = get(addr, "/v1/scan");
+    assert_eq!(status_of(&response), 200, "{response}");
+    assert_eq!(body_of(&response).matches("\"qep_id\"").count(), 4);
+    let response = post(addr, "/v1/diagnose", &format_qep(&fixtures::fig8()));
+    assert_eq!(status_of(&response), 200, "{response}");
+
+    // Health and instruments report the degradation.
+    let response = get(addr, "/healthz");
+    assert_eq!(status_of(&response), 200);
+    assert!(
+        body_of(&response).contains("\"storage\":\"read_only\""),
+        "{response}"
+    );
+    let metrics = get(addr, "/metrics");
+    assert!(
+        metrics.contains("optimatch_storage_errors_total{kind=\"disk_full\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("optimatch_storage_errors_total{kind=\"io\"} 0"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("optimatch_read_only 1"), "{metrics}");
+
+    server.shutdown();
+}
+
+/// EIO (not just ENOSPC) takes the same degradation path, labelled `io`.
+#[test]
+fn eio_on_ingest_degrades_with_the_io_label() {
+    let (fs, repo) = sim_repo("eio");
+    let server = start_on_sim(&fs, &repo, false);
+    let addr = server.addr();
+
+    fs.set_plan(FaultPlan::new().fail_write(1, FaultKind::Eio));
+    let response = post(addr, "/v1/ingest", &unique_plan(0));
+    assert_eq!(status_of(&response), 503, "{response}");
+    assert!(body_of(&response).contains("storage error"), "{response}");
+
+    let metrics = get(addr, "/metrics");
+    assert!(
+        metrics.contains("optimatch_storage_errors_total{kind=\"io\"} 1"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("optimatch_read_only 1"), "{metrics}");
+    let response = get(addr, "/healthz");
+    assert!(
+        body_of(&response).contains("\"storage\":\"read_only\""),
+        "{response}"
+    );
+
+    server.shutdown();
+}
+
+/// A transient stats-sidecar failure must not degrade anything: the scan
+/// still answers 200, the drop is counted and surfaced in `/v1/stats`,
+/// and the store keeps recording afterwards.
+#[test]
+fn stats_sidecar_failure_is_counted_not_fatal() {
+    let (fs, repo) = sim_repo("stats");
+    let server = start_on_sim(&fs, &repo, true);
+    let addr = server.addr();
+
+    // The sidecar record is the only write a scan performs: fail it.
+    fs.set_plan(FaultPlan::new().fail_write(1, FaultKind::Enospc));
+    let response = get(addr, "/v1/scan");
+    assert_eq!(status_of(&response), 200, "{response}");
+    assert!(fs.plan_exhausted(), "the injected fault must have fired");
+
+    let response = get(addr, "/v1/stats");
+    assert_eq!(status_of(&response), 200);
+    let body = body_of(&response);
+    assert!(body.contains("\"recording\": true"), "{body}");
+    let dropped = json_u64(body, "dropped");
+    assert!(dropped >= 1, "drops must be counted: {body}");
+
+    // The store stays usable: a clean scan records, drops stop growing,
+    // and the server never went read-only over a best-effort sidecar.
+    let response = get(addr, "/v1/scan");
+    assert_eq!(status_of(&response), 200);
+    let response = get(addr, "/v1/stats");
+    let body = body_of(&response);
+    assert_eq!(json_u64(body, "dropped"), dropped, "{body}");
+    assert!(json_u64(body, "records") >= 1, "{body}");
+    let response = get(addr, "/healthz");
+    assert!(
+        body_of(&response).contains("\"storage\":\"ok\""),
+        "{response}"
+    );
+
+    server.shutdown();
+}
