@@ -1,11 +1,14 @@
 //! `scan_bench` — pruned vs. unpruned knowledge-base scan (the fig9-style
-//! experiment for the workload pruning index).
+//! experiment for the workload pruning index), plus the query-planner
+//! ablation: every builtin pattern searched across the paper-shaped
+//! workload with the planner on (greedy order, guided paths) and off
+//! (source order), reported under the `"planner"` key.
 //!
 //! The workload is half paper-shaped QEPs (which the built-in patterns can
 //! fire on) and half prunable aggregation chains (which no pattern can
 //! match, decidable from the feature summary alone). Both scans must
 //! produce byte-identical reports; the JSON written to `BENCH_scan.json`
-//! records the timings, the pruning counters, and the speedup.
+//! records the timings, the pruning counters, and the speedups.
 //!
 //! ```text
 //! scan_bench [--quick] [--out FILE.json]
@@ -14,7 +17,10 @@
 use std::time::{Duration, Instant};
 
 use optimatch_bench::{paper_workload, prunable_plan, transform_all};
-use optimatch_core::{builtin, KnowledgeBase, ScanOptions, ScanOutcome, TransformedQep};
+use optimatch_core::{
+    builtin, KnowledgeBase, Matcher, Relationship, ScanOptions, ScanOutcome, SearchOutcome,
+    TransformedQep,
+};
 use serde_json::Value;
 
 /// Best-of-`reps` scan wall time (and the last outcome, for the
@@ -36,6 +42,35 @@ fn time_scan(
         last = Some(outcome);
     }
     (best, last.expect("at least one rep"))
+}
+
+/// Best-of-`reps` wall time for one pattern searched across the workload
+/// with the planner on or off (pruning disabled so every QEP evaluates).
+fn time_search(
+    matcher: &Matcher,
+    workload: &[TransformedQep],
+    optimize: bool,
+    reps: usize,
+) -> (Duration, SearchOutcome) {
+    let options = ScanOptions::default().prune(false).optimize(optimize);
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let outcome = matcher
+            .search_workload(workload, &options)
+            .expect("benchmark searches are valid");
+        best = best.min(start.elapsed());
+        last = Some(outcome);
+    }
+    (best, last.expect("at least one rep"))
+}
+
+/// Order-insensitive match keys: the planner may permute rows.
+fn match_multiset(outcome: &SearchOutcome) -> Vec<String> {
+    let mut keys: Vec<String> = outcome.matches.iter().map(|m| format!("{m:?}")).collect();
+    keys.sort();
+    keys
 }
 
 fn json_f64(x: f64) -> Value {
@@ -111,6 +146,62 @@ fn main() {
         pruned.stats.prune_rate() * 100.0
     );
 
+    // Planner ablation: each builtin pattern across the paper-shaped half
+    // (the fillers never match and would only add constant noise), greedy
+    // order vs the source-order oracle. Recursive patterns — descendant
+    // relationships compile to property-path closures — are the ones the
+    // direction-guided planner exists for, so they are called out.
+    println!("\n# planner (greedy order) vs. source-order oracle, per builtin pattern");
+    let paper_half = &workload[..half];
+    let mut planner_entries = Vec::new();
+    let mut best_recursive_speedup = 0.0f64;
+    for entry in builtin::paper_entries() {
+        let recursive = entry.pattern.pops.iter().any(|p| {
+            p.streams
+                .iter()
+                .any(|s| s.relationship == Relationship::Descendant)
+        });
+        let matcher = Matcher::compile(&entry.pattern).expect("builtin patterns compile");
+        let (plain_time, plain) = time_search(&matcher, paper_half, false, reps);
+        let (optimized_time, optimized) = time_search(&matcher, paper_half, true, reps);
+        assert_eq!(
+            match_multiset(&plain),
+            match_multiset(&optimized),
+            "the planner must not change {} matches",
+            entry.name
+        );
+        let speedup = plain_time.as_secs_f64() / optimized_time.as_secs_f64();
+        if recursive {
+            best_recursive_speedup = best_recursive_speedup.max(speedup);
+        }
+        println!(
+            "{:32} {}  source-order {plain_time:?}  optimized {optimized_time:?}  speedup {speedup:.2}x  ({} matches, {} reorders)",
+            entry.name,
+            if recursive { "recursive" } else { "flat     " },
+            optimized.matches.len(),
+            optimized.planner.reorders,
+        );
+        planner_entries.push(Value::Object(vec![
+            ("name".to_string(), Value::String(entry.name.clone())),
+            ("recursive".to_string(), Value::Bool(recursive)),
+            (
+                "unoptimized_secs".to_string(),
+                json_f64(plain_time.as_secs_f64()),
+            ),
+            (
+                "optimized_secs".to_string(),
+                json_f64(optimized_time.as_secs_f64()),
+            ),
+            ("speedup".to_string(), json_f64(speedup)),
+            ("matches".to_string(), json_usize(optimized.matches.len())),
+            (
+                "reorders".to_string(),
+                json_usize(optimized.planner.reorders as usize),
+            ),
+        ]));
+    }
+    println!("best recursive-pattern speedup: {best_recursive_speedup:.2}x");
+
     let stats = &pruned.stats;
     let json = Value::Object(vec![
         ("qeps".to_string(), json_usize(workload.len())),
@@ -141,6 +232,16 @@ fn main() {
                 ("evaluated".to_string(), json_usize(stats.evaluated)),
                 ("matched".to_string(), json_usize(stats.matched)),
                 ("prune_rate".to_string(), json_f64(stats.prune_rate())),
+            ]),
+        ),
+        (
+            "planner".to_string(),
+            Value::Object(vec![
+                ("entries".to_string(), Value::Array(planner_entries)),
+                (
+                    "best_recursive_speedup".to_string(),
+                    json_f64(best_recursive_speedup),
+                ),
             ]),
         ),
     ]);

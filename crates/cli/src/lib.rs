@@ -33,7 +33,8 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use optimatch_core::{
-    builtin, KnowledgeBase, OpenOptions, OptImatch, Pattern, ScanOptions, SessionManager, Source,
+    builtin, EvalStats, KnowledgeBase, OpenOptions, OptImatch, Pattern, PlanOptions, ScanOptions,
+    SessionManager, Source,
 };
 use optimatch_qep::{parse_qep, render_tree, workload_stats};
 use optimatch_rdf::turtle::{to_turtle, PrefixMap};
@@ -107,10 +108,12 @@ pub struct Args {
 const BOOL_FLAGS: &[&str] = &[
     "study",
     "no-prune",
+    "no-optimize",
     "deny-warnings",
     "extended",
     "fail-fast",
     "record-stats",
+    "timings",
 ];
 
 impl Args {
@@ -193,6 +196,7 @@ pub fn run_with_status(argv: &[String]) -> Result<CmdOutput, CliError> {
         "rdf" => cmd_rdf(&args).map(CmdOutput::clean),
         "search" => cmd_search(&args),
         "scan" => cmd_scan(&args),
+        "explain" => cmd_explain(&args).map(CmdOutput::clean),
         "cluster" => cmd_cluster(&args).map(CmdOutput::clean),
         "repo" => cmd_repo(&args).map(CmdOutput::clean),
         "diff" => cmd_diff(&args),
@@ -217,9 +221,12 @@ pub fn usage() -> String {
      \x20 optimatch tree   FILE.qep                                 render the plan tree\n\
      \x20 optimatch rdf    FILE.qep [--format turtle|ntriples]      dump the RDF transform\n\
      \x20 optimatch search SOURCE (--builtin NAME | --pattern F.json)  find a problem pattern\n\
-     \x20                  [--fuel N] [--deadline-ms MS] [--fail-fast]\n\
+     \x20                  [--fuel N] [--deadline-ms MS] [--fail-fast] [--no-optimize]\n\
      \x20 optimatch scan   SOURCE [--kb F.json] [--threads N] [--no-prune] [--format json]\n\
      \x20                  [--fuel N] [--deadline-ms MS] [--fail-fast]  knowledge-base scan\n\
+     \x20                  [--no-optimize] [--timings]                 (--timings adds planner counters)\n\
+     \x20 optimatch explain SOURCE (--builtin NAME | --pattern F.json)  render the planner's physical\n\
+     \x20                  [--no-optimize]                             plan per QEP without evaluating\n\
      \x20 optimatch repo   build DIR OUT.repo                       snapshot a plan dir\n\
      \x20 optimatch repo   add REPO DIR                             ingest new plans\n\
      \x20 optimatch repo   stats REPO                               repository statistics\n\
@@ -464,11 +471,40 @@ fn incident_lines(incidents: &[optimatch_core::ScanIncident]) -> String {
     out
 }
 
+/// One `planner: …` line summarizing the trace counters of the last
+/// operation (what `scan --timings` and `search` surface).
+fn planner_line(planner: &EvalStats) -> String {
+    format!(
+        "planner: {} pattern(s) estimated, {} reorder(s), est {} vs actual {} rows, \
+         index spo/pos/osp {}/{}/{}, {} backward path(s)\n",
+        planner.patterns,
+        planner.reorders,
+        planner.estimated_rows,
+        planner.actual_rows,
+        planner.index_spo,
+        planner.index_pos,
+        planner.index_osp,
+        planner.backward_paths,
+    )
+}
+
 fn cmd_search(args: &Args) -> Result<CmdOutput, CliError> {
-    args.expect_options(&["builtin", "pattern", "fuel", "deadline-ms", "fail-fast"])?;
+    args.expect_options(&[
+        "builtin",
+        "pattern",
+        "fuel",
+        "deadline-ms",
+        "fail-fast",
+        "no-optimize",
+    ])?;
     let (session, _source, skipped) = load_session(args)?;
     let pattern = resolve_pattern(args)?;
-    let options = budget_options(args, ScanOptions::default().prune(false))?;
+    let options = budget_options(
+        args,
+        ScanOptions::default()
+            .prune(false)
+            .optimize(!args.flag("no-optimize")),
+    )?;
     let outcome = session
         .search_with(&pattern, &options)
         .map_err(|e| CliError(e.to_string()))?;
@@ -505,10 +541,12 @@ fn cmd_scan(args: &Args) -> Result<CmdOutput, CliError> {
         "kb",
         "threads",
         "no-prune",
+        "no-optimize",
         "format",
         "fuel",
         "deadline-ms",
         "fail-fast",
+        "timings",
     ])?;
     let (session, _source, skipped) = load_session(args)?;
     let kb = resolve_kb(args)?;
@@ -517,7 +555,8 @@ fn cmd_scan(args: &Args) -> Result<CmdOutput, CliError> {
         args,
         ScanOptions::default()
             .threads(threads)
-            .prune(!args.flag("no-prune")),
+            .prune(!args.flag("no-prune"))
+            .optimize(!args.flag("no-optimize")),
     )?;
     let outcome = session
         .scan_with(&kb, options)
@@ -558,6 +597,9 @@ fn cmd_scan(args: &Args) -> Result<CmdOutput, CliError> {
         stats.evaluated,
         stats.matched,
     );
+    if args.flag("timings") {
+        out.push_str(&planner_line(&outcome.planner));
+    }
     if degraded {
         let _ = writeln!(
             out,
@@ -576,6 +618,37 @@ fn cmd_scan(args: &Args) -> Result<CmdOutput, CliError> {
         text: out,
         degraded,
     })
+}
+
+/// `optimatch explain SOURCE (--builtin NAME | --pattern F.json)` —
+/// render the planner's physical plan for the pattern against every
+/// workload QEP, without evaluating any rows. `--no-optimize` shows the
+/// source-order oracle plan instead, so the two renderings diff cleanly.
+fn cmd_explain(args: &Args) -> Result<String, CliError> {
+    args.expect_options(&["builtin", "pattern", "no-optimize"])?;
+    let (session, _source, skipped) = load_session(args)?;
+    let pattern = resolve_pattern(args)?;
+    let options = PlanOptions::default().optimize(!args.flag("no-optimize"));
+    let plans = session
+        .explain(&pattern, options)
+        .map_err(|e| CliError(e.to_string()))?;
+    let mut out = warning_lines(&skipped);
+    let _ = writeln!(
+        out,
+        "explain pattern {:?} over {} QEP(s) ({}):",
+        pattern.name,
+        plans.len(),
+        if options.optimize {
+            "optimized"
+        } else {
+            "source order"
+        },
+    );
+    for (qep_id, plan) in &plans {
+        let _ = writeln!(out, "--- {qep_id} ---");
+        let _ = writeln!(out, "{plan}");
+    }
+    Ok(out)
 }
 
 /// `optimatch serve SOURCE ...` — load the workload once, then answer
@@ -1397,6 +1470,60 @@ mod tests {
             .expect("plan file exists");
         let tree = run_ok(&["tree", a_file.to_str().unwrap()]);
         assert!(tree.contains("RETURN"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explain_renders_plans_and_planner_flags_stay_observational() {
+        let dir = temp_dir("explain");
+        let out_dir = dir.join("wl");
+        run_ok(&[
+            "gen",
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--n",
+            "6",
+            "--seed",
+            "7",
+        ]);
+        let src = out_dir.to_str().unwrap();
+
+        let explain = run_ok(&["explain", src, "--builtin", "pattern-b-loj-join-order"]);
+        assert!(
+            explain
+                .contains("explain pattern \"pattern-b-loj-join-order\" over 6 QEP(s) (optimized)"),
+            "{explain}"
+        );
+        assert!(explain.contains("bgp ("), "{explain}");
+        assert!(explain.contains("est="), "{explain}");
+
+        let oracle = run_ok(&[
+            "explain",
+            src,
+            "--builtin",
+            "pattern-b-loj-join-order",
+            "--no-optimize",
+        ]);
+        assert!(oracle.contains("(source order)"), "{oracle}");
+        assert!(!oracle.contains("reordered"), "{oracle}");
+
+        // `scan --timings` renders the planner counter line; with the
+        // planner off the counters are all zero and reports are identical.
+        let timed = run_ok(&["scan", src, "--timings"]);
+        assert!(timed.contains("planner: "), "{timed}");
+        let off = run_ok(&["scan", src, "--timings", "--no-optimize"]);
+        assert!(
+            off.contains("planner: 0 pattern(s) estimated, 0 reorder(s)"),
+            "{off}"
+        );
+        let body = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("planner:") && !l.starts_with("scanned"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(body(&timed), body(&off));
 
         std::fs::remove_dir_all(&dir).ok();
     }

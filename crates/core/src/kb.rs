@@ -10,7 +10,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use optimatch_sparql::{BudgetCause, SparqlError};
+use optimatch_sparql::{BudgetCause, EvalStats, SparqlError};
 use serde::{Deserialize, Serialize};
 
 use crate::error::Error;
@@ -135,6 +135,11 @@ pub struct ScanOptions {
     /// Abort the whole scan at its first incident (as
     /// [`Error::Incident`]) instead of recording it and continuing.
     pub fail_fast: bool,
+    /// Whether the cost-based query planner may reorder BGPs and guide
+    /// property-path evaluation. Results are identical either way (the
+    /// off switch is the correctness oracle); turning it off exists for
+    /// benchmarks and regression hunting.
+    pub optimize: bool,
 }
 
 impl Default for ScanOptions {
@@ -145,6 +150,7 @@ impl Default for ScanOptions {
             fuel: None,
             deadline: None,
             fail_fast: false,
+            optimize: true,
         }
     }
 }
@@ -183,6 +189,12 @@ impl ScanOptions {
     /// Abort the scan on the first incident instead of recording it.
     pub fn fail_fast(mut self, fail_fast: bool) -> ScanOptions {
         self.fail_fast = fail_fast;
+        self
+    }
+
+    /// Enable or disable the cost-based query planner.
+    pub fn optimize(mut self, optimize: bool) -> ScanOptions {
+        self.optimize = optimize;
         self
     }
 }
@@ -326,6 +338,11 @@ pub struct ScanOutcome {
     /// One sample per fired (entry × QEP) pair, in workload order then
     /// entry order — what a match-history store records for this scan.
     pub samples: Vec<MatchSample>,
+    /// Aggregated query-planner decision counters across every unit
+    /// (patterns estimated, reorders applied, index choices, estimated vs.
+    /// actual rows). Deterministic for a given workload, KB, and options;
+    /// all-zero when the scan ran with `optimize` off.
+    pub planner: EvalStats,
 }
 
 impl ScanOutcome {
@@ -365,16 +382,17 @@ pub fn render_scan_json(reports: &[QepReport], incidents: &[ScanIncident]) -> St
 /// `catch_unwind` converts a panic into a recorded incident (payload
 /// captured) instead of tearing down the scan. The success value carries
 /// the steps the unit consumed, so callers can keep workload-level fuel
-/// totals; failed units report their consumption on the incident.
+/// totals, plus the unit's planner decision trace; failed units report
+/// their consumption on the incident.
 pub(crate) fn run_contained(
     matcher: &Matcher,
     entry_name: &str,
     t: &TransformedQep,
     options: &ScanOptions,
-) -> Result<(Vec<PatternMatch>, u64), ScanIncident> {
+) -> Result<(Vec<PatternMatch>, u64, EvalStats), ScanIncident> {
     let budget = optimatch_sparql::Budget::limited(options.fuel, options.deadline);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        matcher.find_budgeted(t, &budget)
+        matcher.find_traced(t, &budget, options.optimize)
     }));
     let incident = |cause: IncidentCause| ScanIncident {
         qep_id: t.qep.id.clone(),
@@ -384,7 +402,7 @@ pub(crate) fn run_contained(
         fuel_spent: budget.spent(),
     };
     match result {
-        Ok(Ok(matches)) => Ok((matches, budget.spent())),
+        Ok(Ok((matches, planner))) => Ok((matches, budget.spent(), planner)),
         Ok(Err(Error::Sparql(SparqlError::BudgetExceeded { cause, .. }))) => {
             Err(incident(match cause {
                 BudgetCause::Fuel => IncidentCause::FuelExhausted,
@@ -509,7 +527,15 @@ impl KnowledgeBase {
     ) -> Result<QepReport, Error> {
         let options = ScanOptions::default().prune(prune).fail_fast(true);
         let mut incidents = Vec::new();
-        self.scan_qep_governed(t, &options, stats, &mut incidents, &mut 0, &mut Vec::new())
+        self.scan_qep_governed(
+            t,
+            &options,
+            stats,
+            &mut incidents,
+            &mut 0,
+            &mut Vec::new(),
+            &mut EvalStats::default(),
+        )
     }
 
     /// The contained per-QEP scan unit loop: every (entry × QEP) matcher
@@ -517,6 +543,7 @@ impl KnowledgeBase {
     /// failing unit either aborts the scan (`fail_fast`) or is appended
     /// to `incidents` (entry order) and its entry simply contributes no
     /// recommendation for this QEP.
+    #[allow(clippy::too_many_arguments)]
     fn scan_qep_governed(
         &self,
         t: &TransformedQep,
@@ -525,6 +552,7 @@ impl KnowledgeBase {
         incidents: &mut Vec<ScanIncident>,
         fuel_spent: &mut u64,
         samples: &mut Vec<MatchSample>,
+        planner: &mut EvalStats,
     ) -> Result<QepReport, Error> {
         let mut recommendations = Vec::new();
         for (entry, compiled) in self.entries.iter().zip(&self.compiled) {
@@ -536,8 +564,9 @@ impl KnowledgeBase {
             stats.evaluated += 1;
             let matches: Vec<PatternMatch> =
                 match run_contained(&compiled.matcher, &entry.name, t, options) {
-                    Ok((matches, fuel)) => {
+                    Ok((matches, fuel, trace)) => {
                         *fuel_spent = fuel_spent.saturating_add(fuel);
+                        planner.absorb(&trace);
                         matches
                     }
                     Err(incident) => {
@@ -604,6 +633,7 @@ impl KnowledgeBase {
         let mut incidents = Vec::new();
         let mut fuel_spent: u64 = 0;
         let mut samples = Vec::new();
+        let mut planner = EvalStats::default();
         if threads <= 1 {
             for t in workload {
                 reports.push(self.scan_qep_governed(
@@ -613,6 +643,7 @@ impl KnowledgeBase {
                     &mut incidents,
                     &mut fuel_spent,
                     &mut samples,
+                    &mut planner,
                 )?);
             }
         } else {
@@ -622,6 +653,7 @@ impl KnowledgeBase {
                 Vec<ScanIncident>,
                 u64,
                 Vec<MatchSample>,
+                EvalStats,
             );
             let chunk_size = workload.len().div_ceil(threads);
             let chunk_results: Vec<Result<ChunkOut, Error>> = std::thread::scope(|scope| {
@@ -633,6 +665,7 @@ impl KnowledgeBase {
                             let mut local_incidents = Vec::new();
                             let mut local_fuel: u64 = 0;
                             let mut local_samples = Vec::new();
+                            let mut local_planner = EvalStats::default();
                             let mut local = Vec::with_capacity(chunk.len());
                             for t in chunk {
                                 local.push(self.scan_qep_governed(
@@ -642,6 +675,7 @@ impl KnowledgeBase {
                                     &mut local_incidents,
                                     &mut local_fuel,
                                     &mut local_samples,
+                                    &mut local_planner,
                                 )?);
                             }
                             Ok((
@@ -650,6 +684,7 @@ impl KnowledgeBase {
                                 local_incidents,
                                 local_fuel,
                                 local_samples,
+                                local_planner,
                             ))
                         })
                     })
@@ -670,12 +705,14 @@ impl KnowledgeBase {
             // Chunks partition the workload in order, so the first erring
             // chunk holds the globally-first fail-fast incident.
             for chunk in chunk_results {
-                let (local, local_stats, local_incidents, local_fuel, local_samples) = chunk?;
+                let (local, local_stats, local_incidents, local_fuel, local_samples, local_planner) =
+                    chunk?;
                 reports.extend(local);
                 stats.merge(&local_stats);
                 incidents.extend(local_incidents);
                 fuel_spent = fuel_spent.saturating_add(local_fuel);
                 samples.extend(local_samples);
+                planner.absorb(&local_planner);
             }
         }
         self.apply_workload_weighting(&mut reports, workload);
@@ -685,6 +722,7 @@ impl KnowledgeBase {
             incidents,
             fuel_spent,
             samples,
+            planner,
         })
     }
 

@@ -90,6 +90,11 @@ pub use session::{OptImatch, SkipCause, SkippedFile, Timings};
 pub use stats::{EntryWeight, MatchRecord, MatchStatsStore, MIN_HISTORY};
 pub use transform::{transform_qep, TransformedQep};
 
+/// Planner surface, re-exported so downstream crates (serve, cli, bench)
+/// can render explain output and planner counters without a direct
+/// `optimatch-sparql` dependency.
+pub use optimatch_sparql::{EvalStats, PathDirection, PhysicalPlan, PlanOptions, PlanStep};
+
 /// The storage-fault-injection layer, re-exported so downstream crates
 /// (serve, cli, their tests) can construct `SimFs`/`CappedFs` instances
 /// without a direct `optimatch-repo` dependency.

@@ -671,11 +671,22 @@ pub fn query_diagnostics(entry: &str, query: &ast::Query) -> Vec<Diagnostic> {
     // their group does not bind. Evaluation order then changes results.
     check_optionals(entry, w, &mut out);
 
-    // OL104 — recursive property paths (descendant relationships).
+    // OL104 — recursive property paths (descendant relationships) whose
+    // closure frontier the planner estimates as wide. A plain `p+` walks
+    // one predicate per hop (frontier estimate 1) and stays cheap under
+    // the planner's direction guidance, so it is no longer flagged; an
+    // alternative-of-predicates closure like `(a|b|c)+` multiplies the
+    // frontier per hop and still earns the note.
     let mut triples = Vec::new();
     all_triples(w, &mut triples);
-    let recursive = triples.iter().filter(|t| t.path.is_recursive()).count();
-    if recursive > 0 {
+    const FRONTIER_THRESHOLD: u64 = 2;
+    let frontiers: Vec<u64> = triples
+        .iter()
+        .filter(|t| t.path.is_recursive())
+        .map(|t| optimatch_sparql::plan::recursive_frontier_estimate(&t.path))
+        .filter(|&f| f >= FRONTIER_THRESHOLD)
+        .collect();
+    if let Some(widest) = frontiers.iter().max() {
         out.push(Diagnostic::new(
             "OL104",
             Severity::Note,
@@ -683,8 +694,10 @@ pub fn query_diagnostics(entry: &str, query: &ast::Query) -> Vec<Diagnostic> {
             Artifact::Query,
             None,
             format!(
-                "{recursive} recursive property path(s) (unbounded `*`/`+` from descendant \
-                 relationships): expect ~2x evaluation cost (paper Figure 9)"
+                "{} recursive property path(s) with an estimated closure frontier of \
+                 {widest} branch(es) per hop (threshold {FRONTIER_THRESHOLD}): expect \
+                 ~2x evaluation cost (paper Figure 9)",
+                frontiers.len()
             ),
             Some(
                 "use Immediate Child relationships where the shape allows it; when scanning, \
@@ -1185,6 +1198,24 @@ mod tests {
         )
         .unwrap();
         assert!(query_diagnostics("t", &q).is_empty());
+    }
+
+    #[test]
+    fn recursive_path_note_is_cost_gated() {
+        // A plain single-predicate closure walks one branch per hop — the
+        // planner's frontier estimate stays below the threshold, no note.
+        let q = optimatch_sparql::parse_query("SELECT * WHERE { ?a <p:x>+ ?b . }").unwrap();
+        assert!(query_diagnostics("t", &q).is_empty());
+        // An alternative-of-predicates closure branches three ways per hop.
+        let q = optimatch_sparql::parse_query("SELECT * WHERE { ?a (<p:x>|<p:y>|<p:z>)+ ?b . }")
+            .unwrap();
+        let diags = query_diagnostics("t", &q);
+        assert_eq!(codes(&diags), vec!["OL104"]);
+        assert!(
+            diags[0].message.contains("frontier of 3 branch(es)"),
+            "{}",
+            diags[0].message
+        );
     }
 
     #[test]

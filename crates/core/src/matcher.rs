@@ -12,7 +12,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use optimatch_rdf::Term;
-use optimatch_sparql::{ast, execute_parsed_budgeted, parse_query, Budget};
+use optimatch_sparql::{
+    ast, execute_parsed_traced, explain_parsed, parse_query, Budget, EvalStats, PhysicalPlan,
+    PlanOptions,
+};
 
 use crate::compile::compile_pattern;
 use crate::error::Error;
@@ -150,8 +153,27 @@ impl Matcher {
         t: &TransformedQep,
         budget: &Budget,
     ) -> Result<Vec<PatternMatch>, Error> {
+        self.find_traced(t, budget, true)
+            .map(|(matches, _)| matches)
+    }
+
+    /// [`Matcher::find_budgeted`] with explicit planner control, returning
+    /// the planner's decision trace alongside the matches. `optimize =
+    /// false` is the correctness oracle: source-order evaluation, empty
+    /// trace.
+    pub fn find_traced(
+        &self,
+        t: &TransformedQep,
+        budget: &Budget,
+        optimize: bool,
+    ) -> Result<(Vec<PatternMatch>, EvalStats), Error> {
         crate::chaos::trip(&self.pattern.name)?;
-        let table = execute_parsed_budgeted(&t.graph, &self.query, budget)?;
+        let (table, planner) = execute_parsed_traced(
+            &t.graph,
+            &self.query,
+            PlanOptions::default().optimize(optimize),
+            budget,
+        )?;
         let mut out = Vec::with_capacity(table.len());
         for row in 0..table.len() {
             let mut bindings = Vec::with_capacity(table.vars().len());
@@ -169,7 +191,15 @@ impl Matcher {
                 bindings,
             });
         }
-        Ok(out)
+        Ok((out, planner))
+    }
+
+    /// The planner's physical plan for this pattern against one QEP's
+    /// graph, without evaluating any rows — what `optimatch explain`
+    /// renders. The replay is exact: planner decisions depend only on the
+    /// graph's statistics and bound-variable flags, never on row contents.
+    pub fn explain(&self, t: &TransformedQep, options: PlanOptions) -> Result<PhysicalPlan, Error> {
+        Ok(explain_parsed(&t.graph, &self.query, options)?)
     }
 
     /// Match across a workload, concatenating per-QEP matches
@@ -258,11 +288,12 @@ impl Matcher {
             }
             out.stats.evaluated += 1;
             match run_contained(self, &self.pattern.name, t, options) {
-                Ok((matches, fuel)) => {
+                Ok((matches, fuel, trace)) => {
                     if !matches.is_empty() {
                         out.stats.matched += 1;
                     }
                     out.fuel_spent = out.fuel_spent.saturating_add(fuel);
+                    out.planner.absorb(&trace);
                     out.matches.extend(matches);
                 }
                 Err(incident) => {
@@ -291,6 +322,9 @@ pub struct SearchOutcome {
     /// Total evaluation steps across every unit (successful and failed);
     /// deterministic for a given workload, pattern, and budget.
     pub fuel_spent: u64,
+    /// Aggregated query-planner decision counters across every unit;
+    /// all-zero when the search ran with `optimize` off.
+    pub planner: EvalStats,
 }
 
 /// A concurrency-safe cache of compiled matchers, keyed by pattern

@@ -343,7 +343,7 @@ pub fn regress(
                 return Ok(Some(Vec::new()));
             }
             match run_contained(&compiled.matcher, &entry.name, t, &options.scan) {
-                Ok((matches, fuel)) => {
+                Ok((matches, fuel, _planner)) => {
                     *fuel_spent = fuel_spent.saturating_add(fuel);
                     Ok(Some(matches))
                 }

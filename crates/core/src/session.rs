@@ -13,6 +13,7 @@ use crate::kb::{KnowledgeBase, QepReport, ScanOptions, ScanOutcome};
 use crate::matcher::{Matcher, MatcherCache, PatternMatch, SearchOutcome};
 use crate::pattern::Pattern;
 use crate::transform::TransformedQep;
+use optimatch_sparql::{EvalStats, PhysicalPlan, PlanOptions};
 
 /// Timing of the last operation, for the performance experiments.
 #[derive(Debug, Clone, Copy, Default)]
@@ -21,6 +22,11 @@ pub struct Timings {
     pub transform: Duration,
     /// Time spent matching (Algorithms 2–3 or 5).
     pub matching: Duration,
+    /// Query-planner decision counters from the most recent traced
+    /// operation (scan or budgeted search): patterns estimated, reorders
+    /// applied, estimated vs. actual rows, index choices. All-zero when
+    /// the last operation ran with the planner off or untraced.
+    pub planner: EvalStats,
 }
 
 /// Why a lenient directory load skipped one file.
@@ -98,7 +104,7 @@ impl OptImatch {
             workload,
             timings: Mutex::new(Timings {
                 transform: start.elapsed(),
-                matching: Duration::ZERO,
+                ..Timings::default()
             }),
             cache: MatcherCache::new(),
             defaults: ScanOptions::default(),
@@ -177,6 +183,13 @@ impl OptImatch {
             .matching = elapsed;
     }
 
+    fn record_planner(&self, planner: EvalStats) {
+        self.timings
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .planner = planner;
+    }
+
     /// Total LOLEPOPs across the workload.
     pub fn total_ops(&self) -> usize {
         self.workload.iter().map(|t| t.qep.op_count()).sum()
@@ -212,7 +225,25 @@ impl OptImatch {
         let start = Instant::now();
         let result = matcher.search_workload(&self.workload, options);
         self.record_matching(start.elapsed());
+        if let Ok(outcome) = &result {
+            self.record_planner(outcome.planner);
+        }
         result
+    }
+
+    /// The planner's physical plan for a pattern against every workload
+    /// QEP, without evaluating any rows — what `optimatch explain`
+    /// renders. Compiled matchers are cached like any other search.
+    pub fn explain(
+        &self,
+        pattern: &Pattern,
+        options: PlanOptions,
+    ) -> Result<Vec<(String, PhysicalPlan)>, Error> {
+        let matcher = self.cache.get_or_compile(pattern)?;
+        self.workload
+            .iter()
+            .map(|t| Ok((t.qep.id.clone(), matcher.explain(t, options)?)))
+            .collect()
     }
 
     /// QEP ids matching a pattern.
@@ -244,6 +275,9 @@ impl OptImatch {
         let start = Instant::now();
         let outcome = kb.scan_workload_with(&self.workload, options);
         self.record_matching(start.elapsed());
+        if let Ok(outcome) = &outcome {
+            self.record_planner(outcome.planner);
+        }
         outcome
     }
 }

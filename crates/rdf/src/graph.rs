@@ -8,6 +8,7 @@
 
 use std::collections::BTreeSet;
 use std::ops::Bound;
+use std::sync::{Arc, OnceLock};
 
 use crate::pool::{TermId, TermPool};
 use crate::term::Term;
@@ -28,6 +29,107 @@ pub enum IndexChoice {
     Pos,
     /// Object-Subject-Predicate index.
     Osp,
+}
+
+/// Per-predicate cardinality statistics — the selectivity signals the
+/// SPARQL planner turns into row estimates. `count / distinct_subjects`
+/// is the average fan-out of the predicate (objects per bound subject);
+/// `count / distinct_objects` is the average fan-in (subjects per bound
+/// object).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredicateStats {
+    /// The predicate's interned id.
+    pub predicate: TermId,
+    /// Total triples carrying this predicate.
+    pub count: usize,
+    /// Distinct subjects among those triples (≥ 1 when `count` ≥ 1).
+    pub distinct_subjects: usize,
+    /// Distinct objects among those triples (≥ 1 when `count` ≥ 1).
+    pub distinct_objects: usize,
+}
+
+impl PredicateStats {
+    /// Average objects reached per bound subject (`count / distinct_subjects`).
+    pub fn fan_out(&self) -> f64 {
+        self.count as f64 / (self.distinct_subjects.max(1)) as f64
+    }
+
+    /// Average subjects reached per bound object (`count / distinct_objects`).
+    pub fn fan_in(&self) -> f64 {
+        self.count as f64 / (self.distinct_objects.max(1)) as f64
+    }
+}
+
+/// Whole-graph statistics: computed once per graph (two index walks) and
+/// cached, so the planner's per-pattern estimates are O(log P) probes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Total triples in the graph.
+    pub triples: usize,
+    /// Total interned terms (nodes *and* predicates *and* literals).
+    pub terms: usize,
+    /// Per-predicate statistics, sorted by predicate id.
+    pub predicates: Vec<PredicateStats>,
+}
+
+impl GraphStats {
+    /// Look up one predicate's statistics (binary search by id).
+    pub fn predicate(&self, p: TermId) -> Option<&PredicateStats> {
+        self.predicates
+            .binary_search_by_key(&p, |ps| ps.predicate)
+            .ok()
+            .map(|i| &self.predicates[i])
+    }
+
+    /// Total triples carrying predicate `p` (0 when absent).
+    pub fn predicate_count(&self, p: TermId) -> usize {
+        self.predicate(p).map_or(0, |ps| ps.count)
+    }
+}
+
+/// Compute [`GraphStats`] from the indexes: one POS walk yields per-
+/// predicate counts and distinct objects (objects are sorted within a
+/// predicate, so transitions count them); one SPO walk yields distinct
+/// subjects (predicates are sorted within a subject, so each new `(s, p)`
+/// pair is one distinct subject for `p`).
+fn compute_stats(
+    spo: &BTreeSet<[TermId; 3]>,
+    pos: &BTreeSet<[TermId; 3]>,
+    terms: usize,
+) -> GraphStats {
+    let mut predicates: Vec<PredicateStats> = Vec::new();
+    let mut last: Option<[TermId; 2]> = None;
+    for &[p, o, _] in pos {
+        match predicates.last_mut() {
+            Some(ps) if ps.predicate == p => {
+                ps.count += 1;
+                if last != Some([p, o]) {
+                    ps.distinct_objects += 1;
+                }
+            }
+            _ => predicates.push(PredicateStats {
+                predicate: p,
+                count: 1,
+                distinct_subjects: 0,
+                distinct_objects: 1,
+            }),
+        }
+        last = Some([p, o]);
+    }
+    let mut last_sp: Option<[TermId; 2]> = None;
+    for &[s, p, _] in spo {
+        if last_sp != Some([s, p]) {
+            if let Ok(i) = predicates.binary_search_by_key(&p, |ps| ps.predicate) {
+                predicates[i].distinct_subjects += 1;
+            }
+        }
+        last_sp = Some([s, p]);
+    }
+    GraphStats {
+        triples: spo.len(),
+        terms,
+        predicates,
+    }
 }
 
 /// Bulk-build one index: permute every triple, sort, collect. When all ids
@@ -74,6 +176,9 @@ pub struct Graph {
     pos: BTreeSet<[TermId; 3]>,
     osp: BTreeSet<[TermId; 3]>,
     next_bnode: u64,
+    // Lazily computed, invalidated on mutation. An `Arc` so the planner
+    // can hold the snapshot without borrowing the graph.
+    stats: OnceLock<Arc<GraphStats>>,
 }
 
 impl Graph {
@@ -112,6 +217,7 @@ impl Graph {
             osp: build_index(triples, limit, |&[s, p, o]| [o, s, p]),
             pool,
             next_bnode,
+            stats: OnceLock::new(),
         })
     }
 
@@ -172,8 +278,19 @@ impl Graph {
         if added {
             self.pos.insert([p, o, s]);
             self.osp.insert([o, s, p]);
+            // Cached statistics describe the pre-insert graph; drop them.
+            self.stats.take();
         }
         added
+    }
+
+    /// Whole-graph cardinality statistics, computed on first use and
+    /// cached until the next mutation. Cheap to share: the planner clones
+    /// the `Arc`, not the stats.
+    pub fn stats(&self) -> Arc<GraphStats> {
+        self.stats
+            .get_or_init(|| Arc::new(compute_stats(&self.spo, &self.pos, self.pool.len())))
+            .clone()
     }
 
     /// True when the graph contains the exact triple.
@@ -539,5 +656,78 @@ mod tests {
         let g = sample();
         let p = g.term_id(&Term::iri("p:hasPopType")).unwrap();
         assert_eq!(g.predicate_cardinality(p), 3);
+    }
+
+    #[test]
+    fn stats_count_per_predicate_cardinalities() {
+        let g = sample();
+        let stats = g.stats();
+        assert_eq!(stats.triples, 6);
+        assert_eq!(stats.terms, g.pool().len());
+        assert_eq!(stats.predicates.len(), 3);
+        // Sorted by predicate id, and consistent with the slow paths.
+        for w in stats.predicates.windows(2) {
+            assert!(w[0].predicate < w[1].predicate);
+        }
+        for ps in &stats.predicates {
+            assert_eq!(ps.count, g.predicate_cardinality(ps.predicate));
+        }
+
+        // p:hasPopType — 3 triples, 3 subjects, 3 objects: fan-out 1.
+        let p_type = g.term_id(&Term::iri("p:hasPopType")).unwrap();
+        let ps = stats.predicate(p_type).unwrap();
+        assert_eq!(
+            (ps.count, ps.distinct_subjects, ps.distinct_objects),
+            (3, 3, 3)
+        );
+        assert_eq!(ps.fan_out(), 1.0);
+        assert_eq!(ps.fan_in(), 1.0);
+
+        // p:hasInputStream — 2 triples from one subject: fan-out 2, fan-in 1.
+        let p_in = g.term_id(&Term::iri("p:hasInputStream")).unwrap();
+        let ps = stats.predicate(p_in).unwrap();
+        assert_eq!(
+            (ps.count, ps.distinct_subjects, ps.distinct_objects),
+            (2, 1, 2)
+        );
+        assert_eq!(ps.fan_out(), 2.0);
+        assert_eq!(ps.fan_in(), 1.0);
+
+        // A term that is never a predicate has no stats entry.
+        let subj = g.term_id(&Term::iri("q:pop2")).unwrap();
+        assert!(stats.predicate(subj).is_none());
+        assert_eq!(stats.predicate_count(subj), 0);
+    }
+
+    #[test]
+    fn stats_are_cached_and_invalidated_on_insert() {
+        let mut g = sample();
+        let before = g.stats();
+        // Same Arc while the graph is unchanged.
+        assert!(Arc::ptr_eq(&before, &g.stats()));
+        // A duplicate insert is a no-op and keeps the cache.
+        assert!(!g.insert(
+            Term::iri("q:pop2"),
+            Term::iri("p:hasPopType"),
+            Term::lit_str("NLJOIN"),
+        ));
+        assert!(Arc::ptr_eq(&before, &g.stats()));
+        // A real insert invalidates: the new snapshot sees the new triple.
+        assert!(g.insert(Term::iri("q:pop9"), Term::iri("p:new"), Term::iri("q:pop2")));
+        let after = g.stats();
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert_eq!(after.triples, 7);
+        assert_eq!(before.triples, 6);
+        let p_new = g.term_id(&Term::iri("p:new")).unwrap();
+        assert_eq!(after.predicate_count(p_new), 1);
+    }
+
+    #[test]
+    fn stats_match_between_built_and_reconstructed_graphs() {
+        let g = sample();
+        let terms: Vec<Term> = g.pool().iter().map(|(_, t)| t.clone()).collect();
+        let triples: Vec<IdTriple> = g.iter_ids().collect();
+        let rebuilt = Graph::from_parts(terms, &triples, g.bnode_counter()).unwrap();
+        assert_eq!(*rebuilt.stats(), *g.stats());
     }
 }

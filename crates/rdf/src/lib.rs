@@ -46,6 +46,6 @@ pub mod pool;
 pub mod term;
 pub mod turtle;
 
-pub use graph::{Graph, IdTriple, Triple};
+pub use graph::{Graph, GraphStats, IdTriple, IndexChoice, PredicateStats, Triple};
 pub use pool::{TermId, TermPool};
 pub use term::{Literal, Term};

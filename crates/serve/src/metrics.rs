@@ -234,6 +234,11 @@ pub struct Metrics {
     bytes_out: Counter,
     incidents: [Counter; INCIDENT_CAUSES.len()],
     fuel_spent: Counter,
+    /// BGP reorders the query planner applied across all requests.
+    planner_reorders: Counter,
+    /// Rows the planner estimated across all requests (the denominator
+    /// for estimate-vs-actual drift, tracked next to `fuel_spent`).
+    planner_estimated_rows: Counter,
     /// The highest snapshot generation published (monotonic via
     /// `fetch_max`, so out-of-order reports cannot move it backwards).
     session_generation: MaxGauge,
@@ -383,6 +388,24 @@ impl Metrics {
     /// Total evaluation steps consumed across all requests.
     pub fn fuel_spent_total(&self) -> u64 {
         self.fuel_spent.get()
+    }
+
+    /// Add one request's query-planner counters (reorders applied,
+    /// rows estimated). The registry stays decoupled from core by taking
+    /// the two totals rather than the planner's trace type.
+    pub fn add_planner(&self, reorders: u64, estimated_rows: u64) {
+        self.planner_reorders.add(reorders);
+        self.planner_estimated_rows.add(estimated_rows);
+    }
+
+    /// BGP reorders the planner applied across all requests.
+    pub fn planner_reorders_total(&self) -> u64 {
+        self.planner_reorders.get()
+    }
+
+    /// Rows the planner estimated across all requests.
+    pub fn planner_estimated_rows_total(&self) -> u64 {
+        self.planner_estimated_rows.get()
     }
 
     /// Report a published snapshot generation. Monotonic: concurrent
@@ -586,6 +609,18 @@ impl Metrics {
             "optimatch_scan_fuel_spent_total",
             "Evaluation steps consumed by scan, search, and diagnose requests.",
             self.fuel_spent_total(),
+        );
+        counter(
+            &mut out,
+            "optimatch_planner_reorders_total",
+            "BGP pattern reorders applied by the query planner.",
+            self.planner_reorders_total(),
+        );
+        counter(
+            &mut out,
+            "optimatch_planner_estimated_rows_total",
+            "Rows estimated by the query planner across all requests.",
+            self.planner_estimated_rows_total(),
         );
 
         gauge(

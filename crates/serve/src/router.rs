@@ -6,8 +6,9 @@
 //! |----------------------|------------------------------------------------|
 //! | `POST /v1/diagnose`  | One QEP text in, ranked recommendations out    |
 //! | `POST /v1/search`    | Pattern JSON in, matches across the workload   |
+//! |                      | (`explain=1` adds per-QEP physical plans)      |
 //! | `GET /v1/scan`       | Full-workload KB scan (`fuel`, `deadline_ms`,  |
-//! |                      | `threads`, `no_prune`, `since` query params)   |
+//! |                      | `threads`, `no_prune`, `no_optimize`, `since`) |
 //! | `POST /v1/ingest`    | One QEP text in: durable append + new snapshot |
 //! | `POST /v1/kb`        | KB JSON in: lint-gated hot reload              |
 //! | `POST /v1/regress`   | `{before, after}` plan pair in: delta report   |
@@ -31,7 +32,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use optimatch_core::{LiveError, OptImatch, Pattern, ScanOptions, ScanOutcome, SessionSnapshot};
+use optimatch_core::{
+    LiveError, OptImatch, Pattern, PlanOptions, ScanOptions, ScanOutcome, SessionSnapshot,
+};
 use optimatch_qep::parse_qep;
 use serde::Serialize as _;
 use serde_json::Value;
@@ -123,6 +126,18 @@ fn scan_options(state: &AppState, request: &Request) -> Result<ScanOptions, Resp
             }
         }
     }
+    if let Some(v) = request.query_param("no_optimize") {
+        match v {
+            "" | "1" | "true" => options = options.optimize(false),
+            "0" | "false" => {}
+            other => {
+                return Err(Response::error(
+                    400,
+                    &format!("no_optimize: bad value {other:?}"),
+                ))
+            }
+        }
+    }
     // A request can never fail the whole service: budget violations stay
     // contained incidents regardless of the baseline.
     Ok(options.fail_fast(false))
@@ -138,6 +153,9 @@ fn scan_response(state: &AppState, outcome: &ScanOutcome, snapshot: &SessionSnap
         state.metrics.inc_incident(incident.cause.kind());
     }
     state.metrics.add_fuel(outcome.fuel_spent);
+    state
+        .metrics
+        .add_planner(outcome.planner.reorders, outcome.planner.estimated_rows);
     if let Some(stats) = state.manager.stats() {
         // Recording is best-effort: a full disk must not fail a scan
         // whose results are already computed. Drops are counted and
@@ -184,7 +202,10 @@ fn diagnose(state: &Arc<AppState>, request: &Request) -> Response {
 
 /// `POST /v1/search` — the body is a pattern in the builder JSON format
 /// (the paper's Figure 5); the response lists every occurrence across the
-/// resident workload with its de-transformed bindings.
+/// resident workload with its de-transformed bindings. `explain=1` adds an
+/// `explain` array with the planner's rendered physical plan per QEP (the
+/// same text `optimatch explain` prints); `no_optimize=1` evaluates in
+/// source order instead of planner order.
 fn search(state: &Arc<AppState>, request: &Request) -> Response {
     let snapshot = state.manager.current();
     let json = match std::str::from_utf8(&request.body) {
@@ -199,6 +220,11 @@ fn search(state: &Arc<AppState>, request: &Request) -> Response {
         Ok(options) => options,
         Err(response) => return response,
     };
+    let explain = match request.query_param("explain") {
+        Some("" | "1" | "true") => true,
+        Some("0" | "false") | None => false,
+        Some(other) => return Response::error(400, &format!("explain: bad value {other:?}")),
+    };
     let outcome = match snapshot.session().search_with(&pattern, &options) {
         Ok(outcome) => outcome,
         Err(e) => return Response::error(400, &e.to_string()),
@@ -207,6 +233,9 @@ fn search(state: &Arc<AppState>, request: &Request) -> Response {
         state.metrics.inc_incident(incident.cause.kind());
     }
     state.metrics.add_fuel(outcome.fuel_spent);
+    state
+        .metrics
+        .add_planner(outcome.planner.reorders, outcome.planner.estimated_rows);
 
     let matches = Value::Array(
         outcome
@@ -233,14 +262,40 @@ fn search(state: &Arc<AppState>, request: &Request) -> Response {
             })
             .collect(),
     );
-    let doc = Value::Object(vec![
+    let mut fields = vec![
         ("pattern".to_string(), Value::String(pattern.name.clone())),
         ("matches".to_string(), matches),
-        (
-            "incidents".to_string(),
-            outcome.incidents.serialize_to_value(),
-        ),
-    ]);
+    ];
+    if explain {
+        // The same per-QEP physical plans `optimatch explain` prints,
+        // computed against the snapshot this search ran on.
+        let plans = match snapshot
+            .session()
+            .explain(&pattern, PlanOptions::default().optimize(options.optimize))
+        {
+            Ok(plans) => plans,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        fields.push((
+            "explain".to_string(),
+            Value::Array(
+                plans
+                    .into_iter()
+                    .map(|(qep_id, plan)| {
+                        Value::Object(vec![
+                            ("qep_id".to_string(), Value::String(qep_id)),
+                            ("plan".to_string(), Value::String(plan.to_string())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    fields.push((
+        "incidents".to_string(),
+        outcome.incidents.serialize_to_value(),
+    ));
+    let doc = Value::Object(fields);
     let mut body = match serde_json::to_string_pretty(&doc) {
         Ok(body) => body,
         Err(e) => return Response::error(500, &e.to_string()),
@@ -255,8 +310,8 @@ fn search(state: &Arc<AppState>, request: &Request) -> Response {
 }
 
 /// `GET /v1/scan` — scan the resident workload against the resident KB.
-/// `fuel` / `deadline_ms` / `threads` / `no_prune` query parameters
-/// override the server's baseline; `since=G` restricts the scan to QEPs
+/// `fuel` / `deadline_ms` / `threads` / `no_prune` / `no_optimize` query
+/// parameters override the server's baseline; `since=G` restricts the scan to QEPs
 /// ingested after snapshot generation `G` (a delta, not a diff — the
 /// workload only grows).
 fn scan(state: &Arc<AppState>, request: &Request) -> Response {

@@ -274,3 +274,58 @@ fn diagnose_search_and_scan_round_trip() {
     );
     server.shutdown();
 }
+
+#[test]
+fn search_explain_flag_and_planner_metrics_round_trip() {
+    let server = start(ServeOptions::new());
+    let addr = server.addr();
+    let post = |path: &str, body: &str| {
+        send_raw(
+            addr,
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+    };
+
+    // `explain=1` adds the per-QEP physical plans next to the matches —
+    // the recursive pattern B exercises the path-direction planner.
+    let pattern = builtin::pattern_b().pattern.to_json();
+    let response = post("/v1/search?explain=1", &pattern);
+    assert_eq!(status_of(&response), 200, "{response}");
+    assert!(response.contains("\"explain\""), "{response}");
+    assert!(response.contains("\"qep_id\": \"fig1\""), "{response}");
+    assert!(response.contains("est="), "{response}");
+
+    // The planner fed the Prometheus registry through the search.
+    assert!(
+        server.metrics().planner_estimated_rows_total() > 0,
+        "planner estimates must reach the metrics registry"
+    );
+    let metrics_page = get(addr, "/metrics");
+    assert!(
+        metrics_page.contains("optimatch_planner_reorders_total"),
+        "{metrics_page}"
+    );
+    assert!(
+        metrics_page.contains("optimatch_planner_estimated_rows_total"),
+        "{metrics_page}"
+    );
+
+    // `no_optimize=1` disables planning: the plans render in source order
+    // and the registry's planner counters do not move.
+    let before = server.metrics().planner_estimated_rows_total();
+    let response = post("/v1/search?explain=1&no_optimize=1", &pattern);
+    assert_eq!(status_of(&response), 200, "{response}");
+    assert!(response.contains("source order"), "{response}");
+    assert_eq!(server.metrics().planner_estimated_rows_total(), before);
+
+    // Bad boolean values are the client's error on both new parameters.
+    let response = post("/v1/search?explain=banana", &pattern);
+    assert_eq!(status_of(&response), 400, "{response}");
+    let response = post("/v1/search?no_optimize=banana", &pattern);
+    assert_eq!(status_of(&response), 400, "{response}");
+    server.shutdown();
+}

@@ -6,13 +6,17 @@
 //! BGP matching knows they can never match a stored triple.
 //!
 //! BGP triple patterns are reordered greedily by estimated selectivity
-//! before matching — bound subjects/objects first, predicate-only scans by
-//! predicate cardinality, recursive paths last. The `ablations` bench
-//! measures what this buys on workload-scale matching.
+//! before matching: the [`crate::plan`] estimator prices each pattern from
+//! the graph's cached cardinality statistics, the cheapest runs first, and
+//! bound-variable propagation re-prices the rest — so later patterns get
+//! index-backed probes instead of scans, and property paths are walked
+//! from whichever endpoint seeds the smaller frontier. The `ablations`
+//! bench measures what this buys on workload-scale matching.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use optimatch_rdf::{Graph, Term, TermId};
+use optimatch_rdf::{Graph, GraphStats, Term, TermId};
 
 use crate::algebra::{
     collect_exists_refs, CExpr, Node, Plan, PlanNodePattern, ProjExpr, TriplePlan,
@@ -21,7 +25,8 @@ use crate::ast::Path;
 use crate::budget::Budget;
 use crate::error::SparqlError;
 use crate::expr::{eval_expr, order_values, Value};
-use crate::path::{compile_path, eval_path};
+use crate::path::{compile_path, eval_path_directed};
+use crate::plan::{estimate_pattern, EvalStats, PathDirection, PlanOptions};
 use crate::results::ResultTable;
 
 /// A solution row: one optional binding per variable slot.
@@ -35,6 +40,10 @@ struct Ctx<'g> {
     extra_ids: HashMap<Term, TermId>,
     /// When false, BGP patterns are matched in source order (ablation hook).
     reorder: bool,
+    /// Cardinality statistics for the planner; `None` in oracle mode.
+    stats: Option<Arc<GraphStats>>,
+    /// Planner decision counters accumulated during evaluation.
+    trace: EvalStats,
     /// The evaluation budget; every row produced, triple matched, and join
     /// pair considered charges it.
     budget: &'g Budget,
@@ -48,6 +57,8 @@ impl<'g> Ctx<'g> {
             extra: Vec::new(),
             extra_ids: HashMap::new(),
             reorder,
+            stats: reorder.then(|| graph.stats()),
+            trace: EvalStats::default(),
             budget,
         }
     }
@@ -106,7 +117,19 @@ pub fn evaluate_budgeted(
     reorder: bool,
     budget: &Budget,
 ) -> Result<ResultTable, SparqlError> {
-    let mut ctx = Ctx::new(graph, reorder, budget);
+    evaluate_traced(graph, plan, PlanOptions { optimize: reorder }, budget).map(|(t, _)| t)
+}
+
+/// Evaluate under [`PlanOptions`] and a [`Budget`], returning the planner's
+/// decision trace alongside the results. With `optimize: false` the trace
+/// is empty and evaluation runs in source order (the correctness oracle).
+pub fn evaluate_traced(
+    graph: &Graph,
+    plan: &Plan,
+    options: PlanOptions,
+    budget: &Budget,
+) -> Result<(ResultTable, EvalStats), SparqlError> {
+    let mut ctx = Ctx::new(graph, options.optimize, budget);
     let width = plan.vars.len();
     let unit_seed: Row = vec![None; width];
     let rows = eval_node(&mut ctx, &plan.root, plan, &unit_seed)?;
@@ -117,7 +140,8 @@ pub fn evaluate_budgeted(
         .iter()
         .any(|(p, _)| matches!(p, ProjExpr::Aggregate(_, _)));
     if has_aggregate || !plan.group_by.is_empty() {
-        return materialize_grouped(&mut ctx, plan, rows);
+        let trace = ctx.trace;
+        return materialize_grouped(&mut ctx, plan, rows).map(|t| (t, trace));
     }
 
     // Compute (projected row, order keys) per solution.
@@ -165,7 +189,7 @@ pub fn evaluate_budgeted(
         materialized.push((out, keys));
     }
 
-    finish_table(plan, materialized)
+    finish_table(plan, materialized).map(|t| (t, ctx.trace))
 }
 
 /// Owned order-by key, computed once per row before sorting.
@@ -604,38 +628,6 @@ fn join_rows(left: &[Row], right: &[Row], budget: &Budget) -> Result<Vec<Row>, S
     Ok(out)
 }
 
-/// Estimated cost of matching a triple pattern given currently-bound slots.
-fn pattern_cost(ctx: &Ctx<'_>, tp: &TriplePlan, bound: &[bool]) -> f64 {
-    let s_bound = match &tp.subject {
-        PlanNodePattern::Term(_) => true,
-        PlanNodePattern::Var(v) => bound[*v],
-    };
-    let o_bound = match &tp.object {
-        PlanNodePattern::Term(_) => true,
-        PlanNodePattern::Var(v) => bound[*v],
-    };
-    let base = match (s_bound, o_bound) {
-        (true, true) => 1.0,
-        (true, false) => 4.0,
-        (false, true) => 6.0,
-        (false, false) => match &tp.path {
-            Path::Iri(iri) => {
-                // Predicate cardinality as the scan estimate.
-                match ctx.graph.term_id(&Term::iri(iri.clone())) {
-                    Some(p) => 10.0 + ctx.graph.predicate_cardinality(p) as f64,
-                    None => 0.0, // absent predicate: cheapest, matches nothing
-                }
-            }
-            _ => 10.0 + 2.0 * ctx.graph.len() as f64,
-        },
-    };
-    if tp.path.is_recursive() {
-        base * 8.0
-    } else {
-        base
-    }
-}
-
 fn eval_bgp(
     ctx: &mut Ctx<'_>,
     patterns: &[TriplePlan],
@@ -646,22 +638,30 @@ fn eval_bgp(
     let mut bound: Vec<bool> = seed.iter().map(|b| b.is_some()).collect();
 
     while !remaining.is_empty() {
-        let idx = if ctx.reorder {
-            remaining
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    pattern_cost(ctx, a, &bound)
-                        .partial_cmp(&pattern_cost(ctx, b, &bound))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .map(|(i, _)| i)
-                .unwrap_or(0)
-        } else {
-            0
+        // Greedy step: re-price every remaining pattern under the current
+        // bound flags and run the cheapest. Ties keep source order (the
+        // first minimum wins), so equal-cost patterns never reorder.
+        let (idx, direction) = match &ctx.stats {
+            Some(stats) if ctx.reorder => {
+                let mut best = 0;
+                let mut best_est = estimate_pattern(ctx.graph, stats, remaining[0], &bound);
+                for (i, tp) in remaining.iter().enumerate().skip(1) {
+                    let est = estimate_pattern(ctx.graph, stats, tp, &bound);
+                    if est.cost < best_est.cost {
+                        best = i;
+                        best_est = est;
+                    }
+                }
+                ctx.trace.record(&best_est, best != 0);
+                (best, best_est.direction)
+            }
+            _ => (0, PathDirection::Forward),
         };
         let tp = remaining.remove(idx);
-        rows = match_pattern(ctx, tp, rows)?;
+        rows = match_pattern(ctx, tp, rows, direction)?;
+        if ctx.reorder {
+            ctx.trace.actual_rows = ctx.trace.actual_rows.saturating_add(rows.len() as u64);
+        }
         if let PlanNodePattern::Var(v) = &tp.subject {
             bound[*v] = true;
         }
@@ -679,6 +679,7 @@ fn match_pattern(
     ctx: &mut Ctx<'_>,
     tp: &TriplePlan,
     rows: Vec<Row>,
+    direction: PathDirection,
 ) -> Result<Vec<Row>, SparqlError> {
     // Variable predicates (`?s ?p ?o`) scan with the predicate position
     // open and bind it per match.
@@ -771,7 +772,7 @@ fn match_pattern(
                 }
             }
             (None, Some(cpath)) => {
-                let pairs = eval_path(ctx.graph, cpath, s, o, ctx.budget);
+                let pairs = eval_path_directed(ctx.graph, cpath, s, o, ctx.budget, direction);
                 // The path engine bails out silently on exhaustion; turn
                 // the latched flag into the typed error here.
                 ctx.budget.check()?;

@@ -49,10 +49,12 @@ pub mod expr;
 pub mod lexer;
 pub mod parser;
 pub mod path;
+pub mod plan;
 pub mod results;
 
 pub use budget::{Budget, BudgetCause};
 pub use error::SparqlError;
+pub use plan::{EvalStats, PathDirection, PhysicalPlan, PlanOptions, PlanStep};
 pub use results::ResultTable;
 
 use optimatch_rdf::Graph;
@@ -94,4 +96,30 @@ pub fn execute_parsed_budgeted(
 ) -> Result<ResultTable, SparqlError> {
     let plan = algebra::translate(query)?;
     eval::evaluate_budgeted(graph, &plan, true, budget)
+}
+
+/// Evaluate an already-parsed query under explicit [`PlanOptions`] and a
+/// [`Budget`], returning the planner's decision trace alongside the
+/// results. `options.optimize = false` is the correctness oracle: source
+/// order, no direction guidance, empty trace.
+pub fn execute_parsed_traced(
+    graph: &Graph,
+    query: &ast::Query,
+    options: PlanOptions,
+    budget: &Budget,
+) -> Result<(ResultTable, EvalStats), SparqlError> {
+    let plan = algebra::translate(query)?;
+    eval::evaluate_traced(graph, &plan, options, budget)
+}
+
+/// Explain an already-parsed query against a graph: the planner's
+/// ordering, index, and path-direction decisions, without evaluating any
+/// rows.
+pub fn explain_parsed(
+    graph: &Graph,
+    query: &ast::Query,
+    options: PlanOptions,
+) -> Result<PhysicalPlan, SparqlError> {
+    let plan = algebra::translate(query)?;
+    Ok(plan::explain_plan(graph, &plan, options))
 }

@@ -13,6 +13,7 @@ use optimatch_rdf::{Graph, TermId};
 
 use crate::ast::Path;
 use crate::budget::Budget;
+use crate::plan::PathDirection;
 
 /// A property path with predicate IRIs resolved against a specific graph.
 /// `None` marks a predicate absent from the graph (it can never match).
@@ -213,6 +214,61 @@ pub fn eval_path(
     }
 }
 
+/// Like [`eval_path`], but honoring the planner's [`PathDirection`] where
+/// more than one strategy exists. Direction changes *how* pairs are found,
+/// never which pairs:
+///
+/// * both endpoints bound, `Backward` — walk the reversed path from the
+///   object and test membership of the subject (cheaper when the path's
+///   fan-in is smaller than its fan-out);
+/// * both endpoints unbound, `Backward` — enumerate candidate nodes over
+///   the reversed path, so recursive closures seed from the object-side
+///   frontier;
+/// * exactly one endpoint bound — the direction is forced by which one,
+///   and the hint is ignored.
+pub fn eval_path_directed(
+    graph: &Graph,
+    path: &CPath,
+    s: Option<TermId>,
+    o: Option<TermId>,
+    budget: &Budget,
+    direction: PathDirection,
+) -> Vec<(TermId, TermId)> {
+    if direction == PathDirection::Forward {
+        return eval_path(graph, path, s, o, budget);
+    }
+    match (s, o) {
+        (Some(s), Some(o)) => {
+            let rev = reverse(path);
+            let mut reach = BTreeSet::new();
+            step(graph, &rev, o, &mut reach, budget);
+            if reach.contains(&s) {
+                vec![(s, o)]
+            } else {
+                Vec::new()
+            }
+        }
+        (None, None) => {
+            // Plain predicates have an index fast path; direction is moot.
+            if matches!(path, CPath::Pred(_)) {
+                return eval_path(graph, path, s, o, budget);
+            }
+            let rev = reverse(path);
+            let mut pairs = Vec::new();
+            for from in all_nodes(graph, budget) {
+                if budget.exceeded().is_some() {
+                    break;
+                }
+                let mut reach = BTreeSet::new();
+                step(graph, &rev, from, &mut reach, budget);
+                pairs.extend(reach.into_iter().map(|to| (to, from)));
+            }
+            pairs
+        }
+        _ => eval_path(graph, path, s, o, budget),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +428,45 @@ mod tests {
             eval_path(&g, &path, Some(ids[0]), None, &Budget::unlimited())
         );
         assert!(enough.spent() > 0);
+    }
+
+    #[test]
+    fn directed_evaluation_finds_the_same_pairs() {
+        let (g, ids) = chain();
+        let path = p(&g, "<p:in>+");
+        let budget = Budget::unlimited();
+        // Both bound: backward reachability agrees with forward.
+        for (s, o) in [(ids[0], ids[3]), (ids[3], ids[0])] {
+            let fwd = eval_path(&g, &path, Some(s), Some(o), &budget);
+            let bwd = eval_path_directed(
+                &g,
+                &path,
+                Some(s),
+                Some(o),
+                &budget,
+                PathDirection::Backward,
+            );
+            assert_eq!(fwd, bwd);
+        }
+        // Both unbound: same pair multiset (order may differ).
+        let mut fwd = eval_path(&g, &path, None, None, &budget);
+        let mut bwd = eval_path_directed(&g, &path, None, None, &budget, PathDirection::Backward);
+        fwd.sort_unstable();
+        bwd.sort_unstable();
+        assert_eq!(fwd, bwd);
+        assert_eq!(fwd.len(), 6);
+        // One endpoint bound: the hint is ignored, results identical.
+        assert_eq!(
+            eval_path(&g, &path, Some(ids[0]), None, &budget),
+            eval_path_directed(
+                &g,
+                &path,
+                Some(ids[0]),
+                None,
+                &budget,
+                PathDirection::Backward
+            )
+        );
     }
 
     #[test]

@@ -1,0 +1,797 @@
+//! Cost-based query planning: selectivity estimation, greedy join
+//! ordering, and guided property-path plans.
+//!
+//! The estimator turns the per-graph [`GraphStats`] (per-predicate triple
+//! counts and distinct subject/object counts, cached on the
+//! [`Graph`]) into row estimates per triple pattern:
+//!
+//! * plain predicate, subject bound — the predicate's average *fan-out*
+//!   (`count / distinct_subjects`);
+//! * plain predicate, object bound — its average *fan-in*
+//!   (`count / distinct_objects`);
+//! * both endpoints bound — `count / (distinct_subjects ·
+//!   distinct_objects)`, the probability-style estimate of one probe;
+//! * nothing bound — the full predicate cardinality;
+//! * complex paths — fans compose structurally (sequence multiplies,
+//!   alternative sums, closures sum powers of the inner fan capped at the
+//!   graph's node count), evaluated in whichever direction is cheaper.
+//!
+//! `eval_bgp` consumes these estimates greedily: cheapest pattern first,
+//! bound-variable propagation after each step so later patterns see more
+//! bound endpoints and become index probes instead of scans. Property
+//! paths additionally carry a [`PathDirection`]: a pattern whose object is
+//! the only bound endpoint is walked *backward* over the reversed path, so
+//! recursive closures seed from the smaller frontier.
+//!
+//! [`explain_plan`] replays exactly the ordering decisions the evaluator
+//! would make (they depend only on the statistics and the bound-variable
+//! flags, never on row contents) and renders them as an `EXPLAIN`-style
+//! [`PhysicalPlan`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use optimatch_rdf::{Graph, GraphStats, IndexChoice, Term};
+
+use crate::algebra::{Node, Plan, PlanNodePattern, TriplePlan};
+use crate::ast::Path;
+
+/// Evaluation-planning switches, threaded from `ScanOptions` down to the
+/// BGP evaluator. `optimize: false` is the correctness oracle: source-order
+/// evaluation with no direction guidance, bit-identical to the planner-free
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Reorder BGPs by estimated selectivity and guide path directions.
+    pub optimize: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> PlanOptions {
+        PlanOptions { optimize: true }
+    }
+}
+
+impl PlanOptions {
+    /// The default (optimizing) options.
+    pub fn new() -> PlanOptions {
+        PlanOptions::default()
+    }
+
+    /// Builder-style switch for the optimizer.
+    pub fn optimize(mut self, on: bool) -> PlanOptions {
+        self.optimize = on;
+        self
+    }
+}
+
+/// Which direction a property-path pattern is evaluated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathDirection {
+    /// From the subject, over the path as written.
+    Forward,
+    /// From the object, over the reversed path.
+    Backward,
+}
+
+impl PathDirection {
+    fn flip(self) -> PathDirection {
+        match self {
+            PathDirection::Forward => PathDirection::Backward,
+            PathDirection::Backward => PathDirection::Forward,
+        }
+    }
+}
+
+/// Planner decision counters, recorded during evaluation and aggregated up
+/// through matcher → scan outcome → session timings → `/metrics`. All
+/// fields are integral so aggregation is deterministic (scan outcomes are
+/// compared whole in the chaos harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Triple patterns planned (BGP members seen by the greedy loop).
+    pub patterns: u64,
+    /// Patterns executed out of source position.
+    pub reorders: u64,
+    /// Summed rounded row estimates across planned patterns.
+    pub estimated_rows: u64,
+    /// Summed rows actually produced by those patterns.
+    pub actual_rows: u64,
+    /// Patterns resolved through the SPO index.
+    pub index_spo: u64,
+    /// Patterns resolved through the POS index.
+    pub index_pos: u64,
+    /// Patterns resolved through the OSP index.
+    pub index_osp: u64,
+    /// Property-path patterns evaluated backward from the object.
+    pub backward_paths: u64,
+}
+
+impl EvalStats {
+    /// Fold another trace into this one (saturating, field-wise).
+    pub fn absorb(&mut self, other: &EvalStats) {
+        self.patterns = self.patterns.saturating_add(other.patterns);
+        self.reorders = self.reorders.saturating_add(other.reorders);
+        self.estimated_rows = self.estimated_rows.saturating_add(other.estimated_rows);
+        self.actual_rows = self.actual_rows.saturating_add(other.actual_rows);
+        self.index_spo = self.index_spo.saturating_add(other.index_spo);
+        self.index_pos = self.index_pos.saturating_add(other.index_pos);
+        self.index_osp = self.index_osp.saturating_add(other.index_osp);
+        self.backward_paths = self.backward_paths.saturating_add(other.backward_paths);
+    }
+
+    /// Record one pattern's planning decision.
+    pub fn record(&mut self, est: &Estimate, reordered: bool) {
+        self.patterns += 1;
+        if reordered {
+            self.reorders += 1;
+        }
+        self.estimated_rows = self
+            .estimated_rows
+            .saturating_add(est.rows.round().max(0.0) as u64);
+        match est.index {
+            Some(IndexChoice::Spo) => self.index_spo += 1,
+            Some(IndexChoice::Pos) => self.index_pos += 1,
+            Some(IndexChoice::Osp) => self.index_osp += 1,
+            None => {}
+        }
+        if est.index.is_none() && est.direction == PathDirection::Backward {
+            self.backward_paths += 1;
+        }
+    }
+
+    /// True when no decision was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == EvalStats::default()
+    }
+}
+
+/// One triple pattern's estimate under the current bound-variable flags.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Estimated result rows per input row.
+    pub rows: f64,
+    /// Estimated evaluation cost (what the greedy loop minimizes).
+    pub cost: f64,
+    /// The index a plain-predicate scan will use; `None` for compiled
+    /// property paths, which navigate via the path engine instead.
+    pub index: Option<IndexChoice>,
+    /// Chosen evaluation direction (only meaningful for property paths).
+    pub direction: PathDirection,
+}
+
+/// Estimate one triple pattern given which variable slots are bound.
+pub fn estimate_pattern(
+    graph: &Graph,
+    stats: &GraphStats,
+    tp: &TriplePlan,
+    bound: &[bool],
+) -> Estimate {
+    let s_bound = match &tp.subject {
+        PlanNodePattern::Term(_) => true,
+        PlanNodePattern::Var(v) => bound.get(*v).copied().unwrap_or(false),
+    };
+    let o_bound = match &tp.object {
+        PlanNodePattern::Term(_) => true,
+        PlanNodePattern::Var(v) => bound.get(*v).copied().unwrap_or(false),
+    };
+    let triples = stats.triples as f64;
+
+    // Variable predicate (`?s ?p ?o`): no per-predicate statistics apply.
+    if let Some(pv) = tp.path_var {
+        let p_bound = bound.get(pv).copied().unwrap_or(false);
+        let rows = match (s_bound, o_bound) {
+            (true, true) => 1.0,
+            (true, false) | (false, true) => triples.sqrt().max(1.0),
+            (false, false) => triples,
+        };
+        return Estimate {
+            rows,
+            cost: rows + 1.0,
+            index: Some(Graph::index_for(s_bound, p_bound, o_bound)),
+            direction: PathDirection::Forward,
+        };
+    }
+
+    match &tp.path {
+        Path::Iri(iri) => {
+            let ps = graph
+                .term_id(&Term::iri(iri.clone()))
+                .and_then(|p| stats.predicate(p).cloned());
+            let Some(ps) = ps else {
+                // Absent predicate: free to run, proves the BGP empty.
+                return Estimate {
+                    rows: 0.0,
+                    cost: 0.0,
+                    index: Some(Graph::index_for(s_bound, true, o_bound)),
+                    direction: PathDirection::Forward,
+                };
+            };
+            let (rows, index) = match (s_bound, o_bound) {
+                (true, true) => (
+                    ps.count as f64
+                        / (ps.distinct_subjects.max(1) * ps.distinct_objects.max(1)) as f64,
+                    IndexChoice::Spo,
+                ),
+                (true, false) => (ps.fan_out(), IndexChoice::Spo),
+                (false, true) => (ps.fan_in(), IndexChoice::Pos),
+                (false, false) => (ps.count as f64, IndexChoice::Pos),
+            };
+            Estimate {
+                rows,
+                cost: rows + 1.0,
+                index: Some(index),
+                direction: PathDirection::Forward,
+            }
+        }
+        Path::Var(_) => unreachable!("variable predicates carry path_var"),
+        path => {
+            let fan_f = path_fan(graph, stats, path, PathDirection::Forward);
+            let fan_b = path_fan(graph, stats, path, PathDirection::Backward);
+            let (rows, cost, direction) = match (s_bound, o_bound) {
+                // Reachability check: walk from the smaller frontier.
+                (true, true) => {
+                    let dir = if fan_f <= fan_b {
+                        PathDirection::Forward
+                    } else {
+                        PathDirection::Backward
+                    };
+                    (1.0, fan_f.min(fan_b) + 1.0, dir)
+                }
+                (true, false) => (fan_f, fan_f + 1.0, PathDirection::Forward),
+                (false, true) => (fan_b, fan_b + 1.0, PathDirection::Backward),
+                (false, false) => {
+                    let src_f = path_sources(graph, stats, path, PathDirection::Forward);
+                    let src_b = path_sources(graph, stats, path, PathDirection::Backward);
+                    let cost_f = src_f * (fan_f + 1.0);
+                    let cost_b = src_b * (fan_b + 1.0);
+                    let dir = if cost_f <= cost_b {
+                        PathDirection::Forward
+                    } else {
+                        PathDirection::Backward
+                    };
+                    ((src_f * fan_f).min(src_b * fan_b), cost_f.min(cost_b), dir)
+                }
+            };
+            Estimate {
+                rows,
+                cost,
+                index: None,
+                direction,
+            }
+        }
+    }
+}
+
+/// Average nodes reached by one application of `path` from a single start
+/// node, in the given direction. Composes structurally: sequences
+/// multiply, alternatives sum, closures sum powers of the inner fan
+/// (depth-capped and bounded by the graph's term count).
+fn path_fan(graph: &Graph, stats: &GraphStats, path: &Path, dir: PathDirection) -> f64 {
+    match path {
+        Path::Iri(iri) => graph
+            .term_id(&Term::iri(iri.clone()))
+            .and_then(|p| stats.predicate(p))
+            .map_or(0.0, |ps| match dir {
+                PathDirection::Forward => ps.fan_out(),
+                PathDirection::Backward => ps.fan_in(),
+            }),
+        Path::Var(_) => stats.triples as f64,
+        Path::Inverse(p) => path_fan(graph, stats, p, dir.flip()),
+        Path::Sequence(a, b) => path_fan(graph, stats, a, dir) * path_fan(graph, stats, b, dir),
+        Path::Alternative(a, b) => path_fan(graph, stats, a, dir) + path_fan(graph, stats, b, dir),
+        Path::ZeroOrOne(p) => 1.0 + path_fan(graph, stats, p, dir),
+        Path::ZeroOrMore(p) | Path::OneOrMore(p) => {
+            let f = path_fan(graph, stats, p, dir);
+            let cap = (stats.terms as f64).max(1.0);
+            // Sum the first few closure depths; the cap keeps a fan > 1
+            // from exploding past "every node reachable".
+            let mut total = 0.0;
+            let mut power = 1.0;
+            for _ in 0..3 {
+                power *= f;
+                total += power;
+                if total >= cap {
+                    break;
+                }
+            }
+            let base = total.min(cap);
+            if matches!(path, Path::ZeroOrMore(_)) {
+                1.0 + base
+            } else {
+                base
+            }
+        }
+    }
+}
+
+/// Estimated candidate start nodes for a fully-unbound path pattern, in
+/// the given direction — what a closure seeded from that side must visit.
+fn path_sources(graph: &Graph, stats: &GraphStats, path: &Path, dir: PathDirection) -> f64 {
+    let cap = stats.terms as f64;
+    let raw = match path {
+        Path::Iri(iri) => graph
+            .term_id(&Term::iri(iri.clone()))
+            .and_then(|p| stats.predicate(p))
+            .map_or(0.0, |ps| match dir {
+                PathDirection::Forward => ps.distinct_subjects as f64,
+                PathDirection::Backward => ps.distinct_objects as f64,
+            }),
+        Path::Var(_) => cap,
+        Path::Inverse(p) => path_sources(graph, stats, p, dir.flip()),
+        Path::Sequence(a, b) => match dir {
+            PathDirection::Forward => path_sources(graph, stats, a, dir),
+            PathDirection::Backward => path_sources(graph, stats, b, dir),
+        },
+        Path::Alternative(a, b) => {
+            path_sources(graph, stats, a, dir) + path_sources(graph, stats, b, dir)
+        }
+        // Zero-length-capable paths can start anywhere, but the useful
+        // (triple-touching) starts are the inner path's.
+        Path::ZeroOrOne(p) | Path::ZeroOrMore(p) | Path::OneOrMore(p) => {
+            path_sources(graph, stats, p, dir)
+        }
+    };
+    raw.min(cap)
+}
+
+/// Structural (graph-free) estimate of a recursive path's per-step
+/// closure frontier: the branching factor of the widest closure body
+/// (alternatives sum, sequences multiply). `0` when the path has no
+/// closure operator at all. This is what lint OL104 thresholds on: a
+/// plain `p+` chain has frontier 1; the paper's Pattern-B alternative
+/// bundle `(outer|inner|input)+` has frontier 3.
+pub fn recursive_frontier_estimate(path: &Path) -> u64 {
+    fn branching(p: &Path) -> u64 {
+        match p {
+            Path::Iri(_) | Path::Var(_) => 1,
+            Path::Inverse(p) | Path::ZeroOrOne(p) => branching(p),
+            Path::Sequence(a, b) => branching(a).saturating_mul(branching(b)),
+            Path::Alternative(a, b) => branching(a).saturating_add(branching(b)),
+            Path::ZeroOrMore(p) | Path::OneOrMore(p) => branching(p),
+        }
+    }
+    match path {
+        Path::Iri(_) | Path::Var(_) => 0,
+        Path::Inverse(p) | Path::ZeroOrOne(p) => recursive_frontier_estimate(p),
+        Path::Sequence(a, b) | Path::Alternative(a, b) => {
+            recursive_frontier_estimate(a).max(recursive_frontier_estimate(b))
+        }
+        Path::ZeroOrMore(p) | Path::OneOrMore(p) => {
+            branching(p).max(recursive_frontier_estimate(p))
+        }
+    }
+}
+
+/// One executed step of a BGP in the physical plan.
+#[derive(Debug, Clone)]
+pub struct PlanStep {
+    /// The pattern's position in the query source (0-based within its BGP).
+    pub source_pos: usize,
+    /// Rendered `subject path object` pattern text.
+    pub pattern: String,
+    /// Index chosen for plain-predicate scans.
+    pub index: Option<IndexChoice>,
+    /// Direction chosen for property-path patterns.
+    pub direction: Option<PathDirection>,
+    /// Estimated rows at planning time.
+    pub estimated_rows: f64,
+    /// True when the step runs out of source order.
+    pub reordered: bool,
+}
+
+/// An explainable physical plan: the evaluator's ordering and direction
+/// decisions, replayed without touching any rows.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    /// Flattened BGP steps in execution order.
+    pub steps: Vec<PlanStep>,
+    rendered: String,
+}
+
+impl PhysicalPlan {
+    /// The human-readable `EXPLAIN` rendering.
+    pub fn render(&self) -> &str {
+        &self.rendered
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.rendered)
+    }
+}
+
+/// Render a pattern endpoint: `?name` for variables, the term otherwise.
+fn render_node(plan: &Plan, n: &PlanNodePattern) -> String {
+    match n {
+        PlanNodePattern::Var(v) => match plan.vars.get(*v) {
+            Some(name) => format!("?{name}"),
+            None => format!("?_{v}"),
+        },
+        PlanNodePattern::Term(t) => t.to_string(),
+    }
+}
+
+/// Render a property path in SPARQL surface syntax.
+fn render_path(path: &Path) -> String {
+    match path {
+        Path::Iri(iri) => format!("<{iri}>"),
+        Path::Var(v) => format!("?{v}"),
+        Path::Inverse(p) => format!("^{}", render_path(p)),
+        Path::Sequence(a, b) => format!("{}/{}", render_path(a), render_path(b)),
+        Path::Alternative(a, b) => format!("({}|{})", render_path(a), render_path(b)),
+        Path::ZeroOrMore(p) => format!("{}*", render_path(p)),
+        Path::OneOrMore(p) => format!("{}+", render_path(p)),
+        Path::ZeroOrOne(p) => format!("{}?", render_path(p)),
+    }
+}
+
+/// Explain a compiled query against a graph: replay the greedy ordering
+/// with bound-variable propagation (decisions depend only on statistics
+/// and bound flags, so this is exactly what evaluation will do) and render
+/// the result.
+pub fn explain_plan(graph: &Graph, plan: &Plan, options: PlanOptions) -> PhysicalPlan {
+    let stats = graph.stats();
+    let mut steps = Vec::new();
+    let mut text = String::new();
+    let seed_bound = vec![false; plan.vars.len()];
+    walk(
+        graph,
+        &stats,
+        plan,
+        &plan.root,
+        options,
+        &seed_bound,
+        0,
+        &mut steps,
+        &mut text,
+    );
+    PhysicalPlan {
+        steps,
+        rendered: text,
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal recursion carries the full walk state
+fn walk(
+    graph: &Graph,
+    stats: &Arc<GraphStats>,
+    plan: &Plan,
+    node: &Node,
+    options: PlanOptions,
+    seed_bound: &[bool],
+    depth: usize,
+    steps: &mut Vec<PlanStep>,
+    text: &mut String,
+) {
+    use std::fmt::Write;
+    let indent = "  ".repeat(depth);
+    match node {
+        Node::Unit => {
+            let _ = writeln!(text, "{indent}unit");
+        }
+        Node::Bgp(patterns) => {
+            let _ = writeln!(
+                text,
+                "{indent}bgp ({} pattern{}, {})",
+                patterns.len(),
+                if patterns.len() == 1 { "" } else { "s" },
+                if options.optimize {
+                    "greedy order"
+                } else {
+                    "source order"
+                },
+            );
+            // Replay the evaluator's greedy loop: each Join branch is
+            // evaluated from the seed, so every BGP starts from the seed's
+            // bound flags — exactly `eval_bgp`'s initialization.
+            let mut bound = seed_bound.to_vec();
+            let mut remaining: Vec<(usize, &TriplePlan)> = patterns.iter().enumerate().collect();
+            while !remaining.is_empty() {
+                let (pick, est) = if options.optimize {
+                    let mut best = 0;
+                    let mut best_est = estimate_pattern(graph, stats, remaining[0].1, &bound);
+                    for (i, (_, tp)) in remaining.iter().enumerate().skip(1) {
+                        let e = estimate_pattern(graph, stats, tp, &bound);
+                        if e.cost < best_est.cost {
+                            best = i;
+                            best_est = e;
+                        }
+                    }
+                    (best, best_est)
+                } else {
+                    (0, estimate_pattern(graph, stats, remaining[0].1, &bound))
+                };
+                let (source_pos, tp) = remaining.remove(pick);
+                let reordered = options.optimize && pick != 0;
+                let direction = est.index.is_none().then_some(est.direction);
+                let pattern = format!(
+                    "{} {} {}",
+                    render_node(plan, &tp.subject),
+                    render_path(&tp.path),
+                    render_node(plan, &tp.object),
+                );
+                let _ = write!(
+                    text,
+                    "{indent}  {} {pattern}  est={:.1}",
+                    steps.len() + 1,
+                    est.rows
+                );
+                match est.index {
+                    Some(ix) => {
+                        let _ = write!(text, " index={ix:?}");
+                    }
+                    None => {
+                        let _ = write!(
+                            text,
+                            " path={}",
+                            match est.direction {
+                                PathDirection::Forward => "forward",
+                                PathDirection::Backward => "backward",
+                            }
+                        );
+                    }
+                }
+                if reordered {
+                    let _ = write!(text, " (reordered from #{})", source_pos + 1);
+                }
+                let _ = writeln!(text);
+                steps.push(PlanStep {
+                    source_pos,
+                    pattern,
+                    index: est.index,
+                    direction,
+                    estimated_rows: est.rows,
+                    reordered,
+                });
+                if let PlanNodePattern::Var(v) = &tp.subject {
+                    bound[*v] = true;
+                }
+                if let PlanNodePattern::Var(v) = &tp.object {
+                    bound[*v] = true;
+                }
+            }
+        }
+        Node::Join(a, b) => {
+            let _ = writeln!(text, "{indent}join");
+            walk(
+                graph,
+                stats,
+                plan,
+                a,
+                options,
+                seed_bound,
+                depth + 1,
+                steps,
+                text,
+            );
+            walk(
+                graph,
+                stats,
+                plan,
+                b,
+                options,
+                seed_bound,
+                depth + 1,
+                steps,
+                text,
+            );
+        }
+        Node::LeftJoin(a, b) => {
+            let _ = writeln!(text, "{indent}left-join (optional)");
+            walk(
+                graph,
+                stats,
+                plan,
+                a,
+                options,
+                seed_bound,
+                depth + 1,
+                steps,
+                text,
+            );
+            walk(
+                graph,
+                stats,
+                plan,
+                b,
+                options,
+                seed_bound,
+                depth + 1,
+                steps,
+                text,
+            );
+        }
+        Node::Union(a, b) => {
+            let _ = writeln!(text, "{indent}union");
+            walk(
+                graph,
+                stats,
+                plan,
+                a,
+                options,
+                seed_bound,
+                depth + 1,
+                steps,
+                text,
+            );
+            walk(
+                graph,
+                stats,
+                plan,
+                b,
+                options,
+                seed_bound,
+                depth + 1,
+                steps,
+                text,
+            );
+        }
+        Node::Filter(_, inner) => {
+            let _ = writeln!(text, "{indent}filter");
+            walk(
+                graph,
+                stats,
+                plan,
+                inner,
+                options,
+                seed_bound,
+                depth + 1,
+                steps,
+                text,
+            );
+        }
+        Node::Extend(inner, slot, _) => {
+            let _ = writeln!(
+                text,
+                "{indent}bind ?{}",
+                plan.vars.get(*slot).map(String::as_str).unwrap_or("_")
+            );
+            walk(
+                graph,
+                stats,
+                plan,
+                inner,
+                options,
+                seed_bound,
+                depth + 1,
+                steps,
+                text,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::translate;
+    use crate::parser::parse;
+
+    /// The Figure-1 style plan graph used across the evaluator tests.
+    fn fig1_graph() -> Graph {
+        let mut g = Graph::new();
+        let pred = |n: &str| Term::iri(format!("http://optimatch/pred#{n}"));
+        let pop = |n: u32| Term::iri(format!("http://optimatch/qep#pop{n}"));
+        let t = |s: &str| Term::lit_str(s);
+        g.insert(pop(2), pred("hasPopType"), t("NLJOIN"));
+        g.insert(pop(2), pred("hasEstimateCardinality"), t("1251.0"));
+        g.insert(pop(3), pred("hasPopType"), t("FETCH"));
+        g.insert(pop(4), pred("hasPopType"), t("IXSCAN"));
+        g.insert(pop(5), pred("hasPopType"), t("TBSCAN"));
+        g.insert(pop(5), pred("hasEstimateCardinality"), t("4043.0"));
+        g.insert(pop(2), pred("hasOuterInputStream"), pop(3));
+        g.insert(pop(2), pred("hasInnerInputStream"), pop(5));
+        g.insert(pop(3), pred("hasInputStream"), pop(4));
+        g.insert(pop(5), pred("hasInputStream"), pop(7));
+        g.insert(pop(7), pred("isABaseObj"), Term::lit_str("CUST_DIM"));
+        g
+    }
+
+    const PFX: &str = "PREFIX p: <http://optimatch/pred#>\n";
+
+    fn compiled(q: &str) -> Plan {
+        translate(&parse(q).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn bound_patterns_estimate_cheaper_than_scans() {
+        let g = fig1_graph();
+        let stats = g.stats();
+        let plan = compiled(&format!(
+            "{PFX}SELECT ?a WHERE {{ ?a p:hasPopType ?t . ?a p:hasPopType \"NLJOIN\" . }}"
+        ));
+        let Node::Bgp(tps) = &plan.root else { panic!() };
+        let bound = vec![false; plan.vars.len()];
+        let scan = estimate_pattern(&g, &stats, &tps[0], &bound);
+        let probe = estimate_pattern(&g, &stats, &tps[1], &bound);
+        // Object-bound fan-in (≈1) beats the full predicate scan (4 rows).
+        assert!(probe.cost < scan.cost, "{probe:?} !< {scan:?}");
+        assert_eq!(scan.index, Some(IndexChoice::Pos));
+        assert_eq!(probe.index, Some(IndexChoice::Pos));
+        assert_eq!(scan.rows, 4.0);
+    }
+
+    #[test]
+    fn absent_predicate_is_free() {
+        let g = fig1_graph();
+        let stats = g.stats();
+        let plan = compiled(&format!("{PFX}SELECT ?a WHERE {{ ?a p:neverSeen ?b . }}"));
+        let Node::Bgp(tps) = &plan.root else { panic!() };
+        let est = estimate_pattern(&g, &stats, &tps[0], &vec![false; plan.vars.len()]);
+        assert_eq!(est.rows, 0.0);
+        assert_eq!(est.cost, 0.0);
+    }
+
+    #[test]
+    fn path_direction_follows_bound_endpoint() {
+        let g = fig1_graph();
+        let stats = g.stats();
+        // Object is a constant → backward; subject constant → forward.
+        let plan = compiled(&format!(
+            "{PFX}SELECT ?a WHERE {{ ?a p:hasInputStream+ <http://optimatch/qep#pop7> . }}"
+        ));
+        let Node::Bgp(tps) = &plan.root else { panic!() };
+        let est = estimate_pattern(&g, &stats, &tps[0], &vec![false; plan.vars.len()]);
+        assert_eq!(est.direction, PathDirection::Backward);
+        assert!(est.index.is_none());
+
+        let plan = compiled(&format!(
+            "{PFX}SELECT ?b WHERE {{ <http://optimatch/qep#pop2> p:hasInputStream+ ?b . }}"
+        ));
+        let Node::Bgp(tps) = &plan.root else { panic!() };
+        let est = estimate_pattern(&g, &stats, &tps[0], &vec![false; plan.vars.len()]);
+        assert_eq!(est.direction, PathDirection::Forward);
+    }
+
+    #[test]
+    fn frontier_estimate_reflects_alternative_branching() {
+        let one = parse("SELECT ?a WHERE { ?a <p:in>+ ?b . }").unwrap();
+        let three = parse("SELECT ?a WHERE { ?a (<p:a>|<p:b>|<p:c>)+ ?b . }").unwrap();
+        let flat = parse("SELECT ?a WHERE { ?a (<p:a>|<p:b>) ?b . }").unwrap();
+        let path_of = |q: &crate::ast::Query| match &q.where_clause.elements[0] {
+            crate::ast::PatternElement::Triple(t) => t.path.clone(),
+            _ => panic!(),
+        };
+        assert_eq!(recursive_frontier_estimate(&path_of(&one)), 1);
+        assert_eq!(recursive_frontier_estimate(&path_of(&three)), 3);
+        // No closure operator ⇒ no frontier at all.
+        assert_eq!(recursive_frontier_estimate(&path_of(&flat)), 0);
+    }
+
+    #[test]
+    fn explain_reorders_selective_pattern_first() {
+        let g = fig1_graph();
+        // Source order starts with the expensive recursive path; the
+        // planner must run the bound-object probe first instead.
+        let plan = compiled(&format!(
+            "{PFX}SELECT ?join ?base WHERE {{
+                ?join (p:hasOuterInputStream|p:hasInnerInputStream|p:hasInputStream)+ ?d .
+                ?join p:hasPopType \"NLJOIN\" .
+                ?d p:isABaseObj ?base .
+            }}"
+        ));
+        let physical = explain_plan(&g, &plan, PlanOptions::default());
+        assert_eq!(physical.steps.len(), 3);
+        assert_ne!(physical.steps[0].source_pos, 0, "{}", physical.render());
+        assert!(physical.steps.iter().any(|s| s.reordered));
+        // The recursive path runs with a bound subject → forward.
+        let path_step = physical
+            .steps
+            .iter()
+            .find(|s| s.index.is_none())
+            .expect("path step present");
+        assert_eq!(path_step.direction, Some(PathDirection::Forward));
+        let text = physical.render();
+        assert!(text.contains("bgp (3 patterns, greedy order)"), "{text}");
+        assert!(text.contains("reordered"), "{text}");
+        assert!(text.contains("index="), "{text}");
+
+        // The oracle mode replays source order and reorders nothing.
+        let unopt = explain_plan(&g, &plan, PlanOptions::default().optimize(false));
+        assert!(unopt.steps.iter().all(|s| !s.reordered));
+        let order: Vec<usize> = unopt.steps.iter().map(|s| s.source_pos).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+}
